@@ -1,0 +1,124 @@
+// Package pass_test hosts the top-level benchmark harness: one testing.B
+// benchmark per experiment (E1–E13), each regenerating the corresponding
+// table from EXPERIMENTS.md at a bench-friendly scale and reporting the
+// experiment's headline findings as custom benchmark metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate the full-scale tables instead with:
+//
+//	go run ./cmd/passbench
+package pass_test
+
+import (
+	"testing"
+
+	"pass/internal/harness"
+)
+
+// benchScale keeps each iteration in benchmark territory; cmd/passbench
+// runs the full scale for EXPERIMENTS.md.
+const benchScale = 0.1
+
+// runExperiment executes one experiment b.N times and surfaces selected
+// findings as benchmark metrics.
+func runExperiment(b *testing.B, id string, metricNames ...string) {
+	b.Helper()
+	exp, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	r := harness.NewRunner(benchScale)
+	var last *harness.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	for _, name := range metricNames {
+		b.ReportMetric(last.Finding(name), name)
+	}
+}
+
+// BenchmarkE1Granularity regenerates the indexing-granularity table (§II):
+// per-tuple vs tuple-set indexing cost.
+func BenchmarkE1Granularity(b *testing.B) {
+	runExperiment(b, "E1", "entry_ratio_1_vs_1000")
+}
+
+// BenchmarkE2Naming regenerates the filenames-vs-provenance table (§II-A):
+// recall collapse for attributes a filename cannot express.
+func BenchmarkE2Naming(b *testing.B) {
+	runExperiment(b, "E2", "file_recall_sensor-id", "pass_recall_sensor-id")
+}
+
+// BenchmarkE3IndexStructures regenerates the flat-scan-vs-index table
+// (§II-B).
+func BenchmarkE3IndexStructures(b *testing.B) {
+	runExperiment(b, "E3")
+}
+
+// BenchmarkE4TransitiveClosure regenerates the closure table (§III-B/D):
+// naive BFS vs memoized closure across DAG shapes.
+func BenchmarkE4TransitiveClosure(b *testing.B) {
+	runExperiment(b, "E4", "warm_speedup_chain-16")
+}
+
+// BenchmarkE5UpdateScalability regenerates the publish-scalability table
+// (§IV) across all seven architecture models.
+func BenchmarkE5UpdateScalability(b *testing.B) {
+	runExperiment(b, "E5", "wan_central_16", "wan_passnet_16", "wan_dht_16")
+}
+
+// BenchmarkE6Locality regenerates the locality table (§III-D, §IV-C):
+// Boston consumer querying Boston data under each architecture.
+func BenchmarkE6Locality(b *testing.B) {
+	runExperiment(b, "E6", "qms_passnet", "qms_central", "qms_dht")
+}
+
+// BenchmarkE7SoftStateStaleness regenerates the staleness table (§IV-B):
+// recall vs refresh period.
+func BenchmarkE7SoftStateStaleness(b *testing.B) {
+	runExperiment(b, "E7", "recall_p1", "recall_p16")
+}
+
+// BenchmarkE8HierarchyOrdering regenerates the significance-ordering table
+// (§IV-B): primary vs secondary attribute fan-out.
+func BenchmarkE8HierarchyOrdering(b *testing.B) {
+	runExperiment(b, "E8", "fanout_primary", "fanout_secondary")
+}
+
+// BenchmarkE9DHTUpdates regenerates the DHT update-load table (§IV-C).
+func BenchmarkE9DHTUpdates(b *testing.B) {
+	runExperiment(b, "E9", "pubmsgs_n8_a2", "pubmsgs_n8_a6", "hops_n32_a2")
+}
+
+// BenchmarkE10Recovery regenerates the crash-recovery table (§IV
+// Reliability): WAL replay time and consistency audits.
+func BenchmarkE10Recovery(b *testing.B) {
+	runExperiment(b, "E10")
+}
+
+// BenchmarkE11DistributedClosure regenerates the distributed-closure table
+// (§V): ancestry queries across merged PASS sites.
+func BenchmarkE11DistributedClosure(b *testing.B) {
+	runExperiment(b, "E11", "msgs_passnet_span4", "msgs_dht_span4")
+}
+
+// BenchmarkE12PASSProperties regenerates the P1–P4 property table (§V).
+func BenchmarkE12PASSProperties(b *testing.B) {
+	runExperiment(b, "E12", "p3_collisions", "gc_us_per_record")
+}
+
+// BenchmarkE13ResourceCrossover regenerates the resource-consumption
+// crossover table (§IV): central vs distributed WAN bytes as the
+// query:update ratio sweeps.
+func BenchmarkE13ResourceCrossover(b *testing.B) {
+	runExperiment(b, "E13")
+}

@@ -1,0 +1,68 @@
+// Command passbench runs the reproduction's experiment suite (E1–E13) and
+// prints the result tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	passbench [-run E5,E7] [-scale 1.0]
+//
+// Each experiment maps to one claim of the paper (see DESIGN.md §4). The
+// default scale (1.0) is the EXPERIMENTS.md configuration; smaller scales
+// run proportionally smaller workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pass/internal/harness"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	flag.Parse()
+
+	runner := harness.NewRunner(harness.Scale(*scale))
+
+	var selected []harness.Experiment
+	if *runList == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			exp, ok := harness.Lookup(strings.ToUpper(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "passbench: unknown experiment %q\n", id)
+				fmt.Fprintf(os.Stderr, "available:")
+				for _, e := range harness.All() {
+					fmt.Fprintf(os.Stderr, " %s", e.ID)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(2)
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	fmt.Printf("PASS reproduction experiment suite (scale %.2f)\n", *scale)
+	fmt.Printf("paper: Provenance-Aware Sensor Data Storage, NetDB/ICDE 2005\n\n")
+
+	failed := false
+	for _, exp := range selected {
+		start := time.Now()
+		res, err := exp.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", exp.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

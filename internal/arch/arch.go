@@ -1,0 +1,243 @@
+// Package arch defines the common contract for the storage/indexing
+// architecture models of Section IV — centralized warehouse, distributed
+// database, federated database, soft-state metadata service, hierarchical
+// namespace, DHT, and the paper's proposed distributed PASS — plus the
+// in-memory site store they all build on.
+//
+// Every model runs over a netsim.Network, which accounts every byte and
+// message; model methods return the *simulated* latency along the
+// operation's critical path. The experiment harness compares models on
+// exactly the paper's criteria: scalability (throughput vs sites),
+// speed (latency), resource consumption (WAN bytes), query result
+// quality (recall under staleness), and locality.
+package arch
+
+import (
+	"sort"
+	"time"
+
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// Pub is one published unit of provenance metadata: a tuple set's record,
+// produced at Origin. Models index metadata only — payloads stay at the
+// producing site in every architecture (Section IV-A: "the warehouse
+// would not store actual sensor data").
+type Pub struct {
+	ID     provenance.ID
+	Rec    *provenance.Record
+	Origin netsim.SiteID
+}
+
+// WireSize returns the record's metadata size on the wire.
+func (p Pub) WireSize() int { return len(p.Rec.Encode()) }
+
+// Model is the contract every Section IV architecture implements.
+type Model interface {
+	// Name identifies the model in result tables.
+	Name() string
+	// Publish registers metadata produced at p.Origin and returns the
+	// simulated latency until the publish is acknowledged.
+	Publish(p Pub) (time.Duration, error)
+	// Lookup retrieves a record by exact ID on behalf of a querier site.
+	Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error)
+	// QueryAttr returns the IDs of records carrying exactly (key, value).
+	QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error)
+	// QueryAncestors returns the transitive ancestors of id.
+	QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error)
+	// Tick advances one maintenance round (soft-state refresh, digest
+	// gossip, DHT republish). Models without periodic work return nil.
+	Tick() error
+}
+
+// Request/response wire-size model, shared across architectures so byte
+// comparisons are apples-to-apples.
+const (
+	// ReqOverhead covers a request header (op, key material).
+	ReqOverhead = 64
+	// RespOverhead covers a response header.
+	RespOverhead = 32
+	// IDWire is the wire size of one record ID.
+	IDWire = 32
+	// AckWire is a small acknowledgement.
+	AckWire = 16
+)
+
+// AttrReqSize sizes an attribute-query request.
+func AttrReqSize(key string, value provenance.Value) int {
+	return ReqOverhead + len(key) + len(value.Canonical())
+}
+
+// IDListRespSize sizes a response carrying n record IDs.
+func IDListRespSize(n int) int { return RespOverhead + n*IDWire }
+
+// SiteStore is the in-memory metadata store one site (or server, or DHT
+// node, or warehouse) runs. It mirrors the local PASS index structures —
+// inverted attribute postings and bidirectional ancestry — without the
+// on-disk substrate, which the architecture experiments do not measure.
+type SiteStore struct {
+	recs     map[provenance.ID]*provenance.Record
+	attr     map[string][]provenance.ID // attrMapKey -> postings
+	children map[provenance.ID][]provenance.ID
+}
+
+// NewSiteStore returns an empty site store.
+func NewSiteStore() *SiteStore {
+	return &SiteStore{
+		recs:     make(map[provenance.ID]*provenance.Record),
+		attr:     make(map[string][]provenance.ID),
+		children: make(map[provenance.ID][]provenance.ID),
+	}
+}
+
+// attrMapKey builds the postings map key for (key, value).
+func attrMapKey(key string, value provenance.Value) string {
+	return key + "\x00" + string(value.Canonical())
+}
+
+// QueriableAttrs returns every attribute a model must index and publish
+// for the record: the record's own attributes plus the synthetic type and
+// tool attributes, mirroring the local PASS index (package index). All
+// models use this list so their per-attribute publication costs are
+// comparable.
+func QueriableAttrs(rec *provenance.Record) []provenance.Attribute {
+	out := make([]provenance.Attribute, 0, len(rec.Attributes)+2)
+	out = append(out, rec.Attributes...)
+	out = append(out, provenance.Attr("~type", provenance.String(rec.Type.String())))
+	if rec.Tool != "" {
+		out = append(out, provenance.Attr("~tool", provenance.String(rec.Tool)))
+	}
+	return out
+}
+
+// Add indexes a record. Re-adding the same ID is a no-op.
+func (st *SiteStore) Add(id provenance.ID, rec *provenance.Record) {
+	if _, ok := st.recs[id]; ok {
+		return
+	}
+	st.recs[id] = rec
+	for _, a := range QueriableAttrs(rec) {
+		k := attrMapKey(a.Key, a.Value)
+		st.attr[k] = append(st.attr[k], id)
+	}
+	for _, p := range rec.Parents {
+		st.children[p] = append(st.children[p], id)
+	}
+}
+
+// Get returns the record for id.
+func (st *SiteStore) Get(id provenance.ID) (*provenance.Record, bool) {
+	r, ok := st.recs[id]
+	return r, ok
+}
+
+// Len returns the number of records held.
+func (st *SiteStore) Len() int { return len(st.recs) }
+
+// LookupAttr returns the postings for (key, value).
+func (st *SiteStore) LookupAttr(key string, value provenance.Value) []provenance.ID {
+	return st.attr[attrMapKey(key, value)]
+}
+
+// Parents returns the direct parents of id (empty if unknown).
+func (st *SiteStore) Parents(id provenance.ID) []provenance.ID {
+	if r, ok := st.recs[id]; ok {
+		return r.Parents
+	}
+	return nil
+}
+
+// Children returns the direct children of id.
+func (st *SiteStore) Children(id provenance.ID) []provenance.ID {
+	return st.children[id]
+}
+
+// LocalAncestors walks ancestry as far as this store's records reach,
+// starting from the given frontier. It returns every ancestor found
+// locally plus the unresolved parent IDs whose records live elsewhere.
+// This server-side traversal is what lets distributed PASS resolve long
+// same-site lineage chains in a single round trip (experiment E11).
+func (st *SiteStore) LocalAncestors(frontier []provenance.ID) (found, unresolved []provenance.ID) {
+	visited := make(map[provenance.ID]struct{})
+	var stack []provenance.ID
+	for _, id := range frontier {
+		if rec, ok := st.recs[id]; ok {
+			stack = append(stack, rec.Parents...)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, seen := visited[cur]; seen {
+			continue
+		}
+		visited[cur] = struct{}{}
+		rec, ok := st.recs[cur]
+		if !ok {
+			unresolved = append(unresolved, cur)
+			continue
+		}
+		found = append(found, cur)
+		stack = append(stack, rec.Parents...)
+	}
+	return found, unresolved
+}
+
+// IDs returns all record IDs in deterministic order (tests).
+func (st *SiteStore) IDs() []provenance.ID {
+	out := make([]provenance.ID, 0, len(st.recs))
+	for id := range st.recs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for b := 0; b < len(out[i]); b++ {
+			if out[i][b] != out[j][b] {
+				return out[i][b] < out[j][b]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Rand is a tiny deterministic PRNG (xorshift*) shared by models that
+// need reproducible placement or corruption decisions.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator (0 seed is fixed up internally).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Next returns the next pseudorandom value.
+func (r *Rand) Next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// MaxDuration returns the larger duration.
+func MaxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

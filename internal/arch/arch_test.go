@@ -1,0 +1,212 @@
+package arch
+
+import (
+	"testing"
+	"time"
+
+	"pass/internal/provenance"
+)
+
+func digestOf(b byte) (d [32]byte) {
+	for i := range d {
+		d[i] = b
+	}
+	return
+}
+
+func mkRaw(t *testing.T, seed byte, attrs ...provenance.Attribute) (provenance.ID, *provenance.Record) {
+	t.Helper()
+	rec, id, err := provenance.NewRaw(digestOf(seed), int64(seed)).Attrs(attrs...).CreatedAt(int64(seed)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id, rec
+}
+
+func mkDerived(t *testing.T, seed byte, parents ...provenance.ID) (provenance.ID, *provenance.Record) {
+	t.Helper()
+	rec, id, err := provenance.NewDerived(digestOf(seed), int64(seed), "tool", "1", parents...).CreatedAt(int64(seed)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id, rec
+}
+
+func TestSiteStoreAddGetIdempotent(t *testing.T) {
+	st := NewSiteStore()
+	id, rec := mkRaw(t, 1, provenance.Attr("k", provenance.String("v")))
+	st.Add(id, rec)
+	st.Add(id, rec) // idempotent
+	if st.Len() != 1 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	got, ok := st.Get(id)
+	if !ok || got != rec {
+		t.Fatal("get failed")
+	}
+	if _, ok := st.Get(provenance.ID(digestOf(9))); ok {
+		t.Fatal("found missing record")
+	}
+	// Postings not duplicated by the second Add.
+	if n := len(st.LookupAttr("k", provenance.String("v"))); n != 1 {
+		t.Fatalf("postings = %d", n)
+	}
+}
+
+func TestSiteStoreAttrAndAncestry(t *testing.T) {
+	st := NewSiteStore()
+	a, recA := mkRaw(t, 1, provenance.Attr("zone", provenance.String("boston")))
+	b, recB := mkDerived(t, 2, a)
+	st.Add(a, recA)
+	st.Add(b, recB)
+
+	if got := st.LookupAttr("zone", provenance.String("boston")); len(got) != 1 || got[0] != a {
+		t.Fatalf("attr lookup = %v", got)
+	}
+	// Synthetic attributes indexed too.
+	if got := st.LookupAttr("~type", provenance.String("derived")); len(got) != 1 || got[0] != b {
+		t.Fatalf("~type lookup = %v", got)
+	}
+	if got := st.LookupAttr("~tool", provenance.String("tool")); len(got) != 1 {
+		t.Fatalf("~tool lookup = %v", got)
+	}
+	if got := st.Children(a); len(got) != 1 || got[0] != b {
+		t.Fatalf("children = %v", got)
+	}
+	if got := st.Parents(b); len(got) != 1 || got[0] != a {
+		t.Fatalf("parents = %v", got)
+	}
+	if got := st.Parents(provenance.ID(digestOf(8))); got != nil {
+		t.Fatal("parents of unknown record")
+	}
+}
+
+func TestLocalAncestorsResolvesLocalSubDAG(t *testing.T) {
+	st := NewSiteStore()
+	// a <- b <- c all local; c <- d where d's record is elsewhere.
+	a, recA := mkRaw(t, 1)
+	b, recB := mkDerived(t, 2, a)
+	remote := provenance.ID(digestOf(77)) // not added to this store
+	c, recC := func() (provenance.ID, *provenance.Record) {
+		rec, id, err := provenance.NewDerived(digestOf(3), 3, "t", "1", b, remote).CreatedAt(3).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id, rec
+	}()
+	st.Add(a, recA)
+	st.Add(b, recB)
+	st.Add(c, recC)
+
+	found, unresolved := st.LocalAncestors([]provenance.ID{c})
+	if len(found) != 2 { // a and b
+		t.Fatalf("found %d local ancestors, want 2", len(found))
+	}
+	if len(unresolved) != 1 || unresolved[0] != remote {
+		t.Fatalf("unresolved = %v", unresolved)
+	}
+	// Unknown frontier entries are ignored (no panic, nothing found).
+	found, unresolved = st.LocalAncestors([]provenance.ID{provenance.ID(digestOf(99))})
+	if len(found) != 0 || len(unresolved) != 0 {
+		t.Fatalf("unknown frontier: %v, %v", found, unresolved)
+	}
+}
+
+func TestQueriableAttrs(t *testing.T) {
+	_, raw := mkRaw(t, 1, provenance.Attr("k", provenance.String("v")))
+	attrs := QueriableAttrs(raw)
+	// Original + ~type (raw has no tool).
+	if len(attrs) != 2 {
+		t.Fatalf("raw queriable attrs = %d, want 2", len(attrs))
+	}
+	a, _ := mkRaw(t, 2)
+	_, der := mkDerived(t, 3, a)
+	attrs = QueriableAttrs(der)
+	// ~type + ~tool.
+	if len(attrs) != 2 {
+		t.Fatalf("derived queriable attrs = %d, want 2", len(attrs))
+	}
+	hasTool := false
+	for _, at := range attrs {
+		if at.Key == "~tool" && at.Value.Str == "tool" {
+			hasTool = true
+		}
+	}
+	if !hasTool {
+		t.Fatal("~tool missing")
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	if AttrReqSize("zone", provenance.String("boston")) <= ReqOverhead {
+		t.Fatal("attr request size does not include payload")
+	}
+	if IDListRespSize(10) != RespOverhead+10*IDWire {
+		t.Fatal("response size arithmetic wrong")
+	}
+	_, rec := mkRaw(t, 1, provenance.Attr("k", provenance.String("v")))
+	p := Pub{Rec: rec}
+	if p.WireSize() != len(rec.Encode()) {
+		t.Fatal("pub wire size != record encoding")
+	}
+}
+
+func TestIDsDeterministic(t *testing.T) {
+	st := NewSiteStore()
+	for i := byte(1); i <= 10; i++ {
+		id, rec := mkRaw(t, i)
+		st.Add(id, rec)
+	}
+	a := st.IDs()
+	b := st.IDs()
+	if len(a) != 10 {
+		t.Fatalf("ids = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("IDs() not deterministic")
+		}
+		if i > 0 && !less(a[i-1], a[i]) {
+			t.Fatal("IDs() not sorted")
+		}
+	}
+}
+
+func less(a, b provenance.ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestRandDeterminismAndRanges(t *testing.T) {
+	r1, r2 := NewRand(5), NewRand(5)
+	for i := 0; i < 100; i++ {
+		if r1.Next() != r2.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	r := NewRand(0) // remapped internally
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		if n := r.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn = %d", n)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-3) != 0 {
+		t.Fatal("degenerate Intn")
+	}
+}
+
+func TestMaxDuration(t *testing.T) {
+	if MaxDuration(time.Second, time.Minute) != time.Minute {
+		t.Fatal("max wrong")
+	}
+	if MaxDuration(time.Minute, time.Second) != time.Minute {
+		t.Fatal("max wrong (reversed)")
+	}
+}

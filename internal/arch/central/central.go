@@ -1,0 +1,149 @@
+// Package central implements Section IV-A's centralized model: "provenance
+// metadata is sent to some central data warehouse, where it is examined
+// and indexed; query processing is then done within the warehouse."
+//
+// Strengths the paper concedes: speed, simplicity, effective recursive
+// queries (the whole ancestry graph sits in one place). Weaknesses it
+// predicts, which the experiments measure:
+//
+//   - every publish crosses the WAN to the warehouse, so ingest bytes and
+//     warehouse load grow with the total sensor update rate (E5);
+//   - queries from anywhere pay the round trip to the warehouse even when
+//     producer and consumer share a zone (E6);
+//   - "when the index is only loosely coupled to the actual data there is
+//     a risk of inconsistencies creeping in: the linkage back from the
+//     index to the data might break" — modelled by CorruptLinks, which
+//     makes a fraction of index entries dangle (E13's quality column).
+package central
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// ErrDanglingLink reports an index entry whose back-link to the data has
+// broken (loose coupling).
+var ErrDanglingLink = errors.New("central: index entry dangles (loose coupling)")
+
+// Model is the centralized warehouse.
+type Model struct {
+	mu        sync.Mutex
+	net       *netsim.Network
+	warehouse netsim.SiteID
+	store     *arch.SiteStore
+	dangling  map[provenance.ID]bool
+	rng       *arch.Rand
+}
+
+// New builds a centralized model with its index at warehouse.
+func New(net *netsim.Network, warehouse netsim.SiteID) *Model {
+	return &Model{
+		net:       net,
+		warehouse: warehouse,
+		store:     arch.NewSiteStore(),
+		dangling:  make(map[provenance.ID]bool),
+		rng:       arch.NewRand(1),
+	}
+}
+
+// Name implements arch.Model.
+func (m *Model) Name() string { return "central" }
+
+// Publish ships the metadata to the warehouse and waits for the ack.
+func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
+	d1, err := m.net.Send(p.Origin, m.warehouse, p.WireSize())
+	if err != nil {
+		return 0, err
+	}
+	d2, err := m.net.Send(m.warehouse, p.Origin, arch.AckWire)
+	if err != nil {
+		return d1, err
+	}
+	m.mu.Lock()
+	m.store.Add(p.ID, p.Rec)
+	m.mu.Unlock()
+	return d1 + d2, nil
+}
+
+// Lookup fetches a record from the warehouse.
+func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
+	m.mu.Lock()
+	rec, ok := m.store.Get(id)
+	dangle := m.dangling[id]
+	m.mu.Unlock()
+	respSize := arch.RespOverhead
+	if ok {
+		respSize += len(rec.Encode())
+	}
+	d, err := m.net.Call(from, m.warehouse, arch.ReqOverhead+arch.IDWire, respSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, d, fmt.Errorf("central: %s not indexed", id.Short())
+	}
+	if dangle {
+		return nil, d, fmt.Errorf("%w: %s", ErrDanglingLink, id.Short())
+	}
+	return rec, d, nil
+}
+
+// QueryAttr answers an attribute query at the warehouse. Dangling entries
+// are returned (the warehouse cannot know they broke), so precision
+// degrades under loose coupling — measured by E13's quality audit.
+func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
+	m.mu.Lock()
+	ids := append([]provenance.ID(nil), m.store.LookupAttr(key, value)...)
+	m.mu.Unlock()
+	d, err := m.net.Call(from, m.warehouse, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return ids, d, nil
+}
+
+// QueryAncestors computes the closure entirely inside the warehouse: one
+// round trip, arbitrarily deep. This is the centralized model's genuine
+// strength ("centralized setups are also as likely as any to be able to
+// handle recursive queries").
+func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error) {
+	m.mu.Lock()
+	found, _ := m.store.LocalAncestors([]provenance.ID{id})
+	m.mu.Unlock()
+	d, err := m.net.Call(from, m.warehouse, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(found)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return found, d, nil
+}
+
+// Tick implements arch.Model; the warehouse has no periodic work.
+func (m *Model) Tick() error { return nil }
+
+// CorruptLinks breaks the data back-link of the given fraction of indexed
+// records (loose-coupling failure injection) and returns how many broke.
+func (m *Model) CorruptLinks(fraction float64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, id := range m.store.IDs() {
+		if m.rng.Float64() < fraction {
+			m.dangling[id] = true
+			n++
+		}
+	}
+	return n
+}
+
+// IndexedRecords returns the warehouse record count.
+func (m *Model) IndexedRecords() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.Len()
+}

@@ -1,0 +1,98 @@
+package central
+
+import (
+	"errors"
+	"testing"
+
+	"pass/internal/arch"
+	"pass/internal/arch/archtest"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func TestConformance(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites[0])
+		},
+	})
+}
+
+func TestEveryPublishCrossesToWarehouse(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites[0]) // warehouse in boston
+	// Publishing from london must generate WAN traffic.
+	before := net.Stats().WANBytes
+	if _, err := m.Publish(archtest.PubAt(1, sites[2])); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().WANBytes <= before {
+		t.Fatal("london publish generated no WAN bytes")
+	}
+	if m.IndexedRecords() != 1 {
+		t.Fatalf("indexed = %d", m.IndexedRecords())
+	}
+}
+
+func TestLocalQueryStillPaysWarehouseTrip(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites[0])
+	// Producer and consumer both in london; warehouse in boston.
+	if _, err := m.Publish(archtest.PubAt(1, sites[2],
+		provenance.Attr("zone", provenance.String("london")))); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetStats()
+	_, _, err := m.QueryAttr(sites[3], "zone", provenance.String("london"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().WANBytes == 0 {
+		t.Fatal("zone-local query should still cross the WAN to the warehouse")
+	}
+}
+
+func TestCorruptLinksBreaksLookups(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites[0])
+	var ids []provenance.ID
+	for i := byte(1); i <= 20; i++ {
+		p := archtest.PubAt(i, sites[0])
+		if _, err := m.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	broke := m.CorruptLinks(1.0)
+	if broke != 20 {
+		t.Fatalf("broke %d links, want 20", broke)
+	}
+	for _, id := range ids {
+		if _, _, err := m.Lookup(sites[1], id); !errors.Is(err, ErrDanglingLink) {
+			t.Fatalf("lookup of corrupted link: %v", err)
+		}
+	}
+	// Attribute queries still return the (now dangling) IDs: precision loss.
+	got, _, err := m.QueryAttr(sites[1], "~type", provenance.String("raw"))
+	if err != nil || len(got) != 20 {
+		t.Fatalf("postings after corruption = %d, %v", len(got), err)
+	}
+}
+
+func TestCorruptLinksZeroFraction(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites[0])
+	m.Publish(archtest.PubAt(1, sites[0]))
+	if n := m.CorruptLinks(0); n != 0 {
+		t.Fatalf("corrupted %d with fraction 0", n)
+	}
+}
+
+func TestWarehouseDownFailsPublish(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites[0])
+	net.Fail(sites[0])
+	if _, err := m.Publish(archtest.PubAt(1, sites[2])); err == nil {
+		t.Fatal("publish to failed warehouse succeeded")
+	}
+}

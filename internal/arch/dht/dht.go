@@ -1,0 +1,298 @@
+// Package dht implements Section IV-C's distributed-and-unstable model: a
+// Chord-style distributed hash table with consistent hashing and
+// finger-table routing. Records are stored at the successor of their
+// hashed ID; every queriable attribute posting is stored at the successor
+// of the hashed (key, value) pair.
+//
+// The paper's four objections, made measurable:
+//
+//  1. "storing data objects by hashing a key inherently assumes that the
+//     location of these objects is unimportant" — record homes are random
+//     sites, so a consumer next door to the producer still pays WAN round
+//     trips (E6, the Pier observation);
+//  2. "periodic updates of distinct queriable attributes to DHTs scale to
+//     only tens of thousands of updaters" — RepublishAll models the
+//     periodic re-publication soft-state DHTs require; per-node load
+//     grows with updaters × attributes (E9);
+//  3. routing costs O(log n) hops per lookup, each a real message;
+//  4. "support for efficient recursive queries is so far nonexistent" —
+//     ancestry resolution is one full DHT lookup per visited record.
+package dht
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// Model is the Chord-style DHT.
+type Model struct {
+	mu    sync.Mutex
+	net   *netsim.Network
+	nodes []node // sorted by ring position
+	// stores[i] belongs to nodes[i].
+	stores []*arch.SiteStore
+	// published remembers everything for republish rounds.
+	published []arch.Pub
+	// hopsTotal / lookups track routing cost.
+	hopsTotal int64
+	lookups   int64
+}
+
+type node struct {
+	site netsim.SiteID
+	pos  uint64 // ring position
+}
+
+// New builds a DHT whose participants are the given sites.
+func New(net *netsim.Network, sites []netsim.SiteID) *Model {
+	m := &Model{net: net}
+	for _, s := range sites {
+		m.nodes = append(m.nodes, node{site: s, pos: ringPosOfSite(s)})
+	}
+	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i].pos < m.nodes[j].pos })
+	m.stores = make([]*arch.SiteStore, len(m.nodes))
+	for i := range m.stores {
+		m.stores[i] = arch.NewSiteStore()
+	}
+	return m
+}
+
+// Name implements arch.Model.
+func (m *Model) Name() string { return "dht" }
+
+func ringPosOfSite(s netsim.SiteID) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(s)+0x5851F42D4C957F2D)
+	h := sha256.Sum256(buf[:])
+	return binary.LittleEndian.Uint64(h[:8])
+}
+
+func ringPos(b []byte) uint64 {
+	h := sha256.Sum256(b)
+	return binary.LittleEndian.Uint64(h[:8])
+}
+
+// successorIdx returns the index of the first node clockwise from pos.
+func (m *Model) successorIdx(pos uint64) int {
+	i := sort.Search(len(m.nodes), func(i int) bool { return m.nodes[i].pos >= pos })
+	if i == len(m.nodes) {
+		return 0
+	}
+	return i
+}
+
+// route simulates Chord finger-table routing from one site toward the
+// home of pos: each hop halves the remaining clockwise distance, charging
+// one network message per hop. It returns the home node index, the
+// accumulated latency, and the hop count.
+func (m *Model) route(from netsim.SiteID, pos uint64, msgSize int) (int, time.Duration, int, error) {
+	homeIdx := m.successorIdx(pos)
+	// Current position on the ring = the node owning the querier's hash;
+	// route by jumping fingers: each finger jump moves to the successor
+	// of cur + 2^k for the largest useful k — equivalent to halving the
+	// clockwise gap. We simulate the standard O(log n) path.
+	curIdx := m.successorIdx(ringPosOfSite(from))
+	var total time.Duration
+	hops := 0
+	curSite := from
+	for curIdx != homeIdx {
+		gap := m.nodes[homeIdx].pos - m.nodes[curIdx].pos // modular arithmetic via uint64 wraparound
+		// Largest power-of-two jump not exceeding the gap.
+		jump := uint64(1) << 63
+		for jump > gap && jump > 1 {
+			jump >>= 1
+		}
+		nextIdx := m.successorIdx(m.nodes[curIdx].pos + jump)
+		if nextIdx == curIdx {
+			nextIdx = (curIdx + 1) % len(m.nodes) // guarantee progress
+		}
+		d, err := m.net.Send(curSite, m.nodes[nextIdx].site, msgSize)
+		if err != nil {
+			return 0, total, hops, err
+		}
+		total += d
+		hops++
+		curSite = m.nodes[nextIdx].site
+		curIdx = nextIdx
+		if hops > len(m.nodes)+64 {
+			return 0, total, hops, fmt.Errorf("dht: routing did not converge")
+		}
+	}
+	m.mu.Lock()
+	m.hopsTotal += int64(hops)
+	m.lookups++
+	m.mu.Unlock()
+	return homeIdx, total, hops, nil
+}
+
+// Publish routes the record to successor(hash(id)) and one posting per
+// attribute to successor(hash(key,value)); the "distinct queriable
+// attributes" cost of Section IV-C.
+func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
+	d, err := m.publishOnce(p)
+	if err != nil {
+		return d, err
+	}
+	m.mu.Lock()
+	m.published = append(m.published, p)
+	m.mu.Unlock()
+	return d, nil
+}
+
+func (m *Model) publishOnce(p arch.Pub) (time.Duration, error) {
+	homeIdx, d1, _, err := m.route(p.Origin, ringPos(p.ID[:]), p.WireSize())
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	m.stores[homeIdx].Add(p.ID, p.Rec)
+	m.mu.Unlock()
+	// Ack straight back.
+	dAck, err := m.net.Send(m.nodes[homeIdx].site, p.Origin, arch.AckWire)
+	if err != nil {
+		return d1, err
+	}
+	total := d1 + dAck
+	// Attribute postings, routed independently (parallel; max latency).
+	var attrMax time.Duration
+	seen := make(map[string]struct{})
+	for _, a := range arch.QueriableAttrs(p.Rec) {
+		mk := a.Key + "\x00" + string(a.Value.Canonical())
+		if _, dup := seen[mk]; dup {
+			continue
+		}
+		seen[mk] = struct{}{}
+		idx, d, _, err := m.route(p.Origin, ringPos([]byte(mk)), arch.ReqOverhead+len(mk)+arch.IDWire)
+		if err != nil {
+			return total, err
+		}
+		m.mu.Lock()
+		m.stores[idx].Add(p.ID, p.Rec)
+		m.mu.Unlock()
+		attrMax = arch.MaxDuration(attrMax, d)
+	}
+	return total + attrMax, nil
+}
+
+// Lookup routes to the record's home and returns it.
+func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
+	homeIdx, d1, _, err := m.route(from, ringPos(id[:]), arch.ReqOverhead+arch.IDWire)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.mu.Lock()
+	rec, ok := m.stores[homeIdx].Get(id)
+	m.mu.Unlock()
+	respSize := arch.RespOverhead
+	if ok {
+		respSize += len(rec.Encode())
+	}
+	d2, err := m.net.Send(m.nodes[homeIdx].site, from, respSize)
+	if err != nil {
+		return nil, d1, err
+	}
+	if !ok {
+		return nil, d1 + d2, fmt.Errorf("dht: %s not found", id.Short())
+	}
+	return rec, d1 + d2, nil
+}
+
+// QueryAttr routes to the attribute's home node.
+func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
+	mk := key + "\x00" + string(value.Canonical())
+	homeIdx, d1, _, err := m.route(from, ringPos([]byte(mk)), arch.AttrReqSize(key, value))
+	if err != nil {
+		return nil, 0, err
+	}
+	m.mu.Lock()
+	ids := append([]provenance.ID(nil), m.stores[homeIdx].LookupAttr(key, value)...)
+	m.mu.Unlock()
+	d2, err := m.net.Send(m.nodes[homeIdx].site, from, arch.IDListRespSize(len(ids)))
+	if err != nil {
+		return nil, d1, err
+	}
+	return ids, d1 + d2, nil
+}
+
+// QueryAncestors performs one full DHT lookup per visited record: "support
+// for efficient recursive queries is so far nonexistent."
+func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error) {
+	var total time.Duration
+	visited := make(map[provenance.ID]struct{})
+	var out []provenance.ID
+	frontier := []provenance.ID{id}
+	for len(frontier) > 0 {
+		var next []provenance.ID
+		for _, cur := range frontier {
+			rec, d, err := m.Lookup(from, cur)
+			total += d
+			if err != nil {
+				if cur == id {
+					return nil, total, err
+				}
+				continue
+			}
+			for _, parent := range rec.Parents {
+				if _, seen := visited[parent]; seen {
+					continue
+				}
+				visited[parent] = struct{}{}
+				out = append(out, parent)
+				next = append(next, parent)
+			}
+		}
+		frontier = next
+	}
+	return out, total, nil
+}
+
+// Tick runs one republish round: every published record's postings are
+// pushed again (DHT soft state decays without refresh). This is the
+// update load that Section IV-C says scales to only tens of thousands of
+// updaters.
+func (m *Model) Tick() error {
+	m.mu.Lock()
+	pubs := append([]arch.Pub(nil), m.published...)
+	m.mu.Unlock()
+	for _, p := range pubs {
+		if _, err := m.publishOnce(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AvgHops reports the mean routing hops per lookup so far.
+func (m *Model) AvgHops() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lookups == 0 {
+		return 0
+	}
+	return float64(m.hopsTotal) / float64(m.lookups)
+}
+
+// NodeLoad returns per-node stored record counts (load imbalance and E9's
+// per-node update load proxy).
+func (m *Model) NodeLoad() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, len(m.stores))
+	for i, st := range m.stores {
+		out[i] = st.Len()
+	}
+	return out
+}
+
+// HomeOf exposes record placement (tests: placement ignores locality).
+func (m *Model) HomeOf(id provenance.ID) netsim.SiteID {
+	return m.nodes[m.successorIdx(ringPos(id[:]))].site
+}

@@ -1,0 +1,128 @@
+package dht
+
+import (
+	"testing"
+
+	"pass/internal/arch"
+	"pass/internal/arch/archtest"
+	"pass/internal/geo"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func TestConformance(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites)
+		},
+	})
+}
+
+// bigRing builds an n-node network on a grid.
+func bigRing(n int) (*netsim.Network, []netsim.SiteID, *Model) {
+	net := netsim.New(netsim.Config{})
+	var sites []netsim.SiteID
+	for i := 0; i < n; i++ {
+		sites = append(sites, net.AddSite(
+			siteName(i), geo.Point{X: float64(i % 8 * 100), Y: float64(i / 8 * 100)}, zoneName(i)))
+	}
+	return net, sites, New(net, sites)
+}
+
+func siteName(i int) string { return "node-" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+func zoneName(i int) string { return "zone-" + string(rune('0'+i%8)) }
+
+func TestRoutingHopsLogarithmic(t *testing.T) {
+	_, sites, m := bigRing(64)
+	for i := byte(1); i <= 40; i++ {
+		if _, err := m.Publish(archtest.PubAt(i, sites[int(i)%len(sites)])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := m.AvgHops()
+	// log2(64) = 6; finger routing should stay well under the node count
+	// and above zero.
+	if avg <= 0 || avg > 10 {
+		t.Fatalf("avg hops = %v, want (0, 10] for 64 nodes", avg)
+	}
+}
+
+func TestPlacementIgnoresLocality(t *testing.T) {
+	// Publishing many records from ONE site must scatter them across the
+	// ring (that is the DHT's defining flaw for sensor data).
+	_, sites, m := bigRing(16)
+	homes := make(map[netsim.SiteID]int)
+	for i := byte(1); i <= 60; i++ {
+		p := archtest.PubAt(i, sites[0])
+		if _, err := m.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+		homes[m.HomeOf(p.ID)]++
+	}
+	if len(homes) < 4 {
+		t.Fatalf("records from one site landed on only %d nodes", len(homes))
+	}
+	if homes[sites[0]] == 60 {
+		t.Fatal("all records stayed local — not a DHT")
+	}
+}
+
+func TestRepublishTickCostsGrow(t *testing.T) {
+	net, sites, m := bigRing(8)
+	for i := byte(1); i <= 10; i++ {
+		if _, err := m.Publish(archtest.PubAt(i, sites[0],
+			provenance.Attr("k", provenance.String("v")))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.ResetStats()
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	afterOne := net.Stats().Messages
+	if afterOne == 0 {
+		t.Fatal("republish tick sent nothing")
+	}
+	// Republishing again costs the same again: sustained periodic load.
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().Messages < 2*afterOne-4 {
+		t.Fatalf("second tick cheaper than first: %d vs %d", net.Stats().Messages, afterOne)
+	}
+}
+
+func TestNodeLoadReported(t *testing.T) {
+	_, sites, m := bigRing(8)
+	for i := byte(1); i <= 30; i++ {
+		if _, err := m.Publish(archtest.PubAt(i, sites[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, l := range m.NodeLoad() {
+		total += l
+	}
+	// Each record is stored at its home plus one copy per attribute home
+	// (~type), so total >= 30.
+	if total < 30 {
+		t.Fatalf("total stored = %d, want >= 30", total)
+	}
+}
+
+func TestAncestryPaysLookupPerRecord(t *testing.T) {
+	net, sites, m := bigRing(16)
+	ids := archtest.ChainAt(t, m, sites, 10, 100)
+	net.ResetStats()
+	anc, _, err := m.QueryAncestors(sites[0], ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 9 {
+		t.Fatalf("ancestors = %d, want 9", len(anc))
+	}
+	// 10 lookups, each >= 1 routed message + response.
+	if msgs := net.Stats().Messages; msgs < 20 {
+		t.Fatalf("ancestry used only %d messages", msgs)
+	}
+}

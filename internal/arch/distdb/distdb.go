@@ -1,0 +1,232 @@
+// Package distdb implements Section IV-B's first distributed-but-stable
+// model: the distributed database. Records and attribute postings are
+// hash-partitioned across all sites under one unified schema, and every
+// write runs a synchronous two-phase commit to its partition owner and a
+// replica — the "strong consistency: full transaction semantics" the
+// paper notes "may be overkill for sensor data, given that the provenance
+// index will be effectively append-only."
+//
+// The measurable consequences: each publish costs multiple WAN round
+// trips (2PC to the record's owner and replica, plus one update per
+// attribute partition), and recursive queries degenerate into one remote
+// call per visited record because adjacency is scattered by hash —
+// "they have limited ability to process recursive queries."
+package distdb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// Model is the hash-partitioned distributed database.
+type Model struct {
+	mu       sync.Mutex
+	net      *netsim.Network
+	sites    []netsim.SiteID
+	stores   map[netsim.SiteID]*arch.SiteStore
+	replicas int // synchronous replicas per partition (>=1: owner only)
+}
+
+// New builds a distributed database over the given participant sites.
+// replicas is the number of synchronous copies per record (minimum 1).
+func New(net *netsim.Network, sites []netsim.SiteID, replicas int) *Model {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(sites) {
+		replicas = len(sites)
+	}
+	m := &Model{
+		net:      net,
+		sites:    append([]netsim.SiteID(nil), sites...),
+		stores:   make(map[netsim.SiteID]*arch.SiteStore),
+		replicas: replicas,
+	}
+	for _, s := range sites {
+		m.stores[s] = arch.NewSiteStore()
+	}
+	return m
+}
+
+// Name implements arch.Model.
+func (m *Model) Name() string { return "distdb" }
+
+// ownerOf hashes arbitrary bytes onto a participant.
+func (m *Model) ownerOf(b []byte) netsim.SiteID {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return m.sites[h%uint64(len(m.sites))]
+}
+
+// replicaSet returns the owner and its replicas-1 successors on the site
+// list.
+func (m *Model) replicaSet(b []byte) []netsim.SiteID {
+	owner := m.ownerOf(b)
+	idx := 0
+	for i, s := range m.sites {
+		if s == owner {
+			idx = i
+			break
+		}
+	}
+	out := make([]netsim.SiteID, 0, m.replicas)
+	for i := 0; i < m.replicas; i++ {
+		out = append(out, m.sites[(idx+i)%len(m.sites)])
+	}
+	return out
+}
+
+// twoPhaseCommit charges prepare+vote+commit+ack to every participant and
+// applies fn under the lock. Latency is the slowest participant's two
+// round trips (phases are parallel across participants, sequential
+// between phases).
+func (m *Model) twoPhaseCommit(coord netsim.SiteID, parts []netsim.SiteID, payload int, fn func(netsim.SiteID)) (time.Duration, error) {
+	var phase1, phase2 time.Duration
+	for _, p := range parts {
+		d, err := m.net.Call(coord, p, payload, arch.AckWire) // prepare + vote
+		if err != nil {
+			return 0, err
+		}
+		phase1 = arch.MaxDuration(phase1, d)
+	}
+	for _, p := range parts {
+		d, err := m.net.Call(coord, p, arch.AckWire, arch.AckWire) // commit + ack
+		if err != nil {
+			return phase1, err
+		}
+		phase2 = arch.MaxDuration(phase2, d)
+		m.mu.Lock()
+		fn(p)
+		m.mu.Unlock()
+	}
+	return phase1 + phase2, nil
+}
+
+// Publish 2PCs the record to its partition (owner + replicas), then 2PCs
+// each attribute posting to that attribute's partition.
+func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
+	recParts := m.replicaSet(p.ID[:])
+	total, err := m.twoPhaseCommit(p.Origin, recParts, p.WireSize(), func(s netsim.SiteID) {
+		m.stores[s].Add(p.ID, p.Rec)
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Attribute postings live on their own partitions (global secondary
+	// index). Each distinct (key, value) pair is one more 2PC; they
+	// proceed in parallel, so latency takes the max.
+	var attrMax time.Duration
+	seen := make(map[string]struct{})
+	for _, a := range arch.QueriableAttrs(p.Rec) {
+		mk := a.Key + "\x00" + string(a.Value.Canonical())
+		if _, dup := seen[mk]; dup {
+			continue
+		}
+		seen[mk] = struct{}{}
+		parts := m.replicaSet([]byte(mk))
+		id, rec := p.ID, p.Rec
+		d, err := m.twoPhaseCommit(p.Origin, parts, arch.ReqOverhead+len(mk)+arch.IDWire, func(s netsim.SiteID) {
+			m.stores[s].Add(id, rec)
+		})
+		if err != nil {
+			return total, err
+		}
+		attrMax = arch.MaxDuration(attrMax, d)
+	}
+	return total + attrMax, nil
+}
+
+// Lookup routes to the record's partition owner.
+func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
+	owner := m.ownerOf(id[:])
+	m.mu.Lock()
+	rec, ok := m.stores[owner].Get(id)
+	m.mu.Unlock()
+	respSize := arch.RespOverhead
+	if ok {
+		respSize += len(rec.Encode())
+	}
+	d, err := m.net.Call(from, owner, arch.ReqOverhead+arch.IDWire, respSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, d, fmt.Errorf("distdb: %s not found", id.Short())
+	}
+	return rec, d, nil
+}
+
+// QueryAttr routes to the attribute partition, which holds the full
+// postings for that (key, value).
+func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
+	mk := key + "\x00" + string(value.Canonical())
+	owner := m.ownerOf([]byte(mk))
+	m.mu.Lock()
+	ids := append([]provenance.ID(nil), m.stores[owner].LookupAttr(key, value)...)
+	m.mu.Unlock()
+	d, err := m.net.Call(from, owner, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return ids, d, nil
+}
+
+// QueryAncestors chases parent pointers one remote call per record: the
+// hash partitioning scatters adjacency, so no server-side traversal is
+// possible. Latency grows linearly with the closure size (E11).
+func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error) {
+	var total time.Duration
+	visited := make(map[provenance.ID]struct{})
+	var out []provenance.ID
+	frontier := []provenance.ID{id}
+	for len(frontier) > 0 {
+		var next []provenance.ID
+		for _, cur := range frontier {
+			rec, d, err := m.Lookup(from, cur)
+			total += d
+			if err != nil {
+				if cur == id {
+					return nil, total, err
+				}
+				continue // dangling edge: skip
+			}
+			for _, parent := range rec.Parents {
+				if _, seen := visited[parent]; seen {
+					continue
+				}
+				visited[parent] = struct{}{}
+				out = append(out, parent)
+				next = append(next, parent)
+			}
+		}
+		frontier = next
+	}
+	return out, total, nil
+}
+
+// Tick implements arch.Model; the distributed database is synchronous.
+func (m *Model) Tick() error { return nil }
+
+// PartitionOf exposes placement for tests.
+func (m *Model) PartitionOf(id provenance.ID) netsim.SiteID { return m.ownerOf(id[:]) }
+
+// storeCount is used by tests to check replication.
+func (m *Model) ReplicaCount(id provenance.ID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, st := range m.stores {
+		if _, ok := st.Get(id); ok {
+			n++
+		}
+	}
+	return n
+}

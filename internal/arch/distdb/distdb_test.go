@@ -1,0 +1,91 @@
+package distdb
+
+import (
+	"testing"
+
+	"pass/internal/arch"
+	"pass/internal/arch/archtest"
+	"pass/internal/netsim"
+)
+
+func TestConformance(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, 2)
+		},
+	})
+}
+
+func TestSynchronousReplication(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, 3)
+	p := archtest.PubAt(1, sites[0])
+	if _, err := m.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReplicaCount(p.ID); got < 3 {
+		t.Fatalf("replicas = %d, want >= 3", got)
+	}
+}
+
+func TestReplicasClampedToSites(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, 100)
+	if m.replicas != len(sites) {
+		t.Fatalf("replicas = %d, want %d", m.replicas, len(sites))
+	}
+	m2 := New(net, sites, 0)
+	if m2.replicas != 1 {
+		t.Fatalf("replicas = %d, want 1", m2.replicas)
+	}
+}
+
+func TestPublishCostsMultipleRoundTrips(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, 2)
+	net.ResetStats()
+	if _, err := m.Publish(archtest.PubAt(1, sites[0])); err != nil {
+		t.Fatal(err)
+	}
+	// 2PC to 2 record replicas = 2 participants x 4 messages = 8, plus
+	// one 2PC per synthetic attribute partition (~type) = 8 more.
+	if msgs := net.Stats().Messages; msgs < 12 {
+		t.Fatalf("2PC publish used only %d messages", msgs)
+	}
+}
+
+func TestAncestryCostGrowsLinearly(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, 1)
+	ids := archtest.ChainAt(t, m, sites, 12, 50)
+	leaf := ids[len(ids)-1]
+
+	net.ResetStats()
+	anc, _, err := m.QueryAncestors(sites[0], leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 11 {
+		t.Fatalf("ancestors = %d, want 11", len(anc))
+	}
+	// One Lookup round trip (2 messages) per visited record (12 visits).
+	if msgs := net.Stats().Messages; msgs < 24 {
+		t.Fatalf("chain of 12 resolved in %d messages; expected >= 24 (no server-side traversal in a hash-partitioned DB)", msgs)
+	}
+}
+
+func TestPartitioningSpreadsRecords(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, 1)
+	owners := make(map[netsim.SiteID]int)
+	for i := byte(1); i <= 40; i++ {
+		p := archtest.PubAt(i, sites[0])
+		if _, err := m.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+		owners[m.PartitionOf(p.ID)]++
+	}
+	if len(owners) < 2 {
+		t.Fatalf("all records landed on %d partition(s)", len(owners))
+	}
+}

@@ -1,0 +1,187 @@
+// Package feddb implements Section IV-B's second model: the federated
+// database. Each site runs an autonomous store "with its own specific
+// interface, transactions, concurrency, and schema"; a mediator at the
+// querying site provides "the illusion of a unified schema".
+//
+// The trade the paper predicts, made measurable here:
+//
+//   - Publishing is purely local (great ingest scalability and locality —
+//     data stays at the producer);
+//   - every global query must fan out to every component system, and each
+//     component charges a schema-translation delay, so "the fact that the
+//     components are truly disjoint systems may lead to slow access";
+//   - recursive queries hop site to site, translating at each step.
+package feddb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// DefaultTranslation is the per-site schema-translation cost charged on
+// every federated request (wrapper/mediator work).
+const DefaultTranslation = 2 * time.Millisecond
+
+// Model is the federated database.
+type Model struct {
+	mu          sync.Mutex
+	net         *netsim.Network
+	sites       []netsim.SiteID
+	stores      map[netsim.SiteID]*arch.SiteStore
+	origin      map[provenance.ID]netsim.SiteID // which component holds each record
+	translation time.Duration
+}
+
+// New builds a federation over the given autonomous sites. translation
+// <= 0 selects DefaultTranslation.
+func New(net *netsim.Network, sites []netsim.SiteID, translation time.Duration) *Model {
+	if translation <= 0 {
+		translation = DefaultTranslation
+	}
+	m := &Model{
+		net:         net,
+		sites:       append([]netsim.SiteID(nil), sites...),
+		stores:      make(map[netsim.SiteID]*arch.SiteStore),
+		origin:      make(map[provenance.ID]netsim.SiteID),
+		translation: translation,
+	}
+	for _, s := range sites {
+		m.stores[s] = arch.NewSiteStore()
+	}
+	return m
+}
+
+// Name implements arch.Model.
+func (m *Model) Name() string { return "feddb" }
+
+// Publish commits to the producing site's autonomous store: no WAN
+// traffic at all.
+func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
+	st, ok := m.stores[p.Origin]
+	if !ok {
+		return 0, fmt.Errorf("feddb: site %d is not a federation member", p.Origin)
+	}
+	d, err := m.net.Send(p.Origin, p.Origin, p.WireSize()) // loopback commit
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	st.Add(p.ID, p.Rec)
+	m.origin[p.ID] = p.Origin
+	m.mu.Unlock()
+	return d, nil
+}
+
+// Lookup has no global name service: the mediator probes components until
+// one answers. Probe order is the federation's site order, so cost is
+// paid in expectation (≈ n/2 components per miss-heavy workload).
+func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
+	var total time.Duration
+	for _, s := range m.sites {
+		m.mu.Lock()
+		rec, ok := m.stores[s].Get(id)
+		m.mu.Unlock()
+		respSize := arch.RespOverhead
+		if ok {
+			respSize += len(rec.Encode())
+		}
+		d, err := m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, respSize)
+		if err != nil {
+			return nil, total, err
+		}
+		total += d + m.translation
+		if ok {
+			return rec, total, nil
+		}
+	}
+	return nil, total, fmt.Errorf("feddb: %s not found in any component", id.Short())
+}
+
+// QueryAttr fans out to every component, translating the query into each
+// local schema; latency is the slowest component plus translation, and
+// bytes scale with the component count (E5's feddb row).
+func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
+	var slowest time.Duration
+	var out []provenance.ID
+	for _, s := range m.sites {
+		m.mu.Lock()
+		ids := append([]provenance.ID(nil), m.stores[s].LookupAttr(key, value)...)
+		m.mu.Unlock()
+		d, err := m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+		if err != nil {
+			return nil, slowest, err
+		}
+		slowest = arch.MaxDuration(slowest, d+m.translation)
+		out = append(out, ids...)
+	}
+	return out, slowest, nil
+}
+
+// QueryAncestors resolves lineage by server-side traversal within each
+// component, hopping to the next component when an edge crosses a
+// federation boundary. Each hop pays translation.
+func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error) {
+	var total time.Duration
+	found := make(map[provenance.ID]struct{})
+	var out []provenance.ID
+	frontier := []provenance.ID{id}
+	for iter := 0; len(frontier) > 0 && iter <= len(m.sites)*64; iter++ {
+		// Locate a component holding the first frontier record.
+		cur := frontier[0]
+		m.mu.Lock()
+		home, ok := m.origin[cur]
+		m.mu.Unlock()
+		if !ok {
+			// Unknown record (e.g. never published): drop it.
+			frontier = frontier[1:]
+			continue
+		}
+		m.mu.Lock()
+		local, unresolved := m.stores[home].LocalAncestors([]provenance.ID{cur})
+		m.mu.Unlock()
+		d, err := m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(local)+len(unresolved)))
+		if err != nil {
+			return nil, total, err
+		}
+		total += d + m.translation
+		frontier = frontier[1:]
+		if cur != id {
+			// cur is itself an ancestor whose record we just resolved.
+			if _, seen := found[cur]; !seen {
+				found[cur] = struct{}{}
+				out = append(out, cur)
+			}
+		}
+		for _, a := range local {
+			if _, seen := found[a]; !seen {
+				found[a] = struct{}{}
+				out = append(out, a)
+			}
+		}
+		for _, u := range unresolved {
+			if _, seen := found[u]; !seen {
+				frontier = append(frontier, u)
+			}
+		}
+	}
+	return out, total, nil
+}
+
+// Tick implements arch.Model; federation members are autonomous and need
+// no global maintenance.
+func (m *Model) Tick() error { return nil }
+
+// ComponentRecords reports per-site record counts (tests).
+func (m *Model) ComponentRecords(s netsim.SiteID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.stores[s]; ok {
+		return st.Len()
+	}
+	return 0
+}

@@ -1,0 +1,91 @@
+package feddb
+
+import (
+	"testing"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/arch/archtest"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func TestConformance(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, time.Millisecond)
+		},
+	})
+}
+
+func TestPublishIsPurelyLocal(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, 0)
+	net.ResetStats()
+	if _, err := m.Publish(archtest.PubAt(1, sites[2])); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.WANBytes != 0 {
+		t.Fatalf("federated publish crossed the WAN: %d bytes", st.WANBytes)
+	}
+	if m.ComponentRecords(sites[2]) != 1 {
+		t.Fatal("record not stored at producing component")
+	}
+}
+
+func TestQueryFansOutToAllComponents(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, time.Millisecond)
+	if _, err := m.Publish(archtest.PubAt(1, sites[0],
+		provenance.Attr("k", provenance.String("v")))); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetStats()
+	_, d, err := m.QueryAttr(sites[0], "k", provenance.String("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One call per component = 2 messages each.
+	if msgs := net.Stats().Messages; msgs != int64(len(sites)*2) {
+		t.Fatalf("fan-out used %d messages, want %d", msgs, len(sites)*2)
+	}
+	// Latency includes at least one translation delay.
+	if d < time.Millisecond {
+		t.Fatalf("latency %v lacks translation cost", d)
+	}
+}
+
+func TestPublishOutsideFederationFails(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites[:2], 0)
+	if _, err := m.Publish(archtest.PubAt(1, sites[3])); err == nil {
+		t.Fatal("publish from non-member accepted")
+	}
+}
+
+func TestCrossComponentAncestryHops(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, time.Millisecond)
+	ids := archtest.ChainAt(t, m, sites, 8, 40)
+	anc, d, err := m.QueryAncestors(sites[0], ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 7 {
+		t.Fatalf("ancestors = %d, want 7", len(anc))
+	}
+	// Each cross-component hop pays translation; the chain alternates
+	// across 4 sites, so there are several hops.
+	if d < 3*time.Millisecond {
+		t.Fatalf("ancestry latency %v suspiciously low for a cross-component chain", d)
+	}
+}
+
+func TestDefaultTranslationApplied(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, 0)
+	if m.translation != DefaultTranslation {
+		t.Fatalf("translation = %v", m.translation)
+	}
+}

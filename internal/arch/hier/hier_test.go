@@ -1,0 +1,117 @@
+package hier
+
+import (
+	"testing"
+
+	"pass/internal/arch"
+	"pass/internal/arch/archtest"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func mk(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+	m, err := New(net, sites, []string{provenance.KeyZone, provenance.KeySensorClass})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestConformance(t *testing.T) {
+	archtest.Run(t, archtest.Config{Make: mk})
+}
+
+func TestConstructorValidation(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	if _, err := New(net, sites, nil); err == nil {
+		t.Fatal("empty ordering accepted")
+	}
+	if _, err := New(net, nil, []string{"a"}); err == nil {
+		t.Fatal("no servers accepted")
+	}
+}
+
+// seedTwoAttr publishes records tagged (zone, sensor-class) so primary and
+// secondary queries can be contrasted.
+func seedTwoAttr(t *testing.T, m *Model, sites []netsim.SiteID) {
+	t.Helper()
+	zones := []string{"boston", "london", "tokyo", "seattle"}
+	classes := []string{"camera", "magnetometer"}
+	seed := byte(1)
+	for _, z := range zones {
+		for _, c := range classes {
+			p := archtest.PubAt(seed, sites[0],
+				provenance.Attr(provenance.KeyZone, provenance.String(z)),
+				provenance.Attr(provenance.KeySensorClass, provenance.String(c)))
+			if _, err := m.Publish(p); err != nil {
+				t.Fatal(err)
+			}
+			seed++
+		}
+	}
+}
+
+func TestPrimaryQueryTouchesOneServer(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := mk(net, sites).(*Model)
+	seedTwoAttr(t, m, sites)
+
+	got, _, err := m.QueryAttr(sites[0], provenance.KeyZone, provenance.String("boston"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("boston records = %d, want 2", len(got))
+	}
+	if m.LastFanout() != 1 {
+		t.Fatalf("primary query contacted %d servers, want 1", m.LastFanout())
+	}
+}
+
+func TestSecondaryQueryFansOutToAllServers(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := mk(net, sites).(*Model)
+	seedTwoAttr(t, m, sites)
+
+	got, _, err := m.QueryAttr(sites[0], provenance.KeySensorClass, provenance.String("camera"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("camera records = %d, want 4", len(got))
+	}
+	if m.LastFanout() != len(sites) {
+		t.Fatalf("secondary query contacted %d servers, want %d (significance-ordering penalty)",
+			m.LastFanout(), len(sites))
+	}
+}
+
+func TestRecordsWithoutPrimaryAreUnfiled(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := mk(net, sites).(*Model)
+	p := archtest.PubAt(99, sites[0]) // no zone attribute at all
+	if _, err := m.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := m.Lookup(sites[1], p.ID)
+	if err != nil || rec.ComputeID() != p.ID {
+		t.Fatalf("unfiled record lookup: %v", err)
+	}
+}
+
+func TestSubtreeStickiness(t *testing.T) {
+	// All records of one primary value land on the same server.
+	net, sites := archtest.NewNetwork()
+	m := mk(net, sites).(*Model)
+	h1 := m.homeFor("boston")
+	h2 := m.homeFor("boston")
+	if h1 != h2 {
+		t.Fatal("same primary value moved servers")
+	}
+	h3 := m.homeFor("london")
+	h4 := m.homeFor("tokyo")
+	h5 := m.homeFor("seattle")
+	if h1 == h3 && h3 == h4 && h4 == h5 {
+		t.Fatal("all values landed on one server (no partitioning)")
+	}
+}

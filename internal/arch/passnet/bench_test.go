@@ -1,0 +1,84 @@
+package passnet
+
+import (
+	"fmt"
+	"testing"
+
+	"pass/internal/arch/archtest"
+	"pass/internal/geo"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// Ablation benchmarks for the distributed-PASS design knobs: immediate vs
+// batched digests (freshness vs bandwidth) and replicate-on-read
+// (Section V's cheap-replication extension).
+
+func worldNet() (*netsim.Network, []netsim.SiteID) {
+	net := netsim.New(netsim.Config{})
+	var sites []netsim.SiteID
+	for _, z := range geo.WorldCities().Zones() {
+		sites = append(sites, net.AddSite(z.Name, z.Center, z.Name))
+	}
+	return net, sites
+}
+
+func BenchmarkPublishDigestMode(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"immediate", Options{ImmediateDigest: true}},
+		{"batched", Options{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			net, sites := worldNet()
+			m := New(net, sites, mode.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := archtest.PubAt(byte(i%250+1), sites[i%len(sites)],
+					provenance.Attr("seq", provenance.Int64(int64(i))))
+				if _, err := m.Publish(p); err != nil {
+					b.Fatal(err)
+				}
+				if !mode.opts.ImmediateDigest && i%64 == 63 {
+					if err := m.Tick(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := net.Stats()
+			b.ReportMetric(float64(st.WANBytes)/float64(b.N), "wan-B/pub")
+		})
+	}
+}
+
+func BenchmarkLookupReplication(b *testing.B) {
+	for _, replicate := range []bool{false, true} {
+		b.Run(fmt.Sprintf("replicate=%v", replicate), func(b *testing.B) {
+			net, sites := worldNet()
+			m := New(net, sites, Options{ImmediateDigest: true, ReplicateOnRead: replicate})
+			// Data lives in tokyo; a boston consumer reads it repeatedly.
+			var ids []provenance.ID
+			for i := 0; i < 32; i++ {
+				p := archtest.PubAt(byte(i+1), sites[4]) // tokyo
+				if _, err := m.Publish(p); err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, p.ID)
+			}
+			boston := sites[0]
+			net.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.Lookup(boston, ids[i%len(ids)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := net.Stats()
+			b.ReportMetric(float64(st.WANBytes)/float64(b.N), "wan-B/lookup")
+		})
+	}
+}

@@ -1,0 +1,405 @@
+// Package passnet implements the paper's own proposal (Section V): merge
+// local PASS installations into a single globally searchable archive
+// while keeping data where it belongs — "because sensor data is locale
+// specific ... it should be stored near the network or its primary
+// users" (Section III).
+//
+// Design, matching the research agenda's requirements:
+//
+//   - Publish commits to the producing site's local PASS only; no record
+//     metadata crosses the WAN at ingest.
+//   - Each site gossips a compact digest to its peers: a Bloom filter of
+//     its attribute postings plus id→site location entries. Digests ride
+//     on Tick (periodic) or, when ImmediateDigest is set, piggyback on
+//     every publish (tiny messages, the freshness/bandwidth ablation).
+//   - QueryAttr consults the local digest table and contacts only the
+//     sites whose filters may hold the attribute — typically one or two,
+//     not all (contrast with feddb's full fan-out). Bloom false positives
+//     cost an extra empty round trip, never a wrong answer.
+//   - QueryAncestors chases lineage site to site, but each visited site
+//     resolves the whole locally-held sub-DAG in one round trip
+//     (server-side traversal), so a chain spanning k sites costs ~k round
+//     trips no matter how long it is (E11).
+package passnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// digestEntryWire approximates the wire size of one id→site location
+// entry in a digest delta.
+const digestEntryWire = arch.IDWire + 4
+
+// bloomBitsPerAttr sizes the per-delta attribute filter.
+const bloomBitsPerAttr = 12
+
+// Model is the distributed PASS.
+type Model struct {
+	mu    sync.Mutex
+	net   *netsim.Network
+	sites []netsim.SiteID
+
+	stores map[netsim.SiteID]*arch.SiteStore
+
+	// Global soft metadata each site maintains about its peers, built
+	// from digests. In the simulation all sites see the same tables once
+	// a digest is delivered; per-site staleness is tracked via pending.
+	loc      map[provenance.ID]netsim.SiteID // id -> home site (from digests)
+	attrSite map[string]map[netsim.SiteID]struct{}
+
+	// pending digests not yet gossiped, per producing site.
+	pending map[netsim.SiteID][]arch.Pub
+
+	// ImmediateDigest pushes digest deltas on every publish instead of
+	// waiting for Tick.
+	immediate bool
+
+	// replicate enables replicate-on-read; replicas holds each site's
+	// read cache. Records are immutable, so cached replicas never
+	// invalidate.
+	replicate bool
+	replicas  map[netsim.SiteID]map[provenance.ID]*provenance.Record
+
+	// lastContacted reports sites contacted by the most recent QueryAttr.
+	lastContacted int
+	// replicaHits counts lookups served from a read replica.
+	replicaHits int64
+}
+
+// Options tunes the distributed PASS.
+type Options struct {
+	// ImmediateDigest gossips digest deltas synchronously on publish
+	// (freshness at the price of n-1 tiny messages per publish). When
+	// false, deltas batch until the next Tick.
+	ImmediateDigest bool
+	// ReplicateOnRead caches fetched records at the querying site, the
+	// paper's Section V extension ("replication is desirable for
+	// reliability and for query performance; supporting replication
+	// cheaply is an interesting problem"). Replication here is free at
+	// write time — replicas materialize only along actual read paths, so
+	// popular data converges toward its consumers. Provenance records are
+	// immutable, so replicas can never go stale.
+	ReplicateOnRead bool
+}
+
+// New builds a distributed PASS over the given sites.
+func New(net *netsim.Network, sites []netsim.SiteID, opts Options) *Model {
+	m := &Model{
+		net:       net,
+		sites:     append([]netsim.SiteID(nil), sites...),
+		stores:    make(map[netsim.SiteID]*arch.SiteStore),
+		loc:       make(map[provenance.ID]netsim.SiteID),
+		attrSite:  make(map[string]map[netsim.SiteID]struct{}),
+		pending:   make(map[netsim.SiteID][]arch.Pub),
+		immediate: opts.ImmediateDigest,
+		replicate: opts.ReplicateOnRead,
+		replicas:  make(map[netsim.SiteID]map[provenance.ID]*provenance.Record),
+	}
+	for _, s := range sites {
+		m.stores[s] = arch.NewSiteStore()
+		m.replicas[s] = make(map[provenance.ID]*provenance.Record)
+	}
+	return m
+}
+
+// Name implements arch.Model.
+func (m *Model) Name() string { return "passnet" }
+
+// Publish commits locally; metadata never leaves the zone unless
+// ImmediateDigest pushes the tiny delta.
+func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
+	st, ok := m.stores[p.Origin]
+	if !ok {
+		return 0, fmt.Errorf("passnet: unknown site %d", p.Origin)
+	}
+	d, err := m.net.Send(p.Origin, p.Origin, p.WireSize())
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	st.Add(p.ID, p.Rec)
+	m.pending[p.Origin] = append(m.pending[p.Origin], p)
+	m.mu.Unlock()
+	if m.immediate {
+		if err := m.gossipFrom(p.Origin); err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}
+
+// digestSize estimates the wire size of a delta covering pubs.
+func digestSize(pubs []arch.Pub) int {
+	attrs := 0
+	for _, p := range pubs {
+		attrs += len(p.Rec.Attributes)
+	}
+	return len(pubs)*digestEntryWire + (attrs*bloomBitsPerAttr+7)/8 + arch.RespOverhead
+}
+
+// gossipFrom pushes site's pending digest delta to every peer.
+func (m *Model) gossipFrom(site netsim.SiteID) error {
+	m.mu.Lock()
+	pubs := m.pending[site]
+	if len(pubs) == 0 {
+		m.mu.Unlock()
+		return nil
+	}
+	delete(m.pending, site)
+	m.mu.Unlock()
+
+	size := digestSize(pubs)
+	for _, peer := range m.sites {
+		if peer == site {
+			continue
+		}
+		if _, err := m.net.Send(site, peer, size); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	for _, p := range pubs {
+		m.loc[p.ID] = site
+		for _, a := range arch.QueriableAttrs(p.Rec) {
+			mk := a.Key + "\x00" + string(a.Value.Canonical())
+			set, ok := m.attrSite[mk]
+			if !ok {
+				set = make(map[netsim.SiteID]struct{})
+				m.attrSite[mk] = set
+			}
+			set[site] = struct{}{}
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Tick gossips every site's pending digest delta.
+func (m *Model) Tick() error {
+	for _, s := range m.sites {
+		if err := m.gossipFrom(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup resolves the record's home from the digest-built location table
+// and fetches it directly: one round trip, usually within the zone for
+// local data.
+func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
+	// Read replica: a previously fetched copy answers locally (records
+	// are immutable, so this is always correct).
+	if m.replicate {
+		m.mu.Lock()
+		if rec, ok := m.replicas[from][id]; ok {
+			m.replicaHits++
+			m.mu.Unlock()
+			d, err := m.net.Send(from, from, arch.ReqOverhead+arch.IDWire)
+			return rec, d, err
+		}
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	home, known := m.loc[id]
+	if !known {
+		// Not yet gossiped: check the querier's own store first (local
+		// data is always immediately visible).
+		if _, ok := m.stores[from].Get(id); ok {
+			home, known = from, true
+		}
+	}
+	m.mu.Unlock()
+	if !known {
+		return nil, 0, fmt.Errorf("passnet: %s not yet visible (digest pending)", id.Short())
+	}
+	m.mu.Lock()
+	rec, ok := m.stores[home].Get(id)
+	m.mu.Unlock()
+	respSize := arch.RespOverhead
+	if ok {
+		respSize += len(rec.Encode())
+	}
+	d, err := m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, d, fmt.Errorf("passnet: location table points at %d but %s is gone", home, id.Short())
+	}
+	if m.replicate && home != from {
+		m.mu.Lock()
+		m.replicas[from][id] = rec
+		m.mu.Unlock()
+	}
+	return rec, d, nil
+}
+
+// ReplicaHits reports lookups served from read replicas.
+func (m *Model) ReplicaHits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replicaHits
+}
+
+// ReplicaCount reports the number of replicas cached at a site.
+func (m *Model) ReplicaCount(s netsim.SiteID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.replicas[s])
+}
+
+// QueryAttr contacts only the sites whose digests may hold (key, value),
+// plus the querier's own store (always fresh).
+func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
+	mk := key + "\x00" + string(value.Canonical())
+	m.mu.Lock()
+	candidates := make(map[netsim.SiteID]struct{})
+	for s := range m.attrSite[mk] {
+		candidates[s] = struct{}{}
+	}
+	candidates[from] = struct{}{} // own store is free to consult
+	m.mu.Unlock()
+
+	var slowest time.Duration
+	var out []provenance.ID
+	seen := make(map[provenance.ID]struct{})
+	contacted := 0
+	for s := range candidates {
+		m.mu.Lock()
+		ids := append([]provenance.ID(nil), m.stores[s].LookupAttr(key, value)...)
+		m.mu.Unlock()
+		var d time.Duration
+		var err error
+		if s == from {
+			d, err = m.net.Send(from, from, arch.AttrReqSize(key, value))
+		} else {
+			d, err = m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+			contacted++
+		}
+		if err != nil {
+			return nil, slowest, err
+		}
+		slowest = arch.MaxDuration(slowest, d)
+		for _, id := range ids {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	m.mu.Lock()
+	m.lastContacted = contacted
+	m.mu.Unlock()
+	return out, slowest, nil
+}
+
+// QueryAncestors chases lineage across sites with server-side traversal:
+// each contacted site resolves everything it holds locally in one round
+// trip and returns the cross-site border pointers, which the location
+// table routes directly (no probing, no per-record lookups).
+func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error) {
+	var total time.Duration
+	found := make(map[provenance.ID]struct{})
+	var out []provenance.ID
+	// frontier groups unresolved IDs by their home site.
+	frontier := map[netsim.SiteID][]provenance.ID{}
+	m.mu.Lock()
+	home, known := m.loc[id]
+	if !known {
+		if _, ok := m.stores[from].Get(id); ok {
+			home, known = from, true
+		}
+	}
+	m.mu.Unlock()
+	if !known {
+		return nil, 0, fmt.Errorf("passnet: %s not yet visible", id.Short())
+	}
+	frontier[home] = []provenance.ID{id}
+
+	guard := 0
+	for len(frontier) > 0 {
+		guard++
+		if guard > 4096 {
+			return out, total, fmt.Errorf("passnet: ancestry traversal did not converge")
+		}
+		next := map[netsim.SiteID][]provenance.ID{}
+		for site, ids := range frontier {
+			m.mu.Lock()
+			local, unresolved := m.stores[site].LocalAncestors(ids)
+			m.mu.Unlock()
+			d, err := m.net.Call(from, site, arch.ReqOverhead+len(ids)*arch.IDWire,
+				arch.IDListRespSize(len(local)+len(unresolved)))
+			if err != nil {
+				return nil, total, err
+			}
+			total += d
+			for _, a := range ids {
+				// IDs handed to a site that are not the query root are
+				// themselves ancestors (they were border pointers).
+				if a == id {
+					continue
+				}
+				if _, seen := found[a]; !seen {
+					found[a] = struct{}{}
+					out = append(out, a)
+				}
+			}
+			for _, a := range local {
+				if _, seen := found[a]; !seen {
+					found[a] = struct{}{}
+					out = append(out, a)
+				}
+			}
+			for _, u := range unresolved {
+				if _, seen := found[u]; seen {
+					continue
+				}
+				m.mu.Lock()
+				h, ok := m.loc[u]
+				m.mu.Unlock()
+				if !ok {
+					continue // edge into an ungossiped record
+				}
+				next[h] = append(next[h], u)
+			}
+		}
+		frontier = next
+	}
+	return out, total, nil
+}
+
+// LastContacted reports remote sites contacted by the most recent
+// QueryAttr (digest routing effectiveness; contrast with feddb's n-1).
+func (m *Model) LastContacted() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastContacted
+}
+
+// PendingDigests reports publications not yet gossiped.
+func (m *Model) PendingDigests() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ps := range m.pending {
+		n += len(ps)
+	}
+	return n
+}
+
+// SiteRecords reports a site's record count (locality tests).
+func (m *Model) SiteRecords(s netsim.SiteID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.stores[s]; ok {
+		return st.Len()
+	}
+	return 0
+}

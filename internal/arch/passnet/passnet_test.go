@@ -1,0 +1,216 @@
+package passnet
+
+import (
+	"testing"
+
+	"pass/internal/arch"
+	"pass/internal/arch/archtest"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func TestConformanceImmediate(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{ImmediateDigest: true})
+		},
+	})
+}
+
+func TestConformanceBatched(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{})
+		},
+		NeedsTick: true,
+	})
+}
+
+func TestPublishKeepsMetadataLocal(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{})
+	net.ResetStats()
+	if _, err := m.Publish(archtest.PubAt(1, sites[2])); err != nil {
+		t.Fatal(err)
+	}
+	if wan := net.Stats().WANBytes; wan != 0 {
+		t.Fatalf("batched publish crossed WAN: %d bytes", wan)
+	}
+	if m.SiteRecords(sites[2]) != 1 {
+		t.Fatal("record not at producing site")
+	}
+	if m.PendingDigests() != 1 {
+		t.Fatalf("pending digests = %d", m.PendingDigests())
+	}
+}
+
+func TestImmediateDigestIsTiny(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{ImmediateDigest: true})
+	p := archtest.PubAt(1, sites[0],
+		provenance.Attr("zone", provenance.String("boston")),
+		provenance.Attr("domain", provenance.String("traffic")))
+	recSize := p.WireSize()
+	net.ResetStats()
+	if _, err := m.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	// Digest fan-out to 3 peers must cost far less than shipping the full
+	// record to 3 peers would.
+	if st.WANBytes >= int64(recSize*3) {
+		t.Fatalf("digest bytes %d not smaller than full replication %d", st.WANBytes, recSize*3)
+	}
+	if m.PendingDigests() != 0 {
+		t.Fatal("immediate mode left pending digests")
+	}
+}
+
+func TestLocalQueryIsFreshWithoutGossip(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{})
+	p := archtest.PubAt(1, sites[0], provenance.Attr("k", provenance.String("v")))
+	m.Publish(p)
+	// No Tick. The producing site itself sees its own data immediately.
+	got, _, err := m.QueryAttr(sites[0], "k", provenance.String("v"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("local query = %d ids, %v", len(got), err)
+	}
+	// A remote site does not see it yet (digest pending)...
+	got, _, _ = m.QueryAttr(sites[2], "k", provenance.String("v"))
+	if len(got) != 0 {
+		t.Fatal("remote site saw ungossiped record")
+	}
+	// ...until the gossip round.
+	m.Tick()
+	got, _, err = m.QueryAttr(sites[2], "k", provenance.String("v"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("post-gossip remote query = %d, %v", len(got), err)
+	}
+}
+
+func TestQueryContactsOnlyDigestMatches(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{ImmediateDigest: true})
+	// Only boston-0 holds traffic data; the other three hold weather.
+	m.Publish(archtest.PubAt(1, sites[0], provenance.Attr("domain", provenance.String("traffic"))))
+	for i, s := range sites[1:] {
+		m.Publish(archtest.PubAt(byte(10+i), s, provenance.Attr("domain", provenance.String("weather"))))
+	}
+	got, _, err := m.QueryAttr(sites[3], "domain", provenance.String("traffic"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("query = %d, %v", len(got), err)
+	}
+	// Digest routing: only 1 remote site contacted (vs feddb's 3).
+	if m.LastContacted() != 1 {
+		t.Fatalf("contacted %d remote sites, want 1", m.LastContacted())
+	}
+}
+
+func TestAncestryServerSideTraversal(t *testing.T) {
+	// A long chain entirely at one remote site must resolve in ONE round
+	// trip regardless of its depth.
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{ImmediateDigest: true})
+	origins := []netsim.SiteID{sites[2]} // whole chain in london
+	ids := archtest.ChainAt(t, m, origins, 30, 1)
+	net.ResetStats()
+	anc, _, err := m.QueryAncestors(sites[0], ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 29 {
+		t.Fatalf("ancestors = %d, want 29", len(anc))
+	}
+	// One Call = 2 messages, independent of the 30-deep chain.
+	if msgs := net.Stats().Messages; msgs > 4 {
+		t.Fatalf("single-site chain took %d messages; server-side traversal broken", msgs)
+	}
+}
+
+func TestAncestryCrossSiteCostScalesWithSites(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{ImmediateDigest: true})
+	// Chain alternating across all 4 sites.
+	ids := archtest.ChainAt(t, m, sites, 16, 1)
+	net.ResetStats()
+	anc, _, err := m.QueryAncestors(sites[0], ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 15 {
+		t.Fatalf("ancestors = %d, want 15", len(anc))
+	}
+}
+
+func TestUnknownSiteAndGhost(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites[:2], Options{})
+	if _, err := m.Publish(archtest.PubAt(1, sites[3])); err == nil {
+		t.Fatal("publish from non-member accepted")
+	}
+	var ghost provenance.ID
+	ghost[3] = 0x77
+	if _, _, err := m.Lookup(sites[0], ghost); err == nil {
+		t.Fatal("ghost lookup succeeded")
+	}
+}
+
+func TestReplicateOnRead(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{ImmediateDigest: true, ReplicateOnRead: true})
+	p := archtest.PubAt(1, sites[2]) // data lives in london
+	if _, err := m.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	boston := sites[0]
+	// First lookup crosses the WAN.
+	_, d1, err := m.Lookup(boston, p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second lookup is served by the read replica: much faster, no WAN.
+	net.ResetStats()
+	rec, d2, err := m.Lookup(boston, p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ComputeID() != p.ID {
+		t.Fatal("replica returned wrong record")
+	}
+	if d2 >= d1 {
+		t.Fatalf("replica lookup %v not faster than remote %v", d2, d1)
+	}
+	if net.Stats().WANBytes != 0 {
+		t.Fatalf("replica hit crossed WAN: %d bytes", net.Stats().WANBytes)
+	}
+	if m.ReplicaHits() != 1 {
+		t.Fatalf("replica hits = %d", m.ReplicaHits())
+	}
+	if m.ReplicaCount(boston) != 1 {
+		t.Fatalf("replica count = %d", m.ReplicaCount(boston))
+	}
+}
+
+func TestReplicationDisabledByDefault(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{ImmediateDigest: true})
+	p := archtest.PubAt(1, sites[2])
+	m.Publish(p)
+	m.Lookup(sites[0], p.ID)
+	m.Lookup(sites[0], p.ID)
+	if m.ReplicaHits() != 0 {
+		t.Fatal("replication active without opt-in")
+	}
+	if m.ReplicaCount(sites[0]) != 0 {
+		t.Fatal("replica cached without opt-in")
+	}
+}
+
+func TestConformanceWithReplication(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{ImmediateDigest: true, ReplicateOnRead: true})
+		},
+	})
+}

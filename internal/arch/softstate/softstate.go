@@ -1,0 +1,285 @@
+// Package softstate implements Section IV-B's third model, the
+// soft-state metadata services of the Grid: the Replica Location Service
+// (RLS) and the Storage Resource Broker (SRB). Records live at their
+// producing site (availability over consistency, locality preserved);
+// a distributed lookup layer of index nodes holds *soft state* — location
+// and attribute mappings that producers push only on periodic refresh.
+//
+// The two weaknesses the paper names, made measurable:
+//
+//   - "it relies on periodic updates to keep its soft-state from becoming
+//     stale": records published since a site's last refresh are invisible
+//     to global queries, so recall decays as the refresh period grows
+//     (experiment E7);
+//   - "SRB's metadata model denies transitive closure": the index maps
+//     names to locations and attributes to names, but holds no ancestry,
+//     so closure queries must fetch each record from its home site, one
+//     round trip per step.
+package softstate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// Model is the soft-state metadata service.
+type Model struct {
+	mu    sync.Mutex
+	net   *netsim.Network
+	sites []netsim.SiteID
+	// index nodes hold the soft state; records hash to one index node.
+	indexNodes []netsim.SiteID
+
+	// Authoritative per-site stores.
+	stores map[netsim.SiteID]*arch.SiteStore
+	// Soft state: per index node, attr postings and record locations,
+	// refreshed on Tick.
+	softAttr map[netsim.SiteID]map[string][]provenance.ID
+	softLoc  map[netsim.SiteID]map[provenance.ID]netsim.SiteID
+	// Pending: published but not yet refreshed, per site.
+	pending map[netsim.SiteID][]arch.Pub
+
+	// RefreshEvery counts Ticks between refreshes per site.
+	refreshEvery int
+	tickCount    int
+	refreshes    int64
+}
+
+// New builds a soft-state service. indexNodes are the sites that host the
+// distributed lookup service (RLS's "metadata lookup service is
+// distributed"); refreshEvery is the number of Ticks between soft-state
+// pushes (1 = refresh every tick).
+func New(net *netsim.Network, sites, indexNodes []netsim.SiteID, refreshEvery int) *Model {
+	if refreshEvery < 1 {
+		refreshEvery = 1
+	}
+	if len(indexNodes) == 0 && len(sites) > 0 {
+		indexNodes = sites[:1]
+	}
+	m := &Model{
+		net:          net,
+		sites:        append([]netsim.SiteID(nil), sites...),
+		indexNodes:   append([]netsim.SiteID(nil), indexNodes...),
+		stores:       make(map[netsim.SiteID]*arch.SiteStore),
+		softAttr:     make(map[netsim.SiteID]map[string][]provenance.ID),
+		softLoc:      make(map[netsim.SiteID]map[provenance.ID]netsim.SiteID),
+		pending:      make(map[netsim.SiteID][]arch.Pub),
+		refreshEvery: refreshEvery,
+	}
+	for _, s := range sites {
+		m.stores[s] = arch.NewSiteStore()
+	}
+	for _, n := range indexNodes {
+		m.softAttr[n] = make(map[string][]provenance.ID)
+		m.softLoc[n] = make(map[provenance.ID]netsim.SiteID)
+	}
+	return m
+}
+
+// Name implements arch.Model.
+func (m *Model) Name() string { return "softstate" }
+
+// indexNodeFor hashes a key onto one index node (SRB zones).
+func (m *Model) indexNodeFor(b []byte) netsim.SiteID {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return m.indexNodes[h%uint64(len(m.indexNodes))]
+}
+
+// Publish commits locally only; global visibility waits for the next
+// refresh. This is the availability-over-consistency trade.
+func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
+	st, ok := m.stores[p.Origin]
+	if !ok {
+		return 0, fmt.Errorf("softstate: unknown site %d", p.Origin)
+	}
+	d, err := m.net.Send(p.Origin, p.Origin, p.WireSize())
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	st.Add(p.ID, p.Rec)
+	m.pending[p.Origin] = append(m.pending[p.Origin], p)
+	m.mu.Unlock()
+	return d, nil
+}
+
+// Tick advances one maintenance round; every refreshEvery ticks, each
+// site pushes its pending soft state to the index nodes.
+func (m *Model) Tick() error {
+	m.mu.Lock()
+	m.tickCount++
+	due := m.tickCount%m.refreshEvery == 0
+	m.mu.Unlock()
+	if !due {
+		return nil
+	}
+	return m.RefreshNow()
+}
+
+// RefreshNow pushes all pending soft state immediately.
+func (m *Model) RefreshNow() error {
+	m.mu.Lock()
+	work := m.pending
+	m.pending = make(map[netsim.SiteID][]arch.Pub)
+	m.refreshes++
+	m.mu.Unlock()
+
+	for site, pubs := range work {
+		// Group updates per index node: location entries go to the
+		// record's node, each attribute posting to that attribute's
+		// node. One batched message per node.
+		type update struct {
+			locs  []provenance.ID
+			attrs []attrPosting
+		}
+		batch := make(map[netsim.SiteID]*update)
+		get := func(node netsim.SiteID) *update {
+			u, ok := batch[node]
+			if !ok {
+				u = &update{}
+				batch[node] = u
+			}
+			return u
+		}
+		for _, p := range pubs {
+			get(m.indexNodeFor(p.ID[:])).locs = append(get(m.indexNodeFor(p.ID[:])).locs, p.ID)
+			for _, a := range arch.QueriableAttrs(p.Rec) {
+				mk := a.Key + "\x00" + string(a.Value.Canonical())
+				node := m.indexNodeFor([]byte(mk))
+				get(node).attrs = append(get(node).attrs, attrPosting{mk: mk, id: p.ID})
+			}
+		}
+		for node, u := range batch {
+			size := len(u.locs) * (arch.IDWire + 8)
+			for _, ap := range u.attrs {
+				size += len(ap.mk) + arch.IDWire
+			}
+			if _, err := m.net.Send(site, node, size); err != nil {
+				continue // index node down: this round's state is lost (soft)
+			}
+			m.mu.Lock()
+			for _, id := range u.locs {
+				m.softLoc[node][id] = site
+			}
+			for _, ap := range u.attrs {
+				m.softAttr[node][ap.mk] = append(m.softAttr[node][ap.mk], ap.id)
+			}
+			m.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Lookup asks the index node for the record's location, then fetches the
+// record from its home site: two round trips, locality preserved for the
+// fetch ("data is stored at the producers ... shipped to neither a
+// central nor an arbitrary location").
+func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
+	node := m.indexNodeFor(id[:])
+	m.mu.Lock()
+	home, known := m.softLoc[node][id]
+	m.mu.Unlock()
+	d1, err := m.net.Call(from, node, arch.ReqOverhead+arch.IDWire, arch.RespOverhead+8)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !known {
+		return nil, d1, fmt.Errorf("softstate: %s not in soft state (stale or never refreshed)", id.Short())
+	}
+	m.mu.Lock()
+	rec, ok := m.stores[home].Get(id)
+	m.mu.Unlock()
+	respSize := arch.RespOverhead
+	if ok {
+		respSize += len(rec.Encode())
+	}
+	d2, err := m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
+	if err != nil {
+		return nil, d1, err
+	}
+	if !ok {
+		return nil, d1 + d2, fmt.Errorf("softstate: index points at %d but record %s is gone", home, id.Short())
+	}
+	return rec, d1 + d2, nil
+}
+
+// QueryAttr consults the attribute's index node. Results reflect the last
+// refresh only — the staleness E7 quantifies.
+func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
+	mk := key + "\x00" + string(value.Canonical())
+	node := m.indexNodeFor([]byte(mk))
+	m.mu.Lock()
+	ids := append([]provenance.ID(nil), m.softAttr[node][mk]...)
+	m.mu.Unlock()
+	d, err := m.net.Call(from, node, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return ids, d, nil
+}
+
+// QueryAncestors: the soft-state index holds no ancestry ("SRB's metadata
+// model denies transitive closure"), so the querier fetches record after
+// record via Lookup — two round trips per step.
+func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error) {
+	var total time.Duration
+	visited := make(map[provenance.ID]struct{})
+	var out []provenance.ID
+	frontier := []provenance.ID{id}
+	for len(frontier) > 0 {
+		var next []provenance.ID
+		for _, cur := range frontier {
+			rec, d, err := m.Lookup(from, cur)
+			total += d
+			if err != nil {
+				if cur == id {
+					return nil, total, err
+				}
+				continue // stale index: edge unresolvable right now
+			}
+			for _, parent := range rec.Parents {
+				if _, seen := visited[parent]; seen {
+					continue
+				}
+				visited[parent] = struct{}{}
+				out = append(out, parent)
+				next = append(next, parent)
+			}
+		}
+		frontier = next
+	}
+	return out, total, nil
+}
+
+// PendingCount reports unrefreshed publications (tests, E7).
+func (m *Model) PendingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ps := range m.pending {
+		n += len(ps)
+	}
+	return n
+}
+
+// Refreshes reports completed refresh rounds.
+func (m *Model) Refreshes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refreshes
+}
+
+// attrPosting is one (attribute map key, record ID) soft-state entry.
+type attrPosting struct {
+	mk string
+	id provenance.ID
+}

@@ -1,0 +1,107 @@
+package softstate
+
+import (
+	"testing"
+
+	"pass/internal/arch"
+	"pass/internal/arch/archtest"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func TestConformance(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, sites[:2], 1)
+		},
+		NeedsTick: true,
+	})
+}
+
+func TestStalenessBeforeRefresh(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, sites[:1], 1)
+	p := archtest.PubAt(1, sites[0], provenance.Attr("k", provenance.String("v")))
+	if _, err := m.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	// Before any refresh the global index knows nothing: recall 0.
+	got, _, err := m.QueryAttr(sites[1], "k", provenance.String("v"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("pre-refresh query = %d ids, %v (soft state should be stale)", len(got), err)
+	}
+	if m.PendingCount() != 1 {
+		t.Fatalf("pending = %d", m.PendingCount())
+	}
+	// After the refresh, full recall.
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = m.QueryAttr(sites[1], "k", provenance.String("v"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("post-refresh query = %d ids, %v", len(got), err)
+	}
+	if m.PendingCount() != 0 {
+		t.Fatal("pending not drained by refresh")
+	}
+}
+
+func TestRefreshEveryNTicks(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, sites[:1], 4)
+	p := archtest.PubAt(1, sites[0], provenance.Attr("k", provenance.String("v")))
+	m.Publish(p)
+	for i := 0; i < 3; i++ {
+		m.Tick()
+		if got, _, _ := m.QueryAttr(sites[1], "k", provenance.String("v")); len(got) != 0 {
+			t.Fatalf("visible after %d ticks with period 4", i+1)
+		}
+	}
+	m.Tick() // 4th tick: refresh fires
+	if got, _, _ := m.QueryAttr(sites[1], "k", provenance.String("v")); len(got) != 1 {
+		t.Fatal("not visible after full period")
+	}
+	if m.Refreshes() != 1 {
+		t.Fatalf("refreshes = %d", m.Refreshes())
+	}
+}
+
+func TestLookupUsesLocationThenHome(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, sites[:1], 1)
+	p := archtest.PubAt(1, sites[2]) // produced in london
+	m.Publish(p)
+	m.Tick()
+	net.ResetStats()
+	rec, _, err := m.Lookup(sites[3], p.ID) // london consumer
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ComputeID() != p.ID {
+		t.Fatal("wrong record")
+	}
+	// Two round trips: index node + home site = 4 messages.
+	if msgs := net.Stats().Messages; msgs != 4 {
+		t.Fatalf("lookup used %d messages, want 4", msgs)
+	}
+}
+
+func TestUnknownSitePublish(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites[:2], sites[:1], 1)
+	if _, err := m.Publish(archtest.PubAt(1, sites[3])); err == nil {
+		t.Fatal("publish from unknown site accepted")
+	}
+}
+
+func TestDefaultIndexNode(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, nil, 1) // no index nodes given: first site hosts
+	p := archtest.PubAt(1, sites[1], provenance.Attr("k", provenance.String("v")))
+	m.Publish(p)
+	m.Tick()
+	got, _, err := m.QueryAttr(sites[2], "k", provenance.String("v"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("query via default index node = %d, %v", len(got), err)
+	}
+}

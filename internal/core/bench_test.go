@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"pass/internal/index"
+	"pass/internal/provenance"
+	"pass/internal/query"
+	"pass/internal/tuple"
+)
+
+// Microbenchmarks for the local PASS hot paths: ingest, attribute query,
+// lineage, and GC. These complement the E-series experiment benchmarks
+// at the repository root.
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	var tick atomic.Int64
+	s, err := Open(b.TempDir(), Options{Clock: func() int64 { return tick.Add(1) }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+func benchSet(n int, seed int64) *tuple.Set {
+	ts := &tuple.Set{}
+	for i := 0; i < n; i++ {
+		ts.Append(tuple.Reading{SensorID: "bench", Time: seed*1000 + int64(i), Value: float64(i)})
+	}
+	return ts
+}
+
+func BenchmarkIngestTupleSet(b *testing.B) {
+	for _, size := range []int{10, 1000} {
+		b.Run(fmt.Sprintf("readings-%d", size), func(b *testing.B) {
+			s := benchStore(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := s.IngestTupleSet(benchSet(size, int64(i)),
+					provenance.Attr(provenance.KeyDomain, provenance.String("traffic")),
+					provenance.Attr(provenance.KeyZone, provenance.String("boston")),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAttrQuery(b *testing.B) {
+	s := benchStore(b)
+	for i := 0; i < 2000; i++ {
+		zone := fmt.Sprintf("zone-%d", i%20)
+		if _, err := s.IngestTupleSet(benchSet(4, int64(i)),
+			provenance.Attr(provenance.KeyZone, provenance.String(zone))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pred := query.AttrEq{Key: provenance.KeyZone, Value: provenance.String("zone-7")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, err := s.Query(pred)
+		if err != nil || len(ids) != 100 {
+			b.Fatalf("%d ids, %v", len(ids), err)
+		}
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	s := benchStore(b)
+	parent, err := s.IngestTupleSet(benchSet(10, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Derive([]provenance.ID{parent}, "bench-step", "1", benchSet(4, int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent = id // grow a chain, as real pipelines do
+	}
+}
+
+func BenchmarkAncestorsWarm(b *testing.B) {
+	s := benchStore(b)
+	parent, _ := s.IngestTupleSet(benchSet(4, 0))
+	for i := 0; i < 64; i++ {
+		id, err := s.Derive([]provenance.ID{parent}, "step", "1", benchSet(2, int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent = id
+	}
+	if _, err := s.Ancestors(parent, index.NoLimit); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		anc, err := s.Ancestors(parent, index.NoLimit)
+		if err != nil || len(anc) != 64 {
+			b.Fatalf("%d ancestors, %v", len(anc), err)
+		}
+	}
+}
+
+func BenchmarkRemoveData(b *testing.B) {
+	s := benchStore(b)
+	ids := make([]provenance.ID, b.N)
+	for i := range ids {
+		id, err := s.IngestTupleSet(benchSet(16, int64(i)),
+			provenance.Attr(provenance.KeyZone, provenance.String("boston")))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RemoveData(ids[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyConsistency(b *testing.B) {
+	s := benchStore(b)
+	for i := 0; i < 1000; i++ {
+		if _, err := s.IngestTupleSet(benchSet(4, int64(i)),
+			provenance.Attr(provenance.KeyZone, provenance.String("boston"))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := s.VerifyConsistency()
+		if err != nil || !rep.Clean() {
+			b.Fatalf("audit: %+v, %v", rep, err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pass/internal/index"
+	"pass/internal/provenance"
+	"pass/internal/query"
+)
+
+// TestConcurrentIngestAndQuery hammers the store from parallel writers,
+// readers, and lineage walkers; run with -race. The store's contract is
+// that every acknowledged ingest is immediately queryable and the audit
+// stays clean throughout.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	s := openTest(t)
+	const writers, perWriter = 4, 40
+	var ingested atomic.Int64
+	var wg sync.WaitGroup
+
+	// Writers: each builds its own derivation chain.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parent := provenance.ZeroID
+			for i := 0; i < perWriter; i++ {
+				zone := fmt.Sprintf("zone-%d", w)
+				var id provenance.ID
+				var err error
+				if parent.IsZero() || i%3 == 0 {
+					id, err = s.IngestTupleSet(sampleSet(fmt.Sprintf("w%d-s%d", w, i), int64(i*100), 3),
+						provenance.Attr(provenance.KeyZone, provenance.String(zone)))
+				} else {
+					id, err = s.Derive([]provenance.ID{parent}, "step", "1",
+						sampleSet(fmt.Sprintf("w%d-d%d", w, i), int64(i*100+50), 2),
+						provenance.Attr(provenance.KeyZone, provenance.String(zone)))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				parent = id
+				ingested.Add(1)
+			}
+		}(w)
+	}
+
+	// Readers: attribute queries and closure walks against whatever is
+	// committed so far; results only need to be internally consistent.
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ids, err := s.Query(query.AttrEq{Key: provenance.KeyZone, Value: provenance.String(fmt.Sprintf("zone-%d", r))})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, id := range ids {
+					if _, err := s.Ancestors(id, index.NoLimit); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Wait for writers, then stop readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ingested.Load() < writers*perWriter {
+			if t.Failed() {
+				return
+			}
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	n, err := s.CountRecords()
+	if err != nil || n != writers*perWriter {
+		t.Fatalf("records = %d, want %d (%v)", n, writers*perWriter, err)
+	}
+	rep, err := s.VerifyConsistency()
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit after concurrency: %+v, %v", rep, err)
+	}
+}
+
+// TestConcurrentGCAndLineage interleaves payload GC with lineage reads:
+// P4 must hold under concurrency.
+func TestConcurrentGCAndLineage(t *testing.T) {
+	s := openTest(t)
+	// A chain of 60.
+	parent, err := s.IngestTupleSet(sampleSet("root", 0, 3), trafficAttrs("boston")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := []provenance.ID{parent}
+	for i := 1; i < 60; i++ {
+		id, err := s.Derive([]provenance.ID{parent}, "step", "1", sampleSet("c", int64(i), 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, id)
+		parent = id
+	}
+	leaf := chain[len(chain)-1]
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, id := range chain[:len(chain)-1] {
+			if err := s.RemoveData(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			anc, err := s.Ancestors(leaf, index.NoLimit)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(anc) != len(chain)-1 {
+				t.Errorf("lineage shrank during GC: %d/%d", len(anc), len(chain)-1)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	rep, err := s.VerifyConsistency()
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit: %+v, %v", rep, err)
+	}
+	if rep.Collected != len(chain)-1 {
+		t.Fatalf("collected = %d, want %d", rep.Collected, len(chain)-1)
+	}
+}

@@ -1,0 +1,418 @@
+// Package core implements the local Provenance-Aware Storage System
+// (PASS), the paper's primary contribution (Section V). It binds together
+// the substrates — the embedded LSM store, the provenance model, the
+// secondary indexes, and the query engine — behind one API with the four
+// defining PASS properties:
+//
+//	P1  Provenance is treated as a first-class object: every tuple set is
+//	    stored under its provenance record, and records are typed values,
+//	    not strings.
+//	P2  Provenance can be queried: attribute, range, time-overlap, and
+//	    transitive ancestry queries all execute against the indexes.
+//	P3  Nonidentical data items do not have identical provenance: record
+//	    identity is a content hash that folds in the data digest.
+//	P4  Provenance is not lost if ancestor objects are removed: garbage
+//	    collection deletes tuple-set payloads but never provenance
+//	    records, so lineage chains stay intact.
+//
+// Crash consistency: every ingest/derive/annotate commits its data blob,
+// its provenance record, and all of its index entries in one atomic
+// kvstore batch (one WAL record), so the paper's Reliability criterion —
+// "recover provenance metadata to a state consistent with its data after
+// a system failure" — holds by construction and is checked explicitly by
+// VerifyConsistency.
+//
+// Keyspace layout inside the shared kvstore (first bytes of each key):
+//
+//	p/  provenance records, by record ID
+//	d/  tuple-set payloads, by content digest (shared across records)
+//	dc/ payload reference counts
+//	gc/ markers for payloads removed by GC (distinguishes "collected"
+//	    from "corrupt/missing" during consistency audits)
+//	ia/it/ic/ir/im  index namespaces (package index)
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"pass/internal/index"
+	"pass/internal/kvstore"
+	"pass/internal/provenance"
+	"pass/internal/query"
+	"pass/internal/tuple"
+)
+
+// Key namespaces.
+var (
+	nsRecord = []byte("p/")
+	nsData   = []byte("d/")
+	nsRefcnt = []byte("dc")
+	nsGCMark = []byte("gc")
+)
+
+// Errors.
+var (
+	// ErrNotFound reports an unknown record ID.
+	ErrNotFound = errors.New("core: record not found")
+	// ErrDataRemoved reports that a record's payload was garbage-collected
+	// while its provenance (per P4) remains.
+	ErrDataRemoved = errors.New("core: data removed by GC (provenance retained)")
+	// ErrUnknownParent reports a derivation from an ID this store has
+	// never seen.
+	ErrUnknownParent = errors.New("core: unknown parent record")
+	// ErrNoData reports an operation that needs a payload on an
+	// annotation record.
+	ErrNoData = errors.New("core: record names no data")
+)
+
+// Options configures a PASS store.
+type Options struct {
+	// KV tunes the underlying LSM store.
+	KV kvstore.Options
+	// Clock supplies record-creation timestamps (unix nanoseconds).
+	// Defaults to time.Now; tests inject deterministic clocks. Must be
+	// safe for concurrent use (the Store calls it from any goroutine).
+	Clock func() int64
+}
+
+// Store is a local PASS instance. Safe for concurrent use.
+type Store struct {
+	db     *kvstore.Store
+	ix     *index.Index
+	engine *query.Engine
+	clock  func() int64
+}
+
+// Open opens (creating if needed) a PASS store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	db, err := kvstore.Open(dir, opts.KV)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		db:    db,
+		ix:    index.New(db),
+		clock: opts.Clock,
+	}
+	if s.clock == nil {
+		s.clock = func() int64 { return time.Now().UnixNano() }
+	}
+	s.engine = query.NewEngine(s.ix, s.GetRecord)
+	return s, nil
+}
+
+// Close closes the store.
+func (s *Store) Close() error { return s.db.Close() }
+
+// Index exposes the secondary-index layer (architecture models and
+// benchmarks use it directly).
+func (s *Store) Index() *index.Index { return s.ix }
+
+// KV exposes the underlying kvstore (for stats and tests).
+func (s *Store) KV() *kvstore.Store { return s.db }
+
+func recordKey(id provenance.ID) []byte {
+	return append(append([]byte(nil), nsRecord...), id[:]...)
+}
+
+func dataKey(d tuple.Digest) []byte {
+	return append(append([]byte(nil), nsData...), d[:]...)
+}
+
+func refcntKey(d tuple.Digest) []byte {
+	return append(append([]byte(nil), nsRefcnt...), d[:]...)
+}
+
+func gcMarkKey(d tuple.Digest) []byte {
+	return append(append([]byte(nil), nsGCMark...), d[:]...)
+}
+
+// IngestTupleSet stores a raw tuple set with the given provenance
+// attributes and returns the ID of its provenance record. Re-ingesting
+// identical content with identical attributes at the same clock tick is
+// idempotent.
+func (s *Store) IngestTupleSet(ts *tuple.Set, attrs ...provenance.Attribute) (provenance.ID, error) {
+	data := ts.Encode()
+	digest := tuple.Digest(sha256.Sum256(data))
+	rec, id, err := provenance.NewRaw([32]byte(digest), int64(len(data))).
+		Attrs(attrs...).
+		CreatedAt(s.clock()).
+		Build()
+	if err != nil {
+		return provenance.ZeroID, err
+	}
+	return id, s.commit(id, rec, digest, data)
+}
+
+// Derive applies tool to the given parent records, producing out, and
+// commits the derivation with its provenance. Every parent must already
+// exist in this store.
+func (s *Store) Derive(parents []provenance.ID, tool, toolVersion string, out *tuple.Set, attrs ...provenance.Attribute) (provenance.ID, error) {
+	for _, p := range parents {
+		ok, err := s.db.Has(recordKey(p))
+		if err != nil {
+			return provenance.ZeroID, err
+		}
+		if !ok {
+			return provenance.ZeroID, fmt.Errorf("%w: %s", ErrUnknownParent, p.Short())
+		}
+	}
+	data := out.Encode()
+	digest := out.Digest()
+	rec, id, err := provenance.NewDerived([32]byte(digest), int64(len(data)), tool, toolVersion, parents...).
+		Attrs(attrs...).
+		CreatedAt(s.clock()).
+		Build()
+	if err != nil {
+		return provenance.ZeroID, err
+	}
+	return id, s.commit(id, rec, digest, data)
+}
+
+// Annotate attaches an annotation record (no payload) to the targets.
+func (s *Store) Annotate(targets []provenance.ID, attrs ...provenance.Attribute) (provenance.ID, error) {
+	for _, t := range targets {
+		ok, err := s.db.Has(recordKey(t))
+		if err != nil {
+			return provenance.ZeroID, err
+		}
+		if !ok {
+			return provenance.ZeroID, fmt.Errorf("%w: %s", ErrUnknownParent, t.Short())
+		}
+	}
+	rec, id, err := provenance.NewAnnotation(targets...).
+		Attrs(attrs...).
+		CreatedAt(s.clock()).
+		Build()
+	if err != nil {
+		return provenance.ZeroID, err
+	}
+	return id, s.commit(id, rec, tuple.Digest{}, nil)
+}
+
+// commit atomically writes the payload (refcounted), the record, and all
+// index entries.
+func (s *Store) commit(id provenance.ID, rec *provenance.Record, digest tuple.Digest, data []byte) error {
+	exists, err := s.db.Has(recordKey(id))
+	if err != nil {
+		return err
+	}
+	if exists {
+		return nil // identical provenance = same historical event: idempotent
+	}
+	var b kvstore.Batch
+	if data != nil {
+		rc, err := s.refcount(digest)
+		if err != nil {
+			return err
+		}
+		if rc == 0 {
+			b.Put(dataKey(digest), data)
+			// Re-ingesting content that GC removed revives it.
+			b.Delete(gcMarkKey(digest))
+		}
+		b.Put(refcntKey(digest), encodeCount(rc+1))
+	}
+	b.Put(recordKey(id), rec.Encode())
+	s.ix.AddToBatch(&b, id, rec)
+	return s.db.Apply(&b)
+}
+
+func encodeCount(n int64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	w := binary.PutVarint(buf[:], n)
+	return buf[:w]
+}
+
+func (s *Store) refcount(d tuple.Digest) (int64, error) {
+	v, err := s.db.Get(refcntKey(d))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, w := binary.Varint(v)
+	if w <= 0 {
+		return 0, fmt.Errorf("core: corrupt refcount for %s", d)
+	}
+	return n, nil
+}
+
+// GetRecord loads a provenance record by ID, verifying that the stored
+// bytes still hash to the ID (self-verifying storage).
+func (s *Store) GetRecord(id provenance.ID) (*provenance.Record, error) {
+	v, err := s.db.Get(recordKey(id))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	if err != nil {
+		return nil, err
+	}
+	rec, err := provenance.Decode(v)
+	if err != nil {
+		return nil, err
+	}
+	if rec.ComputeID() != id {
+		return nil, fmt.Errorf("%w: stored record for %s hashes differently", provenance.ErrIDMismatch, id.Short())
+	}
+	return rec, nil
+}
+
+// HasRecord reports whether the store holds id.
+func (s *Store) HasRecord(id provenance.ID) (bool, error) {
+	return s.db.Has(recordKey(id))
+}
+
+// GetData loads the tuple set a record names. ErrDataRemoved indicates
+// the payload was garbage-collected (its provenance survives, per P4);
+// ErrNoData indicates an annotation record.
+func (s *Store) GetData(id provenance.ID) (*tuple.Set, error) {
+	rec, err := s.GetRecord(id)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Type == provenance.Annotation {
+		return nil, fmt.Errorf("%w: %s is an annotation", ErrNoData, id.Short())
+	}
+	digest := tuple.Digest(rec.DataDigest)
+	v, err := s.db.Get(dataKey(digest))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		if ok, _ := s.db.Has(gcMarkKey(digest)); ok {
+			return nil, fmt.Errorf("%w: %s", ErrDataRemoved, id.Short())
+		}
+		return nil, fmt.Errorf("core: payload for %s missing without GC marker (corruption)", id.Short())
+	}
+	if err != nil {
+		return nil, err
+	}
+	ts, err := tuple.Decode(v)
+	if err != nil {
+		return nil, err
+	}
+	if ts.Digest() != digest {
+		return nil, fmt.Errorf("core: payload for %s fails digest check", id.Short())
+	}
+	return ts, nil
+}
+
+// Query executes a predicate against the indexes.
+func (s *Store) Query(p query.Predicate) ([]provenance.ID, error) {
+	return s.engine.Execute(p)
+}
+
+// QueryString parses and executes a textual query.
+func (s *Store) QueryString(q string) ([]provenance.ID, error) {
+	p, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Execute(p)
+}
+
+// Ancestors, Descendants, Roots, and Reachable expose lineage traversal
+// ("find all the raw data from which this data set was derived"; taint
+// tracking of everything downstream).
+func (s *Store) Ancestors(id provenance.ID, maxDepth int) ([]provenance.ID, error) {
+	return s.ix.Ancestors(id, maxDepth)
+}
+
+// Descendants returns the transitive derived/annotating records of id.
+func (s *Store) Descendants(id provenance.ID, maxDepth int) ([]provenance.ID, error) {
+	return s.ix.Descendants(id, maxDepth)
+}
+
+// Roots returns the raw origins of id.
+func (s *Store) Roots(id provenance.ID) ([]provenance.ID, error) {
+	return s.ix.Roots(id)
+}
+
+// Reachable reports whether data flowed from ancestor into id.
+func (s *Store) Reachable(id, ancestor provenance.ID) (bool, error) {
+	return s.ix.Reachable(id, ancestor)
+}
+
+// ScanRecords visits every provenance record (unspecified order); the
+// flat-scan baseline of experiment E3 and the walk used by consistency
+// audits. fn returning false stops the scan.
+func (s *Store) ScanRecords(fn func(id provenance.ID, rec *provenance.Record) bool) error {
+	var decodeErr error
+	err := s.db.ScanPrefix(nsRecord, func(k, v []byte) bool {
+		var id provenance.ID
+		if len(k) != len(nsRecord)+32 {
+			return true
+		}
+		copy(id[:], k[len(nsRecord):])
+		rec, err := provenance.Decode(v)
+		if err != nil {
+			decodeErr = fmt.Errorf("core: record %s: %w", id.Short(), err)
+			return false
+		}
+		return fn(id, rec)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}
+
+// CountRecords returns the number of provenance records.
+func (s *Store) CountRecords() (int, error) {
+	n := 0
+	err := s.ScanRecords(func(provenance.ID, *provenance.Record) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// LineageTree renders the ancestry of id as an indented text tree, for
+// human-facing tools. Depth limits the walk.
+func (s *Store) LineageTree(id provenance.ID, depth int) (string, error) {
+	var b strings.Builder
+	var walk func(cur provenance.ID, indent int, remaining int) error
+	walk = func(cur provenance.ID, indent, remaining int) error {
+		rec, err := s.GetRecord(cur)
+		if err != nil {
+			return err
+		}
+		label := rec.Type.String()
+		if rec.Tool != "" {
+			label += " via " + rec.Tool + " " + rec.ToolVersion
+		}
+		fmt.Fprintf(&b, "%s%s  [%s]\n", strings.Repeat("  ", indent), cur.Short(), label)
+		if remaining == 0 {
+			return nil
+		}
+		for _, p := range rec.Parents {
+			if err := walk(p, indent+1, remaining-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(id, 0, depth); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Stats reports store-level counters.
+type Stats struct {
+	Records int
+	KV      kvstore.Stats
+}
+
+// Stats returns a snapshot.
+func (s *Store) Stats() (Stats, error) {
+	n, err := s.CountRecords()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Records: n, KV: s.db.Stats()}, nil
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pass/internal/index"
+	"pass/internal/provenance"
+	"pass/internal/query"
+	"pass/internal/tuple"
+)
+
+// testClock returns a deterministic monotonic clock, safe for
+// concurrent use (the Options.Clock contract).
+func testClock() func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1) }
+}
+
+func openTest(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func sampleSet(sensor string, base int64, n int) *tuple.Set {
+	ts := &tuple.Set{}
+	for i := 0; i < n; i++ {
+		ts.Append(tuple.Reading{SensorID: sensor, Time: base + int64(i), Value: float64(i)})
+	}
+	return ts
+}
+
+func trafficAttrs(zone string) []provenance.Attribute {
+	return []provenance.Attribute{
+		provenance.Attr(provenance.KeyDomain, provenance.String("traffic")),
+		provenance.Attr(provenance.KeyZone, provenance.String(zone)),
+	}
+}
+
+func TestIngestAndRead(t *testing.T) {
+	s := openTest(t)
+	ts := sampleSet("cam-1", 1000, 10)
+	id, err := s.IngestTupleSet(ts, trafficAttrs("boston")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.GetRecord(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != provenance.Raw {
+		t.Fatalf("type = %v", rec.Type)
+	}
+	if v, ok := rec.Get(provenance.KeyZone); !ok || v.Str != "boston" {
+		t.Fatalf("zone = %+v", v)
+	}
+	got, err := s.GetData(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != ts.Digest() {
+		t.Fatal("data round trip failed")
+	}
+}
+
+func TestGetRecordNotFound(t *testing.T) {
+	s := openTest(t)
+	var id provenance.ID
+	id[5] = 9
+	if _, err := s.GetRecord(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if ok, _ := s.HasRecord(id); ok {
+		t.Fatal("HasRecord on missing id")
+	}
+}
+
+func TestIngestIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	// Fixed clock: identical content+attrs+time = identical provenance.
+	s, err := Open(dir, Options{Clock: func() int64 { return 42 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := sampleSet("s", 0, 5)
+	id1, err := s.IngestTupleSet(ts, trafficAttrs("boston")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.IngestTupleSet(ts, trafficAttrs("boston")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatal("idempotent re-ingest produced a new ID")
+	}
+	n, err := s.CountRecords()
+	if err != nil || n != 1 {
+		t.Fatalf("records = %d, %v", n, err)
+	}
+}
+
+func TestP3DistinctDataDistinctID(t *testing.T) {
+	s := openTest(t)
+	id1, err := s.IngestTupleSet(sampleSet("s", 0, 5), trafficAttrs("boston")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.IngestTupleSet(sampleSet("s", 0, 6), trafficAttrs("boston")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("P3 violated: different data, same provenance ID")
+	}
+}
+
+func TestDeriveAndLineage(t *testing.T) {
+	s := openTest(t)
+	raw1, _ := s.IngestTupleSet(sampleSet("cam-1", 0, 10), trafficAttrs("boston")...)
+	raw2, _ := s.IngestTupleSet(sampleSet("cam-2", 0, 10), trafficAttrs("boston")...)
+	agg := &tuple.Set{}
+	agg.Append(tuple.Reading{SensorID: "agg", Time: 5, Value: 4.5})
+	derived, err := s.Derive([]provenance.ID{raw1, raw2}, "aggregate", "1.0", agg,
+		provenance.Attr(provenance.KeyDomain, provenance.String("traffic")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anc, err := s.Ancestors(derived, index.NoLimit)
+	if err != nil || len(anc) != 2 {
+		t.Fatalf("ancestors = %d, %v", len(anc), err)
+	}
+	desc, err := s.Descendants(raw1, index.NoLimit)
+	if err != nil || len(desc) != 1 || desc[0] != derived {
+		t.Fatalf("descendants = %v, %v", desc, err)
+	}
+	ok, err := s.Reachable(derived, raw2)
+	if err != nil || !ok {
+		t.Fatalf("reachable = %v, %v", ok, err)
+	}
+	roots, err := s.Roots(derived)
+	if err != nil || len(roots) != 2 {
+		t.Fatalf("roots = %d, %v", len(roots), err)
+	}
+	rec, _ := s.GetRecord(derived)
+	if rec.Tool != "aggregate" || len(rec.Parents) != 2 {
+		t.Fatalf("derived record = %+v", rec)
+	}
+}
+
+func TestDeriveUnknownParent(t *testing.T) {
+	s := openTest(t)
+	var ghost provenance.ID
+	ghost[0] = 0xAA
+	_, err := s.Derive([]provenance.ID{ghost}, "t", "1", &tuple.Set{})
+	if !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	s := openTest(t)
+	raw, _ := s.IngestTupleSet(sampleSet("s", 0, 3), trafficAttrs("boston")...)
+	ann, err := s.Annotate([]provenance.ID{raw},
+		provenance.Attr(provenance.KeyNote, provenance.String("sensor replaced with model B")),
+		provenance.Attr(provenance.KeyUpgrade, provenance.Bool(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annotations are queryable (the paper: "such descriptions and
+	// annotations must also be searchable").
+	got, err := s.Query(query.AttrEq{Key: provenance.KeyUpgrade, Value: provenance.Bool(true)})
+	if err != nil || len(got) != 1 || got[0] != ann {
+		t.Fatalf("annotation query = %v, %v", got, err)
+	}
+	// Annotations name no data.
+	if _, err := s.GetData(ann); !errors.Is(err, ErrNoData) {
+		t.Fatalf("GetData(annotation) = %v", err)
+	}
+	if err := s.RemoveData(ann); !errors.Is(err, ErrNoData) {
+		t.Fatalf("RemoveData(annotation) = %v", err)
+	}
+	// Annotating a ghost fails.
+	var ghost provenance.ID
+	ghost[1] = 1
+	if _, err := s.Annotate([]provenance.ID{ghost}); !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("annotate ghost = %v", err)
+	}
+}
+
+func TestQueryStringEndToEnd(t *testing.T) {
+	s := openTest(t)
+	id, _ := s.IngestTupleSet(sampleSet("s", 0, 3), trafficAttrs("boston")...)
+	s.IngestTupleSet(sampleSet("s", 100, 3), trafficAttrs("london")...)
+	got, err := s.QueryString(`domain=traffic AND zone=boston`)
+	if err != nil || len(got) != 1 || got[0] != id {
+		t.Fatalf("query = %v, %v", got, err)
+	}
+	if _, err := s.QueryString(`((broken`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestP4GCPreservesProvenance(t *testing.T) {
+	s := openTest(t)
+	raw, _ := s.IngestTupleSet(sampleSet("s", 0, 100), trafficAttrs("boston")...)
+	mid := &tuple.Set{}
+	mid.Append(tuple.Reading{SensorID: "m", Time: 1, Value: 1})
+	midID, _ := s.Derive([]provenance.ID{raw}, "filter", "1", mid)
+	leafSet := &tuple.Set{}
+	leafSet.Append(tuple.Reading{SensorID: "l", Time: 2, Value: 2})
+	leaf, _ := s.Derive([]provenance.ID{midID}, "render", "1", leafSet)
+
+	// Collect the raw ancestor's payload.
+	if err := s.RemoveData(raw); err != nil {
+		t.Fatal(err)
+	}
+	if present, _ := s.DataPresent(raw); present {
+		t.Fatal("payload still present after GC")
+	}
+	// P4: the provenance record survives...
+	if _, err := s.GetRecord(raw); err != nil {
+		t.Fatalf("provenance lost after GC: %v", err)
+	}
+	// ...ancestry queries still complete through the collected node...
+	anc, err := s.Ancestors(leaf, index.NoLimit)
+	if err != nil || len(anc) != 2 {
+		t.Fatalf("ancestors through GC'd node = %d, %v", len(anc), err)
+	}
+	// ...and attribute queries still find it.
+	got, err := s.Query(query.AttrEq{Key: provenance.KeyZone, Value: provenance.String("boston")})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("attr query after GC = %d, %v", len(got), err)
+	}
+	// GetData reports removal distinctly from corruption.
+	if _, err := s.GetData(raw); !errors.Is(err, ErrDataRemoved) {
+		t.Fatalf("GetData after GC = %v", err)
+	}
+	// Idempotent.
+	if err := s.RemoveData(raw); err != nil {
+		t.Fatal(err)
+	}
+	// Audit is clean: Collected counted, nothing dangling.
+	rep, err := s.VerifyConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Collected != 1 || rep.Records != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRefcountedPayloadSharing(t *testing.T) {
+	s := openTest(t)
+	ts := sampleSet("shared", 0, 5)
+	id1, _ := s.IngestTupleSet(ts, trafficAttrs("boston")...)
+	id2, _ := s.IngestTupleSet(ts, trafficAttrs("london")...) // same bytes, new attrs
+
+	if err := s.RemoveData(id1); err != nil {
+		t.Fatal(err)
+	}
+	// id2 still reads: the blob had two references.
+	if _, err := s.GetData(id2); err != nil {
+		t.Fatalf("shared payload lost: %v", err)
+	}
+	if err := s.RemoveData(id2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetData(id2); !errors.Is(err, ErrDataRemoved) {
+		t.Fatalf("after last ref removed: %v", err)
+	}
+	// Re-ingesting revives the payload.
+	id3, err := s.IngestTupleSet(ts, trafficAttrs("seattle")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetData(id3); err != nil {
+		t.Fatalf("revived payload unreadable: %v", err)
+	}
+}
+
+func TestRemoveDataBefore(t *testing.T) {
+	s := openTest(t)
+	mk := func(zone string, start, end int64) provenance.ID {
+		id, err := s.IngestTupleSet(sampleSet(zone, start, 3),
+			provenance.Attr(provenance.KeyZone, provenance.String(zone)),
+			provenance.Attr(provenance.KeyStart, provenance.TimeVal(time.Unix(0, start))),
+			provenance.Attr(provenance.KeyEnd, provenance.TimeVal(time.Unix(0, end))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	old1 := mk("a", 0, 100)
+	old2 := mk("b", 50, 150)
+	recent := mk("c", 900, 1000)
+
+	n, err := s.RemoveDataBefore(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("collected %d, want 2", n)
+	}
+	for _, id := range []provenance.ID{old1, old2} {
+		if present, _ := s.DataPresent(id); present {
+			t.Fatalf("%s still present", id.Short())
+		}
+	}
+	if present, _ := s.DataPresent(recent); !present {
+		t.Fatal("recent payload collected")
+	}
+	// Second run collects nothing new.
+	n, _ = s.RemoveDataBefore(500)
+	if n != 0 {
+		t.Fatalf("second GC collected %d", n)
+	}
+}
+
+func TestCrashConsistencyAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	clock := testClock()
+	s, err := Open(dir, Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []provenance.ID
+	prev := provenance.ZeroID
+	for i := 0; i < 20; i++ {
+		var id provenance.ID
+		if i == 0 || i%3 != 0 {
+			id, err = s.IngestTupleSet(sampleSet(fmt.Sprintf("s%d", i), int64(i)*100, 5), trafficAttrs("boston")...)
+		} else {
+			out := &tuple.Set{}
+			out.Append(tuple.Reading{SensorID: "d", Time: int64(i), Value: 1})
+			id, err = s.Derive([]provenance.ID{prev}, "step", "1", out)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		prev = id
+	}
+	// Crash: abandon without Close, reopen.
+	s2, err := Open(dir, Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep, err := s2.VerifyConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("inconsistent after crash: %+v", rep)
+	}
+	if rep.Records != 20 {
+		t.Fatalf("records = %d, want 20", rep.Records)
+	}
+	for _, id := range ids {
+		if _, err := s2.GetRecord(id); err != nil {
+			t.Fatalf("record %s lost: %v", id.Short(), err)
+		}
+	}
+}
+
+func TestScanRecordsAndFlatScanBaseline(t *testing.T) {
+	s := openTest(t)
+	want := 10
+	for i := 0; i < want; i++ {
+		if _, err := s.IngestTupleSet(sampleSet(fmt.Sprintf("s%d", i), int64(i), 2), trafficAttrs("boston")...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flat scan with residual Match must agree with the index.
+	pred := query.AttrEq{Key: provenance.KeyZone, Value: provenance.String("boston")}
+	var flat int
+	err := s.ScanRecords(func(id provenance.ID, rec *provenance.Record) bool {
+		if m, _ := query.Match(rec, pred); m {
+			flat++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := s.Query(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat != want || len(indexed) != want {
+		t.Fatalf("flat = %d, indexed = %d, want %d", flat, len(indexed), want)
+	}
+	// Early stop.
+	n := 0
+	s.ScanRecords(func(provenance.ID, *provenance.Record) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestLineageTree(t *testing.T) {
+	s := openTest(t)
+	raw, _ := s.IngestTupleSet(sampleSet("s", 0, 3), trafficAttrs("boston")...)
+	out := &tuple.Set{}
+	out.Append(tuple.Reading{SensorID: "d", Time: 1, Value: 1})
+	d, _ := s.Derive([]provenance.ID{raw}, "sharpen", "2.1", out)
+	tree, err := s.LineageTree(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsAll(tree, d.Short(), raw.Short(), "sharpen") {
+		t.Fatalf("tree = %q", tree)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStats(t *testing.T) {
+	s := openTest(t)
+	s.IngestTupleSet(sampleSet("s", 0, 3), trafficAttrs("boston")...)
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTimeWindowQueriesThroughStore(t *testing.T) {
+	s := openTest(t)
+	mk := func(startSec, endSec int64) provenance.ID {
+		id, err := s.IngestTupleSet(sampleSet(fmt.Sprintf("w%d", startSec), startSec, 2),
+			provenance.Attr(provenance.KeyStart, provenance.TimeVal(time.Unix(startSec, 0))),
+			provenance.Attr(provenance.KeyEnd, provenance.TimeVal(time.Unix(endSec, 0))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a := mk(0, 100)
+	mk(200, 300)
+	got, err := s.Query(query.TimeOverlap{Start: time.Unix(50, 0).UnixNano(), End: time.Unix(150, 0).UnixNano()})
+	if err != nil || len(got) != 1 || got[0] != a {
+		t.Fatalf("overlap = %v, %v", got, err)
+	}
+}

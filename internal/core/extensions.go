@@ -1,0 +1,110 @@
+package core
+
+// Section V extensions. The paper closes with open problems beyond the
+// basic PASS; this file implements the two that concern the local store:
+//
+//   - Provenance abstraction: "one probably wants to know what compiler
+//     compiled the program that did a particular analysis step ... But
+//     for most purposes, it is far more useful for this information to be
+//     reported as 'gcc 3.3.3' rather than as a detailed record of gcc's
+//     own provenance and change history."
+//   - Privacy-preserving aggregation: "much of this data is valuable even
+//     when aggregated to preserve privacy. What degree of aggregation is
+//     necessary? How does one represent the provenance of such
+//     aggregates?"
+
+import (
+	"fmt"
+	"sort"
+
+	"pass/internal/index"
+	"pass/internal/provenance"
+	"pass/internal/tuple"
+)
+
+// ToolSummary is one entry of an abstracted lineage: a tool identity plus
+// how many derivation steps in the ancestry used it.
+type ToolSummary struct {
+	Tool    string
+	Version string
+	Steps   int
+}
+
+// AbstractLineage reports the ancestry of id at tool granularity: the
+// deduplicated set of (tool, version) pairs that participated in
+// producing it, ordered by name. This is the paper's abstraction
+// recommendation — "gcc 3.3.3", not gcc's own change history. Raw
+// collection steps and annotations (no tool) are excluded.
+func (s *Store) AbstractLineage(id provenance.ID) ([]ToolSummary, error) {
+	anc, err := s.Ancestors(id, index.NoLimit)
+	if err != nil {
+		return nil, err
+	}
+	// Include id itself: its own derivation step is part of the story.
+	all := append([]provenance.ID{id}, anc...)
+	counts := make(map[[2]string]int)
+	for _, a := range all {
+		rec, err := s.GetRecord(a)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Tool == "" {
+			continue
+		}
+		counts[[2]string{rec.Tool, rec.ToolVersion}]++
+	}
+	out := make([]ToolSummary, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, ToolSummary{Tool: k[0], Version: k[1], Steps: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tool != out[j].Tool {
+			return out[i].Tool < out[j].Tool
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out, nil
+}
+
+// Privacy attributes attached by DerivePrivate.
+const (
+	// KeyPrivacyK records the source-diversity floor the aggregate met.
+	KeyPrivacyK = "privacy-k"
+	// KeyPrivacySources records the actual distinct-source count.
+	KeyPrivacySources = "privacy-sources"
+)
+
+// ErrInsufficientAggregation reports an aggregate over too few distinct
+// sources to preserve privacy.
+var ErrInsufficientAggregation = fmt.Errorf("core: aggregate covers fewer distinct sources than required")
+
+// DerivePrivate commits a privacy-preserving aggregate: it verifies that
+// the parents' data together cover at least minSources distinct sensors
+// (a k-anonymity-style floor — an aggregate over one patient's EKG is
+// not an aggregate), refuses otherwise, and stamps the result's
+// provenance with the floor it met. The provenance of the aggregate is
+// its parents plus these privacy attributes, answering the paper's "how
+// does one represent the provenance of such aggregates?".
+func (s *Store) DerivePrivate(parents []provenance.ID, tool, toolVersion string, out *tuple.Set, minSources int, attrs ...provenance.Attribute) (provenance.ID, error) {
+	if minSources < 1 {
+		minSources = 1
+	}
+	sources := make(map[string]struct{})
+	for _, p := range parents {
+		ts, err := s.GetData(p)
+		if err != nil {
+			return provenance.ZeroID, fmt.Errorf("core: aggregate input %s: %w", p.Short(), err)
+		}
+		for _, r := range ts.Readings {
+			sources[r.SensorID] = struct{}{}
+		}
+	}
+	if len(sources) < minSources {
+		return provenance.ZeroID, fmt.Errorf("%w: %d < %d", ErrInsufficientAggregation, len(sources), minSources)
+	}
+	attrs = append(attrs,
+		provenance.Attr(KeyPrivacyK, provenance.Int64(int64(minSources))),
+		provenance.Attr(KeyPrivacySources, provenance.Int64(int64(len(sources)))),
+	)
+	return s.Derive(parents, tool, toolVersion, out, attrs...)
+}

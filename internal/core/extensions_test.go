@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pass/internal/provenance"
+	"pass/internal/query"
+	"pass/internal/tuple"
+)
+
+func TestAbstractLineage(t *testing.T) {
+	s := openTest(t)
+	raw1, _ := s.IngestTupleSet(sampleSet("a", 0, 3), trafficAttrs("boston")...)
+	raw2, _ := s.IngestTupleSet(sampleSet("b", 0, 3), trafficAttrs("boston")...)
+
+	mk := func(sensor string, v float64) *tuple.Set {
+		out := &tuple.Set{}
+		out.Append(tuple.Reading{SensorID: sensor, Time: 1, Value: v})
+		return out
+	}
+	// Two sharpen steps (same tool+version), one aggregate.
+	s1, _ := s.Derive([]provenance.ID{raw1}, "sharpen", "2.1", mk("s1", 1))
+	s2, _ := s.Derive([]provenance.ID{raw2}, "sharpen", "2.1", mk("s2", 2))
+	final, _ := s.Derive([]provenance.ID{s1, s2}, "aggregate", "3.0", mk("f", 3))
+
+	tools, err := s.AbstractLineage(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tools) != 2 {
+		t.Fatalf("abstract lineage has %d tools, want 2: %+v", len(tools), tools)
+	}
+	// Sorted by name: aggregate before sharpen.
+	if tools[0].Tool != "aggregate" || tools[0].Steps != 1 {
+		t.Fatalf("tools[0] = %+v", tools[0])
+	}
+	if tools[1].Tool != "sharpen" || tools[1].Version != "2.1" || tools[1].Steps != 2 {
+		t.Fatalf("tools[1] = %+v", tools[1])
+	}
+	// A raw record abstracts to nothing.
+	tools, err = s.AbstractLineage(raw1)
+	if err != nil || len(tools) != 0 {
+		t.Fatalf("raw abstraction = %+v, %v", tools, err)
+	}
+}
+
+func TestAbstractLineageDistinguishesVersions(t *testing.T) {
+	// The point of the abstraction: an optimizer bug in one version must
+	// be distinguishable ("compilers are subject to optimizer bugs").
+	s := openTest(t)
+	raw, _ := s.IngestTupleSet(sampleSet("a", 0, 3), trafficAttrs("boston")...)
+	mk := func(v float64) *tuple.Set {
+		out := &tuple.Set{}
+		out.Append(tuple.Reading{SensorID: "x", Time: 1, Value: v})
+		return out
+	}
+	d1, _ := s.Derive([]provenance.ID{raw}, "gcc", "3.3.3", mk(1))
+	d2, _ := s.Derive([]provenance.ID{d1}, "gcc", "3.4.0", mk(2))
+	tools, err := s.AbstractLineage(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tools) != 2 {
+		t.Fatalf("versions collapsed: %+v", tools)
+	}
+}
+
+func TestDerivePrivateEnforcesFloor(t *testing.T) {
+	s := openTest(t)
+	// One patient's EKG: a single distinct source.
+	single, _ := s.IngestTupleSet(sampleSet("patient-7-ekg", 0, 20),
+		provenance.Attr(provenance.KeyDomain, provenance.String("medical")))
+	out := &tuple.Set{}
+	out.Append(tuple.Reading{SensorID: "agg", Time: 1, Value: 75})
+
+	_, err := s.DerivePrivate([]provenance.ID{single}, "privacy-agg", "1.0", out, 5)
+	if !errors.Is(err, ErrInsufficientAggregation) {
+		t.Fatalf("err = %v, want ErrInsufficientAggregation", err)
+	}
+
+	// Pool five patients: floor met.
+	parents := []provenance.ID{single}
+	for i := 0; i < 4; i++ {
+		id, err := s.IngestTupleSet(sampleSet(string(rune('a'+i))+"-ekg", int64(i*100), 20),
+			provenance.Attr(provenance.KeyDomain, provenance.String("medical")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parents = append(parents, id)
+	}
+	aggID, err := s.DerivePrivate(parents, "privacy-agg", "1.0", out, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aggregate's provenance records the privacy floor and the actual
+	// source diversity.
+	rec, err := s.GetRecord(aggID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := rec.Get(KeyPrivacyK); !ok || k.Int != 5 {
+		t.Fatalf("privacy-k = %+v", k)
+	}
+	if n, ok := rec.Get(KeyPrivacySources); !ok || n.Int != 5 {
+		t.Fatalf("privacy-sources = %+v", n)
+	}
+	// And the privacy floor is queryable like any other provenance.
+	got, err := s.Query(query.AttrRange{Key: KeyPrivacyK, Lo: provenance.Int64(5), Hi: provenance.Int64(100)})
+	if err != nil || len(got) != 1 || got[0] != aggID {
+		t.Fatalf("privacy query = %v, %v", got, err)
+	}
+}
+
+func TestDerivePrivateMinSourcesClamped(t *testing.T) {
+	s := openTest(t)
+	raw, _ := s.IngestTupleSet(sampleSet("solo", 0, 3), trafficAttrs("boston")...)
+	out := &tuple.Set{}
+	out.Append(tuple.Reading{SensorID: "agg", Time: 1, Value: 1})
+	// minSources <= 0 is clamped to 1, which one source satisfies.
+	if _, err := s.DerivePrivate([]provenance.ID{raw}, "t", "1", out, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerivePrivateRefusesGCdInputs(t *testing.T) {
+	s := openTest(t)
+	raw, _ := s.IngestTupleSet(sampleSet("gone", 0, 3), trafficAttrs("boston")...)
+	if err := s.RemoveData(raw); err != nil {
+		t.Fatal(err)
+	}
+	out := &tuple.Set{}
+	out.Append(tuple.Reading{SensorID: "agg", Time: 1, Value: 1})
+	// The aggregate cannot verify diversity over collected data.
+	if _, err := s.DerivePrivate([]provenance.ID{raw}, "t", "1", out, 1); !errors.Is(err, ErrDataRemoved) {
+		t.Fatalf("err = %v, want ErrDataRemoved in chain", err)
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"pass/internal/kvstore"
+	"pass/internal/provenance"
+	"pass/internal/tuple"
+)
+
+// Garbage collection. Sensor archives are huge ("a regional traffic
+// sensing network ... could easily generate terabytes of data per day",
+// Section III-D) while provenance metadata is comparatively small and
+// "accessed more frequently than its data" (Section IV). GC therefore
+// removes tuple-set *payloads* — by policy, typically age — while keeping
+// every provenance record, which is exactly PASS property P4: "provenance
+// is not lost if ancestor objects are removed." Ancestry queries keep
+// working across collected records; only GetData reports ErrDataRemoved.
+
+// RemoveData garbage-collects the payload named by id, retaining the
+// provenance record. Payloads are refcounted (several records may name
+// identical content); the blob is deleted when the last reference goes.
+// Removing an annotation's data is an error; removing already-collected
+// data is idempotent.
+func (s *Store) RemoveData(id provenance.ID) error {
+	rec, err := s.GetRecord(id)
+	if err != nil {
+		return err
+	}
+	if rec.Type == provenance.Annotation {
+		return fmt.Errorf("%w: %s is an annotation", ErrNoData, id.Short())
+	}
+	digest := tuple.Digest(rec.DataDigest)
+
+	ok, err := s.db.Has(dataKey(digest))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // already collected
+	}
+	rc, err := s.refcount(digest)
+	if err != nil {
+		return err
+	}
+	var b kvstore.Batch
+	if rc <= 1 {
+		b.Delete(dataKey(digest))
+		b.Delete(refcntKey(digest))
+		b.Put(gcMarkKey(digest), nil)
+	} else {
+		b.Put(refcntKey(digest), encodeCount(rc-1))
+	}
+	return s.db.Apply(&b)
+}
+
+// RemoveDataBefore collects payloads of all raw and derived records whose
+// window end (or creation time, when no window exists) precedes cutoff.
+// It returns the number of records whose payloads were released.
+func (s *Store) RemoveDataBefore(cutoff int64) (int, error) {
+	var victims []provenance.ID
+	err := s.ScanRecords(func(id provenance.ID, rec *provenance.Record) bool {
+		if rec.Type == provenance.Annotation {
+			return true
+		}
+		t := rec.Created
+		if _, end, ok := rec.TimeRange(); ok {
+			t = end
+		}
+		if t < cutoff {
+			victims = append(victims, id)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range victims {
+		// Count only records whose payload was actually live.
+		rec, err := s.GetRecord(id)
+		if err != nil {
+			return n, err
+		}
+		live, err := s.db.Has(dataKey(tuple.Digest(rec.DataDigest)))
+		if err != nil {
+			return n, err
+		}
+		if err := s.RemoveData(id); err != nil {
+			return n, err
+		}
+		if live {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// DataPresent reports whether the payload for id is still stored.
+func (s *Store) DataPresent(id provenance.ID) (bool, error) {
+	rec, err := s.GetRecord(id)
+	if err != nil {
+		return false, err
+	}
+	if rec.Type == provenance.Annotation {
+		return false, nil
+	}
+	return s.db.Has(dataKey(tuple.Digest(rec.DataDigest)))
+}
+
+// ConsistencyReport summarizes a full provenance↔data audit.
+type ConsistencyReport struct {
+	Records         int // provenance records scanned
+	DataBlobs       int // live payloads
+	Collected       int // records whose payload was GC'd (marker present)
+	DanglingParents int // parent edges pointing at unknown records
+	MissingData     int // payloads absent with no GC marker (corruption)
+	BrokenIndex     int // records missing at least one index entry
+	IDMismatches    int // stored records that hash to a different ID
+}
+
+// Clean reports whether the audit found no inconsistency.
+func (r ConsistencyReport) Clean() bool {
+	return r.DanglingParents == 0 && r.MissingData == 0 && r.BrokenIndex == 0 && r.IDMismatches == 0
+}
+
+// VerifyConsistency audits the invariant behind the paper's Reliability
+// criterion: after any crash/recovery, provenance metadata must be
+// consistent with its data. It checks that every record's parents exist,
+// every named payload is either present or explicitly GC-marked, every
+// attribute of every record is findable through the index, and every
+// stored record still hashes to its ID.
+func (s *Store) VerifyConsistency() (ConsistencyReport, error) {
+	var rep ConsistencyReport
+
+	// Pass 1: collect all record IDs.
+	known := make(map[provenance.ID]struct{})
+	err := s.ScanRecords(func(id provenance.ID, rec *provenance.Record) bool {
+		known[id] = struct{}{}
+		return true
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// Pass 2: per-record checks.
+	var scanErr error
+	err = s.ScanRecords(func(id provenance.ID, rec *provenance.Record) bool {
+		rep.Records++
+		if rec.ComputeID() != id {
+			rep.IDMismatches++
+		}
+		for _, p := range rec.Parents {
+			if _, ok := known[p]; !ok {
+				rep.DanglingParents++
+			}
+		}
+		if rec.Type != provenance.Annotation {
+			digest := tuple.Digest(rec.DataDigest)
+			present, err := s.db.Has(dataKey(digest))
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if present {
+				rep.DataBlobs++
+			} else {
+				marked, err := s.db.Has(gcMarkKey(digest))
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if marked {
+					rep.Collected++
+				} else {
+					rep.MissingData++
+				}
+			}
+		}
+		// Every attribute must be reachable through the inverted index.
+		for _, a := range rec.Attributes {
+			ids, err := s.ix.LookupAttr(a.Key, a.Value)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			found := false
+			for _, got := range ids {
+				if got == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				rep.BrokenIndex++
+				break
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return rep, err
+	}
+	if scanErr != nil {
+		return rep, scanErr
+	}
+	return rep, nil
+}

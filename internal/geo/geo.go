@@ -1,0 +1,138 @@
+// Package geo models the physical placement of sensor networks, storage
+// sites, and data consumers. The paper's locality argument ("Boston traffic
+// data belongs in Boston, not in Singapore or even Seattle", Section III-D)
+// requires a notion of where data is produced, where it is stored, and how
+// far queries must travel; this package provides that substrate.
+//
+// Coordinates live on a 2-D plane measured in kilometres. A flat plane (as
+// opposed to a sphere) keeps distance arithmetic exact and reproducible
+// while preserving everything the experiments care about: relative
+// distances and zone membership.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the simulation plane, in kilometres.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between p and q in kilometres.
+func (p Point) Distance(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// String renders the point as "(x,y)".
+func (p Point) String() string {
+	return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y)
+}
+
+// Zone is a named circular region, the unit of locality: a sensor network,
+// its local storage site, and its primary consumers usually share a zone
+// (e.g. "boston", "london"). Zones correspond to SRB's scalability zones
+// and to the paper's "near the network or its primary users".
+type Zone struct {
+	Name   string
+	Center Point
+	Radius float64 // km
+}
+
+// Contains reports whether pt lies inside the zone.
+func (z Zone) Contains(pt Point) bool {
+	return z.Center.Distance(pt) <= z.Radius
+}
+
+// Map is a collection of named zones laid out on the plane.
+type Map struct {
+	zones []Zone
+	index map[string]int
+}
+
+// NewMap returns an empty map.
+func NewMap() *Map {
+	return &Map{index: make(map[string]int)}
+}
+
+// AddZone registers a zone. Adding a duplicate name replaces the original.
+func (m *Map) AddZone(z Zone) {
+	if i, ok := m.index[z.Name]; ok {
+		m.zones[i] = z
+		return
+	}
+	m.index[z.Name] = len(m.zones)
+	m.zones = append(m.zones, z)
+}
+
+// Zone returns the named zone.
+func (m *Map) Zone(name string) (Zone, bool) {
+	i, ok := m.index[name]
+	if !ok {
+		return Zone{}, false
+	}
+	return m.zones[i], true
+}
+
+// Zones returns all zones in insertion order.
+func (m *Map) Zones() []Zone {
+	out := make([]Zone, len(m.zones))
+	copy(out, m.zones)
+	return out
+}
+
+// Nearest returns the zone whose center is closest to pt. ok is false when
+// the map is empty.
+func (m *Map) Nearest(pt Point) (Zone, bool) {
+	if len(m.zones) == 0 {
+		return Zone{}, false
+	}
+	best := 0
+	bestD := m.zones[0].Center.Distance(pt)
+	for i := 1; i < len(m.zones); i++ {
+		if d := m.zones[i].Center.Distance(pt); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return m.zones[best], true
+}
+
+// GridLayout places n zones on a square-ish grid with the given spacing in
+// kilometres and radius per zone. Names are "zone-0" … "zone-(n-1)". It is
+// the standard layout for scalability sweeps where only relative distance
+// matters.
+func GridLayout(n int, spacing, radius float64) *Map {
+	m := NewMap()
+	if n <= 0 {
+		return m
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := 0; i < n; i++ {
+		row := i / cols
+		col := i % cols
+		m.AddZone(Zone{
+			Name:   fmt.Sprintf("zone-%d", i),
+			Center: Point{X: float64(col) * spacing, Y: float64(row) * spacing},
+			Radius: radius,
+		})
+	}
+	return m
+}
+
+// WorldCities returns a map with a handful of real-world-flavoured zones at
+// plausible pairwise distances (in km, on the plane). Used by the examples
+// and the locality experiments so output reads like the paper's narrative
+// (Boston data belongs in Boston...).
+func WorldCities() *Map {
+	m := NewMap()
+	m.AddZone(Zone{Name: "boston", Center: Point{0, 0}, Radius: 50})
+	m.AddZone(Zone{Name: "new-york", Center: Point{300, -60}, Radius: 60})
+	m.AddZone(Zone{Name: "seattle", Center: Point{-4000, 300}, Radius: 60})
+	m.AddZone(Zone{Name: "london", Center: Point{5300, 800}, Radius: 60})
+	m.AddZone(Zone{Name: "tokyo", Center: Point{10800, -400}, Radius: 60})
+	m.AddZone(Zone{Name: "singapore", Center: Point{15300, -3000}, Radius: 60})
+	return m
+}

@@ -1,0 +1,140 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if d := a.Distance(b); d != 5 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// Symmetry and triangle inequality.
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		if anyBad(ax, ay, bx, by, cx, cy) {
+			return true
+		}
+		a, b, c := Point{ax, ay}, Point{bx, by}, Point{cx, cy}
+		if math.Abs(a.Distance(b)-b.Distance(a)) > 1e-9 {
+			return false
+		}
+		// Allow tiny float slack in the triangle inequality.
+		return a.Distance(c) <= a.Distance(b)+b.Distance(c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestZoneContains(t *testing.T) {
+	z := Zone{Name: "boston", Center: Point{0, 0}, Radius: 10}
+	if !z.Contains(Point{5, 5}) {
+		t.Fatal("point inside radius not contained")
+	}
+	if z.Contains(Point{20, 0}) {
+		t.Fatal("point outside radius contained")
+	}
+	if !z.Contains(Point{10, 0}) {
+		t.Fatal("boundary point should be contained")
+	}
+}
+
+func TestMapAddAndLookup(t *testing.T) {
+	m := NewMap()
+	m.AddZone(Zone{Name: "a", Center: Point{0, 0}, Radius: 1})
+	m.AddZone(Zone{Name: "b", Center: Point{10, 0}, Radius: 1})
+	z, ok := m.Zone("a")
+	if !ok || z.Name != "a" {
+		t.Fatalf("Zone(a) = %v, %v", z, ok)
+	}
+	if _, ok := m.Zone("missing"); ok {
+		t.Fatal("found a zone that was never added")
+	}
+	if got := len(m.Zones()); got != 2 {
+		t.Fatalf("len(Zones) = %d, want 2", got)
+	}
+}
+
+func TestMapReplaceDuplicate(t *testing.T) {
+	m := NewMap()
+	m.AddZone(Zone{Name: "a", Center: Point{0, 0}, Radius: 1})
+	m.AddZone(Zone{Name: "a", Center: Point{5, 5}, Radius: 2})
+	if got := len(m.Zones()); got != 1 {
+		t.Fatalf("len(Zones) = %d, want 1 after replace", got)
+	}
+	z, _ := m.Zone("a")
+	if z.Radius != 2 {
+		t.Fatalf("replacement not applied: %+v", z)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	m := NewMap()
+	if _, ok := m.Nearest(Point{0, 0}); ok {
+		t.Fatal("empty map returned a nearest zone")
+	}
+	m.AddZone(Zone{Name: "a", Center: Point{0, 0}, Radius: 1})
+	m.AddZone(Zone{Name: "b", Center: Point{100, 0}, Radius: 1})
+	z, ok := m.Nearest(Point{90, 0})
+	if !ok || z.Name != "b" {
+		t.Fatalf("Nearest = %v, want b", z.Name)
+	}
+	z, _ = m.Nearest(Point{1, 1})
+	if z.Name != "a" {
+		t.Fatalf("Nearest = %v, want a", z.Name)
+	}
+}
+
+func TestGridLayout(t *testing.T) {
+	m := GridLayout(5, 100, 10)
+	zones := m.Zones()
+	if len(zones) != 5 {
+		t.Fatalf("grid has %d zones, want 5", len(zones))
+	}
+	// All pairwise distances must be >= spacing between distinct cells.
+	for i := range zones {
+		for j := i + 1; j < len(zones); j++ {
+			if d := zones[i].Center.Distance(zones[j].Center); d < 100-1e-9 {
+				t.Fatalf("zones %d,%d too close: %v", i, j, d)
+			}
+		}
+	}
+	if m2 := GridLayout(0, 100, 10); len(m2.Zones()) != 0 {
+		t.Fatal("GridLayout(0) should be empty")
+	}
+}
+
+func TestWorldCities(t *testing.T) {
+	m := WorldCities()
+	boston, ok := m.Zone("boston")
+	if !ok {
+		t.Fatal("no boston zone")
+	}
+	singapore, ok := m.Zone("singapore")
+	if !ok {
+		t.Fatal("no singapore zone")
+	}
+	ny, _ := m.Zone("new-york")
+	// Section III-D shape: Boston is much closer to New York than Singapore.
+	if boston.Center.Distance(ny.Center) >= boston.Center.Distance(singapore.Center) {
+		t.Fatal("world layout violates the paper's locality narrative")
+	}
+}

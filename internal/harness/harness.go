@@ -1,0 +1,142 @@
+// Package harness runs the reproduction's experiment suite, E1–E13. The
+// paper (a position paper) contains no numbered tables or figures; each
+// experiment instead makes one of its quantitative or comparative claims
+// measurable — see DESIGN.md section 4 for the claim-to-experiment map
+// and EXPERIMENTS.md for recorded results.
+//
+// Every experiment returns a Result holding a printable table plus named
+// scalar findings that the test suite asserts on (the "shape" checks:
+// who wins, what grows, where the crossover falls).
+package harness
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"pass/internal/metrics"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	// ID is the experiment identifier ("E1" … "E13").
+	ID string
+	// Title summarizes the claim under test.
+	Title string
+	// Table is the printable result table.
+	Table *metrics.Table
+	// Findings holds named scalar observations for programmatic checks.
+	Findings map[string]float64
+	// Notes carries free-form commentary rows (assumptions, pointers).
+	Notes []string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table.String())
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Finding fetches a named finding (0 when absent).
+func (r *Result) Finding(name string) float64 { return r.Findings[name] }
+
+// Scale trades experiment size for runtime: 1.0 is the EXPERIMENTS.md
+// configuration; tests use smaller values.
+type Scale float64
+
+// n scales a count, with a floor of 1.
+func (s Scale) n(base int) int {
+	v := int(float64(base) * float64(s))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Runner executes experiments into temp directories it cleans up.
+type Runner struct {
+	scale Scale
+}
+
+// NewRunner returns a runner at the given scale (0 = full scale 1.0).
+func NewRunner(scale Scale) *Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Runner{scale: scale}
+}
+
+// tempDir makes a scratch directory; the caller removes it.
+func tempDir(pattern string) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "pass-"+pattern+"-*")
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) (*Result, error)
+}
+
+// All returns the registry in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"E1", "Indexing granularity: tuples vs tuple sets (§II)", (*Runner).E1Granularity},
+		{"E2", "Provenance-as-name vs conventional filenames (§II-A)", (*Runner).E2Naming},
+		{"E3", "Flat name-value scan vs augmented index structures (§II-B)", (*Runner).E3IndexStructures},
+		{"E4", "Transitive closure: naive walk vs memoized closure (§III-B/D)", (*Runner).E4TransitiveClosure},
+		{"E5", "Publish scalability across architectures (§IV)", (*Runner).E5UpdateScalability},
+		{"E6", "Locality: Boston data belongs in Boston (§III-D, §IV-C)", (*Runner).E6Locality},
+		{"E7", "Soft-state staleness vs refresh period (§IV-B)", (*Runner).E7SoftStateStaleness},
+		{"E8", "Hierarchical significance-ordering penalty (§IV-B)", (*Runner).E8HierarchyOrdering},
+		{"E9", "DHT update load and recursive-query cost (§IV-C)", (*Runner).E9DHTUpdates},
+		{"E10", "Crash recovery: provenance consistent with data (§IV Reliability)", (*Runner).E10Recovery},
+		{"E11", "Distributed transitive closure across sites (§V)", (*Runner).E11DistributedClosure},
+		{"E12", "The four PASS properties P1–P4 (§V)", (*Runner).E12PASSProperties},
+		{"E13", "Resource consumption: central vs distributed crossover (§IV)", (*Runner).E13ResourceCrossover},
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		// E1 < E2 < ... < E13 numerically.
+		return expNum(exps[i].ID) < expNum(exps[j].ID)
+	})
+	return exps
+}
+
+func expNum(id string) int {
+	n := 0
+	for _, c := range id[1:] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Lookup finds one experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, returning results in order. The first
+// error aborts.
+func (r *Runner) RunAll() ([]*Result, error) {
+	var out []*Result
+	for _, e := range All() {
+		res, err := e.Run(r)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

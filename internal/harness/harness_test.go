@@ -1,0 +1,324 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// The harness tests run every experiment at reduced scale and assert the
+// SHAPE claims from the paper — who wins, what grows, where crossovers
+// fall — not absolute numbers.
+
+func testRunner() *Runner { return NewRunner(0.15) }
+
+func TestRegistryComplete(t *testing.T) {
+	exps := All()
+	if len(exps) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(exps))
+	}
+	for i, e := range exps {
+		if e.ID != "E"+itoa(i+1) {
+			t.Fatalf("experiment %d has ID %s", i, e.ID)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("%s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("E7"); !ok {
+		t.Fatal("Lookup(E7) failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("Lookup(E99) succeeded")
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestE1PerTupleIndexingCostsMore(t *testing.T) {
+	res, err := testRunner().E1Granularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-tuple (size 1) must create vastly more records and entries than
+	// size-1000 sets.
+	if ratio := res.Finding("entry_ratio_1_vs_1000"); ratio < 20 {
+		t.Fatalf("entry ratio 1 vs 1000 = %v, want >= 20 (per-tuple indexing should explode)", ratio)
+	}
+	if res.Finding("records_size1") <= res.Finding("records_size100") {
+		t.Fatal("record counts not decreasing with set size")
+	}
+	if !strings.Contains(res.Table.String(), "set-size") {
+		t.Fatal("table missing")
+	}
+}
+
+func TestE2FilenameRecallCollapses(t *testing.T) {
+	res, err := testRunner().E2Naming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PASS achieves full recall everywhere.
+	for _, key := range []string{"domain", "zone", "sensor-id", "software"} {
+		if r := res.Finding("pass_recall_" + key); r != 1 {
+			t.Fatalf("pass recall for %s = %v, want 1", key, r)
+		}
+	}
+	// Filenames cannot answer inexpressible attributes at all.
+	if r := res.Finding("file_recall_sensor-id"); r != 0 {
+		t.Fatalf("file recall for sensor-id = %v, want 0", r)
+	}
+	if r := res.Finding("file_recall_software"); r != 0 {
+		t.Fatalf("file recall for software = %v, want 0", r)
+	}
+	// Expressible attributes still work from filenames.
+	if r := res.Finding("file_recall_domain"); r != 1 {
+		t.Fatalf("file recall for domain = %v, want 1", r)
+	}
+}
+
+func TestE3IndexBeatsFlatScan(t *testing.T) {
+	res, err := testRunner().E3IndexStructures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range res.Findings {
+		if strings.HasPrefix(name, "speedup_") && v < 1 {
+			t.Fatalf("%s = %v, indexed should never lose to flat scan at this corpus size", name, v)
+		}
+	}
+}
+
+func TestE4MemoizationWins(t *testing.T) {
+	res, err := testRunner().E4TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm closure must beat the naive walk on every shape.
+	for name, v := range res.Findings {
+		if strings.HasPrefix(name, "warm_speedup_") && v < 1 {
+			t.Fatalf("%s = %v, want >= 1", name, v)
+		}
+	}
+	if res.Finding("size_chain-16") != 15 {
+		t.Fatalf("chain-16 closure size = %v, want 15", res.Finding("size_chain-16"))
+	}
+}
+
+func TestE5CentralGrowsPassnetStaysLocal(t *testing.T) {
+	res, err := testRunner().E5UpdateScalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Central WAN bytes grow with site count (total rate grows).
+	if res.Finding("wan_central_16") <= res.Finding("wan_central_4") {
+		t.Fatal("central WAN bytes did not grow with sites")
+	}
+	// feddb publishes are entirely local: zero WAN bytes.
+	if res.Finding("wan_feddb_16") != 0 {
+		t.Fatalf("feddb WAN bytes = %v, want 0", res.Finding("wan_feddb_16"))
+	}
+	// The DHT is the most expensive publisher: every record plus every
+	// queriable attribute is routed multi-hop to a random home.
+	if res.Finding("wan_dht_16") <= res.Finding("wan_central_16") {
+		t.Fatalf("dht WAN %v not above central %v",
+			res.Finding("wan_dht_16"), res.Finding("wan_central_16"))
+	}
+	// Publish latency: locality-preserving models (feddb, softstate,
+	// passnet) acknowledge locally, far faster than WAN-synchronous
+	// models (central, distdb, dht).
+	for _, local := range []string{"feddb", "softstate", "passnet"} {
+		for _, remote := range []string{"central", "distdb", "dht"} {
+			l := res.Finding("publat_" + local + "_16")
+			rm := res.Finding("publat_" + remote + "_16")
+			if l >= rm {
+				t.Fatalf("publish latency %s (%v ms) >= %s (%v ms)", local, l, remote, rm)
+			}
+		}
+	}
+	// The paper's own caveat holds too: distributing the index costs
+	// update bandwidth — passnet's digest fan-out is not free, but it
+	// must stay below shipping full metadata to every peer would
+	// (bounded above by dht's cost).
+	if res.Finding("wan_passnet_16") >= res.Finding("wan_dht_16") {
+		t.Fatalf("passnet digest bytes %v >= dht full-metadata bytes %v",
+			res.Finding("wan_passnet_16"), res.Finding("wan_dht_16"))
+	}
+}
+
+func TestE6LocalityOrdering(t *testing.T) {
+	res, err := testRunner().E6Locality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	passnet := res.Finding("qms_passnet")
+	centralMs := res.Finding("qms_central")
+	dhtMs := res.Finding("qms_dht")
+	// The Boston consumer's query latency: passnet stays in the zone;
+	// central pays the tokyo round trip; dht scatters worldwide.
+	if passnet >= centralMs {
+		t.Fatalf("passnet %vms >= central %vms", passnet, centralMs)
+	}
+	if passnet >= dhtMs {
+		t.Fatalf("passnet %vms >= dht %vms", passnet, dhtMs)
+	}
+	// passnet local queries ship ~no WAN bytes.
+	if res.Finding("qwan_passnet") > res.Finding("qwan_central")/2 {
+		t.Fatalf("passnet WAN %v not well under central %v",
+			res.Finding("qwan_passnet"), res.Finding("qwan_central"))
+	}
+}
+
+func TestE7RecallDecaysWithPeriod(t *testing.T) {
+	res, err := testRunner().E7SoftStateStaleness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := res.Finding("recall_p1")
+	r4 := res.Finding("recall_p4")
+	r16 := res.Finding("recall_p16")
+	if !(r1 >= r4 && r4 >= r16) {
+		t.Fatalf("recall not monotone: p1=%v p4=%v p16=%v", r1, r4, r16)
+	}
+	if r16 >= r1 {
+		t.Fatalf("recall at period 16 (%v) not below period 1 (%v)", r16, r1)
+	}
+	if res.Finding("recall_passnet") != 1 {
+		t.Fatalf("passnet immediate recall = %v, want 1", res.Finding("recall_passnet"))
+	}
+}
+
+func TestE8SecondaryFansOut(t *testing.T) {
+	res, err := testRunner().E8HierarchyOrdering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := res.Finding("fanout_primary")
+	secondary := res.Finding("fanout_secondary")
+	if primary != 1 {
+		t.Fatalf("primary fanout = %v, want 1", primary)
+	}
+	if secondary <= primary {
+		t.Fatalf("secondary fanout %v not above primary %v", secondary, primary)
+	}
+}
+
+func TestE9DHTLoadGrows(t *testing.T) {
+	res, err := testRunner().E9DHTUpdates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More queriable attributes = more messages per publish.
+	if res.Finding("pubmsgs_n8_a6") <= res.Finding("pubmsgs_n8_a2") {
+		t.Fatal("publish messages did not grow with attribute count")
+	}
+	// Bigger ring = more hops.
+	if res.Finding("hops_n32_a2") <= res.Finding("hops_n8_a2") {
+		t.Fatal("hops did not grow with ring size")
+	}
+}
+
+func TestE10RecoveryAlwaysClean(t *testing.T) {
+	res, err := testRunner().E10Recovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range res.Findings {
+		if strings.HasPrefix(name, "clean_") && v != 1 {
+			t.Fatalf("%s = %v: recovery left an inconsistent store", name, v)
+		}
+	}
+}
+
+func TestE11PassnetClosureCheapest(t *testing.T) {
+	res, err := testRunner().E11DistributedClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At span 4, passnet's server-side traversal must use far fewer
+	// messages than dht's per-record lookups.
+	pn := res.Finding("msgs_passnet_span4")
+	dht := res.Finding("msgs_dht_span4")
+	ss := res.Finding("msgs_softstate_span4")
+	if pn >= dht {
+		t.Fatalf("passnet %v msgs >= dht %v", pn, dht)
+	}
+	if pn >= ss {
+		t.Fatalf("passnet %v msgs >= softstate %v", pn, ss)
+	}
+	// passnet messages grow with span, not with chain depth: span 1 must
+	// be cheaper than span 8.
+	if res.Finding("msgs_passnet_span1") >= res.Finding("msgs_passnet_span8") {
+		t.Fatal("passnet messages did not grow with sites spanned")
+	}
+}
+
+func TestE12PropertiesHold(t *testing.T) {
+	res, err := testRunner().E12PASSProperties()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finding("p3_collisions") != 0 {
+		t.Fatalf("P3 collisions = %v", res.Finding("p3_collisions"))
+	}
+	if res.Finding("p4_ancestors_after_gc") != res.Finding("p4_expected") {
+		t.Fatalf("P4: %v/%v ancestors after GC",
+			res.Finding("p4_ancestors_after_gc"), res.Finding("p4_expected"))
+	}
+	if res.Finding("p2_found") != res.Finding("p2_expected") {
+		t.Fatalf("P2: %v/%v found", res.Finding("p2_found"), res.Finding("p2_expected"))
+	}
+	if res.Finding("audit_clean") != 1 {
+		t.Fatal("audit not clean")
+	}
+}
+
+func TestE13CrossoverExists(t *testing.T) {
+	res, err := testRunner().E13ResourceCrossover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update-heavy end: central's single stream beats immediate digest
+	// fan-out OR batched digests beat central — either way both columns
+	// are nonzero and the relative gap flips as the ratio rises.
+	cLow, pLow := res.Finding("central_0.01"), res.Finding("passnet_0.01")
+	cHigh, pHigh := res.Finding("central_100.00"), res.Finding("passnet_100.00")
+	if cLow == 0 || cHigh == 0 {
+		t.Fatal("central bytes are zero; broken accounting")
+	}
+	// Query-heavy end: passnet (local queries) must beat central.
+	if pHigh >= cHigh {
+		t.Fatalf("query-heavy: passnet %v >= central %v", pHigh, cHigh)
+	}
+	// The advantage must move toward central as updates dominate.
+	lowAdvantage := cLow / pLow // >1 means passnet wins updates too
+	highAdvantage := cHigh / pHigh
+	if highAdvantage <= lowAdvantage {
+		t.Fatalf("advantage did not shift with ratio: low %v, high %v", lowAdvantage, highAdvantage)
+	}
+}
+
+func TestRunAllProducesAllResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	results, err := NewRunner(0.05).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 13 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Table == nil || len(r.Findings) == 0 {
+			t.Fatalf("%s has empty output", r.ID)
+		}
+		if !strings.Contains(r.String(), r.ID) {
+			t.Fatalf("%s render missing ID", r.ID)
+		}
+	}
+}

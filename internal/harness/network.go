@@ -1,0 +1,701 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/arch/central"
+	"pass/internal/arch/dht"
+	"pass/internal/arch/distdb"
+	"pass/internal/arch/feddb"
+	"pass/internal/arch/hier"
+	"pass/internal/arch/passnet"
+	"pass/internal/arch/softstate"
+	"pass/internal/geo"
+	"pass/internal/metrics"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+	"pass/internal/workload"
+)
+
+// Experiments over the architecture models: E5–E9, E11, E13.
+
+// newGrid builds an n-site network on a grid, one locality zone per site.
+func newGrid(n int) (*netsim.Network, []netsim.SiteID) {
+	net := netsim.New(netsim.Config{})
+	m := geo.GridLayout(n, 500, 50)
+	var sites []netsim.SiteID
+	for _, z := range m.Zones() {
+		sites = append(sites, net.AddSite("site-"+z.Name, z.Center, z.Name))
+	}
+	return net, sites
+}
+
+// newWorld builds two sites per world city: index 2k is the producer and
+// 2k+1 the consumer of city k.
+func newWorld() (*netsim.Network, []netsim.SiteID) {
+	net := netsim.New(netsim.Config{})
+	var sites []netsim.SiteID
+	for _, z := range geo.WorldCities().Zones() {
+		sites = append(sites,
+			net.AddSite(z.Name+"-producer", z.Center, z.Name),
+			net.AddSite(z.Name+"-consumer", geo.Point{X: z.Center.X + 5, Y: z.Center.Y}, z.Name))
+	}
+	return net, sites
+}
+
+// genPubs turns generated tuple sets into publishable provenance records,
+// placing each at the site chosen by place.
+func genPubs(sets []workload.GenSet, clock func() int64, place func(i int, g workload.GenSet) netsim.SiteID) ([]arch.Pub, error) {
+	pubs := make([]arch.Pub, 0, len(sets))
+	for i, g := range sets {
+		rec, id, err := provenance.NewRaw(g.Set.Digest(), int64(g.Set.EncodedSize())).
+			Attrs(g.Attrs...).
+			CreatedAt(clock()).
+			Build()
+		if err != nil {
+			return nil, err
+		}
+		pubs = append(pubs, arch.Pub{ID: id, Rec: rec, Origin: place(i, g)})
+	}
+	return pubs, nil
+}
+
+// chainPubs builds a derivation chain whose records rotate across the
+// given origin sites, root first.
+func chainPubs(length int, origins []netsim.SiteID, clock func() int64) ([]arch.Pub, error) {
+	var pubs []arch.Pub
+	var prev provenance.ID
+	for i := 0; i < length; i++ {
+		var digest [32]byte
+		digest[0] = byte(i)
+		digest[1] = byte(i >> 8)
+		digest[2] = 0xC4
+		var b *provenance.Builder
+		if i == 0 {
+			b = provenance.NewRaw(digest, 64)
+		} else {
+			b = provenance.NewDerived(digest, 64, "step", fmt.Sprint(i), prev)
+		}
+		rec, id, err := b.CreatedAt(clock()).Build()
+		if err != nil {
+			return nil, err
+		}
+		pubs = append(pubs, arch.Pub{ID: id, Rec: rec, Origin: origins[i%len(origins)]})
+		prev = id
+	}
+	return pubs, nil
+}
+
+// E5UpdateScalability — §IV: publish cost per model as sites grow.
+func (r *Runner) E5UpdateScalability() (*Result, error) {
+	table := metrics.NewTable("E5: publish scalability",
+		"model", "sites", "publishes", "wan-bytes", "msgs", "mean-pub-ms")
+	findings := map[string]float64{}
+
+	perSite := r.scale.n(40)
+	for _, n := range []int{4, 8, 16} {
+		clock := monotonicClock()
+		sets := workload.Generate(workload.Config{
+			Domain:  workload.DomainTraffic,
+			Zones:   zoneNames(n),
+			Windows: perSite, SensorsPerZone: 2, ReadingsPerSensor: 2,
+			WindowDur: time.Hour, Seed: uint64(500 + n),
+		})
+		for _, model := range modelsForFresh(n) {
+			net, sites, m := model.net, model.sites, model.m
+			pubs, err := genPubs(sets, clock, func(i int, g workload.GenSet) netsim.SiteID {
+				return sites[zoneIndex(g.Zone)%len(sites)]
+			})
+			if err != nil {
+				return nil, err
+			}
+			net.ResetStats()
+			var totalLat time.Duration
+			for _, p := range pubs {
+				d, err := m.Publish(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", m.Name(), err)
+				}
+				totalLat += d
+			}
+			if err := m.Tick(); err != nil {
+				return nil, err
+			}
+			st := net.Stats()
+			meanMs := float64(totalLat.Microseconds()) / float64(len(pubs)) / 1000
+			table.AddRow(m.Name(), n, len(pubs), st.WANBytes, st.Messages, meanMs)
+			findings[fmt.Sprintf("wan_%s_%d", m.Name(), n)] = float64(st.WANBytes)
+			findings[fmt.Sprintf("publat_%s_%d", m.Name(), n)] = meanMs
+		}
+	}
+	return &Result{
+		ID:       "E5",
+		Title:    "Publish scalability across architectures",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"shape check: central/distdb/dht WAN bytes grow with total rate; feddb/softstate/passnet keep full metadata local",
+		},
+	}, nil
+}
+
+func zoneNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("zone-%d", i)
+	}
+	return out
+}
+
+func zoneIndex(zone string) int {
+	n := 0
+	for i := len(zone) - 1; i >= 0; i-- {
+		c := zone[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// freshModel bundles a model with its private network (so traffic
+// accounting never bleeds across models).
+type freshModel struct {
+	net   *netsim.Network
+	sites []netsim.SiteID
+	m     arch.Model
+}
+
+func modelsForFresh(n int) []freshModel {
+	var out []freshModel
+	build := []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return central.New(net, sites[0]) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return distdb.New(net, sites, 2) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return feddb.New(net, sites, 0) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			idx := sites[:1]
+			if len(sites) > 2 {
+				idx = sites[:2]
+			}
+			return softstate.New(net, sites, idx, 1)
+		},
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			h, err := hier.New(net, sites, []string{provenance.KeyZone, provenance.KeySensorClass})
+			if err != nil {
+				panic(err)
+			}
+			return h
+		},
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return dht.New(net, sites) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{})
+		},
+	}
+	for _, b := range build {
+		net, sites := newGrid(n)
+		out = append(out, freshModel{net: net, sites: sites, m: b(net, sites)})
+	}
+	return out
+}
+
+// E6Locality — §III-D and the Pier observation: a Boston consumer querying
+// Boston data should not pay world-scale round trips.
+func (r *Runner) E6Locality() (*Result, error) {
+	table := metrics.NewTable("E6: locality (boston consumer, boston data)",
+		"model", "mean-query-ms", "wan-bytes(query)", "wan-msgs(query)")
+	findings := map[string]float64{}
+
+	k := r.scale.n(60)
+	queries := r.scale.n(30)
+	for _, b := range worldModels() {
+		net, sites, m := b.net, b.sites, b.m
+		producer, consumer := sites[0], sites[1] // boston pair (see newWorld)
+		clock := monotonicClock()
+		sets := workload.Generate(workload.Config{
+			Domain:  workload.DomainTraffic,
+			Zones:   []string{"boston"},
+			Windows: k, SensorsPerZone: 2, ReadingsPerSensor: 2,
+			WindowDur: time.Hour, Seed: 61,
+		})
+		pubs, err := genPubs(sets, clock, func(int, workload.GenSet) netsim.SiteID { return producer })
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pubs {
+			if _, err := m.Publish(p); err != nil {
+				return nil, fmt.Errorf("%s: %w", m.Name(), err)
+			}
+		}
+		if err := m.Tick(); err != nil {
+			return nil, err
+		}
+		net.ResetStats()
+		var totalLat time.Duration
+		for i := 0; i < queries; i++ {
+			got, d, err := m.QueryAttr(consumer, provenance.KeyZone, provenance.String("boston"))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", m.Name(), err)
+			}
+			if len(got) != len(pubs) {
+				return nil, fmt.Errorf("%s: query returned %d/%d", m.Name(), len(got), len(pubs))
+			}
+			totalLat += d
+		}
+		st := net.Stats()
+		meanMs := float64(totalLat.Microseconds()) / float64(queries) / 1000
+		table.AddRow(m.Name(), meanMs, st.WANBytes, st.WANMsgs)
+		findings["qms_"+m.Name()] = meanMs
+		findings["qwan_"+m.Name()] = float64(st.WANBytes)
+	}
+	return &Result{
+		ID:       "E6",
+		Title:    "Locality: Boston data belongs in Boston",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"shape check: passnet/feddb/hier answer in-zone; central always crosses to the warehouse; dht scatters to random homes",
+		},
+	}, nil
+}
+
+// worldModels returns the roster over the world-city topology. The
+// central warehouse is deliberately placed in tokyo (far from boston) and
+// passnet runs with immediate digests so results are fresh.
+func worldModels() []freshModel {
+	var out []freshModel
+	build := []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return central.New(net, sites[8]) // tokyo-producer hosts the warehouse
+		},
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return distdb.New(net, sites, 2) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return feddb.New(net, sites, 0) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return softstate.New(net, sites, sites[8:9], 1)
+		},
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			h, err := hier.New(net, sites, []string{provenance.KeyZone, provenance.KeySensorClass})
+			if err != nil {
+				panic(err)
+			}
+			return h
+		},
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return dht.New(net, sites) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
+		},
+	}
+	for _, b := range build {
+		net, sites := newWorld()
+		out = append(out, freshModel{net: net, sites: sites, m: b(net, sites)})
+	}
+	return out
+}
+
+// E7SoftStateStaleness — §IV-B: recall vs refresh period.
+func (r *Runner) E7SoftStateStaleness() (*Result, error) {
+	table := metrics.NewTable("E7: soft-state staleness",
+		"model", "refresh-every", "publishes", "mean-recall", "min-recall")
+	findings := map[string]float64{}
+
+	k := r.scale.n(64)
+	clockBase := monotonicClock()
+	sets := workload.Generate(workload.Config{
+		Domain:  workload.DomainWeather,
+		Zones:   []string{"zone-0"},
+		Windows: k, SensorsPerZone: 1, ReadingsPerSensor: 2,
+		WindowDur: time.Minute, Seed: 71,
+	})
+
+	for _, period := range []int{1, 2, 4, 8, 16} {
+		net, sites := newGrid(4)
+		m := softstate.New(net, sites, sites[:1], period)
+		pubs, err := genPubs(sets, clockBase, func(int, workload.GenSet) netsim.SiteID { return sites[0] })
+		if err != nil {
+			return nil, err
+		}
+		sumRecall, minRecall := 0.0, 1.0
+		for i, p := range pubs {
+			if _, err := m.Publish(p); err != nil {
+				return nil, err
+			}
+			if err := m.Tick(); err != nil {
+				return nil, err
+			}
+			got, _, err := m.QueryAttr(sites[2], provenance.KeyDomain, provenance.String("weather"))
+			if err != nil {
+				return nil, err
+			}
+			recall := float64(len(got)) / float64(i+1)
+			sumRecall += recall
+			if recall < minRecall {
+				minRecall = recall
+			}
+		}
+		mean := sumRecall / float64(len(pubs))
+		table.AddRow("softstate", period, len(pubs), mean, minRecall)
+		findings[fmt.Sprintf("recall_p%d", period)] = mean
+	}
+
+	// Contrast: passnet with immediate digests never goes stale.
+	net, sites := newGrid(4)
+	pm := passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
+	pubs, err := genPubs(sets, clockBase, func(int, workload.GenSet) netsim.SiteID { return sites[0] })
+	if err != nil {
+		return nil, err
+	}
+	sumRecall, minRecall := 0.0, 1.0
+	for i, p := range pubs {
+		if _, err := pm.Publish(p); err != nil {
+			return nil, err
+		}
+		got, _, err := pm.QueryAttr(sites[2], provenance.KeyDomain, provenance.String("weather"))
+		if err != nil {
+			return nil, err
+		}
+		recall := float64(len(got)) / float64(i+1)
+		sumRecall += recall
+		if recall < minRecall {
+			minRecall = recall
+		}
+	}
+	table.AddRow("passnet-immediate", "-", len(pubs), sumRecall/float64(len(pubs)), minRecall)
+	findings["recall_passnet"] = sumRecall / float64(len(pubs))
+
+	return &Result{
+		ID:       "E7",
+		Title:    "Soft-state staleness vs refresh period",
+		Table:    table,
+		Findings: findings,
+		Notes:    []string{"shape check: recall decays monotonically as the refresh period grows"},
+	}, nil
+}
+
+// E8HierarchyOrdering — §IV-B: primary- vs secondary-attribute query cost
+// under a significance ordering.
+func (r *Runner) E8HierarchyOrdering() (*Result, error) {
+	n := r.scale.n(16)
+	if n < 4 {
+		n = 4
+	}
+	net, sites := newGrid(n)
+	m, err := hier.New(net, sites, []string{provenance.KeyZone, provenance.KeySensorClass})
+	if err != nil {
+		return nil, err
+	}
+	clock := monotonicClock()
+	sets := workload.Generate(workload.Config{
+		Domain:  workload.DomainTraffic,
+		Zones:   zoneNames(n),
+		Windows: r.scale.n(20), SensorsPerZone: 3, ReadingsPerSensor: 2,
+		WindowDur: time.Hour, Seed: 81,
+	})
+	pubs, err := genPubs(sets, clock, func(i int, g workload.GenSet) netsim.SiteID {
+		return sites[zoneIndex(g.Zone)%len(sites)]
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pubs {
+		if _, err := m.Publish(p); err != nil {
+			return nil, err
+		}
+	}
+
+	table := metrics.NewTable(fmt.Sprintf("E8: significance ordering (%d servers)", n),
+		"query-attribute", "servers-contacted", "latency-ms", "wan-bytes", "results")
+	findings := map[string]float64{}
+
+	runQuery := func(label, metricKey, key string, val provenance.Value) error {
+		net.ResetStats()
+		got, d, err := m.QueryAttr(sites[0], key, val)
+		if err != nil {
+			return err
+		}
+		st := net.Stats()
+		table.AddRow(label, m.LastFanout(), float64(d.Microseconds())/1000, st.Bytes, len(got))
+		findings["fanout_"+metricKey] = float64(m.LastFanout())
+		return nil
+	}
+	if err := runQuery("primary (zone)", "primary", provenance.KeyZone, provenance.String("zone-1")); err != nil {
+		return nil, err
+	}
+	if err := runQuery("secondary (sensor-class)", "secondary", provenance.KeySensorClass, provenance.String("camera")); err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:       "E8",
+		Title:    "Hierarchical significance-ordering penalty",
+		Table:    table,
+		Findings: findings,
+		Notes:    []string{"shape check: secondary-attribute queries contact every server; primary contacts exactly one"},
+	}, nil
+}
+
+// E9DHTUpdates — §IV-C: update load and recursive-query cost on a DHT.
+func (r *Runner) E9DHTUpdates() (*Result, error) {
+	table := metrics.NewTable("E9: DHT update load",
+		"nodes", "updaters", "attrs/record", "msgs/publish", "avg-hops", "republish-bytes/tick", "ancestry-msgs(depth 8)")
+	findings := map[string]float64{}
+
+	for _, n := range []int{8, 32} {
+		for _, attrs := range []int{2, 6} {
+			net, sites := newGrid(n)
+			m := dht.New(net, sites)
+			clock := monotonicClock()
+			updaters := r.scale.n(200)
+
+			var pubs []arch.Pub
+			for i := 0; i < updaters; i++ {
+				b := provenance.NewRaw(seedDigest(i), 64)
+				for a := 0; a < attrs; a++ {
+					b = b.Attr(fmt.Sprintf("attr-%d", a), provenance.String(fmt.Sprintf("v%d", i%7)))
+				}
+				rec, id, err := b.CreatedAt(clock()).Build()
+				if err != nil {
+					return nil, err
+				}
+				pubs = append(pubs, arch.Pub{ID: id, Rec: rec, Origin: sites[i%len(sites)]})
+			}
+			net.ResetStats()
+			for _, p := range pubs {
+				if _, err := m.Publish(p); err != nil {
+					return nil, err
+				}
+			}
+			pubMsgs := float64(net.Stats().Messages) / float64(len(pubs))
+
+			net.ResetStats()
+			if err := m.Tick(); err != nil { // republish round
+				return nil, err
+			}
+			tickBytes := net.Stats().Bytes
+
+			// Recursive query cost on a depth-8 chain.
+			chain, err := chainPubs(8, sites, clock)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range chain {
+				if _, err := m.Publish(p); err != nil {
+					return nil, err
+				}
+			}
+			net.ResetStats()
+			if _, _, err := m.QueryAncestors(sites[0], chain[len(chain)-1].ID); err != nil {
+				return nil, err
+			}
+			ancMsgs := net.Stats().Messages
+
+			table.AddRow(n, updaters, attrs, pubMsgs, m.AvgHops(), tickBytes, ancMsgs)
+			findings[fmt.Sprintf("pubmsgs_n%d_a%d", n, attrs)] = pubMsgs
+			findings[fmt.Sprintf("hops_n%d_a%d", n, attrs)] = m.AvgHops()
+		}
+	}
+	return &Result{
+		ID:       "E9",
+		Title:    "DHT update load and recursive-query cost",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"shape check: messages/publish grows with queriable attributes; hops grow with ring size; every republish tick repeats the full load (the 'tens of thousands of updaters' ceiling)",
+		},
+	}, nil
+}
+
+func seedDigest(i int) [32]byte {
+	var d [32]byte
+	d[0] = byte(i)
+	d[1] = byte(i >> 8)
+	d[2] = byte(i >> 16)
+	d[3] = 0xE9
+	return d
+}
+
+// E11DistributedClosure — §V: distributed transitive closure as lineage
+// spans more sites.
+func (r *Runner) E11DistributedClosure() (*Result, error) {
+	table := metrics.NewTable("E11: distributed transitive closure (chain depth 32)",
+		"model", "sites-spanned", "latency-ms", "messages")
+	findings := map[string]float64{}
+
+	depth := r.scale.n(32)
+	if depth < 8 {
+		depth = 8
+	}
+	for _, span := range []int{1, 4, 8} {
+		for _, b := range closureModels() {
+			net, sites, m := b.net, b.sites, b.m
+			clock := monotonicClock()
+			origins := sites[:span]
+			pubs, err := chainPubs(depth, origins, clock)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pubs {
+				if _, err := m.Publish(p); err != nil {
+					return nil, fmt.Errorf("%s: %w", m.Name(), err)
+				}
+			}
+			if err := m.Tick(); err != nil {
+				return nil, err
+			}
+			net.ResetStats()
+			anc, d, err := m.QueryAncestors(sites[len(sites)-1], pubs[len(pubs)-1].ID)
+			if err != nil {
+				return nil, fmt.Errorf("%s span %d: %w", m.Name(), span, err)
+			}
+			if len(anc) != depth-1 {
+				return nil, fmt.Errorf("%s span %d: closure %d, want %d", m.Name(), span, len(anc), depth-1)
+			}
+			st := net.Stats()
+			table.AddRow(m.Name(), span, float64(d.Microseconds())/1000, st.Messages)
+			findings[fmt.Sprintf("msgs_%s_span%d", m.Name(), span)] = float64(st.Messages)
+		}
+	}
+	return &Result{
+		ID:       "E11",
+		Title:    "Distributed transitive closure across merged PASS sites",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"shape check: passnet messages track sites-spanned (server-side traversal); dht/softstate pay per-record lookups regardless of span; central is one round trip but paid for it at ingest (E5)",
+		},
+	}, nil
+}
+
+func closureModels() []freshModel {
+	var out []freshModel
+	build := []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return central.New(net, sites[0]) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return softstate.New(net, sites, sites[:2], 1)
+		},
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return dht.New(net, sites) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return feddb.New(net, sites, 0) },
+		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
+		},
+	}
+	for _, b := range build {
+		net, sites := newGrid(16)
+		out = append(out, freshModel{net: net, sites: sites, m: b(net, sites)})
+	}
+	return out
+}
+
+// E13ResourceCrossover — §IV Resource Consumption: "If distributed,
+// updates may use a lot of network bandwidth; if centralized, query
+// traffic may instead." Sweep the query:update ratio and find where each
+// side wins on WAN bytes.
+func (r *Runner) E13ResourceCrossover() (*Result, error) {
+	table := metrics.NewTable("E13: WAN bytes vs query:update ratio (16 sites, 80% zone-local queries)",
+		"q:u ratio", "central-bytes", "passnet-imm-bytes", "passnet-batch-bytes", "winner")
+	findings := map[string]float64{}
+
+	totalOps := r.scale.n(1500)
+	ratios := []float64{0.01, 0.1, 1, 10, 100}
+	for _, ratio := range ratios {
+		// ops split: queries = total * ratio/(1+ratio).
+		queries := int(float64(totalOps) * ratio / (1 + ratio))
+		updates := totalOps - queries
+		if updates < 1 {
+			updates = 1
+		}
+
+		bytesFor := func(mk func(net *netsim.Network, sites []netsim.SiteID) arch.Model, batched bool) (int64, error) {
+			net, sites := newGrid(16)
+			m := mk(net, sites)
+			clock := monotonicClock()
+			rng := workload.NewRand(uint64(1000 * (1 + ratio)))
+			sets := workload.Generate(workload.Config{
+				Domain:  workload.DomainTraffic,
+				Zones:   zoneNames(16),
+				Windows: (updates+15)/16 + 1, SensorsPerZone: 2, ReadingsPerSensor: 2,
+				WindowDur: time.Hour, Seed: 131,
+			})
+			pubs, err := genPubs(sets, clock, func(i int, g workload.GenSet) netsim.SiteID {
+				return sites[zoneIndex(g.Zone)%len(sites)]
+			})
+			if err != nil {
+				return 0, err
+			}
+			if len(pubs) > updates {
+				pubs = pubs[:updates]
+			}
+			net.ResetStats()
+			// WAN byte totals are order-independent, so run the update
+			// phase then the query phase (batched mode ticks every 16
+			// publishes, modelling periodic gossip under sustained load).
+			for pi, p := range pubs {
+				if _, err := m.Publish(p); err != nil {
+					return 0, err
+				}
+				if batched && (pi+1)%16 == 0 {
+					if err := m.Tick(); err != nil {
+						return 0, err
+					}
+				}
+			}
+			if err := m.Tick(); err != nil {
+				return 0, err
+			}
+			for q := 0; q < queries; q++ {
+				// 80% of queries target the querier's own zone (locality).
+				qSite := sites[rng.Intn(len(sites))]
+				zone := fmt.Sprintf("zone-%d", int(qSite))
+				if rng.Float64() >= 0.8 {
+					zone = fmt.Sprintf("zone-%d", rng.Intn(16))
+				}
+				if _, _, err := m.QueryAttr(qSite, provenance.KeyZone, provenance.String(zone)); err != nil {
+					return 0, err
+				}
+			}
+			return net.Stats().WANBytes, nil
+		}
+
+		centralBytes, err := bytesFor(func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return central.New(net, sites[0])
+		}, false)
+		if err != nil {
+			return nil, err
+		}
+		pnImmBytes, err := bytesFor(func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
+		}, false)
+		if err != nil {
+			return nil, err
+		}
+		pnBatchBytes, err := bytesFor(func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{})
+		}, true)
+		if err != nil {
+			return nil, err
+		}
+		winner := "central"
+		if pnBatchBytes < centralBytes || pnImmBytes < centralBytes {
+			winner = "passnet"
+		}
+		table.AddRow(fmt.Sprintf("%.2f", ratio), centralBytes, pnImmBytes, pnBatchBytes, winner)
+		findings[fmt.Sprintf("central_%.2f", ratio)] = float64(centralBytes)
+		findings[fmt.Sprintf("passnet_%.2f", ratio)] = float64(minI64(pnImmBytes, pnBatchBytes))
+	}
+	return &Result{
+		ID:       "E13",
+		Title:    "Resource consumption: central vs distributed crossover",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"the paper's tension verbatim: distributed pays on updates (digest fan-out), central pays on queries (every query crosses the WAN); the winner flips with the ratio",
+		},
+	}, nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"pass/internal/kvstore"
+	"pass/internal/provenance"
+)
+
+// Ablation benchmarks: memoized closure vs naive BFS, and attribute
+// lookup cost vs posting-list length.
+
+func benchIndex(b *testing.B) (*Index, *kvstore.Store) {
+	b.Helper()
+	db, err := kvstore.Open(b.TempDir(), kvstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return New(db), db
+}
+
+func benchDigest(i int) (d [32]byte) {
+	d[0], d[1], d[2] = byte(i), byte(i>>8), byte(i>>16)
+	d[3] = 0xBE
+	return
+}
+
+// buildBenchChain makes a depth-n chain and returns the leaf.
+func buildBenchChain(b *testing.B, ix *Index, db *kvstore.Store, n int) provenance.ID {
+	b.Helper()
+	rec, id, err := provenance.NewRaw(benchDigest(0), 1).CreatedAt(1).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch kvstore.Batch
+	ix.AddToBatch(&batch, id, rec)
+	if err := db.Apply(&batch); err != nil {
+		b.Fatal(err)
+	}
+	prev := id
+	for i := 1; i < n; i++ {
+		rec, id, err := provenance.NewDerived(benchDigest(i), 1, "step", "1", prev).CreatedAt(int64(i)).Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var batch kvstore.Batch
+		ix.AddToBatch(&batch, id, rec)
+		if err := db.Apply(&batch); err != nil {
+			b.Fatal(err)
+		}
+		prev = id
+	}
+	return prev
+}
+
+func BenchmarkAncestorsNaive(b *testing.B) {
+	for _, depth := range []int{8, 64} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			ix, db := benchIndex(b)
+			leaf := buildBenchChain(b, ix, db, depth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				anc, err := ix.NaiveAncestors(leaf, NoLimit)
+				if err != nil || len(anc) != depth-1 {
+					b.Fatalf("%d ancestors, %v", len(anc), err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAncestorsMemoized(b *testing.B) {
+	for _, depth := range []int{8, 64} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			ix, db := benchIndex(b)
+			leaf := buildBenchChain(b, ix, db, depth)
+			if _, err := ix.Ancestors(leaf, NoLimit); err != nil { // warm
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				anc, err := ix.Ancestors(leaf, NoLimit)
+				if err != nil || len(anc) != depth-1 {
+					b.Fatalf("%d ancestors, %v", len(anc), err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLookupAttr(b *testing.B) {
+	for _, postings := range []int{10, 1000} {
+		b.Run(fmt.Sprintf("postings-%d", postings), func(b *testing.B) {
+			ix, db := benchIndex(b)
+			for i := 0; i < postings; i++ {
+				rec, id, err := provenance.NewRaw(benchDigest(i), 1).
+					Attr("zone", provenance.String("boston")).
+					CreatedAt(int64(i)).Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				var batch kvstore.Batch
+				ix.AddToBatch(&batch, id, rec)
+				if err := db.Apply(&batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := ix.LookupAttr("zone", provenance.String("boston"))
+				if err != nil || len(got) != postings {
+					b.Fatalf("%d postings, %v", len(got), err)
+				}
+			}
+		})
+	}
+}

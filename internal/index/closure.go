@@ -1,0 +1,240 @@
+package index
+
+import (
+	"sync"
+
+	"pass/internal/provenance"
+)
+
+// Transitive closure over the ancestry graph. The paper is emphatic that
+// this is the workload that breaks conventional schemes: "nearly all the
+// queries have some component of transitive closure, a construct not well
+// supported by conventional query systems" (Section III-B), and the local
+// PASS research agenda names "efficient support for transitive closure
+// queries" as the first challenge (Section V).
+//
+// Two implementations are provided:
+//
+//   - NaiveAncestors / NaiveDescendants: plain breadth-first traversal,
+//     one adjacency scan per visited node. This is the baseline an
+//     unaugmented name-value store would give (experiment E4).
+//
+//   - Ancestors / Descendants: memoized traversal. Because provenance is
+//     append-only and a record's parents are fixed at creation, the
+//     ancestor set of any record is immutable — so it is cached without
+//     invalidation. Descendant sets grow as new derivations arrive, so
+//     the descendant cache carries an epoch that AddToBatch bumps.
+//
+// NoLimit requests unbounded depth.
+const NoLimit = -1
+
+// closureCache holds the memoized closure sets.
+type closureCache struct {
+	mu         sync.Mutex
+	ancestors  map[provenance.ID][]provenance.ID
+	desc       map[provenance.ID][]provenance.ID
+	maxEntries int
+}
+
+func newClosureCache() *closureCache {
+	return &closureCache{
+		ancestors:  make(map[provenance.ID][]provenance.ID),
+		desc:       make(map[provenance.ID][]provenance.ID),
+		maxEntries: 1 << 17,
+	}
+}
+
+func (c *closureCache) invalidateDescendants() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.desc) > 0 {
+		c.desc = make(map[provenance.ID][]provenance.ID)
+	}
+}
+
+// evictIfFullLocked drops the whole map when over budget; cheap, and the
+// cache rebuilds itself on the next queries.
+func (c *closureCache) evictIfFullLocked(m map[provenance.ID][]provenance.ID) map[provenance.ID][]provenance.ID {
+	if len(m) >= c.maxEntries {
+		return make(map[provenance.ID][]provenance.ID)
+	}
+	return m
+}
+
+// NaiveAncestors walks the child→parent edges breadth-first with no
+// memoization. maxDepth bounds the walk (NoLimit = unbounded). The result
+// excludes id itself and has no duplicates.
+func (ix *Index) NaiveAncestors(id provenance.ID, maxDepth int) ([]provenance.ID, error) {
+	return ix.traverse(id, maxDepth, ix.Parents)
+}
+
+// NaiveDescendants walks parent→child edges breadth-first.
+func (ix *Index) NaiveDescendants(id provenance.ID, maxDepth int) ([]provenance.ID, error) {
+	return ix.traverse(id, maxDepth, ix.Children)
+}
+
+func (ix *Index) traverse(id provenance.ID, maxDepth int, step func(provenance.ID) ([]provenance.ID, error)) ([]provenance.ID, error) {
+	visited := map[provenance.ID]struct{}{id: {}}
+	frontier := []provenance.ID{id}
+	var out []provenance.ID
+	depth := 0
+	for len(frontier) > 0 {
+		if maxDepth != NoLimit && depth >= maxDepth {
+			break
+		}
+		depth++
+		var next []provenance.ID
+		for _, cur := range frontier {
+			neighbors, err := step(cur)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range neighbors {
+				if _, ok := visited[n]; ok {
+					continue
+				}
+				visited[n] = struct{}{}
+				out = append(out, n)
+				next = append(next, n)
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// Ancestors returns the full ancestor set of id (transitive, excluding id)
+// using permanent memoization: ancestors(x) = ∪ over parents p of
+// ({p} ∪ ancestors(p)). Depth limits are served by the naive walk since a
+// truncated set must not be cached as complete.
+func (ix *Index) Ancestors(id provenance.ID, maxDepth int) ([]provenance.ID, error) {
+	if maxDepth != NoLimit {
+		return ix.NaiveAncestors(id, maxDepth)
+	}
+	set, err := ix.memoAncestors(id, make(map[provenance.ID]bool))
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// memoAncestors computes (and caches) the complete ancestor set with an
+// explicit DFS stack, sharing cached subresults across the DAG. inFlight
+// guards against cycles, which a well-formed provenance DAG cannot contain
+// (IDs are content hashes of parents, so an edge always points to an
+// earlier record), but corrupt input must not hang us.
+func (ix *Index) memoAncestors(id provenance.ID, inFlight map[provenance.ID]bool) ([]provenance.ID, error) {
+	ix.closure.mu.Lock()
+	if cached, ok := ix.closure.ancestors[id]; ok {
+		ix.closure.mu.Unlock()
+		return cached, nil
+	}
+	ix.closure.mu.Unlock()
+
+	if inFlight[id] {
+		return nil, nil // cycle guard: treat back-edge as no ancestors
+	}
+	inFlight[id] = true
+	defer delete(inFlight, id)
+
+	parents, err := ix.Parents(id)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[provenance.ID]struct{})
+	var out []provenance.ID
+	add := func(x provenance.ID) {
+		if _, ok := seen[x]; !ok {
+			seen[x] = struct{}{}
+			out = append(out, x)
+		}
+	}
+	for _, p := range parents {
+		add(p)
+		anc, err := ix.memoAncestors(p, inFlight)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range anc {
+			add(a)
+		}
+	}
+
+	ix.closure.mu.Lock()
+	ix.closure.ancestors = ix.closure.evictIfFullLocked(ix.closure.ancestors)
+	ix.closure.ancestors[id] = out
+	ix.closure.mu.Unlock()
+	return out, nil
+}
+
+// Descendants returns the transitive descendant set of id (excluding id).
+// Complete results are cached until the next index insert.
+func (ix *Index) Descendants(id provenance.ID, maxDepth int) ([]provenance.ID, error) {
+	if maxDepth != NoLimit {
+		return ix.NaiveDescendants(id, maxDepth)
+	}
+	ix.closure.mu.Lock()
+	if cached, ok := ix.closure.desc[id]; ok {
+		ix.closure.mu.Unlock()
+		return cached, nil
+	}
+	ix.closure.mu.Unlock()
+
+	out, err := ix.NaiveDescendants(id, NoLimit)
+	if err != nil {
+		return nil, err
+	}
+	ix.closure.mu.Lock()
+	ix.closure.desc = ix.closure.evictIfFullLocked(ix.closure.desc)
+	ix.closure.desc[id] = out
+	ix.closure.mu.Unlock()
+	return out, nil
+}
+
+// Reachable reports whether ancestor is in the ancestor set of id (i.e.
+// data flowed from ancestor to id).
+func (ix *Index) Reachable(id, ancestor provenance.ID) (bool, error) {
+	anc, err := ix.Ancestors(id, NoLimit)
+	if err != nil {
+		return false, err
+	}
+	for _, a := range anc {
+		if a == ancestor {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Roots returns the raw origins of id: ancestors with no parents of their
+// own ("find all the raw data from which this data set was derived",
+// Section III-B).
+func (ix *Index) Roots(id provenance.ID) ([]provenance.ID, error) {
+	anc, err := ix.Ancestors(id, NoLimit)
+	if err != nil {
+		return nil, err
+	}
+	var roots []provenance.ID
+	for _, a := range anc {
+		parents, err := ix.Parents(a)
+		if err != nil {
+			return nil, err
+		}
+		if len(parents) == 0 {
+			roots = append(roots, a)
+		}
+	}
+	if len(anc) == 0 {
+		// id itself is a root; by convention Roots excludes id, matching
+		// Ancestors' exclusion semantics.
+		return nil, nil
+	}
+	return roots, nil
+}
+
+// CacheStats reports closure cache occupancy (for tests and ablations).
+func (ix *Index) CacheStats() (ancestorEntries, descendantEntries int) {
+	ix.closure.mu.Lock()
+	defer ix.closure.mu.Unlock()
+	return len(ix.closure.ancestors), len(ix.closure.desc)
+}

@@ -1,0 +1,394 @@
+// Package index implements the secondary index structures that Section
+// II-B of the paper calls for: "the indexing structures in sensor data
+// storage systems must provide for efficient lookups in many dimensions,
+// as well as efficient recursive or transitive queries. Simple relational
+// or XML-based name-to-value schemes are not sufficient and will not work
+// well unless augmented with other structures."
+//
+// Three structures live in one kvstore keyspace, all built from
+// order-preserving composite keys (package keyenc):
+//
+//   - the inverted attribute index: (attribute key, typed value, record
+//     ID) → ∅, supporting exact and range lookups in any dimension;
+//   - the time-interval index: (window start, record ID) → window end,
+//     plus a persisted maximum-duration bound, supporting bounded-scan
+//     interval-overlap queries;
+//   - the ancestry adjacency: (parent, child) and (child, parent) edges,
+//     supporting forward and backward traversal without loading records.
+//
+// Transitive closure (closure.go) layers memoization on top of the
+// adjacency: ancestor sets are immutable in an append-only provenance
+// store, so they are cached permanently; descendant sets grow, so their
+// cache is epoch-invalidated on every insert.
+//
+// Key namespaces (first bytes of every key):
+//
+//	ia  inverted attribute index
+//	it  time-interval index
+//	ic  ancestry, parent→child
+//	ir  ancestry, child→parent
+//	im  index metadata (max interval duration)
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"pass/internal/keyenc"
+	"pass/internal/kvstore"
+	"pass/internal/provenance"
+)
+
+// Namespace prefixes. Two bytes keep them disjoint from the core's "p/"
+// and "d/" record/data namespaces.
+var (
+	nsAttr = []byte("ia")
+	nsTime = []byte("it")
+	nsFwd  = []byte("ic")
+	nsRev  = []byte("ir")
+	nsMeta = []byte("im")
+)
+
+const idLen = 32
+
+// Index maintains all secondary index structures over a shared store.
+// Safe for concurrent use.
+type Index struct {
+	db *kvstore.Store
+
+	mu       sync.Mutex
+	maxDur   int64 // largest (end-start) seen in the time index
+	maxDurOK bool  // loaded from disk?
+
+	closure *closureCache
+}
+
+// New returns an index over db. Multiple Index instances over one store
+// are not supported (the duration bound would race).
+func New(db *kvstore.Store) *Index {
+	return &Index{db: db, closure: newClosureCache()}
+}
+
+// encodeValue renders a typed value with keyenc so that index order equals
+// logical order per kind.
+func encodeValue(buf []byte, v provenance.Value) []byte {
+	switch v.Kind {
+	case provenance.KindString:
+		return keyenc.AppendString(buf, v.Str)
+	case provenance.KindInt:
+		return keyenc.AppendInt64(buf, v.Int)
+	case provenance.KindFloat:
+		return keyenc.AppendFloat(buf, v.Float)
+	case provenance.KindTime:
+		return keyenc.AppendTime(buf, v.Int)
+	case provenance.KindBool:
+		return keyenc.AppendBool(buf, v.Int != 0)
+	case provenance.KindBytes:
+		return keyenc.AppendBytes(buf, v.Bytes)
+	default:
+		// Validated records never reach here; encode defensively.
+		return keyenc.AppendBytes(buf, []byte{byte(v.Kind)})
+	}
+}
+
+// attrPrefix returns the scan prefix for one (key, value) pair.
+func attrPrefix(key string, v provenance.Value) []byte {
+	buf := append([]byte(nil), nsAttr...)
+	buf = keyenc.AppendString(buf, key)
+	return encodeValue(buf, v)
+}
+
+// attrKeyPrefix returns the scan prefix covering every value of key.
+func attrKeyPrefix(key string) []byte {
+	buf := append([]byte(nil), nsAttr...)
+	return keyenc.AppendString(buf, key)
+}
+
+// Synthetic attributes indexed for every record, so queries can select on
+// record type and derivation tool ("find tuple sets handled by a
+// particular postprocessing program", Section II-B) without a dedicated
+// code path.
+const (
+	SynthType = "~type"
+	SynthTool = "~tool"
+)
+
+// AddToBatch appends every index entry for (id, rec) to b. The caller
+// commits b atomically together with the record itself, so the index can
+// never disagree with the record store after a crash.
+func (ix *Index) AddToBatch(b *kvstore.Batch, id provenance.ID, rec *provenance.Record) {
+	// Inverted attribute entries.
+	for _, a := range rec.Attributes {
+		k := attrPrefix(a.Key, a.Value)
+		k = append(k, id[:]...)
+		b.Put(k, nil)
+	}
+	// Synthetic attributes.
+	k := attrPrefix(SynthType, provenance.String(rec.Type.String()))
+	b.Put(append(k, id[:]...), nil)
+	if rec.Tool != "" {
+		k = attrPrefix(SynthTool, provenance.String(rec.Tool))
+		b.Put(append(k, id[:]...), nil)
+	}
+	// Time-interval entry.
+	if start, end, ok := rec.TimeRange(); ok && end >= start {
+		tk := append([]byte(nil), nsTime...)
+		tk = keyenc.AppendTime(tk, start)
+		tk = append(tk, id[:]...)
+		var val [8]byte
+		binary.LittleEndian.PutUint64(val[:], uint64(end))
+		b.Put(tk, val[:])
+		ix.noteDuration(b, end-start)
+	}
+	// Ancestry edges, both directions.
+	for _, p := range rec.Parents {
+		fk := append([]byte(nil), nsFwd...)
+		fk = append(fk, p[:]...)
+		fk = append(fk, id[:]...)
+		b.Put(fk, nil)
+		rk := append([]byte(nil), nsRev...)
+		rk = append(rk, id[:]...)
+		rk = append(rk, p[:]...)
+		b.Put(rk, nil)
+	}
+	// New edges can extend descendant sets of existing records.
+	ix.closure.invalidateDescendants()
+}
+
+// noteDuration maintains the persisted max interval duration used to
+// bound overlap scans.
+func (ix *Index) noteDuration(b *kvstore.Batch, dur int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.loadMaxDurLocked()
+	if dur > ix.maxDur {
+		ix.maxDur = dur
+		var val [8]byte
+		binary.LittleEndian.PutUint64(val[:], uint64(dur))
+		b.Put(append([]byte(nil), nsMeta...), val[:])
+	}
+}
+
+func (ix *Index) loadMaxDurLocked() {
+	if ix.maxDurOK {
+		return
+	}
+	ix.maxDurOK = true
+	v, err := ix.db.Get(nsMeta)
+	if err == nil && len(v) == 8 {
+		ix.maxDur = int64(binary.LittleEndian.Uint64(v))
+	}
+}
+
+// MaxInterval returns the largest indexed window duration.
+func (ix *Index) MaxInterval() int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.loadMaxDurLocked()
+	return ix.maxDur
+}
+
+func idFromKeySuffix(key []byte) (provenance.ID, bool) {
+	var id provenance.ID
+	if len(key) < idLen {
+		return id, false
+	}
+	copy(id[:], key[len(key)-idLen:])
+	return id, true
+}
+
+// LookupAttr returns the IDs of all records carrying exactly (key, v),
+// in ID order (the index's storage order for one value).
+func (ix *Index) LookupAttr(key string, v provenance.Value) ([]provenance.ID, error) {
+	var out []provenance.ID
+	err := ix.db.ScanPrefix(attrPrefix(key, v), func(k, _ []byte) bool {
+		if id, ok := idFromKeySuffix(k); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// CountAttr returns the number of records carrying exactly (key, v).
+func (ix *Index) CountAttr(key string, v provenance.Value) (int, error) {
+	n := 0
+	err := ix.db.ScanPrefix(attrPrefix(key, v), func(_, _ []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// LookupAttrRange returns IDs of records whose value for key lies in
+// [lo, hi] (inclusive). lo and hi must be the same kind; mixed kinds
+// return an error because no meaningful order exists across kinds.
+func (ix *Index) LookupAttrRange(key string, lo, hi provenance.Value) ([]provenance.ID, error) {
+	if lo.Kind != hi.Kind {
+		return nil, fmt.Errorf("index: range bounds have different kinds (%v vs %v)", lo.Kind, hi.Kind)
+	}
+	start := attrPrefix(key, lo)
+	// End: everything <= hi, i.e. scan to PrefixEnd of hi's encoding
+	// (hi's prefix covers all IDs under that exact value).
+	end := keyenc.PrefixEnd(attrPrefix(key, hi))
+	var out []provenance.ID
+	err := ix.db.Scan(start, end, func(k, _ []byte) bool {
+		if id, ok := idFromKeySuffix(k); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// LookupAttrPrefix returns IDs of records having a string value for key
+// that starts with prefix.
+func (ix *Index) LookupAttrPrefix(key, prefix string) ([]provenance.ID, error) {
+	// Scan from the encoding of prefix; stop when keys no longer begin
+	// with the unterminated encoding of prefix.
+	base := attrKeyPrefix(key)
+	full := keyenc.AppendString(append([]byte(nil), base...), prefix)
+	// Drop the string terminator (last 2 bytes) to get the open prefix.
+	open := full[:len(full)-2]
+	var out []provenance.ID
+	err := ix.db.Scan(open, keyenc.PrefixEnd(open), func(k, _ []byte) bool {
+		if id, ok := idFromKeySuffix(k); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// LookupTimeOverlap returns IDs of records whose [t-start, t-end] window
+// overlaps [qs, qe]. The scan is bounded below by qs minus the maximum
+// indexed duration — the classic trick that turns an interval index on
+// start times into an overlap query without an interval tree.
+func (ix *Index) LookupTimeOverlap(qs, qe int64) ([]provenance.ID, error) {
+	if qe < qs {
+		return nil, nil
+	}
+	maxDur := ix.MaxInterval()
+	lo := append([]byte(nil), nsTime...)
+	scanStart := qs - maxDur
+	if scanStart > qs { // underflow guard
+		scanStart = qs
+	}
+	lo = keyenc.AppendTime(lo, scanStart)
+	hi := append([]byte(nil), nsTime...)
+	hi = keyenc.AppendTime(hi, qe)
+	end := keyenc.PrefixEnd(hi)
+
+	var out []provenance.ID
+	err := ix.db.Scan(lo, end, func(k, v []byte) bool {
+		if len(v) != 8 {
+			return true
+		}
+		recEnd := int64(binary.LittleEndian.Uint64(v))
+		if recEnd < qs {
+			return true // started early, ended before the query window
+		}
+		if id, ok := idFromKeySuffix(k); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// Children returns the direct children (records derived from or
+// annotating id).
+func (ix *Index) Children(id provenance.ID) ([]provenance.ID, error) {
+	prefix := append(append([]byte(nil), nsFwd...), id[:]...)
+	var out []provenance.ID
+	err := ix.db.ScanPrefix(prefix, func(k, _ []byte) bool {
+		if child, ok := idFromKeySuffix(k); ok {
+			out = append(out, child)
+		}
+		return true
+	})
+	return out, err
+}
+
+// Parents returns the direct parents of id.
+func (ix *Index) Parents(id provenance.ID) ([]provenance.ID, error) {
+	prefix := append(append([]byte(nil), nsRev...), id[:]...)
+	var out []provenance.ID
+	err := ix.db.ScanPrefix(prefix, func(k, _ []byte) bool {
+		if parent, ok := idFromKeySuffix(k); ok {
+			out = append(out, parent)
+		}
+		return true
+	})
+	return out, err
+}
+
+// Intersect returns the IDs present in every input slice. Inputs need not
+// be sorted; output order follows the smallest input.
+func Intersect(lists ...[]provenance.ID) []provenance.ID {
+	if len(lists) == 0 {
+		return nil
+	}
+	smallest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[smallest]) {
+			smallest = i
+		}
+	}
+	if len(lists[smallest]) == 0 {
+		return nil
+	}
+	sets := make([]map[provenance.ID]struct{}, 0, len(lists)-1)
+	for i, l := range lists {
+		if i == smallest {
+			continue
+		}
+		set := make(map[provenance.ID]struct{}, len(l))
+		for _, id := range l {
+			set[id] = struct{}{}
+		}
+		sets = append(sets, set)
+	}
+	var out []provenance.ID
+	for _, cand := range lists[smallest] {
+		inAll := true
+		for _, set := range sets {
+			if _, ok := set[cand]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, cand)
+		}
+	}
+	return dedup(out)
+}
+
+// Union returns the set union of the inputs, order of first appearance.
+func Union(lists ...[]provenance.ID) []provenance.ID {
+	seen := make(map[provenance.ID]struct{})
+	var out []provenance.ID
+	for _, l := range lists {
+		for _, id := range l {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+func dedup(ids []provenance.ID) []provenance.ID {
+	seen := make(map[provenance.ID]struct{}, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	return out
+}

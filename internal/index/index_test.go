@@ -1,0 +1,576 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pass/internal/kvstore"
+	"pass/internal/provenance"
+)
+
+func testIndex(t *testing.T) (*Index, *kvstore.Store) {
+	t.Helper()
+	db, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return New(db), db
+}
+
+func digestOf(b byte) (d [32]byte) {
+	for i := range d {
+		d[i] = b
+	}
+	return
+}
+
+// addRaw builds, indexes, and commits a raw record with the given attrs.
+func addRaw(t *testing.T, ix *Index, db *kvstore.Store, seed byte, attrs ...provenance.Attribute) provenance.ID {
+	t.Helper()
+	rec, id, err := provenance.NewRaw(digestOf(seed), int64(seed)).Attrs(attrs...).CreatedAt(int64(seed)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, ix, db, id, rec)
+	return id
+}
+
+func addDerived(t *testing.T, ix *Index, db *kvstore.Store, seed byte, tool string, parents ...provenance.ID) provenance.ID {
+	t.Helper()
+	rec, id, err := provenance.NewDerived(digestOf(seed), int64(seed), tool, "1.0", parents...).CreatedAt(int64(seed)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, ix, db, id, rec)
+	return id
+}
+
+func commit(t *testing.T, ix *Index, db *kvstore.Store, id provenance.ID, rec *provenance.Record) {
+	t.Helper()
+	var b kvstore.Batch
+	ix.AddToBatch(&b, id, rec)
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupAttrExact(t *testing.T) {
+	ix, db := testIndex(t)
+	id1 := addRaw(t, ix, db, 1, provenance.Attr("zone", provenance.String("boston")))
+	id2 := addRaw(t, ix, db, 2, provenance.Attr("zone", provenance.String("boston")))
+	addRaw(t, ix, db, 3, provenance.Attr("zone", provenance.String("london")))
+
+	got, err := ix.LookupAttr("zone", provenance.String("boston"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d ids, want 2", len(got))
+	}
+	want := map[provenance.ID]bool{id1: true, id2: true}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected id %s", id.Short())
+		}
+	}
+	// Missing value.
+	got, _ = ix.LookupAttr("zone", provenance.String("tokyo"))
+	if len(got) != 0 {
+		t.Fatalf("tokyo should be empty, got %d", len(got))
+	}
+	// Value of a different kind does not match.
+	got, _ = ix.LookupAttr("zone", provenance.BytesVal([]byte("boston")))
+	if len(got) != 0 {
+		t.Fatal("cross-kind lookup matched")
+	}
+}
+
+func TestCountAttr(t *testing.T) {
+	ix, db := testIndex(t)
+	for i := byte(1); i <= 5; i++ {
+		addRaw(t, ix, db, i, provenance.Attr("domain", provenance.String("traffic")))
+	}
+	n, err := ix.CountAttr("domain", provenance.String("traffic"))
+	if err != nil || n != 5 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+func TestLookupAttrRangeInt(t *testing.T) {
+	ix, db := testIndex(t)
+	var ids []provenance.ID
+	for i := 0; i < 10; i++ {
+		id := addRaw(t, ix, db, byte(i+1), provenance.Attr("level", provenance.Int64(int64(i*10))))
+		ids = append(ids, id)
+	}
+	got, err := ix.LookupAttrRange("level", provenance.Int64(20), provenance.Int64(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 { // 20, 30, 40, 50
+		t.Fatalf("range got %d ids, want 4", len(got))
+	}
+	// Negative range bounds work (order-preserving encoding).
+	addRaw(t, ix, db, 100, provenance.Attr("level", provenance.Int64(-5)))
+	got, _ = ix.LookupAttrRange("level", provenance.Int64(-10), provenance.Int64(0))
+	if len(got) != 2 { // -5 and 0
+		t.Fatalf("negative range got %d, want 2", len(got))
+	}
+	_ = ids
+}
+
+func TestLookupAttrRangeKindMismatch(t *testing.T) {
+	ix, _ := testIndex(t)
+	if _, err := ix.LookupAttrRange("k", provenance.Int64(1), provenance.String("z")); err == nil {
+		t.Fatal("mixed-kind range accepted")
+	}
+}
+
+func TestLookupAttrRangeFloat(t *testing.T) {
+	ix, db := testIndex(t)
+	for i, v := range []float64{-2.5, -0.1, 0, 0.5, 3.7, 100} {
+		addRaw(t, ix, db, byte(i+1), provenance.Attr("temp", provenance.Float(v)))
+	}
+	got, err := ix.LookupAttrRange("temp", provenance.Float(-1), provenance.Float(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 { // -0.1, 0, 0.5
+		t.Fatalf("float range got %d, want 3", len(got))
+	}
+}
+
+func TestLookupAttrPrefix(t *testing.T) {
+	ix, db := testIndex(t)
+	addRaw(t, ix, db, 1, provenance.Attr("sensor-id", provenance.String("cam-17")))
+	addRaw(t, ix, db, 2, provenance.Attr("sensor-id", provenance.String("cam-18")))
+	addRaw(t, ix, db, 3, provenance.Attr("sensor-id", provenance.String("mag-03")))
+	got, err := ix.LookupAttrPrefix("sensor-id", "cam-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("prefix got %d, want 2", len(got))
+	}
+	// Empty prefix matches all string values for the key.
+	got, _ = ix.LookupAttrPrefix("sensor-id", "")
+	if len(got) != 3 {
+		t.Fatalf("empty prefix got %d, want 3", len(got))
+	}
+}
+
+func TestSyntheticAttributes(t *testing.T) {
+	ix, db := testIndex(t)
+	raw := addRaw(t, ix, db, 1)
+	addDerived(t, ix, db, 2, "sharpen", raw)
+	addDerived(t, ix, db, 3, "sharpen", raw)
+	addDerived(t, ix, db, 4, "aggregate", raw)
+
+	byTool, err := ix.LookupAttr(SynthTool, provenance.String("sharpen"))
+	if err != nil || len(byTool) != 2 {
+		t.Fatalf("tool lookup = %d, %v", len(byTool), err)
+	}
+	byType, err := ix.LookupAttr(SynthType, provenance.String("raw"))
+	if err != nil || len(byType) != 1 {
+		t.Fatalf("type lookup = %d, %v", len(byType), err)
+	}
+}
+
+func TestTimeOverlap(t *testing.T) {
+	ix, db := testIndex(t)
+	hour := time.Hour.Nanoseconds()
+	mk := func(seed byte, start, end int64) provenance.ID {
+		return addRaw(t, ix, db, seed,
+			provenance.Attr(provenance.KeyStart, provenance.TimeVal(time.Unix(0, start))),
+			provenance.Attr(provenance.KeyEnd, provenance.TimeVal(time.Unix(0, end))))
+	}
+	a := mk(1, 0, hour)        // [0h, 1h]
+	b := mk(2, hour, 2*hour)   // [1h, 2h]
+	c := mk(3, 5*hour, 6*hour) // [5h, 6h]
+
+	got, err := ix.LookupTimeOverlap(hour/2, hour+hour/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("overlap got %d, want 2 (a and b)", len(got))
+	}
+	set := map[provenance.ID]bool{}
+	for _, id := range got {
+		set[id] = true
+	}
+	if !set[a] || !set[b] || set[c] {
+		t.Fatal("wrong overlap membership")
+	}
+	// Point query at a boundary hits both neighbors (closed intervals).
+	got, _ = ix.LookupTimeOverlap(hour, hour)
+	if len(got) != 2 {
+		t.Fatalf("boundary point got %d, want 2", len(got))
+	}
+	// Empty window.
+	got, _ = ix.LookupTimeOverlap(10*hour, 11*hour)
+	if len(got) != 0 {
+		t.Fatalf("disjoint window got %d", len(got))
+	}
+	// Inverted query returns nothing.
+	got, _ = ix.LookupTimeOverlap(5, 1)
+	if got != nil {
+		t.Fatal("inverted window returned results")
+	}
+}
+
+func TestTimeOverlapLongInterval(t *testing.T) {
+	// A long-lived record must still be found by a late, short query —
+	// this exercises the max-duration scan bound.
+	ix, db := testIndex(t)
+	day := 24 * time.Hour.Nanoseconds()
+	long := addRaw(t, ix, db, 1,
+		provenance.Attr(provenance.KeyStart, provenance.TimeVal(time.Unix(0, 0))),
+		provenance.Attr(provenance.KeyEnd, provenance.TimeVal(time.Unix(0, 30*day))))
+	got, err := ix.LookupTimeOverlap(29*day, 29*day+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != long {
+		t.Fatalf("long interval missed: %d results", len(got))
+	}
+	if ix.MaxInterval() != 30*day {
+		t.Fatalf("MaxInterval = %d", ix.MaxInterval())
+	}
+}
+
+func TestParentsChildren(t *testing.T) {
+	ix, db := testIndex(t)
+	a := addRaw(t, ix, db, 1)
+	b := addRaw(t, ix, db, 2)
+	c := addDerived(t, ix, db, 3, "join", a, b)
+
+	parents, err := ix.Parents(c)
+	if err != nil || len(parents) != 2 {
+		t.Fatalf("parents = %d, %v", len(parents), err)
+	}
+	kidsA, err := ix.Children(a)
+	if err != nil || len(kidsA) != 1 || kidsA[0] != c {
+		t.Fatalf("children(a) = %v, %v", kidsA, err)
+	}
+	// Leaf has no children; root has no parents.
+	if kids, _ := ix.Children(c); len(kids) != 0 {
+		t.Fatal("leaf has children")
+	}
+	if ps, _ := ix.Parents(a); len(ps) != 0 {
+		t.Fatal("root has parents")
+	}
+}
+
+// buildChain makes a linear derivation chain of the given depth and
+// returns all ids, root first.
+func buildChain(t *testing.T, ix *Index, db *kvstore.Store, depth int) []provenance.ID {
+	t.Helper()
+	ids := make([]provenance.ID, 0, depth)
+	root := addRaw(t, ix, db, 1)
+	ids = append(ids, root)
+	for i := 1; i < depth; i++ {
+		ids = append(ids, addDerived(t, ix, db, byte(i+1), "step", ids[i-1]))
+	}
+	return ids
+}
+
+func TestAncestorsChain(t *testing.T) {
+	ix, db := testIndex(t)
+	ids := buildChain(t, ix, db, 10)
+	leaf := ids[len(ids)-1]
+
+	anc, err := ix.Ancestors(leaf, NoLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 9 {
+		t.Fatalf("ancestors = %d, want 9", len(anc))
+	}
+	// Depth-limited.
+	anc, err = ix.Ancestors(leaf, 3)
+	if err != nil || len(anc) != 3 {
+		t.Fatalf("depth-3 ancestors = %d, %v", len(anc), err)
+	}
+	// Naive agrees with memoized.
+	naive, err := ix.NaiveAncestors(leaf, NoLimit)
+	if err != nil || len(naive) != 9 {
+		t.Fatalf("naive = %d, %v", len(naive), err)
+	}
+}
+
+func TestDescendantsChain(t *testing.T) {
+	ix, db := testIndex(t)
+	ids := buildChain(t, ix, db, 10)
+	root := ids[0]
+	desc, err := ix.Descendants(root, NoLimit)
+	if err != nil || len(desc) != 9 {
+		t.Fatalf("descendants = %d, %v", len(desc), err)
+	}
+	desc, err = ix.Descendants(root, 2)
+	if err != nil || len(desc) != 2 {
+		t.Fatalf("depth-2 descendants = %d, %v", len(desc), err)
+	}
+}
+
+func TestClosureOnDAGWithSharing(t *testing.T) {
+	// Diamond: d derives from b and c, both derive from a.
+	ix, db := testIndex(t)
+	a := addRaw(t, ix, db, 1)
+	b := addDerived(t, ix, db, 2, "f", a)
+	c := addDerived(t, ix, db, 3, "g", a)
+	d := addDerived(t, ix, db, 4, "join", b, c)
+
+	anc, err := ix.Ancestors(d, NoLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 3 { // a, b, c exactly once
+		t.Fatalf("diamond ancestors = %d, want 3", len(anc))
+	}
+	desc, err := ix.Descendants(a, NoLimit)
+	if err != nil || len(desc) != 3 {
+		t.Fatalf("diamond descendants = %d, %v", len(desc), err)
+	}
+	_ = d
+}
+
+func TestDescendantCacheInvalidation(t *testing.T) {
+	ix, db := testIndex(t)
+	a := addRaw(t, ix, db, 1)
+	desc, _ := ix.Descendants(a, NoLimit)
+	if len(desc) != 0 {
+		t.Fatalf("initial descendants = %d", len(desc))
+	}
+	// New derivation must appear despite the earlier cached answer.
+	addDerived(t, ix, db, 2, "f", a)
+	desc, _ = ix.Descendants(a, NoLimit)
+	if len(desc) != 1 {
+		t.Fatalf("descendants after insert = %d, want 1 (stale cache?)", len(desc))
+	}
+}
+
+func TestAncestorCachePersistsAcrossInserts(t *testing.T) {
+	ix, db := testIndex(t)
+	ids := buildChain(t, ix, db, 5)
+	leaf := ids[len(ids)-1]
+	if _, err := ix.Ancestors(leaf, NoLimit); err != nil {
+		t.Fatal(err)
+	}
+	ancEntries, _ := ix.CacheStats()
+	if ancEntries == 0 {
+		t.Fatal("ancestor cache empty after query")
+	}
+	// Inserting new records must NOT clear ancestor cache (immutable sets).
+	addRaw(t, ix, db, 99)
+	ancEntries2, _ := ix.CacheStats()
+	if ancEntries2 < ancEntries {
+		t.Fatal("ancestor cache was invalidated by an unrelated insert")
+	}
+}
+
+func TestReachableAndRoots(t *testing.T) {
+	ix, db := testIndex(t)
+	a := addRaw(t, ix, db, 1)
+	b := addRaw(t, ix, db, 2)
+	c := addDerived(t, ix, db, 3, "merge", a, b)
+	d := addDerived(t, ix, db, 4, "filter", c)
+
+	ok, err := ix.Reachable(d, a)
+	if err != nil || !ok {
+		t.Fatalf("Reachable(d, a) = %v, %v", ok, err)
+	}
+	ok, _ = ix.Reachable(a, d)
+	if ok {
+		t.Fatal("reachability inverted")
+	}
+	roots, err := ix.Roots(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	// A raw record has no roots (excluding itself).
+	roots, _ = ix.Roots(a)
+	if len(roots) != 0 {
+		t.Fatalf("roots of raw = %d", len(roots))
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	mk := func(bs ...byte) []provenance.ID {
+		out := make([]provenance.ID, len(bs))
+		for i, b := range bs {
+			out[i] = provenance.ID(digestOf(b))
+		}
+		return out
+	}
+	got := Intersect(mk(1, 2, 3), mk(2, 3, 4), mk(3, 2, 9))
+	if len(got) != 2 {
+		t.Fatalf("intersect = %d, want 2", len(got))
+	}
+	if len(Intersect(mk(1), mk(2))) != 0 {
+		t.Fatal("disjoint intersect nonempty")
+	}
+	if Intersect() != nil {
+		t.Fatal("empty intersect should be nil")
+	}
+	u := Union(mk(1, 2), mk(2, 3))
+	if len(u) != 3 {
+		t.Fatalf("union = %d, want 3", len(u))
+	}
+}
+
+func TestIndexSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := New(db)
+	rec, id, _ := provenance.NewRaw(digestOf(7), 7).
+		Attr("zone", provenance.String("boston")).
+		Attr(provenance.KeyStart, provenance.TimeVal(time.Unix(10, 0))).
+		Attr(provenance.KeyEnd, provenance.TimeVal(time.Unix(20, 0))).
+		CreatedAt(7).Build()
+	var b kvstore.Batch
+	ix.AddToBatch(&b, id, rec)
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	ix2 := New(db2)
+	got, err := ix2.LookupAttr("zone", provenance.String("boston"))
+	if err != nil || len(got) != 1 || got[0] != id {
+		t.Fatalf("after reopen: %v, %v", got, err)
+	}
+	// Max duration bound must also persist (overlap still works).
+	hits, err := ix2.LookupTimeOverlap(time.Unix(19, 0).UnixNano(), time.Unix(25, 0).UnixNano())
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("overlap after reopen = %d, %v", len(hits), err)
+	}
+}
+
+func TestMemoizedFasterThanNaiveOnSharedDAG(t *testing.T) {
+	// Build a wide DAG: many leaves sharing one deep chain; memoized
+	// ancestors of all leaves should do far less adjacency work. Here we
+	// just verify correctness of both on the same structure.
+	ix, db := testIndex(t)
+	chain := buildChain(t, ix, db, 30)
+	top := chain[len(chain)-1]
+	var leaves []provenance.ID
+	for i := 0; i < 20; i++ {
+		leaves = append(leaves, addDerived(t, ix, db, byte(100+i), "leaf", top))
+	}
+	for _, leaf := range leaves {
+		memo, err := ix.Ancestors(leaf, NoLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := ix.NaiveAncestors(leaf, NoLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(memo) != len(naive) || len(memo) != 30 {
+			t.Fatalf("memo=%d naive=%d want 30", len(memo), len(naive))
+		}
+	}
+}
+
+func TestManyAttributesOneRecord(t *testing.T) {
+	ix, db := testIndex(t)
+	attrs := make([]provenance.Attribute, 0, 50)
+	for i := 0; i < 50; i++ {
+		attrs = append(attrs, provenance.Attr(fmt.Sprintf("k%02d", i), provenance.Int64(int64(i))))
+	}
+	id := addRaw(t, ix, db, 1, attrs...)
+	for i := 0; i < 50; i++ {
+		got, err := ix.LookupAttr(fmt.Sprintf("k%02d", i), provenance.Int64(int64(i)))
+		if err != nil || len(got) != 1 || got[0] != id {
+			t.Fatalf("k%02d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestLookupAttrRangeInvertedBounds(t *testing.T) {
+	ix, db := testIndex(t)
+	addRaw(t, ix, db, 1, provenance.Attr("level", provenance.Int64(5)))
+	got, err := ix.LookupAttrRange("level", provenance.Int64(10), provenance.Int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("inverted range returned %d ids", len(got))
+	}
+}
+
+func TestAncestrySurvivesCompaction(t *testing.T) {
+	// The ancestry adjacency lives in the LSM keyspace; a full compaction
+	// (which drops tombstones and rewrites tables) must not disturb it.
+	ix, db := testIndex(t)
+	ids := buildChain(t, ix, db, 12)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	anc, err := ix.NaiveAncestors(ids[len(ids)-1], NoLimit)
+	if err != nil || len(anc) != 11 {
+		t.Fatalf("ancestors after compaction = %d, %v", len(anc), err)
+	}
+	kids, err := ix.Children(ids[0])
+	if err != nil || len(kids) != 1 {
+		t.Fatalf("children after compaction = %d, %v", len(kids), err)
+	}
+}
+
+func TestRangeEqualsFilterProperty(t *testing.T) {
+	// Property: LookupAttrRange(lo,hi) == brute-force filter of every
+	// indexed value in [lo,hi], for random int corpora and bounds.
+	ix, db := testIndex(t)
+	rngState := uint64(424242)
+	next := func() uint64 {
+		rngState ^= rngState >> 12
+		rngState ^= rngState << 25
+		rngState ^= rngState >> 27
+		return rngState * 0x2545F4914F6CDD1D
+	}
+	vals := make(map[provenance.ID]int64)
+	for i := 0; i < 80; i++ {
+		v := int64(next()%2001) - 1000
+		id := addRaw(t, ix, db, byte(i+1), provenance.Attr("level", provenance.Int64(v)))
+		vals[id] = v
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := int64(next()%2001) - 1000
+		hi := lo + int64(next()%500)
+		got, err := ix.LookupAttrRange("level", provenance.Int64(lo), provenance.Int64(hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d [%d,%d]: got %d, want %d", trial, lo, hi, len(got), want)
+		}
+		for _, id := range got {
+			if v := vals[id]; v < lo || v > hi {
+				t.Fatalf("trial %d: id with value %d outside [%d,%d]", trial, v, lo, hi)
+			}
+		}
+	}
+}

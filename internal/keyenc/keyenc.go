@@ -1,0 +1,219 @@
+// Package keyenc implements order-preserving binary encoding of typed,
+// composite keys: the byte-wise lexicographic order of encoded keys equals
+// the logical order of their components, compared component by component.
+//
+// This is the substrate underneath every sorted index in the system. The
+// paper (Section II-B) requires "efficient lookups in many dimensions";
+// an LSM store offers only one dimension — byte order — so each secondary
+// index maps its logical order onto byte order through this encoding. The
+// key tricks are standard database craft:
+//
+//   - strings/bytes: escape 0x00 as 0x00 0xFF and terminate with 0x00 0x01,
+//     so a prefix sorts before every extension and the terminator never
+//     collides with content;
+//   - signed integers: flip the sign bit and store big-endian;
+//   - floats: for non-negative values flip the sign bit, for negative
+//     values flip all bits (total order matching numeric order, with -0
+//     and +0 adjacent);
+//   - every component carries a type tag so heterogeneous values have a
+//     stable, documented cross-type order (bool < int < float < time <
+//     string < bytes).
+package keyenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Component type tags. Their numeric order defines cross-type ordering.
+const (
+	tagBool   byte = 0x10
+	tagInt    byte = 0x20
+	tagFloat  byte = 0x30
+	tagTime   byte = 0x40
+	tagString byte = 0x50
+	tagBytes  byte = 0x60
+)
+
+// Errors returned by decoders.
+var (
+	ErrTruncated = errors.New("keyenc: truncated key")
+	ErrBadTag    = errors.New("keyenc: unexpected component tag")
+)
+
+const (
+	escByte  byte = 0x00
+	escFill  byte = 0xFF // 0x00 content is encoded as 0x00 0xFF
+	termByte byte = 0x01 // terminator is 0x00 0x01
+)
+
+// AppendString appends an order-preserving encoding of s.
+func AppendString(buf []byte, s string) []byte {
+	buf = append(buf, tagString)
+	return appendEscaped(buf, []byte(s))
+}
+
+// AppendBytes appends an order-preserving encoding of b.
+func AppendBytes(buf, b []byte) []byte {
+	buf = append(buf, tagBytes)
+	return appendEscaped(buf, b)
+}
+
+func appendEscaped(buf, b []byte) []byte {
+	for _, c := range b {
+		if c == escByte {
+			buf = append(buf, escByte, escFill)
+		} else {
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, escByte, termByte)
+}
+
+// AppendInt64 appends an order-preserving encoding of v.
+func AppendInt64(buf []byte, v int64) []byte {
+	buf = append(buf, tagInt)
+	return appendOrderedUint64(buf, uint64(v)^(1<<63))
+}
+
+// AppendTime appends an order-preserving encoding of a unix-nanosecond
+// timestamp. Times sort among themselves; they are tagged distinctly from
+// plain ints.
+func AppendTime(buf []byte, unixNanos int64) []byte {
+	buf = append(buf, tagTime)
+	return appendOrderedUint64(buf, uint64(unixNanos)^(1<<63))
+}
+
+// AppendFloat appends an order-preserving encoding of v. NaNs sort after
+// +Inf (all NaN bit patterns map above all numbers).
+func AppendFloat(buf []byte, v float64) []byte {
+	buf = append(buf, tagFloat)
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: flip everything
+	} else {
+		bits ^= 1 << 63 // non-negative: flip sign bit
+	}
+	return appendOrderedUint64(buf, bits)
+}
+
+// AppendBool appends an order-preserving encoding of v (false < true).
+func AppendBool(buf []byte, v bool) []byte {
+	buf = append(buf, tagBool)
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendOrderedUint64(buf []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+// DecodeString consumes one string component from p.
+func DecodeString(p []byte) (string, []byte, error) {
+	b, rest, err := decodeTagged(p, tagString)
+	return string(b), rest, err
+}
+
+// DecodeBytes consumes one bytes component from p.
+func DecodeBytes(p []byte) ([]byte, []byte, error) {
+	return decodeTagged(p, tagBytes)
+}
+
+func decodeTagged(p []byte, tag byte) ([]byte, []byte, error) {
+	if len(p) == 0 {
+		return nil, nil, ErrTruncated
+	}
+	if p[0] != tag {
+		return nil, nil, fmt.Errorf("%w: got 0x%02x want 0x%02x", ErrBadTag, p[0], tag)
+	}
+	p = p[1:]
+	var out []byte
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if c != escByte {
+			out = append(out, c)
+			continue
+		}
+		if i+1 >= len(p) {
+			return nil, nil, ErrTruncated
+		}
+		switch p[i+1] {
+		case escFill:
+			out = append(out, escByte)
+			i++
+		case termByte:
+			return out, p[i+2:], nil
+		default:
+			return nil, nil, fmt.Errorf("keyenc: bad escape 0x%02x: %w", p[i+1], ErrTruncated)
+		}
+	}
+	return nil, nil, ErrTruncated
+}
+
+// DecodeInt64 consumes one int component from p.
+func DecodeInt64(p []byte) (int64, []byte, error) {
+	v, rest, err := decodeOrderedUint64(p, tagInt)
+	return int64(v ^ (1 << 63)), rest, err
+}
+
+// DecodeTime consumes one time component from p.
+func DecodeTime(p []byte) (int64, []byte, error) {
+	v, rest, err := decodeOrderedUint64(p, tagTime)
+	return int64(v ^ (1 << 63)), rest, err
+}
+
+// DecodeFloat consumes one float component from p.
+func DecodeFloat(p []byte) (float64, []byte, error) {
+	bits, rest, err := decodeOrderedUint64(p, tagFloat)
+	if err != nil {
+		return 0, nil, err
+	}
+	if bits&(1<<63) != 0 {
+		bits ^= 1 << 63 // was non-negative
+	} else {
+		bits = ^bits // was negative
+	}
+	return math.Float64frombits(bits), rest, nil
+}
+
+// DecodeBool consumes one bool component from p.
+func DecodeBool(p []byte) (bool, []byte, error) {
+	if len(p) < 2 {
+		return false, nil, ErrTruncated
+	}
+	if p[0] != tagBool {
+		return false, nil, fmt.Errorf("%w: got 0x%02x want 0x%02x", ErrBadTag, p[0], tagBool)
+	}
+	return p[1] != 0, p[2:], nil
+}
+
+func decodeOrderedUint64(p []byte, tag byte) (uint64, []byte, error) {
+	if len(p) < 9 {
+		return 0, nil, ErrTruncated
+	}
+	if p[0] != tag {
+		return 0, nil, fmt.Errorf("%w: got 0x%02x want 0x%02x", ErrBadTag, p[0], tag)
+	}
+	return binary.BigEndian.Uint64(p[1:9]), p[9:], nil
+}
+
+// PrefixEnd returns the smallest byte slice greater than every key having
+// the given prefix, suitable as an exclusive upper bound for a range scan.
+// It returns nil when no such bound exists (prefix is all 0xFF), meaning
+// "scan to the end of the keyspace".
+func PrefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

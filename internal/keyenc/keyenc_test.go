@@ -1,0 +1,291 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{"", "a", "hello", "with\x00nul", "\x00", "\x00\x01", strings.Repeat("x", 1000)}
+	for _, s := range cases {
+		enc := AppendString(nil, s)
+		got, rest, err := DecodeString(enc)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got != s || len(rest) != 0 {
+			t.Fatalf("round trip %q -> %q (rest %d)", s, got, len(rest))
+		}
+	}
+}
+
+func TestStringOrderPreserved(t *testing.T) {
+	f := func(a, b string) bool {
+		ea := AppendString(nil, a)
+		eb := AppendString(nil, b)
+		return cmpSign(strings.Compare(a, b)) == cmpSign(bytes.Compare(ea, eb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringPrefixSortsFirst(t *testing.T) {
+	// "ab" < "ab\x00" < "abc" logically; encoded order must agree.
+	a := AppendString(nil, "ab")
+	b := AppendString(nil, "ab\x00")
+	c := AppendString(nil, "abc")
+	if !(bytes.Compare(a, b) < 0 && bytes.Compare(b, c) < 0) {
+		t.Fatalf("prefix ordering broken: %x %x %x", a, b, c)
+	}
+}
+
+func TestBytesRoundTripAndOrder(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ea := AppendBytes(nil, a)
+		eb := AppendBytes(nil, b)
+		if cmpSign(bytes.Compare(a, b)) != cmpSign(bytes.Compare(ea, eb)) {
+			return false
+		}
+		got, rest, err := DecodeBytes(ea)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return bytes.Equal(got, a) || (len(a) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64OrderPreserved(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea := AppendInt64(nil, a)
+		eb := AppendInt64(nil, b)
+		switch {
+		case a < b:
+			return bytes.Compare(ea, eb) < 0
+		case a > b:
+			return bytes.Compare(ea, eb) > 0
+		default:
+			return bytes.Equal(ea, eb)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{math.MinInt64, -1, 0, 1, math.MaxInt64} {
+		got, rest, err := DecodeInt64(AppendInt64(nil, v))
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("round trip %d -> %d, %v", v, got, err)
+		}
+	}
+}
+
+func TestFloatOrderPreserved(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea := AppendFloat(nil, a)
+		eb := AppendFloat(nil, b)
+		switch {
+		case a < b:
+			return bytes.Compare(ea, eb) < 0
+		case a > b:
+			return bytes.Compare(ea, eb) > 0
+		default: // includes -0 vs +0, which encode distinctly but adjacent
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatSpecialValues(t *testing.T) {
+	order := []float64{math.Inf(-1), -1e308, -1, -math.SmallestNonzeroFloat64, 0, math.SmallestNonzeroFloat64, 1, 1e308, math.Inf(1)}
+	for i := 0; i < len(order)-1; i++ {
+		a := AppendFloat(nil, order[i])
+		b := AppendFloat(nil, order[i+1])
+		if bytes.Compare(a, b) >= 0 {
+			t.Fatalf("order violated between %v and %v", order[i], order[i+1])
+		}
+	}
+	// NaN sorts above +Inf.
+	nan := AppendFloat(nil, math.NaN())
+	inf := AppendFloat(nil, math.Inf(1))
+	if bytes.Compare(nan, inf) <= 0 {
+		t.Fatal("NaN should sort after +Inf")
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		got, rest, err := DecodeFloat(AppendFloat(nil, v))
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		if math.IsNaN(v) {
+			return math.IsNaN(got)
+		}
+		return got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeRoundTripAndDistinctFromInt(t *testing.T) {
+	v := int64(1234567890)
+	et := AppendTime(nil, v)
+	ei := AppendInt64(nil, v)
+	if bytes.Equal(et, ei) {
+		t.Fatal("time and int encodings collide")
+	}
+	got, rest, err := DecodeTime(et)
+	if err != nil || got != v || len(rest) != 0 {
+		t.Fatalf("time round trip: %d, %v", got, err)
+	}
+	// Decoding with the wrong decoder must fail loudly.
+	if _, _, err := DecodeInt64(et); err == nil {
+		t.Fatal("DecodeInt64 accepted a time component")
+	}
+}
+
+func TestBoolRoundTripAndOrder(t *testing.T) {
+	ef := AppendBool(nil, false)
+	et := AppendBool(nil, true)
+	if bytes.Compare(ef, et) >= 0 {
+		t.Fatal("false should sort before true")
+	}
+	for _, v := range []bool{false, true} {
+		got, rest, err := DecodeBool(AppendBool(nil, v))
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("bool round trip %v: %v %v", v, got, err)
+		}
+	}
+}
+
+func TestCompositeKeyOrdering(t *testing.T) {
+	// (zone, time) composite: primary component dominates.
+	k := func(zone string, ts int64) []byte {
+		return AppendTime(AppendString(nil, zone), ts)
+	}
+	if bytes.Compare(k("boston", 999), k("london", 1)) >= 0 {
+		t.Fatal("primary component should dominate")
+	}
+	if bytes.Compare(k("boston", 1), k("boston", 2)) >= 0 {
+		t.Fatal("secondary component should break ties")
+	}
+}
+
+func TestCompositeDecodeSequence(t *testing.T) {
+	key := AppendString(nil, "traffic")
+	key = AppendInt64(key, -42)
+	key = AppendFloat(key, 3.5)
+	s, rest, err := DecodeString(key)
+	if err != nil || s != "traffic" {
+		t.Fatal(err)
+	}
+	i, rest, err := DecodeInt64(rest)
+	if err != nil || i != -42 {
+		t.Fatal(err)
+	}
+	f, rest, err := DecodeFloat(rest)
+	if err != nil || f != 3.5 || len(rest) != 0 {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossTypeOrderStable(t *testing.T) {
+	// bool < int < float < time < string < bytes
+	encs := [][]byte{
+		AppendBool(nil, true),
+		AppendInt64(nil, math.MaxInt64),
+		AppendFloat(nil, math.Inf(1)),
+		AppendTime(nil, math.MaxInt64),
+		AppendString(nil, "zzz"),
+		AppendBytes(nil, []byte{0xFF}),
+	}
+	for i := 0; i < len(encs)-1; i++ {
+		if bytes.Compare(encs[i], encs[i+1]) >= 0 {
+			t.Fatalf("cross-type order violated at position %d", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeString(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, _, err := DecodeString([]byte{tagInt}); err == nil {
+		t.Fatal("wrong tag accepted")
+	}
+	// Unterminated string.
+	if _, _, err := DecodeString([]byte{tagString, 'a', 'b'}); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	// Dangling escape.
+	if _, _, err := DecodeString([]byte{tagString, 0x00}); err == nil {
+		t.Fatal("dangling escape accepted")
+	}
+	if _, _, err := DecodeInt64([]byte{tagInt, 1, 2}); err == nil {
+		t.Fatal("short int accepted")
+	}
+	if _, _, err := DecodeBool([]byte{tagBool}); err == nil {
+		t.Fatal("short bool accepted")
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte("abc"), []byte("abd")},
+	}
+	for _, c := range cases {
+		if got := PrefixEnd(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixEnd(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixEndProperty(t *testing.T) {
+	// For any key k with prefix p: p <= k < PrefixEnd(p) (when bound exists).
+	f := func(prefix, suffix []byte) bool {
+		if len(prefix) == 0 {
+			return true
+		}
+		key := append(append([]byte(nil), prefix...), suffix...)
+		end := PrefixEnd(prefix)
+		if end == nil {
+			return true
+		}
+		return bytes.Compare(key, end) < 0 && bytes.Compare(prefix, end) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cmpSign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}

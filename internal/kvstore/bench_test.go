@@ -1,0 +1,129 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Ablation benchmarks for the storage engine design choices: bloom
+// filters on point lookups, batch sizes on the WAL, and scan throughput.
+
+func benchStore(b *testing.B, opts Options) *Store {
+	b.Helper()
+	s, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+func fillKeys(b *testing.B, s *Store, n int) [][]byte {
+	b.Helper()
+	keys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+		if err := s.Put(keys[i], []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return keys
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := benchStore(b, Options{})
+	val := []byte("a-reasonably-sized-value-for-a-provenance-record-entry")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%08d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchedPuts(b *testing.B) {
+	for _, batchSize := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("batch-%d", batchSize), func(b *testing.B) {
+			s := benchStore(b, Options{})
+			val := []byte("value")
+			b.ResetTimer()
+			i := 0
+			for i < b.N {
+				var batch Batch
+				for j := 0; j < batchSize && i < b.N; j++ {
+					batch.Put([]byte(fmt.Sprintf("key-%08d", i)), val)
+					i++
+				}
+				if err := s.Apply(&batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGetFromTables(b *testing.B) {
+	s := benchStore(b, Options{})
+	keys := fillKeys(b, s, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetMissing isolates the bloom filter's value: negative lookups
+// across several tables.
+func BenchmarkGetMissing(b *testing.B) {
+	for _, bits := range []int{1, 10} {
+		b.Run(fmt.Sprintf("bloom-bits-%d", bits), func(b *testing.B) {
+			s := benchStore(b, Options{BloomBitsPerKey: bits, DisableAutoCompact: true})
+			for t := 0; t < 4; t++ { // four tables to consult
+				for i := 0; i < 5000; i++ {
+					s.Put([]byte(fmt.Sprintf("t%d-key-%06d", t, i)), []byte("v"))
+				}
+				s.Flush()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Get([]byte(fmt.Sprintf("absent-%d", i))); err != ErrNotFound {
+					b.Fatal("unexpected hit")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	s := benchStore(b, Options{})
+	fillKeys(b, s, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+		if n != 20000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+func BenchmarkCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchStore(b, Options{DisableAutoCompact: true})
+		for t := 0; t < 4; t++ {
+			for k := 0; k < 3000; k++ {
+				s.Put([]byte(fmt.Sprintf("key-%06d", k)), []byte(fmt.Sprintf("gen-%d", t)))
+			}
+			s.Flush()
+		}
+		b.StartTimer()
+		if err := s.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

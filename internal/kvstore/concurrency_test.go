@@ -1,0 +1,136 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersAndWriters hammers the store from parallel
+// goroutines; run with -race. Scans must stay ordered and callbacks must
+// be able to call back into the store (the chunked-scan contract).
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := openTest(t, Options{MemtableBytes: 8 << 10}) // force flushes under load
+	const writers, perWriter = 4, 200
+	var writerWG, readerWG sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				k := []byte(fmt.Sprintf("w%d-key-%04d", w, i))
+				if err := s.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 9 {
+					if err := s.Delete([]byte(fmt.Sprintf("w%d-key-%04d", w, i-5))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Readers run scans and gets concurrently; correctness here means no
+	// races, ordered scans, and no phantom errors.
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var prev []byte
+				err := s.Scan(nil, nil, func(k, v []byte) bool {
+					if prev != nil && string(prev) >= string(k) {
+						t.Errorf("scan out of order: %q >= %q", prev, k)
+						return false
+					}
+					prev = append(prev[:0], k...)
+					// Callbacks may re-enter the store (chunked scan).
+					_, err := s.Get(k)
+					if err != nil && !errors.Is(err, ErrNotFound) {
+						// The key may have been deleted since the chunk
+						// was captured; only real errors count.
+						t.Errorf("re-entrant get: %v", err)
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Wait for writers, then stop readers.
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final state: every surviving key readable.
+	live := 0
+	if err := s.Scan(nil, nil, func(k, v []byte) bool { live++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	want := writers * (perWriter - perWriter/10)
+	if live != want {
+		t.Fatalf("live keys = %d, want %d", live, want)
+	}
+}
+
+// TestConcurrentFlushCompact interleaves explicit flush/compact with
+// writes and reads.
+func TestConcurrentFlushCompact(t *testing.T) {
+	s := openTest(t, Options{DisableAutoCompact: true})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := s.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	n := 0
+	s.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+	if n != 400 {
+		t.Fatalf("keys after churn = %d, want 400", n)
+	}
+}

@@ -1,0 +1,117 @@
+package kvstore
+
+import (
+	"bytes"
+)
+
+// skiplist is the in-memory memtable structure: a classic probabilistic
+// skip list over []byte keys. Values may be nil-with-tombstone to shadow
+// deleted keys until the next flush. Not safe for concurrent use; the
+// Store serializes access.
+type skiplist struct {
+	head   *skipNode
+	level  int
+	length int
+	bytes  int64 // approximate memory footprint of keys+values
+	rng    uint64
+}
+
+const skipMaxLevel = 20
+
+type skipNode struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+	next      []*skipNode
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{
+		head:  &skipNode{next: make([]*skipNode, skipMaxLevel)},
+		level: 1,
+		rng:   0x2545F4914F6CDD1D,
+	}
+}
+
+// randLevel draws a geometric level with p = 1/4, the standard choice.
+func (s *skiplist) randLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel {
+		s.rng ^= s.rng << 13
+		s.rng ^= s.rng >> 7
+		s.rng ^= s.rng << 17
+		if s.rng&0x3 != 0 {
+			break
+		}
+		lvl++
+	}
+	return lvl
+}
+
+// findPath fills update[i] with the rightmost node at level i whose key is
+// < key, and returns the candidate node (which may equal key).
+func (s *skiplist) findPath(key []byte, update *[skipMaxLevel]*skipNode) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+// set inserts or replaces key with value. tombstone marks a deletion.
+func (s *skiplist) set(key, value []byte, tombstone bool) {
+	var update [skipMaxLevel]*skipNode
+	cand := s.findPath(key, &update)
+	if cand != nil && bytes.Equal(cand.key, key) {
+		s.bytes += int64(len(value) - len(cand.value))
+		cand.value = value
+		cand.tombstone = tombstone
+		return
+	}
+	lvl := s.randLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &skipNode{key: key, value: value, tombstone: tombstone, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.length++
+	s.bytes += int64(len(key) + len(value) + 48) // struct overhead estimate
+}
+
+// get returns (value, tombstone, found).
+func (s *skiplist) get(key []byte) ([]byte, bool, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	cand := x.next[0]
+	if cand != nil && bytes.Equal(cand.key, key) {
+		return cand.value, cand.tombstone, true
+	}
+	return nil, false, false
+}
+
+// seek returns the first node with key >= target.
+func (s *skiplist) seek(target []byte) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, target) < 0 {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+// first returns the least node.
+func (s *skiplist) first() *skipNode { return s.head.next[0] }

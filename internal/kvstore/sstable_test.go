@@ -1,0 +1,366 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// sliceSource feeds writeTable from a sorted slice.
+type sliceSource struct {
+	entries []sliceEntry
+	pos     int
+}
+
+type sliceEntry struct {
+	k, v []byte
+	tomb bool
+}
+
+func (s *sliceSource) nextEntry() ([]byte, []byte, bool, bool) {
+	if s.pos >= len(s.entries) {
+		return nil, nil, false, false
+	}
+	e := s.entries[s.pos]
+	s.pos++
+	return e.k, e.v, e.tomb, true
+}
+
+func buildTestTable(t *testing.T, n int, dropTombstones bool) (*table, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.sst")
+	src := &sliceSource{}
+	for i := 0; i < n; i++ {
+		src.entries = append(src.entries, sliceEntry{
+			k:    []byte(fmt.Sprintf("key-%05d", i)),
+			v:    []byte(fmt.Sprintf("value-%d", i)),
+			tomb: i%7 == 3,
+		})
+	}
+	if _, err := writeTable(path, src, 10, dropTombstones); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := openTable(path, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.close() })
+	return tb, path
+}
+
+func TestTableGetHitsAndMisses(t *testing.T) {
+	tb, _ := buildTestTable(t, 500, false)
+	v, tomb, found, err := tb.get([]byte("key-00042"))
+	if err != nil || !found || tomb || string(v) != "value-42" {
+		t.Fatalf("get = %q %v %v %v", v, tomb, found, err)
+	}
+	// Tombstoned key (i%7==3 -> 10).
+	_, tomb, found, err = tb.get([]byte("key-00010"))
+	if err != nil || !found || !tomb {
+		t.Fatalf("tombstone get = %v %v %v", tomb, found, err)
+	}
+	// Missing keys: before, between, after.
+	for _, k := range []string{"a", "key-00042x", "zzz"} {
+		if _, _, found, _ := tb.get([]byte(k)); found {
+			t.Fatalf("found nonexistent key %q", k)
+		}
+	}
+}
+
+func TestTableIteratorFullScan(t *testing.T) {
+	tb, _ := buildTestTable(t, 100, false)
+	it, err := tb.iter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []byte
+	count := 0
+	for {
+		k, _, _, ok, err := it.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("iterator out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("scanned %d entries, want 100", count)
+	}
+}
+
+func TestTableIteratorSeek(t *testing.T) {
+	tb, _ := buildTestTable(t, 200, false)
+	it, err := tb.iter([]byte("key-00150"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _, _, ok, err := it.next()
+	if err != nil || !ok || string(k) != "key-00150" {
+		t.Fatalf("seek landed on %q (%v, %v)", k, ok, err)
+	}
+	// Seek between keys lands on the next one.
+	it, _ = tb.iter([]byte("key-00150a"))
+	k, _, _, ok, _ = it.next()
+	if !ok || string(k) != "key-00151" {
+		t.Fatalf("between-keys seek landed on %q", k)
+	}
+	// Seek past the end yields nothing.
+	it, _ = tb.iter([]byte("zzz"))
+	if _, _, _, ok, _ := it.next(); ok {
+		t.Fatal("seek past end returned an entry")
+	}
+}
+
+func TestWriteTableDropTombstones(t *testing.T) {
+	tb, _ := buildTestTable(t, 70, true)
+	// All i%7==3 entries dropped: 10 of 70.
+	if tb.count != 60 {
+		t.Fatalf("count = %d, want 60", tb.count)
+	}
+	if _, _, found, _ := tb.get([]byte("key-00003")); found {
+		t.Fatal("dropped tombstone still present")
+	}
+}
+
+func TestWriteTableRejectsUnsortedInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.sst")
+	src := &sliceSource{entries: []sliceEntry{
+		{k: []byte("b"), v: []byte("1")},
+		{k: []byte("a"), v: []byte("2")},
+	}}
+	if _, err := writeTable(path, src, 10, false); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	// Duplicate keys also rejected.
+	src = &sliceSource{entries: []sliceEntry{
+		{k: []byte("a"), v: []byte("1")},
+		{k: []byte("a"), v: []byte("2")},
+	}}
+	if _, err := writeTable(path, src, 10, false); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	// Failed build leaves no file behind.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("failed writeTable left a file")
+	}
+}
+
+func TestOpenTableRejectsCorruptMeta(t *testing.T) {
+	_, path := buildTestTable(t, 50, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte in the meta region (just before the footer).
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-footerSize-3] ^= 0xFF
+	badPath := path + ".corrupt"
+	os.WriteFile(badPath, bad, 0o644)
+	if _, err := openTable(badPath, 1, false); err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+	// Truncated footer.
+	os.WriteFile(badPath, data[:10], 0o644)
+	if _, err := openTable(badPath, 1, false); err == nil {
+		t.Fatal("truncated table accepted")
+	}
+	// Bad magic.
+	bad2 := append([]byte(nil), data...)
+	bad2[len(bad2)-1] ^= 0xFF
+	os.WriteFile(badPath, bad2, 0o644)
+	if _, err := openTable(badPath, 1, false); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTableEmptySource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.sst")
+	n, err := writeTable(path, &sliceSource{}, 10, false)
+	if err != nil || n != 0 {
+		t.Fatalf("empty table: n=%d err=%v", n, err)
+	}
+	tb, err := openTable(path, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.close()
+	if _, _, found, _ := tb.get([]byte("any")); found {
+		t.Fatal("empty table found a key")
+	}
+	it, _ := tb.iter(nil)
+	if _, _, _, ok, _ := it.next(); ok {
+		t.Fatal("empty table iterated an entry")
+	}
+}
+
+func TestSkiplistBasics(t *testing.T) {
+	sl := newSkiplist()
+	sl.set([]byte("b"), []byte("2"), false)
+	sl.set([]byte("a"), []byte("1"), false)
+	sl.set([]byte("c"), []byte("3"), false)
+	if sl.length != 3 {
+		t.Fatalf("length = %d", sl.length)
+	}
+	v, tomb, found := sl.get([]byte("b"))
+	if !found || tomb || string(v) != "2" {
+		t.Fatalf("get b = %q %v %v", v, tomb, found)
+	}
+	// Replace keeps length.
+	sl.set([]byte("b"), []byte("2b"), false)
+	if sl.length != 3 {
+		t.Fatalf("replace changed length to %d", sl.length)
+	}
+	v, _, _ = sl.get([]byte("b"))
+	if string(v) != "2b" {
+		t.Fatalf("replace lost: %q", v)
+	}
+	// Tombstone replace.
+	sl.set([]byte("a"), nil, true)
+	_, tomb, found = sl.get([]byte("a"))
+	if !found || !tomb {
+		t.Fatal("tombstone not recorded")
+	}
+	if _, _, found := sl.get([]byte("zz")); found {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestSkiplistOrderedIteration(t *testing.T) {
+	sl := newSkiplist()
+	for i := 99; i >= 0; i-- {
+		sl.set([]byte(fmt.Sprintf("k%02d", i)), []byte("v"), false)
+	}
+	n := 0
+	var prev []byte
+	for node := sl.first(); node != nil; node = node.next[0] {
+		if prev != nil && bytes.Compare(prev, node.key) >= 0 {
+			t.Fatal("skiplist out of order")
+		}
+		prev = node.key
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("iterated %d nodes", n)
+	}
+	// Seek.
+	node := sl.seek([]byte("k50"))
+	if node == nil || string(node.key) != "k50" {
+		t.Fatalf("seek = %v", node)
+	}
+	node = sl.seek([]byte("k50x"))
+	if node == nil || string(node.key) != "k51" {
+		t.Fatalf("between seek = %v", node)
+	}
+	if sl.seek([]byte("zzz")) != nil {
+		t.Fatal("seek past end returned node")
+	}
+}
+
+func TestSkiplistModelProperty(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val byte
+		Del bool
+	}) bool {
+		sl := newSkiplist()
+		model := map[byte]struct {
+			val  byte
+			tomb bool
+		}{}
+		for _, op := range ops {
+			k := []byte{op.Key}
+			sl.set(k, []byte{op.Val}, op.Del)
+			model[op.Key] = struct {
+				val  byte
+				tomb bool
+			}{op.Val, op.Del}
+		}
+		if sl.length != len(model) {
+			return false
+		}
+		for k, want := range model {
+			v, tomb, found := sl.get([]byte{k})
+			if !found || tomb != want.tomb {
+				return false
+			}
+			if len(v) != 1 || v[0] != want.val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFilterBasics(t *testing.T) {
+	bf := newBloomFilter(1000, 10)
+	keys := make([][]byte, 1000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bloom-key-%d", i))
+		bf.add(keys[i])
+	}
+	// No false negatives, ever.
+	for _, k := range keys {
+		if !bf.mayContain(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	// False positive rate at 10 bits/key should be ~1%; allow 5%.
+	fp := 0
+	probes := 10000
+	for i := 0; i < probes; i++ {
+		if bf.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / float64(probes); rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestBloomMarshalRoundTrip(t *testing.T) {
+	bf := newBloomFilter(100, 10)
+	bf.add([]byte("x"))
+	bf.add([]byte("y"))
+	got, ok := unmarshalBloom(bf.marshal())
+	if !ok {
+		t.Fatal("unmarshal failed")
+	}
+	if !got.mayContain([]byte("x")) || !got.mayContain([]byte("y")) {
+		t.Fatal("round trip lost keys")
+	}
+	if got.k != bf.k || got.nbits != bf.nbits {
+		t.Fatal("params changed")
+	}
+	// Garbage inputs.
+	if _, ok := unmarshalBloom(nil); ok {
+		t.Fatal("nil accepted")
+	}
+	if _, ok := unmarshalBloom([]byte{1, 2, 3}); ok {
+		t.Fatal("short input accepted")
+	}
+	bad := bf.marshal()
+	bad = bad[:len(bad)-1] // wrong bit length
+	if _, ok := unmarshalBloom(bad); ok {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestBloomDegenerateSizes(t *testing.T) {
+	bf := newBloomFilter(0, 0) // clamped internals
+	bf.add([]byte("a"))
+	if !bf.mayContain([]byte("a")) {
+		t.Fatal("tiny filter false negative")
+	}
+}

@@ -1,0 +1,268 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if got := c.Value(); got != 0 {
+		t.Fatalf("zero counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Add(-10) // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter after negative add = %d, want 5", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("counter after reset = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramExactSmall(t *testing.T) {
+	h := NewHistogram(100)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("max = %v, want 5", got)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 5 {
+		t.Fatalf("q1 = %v, want 5", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("empty snapshot count = %d", s.Count)
+	}
+}
+
+func TestHistogramReservoirKeepsBounds(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 10000 {
+		t.Fatalf("count = %d, want 10000", got)
+	}
+	if got := h.Min(); got != 0 {
+		t.Fatalf("min = %v, want 0", got)
+	}
+	if got := h.Max(); got != 9999 {
+		t.Fatalf("max = %v, want 9999", got)
+	}
+	// The p50 over a uniform 0..9999 stream should be loosely near 5000.
+	p50 := h.Quantile(0.5)
+	if p50 < 1000 || p50 > 9000 {
+		t.Fatalf("reservoir p50 = %v, wildly off", p50)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	// Property: quantiles are monotone nondecreasing in q.
+	f := func(vals []float64) bool {
+		h := NewHistogram(1024)
+		any := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(42)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Observe(7)
+	if got := h.Mean(); got != 7 {
+		t.Fatalf("mean after reset+observe = %v, want 7", got)
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c2 := r.Counter("a")
+	if c1 != c2 {
+		t.Fatal("registry returned distinct counters for same name")
+	}
+	if r.Counter("b") == c1 {
+		t.Fatal("distinct names share a counter")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("registry returned distinct histograms for same name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("registry returned distinct gauges for same name")
+	}
+}
+
+func TestRegistryNamesAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(3)
+	r.Counter("a").Add(1)
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Fatalf("names = %v, want [a z]", names)
+	}
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(1)
+	r.Reset()
+	if r.Counter("z").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("reset did not clear registry metrics")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E0: demo", "model", "latency", "bytes")
+	tb.AddRow("central", 12.5, int64(1024))
+	tb.AddRow("dht", 100.0, int64(2048))
+	out := tb.String()
+	if !strings.Contains(out, "E0: demo") {
+		t.Fatalf("missing title in %q", out)
+	}
+	if !strings.Contains(out, "model") || !strings.Contains(out, "central") {
+		t.Fatalf("missing cells in %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{1234, "1234"},
+		{123.456, "123.5"},
+		{12.345, "12.35"},
+		{0.1234, "0.1234"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.0 MiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTimer(t *testing.T) {
+	h := NewHistogram(16)
+	tm := StartTimer(h)
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d < time.Millisecond {
+		t.Fatalf("elapsed %v < 1ms", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	if h.Mean() <= 0 {
+		t.Fatalf("mean %v, want > 0", h.Mean())
+	}
+}
+
+func TestTimerNilHistogram(t *testing.T) {
+	tm := StartTimer(nil)
+	if d := tm.Stop(); d < 0 {
+		t.Fatal("negative duration")
+	}
+}

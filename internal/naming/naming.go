@@ -1,0 +1,175 @@
+// Package naming implements the strawman the paper argues against:
+// conventional, self-describing filenames like
+// "volcano_vesuvius_10_11_04" (Section II-A). A Convention fixes an
+// ordered list of attribute keys plus a time format and renders a
+// record's provenance into a flat string; Parse recovers what it can.
+//
+// The package exists to make the paper's eight objections measurable
+// (experiment E2): information that does not fit the convention —
+// multi-valued attributes, typed values, annotations, derivation
+// relationships, attributes added after the convention was fixed — is
+// silently lost in the filename, and queries over those attributes
+// cannot be answered from names alone.
+package naming
+
+import (
+	"strings"
+	"time"
+
+	"pass/internal/provenance"
+)
+
+// Convention is an ordered naming convention: the chosen attribute keys
+// are rendered in order, separated by Sep, followed by the record's
+// window start formatted with TimeLayout (when present).
+type Convention struct {
+	// Fields are the attribute keys baked into the convention, most
+	// significant first (the significance ordering the paper criticizes).
+	Fields []string
+	// TimeLayout formats the t-start attribute (Go reference layout).
+	// Empty omits time.
+	TimeLayout string
+	// Sep separates components. Defaults to "_".
+	Sep string
+	// Missing fills a field the record does not carry.
+	Missing string
+}
+
+// Default is the convention implied by the paper's example
+// "volcano_vesuvius_10_11_04": domain, then a location, then a
+// day-resolution date.
+func Default() Convention {
+	return Convention{
+		Fields:     []string{provenance.KeyDomain, provenance.KeyZone, provenance.KeySensorClass},
+		TimeLayout: "06_01_02",
+		Sep:        "_",
+		Missing:    "x",
+	}
+}
+
+func (c Convention) sep() string {
+	if c.Sep == "" {
+		return "_"
+	}
+	return c.Sep
+}
+
+func (c Convention) missing() string {
+	if c.Missing == "" {
+		return "x"
+	}
+	return c.Missing
+}
+
+// sanitize keeps a component from colliding with the separator.
+func (c Convention) sanitize(s string) string {
+	return strings.ReplaceAll(s, c.sep(), "-")
+}
+
+// Encode renders the record's name under the convention. Only the first
+// value of each field is used (filenames cannot carry multi-valued
+// attributes); everything else about the record is dropped.
+func (c Convention) Encode(rec *provenance.Record) string {
+	parts := make([]string, 0, len(c.Fields)+1)
+	for _, f := range c.Fields {
+		if v, ok := rec.Get(f); ok {
+			parts = append(parts, c.sanitize(v.AsString()))
+		} else {
+			parts = append(parts, c.missing())
+		}
+	}
+	if c.TimeLayout != "" {
+		if start, _, ok := rec.TimeRange(); ok {
+			parts = append(parts, time.Unix(0, start).UTC().Format(c.TimeLayout))
+		} else {
+			// One missing marker per time component keeps the name's
+			// shape (part count) fixed, which Parse relies on.
+			for range strings.Split(c.TimeLayout, c.sep()) {
+				parts = append(parts, c.missing())
+			}
+		}
+	}
+	return strings.Join(parts, c.sep())
+}
+
+// Parsed is the information recoverable from a conventional filename:
+// string-typed field values (typed provenance values have been flattened
+// to strings) and, when the convention includes time, the day-resolution
+// window start.
+type Parsed struct {
+	Fields map[string]string
+	// Start is the recovered window start (day resolution); zero when the
+	// convention has no time component or the component was missing.
+	Start   time.Time
+	HasTime bool
+}
+
+// Parse recovers the convention's fields from a name. It reports ok=false
+// for names that do not match the convention's shape.
+func (c Convention) Parse(name string) (Parsed, bool) {
+	parts := strings.Split(name, c.sep())
+	want := len(c.Fields)
+	timeParts := 0
+	if c.TimeLayout != "" {
+		timeParts = len(strings.Split(c.TimeLayout, c.sep()))
+	}
+	if len(parts) != want+timeParts {
+		return Parsed{}, false
+	}
+	p := Parsed{Fields: make(map[string]string, want)}
+	for i, f := range c.Fields {
+		if parts[i] != c.missing() {
+			p.Fields[f] = parts[i]
+		}
+	}
+	if timeParts > 0 {
+		allMissing := true
+		for _, tp := range parts[want:] {
+			if tp != c.missing() {
+				allMissing = false
+				break
+			}
+		}
+		if !allMissing {
+			ts := strings.Join(parts[want:], c.sep())
+			if t, err := time.Parse(c.TimeLayout, ts); err == nil {
+				p.Start = t
+				p.HasTime = true
+			}
+		}
+	}
+	return p, true
+}
+
+// CanExpress reports whether a query on the given attribute key can be
+// answered from names under this convention at all. Queries outside the
+// convention's fields are the paper's core objection: "additional
+// important information about the data may not be readily expressible in
+// the filename".
+func (c Convention) CanExpress(key string) bool {
+	for _, f := range c.Fields {
+		if f == key {
+			return true
+		}
+	}
+	if key == provenance.KeyStart && c.TimeLayout != "" {
+		return true
+	}
+	return false
+}
+
+// MatchName evaluates an attribute-equality query against a filename:
+// parse, then compare the flattened value. Queries on inexpressible keys
+// never match (recall loss); flattened values can collide across types
+// (precision loss).
+func (c Convention) MatchName(name, key, value string) bool {
+	p, ok := c.Parse(name)
+	if !ok {
+		return false
+	}
+	got, ok := p.Fields[key]
+	if !ok {
+		return false
+	}
+	return got == c.sanitize(value)
+}

@@ -1,0 +1,162 @@
+package naming
+
+import (
+	"testing"
+	"time"
+
+	"pass/internal/provenance"
+)
+
+func digestOf(b byte) (d [32]byte) {
+	for i := range d {
+		d[i] = b
+	}
+	return
+}
+
+func volcanoRecord(t *testing.T) *provenance.Record {
+	t.Helper()
+	rec, _, err := provenance.NewRaw(digestOf(1), 100).
+		Attr(provenance.KeyDomain, provenance.String("volcano")).
+		Attr(provenance.KeyZone, provenance.String("vesuvius")).
+		Attr(provenance.KeySensorClass, provenance.String("seismometer")).
+		Attr(provenance.KeySensorID, provenance.String("s-1")).
+		Attr(provenance.KeySensorID, provenance.String("s-2")).
+		Attr(provenance.KeyStart, provenance.TimeVal(time.Date(2004, 10, 11, 6, 30, 0, 0, time.UTC))).
+		Attr(provenance.KeyEnd, provenance.TimeVal(time.Date(2004, 10, 11, 7, 30, 0, 0, time.UTC))).
+		CreatedAt(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestEncodePaperExample(t *testing.T) {
+	// The paper's example name is volcano_vesuvius_10_11_04; our default
+	// convention emits domain_zone_class_YY_MM_DD.
+	name := Default().Encode(volcanoRecord(t))
+	want := "volcano_vesuvius_seismometer_04_10_11"
+	if name != want {
+		t.Fatalf("Encode = %q, want %q", name, want)
+	}
+}
+
+func TestEncodeMissingFields(t *testing.T) {
+	rec, _, _ := provenance.NewRaw(digestOf(2), 1).
+		Attr(provenance.KeyDomain, provenance.String("traffic")).
+		CreatedAt(1).Build()
+	name := Default().Encode(rec)
+	if name != "traffic_x_x_x_x_x" {
+		t.Fatalf("Encode with missing fields = %q", name)
+	}
+}
+
+func TestEncodeSanitizesSeparator(t *testing.T) {
+	rec, _, _ := provenance.NewRaw(digestOf(3), 1).
+		Attr(provenance.KeyDomain, provenance.String("traffic_data")).
+		CreatedAt(1).Build()
+	name := Default().Encode(rec)
+	p, ok := Default().Parse(name)
+	if !ok {
+		t.Fatalf("sanitized name %q failed to parse", name)
+	}
+	// The underscore in the value was flattened: information loss.
+	if p.Fields[provenance.KeyDomain] != "traffic-data" {
+		t.Fatalf("parsed domain = %q", p.Fields[provenance.KeyDomain])
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	conv := Default()
+	name := conv.Encode(volcanoRecord(t))
+	p, ok := conv.Parse(name)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if p.Fields[provenance.KeyDomain] != "volcano" || p.Fields[provenance.KeyZone] != "vesuvius" {
+		t.Fatalf("fields = %v", p.Fields)
+	}
+	if !p.HasTime {
+		t.Fatal("time not recovered")
+	}
+	// Day resolution only: the 06:30 start has been truncated.
+	if p.Start.Hour() != 0 {
+		t.Fatalf("parsed time carries sub-day precision: %v", p.Start)
+	}
+	if p.Start.Year() != 2004 || p.Start.Month() != 10 || p.Start.Day() != 11 {
+		t.Fatalf("parsed date = %v", p.Start)
+	}
+}
+
+func TestParseRejectsWrongShape(t *testing.T) {
+	conv := Default()
+	for _, bad := range []string{"", "one", "a_b", "a_b_c_d_e_f_g_h"} {
+		if _, ok := conv.Parse(bad); ok {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseMissingMarkers(t *testing.T) {
+	p, ok := Default().Parse("traffic_x_x_x_x_x")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if _, present := p.Fields[provenance.KeyZone]; present {
+		t.Fatal("missing marker parsed as a value")
+	}
+	if p.HasTime {
+		t.Fatal("missing time parsed as a value")
+	}
+}
+
+func TestCanExpress(t *testing.T) {
+	conv := Default()
+	if !conv.CanExpress(provenance.KeyDomain) {
+		t.Fatal("domain should be expressible")
+	}
+	if !conv.CanExpress(provenance.KeyStart) {
+		t.Fatal("t-start should be expressible via the time component")
+	}
+	// The paper's examples of inexpressible information.
+	for _, key := range []string{provenance.KeySensorID, provenance.KeyUpgrade, provenance.KeySoftware, "~tool"} {
+		if conv.CanExpress(key) {
+			t.Errorf("%s should NOT be expressible in a filename", key)
+		}
+	}
+}
+
+func TestMatchName(t *testing.T) {
+	conv := Default()
+	name := conv.Encode(volcanoRecord(t))
+	if !conv.MatchName(name, provenance.KeyDomain, "volcano") {
+		t.Fatal("domain match failed")
+	}
+	if conv.MatchName(name, provenance.KeyDomain, "traffic") {
+		t.Fatal("wrong domain matched")
+	}
+	// Multi-valued attribute: the filename cannot carry sensor IDs at all.
+	if conv.MatchName(name, provenance.KeySensorID, "s-1") {
+		t.Fatal("sensor-id query matched a name that cannot encode it")
+	}
+	if conv.MatchName("garbage", provenance.KeyDomain, "volcano") {
+		t.Fatal("garbage name matched")
+	}
+}
+
+func TestCustomConvention(t *testing.T) {
+	conv := Convention{Fields: []string{"a", "b"}, Sep: "-", Missing: "NA"}
+	rec, _, _ := provenance.NewRaw(digestOf(4), 1).
+		Attr("a", provenance.Int64(42)).
+		CreatedAt(1).Build()
+	name := conv.Encode(rec)
+	if name != "42-NA" {
+		t.Fatalf("custom encode = %q", name)
+	}
+	p, ok := conv.Parse(name)
+	if !ok || p.Fields["a"] != "42" {
+		t.Fatalf("custom parse = %+v, %v", p, ok)
+	}
+	// Typed value flattened to string: "42" the int and "42" the string
+	// are now indistinguishable — the precision loss E2 measures.
+}

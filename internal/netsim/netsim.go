@@ -1,0 +1,309 @@
+// Package netsim is a deterministic wide-area network simulator. Every
+// distributed architecture model in this reproduction (central warehouse,
+// distributed/federated databases, soft-state services, hierarchical
+// namespaces, DHTs, and distributed PASS) exchanges messages through a
+// Network, which charges simulated latency for propagation, per-message
+// overhead, and transmission time, and accounts every byte that crosses a
+// link. The paper's "Resource Consumption" criterion (Section IV) is
+// measured directly from these accounts.
+//
+// The simulator is intentionally synchronous and deterministic: a Send
+// returns the latency the message would have experienced rather than
+// sleeping, so experiments are exactly reproducible and fast. Latency is
+// additive along multi-hop paths, matching how the architecture models
+// compose calls.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pass/internal/geo"
+)
+
+// SiteID identifies a site (host) in the simulated network.
+type SiteID int
+
+// InvalidSite is returned by lookups that fail.
+const InvalidSite SiteID = -1
+
+// Site is a participating host: a storage node, a warehouse, a sensor
+// gateway, or a consumer's query terminal.
+type Site struct {
+	ID   SiteID
+	Name string
+	Loc  geo.Point
+	Zone string // name of the locality zone the site belongs to
+}
+
+// Config sets the latency and bandwidth model.
+type Config struct {
+	// PropagationPerKm is the one-way propagation delay per kilometre.
+	// Default: 5µs/km (speed of light in fibre ≈ 200,000 km/s).
+	PropagationPerKm time.Duration
+	// PerMessage is fixed per-message processing/queueing overhead.
+	// Default: 200µs.
+	PerMessage time.Duration
+	// BytesPerSecond is link bandwidth. Default: 100 MB/s.
+	BytesPerSecond int64
+	// LocalDelay is the latency of a message a site sends to itself
+	// (loopback / same rack). Default: 20µs.
+	LocalDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PropagationPerKm <= 0 {
+		c.PropagationPerKm = 5 * time.Microsecond
+	}
+	if c.PerMessage <= 0 {
+		c.PerMessage = 200 * time.Microsecond
+	}
+	if c.BytesPerSecond <= 0 {
+		c.BytesPerSecond = 100 << 20
+	}
+	if c.LocalDelay <= 0 {
+		c.LocalDelay = 20 * time.Microsecond
+	}
+	return c
+}
+
+// Stats is a snapshot of traffic accounting.
+type Stats struct {
+	Messages   int64 // total messages sent
+	Bytes      int64 // total bytes sent
+	WANBytes   int64 // bytes crossing zone boundaries
+	WANMsgs    int64 // messages crossing zone boundaries
+	LocalMsgs  int64 // messages within one zone (incl. loopback)
+	TotalDelay time.Duration
+}
+
+// ErrSiteDown is returned when a message targets a failed site.
+var ErrSiteDown = errors.New("netsim: site is down")
+
+// ErrNoSuchSite is returned for unknown site IDs.
+var ErrNoSuchSite = errors.New("netsim: no such site")
+
+// Network is the simulated network. Safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu      sync.Mutex
+	sites   []Site
+	byName  map[string]SiteID
+	down    map[SiteID]bool
+	stats   Stats
+	perSite map[SiteID]*SiteStats
+}
+
+// SiteStats accounts per-site traffic.
+type SiteStats struct {
+	MsgsIn, MsgsOut   int64
+	BytesIn, BytesOut int64
+}
+
+// New returns a network with the given configuration (zero value = defaults).
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:     cfg.withDefaults(),
+		byName:  make(map[string]SiteID),
+		down:    make(map[SiteID]bool),
+		perSite: make(map[SiteID]*SiteStats),
+	}
+}
+
+// AddSite registers a site and returns its ID. Site names must be unique;
+// registering a duplicate name returns the existing ID.
+func (n *Network) AddSite(name string, loc geo.Point, zone string) SiteID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if id, ok := n.byName[name]; ok {
+		return id
+	}
+	id := SiteID(len(n.sites))
+	n.sites = append(n.sites, Site{ID: id, Name: name, Loc: loc, Zone: zone})
+	n.byName[name] = id
+	n.perSite[id] = &SiteStats{}
+	return id
+}
+
+// Site returns the site with the given ID.
+func (n *Network) Site(id SiteID) (Site, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(n.sites) {
+		return Site{}, fmt.Errorf("%w: %d", ErrNoSuchSite, id)
+	}
+	return n.sites[id], nil
+}
+
+// SiteByName returns the ID of the named site, or InvalidSite.
+func (n *Network) SiteByName(name string) SiteID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if id, ok := n.byName[name]; ok {
+		return id
+	}
+	return InvalidSite
+}
+
+// NumSites returns the number of registered sites.
+func (n *Network) NumSites() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.sites)
+}
+
+// Sites returns a copy of all registered sites.
+func (n *Network) Sites() []Site {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Site, len(n.sites))
+	copy(out, n.sites)
+	return out
+}
+
+// Fail marks a site as down; subsequent sends to it return ErrSiteDown.
+func (n *Network) Fail(id SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = true
+}
+
+// Heal marks a site as up again.
+func (n *Network) Heal(id SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.down, id)
+}
+
+// IsDown reports whether the site is failed.
+func (n *Network) IsDown(id SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[id]
+}
+
+// Latency returns the one-way latency for a message of the given size
+// between two sites, without sending anything.
+func (n *Network) Latency(from, to SiteID, bytes int) (time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.latencyLocked(from, to, bytes)
+}
+
+func (n *Network) latencyLocked(from, to SiteID, bytes int) (time.Duration, error) {
+	if int(from) < 0 || int(from) >= len(n.sites) {
+		return 0, fmt.Errorf("%w: from %d", ErrNoSuchSite, from)
+	}
+	if int(to) < 0 || int(to) >= len(n.sites) {
+		return 0, fmt.Errorf("%w: to %d", ErrNoSuchSite, to)
+	}
+	if from == to {
+		return n.cfg.LocalDelay, nil
+	}
+	dist := n.sites[from].Loc.Distance(n.sites[to].Loc)
+	prop := time.Duration(dist * float64(n.cfg.PropagationPerKm))
+	xmit := time.Duration(float64(bytes) / float64(n.cfg.BytesPerSecond) * float64(time.Second))
+	return n.cfg.PerMessage + prop + xmit, nil
+}
+
+// Send delivers a one-way message of the given size and returns the
+// simulated latency. Bytes and message counts are accounted; messages to a
+// failed destination return ErrSiteDown (and are not accounted).
+func (n *Network) Send(from, to SiteID, bytes int) (time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[to] {
+		return 0, fmt.Errorf("%w: %s", ErrSiteDown, n.sites[to].Name)
+	}
+	if n.down[from] {
+		return 0, fmt.Errorf("%w: %s", ErrSiteDown, n.sites[from].Name)
+	}
+	d, err := n.latencyLocked(from, to, bytes)
+	if err != nil {
+		return 0, err
+	}
+	n.stats.Messages++
+	n.stats.Bytes += int64(bytes)
+	n.stats.TotalDelay += d
+	crossZone := n.sites[from].Zone != n.sites[to].Zone
+	if crossZone {
+		n.stats.WANBytes += int64(bytes)
+		n.stats.WANMsgs++
+	} else {
+		n.stats.LocalMsgs++
+	}
+	n.perSite[from].MsgsOut++
+	n.perSite[from].BytesOut += int64(bytes)
+	n.perSite[to].MsgsIn++
+	n.perSite[to].BytesIn += int64(bytes)
+	return d, nil
+}
+
+// Call performs a request/response exchange and returns the summed
+// round-trip latency.
+func (n *Network) Call(from, to SiteID, reqBytes, respBytes int) (time.Duration, error) {
+	d1, err := n.Send(from, to, reqBytes)
+	if err != nil {
+		return 0, err
+	}
+	d2, err := n.Send(to, from, respBytes)
+	if err != nil {
+		return d1, err
+	}
+	return d1 + d2, nil
+}
+
+// Broadcast sends the same payload from one site to every other site and
+// returns the maximum one-way latency (the fan-out completes when the last
+// replica hears it). Failed destinations are skipped and counted.
+func (n *Network) Broadcast(from SiteID, bytes int) (time.Duration, int, error) {
+	var maxD time.Duration
+	skipped := 0
+	for _, s := range n.Sites() {
+		if s.ID == from {
+			continue
+		}
+		d, err := n.Send(from, s.ID, bytes)
+		if errors.Is(err, ErrSiteDown) {
+			skipped++
+			continue
+		}
+		if err != nil {
+			return maxD, skipped, err
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, skipped, nil
+}
+
+// Stats returns a snapshot of global traffic accounting.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// SiteStats returns a snapshot of per-site accounting.
+func (n *Network) SiteStats(id SiteID) SiteStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.perSite[id]; ok {
+		return *s
+	}
+	return SiteStats{}
+}
+
+// ResetStats zeroes all accounting without touching topology.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+	for id := range n.perSite {
+		n.perSite[id] = &SiteStats{}
+	}
+}

@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pass/internal/geo"
+)
+
+func twoSiteNet(t *testing.T, dist float64) (*Network, SiteID, SiteID) {
+	t.Helper()
+	n := New(Config{})
+	a := n.AddSite("a", geo.Point{X: 0, Y: 0}, "east")
+	b := n.AddSite("b", geo.Point{X: dist, Y: 0}, "west")
+	return n, a, b
+}
+
+func TestAddSiteAndLookup(t *testing.T) {
+	n, a, b := twoSiteNet(t, 100)
+	if a == b {
+		t.Fatal("site IDs collide")
+	}
+	if got := n.SiteByName("a"); got != a {
+		t.Fatalf("SiteByName(a) = %d, want %d", got, a)
+	}
+	if got := n.SiteByName("missing"); got != InvalidSite {
+		t.Fatalf("SiteByName(missing) = %d, want InvalidSite", got)
+	}
+	if n.NumSites() != 2 {
+		t.Fatalf("NumSites = %d, want 2", n.NumSites())
+	}
+	s, err := n.Site(a)
+	if err != nil || s.Name != "a" {
+		t.Fatalf("Site(a) = %+v, %v", s, err)
+	}
+	if _, err := n.Site(SiteID(99)); err == nil {
+		t.Fatal("Site(99) should fail")
+	}
+}
+
+func TestAddDuplicateName(t *testing.T) {
+	n := New(Config{})
+	a1 := n.AddSite("a", geo.Point{}, "z")
+	a2 := n.AddSite("a", geo.Point{X: 50}, "z")
+	if a1 != a2 {
+		t.Fatalf("duplicate name produced new site: %d vs %d", a1, a2)
+	}
+	if n.NumSites() != 1 {
+		t.Fatalf("NumSites = %d, want 1", n.NumSites())
+	}
+}
+
+func TestLatencyScalesWithDistance(t *testing.T) {
+	nNear, a1, b1 := twoSiteNet(t, 10)
+	nFar, a2, b2 := twoSiteNet(t, 10000)
+	dNear, err := nNear.Latency(a1, b1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFar, err := nFar.Latency(a2, b2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dFar <= dNear {
+		t.Fatalf("far latency %v <= near latency %v", dFar, dNear)
+	}
+}
+
+func TestLatencyScalesWithSize(t *testing.T) {
+	n, a, b := twoSiteNet(t, 100)
+	dSmall, _ := n.Latency(a, b, 100)
+	dLarge, _ := n.Latency(a, b, 100<<20)
+	if dLarge <= dSmall {
+		t.Fatalf("large payload latency %v <= small %v", dLarge, dSmall)
+	}
+}
+
+func TestLoopbackLatency(t *testing.T) {
+	n, a, _ := twoSiteNet(t, 100)
+	d, err := n.Latency(a, a, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 20*time.Microsecond {
+		t.Fatalf("loopback = %v, want 20µs default", d)
+	}
+}
+
+func TestSendAccounting(t *testing.T) {
+	n, a, b := twoSiteNet(t, 100)
+	if _, err := n.Send(a, b, 500); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Messages != 1 || st.Bytes != 500 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// a and b are in different zones -> WAN traffic.
+	if st.WANBytes != 500 || st.WANMsgs != 1 {
+		t.Fatalf("WAN accounting wrong: %+v", st)
+	}
+	ssa := n.SiteStats(a)
+	ssb := n.SiteStats(b)
+	if ssa.BytesOut != 500 || ssa.MsgsOut != 1 || ssb.BytesIn != 500 || ssb.MsgsIn != 1 {
+		t.Fatalf("per-site stats wrong: a=%+v b=%+v", ssa, ssb)
+	}
+}
+
+func TestSameZoneNotWAN(t *testing.T) {
+	n := New(Config{})
+	a := n.AddSite("a", geo.Point{}, "boston")
+	b := n.AddSite("b", geo.Point{X: 5}, "boston")
+	if _, err := n.Send(a, b, 100); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.WANBytes != 0 || st.LocalMsgs != 1 {
+		t.Fatalf("intra-zone send misaccounted: %+v", st)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n, a, b := twoSiteNet(t, 100)
+	oneWay, _ := n.Latency(a, b, 100)
+	rt, err := n.Call(a, b, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != 2*oneWay {
+		t.Fatalf("round trip %v != 2 × one-way %v", rt, oneWay)
+	}
+	if n.Stats().Messages != 2 {
+		t.Fatalf("messages = %d, want 2", n.Stats().Messages)
+	}
+}
+
+func TestFailAndHeal(t *testing.T) {
+	n, a, b := twoSiteNet(t, 100)
+	n.Fail(b)
+	if !n.IsDown(b) {
+		t.Fatal("b should be down")
+	}
+	if _, err := n.Send(a, b, 10); !errors.Is(err, ErrSiteDown) {
+		t.Fatalf("send to failed site: err = %v, want ErrSiteDown", err)
+	}
+	if _, err := n.Send(b, a, 10); !errors.Is(err, ErrSiteDown) {
+		t.Fatalf("send from failed site: err = %v, want ErrSiteDown", err)
+	}
+	// Nothing accounted for failed sends.
+	if st := n.Stats(); st.Messages != 0 {
+		t.Fatalf("failed sends were accounted: %+v", st)
+	}
+	n.Heal(b)
+	if _, err := n.Send(a, b, 10); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := New(Config{})
+	src := n.AddSite("src", geo.Point{}, "z0")
+	n.AddSite("near", geo.Point{X: 10}, "z1")
+	n.AddSite("far", geo.Point{X: 10000}, "z2")
+	down := n.AddSite("down", geo.Point{X: 20}, "z3")
+	n.Fail(down)
+
+	maxD, skipped, err := n.Broadcast(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	farLat, _ := n.Latency(src, n.SiteByName("far"), 100)
+	if maxD != farLat {
+		t.Fatalf("broadcast max %v != far latency %v", maxD, farLat)
+	}
+	if n.Stats().Messages != 2 {
+		t.Fatalf("messages = %d, want 2", n.Stats().Messages)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n, a, b := twoSiteNet(t, 100)
+	_, _ = n.Send(a, b, 100)
+	n.ResetStats()
+	if st := n.Stats(); st.Messages != 0 || st.Bytes != 0 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+	if ss := n.SiteStats(a); ss.MsgsOut != 0 {
+		t.Fatalf("per-site stats not reset: %+v", ss)
+	}
+	if n.NumSites() != 2 {
+		t.Fatal("reset destroyed topology")
+	}
+}
+
+func TestLatencyUnknownSites(t *testing.T) {
+	n, a, _ := twoSiteNet(t, 100)
+	if _, err := n.Latency(SiteID(42), a, 1); !errors.Is(err, ErrNoSuchSite) {
+		t.Fatalf("err = %v, want ErrNoSuchSite", err)
+	}
+	if _, err := n.Latency(a, SiteID(42), 1); !errors.Is(err, ErrNoSuchSite) {
+		t.Fatalf("err = %v, want ErrNoSuchSite", err)
+	}
+}
+
+func TestLatencyAdditivity(t *testing.T) {
+	// Two short hops through a midpoint cost more than one direct hop
+	// (per-message overhead charged twice) — this is what makes multi-hop
+	// DHT routing expensive in E9.
+	n := New(Config{})
+	a := n.AddSite("a", geo.Point{}, "z")
+	m := n.AddSite("m", geo.Point{X: 50}, "z")
+	b := n.AddSite("b", geo.Point{X: 100}, "z")
+	direct, _ := n.Latency(a, b, 100)
+	h1, _ := n.Latency(a, m, 100)
+	h2, _ := n.Latency(m, b, 100)
+	if h1+h2 <= direct {
+		t.Fatalf("two hops %v should exceed direct %v", h1+h2, direct)
+	}
+}

@@ -1,0 +1,109 @@
+package provenance
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: record identity is invariant under any permutation of the
+// attribute list, and the canonical encoding round-trips for arbitrary
+// attribute contents.
+func TestIdentityPermutationInvariance(t *testing.T) {
+	f := func(keys []string, vals []int64, rotate uint8) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		attrs := make([]Attribute, 0, n)
+		for i := 0; i < n; i++ {
+			if keys[i] == "" {
+				continue // empty keys are rejected by validation
+			}
+			attrs = append(attrs, Attr(keys[i], Int64(vals[i])))
+		}
+		if len(attrs) == 0 {
+			return true
+		}
+		b1 := NewRaw(digestOf(1), 10).Attrs(attrs...).CreatedAt(5)
+		_, id1, err := b1.Build()
+		if err != nil {
+			return false
+		}
+		// Rotate the attribute list: same multiset, different order.
+		r := int(rotate) % len(attrs)
+		rotated := append(append([]Attribute(nil), attrs[r:]...), attrs[:r]...)
+		_, id2, err := NewRaw(digestOf(1), 10).Attrs(rotated...).CreatedAt(5).Build()
+		if err != nil {
+			return false
+		}
+		return id1 == id2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Encode/Decode round-trips for records with arbitrary
+// attribute keys and string/bytes/int values, preserving identity.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(keys []string, svals []string, bvals [][]byte, created int64) bool {
+		b := NewRaw(digestOf(7), 99).CreatedAt(created)
+		for i, k := range keys {
+			if k == "" {
+				continue
+			}
+			switch i % 3 {
+			case 0:
+				if i < len(svals) {
+					b = b.Attr(k, String(svals[i]))
+				}
+			case 1:
+				if i < len(bvals) {
+					b = b.Attr(k, BytesVal(bvals[i]))
+				}
+			default:
+				b = b.Attr(k, Int64(int64(i)))
+			}
+		}
+		rec, id, err := b.Build()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(rec.Encode())
+		if err != nil {
+			return false
+		}
+		return got.ComputeID() == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two records differing in exactly one attribute value never
+// share an ID (the index/storage layers depend on this absolutely).
+func TestSingleValuePerturbationProperty(t *testing.T) {
+	f := func(key string, v1, v2 int64) bool {
+		if key == "" {
+			return true
+		}
+		_, id1, err := NewRaw(digestOf(3), 1).Attr(key, Int64(v1)).CreatedAt(9).Build()
+		if err != nil {
+			return false
+		}
+		_, id2, err := NewRaw(digestOf(3), 1).Attr(key, Int64(v2)).CreatedAt(9).Build()
+		if err != nil {
+			return false
+		}
+		if v1 == v2 {
+			return id1 == id2
+		}
+		return id1 != id2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,380 @@
+package provenance
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func digestOf(b byte) (d [32]byte) {
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func rawRecord(t *testing.T) (*Record, ID) {
+	t.Helper()
+	r, id, err := NewRaw(digestOf(1), 4096).
+		Attr(KeyDomain, String("traffic")).
+		Attr(KeyZone, String("london")).
+		Attr(KeySensorID, String("cam-17")).
+		Attr(KeySensorID, String("cam-18")).
+		Attr(KeyStart, TimeVal(time.Unix(100, 0))).
+		Attr(KeyEnd, TimeVal(time.Unix(160, 0))).
+		CreatedAt(12345).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, id
+}
+
+func TestBuildRawRecord(t *testing.T) {
+	r, id := rawRecord(t)
+	if id.IsZero() {
+		t.Fatal("built record has zero ID")
+	}
+	if r.Type != Raw {
+		t.Fatalf("type = %v", r.Type)
+	}
+	if got := len(r.GetAll(KeySensorID)); got != 2 {
+		t.Fatalf("sensor-id count = %d, want 2", got)
+	}
+	if v, ok := r.Get(KeyDomain); !ok || v.Str != "traffic" {
+		t.Fatalf("domain = %+v, %v", v, ok)
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Fatal("found a missing key")
+	}
+}
+
+func TestIDDeterministic(t *testing.T) {
+	_, id1 := rawRecord(t)
+	_, id2 := rawRecord(t)
+	if id1 != id2 {
+		t.Fatal("same logical record produced different IDs")
+	}
+}
+
+func TestIDIgnoresAttributeOrder(t *testing.T) {
+	r1, id1, err := NewRaw(digestOf(1), 10).
+		Attr("a", String("1")).Attr("b", String("2")).CreatedAt(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, id2, err := NewRaw(digestOf(1), 10).
+		Attr("b", String("2")).Attr("a", String("1")).CreatedAt(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatal("attribute order changed identity")
+	}
+	// Normalization must leave attributes sorted by key.
+	if r1.Attributes[0].Key != "a" {
+		t.Fatalf("attributes not normalized: %+v", r1.Attributes)
+	}
+}
+
+func TestP3NonidenticalDataDistinctProvenance(t *testing.T) {
+	// PASS property P3: records naming different data cannot collide, even
+	// when every attribute matches.
+	_, id1, err := NewRaw(digestOf(1), 10).Attr("k", String("v")).CreatedAt(7).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, id2, err := NewRaw(digestOf(2), 10).Attr("k", String("v")).CreatedAt(7).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("different data digests share provenance ID")
+	}
+}
+
+func TestIdentityPerturbationProperty(t *testing.T) {
+	// Any single-field perturbation must change the ID.
+	base := func() *Builder {
+		return NewRaw(digestOf(3), 100).Attr("k", String("v")).CreatedAt(50)
+	}
+	_, id0, err := base().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbations := map[string]*Builder{
+		"digest":   NewRaw(digestOf(4), 100).Attr("k", String("v")).CreatedAt(50),
+		"size":     NewRaw(digestOf(3), 101).Attr("k", String("v")).CreatedAt(50),
+		"attr-val": NewRaw(digestOf(3), 100).Attr("k", String("w")).CreatedAt(50),
+		"attr-key": NewRaw(digestOf(3), 100).Attr("k2", String("v")).CreatedAt(50),
+		"extra":    base().Attr("k2", String("x")),
+		"created":  NewRaw(digestOf(3), 100).Attr("k", String("v")).CreatedAt(51),
+		"kind":     NewRaw(digestOf(3), 100).Attr("k", BytesVal([]byte("v"))).CreatedAt(50),
+	}
+	for name, b := range perturbations {
+		_, id, err := b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if id == id0 {
+			t.Errorf("perturbation %q did not change the ID", name)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r, _ := rawRecord(t)
+	enc := r.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+	if got.ComputeID() != r.ComputeID() {
+		t.Fatal("decoded record has different identity")
+	}
+}
+
+func TestEncodeDecodeDerived(t *testing.T) {
+	_, p1 := rawRecord(t)
+	r, id, err := NewDerived(digestOf(9), 77, "sharpen", "2.1", p1).
+		Attr(KeyDomain, String("traffic")).
+		CreatedAt(999).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "sharpen" || got.ToolVersion != "2.1" {
+		t.Fatalf("tool = %q %q", got.Tool, got.ToolVersion)
+	}
+	if len(got.Parents) != 1 || got.Parents[0] != p1 {
+		t.Fatalf("parents = %v", got.Parents)
+	}
+	if got.ComputeID() != id {
+		t.Fatal("identity not preserved")
+	}
+}
+
+func TestParentOrderIsIdentity(t *testing.T) {
+	_, pa, _ := NewRaw(digestOf(1), 1).CreatedAt(1).Build()
+	_, pb, _ := NewRaw(digestOf(2), 1).CreatedAt(1).Build()
+	_, id1, err := NewDerived(digestOf(3), 1, "join", "1", pa, pb).CreatedAt(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, id2, err := NewDerived(digestOf(3), 1, "join", "1", pb, pa).CreatedAt(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("parent order should be part of identity (join(a,b) != join(b,a))")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	_, parent, _ := NewRaw(digestOf(1), 1).CreatedAt(1).Build()
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"raw with parent", &Builder{r: Record{Type: Raw, Parents: []ID{parent}}}},
+		{"derived no parents", NewDerived(digestOf(2), 1, "t", "1")},
+		{"derived no tool", NewDerived(digestOf(2), 1, "", "1", parent)},
+		{"annotation no target", NewAnnotation()},
+		{"empty attr key", NewRaw(digestOf(1), 1).Attr("", String("x"))},
+		{"zero parent", NewDerived(digestOf(2), 1, "t", "1", ZeroID)},
+		{"dup parents", NewDerived(digestOf(2), 1, "t", "1", parent, parent)},
+	}
+	for _, c := range cases {
+		if _, _, err := c.b.Build(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+		}
+	}
+}
+
+func TestAnnotationRecord(t *testing.T) {
+	_, target, _ := NewRaw(digestOf(1), 1).CreatedAt(1).Build()
+	r, id, err := NewAnnotation(target).
+		Attr(KeyNote, String("sensor 17 replaced with model B")).
+		Attr(KeyUpgrade, Bool(true)).
+		CreatedAt(5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.IsZero() || r.Type != Annotation {
+		t.Fatalf("annotation = %+v", r)
+	}
+	if !r.Has(KeyUpgrade, Bool(true)) {
+		t.Fatal("upgrade attribute missing")
+	}
+	got, err := Decode(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ComputeID() != id {
+		t.Fatal("annotation identity not preserved")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r, _ := rawRecord(t)
+	enc := r.Encode()
+	for _, cut := range []int{0, 1, 5, 33, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(append([]byte(nil), enc...), 0xAB)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Bad version.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad version err = %v", err)
+	}
+	// Huge attribute count with no payload must not allocate or panic.
+	hdr := append([]byte(nil), enc[:2+32]...)
+	hdr = append(hdr, 0)                         // size
+	hdr = append(hdr, 0xFF, 0xFF, 0xFF, 0xFF, 7) // absurd uvarint count
+	if _, err := Decode(hdr); err == nil {
+		t.Error("absurd attribute count accepted")
+	}
+}
+
+func TestDecodeFuzzNoPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		// Must never panic; errors are fine.
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	f := func(s string, i int64, fl float64, bs []byte, b bool) bool {
+		vals := []Value{String(s), Int64(i), Float(fl), BytesVal(bs), Bool(b), TimeVal(time.Unix(0, i))}
+		for _, v := range vals {
+			enc := v.appendCanonical(nil)
+			got, rest, err := decodeValue(enc)
+			if err != nil || len(rest) != 0 {
+				return false
+			}
+			if !got.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueAsString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{String("abc"), "abc"},
+		{Int64(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{BytesVal([]byte{0xde, 0xad}), "dead"},
+		{TimeVal(time.Unix(0, 0)), "1970-01-01T00:00:00Z"},
+	}
+	for _, c := range cases {
+		if got := c.v.AsString(); got != c.want {
+			t.Errorf("AsString(%v) = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !String("x").Equal(String("x")) {
+		t.Fatal("equal strings unequal")
+	}
+	if String("x").Equal(BytesVal([]byte("x"))) {
+		t.Fatal("cross-kind values compared equal")
+	}
+	if !BytesVal([]byte{1, 2}).Equal(BytesVal([]byte{1, 2})) {
+		t.Fatal("equal bytes unequal")
+	}
+	if Int64(1).Equal(Int64(2)) {
+		t.Fatal("unequal ints equal")
+	}
+}
+
+func TestParseID(t *testing.T) {
+	_, id := rawRecord(t)
+	parsed, err := ParseID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != id {
+		t.Fatal("ParseID(String) != identity")
+	}
+	if _, err := ParseID("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParseID("abcd"); err == nil {
+		t.Fatal("short hex accepted")
+	}
+	if len(id.Short()) != 12 {
+		t.Fatalf("Short() length = %d", len(id.Short()))
+	}
+}
+
+func TestTimeRangeAccessor(t *testing.T) {
+	r, _ := rawRecord(t)
+	s, e, ok := r.TimeRange()
+	if !ok || s != time.Unix(100, 0).UnixNano() || e != time.Unix(160, 0).UnixNano() {
+		t.Fatalf("TimeRange = %d, %d, %v", s, e, ok)
+	}
+	r2, _, _ := NewRaw(digestOf(1), 1).CreatedAt(1).Build()
+	if _, _, ok := r2.TimeRange(); ok {
+		t.Fatal("record without window reported a range")
+	}
+}
+
+func TestBuilderDoesNotAliasInput(t *testing.T) {
+	b := NewRaw(digestOf(1), 1).Attr("k", String("v")).CreatedAt(1)
+	r1, id1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the builder after Build must not affect the built record.
+	b.Attr("k2", String("v2"))
+	if len(r1.Attributes) != 1 {
+		t.Fatal("builder mutation leaked into built record")
+	}
+	_, id2, _ := b.Build()
+	if id1 == id2 {
+		t.Fatal("extended builder produced same ID")
+	}
+}
+
+func TestTypeAndKindStrings(t *testing.T) {
+	if Raw.String() != "raw" || Derived.String() != "derived" || Annotation.String() != "annotation" {
+		t.Fatal("type strings wrong")
+	}
+	if KindString.String() != "string" || KindBytes.String() != "bytes" {
+		t.Fatal("kind strings wrong")
+	}
+	if Type(99).String() == "" || Kind(99).String() == "" {
+		t.Fatal("unknown enums should still render")
+	}
+}

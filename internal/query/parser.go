@@ -1,0 +1,310 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"pass/internal/index"
+	"pass/internal/provenance"
+)
+
+// Parse turns a textual query into a Predicate. The language is small but
+// covers the paper's catalogue of query shapes (Section III):
+//
+//	expr     := term (OR term)*
+//	term     := factor (AND factor)*
+//	factor   := NOT factor | '(' expr ')' | atom
+//	atom     := key '=' value            exact attribute match
+//	          | key '~' prefix           string prefix match
+//	          | key IN '[' v ',' v ']'   inclusive range
+//	          | OVERLAPS '[' t ',' t ']' time-window overlap
+//	          | ANCESTORS '(' hexid [',' depth] ')'
+//	          | DESCENDANTS '(' hexid [',' depth] ')'
+//
+// Values are typed by shape: integers, floats, true/false, RFC 3339
+// timestamps, and quoted or bare strings. Keywords are case-insensitive;
+// keys and values are case-sensitive.
+func Parse(input string) (Predicate, error) {
+	p := &parser{toks: tokenize(input)}
+	pred, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("query: unexpected %q after expression", p.peek())
+	}
+	return pred, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.atEnd() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		return fmt.Errorf("query: expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func isKeyword(tok, kw string) bool { return strings.EqualFold(tok, kw) }
+
+func (p *parser) parseExpr() (Predicate, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	legs := []Predicate{left}
+	for isKeyword(p.peek(), "OR") {
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		legs = append(legs, right)
+	}
+	if len(legs) == 1 {
+		return legs[0], nil
+	}
+	return Or{Preds: legs}, nil
+}
+
+func (p *parser) parseTerm() (Predicate, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	legs := []Predicate{left}
+	for isKeyword(p.peek(), "AND") {
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		legs = append(legs, right)
+	}
+	if len(legs) == 1 {
+		return legs[0], nil
+	}
+	return And{Preds: legs}, nil
+}
+
+func (p *parser) parseFactor() (Predicate, error) {
+	switch {
+	case isKeyword(p.peek(), "NOT"):
+		p.next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Pred: inner}, nil
+	case p.peek() == "(":
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (Predicate, error) {
+	tok := p.next()
+	if tok == "" {
+		return nil, fmt.Errorf("query: unexpected end of input")
+	}
+	switch {
+	case isKeyword(tok, "OVERLAPS"):
+		lo, hi, err := p.parseBracketPair()
+		if err != nil {
+			return nil, err
+		}
+		s, err := parseTimeBound(lo)
+		if err != nil {
+			return nil, err
+		}
+		e, err := parseTimeBound(hi)
+		if err != nil {
+			return nil, err
+		}
+		return TimeOverlap{Start: s, End: e}, nil
+	case isKeyword(tok, "ANCESTORS"), isKeyword(tok, "DESCENDANTS"):
+		id, depth, err := p.parseClosureArgs()
+		if err != nil {
+			return nil, err
+		}
+		if isKeyword(tok, "ANCESTORS") {
+			return AncestorsOf{ID: id, MaxDepth: depth}, nil
+		}
+		return DescendantsOf{ID: id, MaxDepth: depth}, nil
+	}
+
+	// Keys may be quoted to include operator characters (the synthetic
+	// "~type"/"~tool" attributes need this: `"~tool"=aggregate`).
+	key := unquote(tok)
+	op := p.next()
+	switch op {
+	case "=":
+		val := p.next()
+		if val == "" {
+			return nil, fmt.Errorf("query: %s= missing value", key)
+		}
+		return AttrEq{Key: key, Value: parseValue(val)}, nil
+	case "~":
+		val := p.next()
+		return AttrPrefix{Key: key, Prefix: unquote(val)}, nil
+	default:
+		if isKeyword(op, "IN") {
+			lo, hi, err := p.parseBracketPair()
+			if err != nil {
+				return nil, err
+			}
+			vlo, vhi := parseValue(lo), parseValue(hi)
+			if vlo.Kind != vhi.Kind {
+				return nil, fmt.Errorf("query: range bounds %q and %q have different types", lo, hi)
+			}
+			return AttrRange{Key: key, Lo: vlo, Hi: vhi}, nil
+		}
+		return nil, fmt.Errorf("query: expected =, ~, or IN after %q, got %q", key, op)
+	}
+}
+
+func (p *parser) parseBracketPair() (string, string, error) {
+	if err := p.expect("["); err != nil {
+		return "", "", err
+	}
+	lo := p.next()
+	if err := p.expect(","); err != nil {
+		return "", "", err
+	}
+	hi := p.next()
+	if err := p.expect("]"); err != nil {
+		return "", "", err
+	}
+	return lo, hi, nil
+}
+
+func (p *parser) parseClosureArgs() (provenance.ID, int, error) {
+	var id provenance.ID
+	if err := p.expect("("); err != nil {
+		return id, 0, err
+	}
+	hexID := p.next()
+	id, err := provenance.ParseID(hexID)
+	if err != nil {
+		return id, 0, err
+	}
+	depth := index.NoLimit
+	if p.peek() == "," {
+		p.next()
+		d, err := strconv.Atoi(p.next())
+		if err != nil {
+			return id, 0, fmt.Errorf("query: bad depth: %w", err)
+		}
+		depth = d
+	}
+	if err := p.expect(")"); err != nil {
+		return id, 0, err
+	}
+	return id, depth, nil
+}
+
+// parseValue types a literal by shape.
+func parseValue(tok string) provenance.Value {
+	if len(tok) >= 2 && tok[0] == '"' && tok[len(tok)-1] == '"' {
+		return provenance.String(tok[1 : len(tok)-1])
+	}
+	if tok == "true" {
+		return provenance.Bool(true)
+	}
+	if tok == "false" {
+		return provenance.Bool(false)
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return provenance.Int64(i)
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return provenance.Float(f)
+	}
+	if t, err := time.Parse(time.RFC3339, tok); err == nil {
+		return provenance.TimeVal(t)
+	}
+	return provenance.String(tok)
+}
+
+// parseTimeBound accepts RFC 3339 or raw unix nanoseconds.
+func parseTimeBound(tok string) (int64, error) {
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return i, nil
+	}
+	if t, err := time.Parse(time.RFC3339, tok); err == nil {
+		return t.UnixNano(), nil
+	}
+	return 0, fmt.Errorf("query: bad time bound %q (want RFC3339 or unix nanos)", tok)
+}
+
+func unquote(tok string) string {
+	if len(tok) >= 2 && tok[0] == '"' && tok[len(tok)-1] == '"' {
+		return tok[1 : len(tok)-1]
+	}
+	return tok
+}
+
+// tokenize splits input into tokens: punctuation ( ) [ ] , = ~ stand
+// alone; quoted strings are single tokens; everything else splits on
+// whitespace.
+func tokenize(input string) []string {
+	var toks []string
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '[' || c == ']' || c == ',' || c == '=' || c == '~':
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(input) && input[j] != '"' {
+				j++
+			}
+			if j < len(input) {
+				j++ // include closing quote
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(input) && !strings.ContainsRune(" \t\n()[],=~\"", rune(input[j])) {
+				j++
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		}
+	}
+	return toks
+}

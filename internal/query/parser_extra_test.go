@@ -1,0 +1,28 @@
+package query
+
+import (
+	"testing"
+
+	"pass/internal/provenance"
+)
+
+func TestParseQuotedKeySyntheticAttrs(t *testing.T) {
+	pred, err := Parse(`"~tool"=aggregate`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, ok := pred.(AttrEq)
+	if !ok || eq.Key != "~tool" || eq.Value.Str != "aggregate" {
+		t.Fatalf("parsed %+v", pred)
+	}
+	// Quoted key with prefix operator.
+	pred, err = Parse(`"~type"~ra`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, ok := pred.(AttrPrefix)
+	if !ok || pre.Key != "~type" || pre.Prefix != "ra" {
+		t.Fatalf("parsed %+v", pred)
+	}
+	_ = provenance.String("")
+}

@@ -1,0 +1,147 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"pass/internal/index"
+	"pass/internal/kvstore"
+	"pass/internal/provenance"
+)
+
+// propRand is a minimal xorshift* generator (the workload package's
+// generator would create an import cycle here).
+type propRand struct{ state uint64 }
+
+func (r *propRand) next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+func (r *propRand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// TestRandomPredicateEquivalence is the package's strongest property:
+// for randomly generated corpora and randomly generated predicates, the
+// indexed engine and the flat-scan Match baseline must return identical
+// result sets. Any divergence is a bug in the index layer, the planner,
+// or the matcher.
+func TestRandomPredicateEquivalence(t *testing.T) {
+	rng := &propRand{state: 20050405}
+
+	keys := []string{"zone", "domain", "level", "score"}
+	strVals := []string{"boston", "london", "tokyo", "traffic", "weather"}
+
+	randValue := func(key string) provenance.Value {
+		switch key {
+		case "level":
+			return provenance.Int64(int64(rng.Intn(8)))
+		case "score":
+			return provenance.Float(float64(rng.Intn(16)) / 4)
+		default:
+			return provenance.String(strVals[rng.Intn(len(strVals))])
+		}
+	}
+
+	var randPred func(depth int) Predicate
+	randPred = func(depth int) Predicate {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			key := keys[rng.Intn(len(keys))]
+			switch rng.Intn(4) {
+			case 0:
+				return AttrEq{Key: key, Value: randValue(key)}
+			case 1:
+				if key == "level" {
+					lo := int64(rng.Intn(8))
+					return AttrRange{Key: key, Lo: provenance.Int64(lo), Hi: provenance.Int64(lo + int64(rng.Intn(4)))}
+				}
+				return AttrEq{Key: key, Value: randValue(key)}
+			case 2:
+				return AttrPrefix{Key: "zone", Prefix: []string{"bo", "lo", "t", ""}[rng.Intn(4)]}
+			default:
+				s := int64(rng.Intn(1000))
+				return TimeOverlap{Start: s, End: s + int64(rng.Intn(500))}
+			}
+		}
+		legs := make([]Predicate, 2+rng.Intn(2))
+		for i := range legs {
+			legs[i] = randPred(depth - 1)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return And{Preds: legs}
+		case 1:
+			return Or{Preds: legs}
+		default:
+			// NOT is only executable inside an AND with a positive leg.
+			return And{Preds: []Predicate{
+				randPred(depth - 1),
+				Not{Pred: randPred(depth - 1)},
+			}}
+		}
+	}
+
+	for trial := 0; trial < 12; trial++ {
+		db, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := &fixture{
+			ix:      index.New(db),
+			db:      db,
+			records: make(map[provenance.ID]*provenance.Record),
+		}
+		f.engine = NewEngine(f.ix, func(id provenance.ID) (*provenance.Record, error) {
+			rec, ok := f.records[id]
+			if !ok {
+				return nil, fmt.Errorf("no record %s", id.Short())
+			}
+			return rec, nil
+		})
+
+		// Random corpus: 60 records with random attributes and windows.
+		for i := 0; i < 60; i++ {
+			b := provenance.NewRaw(digestOf(byte(i+1)), int64(i)).CreatedAt(int64(trial*1000 + i))
+			for _, key := range keys {
+				if rng.Intn(2) == 0 {
+					b = b.Attr(key, randValue(key))
+				}
+			}
+			if rng.Intn(2) == 0 {
+				s := int64(rng.Intn(900))
+				b = b.Attr(provenance.KeyStart, provenance.Value{Kind: provenance.KindTime, Int: s})
+				b = b.Attr(provenance.KeyEnd, provenance.Value{Kind: provenance.KindTime, Int: s + int64(rng.Intn(200))})
+			}
+			f.add(t, b)
+		}
+
+		for q := 0; q < 40; q++ {
+			pred := randPred(2)
+			indexed, err := f.engine.Execute(pred)
+			if err != nil {
+				t.Fatalf("trial %d query %d (%s): %v", trial, q, pred, err)
+			}
+			var scanned []provenance.ID
+			for id, rec := range f.records {
+				m, err := Match(rec, pred)
+				if err != nil {
+					t.Fatalf("trial %d query %d (%s): match: %v", trial, q, pred, err)
+				}
+				if m {
+					scanned = append(scanned, id)
+				}
+			}
+			if !sameSet(indexed, scanned) {
+				t.Fatalf("trial %d query %d: predicate %s\nindexed %d results, flat scan %d",
+					trial, q, pred, len(indexed), len(scanned))
+			}
+		}
+		db.Close()
+	}
+}

@@ -1,0 +1,345 @@
+// Package query provides the provenance query model: a predicate AST
+// combining multi-dimensional attribute selection (exact, prefix, range,
+// time-overlap) with the ancestry operators the paper says conventional
+// systems lack (Section III: "nearly all the queries have some component
+// of transitive closure"), an executor that plans against the index layer,
+// a residual matcher for unindexed evaluation (the flat-scan baseline of
+// experiment E3), and precision/recall scoring for the paper's
+// "Query Result Quality" criterion (Section IV).
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pass/internal/index"
+	"pass/internal/provenance"
+)
+
+// Predicate is a node in the query AST.
+type Predicate interface {
+	String() string
+	isPredicate()
+}
+
+// AttrEq selects records carrying exactly (Key, Value).
+type AttrEq struct {
+	Key   string
+	Value provenance.Value
+}
+
+// AttrPrefix selects records whose string value for Key starts with Prefix.
+type AttrPrefix struct {
+	Key    string
+	Prefix string
+}
+
+// AttrRange selects records whose value for Key lies in [Lo, Hi]
+// (inclusive, same kind).
+type AttrRange struct {
+	Key    string
+	Lo, Hi provenance.Value
+}
+
+// TimeOverlap selects records whose [t-start, t-end] window overlaps
+// [Start, End] (unix nanoseconds, inclusive).
+type TimeOverlap struct {
+	Start, End int64
+}
+
+// AncestorsOf selects the transitive ancestors of ID ("find all the raw
+// data from which this data set was derived").
+type AncestorsOf struct {
+	ID       provenance.ID
+	MaxDepth int // index.NoLimit for unbounded
+}
+
+// DescendantsOf selects the transitive descendants of ID (taint tracking:
+// "all downstream data is tainted and must be locatable").
+type DescendantsOf struct {
+	ID       provenance.ID
+	MaxDepth int
+}
+
+// And is the conjunction of its legs.
+type And struct {
+	Preds []Predicate
+}
+
+// Or is the disjunction of its legs.
+type Or struct {
+	Preds []Predicate
+}
+
+// Not negates its leg. Executable only inside an And (as a residual
+// filter); a top-level Not has no bounded result set.
+type Not struct {
+	Pred Predicate
+}
+
+func (AttrEq) isPredicate()        {}
+func (AttrPrefix) isPredicate()    {}
+func (AttrRange) isPredicate()     {}
+func (TimeOverlap) isPredicate()   {}
+func (AncestorsOf) isPredicate()   {}
+func (DescendantsOf) isPredicate() {}
+func (And) isPredicate()           {}
+func (Or) isPredicate()            {}
+func (Not) isPredicate()           {}
+
+func (p AttrEq) String() string     { return fmt.Sprintf("%s=%s", p.Key, p.Value.AsString()) }
+func (p AttrPrefix) String() string { return fmt.Sprintf("%s~%s*", p.Key, p.Prefix) }
+func (p AttrRange) String() string {
+	return fmt.Sprintf("%s in [%s,%s]", p.Key, p.Lo.AsString(), p.Hi.AsString())
+}
+func (p TimeOverlap) String() string { return fmt.Sprintf("time overlaps [%d,%d]", p.Start, p.End) }
+func (p AncestorsOf) String() string {
+	return fmt.Sprintf("ancestors(%s,depth=%d)", p.ID.Short(), p.MaxDepth)
+}
+func (p DescendantsOf) String() string {
+	return fmt.Sprintf("descendants(%s,depth=%d)", p.ID.Short(), p.MaxDepth)
+}
+func (p And) String() string { return joinPreds(p.Preds, " AND ") }
+func (p Or) String() string  { return joinPreds(p.Preds, " OR ") }
+func (p Not) String() string { return "NOT (" + p.Pred.String() + ")" }
+
+func joinPreds(ps []Predicate, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Errors.
+var (
+	// ErrUnindexable reports a predicate with no bounded execution plan
+	// (e.g. a top-level Not).
+	ErrUnindexable = errors.New("query: predicate cannot be executed against the index")
+	// ErrEmptyPredicate reports And{}/Or{} with no legs.
+	ErrEmptyPredicate = errors.New("query: empty predicate")
+)
+
+// Loader fetches a record by ID for residual evaluation.
+type Loader func(provenance.ID) (*provenance.Record, error)
+
+// Engine executes predicates against an index, loading records only for
+// residual (Not) filtering.
+type Engine struct {
+	ix   *index.Index
+	load Loader
+}
+
+// NewEngine returns an engine over ix, using load for residual filtering.
+func NewEngine(ix *index.Index, load Loader) *Engine {
+	return &Engine{ix: ix, load: load}
+}
+
+// Execute returns the IDs matching p. The result is deduplicated; order is
+// plan-dependent, not significant.
+func (e *Engine) Execute(p Predicate) ([]provenance.ID, error) {
+	switch q := p.(type) {
+	case AttrEq:
+		return e.ix.LookupAttr(q.Key, q.Value)
+	case AttrPrefix:
+		return e.ix.LookupAttrPrefix(q.Key, q.Prefix)
+	case AttrRange:
+		return e.ix.LookupAttrRange(q.Key, q.Lo, q.Hi)
+	case TimeOverlap:
+		return e.ix.LookupTimeOverlap(q.Start, q.End)
+	case AncestorsOf:
+		return e.ix.Ancestors(q.ID, q.MaxDepth)
+	case DescendantsOf:
+		return e.ix.Descendants(q.ID, q.MaxDepth)
+	case Or:
+		if len(q.Preds) == 0 {
+			return nil, ErrEmptyPredicate
+		}
+		lists := make([][]provenance.ID, 0, len(q.Preds))
+		for _, leg := range q.Preds {
+			ids, err := e.Execute(leg)
+			if err != nil {
+				return nil, err
+			}
+			lists = append(lists, ids)
+		}
+		return index.Union(lists...), nil
+	case And:
+		return e.executeAnd(q)
+	case Not:
+		return nil, fmt.Errorf("%w: top-level NOT", ErrUnindexable)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnindexable, p)
+	}
+}
+
+// executeAnd runs the indexable legs through the index and intersects,
+// then applies Not legs as a residual filter over loaded records.
+func (e *Engine) executeAnd(q And) ([]provenance.ID, error) {
+	if len(q.Preds) == 0 {
+		return nil, ErrEmptyPredicate
+	}
+	var lists [][]provenance.ID
+	var residual []Predicate
+	for _, leg := range q.Preds {
+		if n, ok := leg.(Not); ok {
+			residual = append(residual, n)
+			continue
+		}
+		ids, err := e.Execute(leg)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, ids)
+	}
+	if len(lists) == 0 {
+		return nil, fmt.Errorf("%w: AND of only NOT legs", ErrUnindexable)
+	}
+	candidates := index.Intersect(lists...)
+	if len(residual) == 0 || len(candidates) == 0 {
+		return candidates, nil
+	}
+	if e.load == nil {
+		return nil, fmt.Errorf("%w: NOT requires a record loader", ErrUnindexable)
+	}
+	out := candidates[:0]
+	for _, id := range candidates {
+		rec, err := e.load(id)
+		if err != nil {
+			return nil, err
+		}
+		keep := true
+		for _, r := range residual {
+			m, err := Match(rec, r)
+			if err != nil {
+				return nil, err
+			}
+			if !m {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// Match evaluates p directly against a record, without any index. This is
+// both the residual filter and the flat-scan baseline of experiment E3.
+// Ancestry predicates cannot be evaluated against a single record and
+// return an error.
+func Match(rec *provenance.Record, p Predicate) (bool, error) {
+	switch q := p.(type) {
+	case AttrEq:
+		return rec.Has(q.Key, q.Value), nil
+	case AttrPrefix:
+		for _, v := range rec.GetAll(q.Key) {
+			if v.Kind == provenance.KindString && strings.HasPrefix(v.Str, q.Prefix) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case AttrRange:
+		if q.Lo.Kind != q.Hi.Kind {
+			return false, fmt.Errorf("query: range bounds have different kinds")
+		}
+		for _, v := range rec.GetAll(q.Key) {
+			if v.Kind != q.Lo.Kind {
+				continue
+			}
+			if valueLE(q.Lo, v) && valueLE(v, q.Hi) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case TimeOverlap:
+		s, e, ok := rec.TimeRange()
+		if !ok {
+			return false, nil
+		}
+		return s <= q.End && e >= q.Start, nil
+	case And:
+		if len(q.Preds) == 0 {
+			return false, ErrEmptyPredicate
+		}
+		for _, leg := range q.Preds {
+			m, err := Match(rec, leg)
+			if err != nil || !m {
+				return false, err
+			}
+		}
+		return true, nil
+	case Or:
+		if len(q.Preds) == 0 {
+			return false, ErrEmptyPredicate
+		}
+		for _, leg := range q.Preds {
+			m, err := Match(rec, leg)
+			if err != nil {
+				return false, err
+			}
+			if m {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Not:
+		m, err := Match(rec, q.Pred)
+		return !m, err
+	default:
+		return false, fmt.Errorf("%w: %T in Match", ErrUnindexable, p)
+	}
+}
+
+// valueLE compares same-kind values: a <= b.
+func valueLE(a, b provenance.Value) bool {
+	switch a.Kind {
+	case provenance.KindString:
+		return a.Str <= b.Str
+	case provenance.KindFloat:
+		return a.Float <= b.Float
+	case provenance.KindBytes:
+		return string(a.Bytes) <= string(b.Bytes)
+	default:
+		return a.Int <= b.Int
+	}
+}
+
+// Quality holds precision and recall against a ground-truth set (the
+// paper's Query Result Quality criterion).
+type Quality struct {
+	Precision float64 // fraction of returned results that are relevant
+	Recall    float64 // fraction of relevant results that were returned
+}
+
+// Score computes precision and recall of got against want. An empty got
+// with empty want scores 1/1; an empty got with nonempty want scores 1/0
+// (vacuous precision, zero recall).
+func Score(got, want []provenance.ID) Quality {
+	wantSet := make(map[provenance.ID]struct{}, len(want))
+	for _, id := range want {
+		wantSet[id] = struct{}{}
+	}
+	gotSet := make(map[provenance.ID]struct{}, len(got))
+	relevant := 0
+	for _, id := range got {
+		if _, dup := gotSet[id]; dup {
+			continue
+		}
+		gotSet[id] = struct{}{}
+		if _, ok := wantSet[id]; ok {
+			relevant++
+		}
+	}
+	q := Quality{Precision: 1, Recall: 1}
+	if len(gotSet) > 0 {
+		q.Precision = float64(relevant) / float64(len(gotSet))
+	}
+	if len(wantSet) > 0 {
+		q.Recall = float64(relevant) / float64(len(wantSet))
+	}
+	return q
+}

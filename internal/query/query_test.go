@@ -1,0 +1,412 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pass/internal/index"
+	"pass/internal/kvstore"
+	"pass/internal/provenance"
+)
+
+// fixture builds an engine over an in-memory record map + on-disk index.
+type fixture struct {
+	ix      *index.Index
+	db      *kvstore.Store
+	records map[provenance.ID]*provenance.Record
+	engine  *Engine
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	db, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	f := &fixture{
+		ix:      index.New(db),
+		db:      db,
+		records: make(map[provenance.ID]*provenance.Record),
+	}
+	f.engine = NewEngine(f.ix, func(id provenance.ID) (*provenance.Record, error) {
+		rec, ok := f.records[id]
+		if !ok {
+			return nil, fmt.Errorf("no record %s", id.Short())
+		}
+		return rec, nil
+	})
+	return f
+}
+
+func digestOf(b byte) (d [32]byte) {
+	for i := range d {
+		d[i] = b
+	}
+	return
+}
+
+func (f *fixture) add(t *testing.T, b *provenance.Builder) provenance.ID {
+	t.Helper()
+	rec, id, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch kvstore.Batch
+	f.ix.AddToBatch(&batch, id, rec)
+	if err := f.db.Apply(&batch); err != nil {
+		t.Fatal(err)
+	}
+	f.records[id] = rec
+	return rec.ComputeID()
+}
+
+// seed creates a small mixed corpus and returns interesting IDs.
+func (f *fixture) seed(t *testing.T) (boston1, boston2, london, derived provenance.ID) {
+	t.Helper()
+	boston1 = f.add(t, provenance.NewRaw(digestOf(1), 10).
+		Attr("zone", provenance.String("boston")).
+		Attr("domain", provenance.String("traffic")).
+		Attr("level", provenance.Int64(10)).
+		Attr(provenance.KeyStart, provenance.TimeVal(time.Unix(100, 0))).
+		Attr(provenance.KeyEnd, provenance.TimeVal(time.Unix(200, 0))).
+		CreatedAt(1))
+	boston2 = f.add(t, provenance.NewRaw(digestOf(2), 10).
+		Attr("zone", provenance.String("boston")).
+		Attr("domain", provenance.String("weather")).
+		Attr("level", provenance.Int64(50)).
+		CreatedAt(2))
+	london = f.add(t, provenance.NewRaw(digestOf(3), 10).
+		Attr("zone", provenance.String("london")).
+		Attr("domain", provenance.String("traffic")).
+		Attr("level", provenance.Int64(90)).
+		CreatedAt(3))
+	derived = f.add(t, provenance.NewDerived(digestOf(4), 10, "aggregate", "2.0", boston1, london).
+		Attr("domain", provenance.String("traffic")).
+		CreatedAt(4))
+	return
+}
+
+func ids(xs ...provenance.ID) []provenance.ID { return xs }
+
+func sameSet(a, b []provenance.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[provenance.ID]struct{}, len(a))
+	for _, id := range a {
+		set[id] = struct{}{}
+	}
+	for _, id := range b {
+		if _, ok := set[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExecuteAttrEq(t *testing.T) {
+	f := newFixture(t)
+	b1, b2, _, _ := f.seed(t)
+	got, err := f.engine.Execute(AttrEq{Key: "zone", Value: provenance.String("boston")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, ids(b1, b2)) {
+		t.Fatalf("got %d ids", len(got))
+	}
+}
+
+func TestExecuteAnd(t *testing.T) {
+	f := newFixture(t)
+	b1, _, _, _ := f.seed(t)
+	got, err := f.engine.Execute(And{Preds: []Predicate{
+		AttrEq{Key: "zone", Value: provenance.String("boston")},
+		AttrEq{Key: "domain", Value: provenance.String("traffic")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, ids(b1)) {
+		t.Fatalf("AND got %d ids, want 1", len(got))
+	}
+}
+
+func TestExecuteOr(t *testing.T) {
+	f := newFixture(t)
+	b1, b2, l, _ := f.seed(t)
+	got, err := f.engine.Execute(Or{Preds: []Predicate{
+		AttrEq{Key: "zone", Value: provenance.String("boston")},
+		AttrEq{Key: "zone", Value: provenance.String("london")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, ids(b1, b2, l)) {
+		t.Fatalf("OR got %d ids, want 3", len(got))
+	}
+}
+
+func TestExecuteAndWithNot(t *testing.T) {
+	f := newFixture(t)
+	_, b2, _, _ := f.seed(t)
+	got, err := f.engine.Execute(And{Preds: []Predicate{
+		AttrEq{Key: "zone", Value: provenance.String("boston")},
+		Not{Pred: AttrEq{Key: "domain", Value: provenance.String("traffic")}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, ids(b2)) {
+		t.Fatalf("AND NOT got %d ids, want boston2 only", len(got))
+	}
+}
+
+func TestExecuteRange(t *testing.T) {
+	f := newFixture(t)
+	b1, b2, _, _ := f.seed(t)
+	got, err := f.engine.Execute(AttrRange{Key: "level", Lo: provenance.Int64(0), Hi: provenance.Int64(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, ids(b1, b2)) {
+		t.Fatalf("range got %d ids", len(got))
+	}
+}
+
+func TestExecuteTimeOverlap(t *testing.T) {
+	f := newFixture(t)
+	b1, _, _, _ := f.seed(t)
+	got, err := f.engine.Execute(TimeOverlap{Start: time.Unix(150, 0).UnixNano(), End: time.Unix(160, 0).UnixNano()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, ids(b1)) {
+		t.Fatalf("overlap got %d ids", len(got))
+	}
+}
+
+func TestExecuteAncestry(t *testing.T) {
+	f := newFixture(t)
+	b1, _, l, d := f.seed(t)
+	got, err := f.engine.Execute(AncestorsOf{ID: d, MaxDepth: index.NoLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, ids(b1, l)) {
+		t.Fatalf("ancestors got %d ids, want 2", len(got))
+	}
+	got, err = f.engine.Execute(DescendantsOf{ID: b1, MaxDepth: index.NoLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, ids(d)) {
+		t.Fatalf("descendants got %d ids, want 1", len(got))
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	f := newFixture(t)
+	f.seed(t)
+	if _, err := f.engine.Execute(Not{Pred: AttrEq{Key: "k", Value: provenance.String("v")}}); !errors.Is(err, ErrUnindexable) {
+		t.Fatalf("top-level NOT: %v", err)
+	}
+	if _, err := f.engine.Execute(And{}); !errors.Is(err, ErrEmptyPredicate) {
+		t.Fatalf("empty AND: %v", err)
+	}
+	if _, err := f.engine.Execute(Or{}); !errors.Is(err, ErrEmptyPredicate) {
+		t.Fatalf("empty OR: %v", err)
+	}
+	if _, err := f.engine.Execute(And{Preds: []Predicate{Not{Pred: AttrEq{Key: "k", Value: provenance.String("v")}}}}); !errors.Is(err, ErrUnindexable) {
+		t.Fatalf("AND of only NOTs: %v", err)
+	}
+}
+
+func TestMatchAgreesWithIndex(t *testing.T) {
+	// Every indexed query must agree with the flat-scan Match baseline.
+	f := newFixture(t)
+	f.seed(t)
+	preds := []Predicate{
+		AttrEq{Key: "zone", Value: provenance.String("boston")},
+		AttrEq{Key: "domain", Value: provenance.String("traffic")},
+		AttrPrefix{Key: "zone", Prefix: "bo"},
+		AttrRange{Key: "level", Lo: provenance.Int64(20), Hi: provenance.Int64(95)},
+		TimeOverlap{Start: time.Unix(0, 0).UnixNano(), End: time.Unix(150, 0).UnixNano()},
+		And{Preds: []Predicate{
+			AttrEq{Key: "domain", Value: provenance.String("traffic")},
+			Not{Pred: AttrEq{Key: "zone", Value: provenance.String("london")}},
+		}},
+		Or{Preds: []Predicate{
+			AttrEq{Key: "zone", Value: provenance.String("london")},
+			AttrEq{Key: "domain", Value: provenance.String("weather")},
+		}},
+	}
+	for _, p := range preds {
+		indexed, err := f.engine.Execute(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		var scanned []provenance.ID
+		for id, rec := range f.records {
+			m, err := Match(rec, p)
+			if err != nil {
+				t.Fatalf("%s: match: %v", p, err)
+			}
+			if m {
+				scanned = append(scanned, id)
+			}
+		}
+		if !sameSet(indexed, scanned) {
+			t.Fatalf("%s: index %d vs scan %d results", p, len(indexed), len(scanned))
+		}
+	}
+}
+
+func TestMatchAncestryErrors(t *testing.T) {
+	rec, _, _ := provenance.NewRaw(digestOf(1), 1).CreatedAt(1).Build()
+	if _, err := Match(rec, AncestorsOf{}); err == nil {
+		t.Fatal("ancestry Match should error")
+	}
+}
+
+func TestMatchTimeOverlapNoWindow(t *testing.T) {
+	rec, _, _ := provenance.NewRaw(digestOf(1), 1).CreatedAt(1).Build()
+	m, err := Match(rec, TimeOverlap{Start: 0, End: 100})
+	if err != nil || m {
+		t.Fatalf("windowless record matched overlap: %v %v", m, err)
+	}
+}
+
+func TestScore(t *testing.T) {
+	a, b, c := provenance.ID(digestOf(1)), provenance.ID(digestOf(2)), provenance.ID(digestOf(3))
+	q := Score(ids(a, b), ids(a, c))
+	if q.Precision != 0.5 || q.Recall != 0.5 {
+		t.Fatalf("quality = %+v", q)
+	}
+	q = Score(nil, nil)
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Fatalf("empty/empty = %+v", q)
+	}
+	q = Score(nil, ids(a))
+	if q.Precision != 1 || q.Recall != 0 {
+		t.Fatalf("empty/nonempty = %+v", q)
+	}
+	// Duplicates in got do not inflate precision.
+	q = Score(ids(a, a, a), ids(a))
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Fatalf("dup handling = %+v", q)
+	}
+}
+
+func TestParseRoundTrips(t *testing.T) {
+	f := newFixture(t)
+	b1, b2, l, d := f.seed(t)
+	cases := []struct {
+		q    string
+		want []provenance.ID
+	}{
+		{`zone=boston`, ids(b1, b2)},
+		{`zone=boston AND domain=traffic`, ids(b1)},
+		{`zone=boston OR zone=london`, ids(b1, b2, l)},
+		{`zone~bo`, ids(b1, b2)},
+		{`level IN [0,60]`, ids(b1, b2)},
+		{`zone=boston AND NOT domain=traffic`, ids(b2)},
+		{`(zone=boston AND domain=weather) OR zone=london`, ids(b2, l)},
+		{fmt.Sprintf(`ANCESTORS(%s)`, d), ids(b1, l)},
+		{fmt.Sprintf(`DESCENDANTS(%s, 1)`, b1), ids(d)},
+		{`OVERLAPS [100000000000, 150000000000]`, ids(b1)},
+	}
+	for _, c := range cases {
+		pred, err := Parse(c.q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.q, err)
+		}
+		got, err := f.engine.Execute(pred)
+		if err != nil {
+			t.Fatalf("execute %q: %v", c.q, err)
+		}
+		if !sameSet(got, c.want) {
+			t.Fatalf("%q: got %d ids, want %d", c.q, len(got), len(c.want))
+		}
+	}
+}
+
+func TestParseValueTyping(t *testing.T) {
+	cases := []struct {
+		tok  string
+		kind provenance.Kind
+	}{
+		{`42`, provenance.KindInt},
+		{`-7`, provenance.KindInt},
+		{`3.5`, provenance.KindFloat},
+		{`true`, provenance.KindBool},
+		{`false`, provenance.KindBool},
+		{`hello`, provenance.KindString},
+		{`"quoted string"`, provenance.KindString},
+		{`2024-01-01T00:00:00Z`, provenance.KindTime},
+	}
+	for _, c := range cases {
+		if got := parseValue(c.tok); got.Kind != c.kind {
+			t.Errorf("parseValue(%q).Kind = %v, want %v", c.tok, got.Kind, c.kind)
+		}
+	}
+}
+
+func TestParseQuotedStrings(t *testing.T) {
+	pred, err := Parse(`note="sensor 17 replaced"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, ok := pred.(AttrEq)
+	if !ok || eq.Value.Str != "sensor 17 replaced" {
+		t.Fatalf("parsed %+v", pred)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`zone=`,
+		`zone`,
+		`zone ? boston`,
+		`(zone=boston`,
+		`zone=boston extra`,
+		`level IN [1,2`,
+		`level IN [1, "x"]`,
+		`ANCESTORS(nothex)`,
+		`ANCESTORS(abcd)`, // too short
+		`OVERLAPS [abc, def]`,
+		`AND zone=boston`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	p := And{Preds: []Predicate{
+		AttrEq{Key: "zone", Value: provenance.String("boston")},
+		Not{Pred: TimeOverlap{Start: 1, End: 2}},
+	}}
+	s := p.String()
+	if s == "" || !errorsContains(s, "zone=boston") || !errorsContains(s, "NOT") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func errorsContains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || containsStr(s, sub))
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+// Package stream is the real-time front door of a PASS store. Section I
+// opens with it: "Readings and events emerging from a sensor network may
+// be consumed immediately or stored for later analysis" — and Section
+// III-C's EMT scenario streams vitals to consumers while the same data
+// accumulates into the archive.
+//
+// An Ingester does both jobs: it fans each reading out to live
+// subscribers immediately, and windows readings by event time into tuple
+// sets (the §II granularity) that it seals into the store with standard
+// provenance attributes once the event-time watermark passes the window.
+// Late readings — common on real sensor networks — are not dropped: they
+// are sealed into their own windows marked with a "late" attribute, so
+// downstream queries can choose whether to trust them.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pass/internal/core"
+	"pass/internal/provenance"
+	"pass/internal/tuple"
+)
+
+// KeyLate marks tuple sets produced from late-arriving readings.
+const KeyLate = "late"
+
+// Config tunes an Ingester.
+type Config struct {
+	// Window is the tuple-set span (required).
+	Window time.Duration
+	// AllowedLateness delays window sealing: a window seals when the
+	// watermark (max event time seen) passes windowEnd + AllowedLateness.
+	AllowedLateness time.Duration
+	// BaseAttrs returns the provenance attributes for a zone's windows
+	// (domain, sensor-class, ...). Zone, t-start, and t-end attributes
+	// are added automatically. May be nil.
+	BaseAttrs func(zone string) []provenance.Attribute
+	// OnSeal is invoked after each window commits (may be nil).
+	OnSeal func(id provenance.ID, zone string, start, end int64, late bool)
+}
+
+// Subscriber receives every reading as it arrives (the real-time path).
+type Subscriber func(zone string, r tuple.Reading)
+
+// Ingester windows a live reading stream into a PASS store. Safe for
+// concurrent use.
+type Ingester struct {
+	store *core.Store
+	cfg   Config
+
+	mu        sync.Mutex
+	open      map[windowKey]*tuple.Set
+	watermark map[string]int64 // per zone, max event time seen
+	subs      []Subscriber
+	sealed    int64
+	lateSeals int64
+	dropped   int64
+}
+
+type windowKey struct {
+	zone  string
+	start int64
+	late  bool
+}
+
+// NewIngester returns an ingester writing to store.
+func NewIngester(store *core.Store, cfg Config) (*Ingester, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("stream: Window must be positive")
+	}
+	if cfg.AllowedLateness < 0 {
+		return nil, fmt.Errorf("stream: AllowedLateness must be non-negative")
+	}
+	return &Ingester{
+		store:     store,
+		cfg:       cfg,
+		open:      make(map[windowKey]*tuple.Set),
+		watermark: make(map[string]int64),
+	}, nil
+}
+
+// Subscribe registers a live consumer. Subscribers run synchronously in
+// Feed, in registration order.
+func (in *Ingester) Subscribe(fn Subscriber) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.subs = append(in.subs, fn)
+}
+
+// Feed accepts one reading for a zone: delivers it to subscribers, files
+// it into its event-time window, and seals every window the advancing
+// watermark has passed. Sealed window IDs are returned (usually none).
+func (in *Ingester) Feed(zone string, r tuple.Reading) ([]provenance.ID, error) {
+	in.mu.Lock()
+	subs := append([]Subscriber(nil), in.subs...)
+	in.mu.Unlock()
+	for _, fn := range subs {
+		fn(zone, r)
+	}
+
+	in.mu.Lock()
+	wm, seen := in.watermark[zone]
+	if !seen || r.Time > wm {
+		in.watermark[zone] = r.Time
+		wm = r.Time
+	}
+	start := tuple.WindowStart(r.Time, in.cfg.Window)
+	winEnd := start + in.cfg.Window.Nanoseconds() - 1
+	late := winEnd+in.cfg.AllowedLateness.Nanoseconds() < wm
+	key := windowKey{zone: zone, start: start, late: late}
+	ts, ok := in.open[key]
+	if !ok {
+		ts = &tuple.Set{}
+		in.open[key] = ts
+	}
+	ts.Append(r)
+	// Seal every window whose grace period the watermark has passed —
+	// except the one this reading just landed in, so consecutive late
+	// stragglers for the same window batch into one tuple set (they seal
+	// on the next watermark advance or Flush).
+	due := in.dueLocked(zone, wm, key)
+	in.mu.Unlock()
+
+	return in.sealWindows(due)
+}
+
+// dueLocked collects windows of the zone whose end + lateness < watermark,
+// excluding skip (the window currently being fed).
+func (in *Ingester) dueLocked(zone string, wm int64, skip windowKey) []windowKey {
+	var due []windowKey
+	for key := range in.open {
+		if key.zone != zone || key == skip {
+			continue
+		}
+		end := key.start + in.cfg.Window.Nanoseconds() - 1
+		if end+in.cfg.AllowedLateness.Nanoseconds() < wm {
+			due = append(due, key)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].start < due[j].start })
+	return due
+}
+
+// sealWindows commits the given windows and removes them from the open
+// set.
+func (in *Ingester) sealWindows(keys []windowKey) ([]provenance.ID, error) {
+	var ids []provenance.ID
+	for _, key := range keys {
+		in.mu.Lock()
+		ts, ok := in.open[key]
+		if !ok {
+			in.mu.Unlock()
+			continue
+		}
+		delete(in.open, key)
+		in.mu.Unlock()
+
+		end := key.start + in.cfg.Window.Nanoseconds() - 1
+		attrs := []provenance.Attribute{
+			provenance.Attr(provenance.KeyZone, provenance.String(key.zone)),
+			provenance.Attr(provenance.KeyStart, provenance.TimeVal(time.Unix(0, key.start))),
+			provenance.Attr(provenance.KeyEnd, provenance.TimeVal(time.Unix(0, end))),
+		}
+		if in.cfg.BaseAttrs != nil {
+			attrs = append(attrs, in.cfg.BaseAttrs(key.zone)...)
+		}
+		if key.late {
+			attrs = append(attrs, provenance.Attr(KeyLate, provenance.Bool(true)))
+		}
+		id, err := in.store.IngestTupleSet(ts, attrs...)
+		if err != nil {
+			// Put the window back so a retry can succeed.
+			in.mu.Lock()
+			in.open[key] = ts
+			in.mu.Unlock()
+			return ids, err
+		}
+		in.mu.Lock()
+		in.sealed++
+		if key.late {
+			in.lateSeals++
+		}
+		in.mu.Unlock()
+		if in.cfg.OnSeal != nil {
+			in.cfg.OnSeal(id, key.zone, key.start, end, key.late)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Flush seals every open window regardless of the watermark (shutdown or
+// end-of-stream).
+func (in *Ingester) Flush() ([]provenance.ID, error) {
+	in.mu.Lock()
+	keys := make([]windowKey, 0, len(in.open))
+	for key := range in.open {
+		keys = append(keys, key)
+	}
+	in.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].zone != keys[j].zone {
+			return keys[i].zone < keys[j].zone
+		}
+		return keys[i].start < keys[j].start
+	})
+	return in.sealWindows(keys)
+}
+
+// Stats reports ingester activity.
+type Stats struct {
+	OpenWindows int
+	Sealed      int64
+	LateSealed  int64
+}
+
+// Stats returns a snapshot.
+func (in *Ingester) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return Stats{OpenWindows: len(in.open), Sealed: in.sealed, LateSealed: in.lateSeals}
+}

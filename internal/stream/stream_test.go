@@ -1,0 +1,285 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pass/internal/core"
+	"pass/internal/provenance"
+	"pass/internal/query"
+	"pass/internal/tuple"
+)
+
+func testClock() func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1) }
+}
+
+func openStore(t *testing.T) *core.Store {
+	t.Helper()
+	s, err := core.Open(t.TempDir(), core.Options{Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func newIngester(t *testing.T, s *core.Store, lateness time.Duration) *Ingester {
+	t.Helper()
+	in, err := NewIngester(s, Config{
+		Window:          time.Minute,
+		AllowedLateness: lateness,
+		BaseAttrs: func(zone string) []provenance.Attribute {
+			return []provenance.Attribute{
+				provenance.Attr(provenance.KeyDomain, provenance.String("traffic")),
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func reading(sensor string, at time.Duration, v float64) tuple.Reading {
+	return tuple.Reading{SensorID: sensor, Time: at.Nanoseconds(), Value: v}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := openStore(t)
+	if _, err := NewIngester(s, Config{Window: 0}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := NewIngester(s, Config{Window: time.Minute, AllowedLateness: -1}); err == nil {
+		t.Fatal("negative lateness accepted")
+	}
+}
+
+func TestWindowsSealOnWatermark(t *testing.T) {
+	s := openStore(t)
+	in := newIngester(t, s, 0)
+
+	// Fill window [0,1m): no seal yet.
+	for i := 0; i < 5; i++ {
+		ids, err := in.Feed("boston", reading("cam-1", time.Duration(i)*10*time.Second, float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 0 {
+			t.Fatalf("premature seal at reading %d", i)
+		}
+	}
+	// A reading in the next window advances the watermark past [0,1m).
+	ids, err := in.Feed("boston", reading("cam-1", 90*time.Second, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("sealed %d windows, want 1", len(ids))
+	}
+	// The sealed set holds the 5 first-window readings with provenance.
+	ts, err := s.GetData(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 5 {
+		t.Fatalf("sealed set has %d readings", ts.Len())
+	}
+	rec, _ := s.GetRecord(ids[0])
+	if v, ok := rec.Get(provenance.KeyZone); !ok || v.Str != "boston" {
+		t.Fatalf("zone attr = %+v", v)
+	}
+	if _, _, ok := rec.TimeRange(); !ok {
+		t.Fatal("sealed window lacks time attributes")
+	}
+	st := in.Stats()
+	if st.Sealed != 1 || st.OpenWindows != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAllowedLatenessDelaysSealing(t *testing.T) {
+	s := openStore(t)
+	in := newIngester(t, s, 30*time.Second)
+	in.Feed("z", reading("s", 10*time.Second, 1))
+	// Watermark at 70s: window [0,1m) ends at 60s; grace runs to 90s.
+	ids, _ := in.Feed("z", reading("s", 70*time.Second, 2))
+	if len(ids) != 0 {
+		t.Fatal("sealed inside the grace period")
+	}
+	// Watermark past 90s: now it seals.
+	ids, _ = in.Feed("z", reading("s", 95*time.Second, 3))
+	if len(ids) != 1 {
+		t.Fatalf("sealed %d windows after grace", len(ids))
+	}
+}
+
+func TestLateReadingsGetLateWindows(t *testing.T) {
+	s := openStore(t)
+	in := newIngester(t, s, 0)
+	in.Feed("z", reading("s", 10*time.Second, 1))
+	in.Feed("z", reading("s", 2*time.Minute, 2)) // seals [0,1m)
+
+	// A straggler for the long-sealed first window. The watermark is
+	// already past it, so its late window seals immediately.
+	ids, err := in.Feed("z", reading("s", 20*time.Second, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed, err := in.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealedIDs := append(ids, flushed...)
+	var lateID provenance.ID
+	for _, id := range sealedIDs {
+		rec, _ := s.GetRecord(id)
+		if rec.Has(KeyLate, provenance.Bool(true)) {
+			lateID = id
+		}
+	}
+	if lateID.IsZero() {
+		t.Fatal("no late-marked window sealed")
+	}
+	// Late data is queryable and distinguishable.
+	got, err := s.Query(query.AttrEq{Key: KeyLate, Value: provenance.Bool(true)})
+	if err != nil || len(got) != 1 || got[0] != lateID {
+		t.Fatalf("late query = %v, %v", got, err)
+	}
+	if in.Stats().LateSealed != 1 {
+		t.Fatalf("late seals = %d", in.Stats().LateSealed)
+	}
+}
+
+func TestZonesAreIndependent(t *testing.T) {
+	s := openStore(t)
+	in := newIngester(t, s, 0)
+	in.Feed("boston", reading("b", 10*time.Second, 1))
+	// Advancing london's watermark must not seal boston's window.
+	ids, _ := in.Feed("london", reading("l", 5*time.Minute, 2))
+	if len(ids) != 0 {
+		t.Fatal("cross-zone watermark sealed a window")
+	}
+	ids, err := in.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("flush sealed %d windows, want 2", len(ids))
+	}
+}
+
+func TestSubscribersSeeEveryReading(t *testing.T) {
+	s := openStore(t)
+	in := newIngester(t, s, 0)
+	var mu sync.Mutex
+	seen := map[string]int{}
+	in.Subscribe(func(zone string, r tuple.Reading) {
+		mu.Lock()
+		seen[zone]++
+		mu.Unlock()
+	})
+	in.Subscribe(func(zone string, r tuple.Reading) {
+		mu.Lock()
+		seen["second-"+zone]++
+		mu.Unlock()
+	})
+	for i := 0; i < 7; i++ {
+		in.Feed("boston", reading("s", time.Duration(i)*time.Second, 1))
+	}
+	if seen["boston"] != 7 || seen["second-boston"] != 7 {
+		t.Fatalf("subscribers saw %v", seen)
+	}
+}
+
+func TestOnSealCallback(t *testing.T) {
+	s := openStore(t)
+	var sealed []string
+	in, err := NewIngester(s, Config{
+		Window: time.Minute,
+		OnSeal: func(id provenance.ID, zone string, start, end int64, late bool) {
+			sealed = append(sealed, fmt.Sprintf("%s@%d late=%v", zone, start, late))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Feed("z", reading("s", time.Second, 1))
+	in.Feed("z", reading("s", 3*time.Minute, 2))
+	if len(sealed) != 1 {
+		t.Fatalf("OnSeal fired %d times", len(sealed))
+	}
+}
+
+func TestStreamIntoQueryableArchive(t *testing.T) {
+	// End to end: stream 3 windows, flush, and answer an archival query.
+	s := openStore(t)
+	in := newIngester(t, s, 0)
+	for i := 0; i < 30; i++ {
+		if _, err := in.Feed("boston", reading("cam-1", time.Duration(i)*10*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.QueryString(`domain=traffic AND zone=boston`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 seconds of readings at 1-minute windows = 5 windows.
+	if len(ids) != 5 {
+		t.Fatalf("archive holds %d windows, want 5", len(ids))
+	}
+	// Every reading made it into exactly one window.
+	total := 0
+	for _, id := range ids {
+		ts, err := s.GetData(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += ts.Len()
+	}
+	if total != 30 {
+		t.Fatalf("archive holds %d readings, want 30", total)
+	}
+}
+
+func TestConcurrentFeeds(t *testing.T) {
+	s := openStore(t)
+	in := newIngester(t, s, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			zone := fmt.Sprintf("zone-%d", g)
+			for i := 0; i < 50; i++ {
+				if _, err := in.Feed(zone, reading("s", time.Duration(i)*5*time.Second, 1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.CountRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 250s per zone at 1-min windows = 5 windows × 4 zones.
+	if n != 20 {
+		t.Fatalf("records = %d, want 20", n)
+	}
+	rep, err := s.VerifyConsistency()
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit after concurrent feeds: %+v, %v", rep, err)
+	}
+}

@@ -1,0 +1,71 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: GroupByWindow partitions the input exactly — every reading
+// appears in exactly one group, each group's readings share one aligned
+// window, and groups are disjoint in time.
+func TestGroupByWindowPartitionProperty(t *testing.T) {
+	window := time.Minute
+	f := func(times []int64, sensorSeeds []uint8) bool {
+		readings := make([]Reading, len(times))
+		for i, tm := range times {
+			// Clamp into a range that avoids overflow in window math.
+			tm %= int64(time.Hour) * 24 * 365
+			sensor := "s0"
+			if i < len(sensorSeeds) {
+				sensor = string(rune('a' + sensorSeeds[i]%8))
+			}
+			readings[i] = Reading{SensorID: sensor, Time: tm, Value: float64(i)}
+		}
+		groups := GroupByWindow(readings, window)
+		total := 0
+		seenWindows := map[int64]bool{}
+		for _, g := range groups {
+			if g.Len() == 0 {
+				return false // no empty groups
+			}
+			total += g.Len()
+			win := WindowStart(g.Readings[0].Time, window)
+			if seenWindows[win] {
+				return false // windows must not repeat
+			}
+			seenWindows[win] = true
+			for _, r := range g.Readings {
+				if WindowStart(r.Time, window) != win {
+					return false // reading outside its group's window
+				}
+			}
+		}
+		return total == len(readings)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: digests are order-sensitive but deterministic — encoding the
+// same readings twice always gives the same digest, and appending any
+// reading always changes it.
+func TestDigestAppendSensitivityProperty(t *testing.T) {
+	f := func(ids []string, extra string) bool {
+		s := &Set{}
+		for i, id := range ids {
+			s.Append(Reading{SensorID: id, Time: int64(i), Value: float64(i)})
+		}
+		d1 := s.Digest()
+		d2 := s.Digest()
+		if d1 != d2 {
+			return false
+		}
+		s.Append(Reading{SensorID: extra, Time: -1, Value: 0})
+		return s.Digest() != d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

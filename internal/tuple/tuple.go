@@ -1,0 +1,314 @@
+// Package tuple models sensor readings and tuple sets.
+//
+// Section II of the paper argues that individual readings ("tuples") are
+// the wrong indexing granularity — "individual sensor readings in isolation
+// have little meaning" — and that storage should instead index *tuple
+// sets*: collections of readings grouped by some property, typically time
+// ("all the readings of a particular type over the span of one hour or one
+// minute"). This package provides both the reading and the tuple-set
+// representation, a deterministic binary codec with checksums (the content
+// digest participates in provenance identity, guaranteeing PASS property
+// P3), and time-window grouping.
+package tuple
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"time"
+)
+
+// Reading is a single sensor observation.
+type Reading struct {
+	// SensorID identifies the physical sensor that produced the reading.
+	SensorID string
+	// Time is the observation instant as Unix nanoseconds. Int64 (rather
+	// than time.Time) keeps the codec canonical and comparison exact.
+	Time int64
+	// Value is the numeric observation (temperature, heart rate, vehicle
+	// speed, seismic amplitude, ...).
+	Value float64
+	// Label carries an optional categorical payload (vehicle plate hash,
+	// patient identifier, event class). Empty for purely numeric sensors.
+	Label string
+}
+
+// Set is an ordered collection of readings: the unit of naming, storage,
+// and indexing throughout the system.
+type Set struct {
+	Readings []Reading
+}
+
+// Codec framing.
+const (
+	codecMagic   = 0x50415353 // "PASS"
+	codecVersion = 1
+)
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic    = errors.New("tuple: bad magic (not a tuple set)")
+	ErrBadVersion  = errors.New("tuple: unsupported codec version")
+	ErrCorrupt     = errors.New("tuple: corrupt encoding")
+	ErrBadChecksum = errors.New("tuple: checksum mismatch")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Len returns the number of readings.
+func (s *Set) Len() int { return len(s.Readings) }
+
+// Append adds a reading to the set.
+func (s *Set) Append(r Reading) { s.Readings = append(s.Readings, r) }
+
+// TimeRange returns the minimum and maximum reading timestamps. ok is
+// false for an empty set.
+func (s *Set) TimeRange() (min, max int64, ok bool) {
+	if len(s.Readings) == 0 {
+		return 0, 0, false
+	}
+	min, max = s.Readings[0].Time, s.Readings[0].Time
+	for _, r := range s.Readings[1:] {
+		if r.Time < min {
+			min = r.Time
+		}
+		if r.Time > max {
+			max = r.Time
+		}
+	}
+	return min, max, true
+}
+
+// Summary holds descriptive statistics over a set's values, the kind of
+// aggregate a derivation step produces (Section I: "aggregated over time to
+// estimate the effects of changing Zone size").
+type Summary struct {
+	Count     int
+	Min, Max  float64
+	Mean      float64
+	Sensors   int // distinct sensor IDs
+	FirstTime int64
+	LastTime  int64
+}
+
+// Summarize computes descriptive statistics. The zero Summary is returned
+// for an empty set.
+func (s *Set) Summarize() Summary {
+	if len(s.Readings) == 0 {
+		return Summary{}
+	}
+	sum := Summary{
+		Count: len(s.Readings),
+		Min:   math.Inf(1),
+		Max:   math.Inf(-1),
+	}
+	sensors := make(map[string]struct{})
+	var total float64
+	first, last, _ := s.TimeRange()
+	sum.FirstTime, sum.LastTime = first, last
+	for _, r := range s.Readings {
+		if r.Value < sum.Min {
+			sum.Min = r.Value
+		}
+		if r.Value > sum.Max {
+			sum.Max = r.Value
+		}
+		total += r.Value
+		sensors[r.SensorID] = struct{}{}
+	}
+	sum.Mean = total / float64(len(s.Readings))
+	sum.Sensors = len(sensors)
+	return sum
+}
+
+// Encode serializes the set deterministically:
+//
+//	magic u32 | version u8 | count uvarint |
+//	  per reading: sensorID (uvarint len + bytes) | time varint |
+//	               value (u64 IEEE-754 bits) | label (uvarint len + bytes)
+//	crc32c u32 over everything preceding it
+//
+// The same logical set always produces identical bytes, so the content
+// digest (Digest) is stable across processes and machines.
+func (s *Set) Encode() []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	n := binary.PutUvarint(tmp[:], uint64(len(s.Readings)))
+	buf = append(buf, tmp[:n]...)
+	for _, r := range s.Readings {
+		n = binary.PutUvarint(tmp[:], uint64(len(r.SensorID)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, r.SensorID...)
+		n = binary.PutVarint(tmp[:], r.Time)
+		buf = append(buf, tmp[:n]...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value))
+		n = binary.PutUvarint(tmp[:], uint64(len(r.Label)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, r.Label...)
+	}
+	crc := crc32.Checksum(buf, crcTable)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return buf
+}
+
+// Decode parses an encoded set, verifying framing and checksum.
+func Decode(data []byte) (*Set, error) {
+	if len(data) < 4+1+4 {
+		return nil, fmt.Errorf("%w: too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	wantCRC := binary.LittleEndian.Uint32(crcBytes)
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return nil, ErrBadChecksum
+	}
+	if binary.LittleEndian.Uint32(body[:4]) != codecMagic {
+		return nil, ErrBadMagic
+	}
+	if body[4] != codecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, body[4])
+	}
+	p := body[5:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: count", ErrCorrupt)
+	}
+	p = p[n:]
+	s := &Set{Readings: make([]Reading, 0, count)}
+	readBytes := func() (string, error) {
+		l, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < l {
+			return "", fmt.Errorf("%w: string field", ErrCorrupt)
+		}
+		v := string(p[n : n+int(l)])
+		p = p[n+int(l):]
+		return v, nil
+	}
+	for i := uint64(0); i < count; i++ {
+		var r Reading
+		var err error
+		if r.SensorID, err = readBytes(); err != nil {
+			return nil, err
+		}
+		t, n := binary.Varint(p)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: time", ErrCorrupt)
+		}
+		r.Time = t
+		p = p[n:]
+		if len(p) < 8 {
+			return nil, fmt.Errorf("%w: value", ErrCorrupt)
+		}
+		r.Value = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+		if r.Label, err = readBytes(); err != nil {
+			return nil, err
+		}
+		s.Readings = append(s.Readings, r)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p))
+	}
+	return s, nil
+}
+
+// Digest is the SHA-256 content digest of a tuple set's canonical encoding.
+type Digest [32]byte
+
+// String renders the digest in hex.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:]) }
+
+// Digest computes the content digest of the set. Two sets with different
+// readings (order included) have different digests with cryptographic
+// certainty; this digest is folded into the provenance record identity so
+// that "nonidentical data items do not have identical provenance" (P4 list,
+// property 3).
+func (s *Set) Digest() Digest {
+	return sha256.Sum256(s.Encode())
+}
+
+// EncodedSize returns the size in bytes of the set's encoding without
+// materializing it (used by the network cost models).
+func (s *Set) EncodedSize() int {
+	size := 4 + 1 + uvarintLen(uint64(len(s.Readings))) + 4
+	for _, r := range s.Readings {
+		size += uvarintLen(uint64(len(r.SensorID))) + len(r.SensorID)
+		size += varintLen(r.Time)
+		size += 8
+		size += uvarintLen(uint64(len(r.Label))) + len(r.Label)
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
+}
+
+// GroupByWindow partitions readings into tuple sets by fixed time window.
+// Readings are sorted by (time, sensor) first so grouping is deterministic
+// regardless of arrival order; window is the span of each set (the paper's
+// "one hour or one minute"). Empty windows produce no set.
+func GroupByWindow(readings []Reading, window time.Duration) []*Set {
+	if len(readings) == 0 || window <= 0 {
+		return nil
+	}
+	sorted := make([]Reading, len(readings))
+	copy(sorted, readings)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].SensorID < sorted[j].SensorID
+	})
+	w := window.Nanoseconds()
+	var out []*Set
+	var cur *Set
+	var curWindow int64 = math.MinInt64
+	for _, r := range sorted {
+		win := floorDiv(r.Time, w)
+		if cur == nil || win != curWindow {
+			cur = &Set{}
+			curWindow = win
+			out = append(out, cur)
+		}
+		cur.Append(r)
+	}
+	return out
+}
+
+// floorDiv divides rounding toward negative infinity, so windows are
+// aligned consistently for pre-1970 timestamps too.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// WindowStart returns the aligned start of the window containing t.
+func WindowStart(t int64, window time.Duration) int64 {
+	w := window.Nanoseconds()
+	if w <= 0 {
+		return t
+	}
+	return floorDiv(t, w) * w
+}

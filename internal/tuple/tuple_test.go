@@ -1,0 +1,271 @@
+package tuple
+
+import (
+	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleSet() *Set {
+	return &Set{Readings: []Reading{
+		{SensorID: "cam-17", Time: 1000, Value: 55.2, Label: "plate:ab12"},
+		{SensorID: "cam-17", Time: 2000, Value: 61.0, Label: "plate:cd34"},
+		{SensorID: "mag-03", Time: 1500, Value: 0.8},
+	}}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleSet()
+	enc := s.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Readings, got.Readings) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.Readings, s.Readings)
+	}
+}
+
+func TestEncodeEmptySet(t *testing.T) {
+	s := &Set{}
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("decoded %d readings from empty set", got.Len())
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := sampleSet().Encode()
+
+	// Flip a body byte: checksum must catch it.
+	bad := append([]byte(nil), enc...)
+	bad[10] ^= 0xFF
+	if _, err := Decode(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupt body: err = %v, want ErrBadChecksum", err)
+	}
+
+	// Truncation.
+	if _, err := Decode(enc[:5]); err == nil {
+		t.Fatal("truncated input decoded successfully")
+	}
+
+	// Empty input.
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil input decoded successfully")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	enc := sampleSet().Encode()
+	enc[0] ^= 0xFF
+	// Fix up CRC so the magic check (not checksum) is exercised.
+	body := enc[:len(enc)-4]
+	crc := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli))
+	enc = append(body, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	if _, err := Decode(enc); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestEncodedSizeMatches(t *testing.T) {
+	sets := []*Set{
+		{},
+		sampleSet(),
+		{Readings: []Reading{{SensorID: "x", Time: -5, Value: math.Pi, Label: ""}}},
+	}
+	for i, s := range sets {
+		if got, want := s.EncodedSize(), len(s.Encode()); got != want {
+			t.Errorf("set %d: EncodedSize = %d, len(Encode) = %d", i, got, want)
+		}
+	}
+}
+
+func TestEncodedSizeMatchesProperty(t *testing.T) {
+	f := func(ids []string, times []int64, vals []float64) bool {
+		s := &Set{}
+		for i := range ids {
+			var tm int64
+			var v float64
+			if i < len(times) {
+				tm = times[i]
+			}
+			if i < len(vals) {
+				v = vals[i]
+			}
+			s.Append(Reading{SensorID: ids[i], Time: tm, Value: v, Label: ids[i]})
+		}
+		return s.EncodedSize() == len(s.Encode())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ids []string, times []int64, vals []float64) bool {
+		s := &Set{}
+		for i := range ids {
+			var tm int64
+			var v float64
+			if i < len(times) {
+				tm = times[i]
+			}
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if math.IsNaN(v) {
+				v = 0 // NaN != NaN breaks DeepEqual, not the codec
+			}
+			s.Append(Reading{SensorID: ids[i], Time: tm, Value: v})
+		}
+		got, err := Decode(s.Encode())
+		if err != nil {
+			return false
+		}
+		if len(got.Readings) != len(s.Readings) {
+			return false
+		}
+		return reflect.DeepEqual(s.Readings, got.Readings) || len(s.Readings) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestDistinguishesContent(t *testing.T) {
+	a := sampleSet()
+	b := sampleSet()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical sets produced different digests")
+	}
+	b.Readings[0].Value += 0.0001
+	if a.Digest() == b.Digest() {
+		t.Fatal("different sets share a digest")
+	}
+	// Order matters: a reordered set is a different data item.
+	c := &Set{Readings: []Reading{a.Readings[1], a.Readings[0], a.Readings[2]}}
+	if a.Digest() == c.Digest() {
+		t.Fatal("reordered set shares a digest")
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	s := sampleSet()
+	min, max, ok := s.TimeRange()
+	if !ok || min != 1000 || max != 2000 {
+		t.Fatalf("TimeRange = %d, %d, %v", min, max, ok)
+	}
+	empty := &Set{}
+	if _, _, ok := empty.TimeRange(); ok {
+		t.Fatal("empty set reported a time range")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sampleSet()
+	sum := s.Summarize()
+	if sum.Count != 3 || sum.Sensors != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Min != 0.8 || sum.Max != 61.0 {
+		t.Fatalf("min/max = %v/%v", sum.Min, sum.Max)
+	}
+	wantMean := (55.2 + 61.0 + 0.8) / 3
+	if math.Abs(sum.Mean-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", sum.Mean, wantMean)
+	}
+	if sum.FirstTime != 1000 || sum.LastTime != 2000 {
+		t.Fatalf("times = %d..%d", sum.FirstTime, sum.LastTime)
+	}
+	if got := (&Set{}).Summarize(); got.Count != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+}
+
+func TestGroupByWindow(t *testing.T) {
+	min := time.Minute.Nanoseconds()
+	readings := []Reading{
+		{SensorID: "a", Time: 0 * min},
+		{SensorID: "a", Time: 1*min + 30*int64(time.Second)},
+		{SensorID: "b", Time: 1 * min},
+		{SensorID: "a", Time: 3 * min},
+	}
+	sets := GroupByWindow(readings, time.Minute)
+	if len(sets) != 3 {
+		t.Fatalf("got %d windows, want 3", len(sets))
+	}
+	if sets[0].Len() != 1 || sets[1].Len() != 2 || sets[2].Len() != 1 {
+		t.Fatalf("window sizes = %d,%d,%d", sets[0].Len(), sets[1].Len(), sets[2].Len())
+	}
+	// Window 1 must be sorted by (time, sensor).
+	if sets[1].Readings[0].SensorID != "b" {
+		t.Fatalf("window 1 not time-ordered: %+v", sets[1].Readings)
+	}
+}
+
+func TestGroupByWindowDeterministic(t *testing.T) {
+	readings := []Reading{
+		{SensorID: "b", Time: 100},
+		{SensorID: "a", Time: 100},
+		{SensorID: "c", Time: 50},
+	}
+	reversed := []Reading{readings[2], readings[1], readings[0]}
+	s1 := GroupByWindow(readings, time.Second)
+	s2 := GroupByWindow(reversed, time.Second)
+	if len(s1) != 1 || len(s2) != 1 {
+		t.Fatalf("window counts: %d, %d", len(s1), len(s2))
+	}
+	if s1[0].Digest() != s2[0].Digest() {
+		t.Fatal("grouping depends on arrival order")
+	}
+}
+
+func TestGroupByWindowEdgeCases(t *testing.T) {
+	if got := GroupByWindow(nil, time.Minute); got != nil {
+		t.Fatal("nil readings should yield nil")
+	}
+	if got := GroupByWindow([]Reading{{Time: 1}}, 0); got != nil {
+		t.Fatal("zero window should yield nil")
+	}
+}
+
+func TestGroupByWindowNegativeTimes(t *testing.T) {
+	w := time.Second
+	readings := []Reading{
+		{SensorID: "a", Time: -1},               // window [-1s, 0)
+		{SensorID: "a", Time: -w.Nanoseconds()}, // window [-1s, 0)
+		{SensorID: "a", Time: 0},                // window [0, 1s)
+	}
+	sets := GroupByWindow(readings, w)
+	if len(sets) != 2 {
+		t.Fatalf("got %d windows, want 2 (negative-time alignment)", len(sets))
+	}
+}
+
+func TestWindowStart(t *testing.T) {
+	w := time.Minute
+	if got := WindowStart(90*int64(time.Second), w); got != 60*int64(time.Second) {
+		t.Fatalf("WindowStart = %d", got)
+	}
+	if got := WindowStart(-1, w); got != -w.Nanoseconds() {
+		t.Fatalf("negative WindowStart = %d, want %d", got, -w.Nanoseconds())
+	}
+	if got := WindowStart(42, 0); got != 42 {
+		t.Fatalf("zero-window WindowStart = %d, want 42", got)
+	}
+}
+
+func TestDigestStringHex(t *testing.T) {
+	d := sampleSet().Digest()
+	s := d.String()
+	if len(s) != 64 {
+		t.Fatalf("digest hex length = %d, want 64", len(s))
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+
+	"pass/internal/core"
+	"pass/internal/provenance"
+	"pass/internal/tuple"
+)
+
+// Lineage builders: construct derivation DAGs of controlled shape inside
+// a core.Store, for the transitive-closure experiments (E4) and the
+// distributed-closure experiments (E11). The paper's science examples
+// (Section III-B) motivate both deep chains ("several steps involved with
+// multiple intermediate data sets") and wide fan-ins (sky-survey style
+// synthesis from many observatories).
+
+// BuildChain ingests one raw set and derives depth-1 successive steps,
+// returning all IDs root-first. Each step's tool is "step" with the level
+// as its version.
+func BuildChain(s *core.Store, depth int, seed uint64) ([]provenance.ID, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("workload: chain depth must be >= 1")
+	}
+	rng := NewRand(seed)
+	root := &tuple.Set{}
+	for i := 0; i < 8; i++ {
+		root.Append(tuple.Reading{SensorID: "chain-root", Time: int64(i), Value: rng.Float64()})
+	}
+	rootID, err := s.IngestTupleSet(root,
+		provenance.Attr(provenance.KeyDomain, provenance.String("synthetic")),
+	)
+	if err != nil {
+		return nil, err
+	}
+	ids := []provenance.ID{rootID}
+	cur := root
+	for lvl := 1; lvl < depth; lvl++ {
+		next := Filter(cur, 0) // identity-ish derivation with fresh digest
+		next.Append(tuple.Reading{SensorID: "level", Time: int64(lvl), Value: float64(lvl)})
+		id, err := s.Derive(ids[lvl-1:lvl], "step", fmt.Sprintf("%d", lvl), next)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+		cur = next
+	}
+	return ids, nil
+}
+
+// BuildTree ingests fanout^depth leaf-ward derivations: level 0 is one
+// raw root; each record at level l spawns fanout children at level l+1.
+// Returns ids grouped by level. Total records = (fanout^(depth+1)-1)/(fanout-1).
+func BuildTree(s *core.Store, depth, fanout int, seed uint64) ([][]provenance.ID, error) {
+	if depth < 0 || fanout < 1 {
+		return nil, fmt.Errorf("workload: bad tree shape depth=%d fanout=%d", depth, fanout)
+	}
+	rng := NewRand(seed)
+	root := &tuple.Set{}
+	root.Append(tuple.Reading{SensorID: "tree-root", Time: 0, Value: rng.Float64()})
+	rootID, err := s.IngestTupleSet(root,
+		provenance.Attr(provenance.KeyDomain, provenance.String("synthetic")))
+	if err != nil {
+		return nil, err
+	}
+	levels := [][]provenance.ID{{rootID}}
+	serial := 0
+	for lvl := 1; lvl <= depth; lvl++ {
+		var level []provenance.ID
+		for _, parent := range levels[lvl-1] {
+			for c := 0; c < fanout; c++ {
+				serial++
+				out := &tuple.Set{}
+				out.Append(tuple.Reading{SensorID: "tree", Time: int64(serial), Value: rng.Float64()})
+				id, err := s.Derive([]provenance.ID{parent}, "expand", fmt.Sprintf("%d", lvl), out)
+				if err != nil {
+					return nil, err
+				}
+				level = append(level, id)
+			}
+		}
+		levels = append(levels, level)
+	}
+	return levels, nil
+}
+
+// BuildFanIn builds width raw roots merged pairwise into a single final
+// record: a synthesis DAG (sky-survey shape). Returns the roots and the
+// final merged ID.
+func BuildFanIn(s *core.Store, width int, seed uint64) (roots []provenance.ID, final provenance.ID, err error) {
+	if width < 1 {
+		return nil, provenance.ZeroID, fmt.Errorf("workload: fan-in width must be >= 1")
+	}
+	rng := NewRand(seed)
+	layer := make([]provenance.ID, 0, width)
+	for i := 0; i < width; i++ {
+		ts := &tuple.Set{}
+		ts.Append(tuple.Reading{SensorID: fmt.Sprintf("obs-%02d", i), Time: int64(i), Value: rng.Float64()})
+		id, err := s.IngestTupleSet(ts,
+			provenance.Attr(provenance.KeyDomain, provenance.String("synthetic")))
+		if err != nil {
+			return nil, provenance.ZeroID, err
+		}
+		layer = append(layer, id)
+	}
+	roots = append(roots, layer...)
+	serial := 0
+	for len(layer) > 1 {
+		var next []provenance.ID
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 == len(layer) {
+				next = append(next, layer[i])
+				continue
+			}
+			serial++
+			out := &tuple.Set{}
+			out.Append(tuple.Reading{SensorID: "merge", Time: int64(serial), Value: rng.Float64()})
+			id, err := s.Derive([]provenance.ID{layer[i], layer[i+1]}, "merge", "1.0", out)
+			if err != nil {
+				return nil, provenance.ZeroID, err
+			}
+			next = append(next, id)
+		}
+		layer = next
+	}
+	return roots, layer[0], nil
+}
+
+// IngestAll ingests every generated set into the store and returns the
+// record IDs in generation order.
+func IngestAll(s *core.Store, sets []GenSet) ([]provenance.ID, error) {
+	ids := make([]provenance.ID, 0, len(sets))
+	for i, g := range sets {
+		id, err := s.IngestTupleSet(g.Set, g.Attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("workload: ingest set %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

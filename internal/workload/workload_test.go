@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pass/internal/core"
+	"pass/internal/index"
+	"pass/internal/provenance"
+	"pass/internal/query"
+	"pass/internal/tuple"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Domain: DomainTraffic, Zones: []string{"london", "boston"}, Windows: 3, Seed: 7}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != len(b) || len(a) != 6 {
+		t.Fatalf("lengths %d, %d; want 6", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Set.Digest() != b[i].Set.Digest() {
+			t.Fatalf("set %d differs across runs with same seed", i)
+		}
+	}
+	c := Generate(Config{Domain: DomainTraffic, Zones: []string{"london", "boston"}, Windows: 3, Seed: 8})
+	if a[0].Set.Digest() == c[0].Set.Digest() {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateAttributesComplete(t *testing.T) {
+	sets := Generate(Config{Domain: DomainMedical, Zones: []string{"boston"}, Windows: 2, SensorsPerZone: 4, Seed: 1})
+	for _, g := range sets {
+		find := func(key string) bool {
+			for _, a := range g.Attrs {
+				if a.Key == key {
+					return true
+				}
+			}
+			return false
+		}
+		for _, key := range []string{provenance.KeyDomain, provenance.KeyZone, provenance.KeyStart, provenance.KeyEnd, provenance.KeySensorID, provenance.KeySensorClass} {
+			if !find(key) {
+				t.Fatalf("missing attribute %s", key)
+			}
+		}
+		if g.Set.Len() != 4*10 {
+			t.Fatalf("set has %d readings, want 40", g.Set.Len())
+		}
+		// Readings fall inside the declared window.
+		min, max, _ := g.Set.TimeRange()
+		if min < g.Start || max > g.End {
+			t.Fatalf("readings [%d,%d] outside window [%d,%d]", min, max, g.Start, g.End)
+		}
+	}
+}
+
+func TestGenerateWindowsAreConsecutive(t *testing.T) {
+	w := time.Minute
+	sets := Generate(Config{Zones: []string{"z"}, Windows: 3, WindowDur: w, StartTime: 1000, Seed: 1})
+	for i, g := range sets {
+		wantStart := int64(1000) + int64(i)*w.Nanoseconds()
+		if g.Start != wantStart {
+			t.Fatalf("window %d starts at %d, want %d", i, g.Start, wantStart)
+		}
+	}
+}
+
+func TestDomainClassesAndLabels(t *testing.T) {
+	traffic := Generate(Config{Domain: DomainTraffic, Zones: []string{"z"}, Windows: 1, SensorsPerZone: 3, Seed: 2})
+	hasPlate := false
+	for _, r := range traffic[0].Set.Readings {
+		if len(r.Label) > 6 && r.Label[:6] == "plate:" {
+			hasPlate = true
+		}
+	}
+	if !hasPlate {
+		t.Fatal("traffic readings carry no plate labels")
+	}
+	volcano := Generate(Config{Domain: DomainVolcano, Zones: []string{"z"}, Windows: 1, Seed: 2})
+	for _, a := range volcano[0].Attrs {
+		if a.Key == provenance.KeySensorClass && a.Value.Str != "seismometer" {
+			t.Fatalf("volcano class = %q", a.Value.Str)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	sets := Generate(Config{Zones: []string{"z"}, Windows: 3, Seed: 3})
+	inputs := []*tuple.Set{sets[0].Set, sets[1].Set, sets[2].Set}
+	agg := Aggregate(inputs, "agg-0")
+	if agg.Len() != 3 {
+		t.Fatalf("aggregate has %d readings, want 3 (one per input)", agg.Len())
+	}
+	for i, r := range agg.Readings {
+		want := inputs[i].Summarize()
+		if r.Value != want.Mean || r.Time != want.FirstTime {
+			t.Fatalf("aggregate reading %d = %+v, want mean %v at %d", i, r, want.Mean, want.FirstTime)
+		}
+		if r.SensorID != "agg-0" {
+			t.Fatalf("aggregate sensor = %q", r.SensorID)
+		}
+	}
+	if got := Aggregate(nil, "x"); got.Len() != 0 {
+		t.Fatal("empty aggregate nonempty")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	in := &tuple.Set{Readings: []tuple.Reading{
+		{SensorID: "s", Time: 1, Value: 10},
+		{SensorID: "s", Time: 2, Value: 90},
+		{SensorID: "s", Time: 3, Value: 50},
+	}}
+	out := Filter(in, 50)
+	if out.Len() != 2 {
+		t.Fatalf("filtered %d readings, want 2", out.Len())
+	}
+	for _, r := range out.Readings {
+		if r.Value < 50 {
+			t.Fatalf("filter kept %v", r.Value)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &tuple.Set{Readings: []tuple.Reading{{SensorID: "a", Time: 1, Value: 1}}}
+	b := &tuple.Set{Readings: []tuple.Reading{{SensorID: "b", Time: 2, Value: 2}}}
+	m := Merge([]*tuple.Set{a, b})
+	if m.Len() != 2 {
+		t.Fatalf("merged %d readings", m.Len())
+	}
+}
+
+func testClock() func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1) }
+}
+
+func openStore(t *testing.T) *core.Store {
+	t.Helper()
+	s, err := core.Open(t.TempDir(), core.Options{Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestBuildChain(t *testing.T) {
+	s := openStore(t)
+	ids, err := BuildChain(s, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("chain length %d", len(ids))
+	}
+	anc, err := s.Ancestors(ids[9], index.NoLimit)
+	if err != nil || len(anc) != 9 {
+		t.Fatalf("ancestors = %d, %v", len(anc), err)
+	}
+	if _, err := BuildChain(s, 0, 1); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	s := openStore(t)
+	levels, err := BuildTree(s, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 4 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	// Level sizes: 1, 2, 4, 8.
+	for i, want := range []int{1, 2, 4, 8} {
+		if len(levels[i]) != want {
+			t.Fatalf("level %d size %d, want %d", i, len(levels[i]), want)
+		}
+	}
+	// Root's descendants = 14.
+	desc, err := s.Descendants(levels[0][0], index.NoLimit)
+	if err != nil || len(desc) != 14 {
+		t.Fatalf("descendants = %d, %v", len(desc), err)
+	}
+	if _, err := BuildTree(s, -1, 2, 1); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+}
+
+func TestBuildFanIn(t *testing.T) {
+	s := openStore(t)
+	roots, final, err := BuildFanIn(s, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 8 {
+		t.Fatalf("roots = %d", len(roots))
+	}
+	got, err := s.Roots(final)
+	if err != nil || len(got) != 8 {
+		t.Fatalf("Roots(final) = %d, %v", len(got), err)
+	}
+	// Odd width works too (one carries over).
+	s2 := openStore(t)
+	_, final2, err := BuildFanIn(s2, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := s2.Roots(final2)
+	if len(got2) != 5 {
+		t.Fatalf("odd-width roots = %d", len(got2))
+	}
+}
+
+func TestIngestAllAndGroundTruth(t *testing.T) {
+	s := openStore(t)
+	sets := Generate(Config{
+		Domain:  DomainTraffic,
+		Zones:   []string{"boston", "london"},
+		Windows: 3, Seed: 9,
+	})
+	ids, err := IngestAll(s, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 6 {
+		t.Fatalf("ingested %d", len(ids))
+	}
+	// Indexed query must agree with flat-scan ground truth.
+	pred := query.AttrEq{Key: provenance.KeyZone, Value: provenance.String("boston")}
+	got, err := s.Query(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0
+	s.ScanRecords(func(id provenance.ID, rec *provenance.Record) bool {
+		if m, _ := query.Match(rec, pred); m {
+			truth++
+		}
+		return true
+	})
+	q := query.Score(got, got[:0:0])
+	_ = q
+	if len(got) != truth || truth != 3 {
+		t.Fatalf("query %d vs truth %d (want 3)", len(got), truth)
+	}
+}
+
+func TestRandHelpers(t *testing.T) {
+	r := NewRand(0)
+	if r.Intn(0) != 0 {
+		t.Fatal("Intn(0) != 0")
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+	// Norm should be roughly centered.
+	sum := 0.0
+	for i := 0; i < 5000; i++ {
+		sum += r.Norm()
+	}
+	mean := sum / 5000
+	if mean > 0.2 || mean < -0.2 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+}
