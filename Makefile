@@ -1,0 +1,39 @@
+# Build, test, and verification entry points for the PASS reproduction.
+#
+#   make check   — the full gate: vet, the whole test suite, and a race
+#                  pass over the concurrent packages. Run before sending
+#                  a PR.
+#   make short   — quick edit loop: -short shrinks the 1,000-site
+#                  conformance sweeps.
+#   make bench   — regenerate the experiment tables (E1–E14) and write
+#                  BENCH.json for comparison against the committed
+#                  BENCH_0.json baseline.
+
+GO ?= go
+
+.PHONY: all build test short vet race check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# The storage engine and provenance core are the concurrency-bearing
+# packages; -race over their tests covers the lock discipline the rest of
+# the tree relies on.
+race:
+	$(GO) test -race -count=1 ./internal/core ./internal/kvstore
+
+check: vet test race
+
+bench:
+	$(GO) run ./cmd/passbench -scale 0.5 -json BENCH.json

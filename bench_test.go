@@ -1,5 +1,5 @@
 // Package pass_test hosts the top-level benchmark harness: one testing.B
-// benchmark per experiment (E1–E13), each regenerating the corresponding
+// benchmark per experiment (E1–E14), each regenerating the corresponding
 // table from EXPERIMENTS.md at a bench-friendly scale and reporting the
 // experiment's headline findings as custom benchmark metrics.
 //
@@ -121,4 +121,12 @@ func BenchmarkE12PASSProperties(b *testing.B) {
 // query:update ratio sweeps.
 func BenchmarkE13ResourceCrossover(b *testing.B) {
 	runExperiment(b, "E13")
+}
+
+// BenchmarkE14Survivability regenerates the survivability table (§IV
+// Reliability): recall and WAN bytes under packet loss across site
+// counts for all seven architecture models.
+func BenchmarkE14Survivability(b *testing.B) {
+	runExperiment(b, "E14",
+		"recall_passnet_n256_l20", "recall_dht_n256_l20", "wan_central_n256_l20")
 }

@@ -1,16 +1,19 @@
-// Command passbench runs the reproduction's experiment suite (E1–E13) and
+// Command passbench runs the reproduction's experiment suite (E1–E14) and
 // prints the result tables recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	passbench [-run E5,E7] [-scale 1.0]
+//	passbench [-run E5,E7] [-scale 1.0] [-json results.json]
 //
 // Each experiment maps to one claim of the paper (see DESIGN.md §4). The
 // default scale (1.0) is the EXPERIMENTS.md configuration; smaller scales
-// run proportionally smaller workloads.
+// run proportionally smaller workloads. -json additionally writes every
+// experiment's scalar findings to a machine-readable file, which CI
+// commits as BENCH_<n>.json so successive PRs leave a perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +23,24 @@ import (
 	"pass/internal/harness"
 )
 
+// jsonResult is the machine-readable form of one experiment's outcome.
+type jsonResult struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	Millis   int64              `json:"millis"`
+	Findings map[string]float64 `json:"findings"`
+}
+
+// jsonReport is the envelope written by -json.
+type jsonReport struct {
+	Scale   float64      `json:"scale"`
+	Results []jsonResult `json:"results"`
+}
+
 func main() {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	jsonPath := flag.String("json", "", "also write findings as JSON to this file")
 	flag.Parse()
 
 	runner := harness.NewRunner(harness.Scale(*scale))
@@ -50,6 +68,7 @@ func main() {
 	fmt.Printf("PASS reproduction experiment suite (scale %.2f)\n", *scale)
 	fmt.Printf("paper: Provenance-Aware Sensor Data Storage, NetDB/ICDE 2005\n\n")
 
+	report := jsonReport{Scale: *scale}
 	failed := false
 	for _, exp := range selected {
 		start := time.Now()
@@ -59,10 +78,34 @@ func main() {
 			failed = true
 			continue
 		}
+		elapsed := time.Since(start)
 		fmt.Println(res.String())
-		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", exp.ID, elapsed.Round(time.Millisecond))
+		report.Results = append(report.Results, jsonResult{
+			ID:       res.ID,
+			Title:    res.Title,
+			Millis:   elapsed.Milliseconds(),
+			Findings: res.Findings,
+		})
 	}
 	if failed {
+		// Never write a partial findings file: a baseline missing failed
+		// experiments' rows would read as trustworthy data downstream.
+		if *jsonPath != "" {
+			fmt.Fprintf(os.Stderr, "passbench: not writing %s: some experiments failed\n", *jsonPath)
+		}
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "passbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "passbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("findings written to %s\n", *jsonPath)
 	}
 }

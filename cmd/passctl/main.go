@@ -17,6 +17,7 @@
 //	gc -before <RFC3339|unixnano>          collect old payloads
 //	verify                                 consistency audit
 //	stats                                  store statistics
+//	experiment [-scale F] <ID...>          run paper experiments (E1–E14); no -store needed
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"pass/internal/core"
+	"pass/internal/harness"
 	"pass/internal/index"
 	"pass/internal/provenance"
 	"pass/internal/tuple"
@@ -48,12 +50,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *storeDir == "" {
-		return fmt.Errorf("-store is required")
-	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (ingest|query|record|lineage|descendants|gc|verify|stats)")
+		return fmt.Errorf("missing command (ingest|query|record|lineage|descendants|gc|verify|stats|experiment)")
+	}
+	// The experiment runner simulates its own sites and needs no store.
+	if rest[0] == "experiment" {
+		return cmdExperiment(rest[1:], stdout)
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
 	}
 
 	s, err := core.Open(*storeDir, core.Options{})
@@ -330,6 +336,37 @@ func cmdVerify(s *core.Store, stdout io.Writer) error {
 		return fmt.Errorf("store is INCONSISTENT")
 	}
 	fmt.Fprintln(stdout, "store is consistent")
+	return nil
+}
+
+// cmdExperiment runs one or more harness experiments — the operator's
+// window into the Section IV architecture comparison, including the E14
+// survivability sweep — without needing a local store.
+func cmdExperiment(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.25, "workload scale factor (1.0 = EXPERIMENTS.md configuration)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		var ids []string
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+		return fmt.Errorf("usage: experiment [-scale F] <ID...>; available: %s", strings.Join(ids, " "))
+	}
+	runner := harness.NewRunner(harness.Scale(*scale))
+	for _, raw := range fs.Args() {
+		exp, ok := harness.Lookup(strings.ToUpper(strings.TrimSpace(raw)))
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", raw)
+		}
+		res, err := exp.Run(runner)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		fmt.Fprintln(stdout, res.String())
+	}
 	return nil
 }
 

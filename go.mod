@@ -1,0 +1,3 @@
+module pass
+
+go 1.24

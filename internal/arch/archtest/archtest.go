@@ -62,7 +62,10 @@ func MakeDerived(seed byte, tool string, parents ...provenance.ID) (provenance.I
 	return id, rec
 }
 
-// Run executes the conformance suite.
+// Run executes the conformance suite: the quick correctness checks on
+// the 4-site unit network, then the heavyweight scenarios (faults.go) —
+// a 1,000-site scale sweep plus loss, churn, and partition injection.
+// `go test -short` shrinks the scale sweep.
 func Run(t *testing.T, cfg Config) {
 	t.Helper()
 	t.Run("PublishLookup", func(t *testing.T) { testPublishLookup(t, cfg) })
@@ -70,6 +73,10 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("AncestryAcrossSites", func(t *testing.T) { testAncestry(t, cfg) })
 	t.Run("UnknownID", func(t *testing.T) { testUnknown(t, cfg) })
 	t.Run("TrafficAccounted", func(t *testing.T) { testTraffic(t, cfg) })
+	t.Run("ScaleSweep", func(t *testing.T) { testScaleSweep(t, cfg) })
+	t.Run("RecallUnderLoss", func(t *testing.T) { testRecallUnderLoss(t, cfg) })
+	t.Run("RecallUnderChurn", func(t *testing.T) { testRecallUnderChurn(t, cfg) })
+	t.Run("PartitionHeal", func(t *testing.T) { testPartitionHeal(t, cfg) })
 }
 
 func flush(t *testing.T, cfg Config, m arch.Model) {

@@ -55,20 +55,28 @@ func New(net *netsim.Network, warehouse netsim.SiteID) *Model {
 // Name implements arch.Model.
 func (m *Model) Name() string { return "central" }
 
-// Publish ships the metadata to the warehouse and waits for the ack.
+// Publish ships the metadata to the warehouse and waits for the ack. The
+// producer retransmits on lost messages (it knows delivery failed when no
+// ack arrives), so under packet loss publishes cost extra bandwidth and
+// latency but still land; only a down or partitioned warehouse makes the
+// publish fail outright.
 func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
-	d1, err := m.net.Send(p.Origin, m.warehouse, p.WireSize())
-	if err != nil {
-		return 0, err
-	}
-	d2, err := m.net.Send(m.warehouse, p.Origin, arch.AckWire)
-	if err != nil {
-		return d1, err
-	}
-	m.mu.Lock()
-	m.store.Add(p.ID, p.Rec)
-	m.mu.Unlock()
-	return d1 + d2, nil
+	return arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		d1, err := m.net.Send(p.Origin, m.warehouse, p.WireSize())
+		if err != nil {
+			return d1, err
+		}
+		m.mu.Lock()
+		m.store.Add(p.ID, p.Rec)
+		m.mu.Unlock()
+		d2, err := m.net.Send(m.warehouse, p.Origin, arch.AckWire)
+		if err != nil {
+			// The warehouse indexed the record but the ack was lost; the
+			// producer retries and the duplicate Add is a no-op.
+			return d1 + d2, err
+		}
+		return d1 + d2, nil
+	})
 }
 
 // Lookup fetches a record from the warehouse.
@@ -81,9 +89,11 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	if ok {
 		respSize += len(rec.Encode())
 	}
-	d, err := m.net.Call(from, m.warehouse, arch.ReqOverhead+arch.IDWire, respSize)
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, m.warehouse, arch.ReqOverhead+arch.IDWire, respSize)
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d, err
 	}
 	if !ok {
 		return nil, d, fmt.Errorf("central: %s not indexed", id.Short())
@@ -101,9 +111,11 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 	m.mu.Lock()
 	ids := append([]provenance.ID(nil), m.store.LookupAttr(key, value)...)
 	m.mu.Unlock()
-	d, err := m.net.Call(from, m.warehouse, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, m.warehouse, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d, err
 	}
 	return ids, d, nil
 }
@@ -116,9 +128,11 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 	m.mu.Lock()
 	found, _ := m.store.LocalAncestors([]provenance.ID{id})
 	m.mu.Unlock()
-	d, err := m.net.Call(from, m.warehouse, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(found)))
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, m.warehouse, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(found)))
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d, err
 	}
 	return found, d, nil
 }

@@ -22,6 +22,7 @@ package dht
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -94,6 +95,12 @@ func (m *Model) successorIdx(pos uint64) int {
 // one network message per hop. It returns the home node index, the
 // accumulated latency, and the hop count.
 func (m *Model) route(from netsim.SiteID, pos uint64, msgSize int) (int, time.Duration, int, error) {
+	// A crashed originator cannot route at all; fail fast instead of
+	// misreading its own ErrSiteDown as dead finger targets and scanning
+	// the whole ring.
+	if m.net.IsDown(from) {
+		return 0, 0, 0, fmt.Errorf("%w: routing origin %d", netsim.ErrSiteDown, from)
+	}
 	homeIdx := m.successorIdx(pos)
 	// Current position on the ring = the node owning the querier's hash;
 	// route by jumping fingers: each finger jump moves to the successor
@@ -114,7 +121,17 @@ func (m *Model) route(from netsim.SiteID, pos uint64, msgSize int) (int, time.Du
 		if nextIdx == curIdx {
 			nextIdx = (curIdx + 1) % len(m.nodes) // guarantee progress
 		}
+		// A dead or partitioned finger target costs nothing on the wire;
+		// Chord falls back to successively closer successors until it
+		// reaches a live node — or the home itself, whose unreachability
+		// fails the route (the data holder is gone). Lost messages are
+		// NOT routed around: the sender only discovers the loss by
+		// timeout, and the caller retransmits the whole operation.
 		d, err := m.net.Send(curSite, m.nodes[nextIdx].site, msgSize)
+		for err != nil && (errors.Is(err, netsim.ErrSiteDown) || errors.Is(err, netsim.ErrPartitioned)) && nextIdx != homeIdx {
+			nextIdx = (nextIdx + 1) % len(m.nodes)
+			d, err = m.net.Send(curSite, m.nodes[nextIdx].site, msgSize)
+		}
 		if err != nil {
 			return 0, total, hops, err
 		}
@@ -135,7 +152,13 @@ func (m *Model) route(from netsim.SiteID, pos uint64, msgSize int) (int, time.Du
 
 // Publish routes the record to successor(hash(id)) and one posting per
 // attribute to successor(hash(key,value)); the "distinct queriable
-// attributes" cost of Section IV-C.
+// attributes" cost of Section IV-C. Each placement retransmits
+// independently on lost messages (a publish touching five homes does not
+// restart from scratch because one acknowledgement dropped), so loss
+// costs bandwidth and latency before it costs recall; a placement whose
+// retransmissions all fail leaves the publish partially indexed and
+// returns an error — re-offering the same Pub completes it
+// (idempotence).
 func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 	d, err := m.publishOnce(p)
 	if err != nil {
@@ -148,19 +171,21 @@ func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 }
 
 func (m *Model) publishOnce(p arch.Pub) (time.Duration, error) {
-	homeIdx, d1, _, err := m.route(p.Origin, ringPos(p.ID[:]), p.WireSize())
+	total, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		homeIdx, d1, _, err := m.route(p.Origin, ringPos(p.ID[:]), p.WireSize())
+		if err != nil {
+			return d1, err
+		}
+		m.mu.Lock()
+		m.stores[homeIdx].Add(p.ID, p.Rec)
+		m.mu.Unlock()
+		// Ack straight back; a lost ack retransmits the placement.
+		dAck, err := m.net.Send(m.nodes[homeIdx].site, p.Origin, arch.AckWire)
+		return d1 + dAck, err
+	})
 	if err != nil {
-		return 0, err
+		return total, err
 	}
-	m.mu.Lock()
-	m.stores[homeIdx].Add(p.ID, p.Rec)
-	m.mu.Unlock()
-	// Ack straight back.
-	dAck, err := m.net.Send(m.nodes[homeIdx].site, p.Origin, arch.AckWire)
-	if err != nil {
-		return d1, err
-	}
-	total := d1 + dAck
 	// Attribute postings, routed independently (parallel; max latency).
 	var attrMax time.Duration
 	seen := make(map[string]struct{})
@@ -170,56 +195,73 @@ func (m *Model) publishOnce(p arch.Pub) (time.Duration, error) {
 			continue
 		}
 		seen[mk] = struct{}{}
-		idx, d, _, err := m.route(p.Origin, ringPos([]byte(mk)), arch.ReqOverhead+len(mk)+arch.IDWire)
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			idx, d, _, err := m.route(p.Origin, ringPos([]byte(mk)), arch.ReqOverhead+len(mk)+arch.IDWire)
+			if err != nil {
+				return d, err
+			}
+			m.mu.Lock()
+			m.stores[idx].Add(p.ID, p.Rec)
+			m.mu.Unlock()
+			return d, nil
+		})
 		if err != nil {
-			return total, err
+			return total + attrMax, err
 		}
-		m.mu.Lock()
-		m.stores[idx].Add(p.ID, p.Rec)
-		m.mu.Unlock()
 		attrMax = arch.MaxDuration(attrMax, d)
 	}
 	return total + attrMax, nil
 }
 
-// Lookup routes to the record's home and returns it.
+// Lookup routes to the record's home and returns it; lost messages
+// retransmit the whole lookup.
 func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
-	homeIdx, d1, _, err := m.route(from, ringPos(id[:]), arch.ReqOverhead+arch.IDWire)
+	var rec *provenance.Record
+	var ok bool
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		homeIdx, d1, _, err := m.route(from, ringPos(id[:]), arch.ReqOverhead+arch.IDWire)
+		if err != nil {
+			return d1, err
+		}
+		m.mu.Lock()
+		rec, ok = m.stores[homeIdx].Get(id)
+		m.mu.Unlock()
+		respSize := arch.RespOverhead
+		if ok {
+			respSize += len(rec.Encode())
+		}
+		d2, err := m.net.Send(m.nodes[homeIdx].site, from, respSize)
+		return d1 + d2, err
+	})
 	if err != nil {
-		return nil, 0, err
-	}
-	m.mu.Lock()
-	rec, ok := m.stores[homeIdx].Get(id)
-	m.mu.Unlock()
-	respSize := arch.RespOverhead
-	if ok {
-		respSize += len(rec.Encode())
-	}
-	d2, err := m.net.Send(m.nodes[homeIdx].site, from, respSize)
-	if err != nil {
-		return nil, d1, err
+		return nil, d, err
 	}
 	if !ok {
-		return nil, d1 + d2, fmt.Errorf("dht: %s not found", id.Short())
+		return nil, d, fmt.Errorf("dht: %s not found", id.Short())
 	}
-	return rec, d1 + d2, nil
+	return rec, d, nil
 }
 
-// QueryAttr routes to the attribute's home node.
+// QueryAttr routes to the attribute's home node; lost messages
+// retransmit the whole query.
 func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
 	mk := key + "\x00" + string(value.Canonical())
-	homeIdx, d1, _, err := m.route(from, ringPos([]byte(mk)), arch.AttrReqSize(key, value))
+	var ids []provenance.ID
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		homeIdx, d1, _, err := m.route(from, ringPos([]byte(mk)), arch.AttrReqSize(key, value))
+		if err != nil {
+			return d1, err
+		}
+		m.mu.Lock()
+		ids = append([]provenance.ID(nil), m.stores[homeIdx].LookupAttr(key, value)...)
+		m.mu.Unlock()
+		d2, err := m.net.Send(m.nodes[homeIdx].site, from, arch.IDListRespSize(len(ids)))
+		return d1 + d2, err
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d, err
 	}
-	m.mu.Lock()
-	ids := append([]provenance.ID(nil), m.stores[homeIdx].LookupAttr(key, value)...)
-	m.mu.Unlock()
-	d2, err := m.net.Send(m.nodes[homeIdx].site, from, arch.IDListRespSize(len(ids)))
-	if err != nil {
-		return nil, d1, err
-	}
-	return ids, d1 + d2, nil
+	return ids, d, nil
 }
 
 // QueryAncestors performs one full DHT lookup per visited record: "support
@@ -257,13 +299,18 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 // Tick runs one republish round: every published record's postings are
 // pushed again (DHT soft state decays without refresh). This is the
 // update load that Section IV-C says scales to only tens of thousands of
-// updaters.
+// updaters. Records whose home is unreachable this round are skipped —
+// the next republish round retries them — so one crashed node cannot
+// stall everyone else's refresh.
 func (m *Model) Tick() error {
 	m.mu.Lock()
 	pubs := append([]arch.Pub(nil), m.published...)
 	m.mu.Unlock()
 	for _, p := range pubs {
 		if _, err := m.publishOnce(p); err != nil {
+			if arch.IsUnavailable(err) {
+				continue
+			}
 			return err
 		}
 	}

@@ -88,19 +88,32 @@ func (m *Model) replicaSet(b []byte) []netsim.SiteID {
 // applies fn under the lock. Latency is the slowest participant's two
 // round trips (phases are parallel across participants, sequential
 // between phases).
+//
+// Fault handling follows the protocol: a participant unreachable during
+// phase 1 (after retransmissions) aborts the transaction with no state
+// applied anywhere — strong consistency refuses rather than degrades,
+// which is exactly the availability cost E14 measures. Once phase 1
+// completes the transaction is decided; phase 2 retransmits the commit to
+// each participant, and a participant that stays unreachable leaves the
+// transaction blocked (the classic 2PC weakness): already-notified
+// participants keep their committed state and the caller gets an error.
 func (m *Model) twoPhaseCommit(coord netsim.SiteID, parts []netsim.SiteID, payload int, fn func(netsim.SiteID)) (time.Duration, error) {
 	var phase1, phase2 time.Duration
 	for _, p := range parts {
-		d, err := m.net.Call(coord, p, payload, arch.AckWire) // prepare + vote
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(coord, p, payload, arch.AckWire) // prepare + vote
+		})
 		if err != nil {
-			return 0, err
+			return arch.MaxDuration(phase1, d), fmt.Errorf("distdb: 2pc abort (prepare): %w", err)
 		}
 		phase1 = arch.MaxDuration(phase1, d)
 	}
 	for _, p := range parts {
-		d, err := m.net.Call(coord, p, arch.AckWire, arch.AckWire) // commit + ack
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(coord, p, arch.AckWire, arch.AckWire) // commit + ack
+		})
 		if err != nil {
-			return phase1, err
+			return phase1 + arch.MaxDuration(phase2, d), fmt.Errorf("distdb: 2pc blocked (commit): %w", err)
 		}
 		phase2 = arch.MaxDuration(phase2, d)
 		m.mu.Lock()
@@ -154,9 +167,11 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	if ok {
 		respSize += len(rec.Encode())
 	}
-	d, err := m.net.Call(from, owner, arch.ReqOverhead+arch.IDWire, respSize)
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, owner, arch.ReqOverhead+arch.IDWire, respSize)
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d, err
 	}
 	if !ok {
 		return nil, d, fmt.Errorf("distdb: %s not found", id.Short())
@@ -172,9 +187,11 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 	m.mu.Lock()
 	ids := append([]provenance.ID(nil), m.stores[owner].LookupAttr(key, value)...)
 	m.mu.Unlock()
-	d, err := m.net.Call(from, owner, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, owner, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d, err
 	}
 	return ids, d, nil
 }

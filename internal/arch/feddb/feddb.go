@@ -80,8 +80,13 @@ func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 // Lookup has no global name service: the mediator probes components until
 // one answers. Probe order is the federation's site order, so cost is
 // paid in expectation (≈ n/2 components per miss-heavy workload).
+// Components that are unreachable (down, partitioned, or lossy after
+// retransmission) are skipped — component autonomy means the mediator
+// keeps probing the rest — so a record held only by an unreachable
+// component reports not-found until that component returns.
 func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
 	var total time.Duration
+	skipped := 0
 	for _, s := range m.sites {
 		m.mu.Lock()
 		rec, ok := m.stores[s].Get(id)
@@ -90,21 +95,34 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 		if ok {
 			respSize += len(rec.Encode())
 		}
-		d, err := m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, respSize)
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, respSize)
+		})
+		total += d
 		if err != nil {
+			if arch.IsUnavailable(err) {
+				skipped++
+				continue
+			}
 			return nil, total, err
 		}
-		total += d + m.translation
+		total += m.translation
 		if ok {
 			return rec, total, nil
 		}
+	}
+	if skipped > 0 {
+		return nil, total, fmt.Errorf("feddb: %s not found (%d components unreachable)", id.Short(), skipped)
 	}
 	return nil, total, fmt.Errorf("feddb: %s not found in any component", id.Short())
 }
 
 // QueryAttr fans out to every component, translating the query into each
 // local schema; latency is the slowest component plus translation, and
-// bytes scale with the component count (E5's feddb row).
+// bytes scale with the component count (E5's feddb row). Unreachable
+// components are skipped after retransmission — the federated answer is
+// best-effort and silently omits what they hold (recall under churn,
+// E14).
 func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
 	var slowest time.Duration
 	var out []provenance.ID
@@ -112,8 +130,13 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 		m.mu.Lock()
 		ids := append([]provenance.ID(nil), m.stores[s].LookupAttr(key, value)...)
 		m.mu.Unlock()
-		d, err := m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+		})
 		if err != nil {
+			if arch.IsUnavailable(err) {
+				continue
+			}
 			return nil, slowest, err
 		}
 		slowest = arch.MaxDuration(slowest, d+m.translation)
@@ -144,11 +167,20 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 		m.mu.Lock()
 		local, unresolved := m.stores[home].LocalAncestors([]provenance.ID{cur})
 		m.mu.Unlock()
-		d, err := m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(local)+len(unresolved)))
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(local)+len(unresolved)))
+		})
+		total += d
 		if err != nil {
+			if arch.IsUnavailable(err) {
+				// Component unreachable: its sub-DAG is missing from this
+				// best-effort answer.
+				frontier = frontier[1:]
+				continue
+			}
 			return nil, total, err
 		}
-		total += d + m.translation
+		total += m.translation
 		frontier = frontier[1:]
 		if cur != id {
 			// cur is itself an ancestor whose record we just resolved.

@@ -90,25 +90,26 @@ func (m *Model) primaryOf(rec *provenance.Record) string {
 }
 
 // Publish routes the record to the server owning its primary value's
-// subtree.
+// subtree, retransmitting on lost messages (missing ack).
 func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 	home := m.homeFor(m.primaryOf(p.Rec))
-	d1, err := m.net.Send(p.Origin, home, p.WireSize())
-	if err != nil {
-		return 0, err
-	}
-	d2, err := m.net.Send(home, p.Origin, arch.AckWire)
-	if err != nil {
-		return d1, err
-	}
-	m.mu.Lock()
-	m.stores[home].Add(p.ID, p.Rec)
-	m.mu.Unlock()
-	return d1 + d2, nil
+	return arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		d1, err := m.net.Send(p.Origin, home, p.WireSize())
+		if err != nil {
+			return d1, err
+		}
+		m.mu.Lock()
+		m.stores[home].Add(p.ID, p.Rec)
+		m.mu.Unlock()
+		d2, err := m.net.Send(home, p.Origin, arch.AckWire)
+		return d1 + d2, err
+	})
 }
 
 // Lookup by ID has no hierarchy path to follow, so it probes servers in
-// order — names, not IDs, are the hierarchy's access path.
+// order — names, not IDs, are the hierarchy's access path. Unreachable
+// servers are skipped after retransmission; a record held only by an
+// unreachable server reports not-found until it returns.
 func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
 	var total time.Duration
 	for _, s := range m.servers {
@@ -119,11 +120,16 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 		if ok {
 			respSize += len(rec.Encode())
 		}
-		d, err := m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, respSize)
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, respSize)
+		})
+		total += d
 		if err != nil {
+			if arch.IsUnavailable(err) {
+				continue
+			}
 			return nil, total, err
 		}
-		total += d
 		if ok {
 			return rec, total, nil
 		}
@@ -141,16 +147,19 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 		m.mu.Lock()
 		ids := append([]provenance.ID(nil), m.stores[home].LookupAttr(key, value)...)
 		m.mu.Unlock()
-		d, err := m.net.Call(from, home, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(from, home, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+		})
 		if err != nil {
-			return nil, 0, err
+			return nil, d, err
 		}
 		m.mu.Lock()
 		m.lastFanout = 1
 		m.mu.Unlock()
 		return ids, d, nil
 	}
-	// Secondary attribute: full fan-out.
+	// Secondary attribute: full fan-out; unreachable servers are skipped
+	// (best-effort recall), reachable ones still answer.
 	var slowest time.Duration
 	var out []provenance.ID
 	contacted := 0
@@ -158,8 +167,13 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 		m.mu.Lock()
 		ids := append([]provenance.ID(nil), m.stores[s].LookupAttr(key, value)...)
 		m.mu.Unlock()
-		d, err := m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+		})
 		if err != nil {
+			if arch.IsUnavailable(err) {
+				continue
+			}
 			return nil, slowest, err
 		}
 		contacted++
@@ -188,32 +202,44 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 		cur := frontier[0]
 		frontier = frontier[1:]
 		// Find the server holding cur (probe; hierarchy gives no ID path).
+		// Unreachable servers are skipped — if cur lives on one, its
+		// sub-DAG drops out of this best-effort answer.
 		var home netsim.SiteID = -1
 		for _, s := range m.servers {
 			m.mu.Lock()
 			_, ok := m.stores[s].Get(cur)
 			m.mu.Unlock()
-			d, err := m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, arch.RespOverhead)
+			d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+				return m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, arch.RespOverhead)
+			})
+			total += d
 			if err != nil {
+				if arch.IsUnavailable(err) {
+					continue
+				}
 				return nil, total, err
 			}
-			total += d
 			if ok {
 				home = s
 				break
 			}
 		}
 		if home < 0 {
-			continue // unknown record
+			continue // unknown record (or its server is unreachable)
 		}
 		m.mu.Lock()
 		local, unresolved := m.stores[home].LocalAncestors([]provenance.ID{cur})
 		m.mu.Unlock()
-		d, err := m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(local)+len(unresolved)))
+		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			return m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(local)+len(unresolved)))
+		})
+		total += d
 		if err != nil {
+			if arch.IsUnavailable(err) {
+				continue
+			}
 			return nil, total, err
 		}
-		total += d
 		if cur != id {
 			if _, seen := found[cur]; !seen {
 				found[cur] = struct{}{}

@@ -23,7 +23,9 @@
 package passnet
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -55,6 +57,11 @@ type Model struct {
 
 	// pending digests not yet gossiped, per producing site.
 	pending map[netsim.SiteID][]arch.Pub
+	// outbox holds digest deltas whose delivery is in progress: each
+	// delta tracks which peers still need it, so a lost or partitioned
+	// send is retried on a later gossip round without re-sending to peers
+	// that already heard it.
+	outbox map[netsim.SiteID][]*outDelta
 
 	// ImmediateDigest pushes digest deltas on every publish instead of
 	// waiting for Tick.
@@ -97,6 +104,7 @@ func New(net *netsim.Network, sites []netsim.SiteID, opts Options) *Model {
 		loc:       make(map[provenance.ID]netsim.SiteID),
 		attrSite:  make(map[string]map[netsim.SiteID]struct{}),
 		pending:   make(map[netsim.SiteID][]arch.Pub),
+		outbox:    make(map[netsim.SiteID][]*outDelta),
 		immediate: opts.ImmediateDigest,
 		replicate: opts.ReplicateOnRead,
 		replicas:  make(map[netsim.SiteID]map[provenance.ID]*provenance.Record),
@@ -143,40 +151,76 @@ func digestSize(pubs []arch.Pub) int {
 	return len(pubs)*digestEntryWire + (attrs*bloomBitsPerAttr+7)/8 + arch.RespOverhead
 }
 
-// gossipFrom pushes site's pending digest delta to every peer.
-func (m *Model) gossipFrom(site netsim.SiteID) error {
-	m.mu.Lock()
-	pubs := m.pending[site]
-	if len(pubs) == 0 {
-		m.mu.Unlock()
-		return nil
-	}
-	delete(m.pending, site)
-	m.mu.Unlock()
+// outDelta is one digest delta in flight: the publications it covers and
+// the peers that have not yet received it.
+type outDelta struct {
+	pubs      []arch.Pub
+	size      int
+	remaining map[netsim.SiteID]struct{}
+}
 
-	size := digestSize(pubs)
-	for _, peer := range m.sites {
-		if peer == site {
-			continue
-		}
-		if _, err := m.net.Send(site, peer, size); err != nil {
-			return err
-		}
+// gossipFrom pushes site's queued digest deltas to every peer that still
+// needs them. Delivery is tracked per peer: a send lost in transit or
+// blocked by a partition keeps that peer in the delta's remaining set and
+// is retried on the next gossip round, while a crashed peer is dropped
+// from the set (it resynchronizes from its neighbours when it rejoins —
+// the simulation's shared digest table stands in for that anti-entropy).
+// A delta becomes globally visible once every live peer has heard it.
+func (m *Model) gossipFrom(site netsim.SiteID) error {
+	if m.net.IsDown(site) {
+		return nil // a crashed site gossips nothing; retried after recovery
 	}
 	m.mu.Lock()
-	for _, p := range pubs {
-		m.loc[p.ID] = site
-		for _, a := range arch.QueriableAttrs(p.Rec) {
-			mk := a.Key + "\x00" + string(a.Value.Canonical())
-			set, ok := m.attrSite[mk]
-			if !ok {
-				set = make(map[netsim.SiteID]struct{})
-				m.attrSite[mk] = set
+	defer m.mu.Unlock()
+	if pubs := m.pending[site]; len(pubs) > 0 {
+		delete(m.pending, site)
+		rem := make(map[netsim.SiteID]struct{}, len(m.sites)-1)
+		for _, p := range m.sites {
+			if p != site {
+				rem[p] = struct{}{}
 			}
-			set[site] = struct{}{}
+		}
+		m.outbox[site] = append(m.outbox[site], &outDelta{pubs: pubs, size: digestSize(pubs), remaining: rem})
+	}
+	var live []*outDelta
+	for _, delta := range m.outbox[site] {
+		// Peers in deterministic site order: map-order iteration would
+		// scramble the packet-loss draws across runs.
+		for _, peer := range m.sites {
+			if _, need := delta.remaining[peer]; !need {
+				continue
+			}
+			_, err := m.net.Send(site, peer, delta.size)
+			switch {
+			case err == nil:
+				delete(delta.remaining, peer)
+			case errors.Is(err, netsim.ErrSiteDown):
+				delete(delta.remaining, peer) // crashed peer: resyncs on rejoin
+			case arch.IsUnavailable(err):
+				// Lost or partitioned: keep the peer in remaining and
+				// retry on a later round.
+			default:
+				return err
+			}
+		}
+		if len(delta.remaining) == 0 {
+			for _, p := range delta.pubs {
+				m.loc[p.ID] = site
+				for _, a := range arch.QueriableAttrs(p.Rec) {
+					mk := a.Key + "\x00" + string(a.Value.Canonical())
+					set, ok := m.attrSite[mk]
+					if !ok {
+						set = make(map[netsim.SiteID]struct{})
+						m.attrSite[mk] = set
+					}
+					set[site] = struct{}{}
+				}
+			}
+		} else {
+			live = append(live, delta)
 		}
 	}
-	m.mu.Unlock()
+	m.outbox[site] = live
 	return nil
 }
 
@@ -226,9 +270,11 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	if ok {
 		respSize += len(rec.Encode())
 	}
-	d, err := m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d, err
 	}
 	if !ok {
 		return nil, d, fmt.Errorf("passnet: location table points at %d but %s is gone", home, id.Short())
@@ -256,22 +302,33 @@ func (m *Model) ReplicaCount(s netsim.SiteID) int {
 }
 
 // QueryAttr contacts only the sites whose digests may hold (key, value),
-// plus the querier's own store (always fresh).
+// plus the querier's own store (always fresh). Unreachable candidate
+// sites are skipped after retransmission — the answer degrades to what
+// the reachable sites hold.
 func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
 	mk := key + "\x00" + string(value.Canonical())
 	m.mu.Lock()
-	candidates := make(map[netsim.SiteID]struct{})
+	candidates := make([]netsim.SiteID, 0, len(m.attrSite[mk])+1)
+	ownListed := false
 	for s := range m.attrSite[mk] {
-		candidates[s] = struct{}{}
+		candidates = append(candidates, s)
+		if s == from {
+			ownListed = true
+		}
 	}
-	candidates[from] = struct{}{} // own store is free to consult
+	if !ownListed {
+		candidates = append(candidates, from) // own store is free to consult
+	}
 	m.mu.Unlock()
+	// Deterministic contact order (the map scrambles it, and under loss
+	// the draw order must be reproducible).
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
 	var slowest time.Duration
 	var out []provenance.ID
 	seen := make(map[provenance.ID]struct{})
 	contacted := 0
-	for s := range candidates {
+	for _, s := range candidates {
 		m.mu.Lock()
 		ids := append([]provenance.ID(nil), m.stores[s].LookupAttr(key, value)...)
 		m.mu.Unlock()
@@ -280,10 +337,15 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 		if s == from {
 			d, err = m.net.Send(from, from, arch.AttrReqSize(key, value))
 		} else {
-			d, err = m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+			d, err = arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+				return m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+			})
 			contacted++
 		}
 		if err != nil {
+			if arch.IsUnavailable(err) {
+				continue
+			}
 			return nil, slowest, err
 		}
 		slowest = arch.MaxDuration(slowest, d)
@@ -330,16 +392,30 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 			return out, total, fmt.Errorf("passnet: ancestry traversal did not converge")
 		}
 		next := map[netsim.SiteID][]provenance.ID{}
-		for site, ids := range frontier {
+		// Deterministic site order for the round's fan-out.
+		order := make([]netsim.SiteID, 0, len(frontier))
+		for site := range frontier {
+			order = append(order, site)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, site := range order {
+			site, ids := site, frontier[site]
 			m.mu.Lock()
 			local, unresolved := m.stores[site].LocalAncestors(ids)
 			m.mu.Unlock()
-			d, err := m.net.Call(from, site, arch.ReqOverhead+len(ids)*arch.IDWire,
-				arch.IDListRespSize(len(local)+len(unresolved)))
+			d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+				return m.net.Call(from, site, arch.ReqOverhead+len(ids)*arch.IDWire,
+					arch.IDListRespSize(len(local)+len(unresolved)))
+			})
+			total += d
 			if err != nil {
+				if arch.IsUnavailable(err) {
+					// Site unreachable: its sub-DAG is missing from this
+					// best-effort answer.
+					continue
+				}
 				return nil, total, err
 			}
-			total += d
 			for _, a := range ids {
 				// IDs handed to a site that are not the query root are
 				// themselves ancestors (they were border pointers).
@@ -383,13 +459,19 @@ func (m *Model) LastContacted() int {
 	return m.lastContacted
 }
 
-// PendingDigests reports publications not yet gossiped.
+// PendingDigests reports publications not yet globally visible: never
+// gossiped, or gossiped but still awaiting delivery to some peer.
 func (m *Model) PendingDigests() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
 	for _, ps := range m.pending {
 		n += len(ps)
+	}
+	for _, deltas := range m.outbox {
+		for _, d := range deltas {
+			n += len(d.pubs)
+		}
 	}
 	return n
 }

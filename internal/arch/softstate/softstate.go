@@ -19,6 +19,7 @@ package softstate
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -38,8 +39,10 @@ type Model struct {
 	// Authoritative per-site stores.
 	stores map[netsim.SiteID]*arch.SiteStore
 	// Soft state: per index node, attr postings and record locations,
-	// refreshed on Tick.
+	// refreshed on Tick. softSeen makes posting insertion idempotent
+	// (fault-requeued refreshes re-push batches that partially landed).
 	softAttr map[netsim.SiteID]map[string][]provenance.ID
+	softSeen map[netsim.SiteID]map[string]struct{}
 	softLoc  map[netsim.SiteID]map[provenance.ID]netsim.SiteID
 	// Pending: published but not yet refreshed, per site.
 	pending map[netsim.SiteID][]arch.Pub
@@ -67,6 +70,7 @@ func New(net *netsim.Network, sites, indexNodes []netsim.SiteID, refreshEvery in
 		indexNodes:   append([]netsim.SiteID(nil), indexNodes...),
 		stores:       make(map[netsim.SiteID]*arch.SiteStore),
 		softAttr:     make(map[netsim.SiteID]map[string][]provenance.ID),
+		softSeen:     make(map[netsim.SiteID]map[string]struct{}),
 		softLoc:      make(map[netsim.SiteID]map[provenance.ID]netsim.SiteID),
 		pending:      make(map[netsim.SiteID][]arch.Pub),
 		refreshEvery: refreshEvery,
@@ -76,6 +80,7 @@ func New(net *netsim.Network, sites, indexNodes []netsim.SiteID, refreshEvery in
 	}
 	for _, n := range indexNodes {
 		m.softAttr[n] = make(map[string][]provenance.ID)
+		m.softSeen[n] = make(map[string]struct{})
 		m.softLoc[n] = make(map[provenance.ID]netsim.SiteID)
 	}
 	return m
@@ -125,7 +130,13 @@ func (m *Model) Tick() error {
 	return m.RefreshNow()
 }
 
-// RefreshNow pushes all pending soft state immediately.
+// RefreshNow pushes all pending soft state immediately. A batch that
+// cannot reach its index node (down, partitioned, lossy after
+// retransmission) requeues that site's publications for the next refresh
+// round — soft state is best-effort about freshness, but producers keep
+// re-pushing until the index hears them, which is exactly how RLS-style
+// periodic refresh recovers from faults. Requeued publications may resend
+// postings an index node already holds; QueryAttr deduplicates.
 func (m *Model) RefreshNow() error {
 	m.mu.Lock()
 	work := m.pending
@@ -133,7 +144,16 @@ func (m *Model) RefreshNow() error {
 	m.refreshes++
 	m.mu.Unlock()
 
-	for site, pubs := range work {
+	// Deterministic site order: map-order iteration would scramble the
+	// packet-loss draws from run to run.
+	siteOrder := make([]netsim.SiteID, 0, len(work))
+	for site := range work {
+		siteOrder = append(siteOrder, site)
+	}
+	sort.Slice(siteOrder, func(i, j int) bool { return siteOrder[i] < siteOrder[j] })
+
+	for _, site := range siteOrder {
+		pubs := work[site]
 		// Group updates per index node: location entries go to the
 		// record's node, each attribute posting to that attribute's
 		// node. One batched message per node.
@@ -158,21 +178,43 @@ func (m *Model) RefreshNow() error {
 				get(node).attrs = append(get(node).attrs, attrPosting{mk: mk, id: p.ID})
 			}
 		}
-		for node, u := range batch {
+		nodeOrder := make([]netsim.SiteID, 0, len(batch))
+		for node := range batch {
+			nodeOrder = append(nodeOrder, node)
+		}
+		sort.Slice(nodeOrder, func(i, j int) bool { return nodeOrder[i] < nodeOrder[j] })
+		failed := false
+		for _, node := range nodeOrder {
+			u := batch[node]
 			size := len(u.locs) * (arch.IDWire + 8)
 			for _, ap := range u.attrs {
 				size += len(ap.mk) + arch.IDWire
 			}
-			if _, err := m.net.Send(site, node, size); err != nil {
-				continue // index node down: this round's state is lost (soft)
+			if _, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+				return m.net.Send(site, node, size)
+			}); err != nil {
+				failed = true // retried next round
+				continue
 			}
 			m.mu.Lock()
 			for _, id := range u.locs {
 				m.softLoc[node][id] = site
 			}
 			for _, ap := range u.attrs {
+				// Idempotent insert: a requeued refresh may re-push
+				// postings this node already holds.
+				sk := ap.mk + "\x00" + string(ap.id[:])
+				if _, dup := m.softSeen[node][sk]; dup {
+					continue
+				}
+				m.softSeen[node][sk] = struct{}{}
 				m.softAttr[node][ap.mk] = append(m.softAttr[node][ap.mk], ap.id)
 			}
+			m.mu.Unlock()
+		}
+		if failed {
+			m.mu.Lock()
+			m.pending[site] = append(append([]arch.Pub(nil), pubs...), m.pending[site]...)
 			m.mu.Unlock()
 		}
 	}
@@ -188,9 +230,11 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	m.mu.Lock()
 	home, known := m.softLoc[node][id]
 	m.mu.Unlock()
-	d1, err := m.net.Call(from, node, arch.ReqOverhead+arch.IDWire, arch.RespOverhead+8)
+	d1, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, node, arch.ReqOverhead+arch.IDWire, arch.RespOverhead+8)
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d1, err
 	}
 	if !known {
 		return nil, d1, fmt.Errorf("softstate: %s not in soft state (stale or never refreshed)", id.Short())
@@ -202,9 +246,11 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	if ok {
 		respSize += len(rec.Encode())
 	}
-	d2, err := m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
+	d2, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
+	})
 	if err != nil {
-		return nil, d1, err
+		return nil, d1 + d2, err
 	}
 	if !ok {
 		return nil, d1 + d2, fmt.Errorf("softstate: index points at %d but record %s is gone", home, id.Short())
@@ -213,16 +259,19 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 }
 
 // QueryAttr consults the attribute's index node. Results reflect the last
-// refresh only — the staleness E7 quantifies.
+// refresh only — the staleness E7 quantifies. Postings are unique by
+// construction (insertion is idempotent), so no query-time dedup.
 func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
 	mk := key + "\x00" + string(value.Canonical())
 	node := m.indexNodeFor([]byte(mk))
 	m.mu.Lock()
 	ids := append([]provenance.ID(nil), m.softAttr[node][mk]...)
 	m.mu.Unlock()
-	d, err := m.net.Call(from, node, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, node, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
+	})
 	if err != nil {
-		return nil, 0, err
+		return nil, d, err
 	}
 	return ids, d, nil
 }

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pass/internal/index"
+	"pass/internal/provenance"
+	"pass/internal/tuple"
+)
+
+// GC is where PASS property P4 lives: payloads go, provenance stays.
+// These tests pin down P4 across ancestry queries, the refcounting of
+// shared payloads, and the consistency audit after a crash that lands
+// mid-way through a batch of ingests and collections.
+
+func gcClock() func() int64 {
+	t := int64(0)
+	return func() int64 { t++; return t }
+}
+
+func openGC(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{Clock: gcClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func gcSet(seed int) *tuple.Set {
+	ts := &tuple.Set{}
+	for i := 0; i < 3; i++ {
+		ts.Append(tuple.Reading{
+			SensorID: fmt.Sprintf("s-%d", seed),
+			Time:     int64(seed*100 + i),
+			Value:    float64(seed) + float64(i)/10,
+		})
+	}
+	return ts
+}
+
+// TestP4AncestryAfterGC: collect every payload along a derivation chain
+// and confirm lineage queries still answer in full — "provenance is not
+// lost if ancestor objects are removed."
+func TestP4AncestryAfterGC(t *testing.T) {
+	s := openGC(t)
+	raw, err := s.IngestTupleSet(gcSet(1), provenance.Attr("zone", provenance.String("boston")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := s.Derive([]provenance.ID{raw}, "smooth", "1.0", gcSet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := s.Derive([]provenance.ID{mid}, "render", "1.0", gcSet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect the two ancestors' payloads (the leaf keeps its data).
+	for _, id := range []provenance.ID{raw, mid} {
+		if err := s.RemoveData(id); err != nil {
+			t.Fatal(err)
+		}
+		present, err := s.DataPresent(id)
+		if err != nil || present {
+			t.Fatalf("payload of %s still present after GC (%v)", id.Short(), err)
+		}
+		if _, err := s.GetData(id); !errors.Is(err, ErrDataRemoved) {
+			t.Fatalf("GetData after GC: %v, want ErrDataRemoved", err)
+		}
+	}
+
+	// P4: the full ancestry still resolves over the collected records.
+	anc, err := s.Ancestors(leaf, index.NoLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 2 {
+		t.Fatalf("ancestors after GC = %d, want 2", len(anc))
+	}
+	found := map[provenance.ID]bool{}
+	for _, a := range anc {
+		found[a] = true
+	}
+	if !found[raw] || !found[mid] {
+		t.Fatalf("ancestry lost GC'd records: %v", anc)
+	}
+	// Records and attribute queries survive too.
+	if _, err := s.GetRecord(raw); err != nil {
+		t.Fatalf("record gone after payload GC: %v", err)
+	}
+	ids, err := s.QueryString("zone=boston")
+	if err != nil || len(ids) != 1 || ids[0] != raw {
+		t.Fatalf("attribute query after GC: %v, %v", ids, err)
+	}
+	// The audit agrees: nothing dangling, the collections are marked.
+	rep, err := s.VerifyConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Collected != 2 {
+		t.Fatalf("audit after GC: %+v", rep)
+	}
+}
+
+// TestGCRefcountSharedPayload: two records naming byte-identical content
+// share one stored blob; the blob must survive until the last reference
+// is collected.
+func TestGCRefcountSharedPayload(t *testing.T) {
+	s := openGC(t)
+	ts := gcSet(7)
+	// Same readings, different provenance attributes → two records, one
+	// payload digest.
+	a, err := s.IngestTupleSet(ts, provenance.Attr("copy", provenance.String("a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.IngestTupleSet(ts, provenance.Attr("copy", provenance.String("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("expected distinct records for distinct attributes")
+	}
+
+	if err := s.RemoveData(a); err != nil {
+		t.Fatal(err)
+	}
+	// b still references the shared blob.
+	if present, err := s.DataPresent(b); err != nil || !present {
+		t.Fatalf("shared payload vanished with a live reference (%v, %v)", present, err)
+	}
+	got, err := s.GetData(b)
+	if err != nil || got.Len() != ts.Len() {
+		t.Fatalf("GetData via surviving reference: %v, %v", got, err)
+	}
+	// Collecting the last reference releases the blob.
+	if err := s.RemoveData(b); err != nil {
+		t.Fatal(err)
+	}
+	if present, _ := s.DataPresent(b); present {
+		t.Fatal("payload present after last reference collected")
+	}
+	// Idempotence: re-collecting is a no-op, not an error.
+	if err := s.RemoveData(a); err != nil {
+		t.Fatalf("re-collect errored: %v", err)
+	}
+	rep, err := s.VerifyConsistency()
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit: %+v, %v", rep, err)
+	}
+}
+
+// TestGCAnnotationRejected: annotations carry no payload; collecting one
+// must fail loudly instead of silently succeeding.
+func TestGCAnnotationRejected(t *testing.T) {
+	s := openGC(t)
+	raw, err := s.IngestTupleSet(gcSet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := s.Annotate([]provenance.ID{raw}, provenance.Attr("note", provenance.String("checked")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveData(ann); !errors.Is(err, ErrNoData) {
+		t.Fatalf("RemoveData(annotation) = %v, want ErrNoData", err)
+	}
+}
+
+// TestGCUnknownRecord: collecting a record that does not exist fails.
+func TestGCUnknownRecord(t *testing.T) {
+	s := openGC(t)
+	var ghost provenance.ID
+	ghost[0] = 0xAA
+	if err := s.RemoveData(ghost); err == nil {
+		t.Fatal("RemoveData of unknown record succeeded")
+	}
+}
+
+// TestRemoveDataBeforeCountsOnlyLive: the age-based collector reports how
+// many payloads it actually released, skipping annotations and records
+// already collected.
+func TestRemoveDataBeforeCountsOnlyLive(t *testing.T) {
+	s := openGC(t)
+	var ids []provenance.ID
+	for i := 0; i < 5; i++ {
+		id, err := s.IngestTupleSet(gcSet(i)) // clock stamps 1..5
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Pre-collect one victim by hand.
+	if err := s.RemoveData(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Annotations are never collected.
+	if _, err := s.Annotate(ids[:1], provenance.Attr("a", provenance.String("b"))); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.RemoveDataBefore(1 << 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("collected %d live payloads, want 4 (one was already gone)", n)
+	}
+	rep, err := s.VerifyConsistency()
+	if err != nil || !rep.Clean() {
+		t.Fatalf("audit: %+v, %v", rep, err)
+	}
+	if rep.Collected != 5 {
+		t.Fatalf("collected markers = %d, want 5", rep.Collected)
+	}
+}
+
+// TestVerifyConsistencyAfterCrashMidBatch: simulate a crash (reopen the
+// store directory without Close) in the middle of a batch of ingests and
+// collections. Recovery must replay the WAL into a state the audit calls
+// clean, P4 intact.
+func TestVerifyConsistencyAfterCrashMidBatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Clock: gcClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []provenance.ID
+	for i := 0; i < 20; i++ {
+		id, err := s.IngestTupleSet(gcSet(i), provenance.Attr("batch", provenance.Int64(int64(i%3))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	leaf, err := s.Derive(ids[:2], "merge", "1.0", gcSet(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-batch: collect half the payloads, then "crash" — no Close, no
+	// flush; the tail of the work lives only in the WAL.
+	for _, id := range ids[:10] {
+		if err := s.RemoveData(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := Open(dir, Options{Clock: gcClock()})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	defer s.Close() // release the abandoned instance's fds
+
+	rep, err := s2.VerifyConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("audit after crash not clean: %+v", rep)
+	}
+	if rep.Records != 21 {
+		t.Fatalf("records after recovery = %d, want 21", rep.Records)
+	}
+	if rep.Collected != 10 {
+		t.Fatalf("collected after recovery = %d, want 10", rep.Collected)
+	}
+	// P4 across the crash: ancestry over collected parents still answers.
+	anc, err := s2.Ancestors(leaf, index.NoLimit)
+	if err != nil || len(anc) != 2 {
+		t.Fatalf("ancestry after crash: %v, %v", anc, err)
+	}
+	// And the refcount machinery still works post-recovery.
+	if err := s2.RemoveData(ids[10]); err != nil {
+		t.Fatal(err)
+	}
+	if present, _ := s2.DataPresent(ids[10]); present {
+		t.Fatal("post-recovery collection did not release the payload")
+	}
+}

@@ -13,6 +13,8 @@ package geo
 import (
 	"fmt"
 	"math"
+
+	"pass/internal/xrand"
 )
 
 // Point is a location on the simulation plane, in kilometres.
@@ -116,6 +118,38 @@ func GridLayout(n int, spacing, radius float64) *Map {
 		m.AddZone(Zone{
 			Name:   fmt.Sprintf("zone-%d", i),
 			Center: Point{X: float64(col) * spacing, Y: float64(row) * spacing},
+			Radius: radius,
+		})
+	}
+	return m
+}
+
+// RandomLayout scatters n zones uniformly over an extent × extent plane
+// (kilometres) using a deterministic seeded generator: the same seed
+// always yields the same topology, which the fault-injection experiments
+// rely on for reproducibility. Names are "zone-0" … "zone-(n-1)". Zone
+// centers are kept at least 2×radius apart from the plane's edge so every
+// zone fits; overlap between zones is allowed (real deployments overlap
+// too) and harmless, since locality is decided by zone name, not
+// geometry. This generator is the standard topology source for large
+// archtest sweeps, the survivability experiment (E14), and the examples.
+func RandomLayout(n int, extent, radius float64, seed uint64) *Map {
+	m := NewMap()
+	if n <= 0 {
+		return m
+	}
+	if extent < 4*radius {
+		extent = 4 * radius
+	}
+	rng := xrand.New(seed)
+	span := extent - 4*radius
+	for i := 0; i < n; i++ {
+		m.AddZone(Zone{
+			Name: fmt.Sprintf("zone-%d", i),
+			Center: Point{
+				X: 2*radius + rng.Float64()*span,
+				Y: 2*radius + rng.Float64()*span,
+			},
 			Radius: radius,
 		})
 	}

@@ -1,0 +1,55 @@
+package geo
+
+import "testing"
+
+func TestRandomLayoutDeterministic(t *testing.T) {
+	a := RandomLayout(50, 10000, 50, 99)
+	b := RandomLayout(50, 10000, 50, 99)
+	za, zb := a.Zones(), b.Zones()
+	if len(za) != 50 || len(zb) != 50 {
+		t.Fatalf("zone counts: %d, %d", len(za), len(zb))
+	}
+	for i := range za {
+		if za[i] != zb[i] {
+			t.Fatalf("zone %d differs across identical seeds: %+v vs %+v", i, za[i], zb[i])
+		}
+	}
+}
+
+func TestRandomLayoutSeedsDiffer(t *testing.T) {
+	a := RandomLayout(20, 10000, 50, 1)
+	b := RandomLayout(20, 10000, 50, 2)
+	identical := 0
+	for i, z := range a.Zones() {
+		if z.Center == b.Zones()[i].Center {
+			identical++
+		}
+	}
+	if identical == 20 {
+		t.Fatal("different seeds produced an identical layout")
+	}
+}
+
+func TestRandomLayoutWithinExtent(t *testing.T) {
+	extent, radius := 5000.0, 60.0
+	m := RandomLayout(200, extent, radius, 7)
+	for _, z := range m.Zones() {
+		if z.Center.X < 0 || z.Center.X > extent || z.Center.Y < 0 || z.Center.Y > extent {
+			t.Fatalf("zone %s center %v outside extent %v", z.Name, z.Center, extent)
+		}
+		if z.Radius != radius {
+			t.Fatalf("zone %s radius %v, want %v", z.Name, z.Radius, radius)
+		}
+	}
+}
+
+func TestRandomLayoutDegenerate(t *testing.T) {
+	if n := len(RandomLayout(0, 1000, 50, 1).Zones()); n != 0 {
+		t.Fatalf("0 zones requested, got %d", n)
+	}
+	// Tiny extent is bumped up so zones still fit.
+	m := RandomLayout(3, 1, 50, 1)
+	if len(m.Zones()) != 3 {
+		t.Fatalf("got %d zones", len(m.Zones()))
+	}
+}

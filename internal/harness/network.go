@@ -169,9 +169,12 @@ type freshModel struct {
 	m     arch.Model
 }
 
-func modelsForFresh(n int) []freshModel {
-	var out []freshModel
-	build := []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
+// modelRoster returns one builder per Section IV architecture, in the
+// standard comparison configuration (warehouse at sites[0], two distdb
+// replicas, two soft-state index nodes, zone-primary hierarchy, batched
+// passnet digests). Shared by E5 and E14.
+func modelRoster() []func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+	return []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
 		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return central.New(net, sites[0]) },
 		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return distdb.New(net, sites, 2) },
 		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return feddb.New(net, sites, 0) },
@@ -194,7 +197,11 @@ func modelsForFresh(n int) []freshModel {
 			return passnet.New(net, sites, passnet.Options{})
 		},
 	}
-	for _, b := range build {
+}
+
+func modelsForFresh(n int) []freshModel {
+	var out []freshModel
+	for _, b := range modelRoster() {
 		net, sites := newGrid(n)
 		out = append(out, freshModel{net: net, sites: sites, m: b(net, sites)})
 	}

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+
+	"pass/internal/arch"
+	"pass/internal/metrics"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// E14Survivability — the fault dimension the Section IV comparison only
+// gestures at ("Reliability: When a failure occurs ... is the metadata
+// service still available?"). Every architecture runs the same workload
+// over the same seeded random topology while the network drops packets,
+// at increasing scale; the table reports how much of the acknowledged
+// metadata each model can still find, and what the fault handling costs
+// on the WAN (retransmissions are real bytes).
+//
+// Publishers behave like real clients: a failed publish is re-offered up
+// to three more times, then given up (the acked column). Queriers issue
+// one attempt each — E14 is about exposing degradation, so queries are
+// NOT retried the way the conformance suite's convergence checks are.
+func (r *Runner) E14Survivability() (*Result, error) {
+	table := metrics.NewTable("E14: survivability (recall & WAN bytes vs loss × sites)",
+		"model", "sites", "loss", "acked", "recall", "wan-bytes", "dropped-msgs")
+	findings := map[string]float64{}
+
+	const sitesPerZone = 4
+	pubsPer := r.scale.n(120)
+	attempts := 4
+	for _, nSites := range []int{16, 64, 256} {
+		for li, loss := range []float64{0, 0.05, 0.20} {
+			for mi, build := range modelRoster() {
+				net, sites := netsim.RandomTopology(netsim.Config{
+					LossRate: loss,
+					Seed:     uint64(nSites*100 + li*10 + mi + 1),
+				}, nSites/sitesPerZone, sitesPerZone, uint64(9000+nSites))
+				m := build(net, sites)
+
+				pubs, err := survivalPubs(net, sites, pubsPer)
+				if err != nil {
+					return nil, err
+				}
+				acked := make(map[provenance.ID]bool, len(pubs))
+				for _, p := range pubs {
+					for a := 0; a < attempts; a++ {
+						if _, err := m.Publish(p); err == nil {
+							acked[p.ID] = true
+							break
+						} else if !arch.IsUnavailable(err) {
+							return nil, fmt.Errorf("%s: %w", m.Name(), err)
+						}
+					}
+				}
+				for tick := 0; tick < 6; tick++ {
+					if err := m.Tick(); err != nil {
+						return nil, fmt.Errorf("%s tick: %w", m.Name(), err)
+					}
+				}
+
+				queriers := []netsim.SiteID{
+					sites[0], sites[len(sites)/3], sites[2*len(sites)/3], sites[len(sites)-1],
+				}
+				recall := 0.0
+				if len(acked) > 0 {
+					for _, q := range queriers {
+						got, _, err := m.QueryAttr(q, provenance.KeyDomain, provenance.String("surv"))
+						if err != nil {
+							if arch.IsUnavailable(err) {
+								continue // unreachable index scores 0 from this querier
+							}
+							return nil, fmt.Errorf("%s query: %w", m.Name(), err)
+						}
+						hit := 0
+						for _, id := range got {
+							if acked[id] {
+								hit++
+							}
+						}
+						recall += float64(hit) / float64(len(acked))
+					}
+					recall /= float64(len(queriers))
+				}
+
+				st := net.Stats()
+				lossPct := int(loss * 100)
+				table.AddRow(m.Name(), nSites, fmt.Sprintf("%d%%", lossPct),
+					fmt.Sprintf("%d/%d", len(acked), len(pubs)),
+					fmt.Sprintf("%.3f", recall), st.WANBytes, st.DroppedMsgs)
+				tag := fmt.Sprintf("%s_n%d_l%d", m.Name(), nSites, lossPct)
+				findings["recall_"+tag] = recall
+				findings["wan_"+tag] = float64(st.WANBytes)
+				findings["acked_"+tag] = float64(len(acked))
+			}
+		}
+	}
+	return &Result{
+		ID:       "E14",
+		Title:    "Survivability: recall and WAN cost under packet loss at scale",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"shape check: at 0% loss every model acks and recalls everything; under loss, locally-committing models (feddb/softstate/passnet) keep acking while 2PC (distdb) starts refusing",
+			"WAN bytes include retransmissions and dropped messages — fault tolerance is paid for in bandwidth",
+		},
+	}, nil
+}
+
+// survivalPubs builds one deterministic record per publish slot, tagged
+// domain=surv plus the origin's zone (so hierarchical partitioning has a
+// primary attribute to work with).
+func survivalPubs(net *netsim.Network, sites []netsim.SiteID, n int) ([]arch.Pub, error) {
+	pubs := make([]arch.Pub, 0, n)
+	for i := 0; i < n; i++ {
+		origin := sites[(i*7)%len(sites)]
+		s, err := net.Site(origin)
+		if err != nil {
+			return nil, err
+		}
+		var digest [32]byte
+		digest[0], digest[1], digest[2] = byte(i), byte(i>>8), 0xE1
+		rec, id, err := provenance.NewRaw(digest, 64).
+			Attrs(
+				provenance.Attr("n", provenance.Int64(int64(i))),
+				provenance.Attr(provenance.KeyDomain, provenance.String("surv")),
+				provenance.Attr(provenance.KeyZone, provenance.String(s.Zone)),
+			).
+			CreatedAt(int64(i) + 1).
+			Build()
+		if err != nil {
+			return nil, err
+		}
+		pubs = append(pubs, arch.Pub{ID: id, Rec: rec, Origin: origin})
+	}
+	return pubs, nil
+}

@@ -1,0 +1,244 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"pass/internal/geo"
+)
+
+func TestLossDeterministicUnderSeed(t *testing.T) {
+	run := func() (lost int, st Stats) {
+		n := New(Config{LossRate: 0.3, Seed: 42})
+		a := n.AddSite("a", geo.Point{}, "east")
+		b := n.AddSite("b", geo.Point{X: 100}, "west")
+		for i := 0; i < 1000; i++ {
+			if _, err := n.Send(a, b, 100); errors.Is(err, ErrMsgLost) {
+				lost++
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return lost, n.Stats()
+	}
+	lost1, st1 := run()
+	lost2, st2 := run()
+	if lost1 != lost2 || st1 != st2 {
+		t.Fatalf("same seed diverged: %d/%+v vs %d/%+v", lost1, st1, lost2, st2)
+	}
+	if lost1 < 200 || lost1 > 400 {
+		t.Fatalf("loss rate 0.3 dropped %d/1000 messages", lost1)
+	}
+	if st1.DroppedMsgs != int64(lost1) || st1.DroppedBytes != int64(lost1)*100 {
+		t.Fatalf("drop accounting: %+v, want %d drops", st1, lost1)
+	}
+	// Lost messages still consumed bandwidth.
+	if st1.Messages != 1000 || st1.Bytes != 100000 {
+		t.Fatalf("offered-traffic accounting: %+v", st1)
+	}
+}
+
+func TestLossSeedsDiffer(t *testing.T) {
+	lossesFor := func(seed uint64) []bool {
+		n := New(Config{LossRate: 0.5, Seed: seed})
+		a := n.AddSite("a", geo.Point{}, "east")
+		b := n.AddSite("b", geo.Point{X: 100}, "west")
+		out := make([]bool, 200)
+		for i := range out {
+			_, err := n.Send(a, b, 10)
+			out[i] = errors.Is(err, ErrMsgLost)
+		}
+		return out
+	}
+	p1, p2 := lossesFor(1), lossesFor(2)
+	same := true
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+func TestLoopbackNeverDrops(t *testing.T) {
+	n := New(Config{LossRate: 1.0})
+	a := n.AddSite("a", geo.Point{}, "z")
+	for i := 0; i < 50; i++ {
+		if _, err := n.Send(a, a, 100); err != nil {
+			t.Fatalf("loopback dropped: %v", err)
+		}
+	}
+}
+
+func TestPristineConfigUnchangedByRNG(t *testing.T) {
+	// With LossRate 0 the fault machinery must be inert: no drops ever.
+	n := New(Config{})
+	a := n.AddSite("a", geo.Point{}, "east")
+	b := n.AddSite("b", geo.Point{X: 100}, "west")
+	for i := 0; i < 1000; i++ {
+		if _, err := n.Send(a, b, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := n.Stats(); st.DroppedMsgs != 0 {
+		t.Fatalf("pristine network dropped messages: %+v", st)
+	}
+}
+
+func TestSetLinkLossOverride(t *testing.T) {
+	n := New(Config{Seed: 7}) // global rate 0
+	a := n.AddSite("a", geo.Point{}, "east")
+	b := n.AddSite("b", geo.Point{X: 100}, "west")
+	n.SetLinkLoss(a, b, 1.0) // a->b always drops; b->a pristine
+	if _, err := n.Send(a, b, 10); !errors.Is(err, ErrMsgLost) {
+		t.Fatalf("err = %v, want ErrMsgLost", err)
+	}
+	if _, err := n.Send(b, a, 10); err != nil {
+		t.Fatalf("reverse link dropped: %v", err)
+	}
+	n.SetLinkLoss(a, b, -1) // clear override
+	if _, err := n.Send(a, b, 10); err != nil {
+		t.Fatalf("cleared override still drops: %v", err)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := New(Config{})
+	a := n.AddSite("a", geo.Point{}, "east")
+	b := n.AddSite("b", geo.Point{X: 100}, "west")
+	c := n.AddSite("c", geo.Point{X: 200}, "west")
+	n.Partition([]SiteID{a}, []SiteID{b, c})
+	if _, err := n.Send(a, b, 10); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-cell send: %v, want ErrPartitioned", err)
+	}
+	if !n.Partitioned(a, b) || n.Partitioned(b, c) {
+		t.Fatal("Partitioned() disagrees with cells")
+	}
+	// Same-cell traffic flows.
+	if _, err := n.Send(b, c, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Loopback inside a cell flows.
+	if _, err := n.Send(a, a, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Partitioned sends are not accounted.
+	if st := n.Stats(); st.Messages != 2 {
+		t.Fatalf("messages = %d, want 2", st.Messages)
+	}
+	n.HealPartition()
+	if _, err := n.Send(a, b, 10); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestPartitionSingleCellCutsMinorityOff(t *testing.T) {
+	n := New(Config{})
+	a := n.AddSite("a", geo.Point{}, "east")
+	b := n.AddSite("b", geo.Point{X: 100}, "west")
+	c := n.AddSite("c", geo.Point{X: 200}, "west")
+	n.Partition([]SiteID{a}) // minority of one vs everyone unlisted
+	if _, err := n.Send(a, b, 10); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("minority reached the rest: %v", err)
+	}
+	if _, err := n.Send(b, c, 10); err != nil {
+		t.Fatalf("unlisted sites should stay connected: %v", err)
+	}
+}
+
+func TestCallPreservesLostLegLatency(t *testing.T) {
+	n := New(Config{Seed: 5})
+	a := n.AddSite("a", geo.Point{}, "east")
+	b := n.AddSite("b", geo.Point{X: 100}, "west")
+	n.SetLinkLoss(a, b, 1.0) // request leg always drops
+	d, err := n.Call(a, b, 100, 100)
+	if !errors.Is(err, ErrMsgLost) {
+		t.Fatalf("err = %v, want ErrMsgLost", err)
+	}
+	if d <= 0 {
+		t.Fatalf("lost request leg returned latency %v; wasted time must be accounted", d)
+	}
+	n.SetLinkLoss(a, b, -1)
+	n.SetLinkLoss(b, a, 1.0) // response leg always drops
+	oneWay, _ := n.Latency(a, b, 100)
+	d, err = n.Call(a, b, 100, 100)
+	if !errors.Is(err, ErrMsgLost) {
+		t.Fatalf("err = %v, want ErrMsgLost", err)
+	}
+	if d < 2*oneWay {
+		t.Fatalf("lost response leg returned %v, want at least the full round trip %v", d, 2*oneWay)
+	}
+}
+
+func TestPartitionUnlistedSitesJoinCellZero(t *testing.T) {
+	n := New(Config{})
+	a := n.AddSite("a", geo.Point{}, "east")
+	b := n.AddSite("b", geo.Point{X: 100}, "west")
+	c := n.AddSite("c", geo.Point{X: 200}, "west")
+	n.Partition(nil, []SiteID{c}) // a and b unlisted -> cell 0, c isolated
+	if _, err := n.Send(a, b, 10); err != nil {
+		t.Fatalf("unlisted sites should share cell 0: %v", err)
+	}
+	if _, err := n.Send(a, c, 10); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("isolated site reachable: %v", err)
+	}
+}
+
+func TestUnavailableClassification(t *testing.T) {
+	n := New(Config{LossRate: 1.0, Seed: 1})
+	a := n.AddSite("a", geo.Point{}, "east")
+	b := n.AddSite("b", geo.Point{X: 100}, "west")
+	_, lossErr := n.Send(a, b, 10)
+	if !Unavailable(lossErr) {
+		t.Fatalf("loss not Unavailable: %v", lossErr)
+	}
+	n.Fail(b)
+	_, downErr := n.Send(a, b, 10)
+	if !Unavailable(downErr) {
+		t.Fatalf("down not Unavailable: %v", downErr)
+	}
+	n.Heal(b)
+	n.Partition([]SiteID{a}, []SiteID{b})
+	_, partErr := n.Send(a, b, 10)
+	if !Unavailable(partErr) {
+		t.Fatalf("partition not Unavailable: %v", partErr)
+	}
+	_, badErr := n.Send(a, SiteID(99), 10)
+	if Unavailable(badErr) {
+		t.Fatalf("ErrNoSuchSite misclassified as Unavailable: %v", badErr)
+	}
+}
+
+func TestFromMapTopology(t *testing.T) {
+	m := geo.RandomLayout(10, 5000, 50, 3)
+	net, sites := FromMap(Config{}, m, 4)
+	if len(sites) != 40 || net.NumSites() != 40 {
+		t.Fatalf("site count = %d, want 40", len(sites))
+	}
+	// Zone-major order: sites[z*4 : z*4+4] share zone z.
+	for z := 0; z < 10; z++ {
+		for i := 0; i < 4; i++ {
+			s, err := net.Site(sites[z*4+i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := m.Zones()[z].Name; s.Zone != want {
+				t.Fatalf("site %s zone = %s, want %s", s.Name, s.Zone, want)
+			}
+		}
+	}
+	// Intra-zone distances are much smaller than the plane.
+	a, _ := net.Site(sites[0])
+	b, _ := net.Site(sites[1])
+	if d := a.Loc.Distance(b.Loc); d > 100 {
+		t.Fatalf("intra-zone distance %v too large", d)
+	}
+	// Determinism: identical inputs give identical topology.
+	_, sites2 := FromMap(Config{}, geo.RandomLayout(10, 5000, 50, 3), 4)
+	if len(sites2) != len(sites) {
+		t.Fatal("topology not deterministic")
+	}
+}

@@ -12,15 +12,38 @@
 // sleeping, so experiments are exactly reproducible and fast. Latency is
 // additive along multi-hop paths, matching how the architecture models
 // compose calls.
+//
+// # Fault injection
+//
+// The network can inject three failure classes, all deterministic under
+// Config.Seed:
+//
+//   - Packet loss: Config.LossRate (or a per-link override via
+//     SetLinkLoss) drops each inter-site message with the given
+//     probability. A lost message still consumed link bandwidth, so its
+//     bytes ARE accounted (plus the Dropped counters); the caller gets
+//     ErrMsgLost with the latency it wasted finding out. Loopback
+//     messages never drop.
+//   - Site crashes: Fail marks a site down; sends to or from it return
+//     ErrSiteDown (unaccounted — nothing was transmitted). Heal recovers.
+//   - Partitions: Partition splits sites into cells; messages across a
+//     cell boundary return ErrPartitioned (unaccounted). HealPartition
+//     reconnects everyone.
+//
+// Unavailable distinguishes these injected faults from programming errors
+// (ErrNoSuchSite), so models can retry or degrade on the former and fail
+// fast on the latter.
 package netsim
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"pass/internal/geo"
+	"pass/internal/xrand"
 )
 
 // SiteID identifies a site (host) in the simulated network.
@@ -51,6 +74,13 @@ type Config struct {
 	// LocalDelay is the latency of a message a site sends to itself
 	// (loopback / same rack). Default: 20µs.
 	LocalDelay time.Duration
+	// LossRate is the probability in [0, 1) that an inter-site message
+	// is dropped in transit. Default: 0 (pristine network). Loopback
+	// messages never drop.
+	LossRate float64
+	// Seed seeds the deterministic loss generator; 0 selects a fixed
+	// default, so the zero Config remains fully reproducible.
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -71,30 +101,57 @@ func (c Config) withDefaults() Config {
 
 // Stats is a snapshot of traffic accounting.
 type Stats struct {
-	Messages   int64 // total messages sent
-	Bytes      int64 // total bytes sent
+	Messages   int64 // total messages transmitted (delivered + dropped)
+	Bytes      int64 // total bytes transmitted
 	WANBytes   int64 // bytes crossing zone boundaries
 	WANMsgs    int64 // messages crossing zone boundaries
 	LocalMsgs  int64 // messages within one zone (incl. loopback)
 	TotalDelay time.Duration
+	// DroppedMsgs / DroppedBytes count messages lost in transit: their
+	// bandwidth was spent (included in the totals above) but they never
+	// arrived.
+	DroppedMsgs  int64
+	DroppedBytes int64
 }
 
 // ErrSiteDown is returned when a message targets a failed site.
 var ErrSiteDown = errors.New("netsim: site is down")
 
+// ErrMsgLost is returned when a message is dropped in transit by the
+// configured packet-loss rate.
+var ErrMsgLost = errors.New("netsim: message lost in transit")
+
+// ErrPartitioned is returned when sender and receiver sit in different
+// partition cells.
+var ErrPartitioned = errors.New("netsim: sites are partitioned")
+
 // ErrNoSuchSite is returned for unknown site IDs.
 var ErrNoSuchSite = errors.New("netsim: no such site")
+
+// Unavailable reports whether err is an injected fault — a down site, a
+// lost message, or a partition — as opposed to a programming error such
+// as an unknown site. Models retry or degrade on unavailable errors and
+// fail fast on everything else.
+func Unavailable(err error) bool {
+	return errors.Is(err, ErrSiteDown) || errors.Is(err, ErrMsgLost) || errors.Is(err, ErrPartitioned)
+}
 
 // Network is the simulated network. Safe for concurrent use.
 type Network struct {
 	cfg Config
 
-	mu      sync.Mutex
-	sites   []Site
-	byName  map[string]SiteID
-	down    map[SiteID]bool
-	stats   Stats
-	perSite map[SiteID]*SiteStats
+	mu       sync.Mutex
+	sites    []Site
+	byName   map[string]SiteID
+	down     map[SiteID]bool
+	stats    Stats
+	perSite  map[SiteID]*SiteStats
+	rng      *xrand.Rand
+	lossRate float64
+	linkLoss map[[2]SiteID]float64
+	// cell maps each site to its partition cell; nil means no partition.
+	// Sites absent from the map belong to cell 0.
+	cell map[SiteID]int
 }
 
 // SiteStats accounts per-site traffic.
@@ -106,11 +163,37 @@ type SiteStats struct {
 // New returns a network with the given configuration (zero value = defaults).
 func New(cfg Config) *Network {
 	return &Network{
-		cfg:     cfg.withDefaults(),
-		byName:  make(map[string]SiteID),
-		down:    make(map[SiteID]bool),
-		perSite: make(map[SiteID]*SiteStats),
+		cfg:      cfg.withDefaults(),
+		byName:   make(map[string]SiteID),
+		down:     make(map[SiteID]bool),
+		perSite:  make(map[SiteID]*SiteStats),
+		rng:      xrand.New(cfg.Seed),
+		lossRate: cfg.LossRate,
+		linkLoss: make(map[[2]SiteID]float64),
 	}
+}
+
+// FromMap builds a network over a geo.Map topology: sitesPerZone sites
+// per zone, named "<zone>-<i>", arranged on a small ring inside the zone
+// so intra-zone latency stays a fraction of the zone radius. Site IDs are
+// returned in zone-major order, so sites[z*sitesPerZone : (z+1)*sitesPerZone]
+// are exactly zone z's sites. This is the shared topology builder for the
+// conformance suite, the harness experiments, and the examples.
+func FromMap(cfg Config, m *geo.Map, sitesPerZone int) (*Network, []SiteID) {
+	if sitesPerZone < 1 {
+		sitesPerZone = 1
+	}
+	net := New(cfg)
+	var sites []SiteID
+	for _, z := range m.Zones() {
+		for i := 0; i < sitesPerZone; i++ {
+			ang := 2 * math.Pi * float64(i) / float64(sitesPerZone)
+			r := z.Radius / 2
+			pt := geo.Point{X: z.Center.X + r*math.Cos(ang), Y: z.Center.Y + r*math.Sin(ang)}
+			sites = append(sites, net.AddSite(fmt.Sprintf("%s-%d", z.Name, i), pt, z.Name))
+		}
+	}
+	return net, sites
 }
 
 // AddSite registers a site and returns its ID. Site names must be unique;
@@ -126,6 +209,17 @@ func (n *Network) AddSite(name string, loc geo.Point, zone string) SiteID {
 	n.byName[name] = id
 	n.perSite[id] = &SiteStats{}
 	return id
+}
+
+// RandomTopology builds a cfg-configured network over a seeded random
+// continental-scale layout: the given number of 50 km zones scattered on
+// a 12,000 km plane (geo.RandomLayout), sitesPerZone sites each. It is
+// the shared
+// topology source for the conformance suite's scale sweeps, the
+// survivability experiment (E14), and the examples — one place owns the
+// scale constants so they cannot drift apart.
+func RandomTopology(cfg Config, zones, sitesPerZone int, seed uint64) (*Network, []SiteID) {
+	return FromMap(cfg, geo.RandomLayout(zones, 12000, 50, seed), sitesPerZone)
 }
 
 // Site returns the site with the given ID.
@@ -185,6 +279,57 @@ func (n *Network) IsDown(id SiteID) bool {
 	return n.down[id]
 }
 
+// SetLossRate changes the global inter-site packet-loss probability.
+func (n *Network) SetLossRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = rate
+}
+
+// SetLinkLoss overrides the loss probability of the directed link
+// from→to (e.g. one congested transoceanic path). A negative rate clears
+// the override.
+func (n *Network) SetLinkLoss(from, to SiteID, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate < 0 {
+		delete(n.linkLoss, [2]SiteID{from, to})
+		return
+	}
+	n.linkLoss[[2]SiteID{from, to}] = rate
+}
+
+// Partition splits the network into the given cells: sites in different
+// cells cannot exchange messages until HealPartition. Sites not listed in
+// any cell form one implicit cell of their own, so Partition(minority)
+// cuts the minority off from everyone else.
+func (n *Network) Partition(cells ...[]SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cell = make(map[SiteID]int)
+	// Explicit cells are numbered from 1; unlisted sites read as the
+	// implicit cell 0, so a single explicit cell still partitions.
+	for ci, c := range cells {
+		for _, s := range c {
+			n.cell[s] = ci + 1
+		}
+	}
+}
+
+// HealPartition reconnects all partition cells.
+func (n *Network) HealPartition() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cell = nil
+}
+
+// Partitioned reports whether a partition currently separates a and b.
+func (n *Network) Partitioned(a, b SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cell != nil && n.cell[a] != n.cell[b]
+}
+
 // Latency returns the one-way latency for a message of the given size
 // between two sites, without sending anything.
 func (n *Network) Latency(from, to SiteID, bytes int) (time.Duration, error) {
@@ -210,20 +355,46 @@ func (n *Network) latencyLocked(from, to SiteID, bytes int) (time.Duration, erro
 }
 
 // Send delivers a one-way message of the given size and returns the
-// simulated latency. Bytes and message counts are accounted; messages to a
-// failed destination return ErrSiteDown (and are not accounted).
+// simulated latency. Bytes and message counts are accounted; messages to
+// or from a failed site return ErrSiteDown and messages across a
+// partition return ErrPartitioned — neither is accounted, since nothing
+// was transmitted. A message dropped by packet loss IS accounted (its
+// bandwidth was spent) and returns ErrMsgLost together with the latency
+// the sender wasted before detecting the loss.
 func (n *Network) Send(from, to SiteID, bytes int) (time.Duration, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if int(from) < 0 || int(from) >= len(n.sites) {
+		return 0, fmt.Errorf("%w: from %d", ErrNoSuchSite, from)
+	}
+	if int(to) < 0 || int(to) >= len(n.sites) {
+		return 0, fmt.Errorf("%w: to %d", ErrNoSuchSite, to)
+	}
 	if n.down[to] {
 		return 0, fmt.Errorf("%w: %s", ErrSiteDown, n.sites[to].Name)
 	}
 	if n.down[from] {
 		return 0, fmt.Errorf("%w: %s", ErrSiteDown, n.sites[from].Name)
 	}
+	if n.cell != nil && n.cell[from] != n.cell[to] {
+		return 0, fmt.Errorf("%w: %s | %s", ErrPartitioned, n.sites[from].Name, n.sites[to].Name)
+	}
 	d, err := n.latencyLocked(from, to, bytes)
 	if err != nil {
 		return 0, err
+	}
+	lost := false
+	if from != to {
+		rate := n.lossRate
+		if r, ok := n.linkLoss[[2]SiteID{from, to}]; ok {
+			rate = r
+		}
+		// Draw only on lossy links so pristine runs consume no randomness
+		// (keeps the zero Config byte-for-byte identical to the pre-fault
+		// simulator).
+		if rate > 0 && n.rng.Float64() < rate {
+			lost = true
+		}
 	}
 	n.stats.Messages++
 	n.stats.Bytes += int64(bytes)
@@ -237,28 +408,33 @@ func (n *Network) Send(from, to SiteID, bytes int) (time.Duration, error) {
 	}
 	n.perSite[from].MsgsOut++
 	n.perSite[from].BytesOut += int64(bytes)
+	if lost {
+		n.stats.DroppedMsgs++
+		n.stats.DroppedBytes += int64(bytes)
+		return d, fmt.Errorf("%w: %s -> %s", ErrMsgLost, n.sites[from].Name, n.sites[to].Name)
+	}
 	n.perSite[to].MsgsIn++
 	n.perSite[to].BytesIn += int64(bytes)
 	return d, nil
 }
 
 // Call performs a request/response exchange and returns the summed
-// round-trip latency.
+// round-trip latency. On failure the returned duration preserves the
+// time already spent — including a lost leg's latency, matching Send's
+// contract — so retry loops account the true critical-path cost.
 func (n *Network) Call(from, to SiteID, reqBytes, respBytes int) (time.Duration, error) {
 	d1, err := n.Send(from, to, reqBytes)
 	if err != nil {
-		return 0, err
-	}
-	d2, err := n.Send(to, from, respBytes)
-	if err != nil {
 		return d1, err
 	}
-	return d1 + d2, nil
+	d2, err := n.Send(to, from, respBytes)
+	return d1 + d2, err
 }
 
 // Broadcast sends the same payload from one site to every other site and
 // returns the maximum one-way latency (the fan-out completes when the last
-// replica hears it). Failed destinations are skipped and counted.
+// replica hears it). Failed, partitioned, and lossy destinations are
+// skipped and counted.
 func (n *Network) Broadcast(from SiteID, bytes int) (time.Duration, int, error) {
 	var maxD time.Duration
 	skipped := 0
@@ -267,7 +443,7 @@ func (n *Network) Broadcast(from SiteID, bytes int) (time.Duration, int, error) 
 			continue
 		}
 		d, err := n.Send(from, s.ID, bytes)
-		if errors.Is(err, ErrSiteDown) {
+		if Unavailable(err) {
 			skipped++
 			continue
 		}

@@ -1,0 +1,42 @@
+// Package xrand provides the deterministic pseudorandom generator shared
+// by the simulation layers: geo (topology placement), netsim (packet-loss
+// draws), and the architecture models (placement and corruption
+// decisions). Experiments must be exactly reproducible — the same seed
+// must yield the same topology, the same drop pattern, and therefore the
+// same recall figures — so everything that needs randomness draws from
+// this one xorshift* generator rather than math/rand's global state.
+package xrand
+
+// Rand is a tiny deterministic PRNG (xorshift*). Not safe for concurrent
+// use; callers that share one across goroutines must serialize access.
+type Rand struct{ state uint64 }
+
+// New seeds a generator (a 0 seed is fixed up internally so the stream is
+// never degenerate).
+func New(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Next returns the next pseudorandom value.
+func (r *Rand) Next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}

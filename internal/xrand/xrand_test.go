@@ -1,0 +1,55 @@
+package xrand
+
+import "testing"
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 draws identical across different seeds", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("Intn of non-positive n should be 0")
+	}
+}
