@@ -1,17 +1,20 @@
 # Build, test, and verification entry points for the PASS reproduction.
 #
-#   make check   — the full gate: vet, the whole test suite, and a race
-#                  pass over the concurrent packages. Run before sending
-#                  a PR.
-#   make short   — quick edit loop: -short shrinks the 1,000-site
-#                  conformance sweeps.
-#   make bench   — regenerate the experiment tables (E1–E14) and write
-#                  BENCH.json for comparison against the committed
-#                  BENCH_0.json baseline.
+#   make check       — the full gate: vet, the whole test suite, a race
+#                      pass over the concurrent packages, and the perf
+#                      regression gate. Run before sending a PR.
+#   make short       — quick edit loop: -short shrinks the 1,000-site
+#                      conformance sweeps and skips the 10k-site ones.
+#   make bench       — regenerate the experiment tables (E1–E15) and
+#                      write BENCH.json for comparison against the
+#                      committed BENCH_0.json baseline.
+#   make bench-check — run the suite at the baseline's scale and fail on
+#                      runtime regressions or broken recall invariants
+#                      (cmd/benchcheck).
 
 GO ?= go
 
-.PHONY: all build test short vet race check bench
+.PHONY: all build test short vet race check bench bench-check
 
 all: build
 
@@ -33,7 +36,15 @@ vet:
 race:
 	$(GO) test -race -count=1 ./internal/core ./internal/kvstore
 
-check: vet test race
+check: vet test race bench-check
 
 bench:
 	$(GO) run ./cmd/passbench -scale 0.5 -json BENCH.json
+
+# The perf trajectory gate (ROADMAP): regenerate the suite at the
+# baseline's scale, then compare wall-clock per experiment (generous
+# tolerance — this catches O(n) blowups, not noise) and recall
+# invariants against the committed BENCH_0.json.
+bench-check:
+	$(GO) run ./cmd/passbench -scale 0.5 -json BENCH.json >/dev/null
+	$(GO) run ./cmd/benchcheck -baseline BENCH_0.json -current BENCH.json

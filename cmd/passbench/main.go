@@ -1,4 +1,4 @@
-// Command passbench runs the reproduction's experiment suite (E1–E14) and
+// Command passbench runs the reproduction's experiment suite (E1–E15) and
 // prints the result tables recorded in EXPERIMENTS.md.
 //
 // Usage:

@@ -17,7 +17,7 @@
 //	gc -before <RFC3339|unixnano>          collect old payloads
 //	verify                                 consistency audit
 //	stats                                  store statistics
-//	experiment [-scale F] <ID...>          run paper experiments (E1–E14); no -store needed
+//	experiment [-scale F] <ID...>          run paper experiments (E1–E15); no -store needed
 package main
 
 import (
@@ -341,7 +341,8 @@ func cmdVerify(s *core.Store, stdout io.Writer) error {
 
 // cmdExperiment runs one or more harness experiments — the operator's
 // window into the Section IV architecture comparison, including the E14
-// survivability sweep — without needing a local store.
+// survivability sweep and the E15 split-brain round trip — without
+// needing a local store.
 func cmdExperiment(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.25, "workload scale factor (1.0 = EXPERIMENTS.md configuration)")

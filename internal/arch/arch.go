@@ -14,6 +14,7 @@ package arch
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"pass/internal/netsim"
@@ -96,11 +97,65 @@ const SendRetries = 3
 // propagates.
 func IsUnavailable(err error) bool { return netsim.Unavailable(err) }
 
+// Retransmission-timeout model. A real sender does not learn of a lost
+// message from the network; it learns by WAITING — the retransmission
+// timer must expire before the next attempt goes out. Every architecture
+// model therefore charges, on top of the link latency its failed attempt
+// accumulated, an RTO penalty that doubles per consecutive failure
+// (exponential backoff, TCP-style) with deterministic ±25% jitter drawn
+// from a seeded xrand generator, so lossy-run latencies stay exactly
+// reproducible.
+const (
+	// RTOBase is the initial retransmission timeout. It deliberately
+	// dwarfs the simulator's per-message latencies (µs–ms): a retry is
+	// supposed to hurt the critical path, which is what E14's latency
+	// columns measure.
+	RTOBase = 200 * time.Millisecond
+	// RTOMax caps the exponential growth.
+	RTOMax = 3 * time.Second
+)
+
+// RTO is a deterministic retransmission-timeout clock. Each model owns
+// one, seeded at construction, and threads it through every Retry so
+// timeout penalties are reproducible run to run. A nil *RTO charges no
+// penalty (pure link-latency accounting, the pre-RTO behavior — used by
+// code that models fire-and-forget traffic). Penalty serializes its
+// jitter draws internally: Retry runs OUTSIDE the owning model's lock
+// (only the op closures take it), so the clock cannot lean on that lock
+// the way the models' other state does.
+type RTO struct {
+	mu  sync.Mutex
+	rng *xrand.Rand
+}
+
+// NewRTO returns a timeout clock seeded for deterministic jitter.
+func NewRTO(seed uint64) *RTO { return &RTO{rng: xrand.New(seed)} }
+
+// Penalty returns the timeout charged before retransmission number
+// attempt+1 (attempt counts consecutive failures so far, starting at 0):
+// RTOBase doubled per failure, jittered ±25%, capped at RTOMax.
+func (r *RTO) Penalty(attempt int) time.Duration {
+	if r == nil {
+		return 0
+	}
+	timeout := RTOBase << uint(attempt)
+	if timeout > RTOMax || timeout <= 0 {
+		timeout = RTOMax
+	}
+	r.mu.Lock()
+	jitter := 0.75 + 0.5*r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(timeout) * jitter)
+}
+
 // Retry runs op up to 1+retries times, stopping on success or on the
 // first error that is not an injected fault. The returned latency
 // accumulates every attempt — time wasted on lost messages is real time
-// on the operation's critical path.
-func Retry(retries int, op func() (time.Duration, error)) (time.Duration, error) {
+// on the operation's critical path — plus, for every failed attempt, the
+// rto's backoff penalty: the sender only discovers a loss when its
+// retransmission timer expires, so each failure costs a timeout whether
+// or not another attempt follows.
+func Retry(rto *RTO, retries int, op func() (time.Duration, error)) (time.Duration, error) {
 	var total time.Duration
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
@@ -110,6 +165,7 @@ func Retry(retries int, op func() (time.Duration, error)) (time.Duration, error)
 		if err == nil || !IsUnavailable(err) {
 			return total, err
 		}
+		total += rto.Penalty(attempt)
 	}
 	return total, err
 }

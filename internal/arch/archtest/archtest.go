@@ -64,8 +64,11 @@ func MakeDerived(seed byte, tool string, parents ...provenance.ID) (provenance.I
 
 // Run executes the conformance suite: the quick correctness checks on
 // the 4-site unit network, then the heavyweight scenarios (faults.go) —
-// a 1,000-site scale sweep plus loss, churn, and partition injection.
-// `go test -short` shrinks the scale sweep.
+// a 1,000-site scale sweep plus loss, churn, and partition injection —
+// and the per-site view laws (views.go): convergence after full digest
+// delivery, split-brain under partitions for view-exposing models, and a
+// 10,000-site sweep that pins indexed per-lookup cost. `go test -short`
+// shrinks the scale sweep and skips the 10k sweep.
 func Run(t *testing.T, cfg Config) {
 	t.Helper()
 	t.Run("PublishLookup", func(t *testing.T) { testPublishLookup(t, cfg) })
@@ -77,6 +80,9 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("RecallUnderLoss", func(t *testing.T) { testRecallUnderLoss(t, cfg) })
 	t.Run("RecallUnderChurn", func(t *testing.T) { testRecallUnderChurn(t, cfg) })
 	t.Run("PartitionHeal", func(t *testing.T) { testPartitionHeal(t, cfg) })
+	t.Run("ViewConvergence", func(t *testing.T) { testViewConvergence(t, cfg) })
+	t.Run("SplitBrainViews", func(t *testing.T) { testSplitBrainViews(t, cfg) })
+	t.Run("Sweep10k", func(t *testing.T) { testSweep10k(t, cfg) })
 }
 
 func flush(t *testing.T, cfg Config, m arch.Model) {

@@ -39,6 +39,7 @@ type Model struct {
 	store     *arch.SiteStore
 	dangling  map[provenance.ID]bool
 	rng       *arch.Rand
+	rto       *arch.RTO
 }
 
 // New builds a centralized model with its index at warehouse.
@@ -49,6 +50,7 @@ func New(net *netsim.Network, warehouse netsim.SiteID) *Model {
 		store:     arch.NewSiteStore(),
 		dangling:  make(map[provenance.ID]bool),
 		rng:       arch.NewRand(1),
+		rto:       arch.NewRTO(0xCE27A1),
 	}
 }
 
@@ -61,7 +63,7 @@ func (m *Model) Name() string { return "central" }
 // latency but still land; only a down or partitioned warehouse makes the
 // publish fail outright.
 func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
-	return arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	return arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		d1, err := m.net.Send(p.Origin, m.warehouse, p.WireSize())
 		if err != nil {
 			return d1, err
@@ -89,7 +91,7 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	if ok {
 		respSize += len(rec.Encode())
 	}
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, m.warehouse, arch.ReqOverhead+arch.IDWire, respSize)
 	})
 	if err != nil {
@@ -111,7 +113,7 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 	m.mu.Lock()
 	ids := append([]provenance.ID(nil), m.store.LookupAttr(key, value)...)
 	m.mu.Unlock()
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, m.warehouse, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
 	})
 	if err != nil {
@@ -128,7 +130,7 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 	m.mu.Lock()
 	found, _ := m.store.LocalAncestors([]provenance.ID{id})
 	m.mu.Unlock()
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, m.warehouse, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(found)))
 	})
 	if err != nil {

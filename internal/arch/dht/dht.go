@@ -45,6 +45,7 @@ type Model struct {
 	// hopsTotal / lookups track routing cost.
 	hopsTotal int64
 	lookups   int64
+	rto       *arch.RTO
 }
 
 type node struct {
@@ -54,7 +55,7 @@ type node struct {
 
 // New builds a DHT whose participants are the given sites.
 func New(net *netsim.Network, sites []netsim.SiteID) *Model {
-	m := &Model{net: net}
+	m := &Model{net: net, rto: arch.NewRTO(0xD47A91)}
 	for _, s := range sites {
 		m.nodes = append(m.nodes, node{site: s, pos: ringPosOfSite(s)})
 	}
@@ -171,7 +172,7 @@ func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 }
 
 func (m *Model) publishOnce(p arch.Pub) (time.Duration, error) {
-	total, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	total, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		homeIdx, d1, _, err := m.route(p.Origin, ringPos(p.ID[:]), p.WireSize())
 		if err != nil {
 			return d1, err
@@ -195,7 +196,7 @@ func (m *Model) publishOnce(p arch.Pub) (time.Duration, error) {
 			continue
 		}
 		seen[mk] = struct{}{}
-		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 			idx, d, _, err := m.route(p.Origin, ringPos([]byte(mk)), arch.ReqOverhead+len(mk)+arch.IDWire)
 			if err != nil {
 				return d, err
@@ -218,7 +219,7 @@ func (m *Model) publishOnce(p arch.Pub) (time.Duration, error) {
 func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
 	var rec *provenance.Record
 	var ok bool
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		homeIdx, d1, _, err := m.route(from, ringPos(id[:]), arch.ReqOverhead+arch.IDWire)
 		if err != nil {
 			return d1, err
@@ -247,7 +248,7 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
 	mk := key + "\x00" + string(value.Canonical())
 	var ids []provenance.ID
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		homeIdx, d1, _, err := m.route(from, ringPos([]byte(mk)), arch.AttrReqSize(key, value))
 		if err != nil {
 			return d1, err

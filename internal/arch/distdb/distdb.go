@@ -30,6 +30,7 @@ type Model struct {
 	sites    []netsim.SiteID
 	stores   map[netsim.SiteID]*arch.SiteStore
 	replicas int // synchronous replicas per partition (>=1: owner only)
+	rto      *arch.RTO
 }
 
 // New builds a distributed database over the given participant sites.
@@ -46,6 +47,7 @@ func New(net *netsim.Network, sites []netsim.SiteID, replicas int) *Model {
 		sites:    append([]netsim.SiteID(nil), sites...),
 		stores:   make(map[netsim.SiteID]*arch.SiteStore),
 		replicas: replicas,
+		rto:      arch.NewRTO(0xD15DB1),
 	}
 	for _, s := range sites {
 		m.stores[s] = arch.NewSiteStore()
@@ -100,7 +102,7 @@ func (m *Model) replicaSet(b []byte) []netsim.SiteID {
 func (m *Model) twoPhaseCommit(coord netsim.SiteID, parts []netsim.SiteID, payload int, fn func(netsim.SiteID)) (time.Duration, error) {
 	var phase1, phase2 time.Duration
 	for _, p := range parts {
-		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 			return m.net.Call(coord, p, payload, arch.AckWire) // prepare + vote
 		})
 		if err != nil {
@@ -109,7 +111,7 @@ func (m *Model) twoPhaseCommit(coord netsim.SiteID, parts []netsim.SiteID, paylo
 		phase1 = arch.MaxDuration(phase1, d)
 	}
 	for _, p := range parts {
-		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 			return m.net.Call(coord, p, arch.AckWire, arch.AckWire) // commit + ack
 		})
 		if err != nil {
@@ -167,7 +169,7 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	if ok {
 		respSize += len(rec.Encode())
 	}
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, owner, arch.ReqOverhead+arch.IDWire, respSize)
 	})
 	if err != nil {
@@ -187,7 +189,7 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 	m.mu.Lock()
 	ids := append([]provenance.ID(nil), m.stores[owner].LookupAttr(key, value)...)
 	m.mu.Unlock()
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, owner, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
 	})
 	if err != nil {

@@ -33,8 +33,17 @@ type Model struct {
 	// valueHome pins each observed primary value to a server.
 	valueHome map[string]netsim.SiteID
 	nextHome  int
+	// nameHome resolves a record id to the server owning its subtree.
+	// Provenance IDs double as hierarchical names here (§II-A): the name
+	// encodes the record's path, whose first component is its primary
+	// value, so resolving id→server is a local name parse plus the
+	// valueHome delegation table — not a federation-wide probe. The seed
+	// implementation probed every server per lookup (O(n) calls), which
+	// made 10k-server sweeps intractable.
+	nameHome map[provenance.ID]netsim.SiteID
 	// lastFanout is the number of servers the most recent QueryAttr hit.
 	lastFanout int
+	rto        *arch.RTO
 }
 
 // New builds a hierarchy over servers with the given attribute
@@ -52,6 +61,8 @@ func New(net *netsim.Network, servers []netsim.SiteID, order []string) (*Model, 
 		order:     append([]string(nil), order...),
 		stores:    make(map[netsim.SiteID]*arch.SiteStore),
 		valueHome: make(map[string]netsim.SiteID),
+		nameHome:  make(map[provenance.ID]netsim.SiteID),
+		rto:       arch.NewRTO(0x41E221),
 	}
 	for _, s := range servers {
 		m.stores[s] = arch.NewSiteStore()
@@ -93,48 +104,48 @@ func (m *Model) primaryOf(rec *provenance.Record) string {
 // subtree, retransmitting on lost messages (missing ack).
 func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 	home := m.homeFor(m.primaryOf(p.Rec))
-	return arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	return arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		d1, err := m.net.Send(p.Origin, home, p.WireSize())
 		if err != nil {
 			return d1, err
 		}
 		m.mu.Lock()
 		m.stores[home].Add(p.ID, p.Rec)
+		m.nameHome[p.ID] = home
 		m.mu.Unlock()
 		d2, err := m.net.Send(home, p.Origin, arch.AckWire)
 		return d1 + d2, err
 	})
 }
 
-// Lookup by ID has no hierarchy path to follow, so it probes servers in
-// order — names, not IDs, are the hierarchy's access path. Unreachable
-// servers are skipped after retransmission; a record held only by an
-// unreachable server reports not-found until it returns.
+// Lookup parses the record's name into its hierarchy path and contacts
+// the server the path delegates to (nameHome): one round trip, O(1) in
+// the server count. An unreachable owning server yields an error after
+// retransmission; an unknown name is not found anywhere.
 func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
-	var total time.Duration
-	for _, s := range m.servers {
-		m.mu.Lock()
-		rec, ok := m.stores[s].Get(id)
-		m.mu.Unlock()
-		respSize := arch.RespOverhead
-		if ok {
-			respSize += len(rec.Encode())
-		}
-		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
-			return m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, respSize)
-		})
-		total += d
-		if err != nil {
-			if arch.IsUnavailable(err) {
-				continue
-			}
-			return nil, total, err
-		}
-		if ok {
-			return rec, total, nil
-		}
+	m.mu.Lock()
+	home, known := m.nameHome[id]
+	m.mu.Unlock()
+	if !known {
+		return nil, 0, fmt.Errorf("hier: %s not in the namespace", id.Short())
 	}
-	return nil, total, fmt.Errorf("hier: %s not found", id.Short())
+	m.mu.Lock()
+	rec, ok := m.stores[home].Get(id)
+	m.mu.Unlock()
+	respSize := arch.RespOverhead
+	if ok {
+		respSize += len(rec.Encode())
+	}
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
+	})
+	if err != nil {
+		return nil, d, err
+	}
+	if !ok {
+		return nil, d, fmt.Errorf("hier: namespace points at %d but %s is gone", home, id.Short())
+	}
+	return rec, d, nil
 }
 
 // QueryAttr on the primary attribute touches exactly the owning server;
@@ -147,7 +158,7 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 		m.mu.Lock()
 		ids := append([]provenance.ID(nil), m.stores[home].LookupAttr(key, value)...)
 		m.mu.Unlock()
-		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 			return m.net.Call(from, home, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
 		})
 		if err != nil {
@@ -167,7 +178,7 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 		m.mu.Lock()
 		ids := append([]provenance.ID(nil), m.stores[s].LookupAttr(key, value)...)
 		m.mu.Unlock()
-		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 			return m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
 		})
 		if err != nil {
@@ -187,7 +198,8 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 }
 
 // QueryAncestors chases lineage with server-side traversal per subtree;
-// cross-subtree edges hop between servers via Lookup probes.
+// cross-subtree edges hop between servers by resolving each border
+// record's name path to its owning server.
 func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error) {
 	var total time.Duration
 	found := make(map[provenance.ID]struct{})
@@ -201,36 +213,19 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 		}
 		cur := frontier[0]
 		frontier = frontier[1:]
-		// Find the server holding cur (probe; hierarchy gives no ID path).
-		// Unreachable servers are skipped — if cur lives on one, its
-		// sub-DAG drops out of this best-effort answer.
-		var home netsim.SiteID = -1
-		for _, s := range m.servers {
-			m.mu.Lock()
-			_, ok := m.stores[s].Get(cur)
-			m.mu.Unlock()
-			d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
-				return m.net.Call(from, s, arch.ReqOverhead+arch.IDWire, arch.RespOverhead)
-			})
-			total += d
-			if err != nil {
-				if arch.IsUnavailable(err) {
-					continue
-				}
-				return nil, total, err
-			}
-			if ok {
-				home = s
-				break
-			}
-		}
-		if home < 0 {
-			continue // unknown record (or its server is unreachable)
+		// Resolve cur's server from its name path (nameHome); an unknown
+		// name drops out of this best-effort answer, and an unreachable
+		// server below drops its sub-DAG the same way.
+		m.mu.Lock()
+		home, known := m.nameHome[cur]
+		m.mu.Unlock()
+		if !known {
+			continue // unknown record
 		}
 		m.mu.Lock()
 		local, unresolved := m.stores[home].LocalAncestors([]provenance.ID{cur})
 		m.mu.Unlock()
-		d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+		d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 			return m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, arch.IDListRespSize(len(local)+len(unresolved)))
 		})
 		total += d

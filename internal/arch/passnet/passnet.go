@@ -8,14 +8,26 @@
 //
 //   - Publish commits to the producing site's local PASS only; no record
 //     metadata crosses the WAN at ingest.
-//   - Each site gossips a compact digest to its peers: a Bloom filter of
-//     its attribute postings plus id→site location entries. Digests ride
-//     on Tick (periodic) or, when ImmediateDigest is set, piggyback on
-//     every publish (tiny messages, the freshness/bandwidth ablation).
-//   - QueryAttr consults the local digest table and contacts only the
-//     sites whose filters may hold the attribute — typically one or two,
-//     not all (contrast with feddb's full fan-out). Bloom false positives
-//     cost an extra empty round trip, never a wrong answer.
+//   - Each site gossips a compact digest delta to its peers: a Bloom
+//     filter of its attribute postings plus id→site location entries
+//     (siteview.Delta). Digests ride on Tick (periodic) or, when
+//     ImmediateDigest is set, piggyback on every publish (tiny messages,
+//     the freshness/bandwidth ablation).
+//   - Every site maintains its OWN siteview.View, updated only when a
+//     delta is actually delivered to it. Wire bytes are charged per
+//     receiving peer, deltas are sequenced per origin and delivered in
+//     order, and a peer that is down or partitioned simply keeps the
+//     delta in the sender's outbox until a later gossip round reaches it
+//     (anti-entropy). Two sites therefore disagree exactly when different
+//     deltas have reached them — partitions produce observable
+//     split-brain query results, and full delivery restores convergence
+//     (the law the conformance suite asserts).
+//   - QueryAttr consults the querying site's view and contacts only the
+//     sites whose delivered digests may hold the attribute — typically
+//     one or two, not all (contrast with feddb's full fan-out). The
+//     view's inverted attribute index makes candidate selection
+//     O(matching sites), not O(all sites). Bloom false positives cost an
+//     extra empty round trip, never a wrong answer.
 //   - QueryAncestors chases lineage site to site, but each visited site
 //     resolves the whole locally-held sub-DAG in one round trip
 //     (server-side traversal), so a chain spanning k sites costs ~k round
@@ -23,23 +35,16 @@
 package passnet
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"pass/internal/arch"
+	"pass/internal/arch/siteview"
 	"pass/internal/netsim"
 	"pass/internal/provenance"
 )
-
-// digestEntryWire approximates the wire size of one id→site location
-// entry in a digest delta.
-const digestEntryWire = arch.IDWire + 4
-
-// bloomBitsPerAttr sizes the per-delta attribute filter.
-const bloomBitsPerAttr = 12
 
 // Model is the distributed PASS.
 type Model struct {
@@ -49,23 +54,27 @@ type Model struct {
 
 	stores map[netsim.SiteID]*arch.SiteStore
 
-	// Global soft metadata each site maintains about its peers, built
-	// from digests. In the simulation all sites see the same tables once
-	// a digest is delivered; per-site staleness is tracked via pending.
-	loc      map[provenance.ID]netsim.SiteID // id -> home site (from digests)
-	attrSite map[string]map[netsim.SiteID]struct{}
+	// views holds each site's own soft-state picture of the federation,
+	// built strictly from deltas DELIVERED to that site (plus the site's
+	// own publications, which it knows without gossip).
+	views map[netsim.SiteID]*siteview.View
+	// nextSeq numbers each origin's outgoing deltas.
+	nextSeq map[netsim.SiteID]uint64
 
-	// pending digests not yet gossiped, per producing site.
+	// pending digests not yet cut into a delta, per producing site.
 	pending map[netsim.SiteID][]arch.Pub
 	// outbox holds digest deltas whose delivery is in progress: each
-	// delta tracks which peers still need it, so a lost or partitioned
-	// send is retried on a later gossip round without re-sending to peers
-	// that already heard it.
+	// delta tracks which peers still need it, so a lost, partitioned, or
+	// crashed-peer send is retried on a later gossip round without
+	// re-sending to peers that already heard it. Per peer, deltas are
+	// delivered in sequence order (a peer never sees delta n+1 before n).
 	outbox map[netsim.SiteID][]*outDelta
 
 	// ImmediateDigest pushes digest deltas on every publish instead of
 	// waiting for Tick.
 	immediate bool
+
+	rto *arch.RTO
 
 	// replicate enables replicate-on-read; replicas holds each site's
 	// read cache. Records are immutable, so cached replicas never
@@ -101,16 +110,18 @@ func New(net *netsim.Network, sites []netsim.SiteID, opts Options) *Model {
 		net:       net,
 		sites:     append([]netsim.SiteID(nil), sites...),
 		stores:    make(map[netsim.SiteID]*arch.SiteStore),
-		loc:       make(map[provenance.ID]netsim.SiteID),
-		attrSite:  make(map[string]map[netsim.SiteID]struct{}),
+		views:     make(map[netsim.SiteID]*siteview.View),
+		nextSeq:   make(map[netsim.SiteID]uint64),
 		pending:   make(map[netsim.SiteID][]arch.Pub),
 		outbox:    make(map[netsim.SiteID][]*outDelta),
 		immediate: opts.ImmediateDigest,
+		rto:       arch.NewRTO(0x9A55E7),
 		replicate: opts.ReplicateOnRead,
 		replicas:  make(map[netsim.SiteID]map[provenance.ID]*provenance.Record),
 	}
 	for _, s := range sites {
 		m.stores[s] = arch.NewSiteStore()
+		m.views[s] = siteview.NewView(s)
 		m.replicas[s] = make(map[provenance.ID]*provenance.Record)
 	}
 	return m
@@ -118,6 +129,13 @@ func New(net *netsim.Network, sites []netsim.SiteID, opts Options) *Model {
 
 // Name implements arch.Model.
 func (m *Model) Name() string { return "passnet" }
+
+// SiteView implements siteview.Exposer: the given site's current view.
+func (m *Model) SiteView(s netsim.SiteID) *siteview.View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.views[s]
+}
 
 // Publish commits locally; metadata never leaves the zone unless
 // ImmediateDigest pushes the tiny delta.
@@ -142,82 +160,94 @@ func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 	return d, nil
 }
 
-// digestSize estimates the wire size of a delta covering pubs.
-func digestSize(pubs []arch.Pub) int {
-	attrs := 0
-	for _, p := range pubs {
-		attrs += len(p.Rec.Attributes)
-	}
-	return len(pubs)*digestEntryWire + (attrs*bloomBitsPerAttr+7)/8 + arch.RespOverhead
-}
-
-// outDelta is one digest delta in flight: the publications it covers and
-// the peers that have not yet received it.
+// outDelta is one digest delta in flight: the sequenced delta, the
+// publications it covers (pending-visibility accounting), and the peers
+// that have not yet received it.
 type outDelta struct {
+	delta     *siteview.Delta
 	pubs      []arch.Pub
 	size      int
 	remaining map[netsim.SiteID]struct{}
 }
 
+// cutDelta seals site's pending publications into a sequenced delta and
+// applies it to the site's OWN view immediately — a site always knows its
+// own holdings; only its peers wait for delivery. Callers hold m.mu.
+func (m *Model) cutDelta(site netsim.SiteID) {
+	pubs := m.pending[site]
+	if len(pubs) == 0 {
+		return
+	}
+	delete(m.pending, site)
+	ids := make([]provenance.ID, 0, len(pubs))
+	var attrKeys []string
+	for _, p := range pubs {
+		ids = append(ids, p.ID)
+		for _, a := range arch.QueriableAttrs(p.Rec) {
+			attrKeys = append(attrKeys, a.Key+"\x00"+string(a.Value.Canonical()))
+		}
+	}
+	m.nextSeq[site]++
+	delta := siteview.NewDelta(site, m.nextSeq[site], ids, attrKeys)
+	m.views[site].Apply(delta)
+	rem := make(map[netsim.SiteID]struct{}, len(m.sites)-1)
+	for _, p := range m.sites {
+		if p != site {
+			rem[p] = struct{}{}
+		}
+	}
+	m.outbox[site] = append(m.outbox[site], &outDelta{
+		delta: delta, pubs: pubs, size: delta.WireSize(), remaining: rem,
+	})
+}
+
 // gossipFrom pushes site's queued digest deltas to every peer that still
-// needs them. Delivery is tracked per peer: a send lost in transit or
-// blocked by a partition keeps that peer in the delta's remaining set and
-// is retried on the next gossip round, while a crashed peer is dropped
-// from the set (it resynchronizes from its neighbours when it rejoins —
-// the simulation's shared digest table stands in for that anti-entropy).
-// A delta becomes globally visible once every live peer has heard it.
+// needs them. Delivery is tracked per peer, and the digest's wire bytes
+// are charged once per receiving peer per attempt — a delta fanned out to
+// 40 peers costs 40 deltas' worth of bandwidth, and a retransmission to a
+// peer that missed it costs again. A send lost in transit, blocked by a
+// partition, or aimed at a crashed peer keeps that peer in the delta's
+// remaining set and is retried on the next gossip round — the anti-
+// entropy that lets a rejoining or re-connected site catch its view up.
+// Per peer, deltas go out strictly in sequence order: a peer whose copy
+// of delta n failed is not offered delta n+1 this round, so views apply
+// deltas in order and duplicates are the only idempotence case left.
 func (m *Model) gossipFrom(site netsim.SiteID) error {
 	if m.net.IsDown(site) {
 		return nil // a crashed site gossips nothing; retried after recovery
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if pubs := m.pending[site]; len(pubs) > 0 {
-		delete(m.pending, site)
-		rem := make(map[netsim.SiteID]struct{}, len(m.sites)-1)
-		for _, p := range m.sites {
-			if p != site {
-				rem[p] = struct{}{}
-			}
-		}
-		m.outbox[site] = append(m.outbox[site], &outDelta{pubs: pubs, size: digestSize(pubs), remaining: rem})
-	}
+	m.cutDelta(site)
+	// blocked marks peers whose next-in-sequence delta failed this round;
+	// later deltas must not overtake it.
+	blocked := make(map[netsim.SiteID]bool)
 	var live []*outDelta
-	for _, delta := range m.outbox[site] {
+	for _, od := range m.outbox[site] {
 		// Peers in deterministic site order: map-order iteration would
 		// scramble the packet-loss draws across runs.
 		for _, peer := range m.sites {
-			if _, need := delta.remaining[peer]; !need {
+			if _, need := od.remaining[peer]; !need {
 				continue
 			}
-			_, err := m.net.Send(site, peer, delta.size)
+			if blocked[peer] {
+				continue
+			}
+			_, err := m.net.Send(site, peer, od.size)
 			switch {
 			case err == nil:
-				delete(delta.remaining, peer)
-			case errors.Is(err, netsim.ErrSiteDown):
-				delete(delta.remaining, peer) // crashed peer: resyncs on rejoin
+				delete(od.remaining, peer)
+				m.views[peer].Apply(od.delta)
 			case arch.IsUnavailable(err):
-				// Lost or partitioned: keep the peer in remaining and
-				// retry on a later round.
+				// Lost, partitioned, or peer down: keep the peer in
+				// remaining, hold back its later deltas, retry next round.
+				blocked[peer] = true
 			default:
 				return err
 			}
 		}
-		if len(delta.remaining) == 0 {
-			for _, p := range delta.pubs {
-				m.loc[p.ID] = site
-				for _, a := range arch.QueriableAttrs(p.Rec) {
-					mk := a.Key + "\x00" + string(a.Value.Canonical())
-					set, ok := m.attrSite[mk]
-					if !ok {
-						set = make(map[netsim.SiteID]struct{})
-						m.attrSite[mk] = set
-					}
-					set[site] = struct{}{}
-				}
-			}
-		} else {
-			live = append(live, delta)
+		if len(od.remaining) > 0 {
+			live = append(live, od)
 		}
 	}
 	m.outbox[site] = live
@@ -234,9 +264,23 @@ func (m *Model) Tick() error {
 	return nil
 }
 
-// Lookup resolves the record's home from the digest-built location table
-// and fetches it directly: one round trip, usually within the zone for
-// local data.
+// locate resolves id through the querier's own view, falling back to the
+// querier's local store (a site's own data is visible before any gossip).
+// Callers hold m.mu.
+func (m *Model) locate(from netsim.SiteID, id provenance.ID) (netsim.SiteID, bool) {
+	if home, ok := m.views[from].Locate(id); ok {
+		return home, true
+	}
+	if _, ok := m.stores[from].Get(id); ok {
+		return from, true
+	}
+	return 0, false
+}
+
+// Lookup resolves the record's home from the querying site's own view and
+// fetches it directly: one round trip, usually within the zone for local
+// data. A record whose digest has not reached this site yet is invisible
+// FROM HERE — another site with a fresher view may well resolve it.
 func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record, time.Duration, error) {
 	// Read replica: a previously fetched copy answers locally (records
 	// are immutable, so this is always correct).
@@ -251,33 +295,25 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 		m.mu.Unlock()
 	}
 	m.mu.Lock()
-	home, known := m.loc[id]
+	home, known := m.locate(from, id)
 	if !known {
-		// Not yet gossiped: check the querier's own store first (local
-		// data is always immediately visible).
-		if _, ok := m.stores[from].Get(id); ok {
-			home, known = from, true
-		}
+		m.mu.Unlock()
+		return nil, 0, fmt.Errorf("passnet: %s not visible from site %d (digest pending)", id.Short(), from)
 	}
-	m.mu.Unlock()
-	if !known {
-		return nil, 0, fmt.Errorf("passnet: %s not yet visible (digest pending)", id.Short())
-	}
-	m.mu.Lock()
 	rec, ok := m.stores[home].Get(id)
 	m.mu.Unlock()
 	respSize := arch.RespOverhead
 	if ok {
 		respSize += len(rec.Encode())
 	}
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
 	})
 	if err != nil {
 		return nil, d, err
 	}
 	if !ok {
-		return nil, d, fmt.Errorf("passnet: location table points at %d but %s is gone", home, id.Short())
+		return nil, d, fmt.Errorf("passnet: view points at %d but %s is gone", home, id.Short())
 	}
 	if m.replicate && home != from {
 		m.mu.Lock()
@@ -301,16 +337,21 @@ func (m *Model) ReplicaCount(s netsim.SiteID) int {
 	return len(m.replicas[s])
 }
 
-// QueryAttr contacts only the sites whose digests may hold (key, value),
-// plus the querier's own store (always fresh). Unreachable candidate
-// sites are skipped after retransmission — the answer degrades to what
-// the reachable sites hold.
+// QueryAttr contacts only the sites the querier's OWN view lists for
+// (key, value) — the view's inverted index hands over the candidate set
+// in O(matching sites) — plus the querier's own store (always fresh).
+// Unreachable candidate sites are skipped after retransmission; the
+// answer degrades to what the reachable sites hold. Under a partition the
+// same query asked from opposite sides returns different results, because
+// the two sides' views list different candidates: split-brain, made
+// observable.
 func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
 	mk := key + "\x00" + string(value.Canonical())
 	m.mu.Lock()
-	candidates := make([]netsim.SiteID, 0, len(m.attrSite[mk])+1)
+	listed := m.views[from].SitesFor(mk)
+	candidates := make([]netsim.SiteID, 0, len(listed)+1)
 	ownListed := false
-	for s := range m.attrSite[mk] {
+	for _, s := range listed {
 		candidates = append(candidates, s)
 		if s == from {
 			ownListed = true
@@ -320,8 +361,9 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 		candidates = append(candidates, from) // own store is free to consult
 	}
 	m.mu.Unlock()
-	// Deterministic contact order (the map scrambles it, and under loss
-	// the draw order must be reproducible).
+	// Deterministic contact order (under loss the draw order must be
+	// reproducible); SitesFor is sorted, but the appended own site may
+	// break the order.
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
 	var slowest time.Duration
@@ -337,7 +379,7 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 		if s == from {
 			d, err = m.net.Send(from, from, arch.AttrReqSize(key, value))
 		} else {
-			d, err = arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			d, err = arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 				return m.net.Call(from, s, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
 			})
 			contacted++
@@ -364,8 +406,11 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 
 // QueryAncestors chases lineage across sites with server-side traversal:
 // each contacted site resolves everything it holds locally in one round
-// trip and returns the cross-site border pointers, which the location
-// table routes directly (no probing, no per-record lookups).
+// trip and returns the cross-site border pointers, which the querier's
+// view routes directly (no probing, no per-record lookups). Border
+// pointers into records whose digests have not reached this site are
+// unresolvable from here — a partitioned querier sees its side's sub-DAG
+// only.
 func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenance.ID, time.Duration, error) {
 	var total time.Duration
 	found := make(map[provenance.ID]struct{})
@@ -373,15 +418,10 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 	// frontier groups unresolved IDs by their home site.
 	frontier := map[netsim.SiteID][]provenance.ID{}
 	m.mu.Lock()
-	home, known := m.loc[id]
-	if !known {
-		if _, ok := m.stores[from].Get(id); ok {
-			home, known = from, true
-		}
-	}
+	home, known := m.locate(from, id)
 	m.mu.Unlock()
 	if !known {
-		return nil, 0, fmt.Errorf("passnet: %s not yet visible", id.Short())
+		return nil, 0, fmt.Errorf("passnet: %s not visible from site %d", id.Short(), from)
 	}
 	frontier[home] = []provenance.ID{id}
 
@@ -403,7 +443,7 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 			m.mu.Lock()
 			local, unresolved := m.stores[site].LocalAncestors(ids)
 			m.mu.Unlock()
-			d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 				return m.net.Call(from, site, arch.ReqOverhead+len(ids)*arch.IDWire,
 					arch.IDListRespSize(len(local)+len(unresolved)))
 			})
@@ -438,10 +478,10 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 					continue
 				}
 				m.mu.Lock()
-				h, ok := m.loc[u]
+				h, ok := m.locate(from, u)
 				m.mu.Unlock()
 				if !ok {
-					continue // edge into an ungossiped record
+					continue // edge into a record this site's view cannot place
 				}
 				next[h] = append(next[h], u)
 			}
@@ -460,7 +500,7 @@ func (m *Model) LastContacted() int {
 }
 
 // PendingDigests reports publications not yet globally visible: never
-// gossiped, or gossiped but still awaiting delivery to some peer.
+// cut into a delta, or cut but still awaiting delivery to some peer.
 func (m *Model) PendingDigests() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()

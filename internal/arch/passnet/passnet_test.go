@@ -214,3 +214,184 @@ func TestConformanceWithReplication(t *testing.T) {
 		},
 	})
 }
+
+// viewFingerprints snapshots every site's view content.
+func viewFingerprints(m *Model, sites []netsim.SiteID) []uint64 {
+	out := make([]uint64, len(sites))
+	for i, s := range sites {
+		out[i] = m.SiteView(s).Fingerprint()
+	}
+	return out
+}
+
+func TestSplitBrainPartitionHeal(t *testing.T) {
+	net, sites := archtest.NewNetwork() // boston-0/1, london-0/1
+	m := New(net, sites, Options{})
+	boston, london := sites[:2], sites[2:]
+	net.Partition(boston, london)
+
+	// Each side publishes under the same attribute while partitioned.
+	pb := archtest.PubAt(1, boston[0], provenance.Attr("domain", provenance.String("split")))
+	pl := archtest.PubAt(2, london[0], provenance.Attr("domain", provenance.String("split")))
+	for _, p := range []arch.Pub{pb, pl} {
+		if _, err := m.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split-brain: the same query from opposite sides returns different,
+	// side-local result sets.
+	gotB, _, err := m.QueryAttr(boston[1], "domain", provenance.String("split"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotL, _, err := m.QueryAttr(london[1], "domain", provenance.String("split"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotB) != 1 || gotB[0] != pb.ID {
+		t.Fatalf("boston querier saw %v, want only the boston record", gotB)
+	}
+	if len(gotL) != 1 || gotL[0] != pl.ID {
+		t.Fatalf("london querier saw %v, want only the london record", gotL)
+	}
+	if m.SiteView(boston[1]).Fingerprint() == m.SiteView(london[1]).Fingerprint() {
+		t.Fatal("views on opposite partition sides converged mid-partition")
+	}
+	if m.PendingDigests() == 0 {
+		t.Fatal("cross-partition deltas should still be pending")
+	}
+
+	// Heal: the outbox drains to the other side and every view converges.
+	net.HealPartition()
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PendingDigests() != 0 {
+		t.Fatalf("%d digests still pending after heal", m.PendingDigests())
+	}
+	fps := viewFingerprints(m, sites)
+	for i, fp := range fps {
+		if fp != fps[0] {
+			t.Fatalf("site %d view diverged after heal: %x vs %x", i, fp, fps[0])
+		}
+	}
+	for _, q := range sites {
+		got, _, err := m.QueryAttr(q, "domain", provenance.String("split"))
+		if err != nil || len(got) != 2 {
+			t.Fatalf("post-heal query from %d = %d ids, %v", q, len(got), err)
+		}
+	}
+}
+
+func TestGossipBytesChargedPerReceivingPeer(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{})
+	// Cut boston-0 off from everyone: its delta reaches nobody, so a
+	// partial delivery charges exactly the per-peer deliveries that
+	// actually happened.
+	net.Partition([]netsim.SiteID{sites[0]})
+	if _, err := m.Publish(archtest.PubAt(1, sites[0], provenance.Attr("k", provenance.String("v")))); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetStats()
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if b := net.Stats().Bytes; b != 0 {
+		t.Fatalf("partitioned gossip charged %d bytes; nothing was transmitted", b)
+	}
+
+	// Heal and gossip again: now every one of the 3 peers' deliveries is
+	// charged individually — bytes must be exactly 3 × the delta size.
+	net.HealPartition()
+	net.ResetStats()
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.Messages != 3 {
+		t.Fatalf("delta fan-out sent %d messages, want 3 (one per receiving peer)", st.Messages)
+	}
+	if st.Bytes%3 != 0 || st.Bytes == 0 {
+		t.Fatalf("bytes %d not three equal per-peer digest charges", st.Bytes)
+	}
+}
+
+func TestViewDeterminismUnderLoss(t *testing.T) {
+	run := func() []uint64 {
+		net, sites := netsim.RandomTopology(netsim.Config{LossRate: 0.2, Seed: 77}, 4, 3, 99)
+		m := New(net, sites, Options{})
+		for i := 0; i < 24; i++ {
+			p := archtest.PubN(i, sites[(i*5)%len(sites)],
+				provenance.Attr("domain", provenance.String("det")))
+			if _, err := m.Publish(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for r := 0; r < 3; r++ { // deliberately too few rounds: views stay partial
+			if err := m.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return viewFingerprints(m, sites)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site %d view diverged across identical seeded runs: %x vs %x", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDuplicateDeltaRedeliveryIsIdempotent(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{})
+	p := archtest.PubAt(1, sites[0], provenance.Attr("k", provenance.String("v")))
+	if _, err := m.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	fps := viewFingerprints(m, sites)
+	// Re-offering the same publication (the fault contract's idempotent
+	// re-publish) cuts a new delta carrying metadata every view already
+	// holds; applying it must not change any view's content.
+	if _, err := m.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fp := range viewFingerprints(m, sites) {
+		if fp != fps[i] {
+			t.Fatalf("site %d view changed on duplicate re-delivery", i)
+		}
+	}
+	got, _, err := m.QueryAttr(sites[3], "k", provenance.String("v"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("post-duplicate query = %v, %v", got, err)
+	}
+}
+
+func TestStaleViewRoutesOnlyToDeliveredSites(t *testing.T) {
+	// Batched mode, no tick: a remote querier's view is empty, so its
+	// QueryAttr contacts nobody — the O(matching sites) candidate set is
+	// literally zero sites, not a scan of all peers.
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{})
+	if _, err := m.Publish(archtest.PubAt(1, sites[0], provenance.Attr("k", provenance.String("v")))); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := m.QueryAttr(sites[2], "k", provenance.String("v"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("stale view query = %v, %v", got, err)
+	}
+	if m.LastContacted() != 0 {
+		t.Fatalf("stale view contacted %d remote sites, want 0", m.LastContacted())
+	}
+}

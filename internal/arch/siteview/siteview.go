@@ -1,0 +1,363 @@
+// Package siteview models the soft metadata view ONE site holds about its
+// peers in the distributed PASS (Section V). The paper's design keeps
+// sensor data at its producing site and spreads only gossiped digests, so
+// each site's picture of the rest of the federation is inherently partial
+// and stale: a site knows exactly what has been DELIVERED to it, nothing
+// more. This package makes that delivered-vs-pending distinction a
+// first-class object instead of a simulation shortcut.
+//
+// # The delivered-vs-pending view model
+//
+// A producing site batches its recent publications into a Delta — the
+// id→home location entries plus a Bloom filter of the attribute postings
+// the batch carries — and gossips it to every peer. Delivery is per peer:
+// a peer that received the delta folds it into its own View immediately;
+// a peer whose copy was lost, or that sits behind a partition, simply does
+// not have it yet. Two sites therefore answer the same query differently
+// exactly when the set of deltas delivered to them differs — which is what
+// a partition experiment should observe (split-brain), and what full
+// gossip delivery erases again (convergence).
+//
+// Deltas carry a per-origin monotonically increasing sequence number and
+// are applied in order, so a late or duplicated delivery is idempotent:
+// View.Apply returns false and changes nothing when it has already seen
+// that origin's sequence number.
+//
+// # Indexed lookups
+//
+// A View answers two query-routing questions: "which site is home to this
+// record?" (Locate, one map probe) and "which sites may hold postings for
+// this attribute?" (SitesFor). SitesFor is backed by an inverted index
+// from attribute key to the set of origins whose deltas carried it, so
+// per-query work is O(matching sites) rather than O(all sites) — the
+// difference between a 10,000-site sweep finishing and not. The per-peer
+// Bloom filters are the wire-level digest the index is built from: the
+// index never lists a site whose filter would not also match (MayHold),
+// and the filter sizes the delta's bytes on the simulated network.
+package siteview
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// FilterBitsPerKey sizes the per-delta attribute Bloom filter: bits per
+// distinct attribute key carried.
+const FilterBitsPerKey = 12
+
+// filterHashes is the number of probe positions per key.
+const filterHashes = 4
+
+// Filter is the compact attribute-membership filter a digest delta
+// carries on the wire: a Bloom filter over canonical attribute keys. False
+// positives cost a query an extra empty round trip, never a wrong answer;
+// false negatives cannot happen.
+type Filter struct {
+	bits []uint64
+}
+
+// NewFilter sizes a filter for the given expected key count.
+func NewFilter(keys int) *Filter {
+	if keys < 1 {
+		keys = 1
+	}
+	words := (keys*FilterBitsPerKey + 63) / 64
+	return &Filter{bits: make([]uint64, words)}
+}
+
+// fnv1a hashes b with a seed (split-hash scheme: two independent hashes
+// derive all probe positions).
+func fnv1a(b []byte, seed uint64) uint64 {
+	h := uint64(14695981039346656037) ^ seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (f *Filter) probe(key string, fn func(word, bit uint64) bool) bool {
+	n := uint64(len(f.bits) * 64)
+	h1 := fnv1a([]byte(key), 0)
+	h2 := fnv1a([]byte(key), 0x9E3779B97F4A7C15) | 1
+	for i := uint64(0); i < filterHashes; i++ {
+		pos := (h1 + i*h2) % n
+		if !fn(pos/64, pos%64) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add inserts a canonical attribute key.
+func (f *Filter) Add(key string) {
+	f.probe(key, func(word, bit uint64) bool {
+		f.bits[word] |= 1 << bit
+		return true
+	})
+}
+
+// MayContain reports whether key may have been added (Bloom semantics).
+func (f *Filter) MayContain(key string) bool {
+	return f.probe(key, func(word, bit uint64) bool {
+		return f.bits[word]&(1<<bit) != 0
+	})
+}
+
+// SizeBytes is the filter's wire size.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Delta is one gossiped digest unit: the soft metadata a producing site
+// spreads about its own recent publications. Seq is assigned by the
+// origin and increases by one per delta, so receivers can recognize
+// duplicates and out-of-order deliveries.
+type Delta struct {
+	// Origin is the producing site; every entry's home site is Origin.
+	Origin netsim.SiteID
+	// Seq is the origin's delta sequence number, starting at 1.
+	Seq uint64
+	// IDs are the record ids this delta locates at Origin.
+	IDs []provenance.ID
+	// AttrKeys are the canonical attribute keys (key\x00value) the
+	// records carry — the contents of Filter, listed exactly so the
+	// receiver can maintain its inverted index.
+	AttrKeys []string
+	// Filter is the Bloom-filter wire form of AttrKeys.
+	Filter *Filter
+}
+
+// NewDelta builds a delta for the origin's batch. AttrKeys may contain
+// duplicates; they are deduplicated here.
+func NewDelta(origin netsim.SiteID, seq uint64, ids []provenance.ID, attrKeys []string) *Delta {
+	dedup := make([]string, 0, len(attrKeys))
+	seen := make(map[string]struct{}, len(attrKeys))
+	for _, k := range attrKeys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		dedup = append(dedup, k)
+	}
+	sort.Strings(dedup)
+	f := NewFilter(len(dedup))
+	for _, k := range dedup {
+		f.Add(k)
+	}
+	return &Delta{Origin: origin, Seq: seq, IDs: append([]provenance.ID(nil), ids...), AttrKeys: dedup, Filter: f}
+}
+
+// locEntryWire approximates the wire size of one id→home location entry.
+const locEntryWire = 32 + 4
+
+// deltaHeaderWire covers origin, sequence number, and framing.
+const deltaHeaderWire = 32
+
+// WireSize is the delta's size on the simulated network: location
+// entries plus the attribute Bloom filter plus a small header.
+func (d *Delta) WireSize() int {
+	return deltaHeaderWire + len(d.IDs)*locEntryWire + d.Filter.SizeBytes()
+}
+
+// View is the soft metadata ONE site has accumulated from delivered
+// deltas. It is not safe for concurrent use; the owning model serializes
+// access (all Section IV models already hold a mutex across state
+// mutation).
+type View struct {
+	owner netsim.SiteID
+	// seq is the last sequence number applied per origin.
+	seq map[netsim.SiteID]uint64
+	// loc resolves a record id to its home site.
+	loc map[provenance.ID]netsim.SiteID
+	// attrSites is the inverted attribute index: canonical attribute key
+	// to the set of sites whose delivered deltas carried it.
+	attrSites map[string]map[netsim.SiteID]struct{}
+	// filters accumulates each origin's delivered attribute keys into one
+	// Bloom filter per origin. Bloom bit positions depend on the filter's
+	// size, so delivered deltas' differently-sized wire filters cannot be
+	// OR-ed together; instead the keys (which every delta lists exactly)
+	// are re-added, and the filter is rebuilt at double capacity when the
+	// accumulated key count would overload it — preserving the
+	// no-false-negatives guarantee at a bounded false-positive rate.
+	filters map[netsim.SiteID]*Filter
+	// filterKeys counts keys added per origin (rebuild trigger).
+	filterKeys map[netsim.SiteID]int
+	applied    int64
+	ignored    int64
+}
+
+// NewView returns the empty view owned by the given site.
+func NewView(owner netsim.SiteID) *View {
+	return &View{
+		owner:      owner,
+		seq:        make(map[netsim.SiteID]uint64),
+		loc:        make(map[provenance.ID]netsim.SiteID),
+		attrSites:  make(map[string]map[netsim.SiteID]struct{}),
+		filters:    make(map[netsim.SiteID]*Filter),
+		filterKeys: make(map[netsim.SiteID]int),
+	}
+}
+
+// Owner is the site this view belongs to.
+func (v *View) Owner() netsim.SiteID { return v.owner }
+
+// Apply folds a delivered delta into the view and reports whether it
+// changed anything. A delta whose sequence number is not exactly the next
+// expected one from its origin is ignored (false): a duplicate or stale
+// re-delivery has already been applied, and the gossip layer delivers
+// in order per peer, so a gap never arrives ahead of its predecessor.
+func (v *View) Apply(d *Delta) bool {
+	if d.Seq != v.seq[d.Origin]+1 {
+		v.ignored++
+		return false
+	}
+	v.seq[d.Origin] = d.Seq
+	for _, id := range d.IDs {
+		v.loc[id] = d.Origin
+	}
+	for _, k := range d.AttrKeys {
+		set, ok := v.attrSites[k]
+		if !ok {
+			set = make(map[netsim.SiteID]struct{})
+			v.attrSites[k] = set
+		}
+		set[d.Origin] = struct{}{}
+	}
+	v.addFilterKeys(d.Origin, d.AttrKeys)
+	v.applied++
+	return true
+}
+
+// addFilterKeys folds an origin's newly delivered attribute keys into
+// its accumulated filter, rebuilding at double capacity (from the exact
+// inverted index, so nothing is lost) once the key count would overload
+// the current bit array.
+func (v *View) addFilterKeys(origin netsim.SiteID, keys []string) {
+	v.filterKeys[origin] += len(keys)
+	f, ok := v.filters[origin]
+	if !ok {
+		f = NewFilter(v.filterKeys[origin])
+		v.filters[origin] = f
+	} else if v.filterKeys[origin]*FilterBitsPerKey > len(f.bits)*64 {
+		f = NewFilter(2 * v.filterKeys[origin])
+		v.filters[origin] = f
+		for k, sites := range v.attrSites {
+			if _, has := sites[origin]; has {
+				f.Add(k)
+			}
+		}
+		return // the rebuild re-added keys (attrSites already holds them)
+	}
+	for _, k := range keys {
+		f.Add(k)
+	}
+}
+
+// Locate resolves a record's home site from delivered deltas.
+func (v *View) Locate(id provenance.ID) (netsim.SiteID, bool) {
+	s, ok := v.loc[id]
+	return s, ok
+}
+
+// SitesFor returns, in ascending order, the sites whose delivered deltas
+// carried the canonical attribute key. Work is O(matching sites): the
+// inverted index goes straight to the candidate set without probing every
+// peer's filter.
+func (v *View) SitesFor(attrKey string) []netsim.SiteID {
+	set := v.attrSites[attrKey]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]netsim.SiteID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MayHold reports whether the peer's delivered Bloom filters may contain
+// the attribute key. Every site SitesFor lists satisfies MayHold; the
+// converse can fail (Bloom false positive).
+func (v *View) MayHold(peer netsim.SiteID, attrKey string) bool {
+	f, ok := v.filters[peer]
+	return ok && f.MayContain(attrKey)
+}
+
+// Seq returns the last delta sequence number applied from the origin.
+func (v *View) Seq(origin netsim.SiteID) uint64 { return v.seq[origin] }
+
+// Applied reports how many deltas changed the view; Ignored how many
+// arrived late or duplicated and were dropped.
+func (v *View) Applied() int64 { return v.applied }
+
+// Ignored reports deltas rejected as duplicates or stale re-deliveries.
+func (v *View) Ignored() int64 { return v.ignored }
+
+// Locations reports how many record ids the view can resolve.
+func (v *View) Locations() int { return len(v.loc) }
+
+// Fingerprint is a deterministic hash of the view's CONTENT — location
+// entries and the inverted attribute index, not the owner and not
+// bookkeeping counters. Two sites whose fingerprints match answer every
+// digest-routed query identically; after full gossip delivery with no
+// faults every site's fingerprint must match (the convergence law the
+// conformance suite asserts). Re-delivering already-known metadata leaves
+// the fingerprint unchanged (idempotence).
+func (v *View) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+	}
+	var buf [8]byte
+
+	ids := make([]provenance.ID, 0, len(v.loc))
+	for id := range v.loc {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return lessID(ids[i], ids[j]) })
+	for _, id := range ids {
+		mix(id[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.loc[id]))
+		mix(buf[:])
+	}
+
+	keys := make([]string, 0, len(v.attrSites))
+	for k := range v.attrSites {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		mix([]byte(k))
+		for _, s := range v.SitesFor(k) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(s))
+			mix(buf[:])
+		}
+	}
+	return h
+}
+
+func lessID(a, b provenance.ID) bool {
+	for i := 0; i < len(a); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Exposer is implemented by architecture models that maintain a real
+// per-site view (today: passnet). The conformance suite uses it to assert
+// the convergence law and to observe split-brain divergence directly at
+// the view level rather than only through query results.
+type Exposer interface {
+	// SiteView returns the given site's view. The caller must not mutate
+	// it and must not retain it across model operations (views are
+	// guarded by the model's lock).
+	SiteView(s netsim.SiteID) *View
+}

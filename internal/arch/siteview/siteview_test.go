@@ -1,0 +1,156 @@
+package siteview
+
+import (
+	"fmt"
+	"testing"
+
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func idN(n int) (id provenance.ID) {
+	id[0], id[1] = byte(n), byte(n>>8)
+	return
+}
+
+func TestApplyOrderingAndIdempotence(t *testing.T) {
+	v := NewView(0)
+	d1 := NewDelta(1, 1, []provenance.ID{idN(1)}, []string{"k\x00a"})
+	d2 := NewDelta(1, 2, []provenance.ID{idN(2)}, []string{"k\x00b"})
+
+	if !v.Apply(d1) {
+		t.Fatal("first delivery of seq 1 rejected")
+	}
+	fp := v.Fingerprint()
+	// Duplicate re-delivery: ignored, content unchanged.
+	if v.Apply(d1) {
+		t.Fatal("duplicate delta applied twice")
+	}
+	if v.Fingerprint() != fp {
+		t.Fatal("duplicate delivery changed the view")
+	}
+	// A gap (seq 3 before seq 2) must not apply: gossip delivers in order
+	// per peer, so a gap can only be a protocol bug.
+	d3 := NewDelta(1, 3, []provenance.ID{idN(3)}, nil)
+	if v.Apply(d3) {
+		t.Fatal("out-of-order delta applied")
+	}
+	if !v.Apply(d2) {
+		t.Fatal("next-in-order delta rejected")
+	}
+	if v.Seq(1) != 2 {
+		t.Fatalf("seq = %d, want 2", v.Seq(1))
+	}
+	if v.Applied() != 2 || v.Ignored() != 2 {
+		t.Fatalf("applied=%d ignored=%d, want 2/2", v.Applied(), v.Ignored())
+	}
+}
+
+func TestLocateAndSitesFor(t *testing.T) {
+	v := NewView(9)
+	v.Apply(NewDelta(1, 1, []provenance.ID{idN(1)}, []string{"k\x00a", "k\x00b"}))
+	v.Apply(NewDelta(2, 1, []provenance.ID{idN(2)}, []string{"k\x00a"}))
+
+	if home, ok := v.Locate(idN(1)); !ok || home != 1 {
+		t.Fatalf("Locate = %d/%v", home, ok)
+	}
+	if _, ok := v.Locate(idN(99)); ok {
+		t.Fatal("located an undelivered record")
+	}
+	sites := v.SitesFor("k\x00a")
+	if len(sites) != 2 || sites[0] != 1 || sites[1] != 2 {
+		t.Fatalf("SitesFor(k=a) = %v, want [1 2]", sites)
+	}
+	if got := v.SitesFor("k\x00b"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("SitesFor(k=b) = %v, want [1]", got)
+	}
+	if got := v.SitesFor("k\x00missing"); got != nil {
+		t.Fatalf("SitesFor(missing) = %v, want nil", got)
+	}
+	// The inverted index never lists a site the Bloom filter would deny.
+	for _, key := range []string{"k\x00a", "k\x00b"} {
+		for _, s := range v.SitesFor(key) {
+			if !v.MayHold(s, key) {
+				t.Fatalf("index lists site %d for %q but filter denies it", s, key)
+			}
+		}
+	}
+}
+
+func TestFingerprintConvergence(t *testing.T) {
+	// Two views receiving the same deltas — in different orders across
+	// origins — converge to the same content fingerprint.
+	a, b := NewView(10), NewView(11)
+	d1 := NewDelta(1, 1, []provenance.ID{idN(1)}, []string{"k\x00a"})
+	d2 := NewDelta(2, 1, []provenance.ID{idN(2)}, []string{"k\x00b"})
+	a.Apply(d1)
+	a.Apply(d2)
+	b.Apply(d2)
+	b.Apply(d1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same deltas, different fingerprints")
+	}
+	// A view missing one delta diverges.
+	c := NewView(12)
+	c.Apply(d1)
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("partial view matched full view")
+	}
+	if a.Locations() != 2 || c.Locations() != 1 {
+		t.Fatalf("locations %d/%d, want 2/1", a.Locations(), c.Locations())
+	}
+}
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f := NewFilter(64)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = "key\x00" + string(rune('A'+i%26)) + string(rune('0'+i%10))
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	if f.SizeBytes() <= 0 {
+		t.Fatal("filter has no wire size")
+	}
+}
+
+func TestFilterGrowthKeepsNoFalseNegatives(t *testing.T) {
+	// Deltas from one origin vary in size (batch sizes differ per gossip
+	// round), so the per-origin filter must absorb differently-sized wire
+	// filters without ever losing a delivered key: bit positions depend
+	// on the array length, so growth rebuilds rather than ORs.
+	v := NewView(0)
+	var allKeys []string
+	seq := uint64(0)
+	for _, batch := range []int{1, 12, 3, 40, 1} {
+		keys := make([]string, batch)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k\x00v-%d-%d", seq, i)
+		}
+		allKeys = append(allKeys, keys...)
+		seq++
+		if !v.Apply(NewDelta(1, seq, nil, keys)) {
+			t.Fatalf("delta %d rejected", seq)
+		}
+	}
+	for _, k := range allKeys {
+		if !v.MayHold(1, k) {
+			t.Fatalf("false negative for delivered key %q after filter growth", k)
+		}
+	}
+}
+
+func TestDeltaWireSizeAndDedup(t *testing.T) {
+	d := NewDelta(3, 1, []provenance.ID{idN(1), idN(2)}, []string{"a\x00x", "a\x00x", "b\x00y"})
+	if len(d.AttrKeys) != 2 {
+		t.Fatalf("attr keys not deduplicated: %v", d.AttrKeys)
+	}
+	if d.WireSize() <= 2*locEntryWire {
+		t.Fatalf("wire size %d implausibly small", d.WireSize())
+	}
+	var _ netsim.SiteID = d.Origin
+}

@@ -51,6 +51,7 @@ type Model struct {
 	refreshEvery int
 	tickCount    int
 	refreshes    int64
+	rto          *arch.RTO
 }
 
 // New builds a soft-state service. indexNodes are the sites that host the
@@ -74,6 +75,7 @@ func New(net *netsim.Network, sites, indexNodes []netsim.SiteID, refreshEvery in
 		softLoc:      make(map[netsim.SiteID]map[provenance.ID]netsim.SiteID),
 		pending:      make(map[netsim.SiteID][]arch.Pub),
 		refreshEvery: refreshEvery,
+		rto:          arch.NewRTO(0x50F757),
 	}
 	for _, s := range sites {
 		m.stores[s] = arch.NewSiteStore()
@@ -190,7 +192,7 @@ func (m *Model) RefreshNow() error {
 			for _, ap := range u.attrs {
 				size += len(ap.mk) + arch.IDWire
 			}
-			if _, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+			if _, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 				return m.net.Send(site, node, size)
 			}); err != nil {
 				failed = true // retried next round
@@ -230,7 +232,7 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	m.mu.Lock()
 	home, known := m.softLoc[node][id]
 	m.mu.Unlock()
-	d1, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d1, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, node, arch.ReqOverhead+arch.IDWire, arch.RespOverhead+8)
 	})
 	if err != nil {
@@ -246,7 +248,7 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	if ok {
 		respSize += len(rec.Encode())
 	}
-	d2, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d2, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, home, arch.ReqOverhead+arch.IDWire, respSize)
 	})
 	if err != nil {
@@ -267,7 +269,7 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 	m.mu.Lock()
 	ids := append([]provenance.ID(nil), m.softAttr[node][mk]...)
 	m.mu.Unlock()
-	d, err := arch.Retry(arch.SendRetries, func() (time.Duration, error) {
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		return m.net.Call(from, node, arch.AttrReqSize(key, value), arch.IDListRespSize(len(ids)))
 	})
 	if err != nil {

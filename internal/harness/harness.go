@@ -1,4 +1,4 @@
-// Package harness runs the reproduction's experiment suite, E1–E14. The
+// Package harness runs the reproduction's experiment suite, E1–E15. The
 // paper (a position paper) contains no numbered tables or figures; each
 // experiment instead makes one of its quantitative or comparative claims
 // measurable — see DESIGN.md section 4 for the claim-to-experiment map
@@ -19,7 +19,7 @@ import (
 
 // Result is one experiment's output.
 type Result struct {
-	// ID is the experiment identifier ("E1" … "E14").
+	// ID is the experiment identifier ("E1" … "E15").
 	ID string
 	// Title summarizes the claim under test.
 	Title string
@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"E12", "The four PASS properties P1–P4 (§V)", (*Runner).E12PASSProperties},
 		{"E13", "Resource consumption: central vs distributed crossover (§IV)", (*Runner).E13ResourceCrossover},
 		{"E14", "Survivability: recall and WAN cost under loss at scale (§IV Reliability)", (*Runner).E14Survivability},
+		{"E15", "Split-brain: divergent per-site views under partition, convergence after heal (§IV Consistency)", (*Runner).E15SplitBrain},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// E1 < E2 < ... < E13 numerically.

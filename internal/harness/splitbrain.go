@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"fmt"
+
+	"pass/internal/arch"
+	"pass/internal/arch/central"
+	"pass/internal/arch/passnet"
+	"pass/internal/arch/siteview"
+	"pass/internal/metrics"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// E15SplitBrain — the consistency story Section IV only names in passing
+// ("Consistency: Is the metadata service consistent with the actual
+// data?") made observable. A wide-area federation WILL partition; the
+// question is what queries look like while it is split and how fast the
+// picture heals. The per-site view model (siteview) lets the experiment
+// watch the split happen: each side keeps ingesting locally, each side's
+// views list only its own side's digests, and the same QueryAttr asked
+// from opposite sides returns two different — both locally correct —
+// answers. After the partition heals, queued digest deltas drain and
+// every site's view converges to one fingerprint.
+//
+// For contrast the table also runs the centralized warehouse (the
+// paper's strawman): the warehouse side keeps working, while the other
+// side can neither publish nor query — total outage rather than
+// split-brain.
+func (r *Runner) E15SplitBrain() (*Result, error) {
+	table := metrics.NewTable("E15: split-brain (partition → divergent views → heal → convergence)",
+		"model", "phase", "querier", "sees-left", "sees-right", "views-converged")
+	findings := map[string]float64{}
+
+	const sitesPerZone = 4
+	zones := 6 // 24 sites
+	net, sites := netsim.RandomTopology(netsim.Config{}, zones, sitesPerZone, 15151)
+	m := passnet.New(net, sites, passnet.Options{})
+	ve := siteview.Exposer(m)
+
+	nPer := r.scale.n(40)
+	left, right := sites[:len(sites)/2], sites[len(sites)/2:]
+	domain := provenance.String("split")
+
+	publishSide := func(side []netsim.SiteID, base int, n int) (map[provenance.ID]bool, error) {
+		out := make(map[provenance.ID]bool, n)
+		for i := 0; i < n; i++ {
+			origin := side[i%len(side)]
+			s, err := net.Site(origin)
+			if err != nil {
+				return nil, err
+			}
+			var digest [32]byte
+			digest[0], digest[1], digest[2] = byte(base+i), byte((base+i)>>8), 0xE5
+			rec, id, err := provenance.NewRaw(digest, 64).
+				Attrs(
+					provenance.Attr("n", provenance.Int64(int64(base+i))),
+					provenance.Attr(provenance.KeyDomain, domain),
+					provenance.Attr(provenance.KeyZone, provenance.String(s.Zone)),
+				).
+				CreatedAt(int64(base+i) + 1).
+				Build()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := m.Publish(arch.Pub{ID: id, Rec: rec, Origin: origin}); err != nil {
+				return nil, fmt.Errorf("publish %d: %w", base+i, err)
+			}
+			out[id] = true
+		}
+		return out, nil
+	}
+
+	recallSides := func(q netsim.SiteID, wantL, wantR map[provenance.ID]bool) (float64, float64, error) {
+		got, _, err := m.QueryAttr(q, provenance.KeyDomain, domain)
+		if err != nil {
+			return 0, 0, err
+		}
+		hitL, hitR := 0, 0
+		for _, id := range got {
+			if wantL[id] {
+				hitL++
+			}
+			if wantR[id] {
+				hitR++
+			}
+		}
+		return float64(hitL) / float64(len(wantL)), float64(hitR) / float64(len(wantR)), nil
+	}
+
+	viewsConverged := func() float64 {
+		fp := ve.SiteView(sites[0]).Fingerprint()
+		for _, s := range sites[1:] {
+			if ve.SiteView(s).Fingerprint() != fp {
+				return 0
+			}
+		}
+		return 1
+	}
+
+	// Phase 1: partition, both sides publish, digests gossip per side.
+	net.Partition(left, right)
+	wantL, err := publishSide(left, 0, nPer)
+	if err != nil {
+		return nil, err
+	}
+	wantR, err := publishSide(right, 1000, nPer)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Tick(); err != nil {
+			return nil, err
+		}
+	}
+
+	phase := "partitioned"
+	for _, q := range []struct {
+		name string
+		site netsim.SiteID
+	}{{"left", left[1]}, {"right", right[1]}} {
+		rl, rr, err := recallSides(q.site, wantL, wantR)
+		if err != nil {
+			return nil, err
+		}
+		conv := viewsConverged()
+		table.AddRow("passnet", phase, q.name, fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), conv)
+		findings[fmt.Sprintf("%s_sees_left_%s", q.name, phase)] = rl
+		findings[fmt.Sprintf("%s_sees_right_%s", q.name, phase)] = rr
+	}
+	findings["views_converged_partitioned"] = viewsConverged()
+	findings["pending_partitioned"] = float64(m.PendingDigests())
+
+	// Phase 2: heal; queued deltas drain on the next gossip rounds.
+	net.HealPartition()
+	for i := 0; i < 4; i++ {
+		if err := m.Tick(); err != nil {
+			return nil, err
+		}
+	}
+	phase = "healed"
+	for _, q := range []struct {
+		name string
+		site netsim.SiteID
+	}{{"left", left[0]}, {"right", right[0]}} {
+		rl, rr, err := recallSides(q.site, wantL, wantR)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow("passnet", phase, q.name, fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), viewsConverged())
+		findings[fmt.Sprintf("%s_sees_left_%s", q.name, phase)] = rl
+		findings[fmt.Sprintf("%s_sees_right_%s", q.name, phase)] = rr
+	}
+	findings["views_converged_healed"] = viewsConverged()
+	findings["pending_healed"] = float64(m.PendingDigests())
+
+	// Contrast: the centralized warehouse under the same split. The side
+	// holding the warehouse keeps full service; the other side gets
+	// nothing at all — outage, not split-brain.
+	if err := r.e15CentralContrast(table, findings, nPer); err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		ID:       "E15",
+		Title:    "Split-brain: divergent per-site views under partition, convergence after heal",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"shape check: mid-partition each passnet side answers with exactly its own side's records (different answers to the SAME query) and views disagree; after heal + gossip every view fingerprint matches and both sides see everything",
+			"contrast: central's warehouse-less side cannot publish or query at all during the split — unavailability instead of divergence",
+		},
+	}, nil
+}
+
+// e15CentralContrast runs the centralized strawman through the same
+// partition: publishes attempted from both sides, queries from both
+// sides, no divergence possible — one side simply goes dark.
+func (r *Runner) e15CentralContrast(table *metrics.Table, findings map[string]float64, nPer int) error {
+	net, sites := netsim.RandomTopology(netsim.Config{}, 6, 4, 15152)
+	m := central.New(net, sites[0]) // warehouse on the left side
+	left, right := sites[:len(sites)/2], sites[len(sites)/2:]
+	net.Partition(left, right)
+
+	acked := map[string]int{"left": 0, "right": 0}
+	for i := 0; i < nPer; i++ {
+		// Fixed left-then-right order: map iteration would scramble the
+		// publish interleaving across runs (the determinism law).
+		for si, side := range []string{"left", "right"} {
+			origin := left[i%len(left)]
+			if side == "right" {
+				origin = right[i%len(right)]
+			}
+			var digest [32]byte
+			digest[0], digest[1], digest[2], digest[3] = byte(i), byte(i>>8), 0xE5, byte(si+1)
+			rec, id, err := provenance.NewRaw(digest, 64).
+				Attrs(provenance.Attr(provenance.KeyDomain, provenance.String("split"))).
+				CreatedAt(int64(i) + 1).
+				Build()
+			if err != nil {
+				return err
+			}
+			if _, err := m.Publish(arch.Pub{ID: id, Rec: rec, Origin: origin}); err == nil {
+				acked[side]++
+			} else if !arch.IsUnavailable(err) {
+				return err
+			}
+		}
+	}
+	for _, side := range []string{"left", "right"} {
+		q := left[1]
+		if side == "right" {
+			q = right[1]
+		}
+		seen := 0.0
+		if got, _, err := m.QueryAttr(q, provenance.KeyDomain, provenance.String("split")); err == nil {
+			seen = float64(len(got)) / float64(acked["left"]+acked["right"])
+		} else if !arch.IsUnavailable(err) {
+			return err
+		}
+		table.AddRow("central", "partitioned", side, fmt.Sprintf("%.2f", seen), "-", "-")
+		findings["central_"+side+"_acked"] = float64(acked[side])
+		findings["central_"+side+"_sees"] = seen
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"pass/internal/arch"
 	"pass/internal/metrics"
@@ -21,9 +22,14 @@ import (
 // to three more times, then given up (the acked column). Queriers issue
 // one attempt each — E14 is about exposing degradation, so queries are
 // NOT retried the way the conformance suite's convergence checks are.
+//
+// The latency columns are where loss actually bites: every retransmission
+// waits out an RTO backoff (arch.Retry), so mean publish and query
+// latency climb steeply with the loss rate even while recall holds — the
+// fault tolerance is paid for in time as well as bandwidth.
 func (r *Runner) E14Survivability() (*Result, error) {
-	table := metrics.NewTable("E14: survivability (recall & WAN bytes vs loss × sites)",
-		"model", "sites", "loss", "acked", "recall", "wan-bytes", "dropped-msgs")
+	table := metrics.NewTable("E14: survivability (recall, latency & WAN bytes vs loss × sites)",
+		"model", "sites", "loss", "acked", "recall", "pub-ms", "query-ms", "wan-bytes", "dropped-msgs")
 	findings := map[string]float64{}
 
 	const sitesPerZone = 4
@@ -43,9 +49,14 @@ func (r *Runner) E14Survivability() (*Result, error) {
 					return nil, err
 				}
 				acked := make(map[provenance.ID]bool, len(pubs))
+				var pubLat time.Duration
+				pubAttempts := 0
 				for _, p := range pubs {
 					for a := 0; a < attempts; a++ {
-						if _, err := m.Publish(p); err == nil {
+						d, err := m.Publish(p)
+						pubLat += d
+						pubAttempts++
+						if err == nil {
 							acked[p.ID] = true
 							break
 						} else if !arch.IsUnavailable(err) {
@@ -63,9 +74,11 @@ func (r *Runner) E14Survivability() (*Result, error) {
 					sites[0], sites[len(sites)/3], sites[2*len(sites)/3], sites[len(sites)-1],
 				}
 				recall := 0.0
+				var qLat time.Duration
 				if len(acked) > 0 {
 					for _, q := range queriers {
-						got, _, err := m.QueryAttr(q, provenance.KeyDomain, provenance.String("surv"))
+						got, d, err := m.QueryAttr(q, provenance.KeyDomain, provenance.String("surv"))
+						qLat += d
 						if err != nil {
 							if arch.IsUnavailable(err) {
 								continue // unreachable index scores 0 from this querier
@@ -85,13 +98,19 @@ func (r *Runner) E14Survivability() (*Result, error) {
 
 				st := net.Stats()
 				lossPct := int(loss * 100)
+				pubMs := float64(pubLat.Microseconds()) / float64(pubAttempts) / 1000
+				qMs := float64(qLat.Microseconds()) / float64(len(queriers)) / 1000
 				table.AddRow(m.Name(), nSites, fmt.Sprintf("%d%%", lossPct),
 					fmt.Sprintf("%d/%d", len(acked), len(pubs)),
-					fmt.Sprintf("%.3f", recall), st.WANBytes, st.DroppedMsgs)
+					fmt.Sprintf("%.3f", recall),
+					fmt.Sprintf("%.2f", pubMs), fmt.Sprintf("%.2f", qMs),
+					st.WANBytes, st.DroppedMsgs)
 				tag := fmt.Sprintf("%s_n%d_l%d", m.Name(), nSites, lossPct)
 				findings["recall_"+tag] = recall
 				findings["wan_"+tag] = float64(st.WANBytes)
 				findings["acked_"+tag] = float64(len(acked))
+				findings["publat_"+tag] = pubMs
+				findings["qlat_"+tag] = qMs
 			}
 		}
 	}
@@ -103,6 +122,7 @@ func (r *Runner) E14Survivability() (*Result, error) {
 		Notes: []string{
 			"shape check: at 0% loss every model acks and recalls everything; under loss, locally-committing models (feddb/softstate/passnet) keep acking while 2PC (distdb) starts refusing",
 			"WAN bytes include retransmissions and dropped messages — fault tolerance is paid for in bandwidth",
+			"pub-ms/query-ms include RTO backoff: each retransmission waits out an exponentially growing timeout, so WAN-synchronous models' latency climbs steeply with loss while locally-acking models stay flat",
 		},
 	}, nil
 }
