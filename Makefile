@@ -5,16 +5,19 @@
 #                      regression gate. Run before sending a PR.
 #   make short       — quick edit loop: -short shrinks the 1,000-site
 #                      conformance sweeps and skips the 10k-site ones.
-#   make bench       — regenerate the experiment tables (E1–E15) and
+#   make bench       — regenerate the experiment tables (E1–E16) and
 #                      write BENCH.json for comparison against the
-#                      committed BENCH_0.json baseline.
+#                      committed BENCH_1.json baseline.
+#   make docs-check  — fail if an internal/ package lacks a package
+#                      comment or README's experiment table drifts from
+#                      the harness registry (cmd/docscheck).
 #   make bench-check — run the suite at the baseline's scale and fail on
 #                      runtime regressions or broken recall invariants
 #                      (cmd/benchcheck).
 
 GO ?= go
 
-.PHONY: all build test short vet race check bench bench-check
+.PHONY: all build test short vet race check bench bench-check docs-check
 
 all: build
 
@@ -36,7 +39,12 @@ vet:
 race:
 	$(GO) test -race -count=1 ./internal/core ./internal/kvstore
 
-check: vet test race bench-check
+check: vet test race bench-check docs-check
+
+# The documentation gate: every internal/ package must have a package
+# comment and README's experiment table must match the harness registry.
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 bench:
 	$(GO) run ./cmd/passbench -scale 0.5 -json BENCH.json
@@ -44,7 +52,7 @@ bench:
 # The perf trajectory gate (ROADMAP): regenerate the suite at the
 # baseline's scale, then compare wall-clock per experiment (generous
 # tolerance — this catches O(n) blowups, not noise) and recall
-# invariants against the committed BENCH_0.json.
+# invariants against the committed BENCH_1.json.
 bench-check:
 	$(GO) run ./cmd/passbench -scale 0.5 -json BENCH.json >/dev/null
-	$(GO) run ./cmd/benchcheck -baseline BENCH_0.json -current BENCH.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_1.json -current BENCH.json

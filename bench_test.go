@@ -1,7 +1,7 @@
 // Package pass_test hosts the top-level benchmark harness: one testing.B
-// benchmark per experiment (E1–E14), each regenerating the corresponding
-// table from EXPERIMENTS.md at a bench-friendly scale and reporting the
-// experiment's headline findings as custom benchmark metrics.
+// benchmark per experiment (E1–E16), each regenerating the corresponding
+// result table at a bench-friendly scale and reporting the experiment's
+// headline findings as custom benchmark metrics.
 //
 // Run everything:
 //
@@ -19,7 +19,7 @@ import (
 )
 
 // benchScale keeps each iteration in benchmark territory; cmd/passbench
-// runs the full scale for EXPERIMENTS.md.
+// runs the full scale for the recorded tables.
 const benchScale = 0.1
 
 // runExperiment executes one experiment b.N times and surfaces selected
@@ -129,4 +129,20 @@ func BenchmarkE13ResourceCrossover(b *testing.B) {
 func BenchmarkE14Survivability(b *testing.B) {
 	runExperiment(b, "E14",
 		"recall_passnet_n256_l20", "recall_dht_n256_l20", "wan_central_n256_l20")
+}
+
+// BenchmarkE15SplitBrain regenerates the split-brain table (§IV
+// Consistency): divergent per-site views under partition, convergence
+// after heal.
+func BenchmarkE15SplitBrain(b *testing.B) {
+	runExperiment(b, "E15",
+		"views_converged_healed", "pending_healed")
+}
+
+// BenchmarkE16Churn regenerates the churn table (§IV Reliability): DHT
+// key re-homing under stabilization and passnet rejoin-by-snapshot vs
+// outbox replay.
+func BenchmarkE16Churn(b *testing.B) {
+	runExperiment(b, "E16",
+		"recall_stab_dht_n64_c25", "recbytes_passnet_n64_c25", "recbytes_passnet-replay_n64_c25")
 }

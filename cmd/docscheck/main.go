@@ -1,0 +1,123 @@
+// Command docscheck is the documentation gate (make docs-check, part of
+// make check). It enforces two invariants that otherwise rot silently:
+//
+//   - Every package under internal/ carries a package comment, so
+//     `go doc pass/internal/<pkg>` always explains what the package is
+//     for and which part of the paper it models.
+//   - README.md's experiment table lists exactly the experiments the
+//     harness registry exposes — every registered ID appears as a table
+//     row, and no table row names an unregistered ID. The registry is
+//     imported directly (not parsed), so the check cannot itself drift.
+//
+// Usage:
+//
+//	docscheck [-root .]
+//
+// Exits non-zero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"pass/internal/harness"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	var failures []string
+	failures = append(failures, checkPackageComments(*root)...)
+	failures = append(failures, checkReadmeTable(*root)...)
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: package comments present, README experiment table matches the registry")
+}
+
+// checkPackageComments walks internal/ and requires each directory that
+// holds non-test Go files to have a package comment on at least one of
+// them.
+func checkPackageComments(root string) []string {
+	var failures []string
+	seen := map[string]bool{} // dir -> has any non-test .go file
+	documented := map[string]bool{}
+
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = true
+		if documented[dir] {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return append(failures, err.Error())
+	}
+	for dir := range seen {
+		if !documented[dir] {
+			failures = append(failures, fmt.Sprintf("package %s has no package comment (go doc is blank)", dir))
+		}
+	}
+	return failures
+}
+
+// experiment table rows look like "| E14 | ... |".
+var tableRow = regexp.MustCompile(`^\|\s*(E\d+)\s*\|`)
+
+// checkReadmeTable compares README.md's experiment table rows against
+// harness.All().
+func checkReadmeTable(root string) []string {
+	readme := filepath.Join(root, "README.md")
+	buf, err := os.ReadFile(readme)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	inTable := map[string]bool{}
+	for _, line := range strings.Split(string(buf), "\n") {
+		if m := tableRow.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			inTable[m[1]] = true
+		}
+	}
+	var failures []string
+	registered := map[string]bool{}
+	for _, e := range harness.All() {
+		registered[e.ID] = true
+		if !inTable[e.ID] {
+			failures = append(failures, fmt.Sprintf("README.md experiment table is missing %s (%s)", e.ID, e.Title))
+		}
+	}
+	for id := range inTable {
+		if !registered[id] {
+			failures = append(failures, fmt.Sprintf("README.md experiment table lists %s, which the harness registry does not know", id))
+		}
+	}
+	return failures
+}

@@ -1,12 +1,12 @@
-// Command passbench runs the reproduction's experiment suite (E1–E15) and
-// prints the result tables recorded in EXPERIMENTS.md.
+// Command passbench runs the reproduction's experiment suite (E1–E16) and
+// prints the result tables.
 //
 // Usage:
 //
 //	passbench [-run E5,E7] [-scale 1.0] [-json results.json]
 //
-// Each experiment maps to one claim of the paper (see DESIGN.md §4). The
-// default scale (1.0) is the EXPERIMENTS.md configuration; smaller scales
+// Each experiment maps to one claim of the paper (see the README experiment
+// map). The default scale (1.0) is the full configuration; smaller scales
 // run proportionally smaller workloads. -json additionally writes every
 // experiment's scalar findings to a machine-readable file, which CI
 // commits as BENCH_<n>.json so successive PRs leave a perf trajectory.

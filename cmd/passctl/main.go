@@ -17,7 +17,7 @@
 //	gc -before <RFC3339|unixnano>          collect old payloads
 //	verify                                 consistency audit
 //	stats                                  store statistics
-//	experiment [-scale F] <ID...>          run paper experiments (E1–E15); no -store needed
+//	experiment [-scale F] <ID...>          run paper experiments (E1–E16); no -store needed
 package main
 
 import (
@@ -345,7 +345,7 @@ func cmdVerify(s *core.Store, stdout io.Writer) error {
 // needing a local store.
 func cmdExperiment(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
-	scale := fs.Float64("scale", 0.25, "workload scale factor (1.0 = EXPERIMENTS.md configuration)")
+	scale := fs.Float64("scale", 0.25, "workload scale factor (1.0 = full configuration)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

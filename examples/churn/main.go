@@ -1,0 +1,160 @@
+// Churn: what happens to a metadata federation when sites CRASH and
+// REJOIN, not merely drop packets.
+//
+// Act I runs a 24-node Chord-style DHT. Three nodes crash; the keys they
+// owned vanish from lookups (routing detours around the hole but the data
+// holder is gone). One stabilization round later — successor probes,
+// membership repair, replica promotion, all charged on the simulated
+// wire — every key resolves again, re-homed onto the dead nodes'
+// successors, with the crashed nodes STILL down.
+//
+// Act II runs the paper's distributed PASS over the same kind of
+// topology. One site crashes while the rest keep publishing; digest
+// deltas for it pile up in every sender's outbox. When it returns it
+// does not wait out the per-sender replay: it asks its nearest live
+// neighbour for one view snapshot (bytes charged at the snapshot's wire
+// size), fast-forwards its per-origin sequence numbers, and the senders
+// prune their queues. The example prints both recovery paths' byte
+// bills side by side.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pass/internal/arch"
+	"pass/internal/arch/dht"
+	"pass/internal/arch/passnet"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func pubAt(n int, net *netsim.Network, origin netsim.SiteID) arch.Pub {
+	s, err := net.Site(origin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var digest [32]byte
+	digest[0], digest[1], digest[2] = byte(n), byte(n>>8), 0xC8
+	rec, id, err := provenance.NewRaw(digest, 64).
+		Attrs(
+			provenance.Attr("n", provenance.Int64(int64(n))),
+			provenance.Attr(provenance.KeyDomain, provenance.String("traffic")),
+			provenance.Attr(provenance.KeyZone, provenance.String(s.Zone)),
+		).
+		CreatedAt(int64(n) + 1).Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return arch.Pub{ID: id, Rec: rec, Origin: origin}
+}
+
+func lookupable(m arch.Model, from netsim.SiteID, ids []provenance.ID) int {
+	ok := 0
+	for _, id := range ids {
+		if _, _, err := m.Lookup(from, id); err == nil {
+			ok++
+		}
+	}
+	return ok
+}
+
+func main() {
+	fmt.Println("— act I: DHT key re-homing —")
+	net, sites := netsim.RandomTopology(netsim.Config{}, 6, 4, 20260)
+	d := dht.New(net, sites)
+	var ids []provenance.ID
+	for i := 0; i < 48; i++ {
+		p := pubAt(i, net, sites[(i*5)%len(sites)])
+		if _, err := d.Publish(p); err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	fmt.Printf("published %d records across %d ring members\n", len(ids), d.Members())
+
+	victims := []netsim.SiteID{sites[3], sites[11], sites[19]}
+	for _, v := range victims {
+		net.Fail(v)
+	}
+	fmt.Printf("3 nodes crash: %d/%d keys still resolvable\n",
+		lookupable(d, sites[0], ids), len(ids))
+
+	before := net.Stats()
+	if _, err := d.Stabilize(); err != nil {
+		log.Fatal(err)
+	}
+	st := net.Stats()
+	fmt.Printf("one stabilize round (%d msgs, %d bytes of probes+transfers): ring now %d members, %d records re-homed\n",
+		st.Messages-before.Messages, st.Bytes-before.Bytes, d.Members(), d.Rehomed())
+	fmt.Printf("victims still down: %d/%d keys resolvable again\n\n",
+		lookupable(d, sites[0], ids), len(ids))
+
+	fmt.Println("— act II: passnet rejoin by snapshot vs outbox replay —")
+	replay := runRejoinScenario(false)
+	snap := runRejoinScenario(true)
+	fmt.Printf("outbox replay:   %6d bytes, converged after %d gossip round(s)\n", replay.bytes, replay.rounds)
+	fmt.Printf("rejoin snapshot: %6d bytes, converged after %d gossip round(s)\n", snap.bytes, snap.rounds)
+	fmt.Printf("the snapshot saves %d bytes and the senders prune %d queued deltas unsent\n",
+		replay.bytes-snap.bytes, snap.pruned)
+}
+
+type recovery struct {
+	bytes  int64
+	rounds int
+	pruned int
+}
+
+// runRejoinScenario crashes one passnet site, lets the federation gossip
+// on without it, heals it, and recovers either by plain anti-entropy
+// replay or by an explicit rejoin state transfer.
+func runRejoinScenario(useRejoin bool) recovery {
+	net, sites := netsim.RandomTopology(netsim.Config{}, 6, 4, 20261)
+	m := passnet.New(net, sites, passnet.Options{})
+	victim := sites[20]
+
+	n := 0
+	publish := func(count int) {
+		for i := 0; i < count; i++ {
+			if _, err := m.Publish(pubAt(1000+n, net, sites[n%12])); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+	}
+	publish(12)
+	for i := 0; i < 2; i++ {
+		if err := m.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	net.Fail(victim)
+	for wave := 0; wave < 6; wave++ {
+		publish(12)
+		if err := m.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	net.Heal(victim)
+
+	queued := m.PendingDigests()
+	before := net.Stats()
+	var out recovery
+	if useRejoin {
+		if _, err := m.Rejoin(victim); err != nil {
+			log.Fatal(err)
+		}
+		out.pruned = queued - m.PendingDigests()
+	}
+	for m.PendingDigests() > 0 {
+		if err := m.Tick(); err != nil {
+			log.Fatal(err)
+		}
+		out.rounds++
+	}
+	out.bytes = net.Stats().Bytes - before.Bytes
+	return out
+}

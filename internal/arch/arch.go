@@ -54,6 +54,12 @@ func (p Pub) WireSize() int { return len(p.Rec.Encode()) }
 //     this round is retried on a later round (or dropped, for
 //     architectures whose semantics are fire-and-forget), and Tick keeps
 //     servicing the remaining peers.
+//
+// Models with recovery mechanisms beyond this baseline declare them via
+// the optional capability interfaces Stabilizer (membership repair and
+// key re-homing) and Rejoiner (snapshot state transfer for recovered
+// sites); the conformance suite and the churn experiment type-assert for
+// them.
 type Model interface {
 	// Name identifies the model in result tables.
 	Name() string
@@ -69,6 +75,39 @@ type Model interface {
 	// Tick advances one maintenance round (soft-state refresh, digest
 	// gossip, DHT republish). Models without periodic work return nil.
 	Tick() error
+}
+
+// Stabilizer is the optional capability interface for models that run
+// explicit membership repair (today: dht). A stabilize round detects
+// crashed members, repairs successor/finger structures around them, and
+// re-homes the keys the dead members owned onto their successors — all
+// charged on the simulated network, so churn recovery has a measurable
+// bandwidth and latency price. Callers (the churn experiment E16, the
+// KeyRehoming conformance law) type-assert for it; models without
+// membership state simply do not implement it.
+//
+// Stabilize returns the simulated time the round spent on probes and
+// transfers. Like Tick, it must tolerate unavailable peers: an
+// unreachable node is work for a later round, never an error.
+type Stabilizer interface {
+	Stabilize() (time.Duration, error)
+}
+
+// Rejoiner is the optional capability interface for models where a
+// recovered site can actively resynchronize from one live neighbour
+// (today: passnet) instead of waiting for every sender's per-delta
+// retries. Rejoin transfers a state snapshot whose bytes are charged on
+// the network; senders observing the snapshot's coverage prune their
+// retry queues. The FastRejoin conformance law asserts the snapshot path
+// converges in bounded rounds and costs fewer bytes than replaying every
+// queued delta.
+//
+// Rejoin returns the simulated critical-path latency of the transfer. It
+// fails with an unavailable error when the site is still down or no live
+// donor is reachable; a failed rejoin leaves the model consistent and
+// retryable (the site just keeps catching up via ordinary anti-entropy).
+type Rejoiner interface {
+	Rejoin(site netsim.SiteID) (time.Duration, error)
 }
 
 // Request/response wire-size model, shared across architectures so byte

@@ -1,7 +1,10 @@
 // Package archtest provides the shared conformance suite every Section IV
 // architecture model must pass: publish → lookup, attribute query, and
-// transitive ancestry, all from arbitrary querier sites. Models with soft
-// state declare NeedsTick so the suite flushes before asserting recall.
+// transitive ancestry, all from arbitrary querier sites, plus the fault,
+// view, and churn-recovery laws (faults.go, views.go, churn.go). Models
+// with soft state declare NeedsTick so the suite flushes before
+// asserting recall; capability-gated laws (per-site views, stabilization,
+// rejoin) skip models that cannot express the mechanism.
 package archtest
 
 import (
@@ -65,10 +68,12 @@ func MakeDerived(seed byte, tool string, parents ...provenance.ID) (provenance.I
 // Run executes the conformance suite: the quick correctness checks on
 // the 4-site unit network, then the heavyweight scenarios (faults.go) —
 // a 1,000-site scale sweep plus loss, churn, and partition injection —
-// and the per-site view laws (views.go): convergence after full digest
-// delivery, split-brain under partitions for view-exposing models, and a
-// 10,000-site sweep that pins indexed per-lookup cost. `go test -short`
-// shrinks the scale sweep and skips the 10k sweep.
+// the per-site view laws (views.go): convergence after full digest
+// delivery and split-brain under partitions for view-exposing models,
+// the churn-recovery laws (churn.go): KeyRehoming for arch.Stabilizer
+// models and FastRejoin for arch.Rejoiner models, and a 10,000-site
+// sweep that pins indexed per-lookup cost. `go test -short` shrinks the
+// scale sweep and skips the 10k sweep.
 func Run(t *testing.T, cfg Config) {
 	t.Helper()
 	t.Run("PublishLookup", func(t *testing.T) { testPublishLookup(t, cfg) })
@@ -82,6 +87,8 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("PartitionHeal", func(t *testing.T) { testPartitionHeal(t, cfg) })
 	t.Run("ViewConvergence", func(t *testing.T) { testViewConvergence(t, cfg) })
 	t.Run("SplitBrainViews", func(t *testing.T) { testSplitBrainViews(t, cfg) })
+	t.Run("KeyRehoming", func(t *testing.T) { testKeyRehoming(t, cfg) })
+	t.Run("FastRejoin", func(t *testing.T) { testFastRejoin(t, cfg) })
 	t.Run("Sweep10k", func(t *testing.T) { testSweep10k(t, cfg) })
 }
 

@@ -17,6 +17,20 @@
 //  3. routing costs O(log n) hops per lookup, each a real message;
 //  4. "support for efficient recursive queries is so far nonexistent" —
 //     ancestry resolution is one full DHT lookup per visited record.
+//
+// # Churn recovery
+//
+// The ring survives membership change the way Chord does (E16, the
+// KeyRehoming law). Each placement is replicated to the home's first
+// ReplicaFanout ring successors (successor-list replication, charged on
+// the wire, surviving runs of up to ReplicaFanout adjacent crashes), and a
+// periodic Stabilize round — implementing arch.Stabilizer — probes each
+// member's successor list, removes crashed members from the ring, promotes
+// the replicas their successors already hold into primary ownership, and
+// re-establishes the replication invariant along the repaired successor
+// links. All repair traffic is charged in bytes and messages: churn
+// tolerance has a measurable price, which is exactly the paper's point
+// about DHT maintenance load.
 package dht
 
 import (
@@ -33,19 +47,48 @@ import (
 	"pass/internal/provenance"
 )
 
+// SuccessorListLen is how many ring successors each node tracks (the
+// Chord successor list). One stabilize round can detect and route around
+// runs of up to SuccessorListLen dead members; longer runs are repaired
+// over successive rounds.
+const SuccessorListLen = 4
+
+// ReplicaFanout is how many ring successors hold a replica of each
+// placement. Two replicas survive a pair of adjacent crashes — the
+// common case a 10% churn rate produces — at the price of two extra
+// (charged) messages per placement; runs of more than ReplicaFanout
+// adjacent crashes fall back to the next republish round.
+const ReplicaFanout = 2
+
 // Model is the Chord-style DHT.
 type Model struct {
-	mu    sync.Mutex
-	net   *netsim.Network
-	nodes []node // sorted by ring position
-	// stores[i] belongs to nodes[i].
-	stores []*arch.SiteStore
+	mu  sync.Mutex
+	net *netsim.Network
+	// ring is the current membership snapshot. Stabilize replaces it
+	// wholesale (never mutates nodes in place), so an operation that
+	// grabbed the pointer keeps a consistent view for its whole run.
+	ring *ring
 	// published remembers everything for republish rounds.
 	published []arch.Pub
 	// hopsTotal / lookups track routing cost.
 	hopsTotal int64
 	lookups   int64
-	rto       *arch.RTO
+	// rehomed counts records promoted from replica to primary by
+	// stabilization (the E16 re-homing column).
+	rehomed int64
+	rto     *arch.RTO
+}
+
+// ring is one immutable membership snapshot: nodes sorted by ring
+// position, with each node's primary store and the replicas it holds for
+// its nearest predecessors (successor-list replication). Replicas are
+// bucketed by the SOURCE node's ring position, so when a member dies its
+// successor promotes exactly the dead node's records — never a still-live
+// neighbour's copies.
+type ring struct {
+	nodes    []node
+	stores   []*arch.SiteStore
+	replicas []map[uint64]*arch.SiteStore
 }
 
 type node struct {
@@ -56,19 +99,30 @@ type node struct {
 // New builds a DHT whose participants are the given sites.
 func New(net *netsim.Network, sites []netsim.SiteID) *Model {
 	m := &Model{net: net, rto: arch.NewRTO(0xD47A91)}
+	r := &ring{}
 	for _, s := range sites {
-		m.nodes = append(m.nodes, node{site: s, pos: ringPosOfSite(s)})
+		r.nodes = append(r.nodes, node{site: s, pos: ringPosOfSite(s)})
 	}
-	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i].pos < m.nodes[j].pos })
-	m.stores = make([]*arch.SiteStore, len(m.nodes))
-	for i := range m.stores {
-		m.stores[i] = arch.NewSiteStore()
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].pos < r.nodes[j].pos })
+	r.stores = make([]*arch.SiteStore, len(r.nodes))
+	r.replicas = make([]map[uint64]*arch.SiteStore, len(r.nodes))
+	for i := range r.stores {
+		r.stores[i] = arch.NewSiteStore()
+		r.replicas[i] = make(map[uint64]*arch.SiteStore)
 	}
+	m.ring = r
 	return m
 }
 
 // Name implements arch.Model.
 func (m *Model) Name() string { return "dht" }
+
+// snapshot returns the current membership ring.
+func (m *Model) snapshot() *ring {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring
+}
 
 func ringPosOfSite(s netsim.SiteID) uint64 {
 	var buf [8]byte
@@ -83,9 +137,9 @@ func ringPos(b []byte) uint64 {
 }
 
 // successorIdx returns the index of the first node clockwise from pos.
-func (m *Model) successorIdx(pos uint64) int {
-	i := sort.Search(len(m.nodes), func(i int) bool { return m.nodes[i].pos >= pos })
-	if i == len(m.nodes) {
+func (r *ring) successorIdx(pos uint64) int {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].pos >= pos })
+	if i == len(r.nodes) {
 		return 0
 	}
 	return i
@@ -93,54 +147,55 @@ func (m *Model) successorIdx(pos uint64) int {
 
 // route simulates Chord finger-table routing from one site toward the
 // home of pos: each hop halves the remaining clockwise distance, charging
-// one network message per hop. It returns the home node index, the
-// accumulated latency, and the hop count.
-func (m *Model) route(from netsim.SiteID, pos uint64, msgSize int) (int, time.Duration, int, error) {
+// one network message per hop. It returns the home node index (within r),
+// the accumulated latency, and the hop count.
+func (m *Model) route(r *ring, from netsim.SiteID, pos uint64, msgSize int) (int, time.Duration, int, error) {
 	// A crashed originator cannot route at all; fail fast instead of
 	// misreading its own ErrSiteDown as dead finger targets and scanning
 	// the whole ring.
 	if m.net.IsDown(from) {
 		return 0, 0, 0, fmt.Errorf("%w: routing origin %d", netsim.ErrSiteDown, from)
 	}
-	homeIdx := m.successorIdx(pos)
+	homeIdx := r.successorIdx(pos)
 	// Current position on the ring = the node owning the querier's hash;
 	// route by jumping fingers: each finger jump moves to the successor
 	// of cur + 2^k for the largest useful k — equivalent to halving the
 	// clockwise gap. We simulate the standard O(log n) path.
-	curIdx := m.successorIdx(ringPosOfSite(from))
+	curIdx := r.successorIdx(ringPosOfSite(from))
 	var total time.Duration
 	hops := 0
 	curSite := from
 	for curIdx != homeIdx {
-		gap := m.nodes[homeIdx].pos - m.nodes[curIdx].pos // modular arithmetic via uint64 wraparound
+		gap := r.nodes[homeIdx].pos - r.nodes[curIdx].pos // modular arithmetic via uint64 wraparound
 		// Largest power-of-two jump not exceeding the gap.
 		jump := uint64(1) << 63
 		for jump > gap && jump > 1 {
 			jump >>= 1
 		}
-		nextIdx := m.successorIdx(m.nodes[curIdx].pos + jump)
+		nextIdx := r.successorIdx(r.nodes[curIdx].pos + jump)
 		if nextIdx == curIdx {
-			nextIdx = (curIdx + 1) % len(m.nodes) // guarantee progress
+			nextIdx = (curIdx + 1) % len(r.nodes) // guarantee progress
 		}
 		// A dead or partitioned finger target costs nothing on the wire;
 		// Chord falls back to successively closer successors until it
 		// reaches a live node — or the home itself, whose unreachability
-		// fails the route (the data holder is gone). Lost messages are
-		// NOT routed around: the sender only discovers the loss by
-		// timeout, and the caller retransmits the whole operation.
-		d, err := m.net.Send(curSite, m.nodes[nextIdx].site, msgSize)
+		// fails the route (the data holder is gone, until a Stabilize
+		// round re-homes its keys). Lost messages are NOT routed around:
+		// the sender only discovers the loss by timeout, and the caller
+		// retransmits the whole operation.
+		d, err := m.net.Send(curSite, r.nodes[nextIdx].site, msgSize)
 		for err != nil && (errors.Is(err, netsim.ErrSiteDown) || errors.Is(err, netsim.ErrPartitioned)) && nextIdx != homeIdx {
-			nextIdx = (nextIdx + 1) % len(m.nodes)
-			d, err = m.net.Send(curSite, m.nodes[nextIdx].site, msgSize)
+			nextIdx = (nextIdx + 1) % len(r.nodes)
+			d, err = m.net.Send(curSite, r.nodes[nextIdx].site, msgSize)
 		}
 		if err != nil {
 			return 0, total, hops, err
 		}
 		total += d
 		hops++
-		curSite = m.nodes[nextIdx].site
+		curSite = r.nodes[nextIdx].site
 		curIdx = nextIdx
-		if hops > len(m.nodes)+64 {
+		if hops > len(r.nodes)+64 {
 			return 0, total, hops, fmt.Errorf("dht: routing did not converge")
 		}
 	}
@@ -149,6 +204,39 @@ func (m *Model) route(from netsim.SiteID, pos uint64, msgSize int) (int, time.Du
 	m.lookups++
 	m.mu.Unlock()
 	return homeIdx, total, hops, nil
+}
+
+// replicate pushes a freshly placed record from its home to the home's
+// first ReplicaFanout ring successors (successor-list replication). One
+// attempt each, fire-and-forget — a replica lost to the network is
+// repaired by the next Stabilize round's anti-entropy pass — so the
+// bytes are charged but the publish's critical-path latency is not
+// extended.
+func (m *Model) replicate(r *ring, homeIdx int, id provenance.ID, rec *provenance.Record) {
+	for k := 1; k <= ReplicaFanout; k++ {
+		succ := (homeIdx + k) % len(r.nodes)
+		if succ == homeIdx {
+			return // ring smaller than the fanout
+		}
+		if _, err := m.net.Send(r.nodes[homeIdx].site, r.nodes[succ].site, arch.ReqOverhead+len(rec.Encode())); err != nil {
+			continue
+		}
+		m.mu.Lock()
+		r.replicaBucket(succ, r.nodes[homeIdx].pos).Add(id, rec)
+		m.mu.Unlock()
+	}
+}
+
+// replicaBucket returns (creating if needed) the store where node idx
+// keeps replicas pushed by the source node at the given ring position.
+// Callers hold m.mu.
+func (r *ring) replicaBucket(idx int, sourcePos uint64) *arch.SiteStore {
+	b := r.replicas[idx][sourcePos]
+	if b == nil {
+		b = arch.NewSiteStore()
+		r.replicas[idx][sourcePos] = b
+	}
+	return b
 }
 
 // Publish routes the record to successor(hash(id)) and one posting per
@@ -172,16 +260,18 @@ func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 }
 
 func (m *Model) publishOnce(p arch.Pub) (time.Duration, error) {
+	r := m.snapshot()
 	total, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
-		homeIdx, d1, _, err := m.route(p.Origin, ringPos(p.ID[:]), p.WireSize())
+		homeIdx, d1, _, err := m.route(r, p.Origin, ringPos(p.ID[:]), p.WireSize())
 		if err != nil {
 			return d1, err
 		}
 		m.mu.Lock()
-		m.stores[homeIdx].Add(p.ID, p.Rec)
+		r.stores[homeIdx].Add(p.ID, p.Rec)
 		m.mu.Unlock()
+		m.replicate(r, homeIdx, p.ID, p.Rec)
 		// Ack straight back; a lost ack retransmits the placement.
-		dAck, err := m.net.Send(m.nodes[homeIdx].site, p.Origin, arch.AckWire)
+		dAck, err := m.net.Send(r.nodes[homeIdx].site, p.Origin, arch.AckWire)
 		return d1 + dAck, err
 	})
 	if err != nil {
@@ -197,13 +287,14 @@ func (m *Model) publishOnce(p arch.Pub) (time.Duration, error) {
 		}
 		seen[mk] = struct{}{}
 		d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
-			idx, d, _, err := m.route(p.Origin, ringPos([]byte(mk)), arch.ReqOverhead+len(mk)+arch.IDWire)
+			idx, d, _, err := m.route(r, p.Origin, ringPos([]byte(mk)), arch.ReqOverhead+len(mk)+arch.IDWire)
 			if err != nil {
 				return d, err
 			}
 			m.mu.Lock()
-			m.stores[idx].Add(p.ID, p.Rec)
+			r.stores[idx].Add(p.ID, p.Rec)
 			m.mu.Unlock()
+			m.replicate(r, idx, p.ID, p.Rec)
 			return d, nil
 		})
 		if err != nil {
@@ -220,18 +311,19 @@ func (m *Model) Lookup(from netsim.SiteID, id provenance.ID) (*provenance.Record
 	var rec *provenance.Record
 	var ok bool
 	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
-		homeIdx, d1, _, err := m.route(from, ringPos(id[:]), arch.ReqOverhead+arch.IDWire)
+		r := m.snapshot()
+		homeIdx, d1, _, err := m.route(r, from, ringPos(id[:]), arch.ReqOverhead+arch.IDWire)
 		if err != nil {
 			return d1, err
 		}
 		m.mu.Lock()
-		rec, ok = m.stores[homeIdx].Get(id)
+		rec, ok = r.stores[homeIdx].Get(id)
 		m.mu.Unlock()
 		respSize := arch.RespOverhead
 		if ok {
 			respSize += len(rec.Encode())
 		}
-		d2, err := m.net.Send(m.nodes[homeIdx].site, from, respSize)
+		d2, err := m.net.Send(r.nodes[homeIdx].site, from, respSize)
 		return d1 + d2, err
 	})
 	if err != nil {
@@ -249,14 +341,15 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 	mk := key + "\x00" + string(value.Canonical())
 	var ids []provenance.ID
 	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
-		homeIdx, d1, _, err := m.route(from, ringPos([]byte(mk)), arch.AttrReqSize(key, value))
+		r := m.snapshot()
+		homeIdx, d1, _, err := m.route(r, from, ringPos([]byte(mk)), arch.AttrReqSize(key, value))
 		if err != nil {
 			return d1, err
 		}
 		m.mu.Lock()
-		ids = append([]provenance.ID(nil), m.stores[homeIdx].LookupAttr(key, value)...)
+		ids = append([]provenance.ID(nil), r.stores[homeIdx].LookupAttr(key, value)...)
 		m.mu.Unlock()
-		d2, err := m.net.Send(m.nodes[homeIdx].site, from, arch.IDListRespSize(len(ids)))
+		d2, err := m.net.Send(r.nodes[homeIdx].site, from, arch.IDListRespSize(len(ids)))
 		return d1 + d2, err
 	})
 	if err != nil {
@@ -297,13 +390,180 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 	return out, total, nil
 }
 
-// Tick runs one republish round: every published record's postings are
-// pushed again (DHT soft state decays without refresh). This is the
-// update load that Section IV-C says scales to only tens of thousands of
-// updaters. Records whose home is unreachable this round are skipped —
-// the next republish round retries them — so one crashed node cannot
-// stall everyone else's refresh.
+// Stabilize implements arch.Stabilizer: one Chord stabilization round.
+//
+//  1. Probe: every live member pings down its successor list (each probe a
+//     charged message) until it reaches a live successor; members whose
+//     probes fail with ErrSiteDown are marked departed. Lost or
+//     partitioned probes are inconclusive — a slow or cut-off peer is not
+//     a crashed one — so membership is left alone for those.
+//  2. Repair: departed members are removed from the ring (successors and
+//     fingers now resolve past them), and each departed member's first
+//     live successor promotes the replicas it already holds into primary
+//     ownership — the keys the dead node owned are re-homed without
+//     waiting for their origins to republish.
+//  3. Re-replicate: along the successor links, every member re-sends its
+//     successors the primary records their replica buckets are missing,
+//     one batched transfer per link, charged in bytes — restoring the
+//     replication invariant after a removal and, because the pass runs
+//     every round, repairing replicas that packet loss dropped at
+//     publish time.
+//
+// A run of more than SuccessorListLen adjacent crashes loses the replica
+// chain for the run's interior; those keys come back on the next Tick's
+// origin republish, which is the DHT's soft-state backstop.
+func (m *Model) Stabilize() (time.Duration, error) {
+	r := m.snapshot()
+	n := len(r.nodes)
+	if n < 2 {
+		return 0, nil
+	}
+	var total time.Duration
+	dead := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		if m.net.IsDown(r.nodes[i].site) {
+			continue // a crashed member probes nothing
+		}
+		for k := 1; k <= SuccessorListLen && k < n; k++ {
+			j := (i + k) % n
+			d, err := m.net.Send(r.nodes[i].site, r.nodes[j].site, arch.AckWire)
+			total += d
+			if err == nil {
+				break
+			}
+			if errors.Is(err, netsim.ErrSiteDown) {
+				dead[j] = true
+				continue
+			}
+			break // lost or partitioned: inconclusive, no removal
+		}
+	}
+	if len(dead) > 0 && len(dead) < n {
+		m.mu.Lock()
+		// Promote: each departed member's first live successor takes over
+		// exactly that member's replica bucket — records a still-live
+		// neighbour replicated here stay replicas. Promotion is local
+		// (the bucket is already on the successor), so no wire traffic.
+		deadPos := make(map[uint64]bool, len(dead))
+		for i := 0; i < n; i++ {
+			if !dead[i] {
+				continue
+			}
+			deadPos[r.nodes[i].pos] = true
+			for k := 1; k < n; k++ {
+				j := (i + k) % n
+				if dead[j] {
+					continue
+				}
+				if bucket := r.replicas[j][r.nodes[i].pos]; bucket != nil {
+					m.rehomed += mergeStores(r.stores[j], bucket)
+				}
+				break
+			}
+		}
+		nr := &ring{}
+		for i := 0; i < n; i++ {
+			if dead[i] {
+				continue
+			}
+			// Buckets sourced from departed members are spent: their
+			// contents are primary at the promoting successor now.
+			for pos := range r.replicas[i] {
+				if deadPos[pos] {
+					delete(r.replicas[i], pos)
+				}
+			}
+			nr.nodes = append(nr.nodes, r.nodes[i])
+			nr.stores = append(nr.stores, r.stores[i])
+			nr.replicas = append(nr.replicas, r.replicas[i])
+		}
+		m.ring = nr
+		r = nr
+		m.mu.Unlock()
+	}
+
+	// Re-replicate along the (possibly repaired) successor links. This
+	// anti-entropy pass runs every round, not only after a removal: it is
+	// what heals replicas dropped by packet loss at publish time, per
+	// replicate's contract, and it is free when nothing is missing.
+	nn := len(r.nodes)
+	for i := 0; i < nn; i++ {
+		for k := 1; k <= ReplicaFanout; k++ {
+			j := (i + k) % nn
+			if i == j || m.net.IsDown(r.nodes[i].site) || m.net.IsDown(r.nodes[j].site) {
+				continue
+			}
+			m.mu.Lock()
+			ids, recs, bytes := missingFrom(r.stores[i], r.replicaBucket(j, r.nodes[i].pos))
+			m.mu.Unlock()
+			if len(ids) == 0 {
+				continue
+			}
+			d, err := m.net.Send(r.nodes[i].site, r.nodes[j].site, arch.ReqOverhead+bytes)
+			total += d
+			if err != nil {
+				continue // retried by a later round
+			}
+			m.mu.Lock()
+			bucket := r.replicaBucket(j, r.nodes[i].pos)
+			for x, id := range ids {
+				bucket.Add(id, recs[x])
+			}
+			m.mu.Unlock()
+		}
+	}
+	return total, nil
+}
+
+// mergeStores folds every record of src into dst, returning how many were
+// new. Callers hold m.mu.
+func mergeStores(dst, src *arch.SiteStore) int64 {
+	var n int64
+	for _, id := range src.IDs() {
+		if _, have := dst.Get(id); have {
+			continue
+		}
+		if rec, ok := src.Get(id); ok {
+			dst.Add(id, rec)
+			n++
+		}
+	}
+	return n
+}
+
+// missingFrom lists the records of primary that replica lacks, plus their
+// total encoded size (the batched transfer's payload). Callers hold m.mu.
+func missingFrom(primary, replica *arch.SiteStore) ([]provenance.ID, []*provenance.Record, int) {
+	var ids []provenance.ID
+	var recs []*provenance.Record
+	bytes := 0
+	for _, id := range primary.IDs() {
+		if _, have := replica.Get(id); have {
+			continue
+		}
+		rec, ok := primary.Get(id)
+		if !ok {
+			continue
+		}
+		ids = append(ids, id)
+		recs = append(recs, rec)
+		bytes += len(rec.Encode())
+	}
+	return ids, recs, bytes
+}
+
+// Tick runs one maintenance round: a Chord stabilization pass (ring
+// repair and key re-homing; see Stabilize) followed by a republish round
+// in which every published record's postings are pushed again (DHT soft
+// state decays without refresh). This is the update load that Section
+// IV-C says scales to only tens of thousands of updaters. Records whose
+// home is unreachable this round are skipped — the next republish round
+// retries them — so one crashed node cannot stall everyone else's
+// refresh.
 func (m *Model) Tick() error {
+	if _, err := m.Stabilize(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	pubs := append([]arch.Pub(nil), m.published...)
 	m.mu.Unlock()
@@ -328,13 +588,29 @@ func (m *Model) AvgHops() float64 {
 	return float64(m.hopsTotal) / float64(m.lookups)
 }
 
-// NodeLoad returns per-node stored record counts (load imbalance and E9's
-// per-node update load proxy).
-func (m *Model) NodeLoad() []int {
+// Rehomed reports how many records stabilization promoted from replica to
+// primary ownership (the churn experiment's re-homing column).
+func (m *Model) Rehomed() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]int, len(m.stores))
-	for i, st := range m.stores {
+	return m.rehomed
+}
+
+// Members reports the current ring membership size (shrinks as Stabilize
+// removes crashed nodes).
+func (m *Model) Members() int {
+	return len(m.snapshot().nodes)
+}
+
+// NodeLoad returns per-node stored record counts (load imbalance and E9's
+// per-node update load proxy). Primary ownership only; replicas are not
+// counted.
+func (m *Model) NodeLoad() []int {
+	r := m.snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, len(r.stores))
+	for i, st := range r.stores {
 		out[i] = st.Len()
 	}
 	return out
@@ -342,5 +618,6 @@ func (m *Model) NodeLoad() []int {
 
 // HomeOf exposes record placement (tests: placement ignores locality).
 func (m *Model) HomeOf(id provenance.ID) netsim.SiteID {
-	return m.nodes[m.successorIdx(ringPos(id[:]))].site
+	r := m.snapshot()
+	return r.nodes[r.successorIdx(ringPos(id[:]))].site
 }

@@ -126,3 +126,90 @@ func TestAncestryPaysLookupPerRecord(t *testing.T) {
 		t.Fatalf("ancestry used only %d messages", msgs)
 	}
 }
+
+// TestStabilizeRehomesKeys: a crashed node's keys move to its successor
+// after one stabilize round — no origin republish — and membership
+// shrinks so routing stops detouring around the hole.
+func TestStabilizeRehomesKeys(t *testing.T) {
+	net, sites, m := bigRing(16)
+	var ids []provenance.ID
+	for i := byte(1); i <= 40; i++ {
+		p := archtest.PubAt(i, sites[int(i)%len(sites)],
+			provenance.Attr("domain", provenance.String("rehome")))
+		if _, err := m.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+
+	victim := m.HomeOf(ids[0])
+	querier := sites[0]
+	if querier == victim {
+		querier = sites[1]
+	}
+	net.Fail(victim)
+	if _, _, err := m.Lookup(querier, ids[0]); err == nil {
+		t.Fatal("lookup of a dead-homed key succeeded before stabilization")
+	}
+
+	if _, err := m.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Members(); got != 15 {
+		t.Fatalf("ring has %d members after one crash + stabilize, want 15", got)
+	}
+	if m.HomeOf(ids[0]) == victim {
+		t.Fatal("key still homed at the departed node")
+	}
+	if m.Rehomed() == 0 {
+		t.Fatal("stabilization promoted no replicas")
+	}
+	// Every key resolves again, from replicas alone (no Tick ran).
+	for _, id := range ids {
+		rec, _, err := m.Lookup(querier, id)
+		if err != nil {
+			t.Fatalf("lookup of %s after stabilize: %v", id.Short(), err)
+		}
+		if rec.ComputeID() != id {
+			t.Fatalf("re-homed lookup of %s returned the wrong record", id.Short())
+		}
+	}
+}
+
+// TestStabilizeLeavesHealthyRingAlone: with nobody down, stabilization is
+// pure probe traffic — membership and placement must not move.
+func TestStabilizeLeavesHealthyRingAlone(t *testing.T) {
+	net, sites, m := bigRing(8)
+	p := archtest.PubAt(1, sites[0])
+	if _, err := m.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	homeBefore := m.HomeOf(p.ID)
+	before := net.Stats().Messages
+	if _, err := m.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Members() != 8 {
+		t.Fatalf("membership changed on a healthy ring: %d", m.Members())
+	}
+	if m.HomeOf(p.ID) != homeBefore {
+		t.Fatal("placement moved on a healthy ring")
+	}
+	if net.Stats().Messages == before {
+		t.Fatal("stabilization probes were not charged")
+	}
+}
+
+// TestPartitionDoesNotEvictMembers: a partitioned peer is unreachable but
+// not departed; stabilization must leave membership alone so the healed
+// partition needs no re-homing.
+func TestPartitionDoesNotEvictMembers(t *testing.T) {
+	net, sites, m := bigRing(8)
+	net.Partition(sites[:4], sites[4:])
+	if _, err := m.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Members(); got != 8 {
+		t.Fatalf("partition evicted members: %d left", got)
+	}
+}

@@ -254,6 +254,93 @@ func (m *Model) gossipFrom(site netsim.SiteID) error {
 	return nil
 }
 
+// Rejoin implements arch.Rejoiner: an explicit state transfer for a site
+// recovering from a crash or a long partition. Instead of waiting for
+// every sender's outbox to replay its queued deltas one by one (each with
+// its own header and filter, each a separate anti-entropy retry), the
+// rejoining site asks its nearest live peer for a snapshot of that peer's
+// whole view and folds it in — one round trip, snapshot bytes charged at
+// the view's wire size. The merge fast-forwards the rejoiner's per-origin
+// sequence numbers, so every sender whose queued delta the snapshot
+// already covers prunes the rejoiner from that delta's delivery set:
+// the outbox drains without re-sending what the snapshot carried.
+//
+// A rejoin while the site is still down, or with no reachable live peer,
+// fails with an unavailable error and changes nothing — the site keeps
+// catching up through ordinary gossip anti-entropy instead.
+func (m *Model) Rejoin(s netsim.SiteID) (time.Duration, error) {
+	if m.net.IsDown(s) {
+		return 0, fmt.Errorf("%w: rejoining site %d", netsim.ErrSiteDown, s)
+	}
+	m.mu.Lock()
+	view, ok := m.views[s]
+	if !ok {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("passnet: unknown site %d", s)
+	}
+	donor, ok := m.nearestLivePeer(s)
+	if !ok {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("%w: no live donor for site %d", netsim.ErrSiteDown, s)
+	}
+	snap := m.views[donor]
+	size := snap.WireSize()
+	m.mu.Unlock()
+
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(s, donor, arch.ReqOverhead, arch.RespOverhead+size)
+	})
+	if err != nil {
+		return d, err
+	}
+	m.mu.Lock()
+	view.Merge(snap)
+	m.pruneOutboxFor(s)
+	m.mu.Unlock()
+	return d, nil
+}
+
+// nearestLivePeer picks the reachable peer with the lowest network
+// latency from s (deterministic: ties break on site order). Callers hold
+// m.mu.
+func (m *Model) nearestLivePeer(s netsim.SiteID) (netsim.SiteID, bool) {
+	best := netsim.InvalidSite
+	var bestLat time.Duration
+	for _, p := range m.sites {
+		if p == s || m.net.IsDown(p) || m.net.Partitioned(s, p) {
+			continue
+		}
+		lat, err := m.net.Latency(s, p, arch.ReqOverhead)
+		if err != nil {
+			continue
+		}
+		if best == netsim.InvalidSite || lat < bestLat {
+			best, bestLat = p, lat
+		}
+	}
+	return best, best != netsim.InvalidSite
+}
+
+// pruneOutboxFor drops the given site from every queued delta its view
+// has already covered (sequence number at or below the view's applied
+// seq for that origin) — the senders' reaction to a rejoin snapshot.
+// Deltas with no remaining receivers are retired entirely. Callers hold
+// m.mu.
+func (m *Model) pruneOutboxFor(s netsim.SiteID) {
+	for origin, deltas := range m.outbox {
+		live := deltas[:0]
+		for _, od := range deltas {
+			if _, need := od.remaining[s]; need && m.views[s].Seq(origin) >= od.delta.Seq {
+				delete(od.remaining, s)
+			}
+			if len(od.remaining) > 0 {
+				live = append(live, od)
+			}
+		}
+		m.outbox[origin] = live
+	}
+}
+
 // Tick gossips every site's pending digest delta.
 func (m *Model) Tick() error {
 	for _, s := range m.sites {

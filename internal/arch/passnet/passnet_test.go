@@ -395,3 +395,89 @@ func TestStaleViewRoutesOnlyToDeliveredSites(t *testing.T) {
 		t.Fatalf("stale view contacted %d remote sites, want 0", m.LastContacted())
 	}
 }
+
+// TestRejoinSnapshotPrunesOutbox: the satellite law behind FastRejoin,
+// pinned at the model level — a rejoin snapshot supersedes the deltas
+// queued for the rejoined site, so the senders drop them without ever
+// replaying them on the wire.
+func TestRejoinSnapshotPrunesOutbox(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{})
+	victim := sites[3]
+
+	for i := byte(1); i <= 3; i++ {
+		if _, err := m.Publish(archtest.PubAt(i, sites[int(i)%3],
+			provenance.Attr("domain", provenance.String("rj")))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim crashes; the federation keeps publishing and gossiping,
+	// so deltas pile up in the senders' outboxes addressed to it.
+	net.Fail(victim)
+	want := 3
+	for i := byte(10); i < 14; i++ {
+		if _, err := m.Publish(archtest.PubAt(i, sites[int(i)%3],
+			provenance.Attr("domain", provenance.String("rj")))); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	for i := 0; i < 2; i++ {
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.PendingDigests() == 0 {
+		t.Fatal("no digests queued for the crashed site — the scenario is vacuous")
+	}
+
+	net.Heal(victim)
+	if _, err := m.Rejoin(victim); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.PendingDigests(); n != 0 {
+		t.Fatalf("%d publications still queued after rejoin snapshot — outboxes were not pruned", n)
+	}
+	// Nothing left to replay: a maintenance round must stay silent.
+	msgs := net.Stats().Messages
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Stats().Messages; got != msgs {
+		t.Fatalf("tick after rejoin sent %d messages — pruned deltas were replayed", got-msgs)
+	}
+	// And the snapshot really carried the missed state: the rejoined site
+	// resolves everything published while it was down.
+	got, _, err := m.QueryAttr(victim, "domain", provenance.String("rj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("rejoined site sees %d/%d records", len(got), want)
+	}
+}
+
+// TestRejoinFailsCleanlyWhileDown: a rejoin attempted before the site is
+// back is an unavailable error and must change nothing.
+func TestRejoinFailsCleanlyWhileDown(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{})
+	if _, err := m.Publish(archtest.PubAt(1, sites[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	net.Fail(sites[3])
+	if _, err := m.Rejoin(sites[3]); !arch.IsUnavailable(err) {
+		t.Fatalf("rejoin of a down site: err = %v, want unavailable", err)
+	}
+	net.Heal(sites[3])
+	if _, err := m.Rejoin(sites[3]); err != nil {
+		t.Fatalf("rejoin after heal: %v", err)
+	}
+}

@@ -23,6 +23,18 @@
 // View.Apply returns false and changes nothing when it has already seen
 // that origin's sequence number.
 //
+// # Rejoin snapshots
+//
+// A site that was down for a while owes its peers nothing, but it owes
+// itself a catch-up. Rather than waiting for every sender's outbox to
+// replay each missed delta, a rejoining site can fetch one peer's whole
+// View as a snapshot and Merge it: content is unioned and per-origin
+// sequence numbers fast-forward, so deltas the snapshot already covers
+// read as stale everywhere — which is what lets the senders prune them
+// from their queues. WireSize prices the snapshot with the same model a
+// Delta uses, so snapshot-vs-replay byte comparisons (the FastRejoin
+// conformance law, experiment E16) are fair.
+//
 // # Indexed lookups
 //
 // A View answers two query-routing questions: "which site is home to this
@@ -253,6 +265,73 @@ func (v *View) addFilterKeys(origin netsim.SiteID, keys []string) {
 	for _, k := range keys {
 		f.Add(k)
 	}
+}
+
+// WireSize approximates the view's size as a state-transfer snapshot on
+// the wire: every location entry, plus each origin's accumulated
+// attribute Bloom filter with its sequence number, plus a header — the
+// same sizing model a Delta uses, so snapshot-vs-replay byte comparisons
+// are apples-to-apples. A rejoining site that fetches one snapshot pays
+// this once, instead of one delta header and filter per queued delta per
+// sender.
+func (v *View) WireSize() int {
+	size := deltaHeaderWire + len(v.loc)*locEntryWire
+	for _, f := range v.filters {
+		size += 16 + f.SizeBytes() // origin tag + seqno + filter bits
+	}
+	return size
+}
+
+// Merge folds a snapshot of another site's view into this one: location
+// entries and inverted-index postings are unioned, per-origin filters
+// absorb the newly learned keys, and per-origin sequence numbers
+// fast-forward to the donor's — so a delta the donor had already applied
+// is recognized as stale here too, and the senders still queuing it can
+// prune. Merging is add-only and idempotent (metadata never retracts);
+// it returns how many location entries were new. The donor view is read
+// only.
+func (v *View) Merge(snap *View) int {
+	added := 0
+	for id, home := range snap.loc {
+		if _, known := v.loc[id]; !known {
+			added++
+		}
+		v.loc[id] = home
+	}
+	newKeys := make(map[netsim.SiteID][]string)
+	for k, origins := range snap.attrSites {
+		set, ok := v.attrSites[k]
+		if !ok {
+			set = make(map[netsim.SiteID]struct{})
+			v.attrSites[k] = set
+		}
+		for origin := range origins {
+			if _, has := set[origin]; has {
+				continue
+			}
+			set[origin] = struct{}{}
+			newKeys[origin] = append(newKeys[origin], k)
+		}
+	}
+	// Deterministic per-origin order (map iteration above scrambles it;
+	// filter contents are order-independent but key counts must add up
+	// identically run to run).
+	origins := make([]netsim.SiteID, 0, len(newKeys))
+	for origin := range newKeys {
+		origins = append(origins, origin)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, origin := range origins {
+		keys := newKeys[origin]
+		sort.Strings(keys)
+		v.addFilterKeys(origin, keys)
+	}
+	for origin, seq := range snap.seq {
+		if seq > v.seq[origin] {
+			v.seq[origin] = seq
+		}
+	}
+	return added
 }
 
 // Locate resolves a record's home site from delivered deltas.

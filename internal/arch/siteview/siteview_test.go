@@ -154,3 +154,76 @@ func TestDeltaWireSizeAndDedup(t *testing.T) {
 	}
 	var _ netsim.SiteID = d.Origin
 }
+
+// TestMergeSnapshotFastForwards: folding a fresher view in unions the
+// content, fast-forwards per-origin sequence numbers (so superseded
+// deltas read as stale), keeps Bloom no-false-negatives, and is
+// idempotent.
+func TestMergeSnapshotFastForwards(t *testing.T) {
+	origin := netsim.SiteID(7)
+	d1 := NewDelta(origin, 1, []provenance.ID{idN(1)}, []string{"k\x00a"})
+	d2 := NewDelta(origin, 2, []provenance.ID{idN(2), idN(3)}, []string{"k\x00b", "j\x00c"})
+
+	donor := NewView(1)
+	donor.Apply(d1)
+	donor.Apply(d2)
+	rejoiner := NewView(2)
+	rejoiner.Apply(d1) // crashed before d2 arrived
+
+	if added := rejoiner.Merge(donor); added != 2 {
+		t.Fatalf("merge added %d locations, want 2", added)
+	}
+	if rejoiner.Seq(origin) != 2 {
+		t.Fatalf("seq not fast-forwarded: %d", rejoiner.Seq(origin))
+	}
+	if home, ok := rejoiner.Locate(idN(3)); !ok || home != origin {
+		t.Fatalf("merged location missing: %v %v", home, ok)
+	}
+	for _, k := range []string{"k\x00a", "k\x00b", "j\x00c"} {
+		if got := rejoiner.SitesFor(k); len(got) != 1 || got[0] != origin {
+			t.Fatalf("SitesFor(%q) = %v after merge", k, got)
+		}
+		if !rejoiner.MayHold(origin, k) {
+			t.Fatalf("merged filter lost %q (false negative)", k)
+		}
+	}
+	if rejoiner.Fingerprint() != donor.Fingerprint() {
+		t.Fatal("fingerprints differ after full merge")
+	}
+	// The superseded delta is now stale here too.
+	if rejoiner.Apply(d2) {
+		t.Fatal("superseded delta applied after merge")
+	}
+	// Idempotence: merging again changes nothing.
+	if added := rejoiner.Merge(donor); added != 0 {
+		t.Fatalf("second merge added %d locations", added)
+	}
+	if rejoiner.Fingerprint() != donor.Fingerprint() {
+		t.Fatal("second merge changed the fingerprint")
+	}
+}
+
+// TestSnapshotWireSizeTracksContent: an empty view's snapshot is nearly
+// free; content makes it grow; and it stays comparable to the deltas it
+// replaces (same sizing model).
+func TestSnapshotWireSizeTracksContent(t *testing.T) {
+	v := NewView(1)
+	empty := v.WireSize()
+	var deltaBytes int
+	for s := 0; s < 4; s++ {
+		for q := uint64(1); q <= 3; q++ {
+			ids := []provenance.ID{idN(s*100 + int(q))}
+			d := NewDelta(netsim.SiteID(s), q, ids, []string{fmt.Sprintf("k\x00%d-%d", s, q)})
+			deltaBytes += d.WireSize()
+			v.Apply(d)
+		}
+	}
+	if v.WireSize() <= empty {
+		t.Fatalf("snapshot size did not grow with content: %d <= %d", v.WireSize(), empty)
+	}
+	// One snapshot must undercut replaying its constituent deltas (it
+	// carries one header and one filter per origin, not per delta).
+	if v.WireSize() >= deltaBytes {
+		t.Fatalf("snapshot %dB not below the %dB of the 12 deltas it replaces", v.WireSize(), deltaBytes)
+	}
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// E16 shape checks: the churn story each architecture must tell. As with
+// the rest of the suite, assertions pin WHO recovers HOW — not absolute
+// byte counts.
+
+func TestE16ChurnShape(t *testing.T) {
+	res, err := testRunner().E16Churn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whether a given cell's crash set happens to own any record homes
+	// depends on hash placement, so "the crash tore something" and "keys
+	// were re-homed" are asserted across the sweep; the per-scenario
+	// mechanism is pinned by the KeyRehoming conformance law.
+	dhtTorn, dhtRehomed := 0.0, 0.0
+	for _, n := range []string{"n16", "n64"} {
+		for _, c := range []string{"c12", "c25"} {
+			cell := "_" + n + "_" + c
+
+			// The DHT: stabilization alone — victims still down — re-homes
+			// the dead nodes' keys onto their successors and restores
+			// recall (the acceptance bar: >= 0.99 after stabilization).
+			down := res.Finding("recall_down_dht" + cell)
+			stab := res.Finding("recall_stab_dht" + cell)
+			dhtTorn += 1 - down
+			dhtRehomed += res.Finding("rehomed_dht" + cell)
+			if stab < 0.99 {
+				t.Fatalf("dht%s: recall %v after stabilization, want >= 0.99 (re-homing failed)", cell, stab)
+			}
+			if stab < down {
+				t.Fatalf("dht%s: stabilization LOWERED recall (%v -> %v)", cell, down, stab)
+			}
+
+			// Locality-bound models: the victims' records live only at the
+			// victims, so no amount of down-time maintenance restores them —
+			// and healing does.
+			if v := res.Finding("recall_stab_passnet" + cell); v >= 1 {
+				t.Fatalf("passnet%s: recall %v with victims down — locality was faked", cell, v)
+			}
+			for _, model := range []string{"central", "softstate", "dht", "passnet", "passnet-replay"} {
+				if v := res.Finding("recall_heal_" + model + cell); v != 1 {
+					t.Fatalf("%s%s: recall %v after heal + recovery rounds, want 1", model, cell, v)
+				}
+			}
+
+			// The rejoin snapshot: same scenario as passnet-replay, but the
+			// rejoined site converges immediately instead of waiting out
+			// gossip rounds. (The byte comparison lives in the FastRejoin
+			// conformance law, whose scenario queues many deltas per origin;
+			// here each origin queues one batched delta, so replay is
+			// byte-lean and the snapshot buys immediacy.)
+			if rj := res.Finding("rounds_passnet" + cell); rj != 0 {
+				t.Fatalf("passnet%s: rejoin needed %v gossip rounds, want 0 (snapshot should converge immediately)", cell, rj)
+			}
+			if rp := res.Finding("rounds_passnet-replay" + cell); rp < 1 {
+				t.Fatalf("passnet-replay%s: converged in %v rounds without gossip — the crash queued nothing", cell, rp)
+			}
+			if rj := res.Finding("recbytes_passnet" + cell); rj <= 0 {
+				t.Fatalf("passnet%s: rejoin recovery charged %v bytes — the snapshot was free", cell, rj)
+			}
+
+			// The warehouse untouched by churn keeps answering in full.
+			if v := res.Finding("recall_down_central" + cell); v != 1 {
+				t.Fatalf("central%s: recall %v with only leaf sites down", cell, v)
+			}
+		}
+	}
+	if dhtTorn == 0 {
+		t.Fatal("no dht cell lost any recall to the crashes — churn tore nothing anywhere")
+	}
+	if dhtRehomed == 0 {
+		t.Fatal("no dht cell re-homed any replicas across the whole sweep")
+	}
+	for name, v := range res.Findings {
+		if strings.HasPrefix(name, "recall_") && (v < 0 || v > 1) {
+			t.Fatalf("%s = %v out of [0,1]", name, v)
+		}
+	}
+}
+
+// TestE16Deterministic: the whole churn experiment — crash pattern,
+// stabilization, rejoin transfer, recovery accounting — must be
+// byte-for-byte reproducible run to run.
+func TestE16Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeat run in -short mode")
+	}
+	r1, err := NewRunner(0.1).E16Churn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(0.1).E16Churn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Findings) != len(r2.Findings) {
+		t.Fatalf("finding counts differ: %d vs %d", len(r1.Findings), len(r2.Findings))
+	}
+	for name, v := range r1.Findings {
+		if r2.Findings[name] != v {
+			t.Fatalf("%s diverged across identical runs: %v vs %v", name, v, r2.Findings[name])
+		}
+	}
+	if r1.Table.String() != r2.Table.String() {
+		t.Fatal("result tables diverged across identical runs")
+	}
+}

@@ -1,8 +1,9 @@
-// Package harness runs the reproduction's experiment suite, E1–E15. The
+// Package harness runs the reproduction's experiment suite, E1–E16. The
 // paper (a position paper) contains no numbered tables or figures; each
 // experiment instead makes one of its quantitative or comparative claims
-// measurable — see DESIGN.md section 4 for the claim-to-experiment map
-// and EXPERIMENTS.md for recorded results.
+// measurable — see the README experiment map for the claim-to-experiment
+// mapping and ARCHITECTURE.md for how an experiment flows through the
+// registry, the drivers, and the benchmark gates.
 //
 // Every experiment returns a Result holding a printable table plus named
 // scalar findings that the test suite asserts on (the "shape" checks:
@@ -19,7 +20,7 @@ import (
 
 // Result is one experiment's output.
 type Result struct {
-	// ID is the experiment identifier ("E1" … "E15").
+	// ID is the experiment identifier ("E1" … "E16").
 	ID string
 	// Title summarizes the claim under test.
 	Title string
@@ -43,7 +44,7 @@ func (r *Result) String() string {
 // Finding fetches a named finding (0 when absent).
 func (r *Result) Finding(name string) float64 { return r.Findings[name] }
 
-// Scale trades experiment size for runtime: 1.0 is the EXPERIMENTS.md
+// Scale trades experiment size for runtime: 1.0 is the recorded full
 // configuration; tests use smaller values.
 type Scale float64
 
@@ -103,6 +104,7 @@ func All() []Experiment {
 		{"E13", "Resource consumption: central vs distributed crossover (§IV)", (*Runner).E13ResourceCrossover},
 		{"E14", "Survivability: recall and WAN cost under loss at scale (§IV Reliability)", (*Runner).E14Survivability},
 		{"E15", "Split-brain: divergent per-site views under partition, convergence after heal (§IV Consistency)", (*Runner).E15SplitBrain},
+		{"E16", "Churn: crash, stabilize, rejoin — recall and recovery cost vs crash rate (§IV Reliability)", (*Runner).E16Churn},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// E1 < E2 < ... < E13 numerically.

@@ -14,8 +14,8 @@ func testRunner() *Runner { return NewRunner(0.15) }
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(exps))
 	}
 	for i, e := range exps {
 		if e.ID != "E"+itoa(i+1) {
@@ -83,8 +83,8 @@ func TestE3IndexBeatsFlatScan(t *testing.T) {
 	// ratio jitters around 1 and a single measurement can dip below any
 	// fixed threshold purely from scheduling. Measure up to three times
 	// and require the index not to lose decisively in the BEST run — the
-	// order-of-magnitude separation is asserted at full scale by
-	// EXPERIMENTS.md / cmd/passbench, not here.
+	// order-of-magnitude separation is asserted by cmd/passbench at full
+	// scale, not here.
 	var worst string
 	var worstV float64
 	for attempt := 0; attempt < 3; attempt++ {
@@ -443,7 +443,7 @@ func TestRunAllProducesAllResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 15 {
+	if len(results) != 16 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

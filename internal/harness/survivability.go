@@ -44,7 +44,7 @@ func (r *Runner) E14Survivability() (*Result, error) {
 				}, nSites/sitesPerZone, sitesPerZone, uint64(9000+nSites))
 				m := build(net, sites)
 
-				pubs, err := survivalPubs(net, sites, pubsPer)
+				pubs, err := taggedPubs(net, sites, "surv", 0xE1, 0, pubsPer, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -127,26 +127,34 @@ func (r *Runner) E14Survivability() (*Result, error) {
 	}, nil
 }
 
-// survivalPubs builds one deterministic record per publish slot, tagged
-// domain=surv plus the origin's zone (so hierarchical partitioning has a
-// primary attribute to work with).
-func survivalPubs(net *netsim.Network, sites []netsim.SiteID, n int) ([]arch.Pub, error) {
+// taggedPubs builds one deterministic record per publish slot, tagged
+// with the given domain attribute (tag keeps different experiments'
+// digests distinct) plus the origin's zone (so hierarchical partitioning
+// has a primary attribute to work with). Sequence numbers start at base;
+// origins stride over the roster, skipping sites in skip (crashed
+// producers). Shared by the fault experiments E14 and E16.
+func taggedPubs(net *netsim.Network, sites []netsim.SiteID, domain string, tag byte, base, n int, skip map[netsim.SiteID]bool) ([]arch.Pub, error) {
 	pubs := make([]arch.Pub, 0, n)
 	for i := 0; i < n; i++ {
-		origin := sites[(i*7)%len(sites)]
+		seq := base + i
+		idx := (seq * 7) % len(sites)
+		for skip[sites[idx]] {
+			idx = (idx + 1) % len(sites)
+		}
+		origin := sites[idx]
 		s, err := net.Site(origin)
 		if err != nil {
 			return nil, err
 		}
 		var digest [32]byte
-		digest[0], digest[1], digest[2] = byte(i), byte(i>>8), 0xE1
+		digest[0], digest[1], digest[2] = byte(seq), byte(seq>>8), tag
 		rec, id, err := provenance.NewRaw(digest, 64).
 			Attrs(
-				provenance.Attr("n", provenance.Int64(int64(i))),
-				provenance.Attr(provenance.KeyDomain, provenance.String("surv")),
+				provenance.Attr("n", provenance.Int64(int64(seq))),
+				provenance.Attr(provenance.KeyDomain, provenance.String(domain)),
 				provenance.Attr(provenance.KeyZone, provenance.String(s.Zone)),
 			).
-			CreatedAt(int64(i) + 1).
+			CreatedAt(int64(seq) + 1).
 			Build()
 		if err != nil {
 			return nil, err
