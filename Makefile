@@ -5,9 +5,9 @@
 #                      regression gate. Run before sending a PR.
 #   make short       — quick edit loop: -short shrinks the 1,000-site
 #                      conformance sweeps and skips the 10k-site ones.
-#   make bench       — regenerate the experiment tables (E1–E16) and
+#   make bench       — regenerate the experiment tables (E1–E17) and
 #                      write BENCH.json for comparison against the
-#                      committed BENCH_1.json baseline.
+#                      committed BENCH_2.json baseline.
 #   make docs-check  — fail if an internal/ package lacks a package
 #                      comment or README's experiment table drifts from
 #                      the harness registry (cmd/docscheck).
@@ -33,11 +33,15 @@ short:
 vet:
 	$(GO) vet ./...
 
-# The storage engine and provenance core are the concurrency-bearing
-# packages; -race over their tests covers the lock discipline the rest of
-# the tree relies on.
+# The storage engine and provenance core get the full -race treatment;
+# the architecture models and the experiment harness are mutex-bearing
+# too (every model serializes state behind its lock), so they run under
+# -race as well — at -short scale, because the 1,000-site conformance
+# sweeps under the race detector's ~10x slowdown would dominate the gate
+# without widening its coverage.
 race:
 	$(GO) test -race -count=1 ./internal/core ./internal/kvstore
+	$(GO) test -race -short -count=1 ./internal/arch/... ./internal/harness
 
 check: vet test race bench-check docs-check
 
@@ -52,7 +56,7 @@ bench:
 # The perf trajectory gate (ROADMAP): regenerate the suite at the
 # baseline's scale, then compare wall-clock per experiment (generous
 # tolerance — this catches O(n) blowups, not noise) and recall
-# invariants against the committed BENCH_1.json.
+# invariants against the committed BENCH_2.json.
 bench-check:
 	$(GO) run ./cmd/passbench -scale 0.5 -json BENCH.json >/dev/null
-	$(GO) run ./cmd/benchcheck -baseline BENCH_1.json -current BENCH.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_2.json -current BENCH.json

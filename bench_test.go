@@ -1,5 +1,5 @@
 // Package pass_test hosts the top-level benchmark harness: one testing.B
-// benchmark per experiment (E1–E16), each regenerating the corresponding
+// benchmark per experiment (E1–E17), each regenerating the corresponding
 // result table at a bench-friendly scale and reporting the experiment's
 // headline findings as custom benchmark metrics.
 //
@@ -145,4 +145,12 @@ func BenchmarkE15SplitBrain(b *testing.B) {
 func BenchmarkE16Churn(b *testing.B) {
 	runExperiment(b, "E16",
 		"recall_stab_dht_n64_c25", "recbytes_passnet_n64_c25", "recbytes_passnet-replay_n64_c25")
+}
+
+// BenchmarkE17Membership regenerates the membership table (§IV
+// Reliability): randomized join/crash/partition schedules with DHT key
+// handoff and passnet proactive rejoin.
+func BenchmarkE17Membership(b *testing.B) {
+	runExperiment(b, "E17",
+		"recall_dht_n64_rhi", "handoff_dht_n64_rhi", "rounds_passnet_n64_rhi")
 }

@@ -1,10 +1,10 @@
 // Command benchcheck compares a fresh passbench -json report against the
-// committed baseline (BENCH_1.json) and fails on regressions, giving the
+// committed baseline (BENCH_2.json) and fails on regressions, giving the
 // repo a perf trajectory that CI can enforce (ROADMAP item).
 //
 // Usage:
 //
-//	benchcheck -baseline BENCH_1.json -current BENCH.json [-max-ratio 2.5] [-slack-ms 300]
+//	benchcheck -baseline BENCH_2.json -current BENCH.json [-max-ratio 2.5] [-slack-ms 300]
 //
 // Checks, in order of severity:
 //
@@ -57,7 +57,7 @@ func load(path string) (*jsonReport, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_1.json", "committed baseline report")
+	baselinePath := flag.String("baseline", "BENCH_2.json", "committed baseline report")
 	currentPath := flag.String("current", "BENCH.json", "fresh passbench -json report")
 	maxRatio := flag.Float64("max-ratio", 2.5, "fail when current millis exceed baseline*ratio+slack")
 	slackMs := flag.Int64("slack-ms", 300, "absolute slack added to every runtime budget")

@@ -17,7 +17,7 @@
 //	gc -before <RFC3339|unixnano>          collect old payloads
 //	verify                                 consistency audit
 //	stats                                  store statistics
-//	experiment [-scale F] <ID...>          run paper experiments (E1–E16); no -store needed
+//	experiment [-scale F] <ID...>          run paper experiments (E1–E17); no -store needed
 package main
 
 import (
@@ -340,9 +340,9 @@ func cmdVerify(s *core.Store, stdout io.Writer) error {
 }
 
 // cmdExperiment runs one or more harness experiments — the operator's
-// window into the Section IV architecture comparison, including the E14
-// survivability sweep and the E15 split-brain round trip — without
-// needing a local store.
+// window into the Section IV architecture comparison, from the E14
+// survivability sweep through the E17 randomized membership schedules —
+// without needing a local store.
 func cmdExperiment(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.25, "workload scale factor (1.0 = full configuration)")

@@ -165,6 +165,22 @@ func TestExperimentCommand(t *testing.T) {
 	}
 }
 
+func TestExperimentCommandE17(t *testing.T) {
+	// The membership experiment, by lowercase ID (the CLI normalizes):
+	// randomized schedules, join handoffs, proactive rejoins — one tiny
+	// run end to end through the operator entry point.
+	var out bytes.Buffer
+	err := run([]string{"experiment", "-scale", "0.05", "e17"}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E17", "Membership", "handoff-bytes", "conv-rounds", "dht", "passnet"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestExperimentCommandUnknownID(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"experiment", "E99"}, strings.NewReader(""), &out); err == nil {

@@ -109,10 +109,14 @@ type recovery struct {
 
 // runRejoinScenario crashes one passnet site, lets the federation gossip
 // on without it, heals it, and recovers either by plain anti-entropy
-// replay or by an explicit rejoin state transfer.
+// replay or by an explicit rejoin state transfer. Both legs run with
+// ManualRejoin set — by default a recovered site snapshots itself inside
+// Tick (see examples/membership), which would make the replay leg take
+// the snapshot path too and erase the comparison this example exists
+// to print.
 func runRejoinScenario(useRejoin bool) recovery {
 	net, sites := netsim.RandomTopology(netsim.Config{}, 6, 4, 20261)
-	m := passnet.New(net, sites, passnet.Options{})
+	m := passnet.New(net, sites, passnet.Options{ManualRejoin: true})
 	victim := sites[20]
 
 	n := 0

@@ -57,9 +57,10 @@ func (p Pub) WireSize() int { return len(p.Rec.Encode()) }
 //
 // Models with recovery mechanisms beyond this baseline declare them via
 // the optional capability interfaces Stabilizer (membership repair and
-// key re-homing) and Rejoiner (snapshot state transfer for recovered
-// sites); the conformance suite and the churn experiment type-assert for
-// them.
+// key re-homing), Rejoiner (snapshot state transfer for recovered
+// sites), and Joiner (a new node entering an existing membership with a
+// charged key handoff); the conformance suite and the churn/membership
+// experiments type-assert for them.
 type Model interface {
 	// Name identifies the model in result tables.
 	Name() string
@@ -91,6 +92,25 @@ type Model interface {
 // unreachable node is work for a later round, never an error.
 type Stabilizer interface {
 	Stabilize() (time.Duration, error)
+}
+
+// Joiner is the optional capability interface for models whose
+// membership can GROW at runtime (today: dht). Stabilizer covers
+// departures — crashed members removed, their keys re-homed — and Join
+// covers arrivals: a cold node contacts any live member, is spliced into
+// the membership, and receives a charged key handoff from its successor
+// (the keys whose placements it now owns, plus its share of replica
+// buckets), so the very next lookup can route to it. Replication around
+// the new member is restored by the next Stabilize round's anti-entropy
+// pass. The JoinHandoff conformance law and the membership experiment
+// (E17) type-assert for it.
+//
+// Join returns the simulated critical-path latency of the contact,
+// splice, and handoff. It fails with an unavailable error when the new
+// node, the contact member, or the handoff transfer is unreachable; a
+// failed join changes no membership and is retryable.
+type Joiner interface {
+	Join(newSite, via netsim.SiteID) (time.Duration, error)
 }
 
 // Rejoiner is the optional capability interface for models where a

@@ -21,6 +21,12 @@ import (
 type Config struct {
 	// Make builds the model over the given network and participant sites.
 	Make func(net *netsim.Network, sites []netsim.SiteID) arch.Model
+	// MakeReplay optionally builds the model with proactive snapshot
+	// recovery disabled (passnet's ManualRejoin), for laws that need a
+	// replay-only recovery path to compare against — today FastRejoin's
+	// replay leg. Models whose default already is replay-only leave it
+	// nil and Make is used.
+	MakeReplay func(net *netsim.Network, sites []netsim.SiteID) arch.Model
 	// NeedsTick indicates queries only see state after a Tick (soft
 	// state, digest gossip).
 	NeedsTick bool
@@ -71,9 +77,12 @@ func MakeDerived(seed byte, tool string, parents ...provenance.ID) (provenance.I
 // the per-site view laws (views.go): convergence after full digest
 // delivery and split-brain under partitions for view-exposing models,
 // the churn-recovery laws (churn.go): KeyRehoming for arch.Stabilizer
-// models and FastRejoin for arch.Rejoiner models, and a 10,000-site
-// sweep that pins indexed per-lookup cost. `go test -short` shrinks the
-// scale sweep and skips the 10k sweep.
+// models and FastRejoin for arch.Rejoiner models, the membership laws
+// (membership.go): JoinHandoff for arch.Joiner models, ProactiveRejoin
+// for self-recovering rejoiners, and the randomized-schedule oracle
+// (package schedule) for everyone, and a 10,000-site sweep that pins
+// indexed per-lookup cost. `go test -short` shrinks the scale sweep,
+// runs one schedule seed instead of three, and skips the 10k sweep.
 func Run(t *testing.T, cfg Config) {
 	t.Helper()
 	t.Run("PublishLookup", func(t *testing.T) { testPublishLookup(t, cfg) })
@@ -89,6 +98,9 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("SplitBrainViews", func(t *testing.T) { testSplitBrainViews(t, cfg) })
 	t.Run("KeyRehoming", func(t *testing.T) { testKeyRehoming(t, cfg) })
 	t.Run("FastRejoin", func(t *testing.T) { testFastRejoin(t, cfg) })
+	t.Run("JoinHandoff", func(t *testing.T) { testJoinHandoff(t, cfg) })
+	t.Run("ProactiveRejoin", func(t *testing.T) { testProactiveRejoin(t, cfg) })
+	t.Run("MembershipSchedule", func(t *testing.T) { testMembershipSchedule(t, cfg) })
 	t.Run("Sweep10k", func(t *testing.T) { testSweep10k(t, cfg) })
 }
 

@@ -140,10 +140,17 @@ func testFastRejoin(t *testing.T, cfg Config) {
 	// run executes the scenario and reports the recovery cost after the
 	// heal: bytes on the wire, maintenance rounds until every view
 	// fingerprint matches, and the traffic of one extra post-convergence
-	// round (which must be zero if the senders' queues drained).
+	// round (which must be zero if the senders' queues drained). The
+	// replay leg builds via MakeReplay when the model's default recovery
+	// is already the snapshot (proactive rejoin) — otherwise both legs
+	// would take the same path and the comparison would be vacuous.
 	run := func(useRejoin bool) (bytes int64, rounds int, extraMsgs int64) {
 		net, sites := netsim.RandomTopology(netsim.Config{}, 6, 4, rejoinTopoSeed) // 24 sites
-		m := cfg.Make(net, sites)
+		build := cfg.Make
+		if !useRejoin && cfg.MakeReplay != nil {
+			build = cfg.MakeReplay
+		}
+		m := build(net, sites)
 		ve := m.(siteview.Exposer)
 		victim := sites[20]
 

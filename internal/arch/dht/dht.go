@@ -31,6 +31,20 @@
 // links. All repair traffic is charged in bytes and messages: churn
 // tolerance has a measurable price, which is exactly the paper's point
 // about DHT maintenance load.
+//
+// # Elastic membership
+//
+// Arrivals are the other half of "sites come and go" (E17, the
+// JoinHandoff law). Join — implementing arch.Joiner — splices a cold
+// node into the ring: the joiner contacts any live member, the contact
+// routes to the joiner's ring position (charged finger hops), and the
+// successor owning that arc hands over every record whose placement the
+// new node now owns, plus the replica buckets whose source chains now
+// run through it — one batched, charged transfer. The next Stabilize
+// round re-establishes the replication invariant around the new member;
+// the next Tick's republish refreshes every placement against the grown
+// ring. HandedOff() exposes the transfer count the way Rehomed() exposes
+// promotions.
 package dht
 
 import (
@@ -76,7 +90,11 @@ type Model struct {
 	// rehomed counts records promoted from replica to primary by
 	// stabilization (the E16 re-homing column).
 	rehomed int64
-	rto     *arch.RTO
+	// handedOff counts records transferred to joining nodes (the E17
+	// handoff column); handoffBytes is their wire cost.
+	handedOff    int64
+	handoffBytes int64
+	rto          *arch.RTO
 }
 
 // ring is one immutable membership snapshot: nodes sorted by ring
@@ -515,6 +533,179 @@ func (m *Model) Stabilize() (time.Duration, error) {
 	return total, nil
 }
 
+// Join implements arch.Joiner: splice a cold node into the live ring.
+//
+//  1. Contact: the joiner announces itself to any live member (via) —
+//     one charged round trip, retransmitted on loss.
+//  2. Locate: the contact routes to the joiner's ring position with
+//     ordinary finger hops (charged), landing on the successor that
+//     owns the joiner's arc today.
+//  3. Handoff: the successor transfers, in one batched charged message,
+//     every record with a placement the new node now owns — placed by
+//     hash(id) or by any queriable attribute hashing into the new arc —
+//     plus copies of the replica buckets whose source nodes now count
+//     the joiner among their first ReplicaFanout successors. The
+//     successor keeps its own copies; like any stale placement they age
+//     into soft state, refreshed by the next republish round.
+//  4. Splice: the membership snapshot is replaced with one including the
+//     new node, so the very next lookup routes to it. The next Stabilize
+//     round's anti-entropy pass re-establishes the replication invariant
+//     around the new member.
+//
+// A join whose contact, routing, or handoff transfer fails returns an
+// unavailable error and changes no membership; re-offering the same Join
+// later completes it.
+func (m *Model) Join(newSite, via netsim.SiteID) (time.Duration, error) {
+	if m.net.IsDown(newSite) {
+		return 0, fmt.Errorf("%w: joining node %d", netsim.ErrSiteDown, newSite)
+	}
+	r := m.snapshot()
+	for _, n := range r.nodes {
+		if n.site == newSite {
+			return 0, fmt.Errorf("dht: site %d is already a ring member", newSite)
+		}
+	}
+	total, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(newSite, via, arch.ReqOverhead, arch.AckWire)
+	})
+	if err != nil {
+		return total, err
+	}
+	newPos := ringPosOfSite(newSite)
+	succIdx, dRoute, _, err := m.route(r, via, newPos, arch.ReqOverhead)
+	total += dRoute
+	if err != nil {
+		return total, err
+	}
+	succSite := r.nodes[succIdx].site
+
+	// Build the grown snapshot; it is published only after the handoff
+	// lands, so a failed join leaves the old ring untouched.
+	ins := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].pos >= newPos })
+	nr := &ring{
+		nodes:    make([]node, 0, len(r.nodes)+1),
+		stores:   make([]*arch.SiteStore, 0, len(r.nodes)+1),
+		replicas: make([]map[uint64]*arch.SiteStore, 0, len(r.nodes)+1),
+	}
+	for i := 0; i <= len(r.nodes); i++ {
+		if i == ins {
+			nr.nodes = append(nr.nodes, node{site: newSite, pos: newPos})
+			nr.stores = append(nr.stores, arch.NewSiteStore())
+			nr.replicas = append(nr.replicas, make(map[uint64]*arch.SiteStore))
+		}
+		if i < len(r.nodes) {
+			nr.nodes = append(nr.nodes, r.nodes[i])
+			nr.stores = append(nr.stores, r.stores[i])
+			nr.replicas = append(nr.replicas, r.replicas[i])
+		}
+	}
+	newIdx := ins
+	succNewIdx := (newIdx + 1) % len(nr.nodes)
+
+	// Collect the handoff: primary records whose placement moved, then the
+	// replica buckets the joiner's new chain position entitles it to
+	// (sources iterated in sorted order so the byte accounting is
+	// deterministic run to run).
+	m.mu.Lock()
+	var ids []provenance.ID
+	var recs []*provenance.Record
+	bytes := 0
+	src := nr.stores[succNewIdx]
+	for _, id := range src.IDs() {
+		rec, ok := src.Get(id)
+		if !ok || !placementMoved(nr, newIdx, id, rec) {
+			continue
+		}
+		ids = append(ids, id)
+		recs = append(recs, rec)
+		bytes += len(rec.Encode())
+	}
+	var bucketSrcs []uint64
+	for srcPos := range nr.replicas[succNewIdx] {
+		if replicatesTo(nr, srcPos, newIdx) {
+			bucketSrcs = append(bucketSrcs, srcPos)
+		}
+	}
+	sort.Slice(bucketSrcs, func(i, j int) bool { return bucketSrcs[i] < bucketSrcs[j] })
+	for _, srcPos := range bucketSrcs {
+		b := nr.replicas[succNewIdx][srcPos]
+		for _, id := range b.IDs() {
+			if rec, ok := b.Get(id); ok {
+				bytes += len(rec.Encode())
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	dXfer, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Send(succSite, newSite, arch.ReqOverhead+bytes)
+	})
+	total += dXfer
+	if err != nil {
+		return total, err
+	}
+
+	// Commit: fold the handoff into the joiner's stores and publish the
+	// grown ring.
+	m.mu.Lock()
+	for i, id := range ids {
+		nr.stores[newIdx].Add(id, recs[i])
+		m.handedOff++
+	}
+	for _, srcPos := range bucketSrcs {
+		m.handedOff += mergeStores(nr.replicaBucket(newIdx, srcPos), nr.replicas[succNewIdx][srcPos])
+	}
+	m.handoffBytes += int64(bytes)
+	m.ring = nr
+	m.mu.Unlock()
+
+	// Ack the joiner's admission back to its contact.
+	dAck, err := m.net.Send(newSite, via, arch.AckWire)
+	total += dAck
+	if err != nil && !arch.IsUnavailable(err) {
+		return total, err
+	}
+	return total, nil
+}
+
+// placementMoved reports whether any of the record's placements — the
+// hashed id or any hashed queriable attribute — lands on the new node
+// under the grown ring. Callers hold m.mu.
+func placementMoved(nr *ring, newIdx int, id provenance.ID, rec *provenance.Record) bool {
+	if nr.successorIdx(ringPos(id[:])) == newIdx {
+		return true
+	}
+	for _, a := range arch.QueriableAttrs(rec) {
+		mk := a.Key + "\x00" + string(a.Value.Canonical())
+		if nr.successorIdx(ringPos([]byte(mk))) == newIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// replicatesTo reports whether the node at newIdx sits in the first
+// ReplicaFanout ring successors of the member at sourcePos — i.e. whether
+// that member's placements now replicate onto the joiner.
+func replicatesTo(nr *ring, sourcePos uint64, newIdx int) bool {
+	si := -1
+	for i, n := range nr.nodes {
+		if n.pos == sourcePos {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return false // source departed; its bucket is spent
+	}
+	for k := 1; k <= ReplicaFanout; k++ {
+		if (si+k)%len(nr.nodes) == newIdx {
+			return true
+		}
+	}
+	return false
+}
+
 // mergeStores folds every record of src into dst, returning how many were
 // new. Callers hold m.mu.
 func mergeStores(dst, src *arch.SiteStore) int64 {
@@ -596,8 +787,23 @@ func (m *Model) Rehomed() int64 {
 	return m.rehomed
 }
 
+// HandedOff reports how many records join handoffs have transferred to
+// newly admitted nodes (the membership experiment's handoff column).
+func (m *Model) HandedOff() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.handedOff
+}
+
+// HandoffBytes reports the wire bytes those handoffs cost.
+func (m *Model) HandoffBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.handoffBytes
+}
+
 // Members reports the current ring membership size (shrinks as Stabilize
-// removes crashed nodes).
+// removes crashed nodes, grows as Join admits new ones).
 func (m *Model) Members() int {
 	return len(m.snapshot().nodes)
 }

@@ -18,14 +18,20 @@ func TestConformance(t *testing.T) {
 	})
 }
 
-// bigRing builds an n-node network on a grid.
-func bigRing(n int) (*netsim.Network, []netsim.SiteID, *Model) {
-	net := netsim.New(netsim.Config{})
+// gridSites registers n sites on a grid network.
+func gridSites(net *netsim.Network, n int) []netsim.SiteID {
 	var sites []netsim.SiteID
 	for i := 0; i < n; i++ {
 		sites = append(sites, net.AddSite(
 			siteName(i), geo.Point{X: float64(i % 8 * 100), Y: float64(i / 8 * 100)}, zoneName(i)))
 	}
+	return sites
+}
+
+// bigRing builds an n-node network on a grid.
+func bigRing(n int) (*netsim.Network, []netsim.SiteID, *Model) {
+	net := netsim.New(netsim.Config{})
+	sites := gridSites(net, n)
 	return net, sites, New(net, sites)
 }
 
@@ -197,6 +203,147 @@ func TestStabilizeLeavesHealthyRingAlone(t *testing.T) {
 	}
 	if net.Stats().Messages == before {
 		t.Fatal("stabilization probes were not charged")
+	}
+}
+
+// TestJoinHandsOffKeys: a cold node joining a live ring takes ownership
+// of its arc — the successor's charged handoff means every key resolves
+// through the grown ring immediately, no republish round needed.
+func TestJoinHandsOffKeys(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	sites := gridSites(net, 16)
+	m := New(net, sites[:14])
+	var ids []provenance.ID
+	for i := byte(1); i <= 60; i++ {
+		p := archtest.PubAt(i, sites[int(i)%14],
+			provenance.Attr("domain", provenance.String("join")))
+		if _, err := m.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+
+	before := net.Stats().Bytes
+	for _, c := range []netsim.SiteID{sites[14], sites[15]} {
+		if _, err := m.Join(c, sites[0]); err != nil {
+			t.Fatalf("join of %d: %v", c, err)
+		}
+	}
+	if m.Members() != 16 {
+		t.Fatalf("members = %d after two joins, want 16", m.Members())
+	}
+	if m.HandedOff() == 0 {
+		t.Fatal("two joins over 60 multi-placement records handed off nothing")
+	}
+	if hb := m.HandoffBytes(); hb <= 0 || hb > net.Stats().Bytes-before {
+		t.Fatalf("handoff bytes %d not within the %d bytes the joins charged", hb, net.Stats().Bytes-before)
+	}
+
+	// Some placement must now be homed at a joiner (otherwise the handoff
+	// observability above lied), and EVERY key still resolves — including
+	// the moved ones, served from the joiner's handed-off store.
+	movedHome := false
+	for _, id := range ids {
+		home := m.HomeOf(id)
+		if home == sites[14] || home == sites[15] {
+			movedHome = true
+		}
+		rec, _, err := m.Lookup(sites[1], id)
+		if err != nil {
+			t.Fatalf("lookup of %s after join: %v", id.Short(), err)
+		}
+		if rec.ComputeID() != id {
+			t.Fatalf("lookup of %s returned the wrong record after join", id.Short())
+		}
+	}
+	if !movedHome && m.HandedOff() > 0 {
+		// Records can also be handed off for attribute placements; accept
+		// that, but at least the joiners must answer as queriers.
+		t.Log("no record id re-homed onto a joiner; handoff was attribute placements")
+	}
+	// A joiner is a full member: it publishes and queries.
+	p := archtest.PubAt(200, sites[15], provenance.Attr("domain", provenance.String("join")))
+	if _, err := m.Publish(p); err != nil {
+		t.Fatalf("publish from joiner: %v", err)
+	}
+	if _, _, err := m.Lookup(sites[14], p.ID); err != nil {
+		t.Fatalf("lookup from joiner: %v", err)
+	}
+}
+
+// TestJoinFailsCleanly: joins that cannot complete — the joiner still
+// down, the contact dead, or the node already a member — change no
+// membership and stay retryable.
+func TestJoinFailsCleanly(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	sites := gridSites(net, 10)
+	m := New(net, sites[:8])
+	if _, err := m.Publish(archtest.PubAt(1, sites[0])); err != nil {
+		t.Fatal(err)
+	}
+
+	net.Fail(sites[8])
+	if _, err := m.Join(sites[8], sites[0]); !arch.IsUnavailable(err) {
+		t.Fatalf("join of a down node: err = %v, want unavailable", err)
+	}
+	net.Heal(sites[8])
+
+	net.Fail(sites[0])
+	if _, err := m.Join(sites[8], sites[0]); !arch.IsUnavailable(err) {
+		t.Fatalf("join via a dead contact: err = %v, want unavailable", err)
+	}
+	net.Heal(sites[0])
+	if m.Members() != 8 {
+		t.Fatalf("failed joins changed membership: %d members", m.Members())
+	}
+
+	if _, err := m.Join(sites[8], sites[0]); err != nil {
+		t.Fatalf("retried join: %v", err)
+	}
+	if _, err := m.Join(sites[8], sites[1]); err == nil {
+		t.Fatal("double join accepted")
+	}
+	if m.Members() != 9 {
+		t.Fatalf("members = %d, want 9", m.Members())
+	}
+}
+
+// TestJoinThenStabilizeRestoresReplication: after a join, one Stabilize
+// round re-establishes the replication invariant around the new member —
+// so the joiner itself can crash and its handed-off keys re-home again.
+func TestJoinThenStabilizeRestoresReplication(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	sites := gridSites(net, 16)
+	m := New(net, sites[:15])
+	var ids []provenance.ID
+	for i := byte(1); i <= 50; i++ {
+		p := archtest.PubAt(i, sites[int(i)%15])
+		if _, err := m.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	joiner := sites[15]
+	if _, err := m.Join(joiner, sites[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stabilize(); err != nil { // re-replicates around the joiner
+		t.Fatal(err)
+	}
+
+	net.Fail(joiner)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Stabilize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Members() != 15 {
+		t.Fatalf("members = %d after joiner crash + stabilize, want 15", m.Members())
+	}
+	for _, id := range ids {
+		if _, _, err := m.Lookup(sites[0], id); err != nil {
+			t.Fatalf("lookup of %s after joiner crash: %v — join skipped re-replication", id.Short(), err)
+		}
 	}
 }
 

@@ -24,10 +24,18 @@
 //     (the law the conformance suite asserts).
 //   - QueryAttr consults the querying site's view and contacts only the
 //     sites whose delivered digests may hold the attribute — typically
-//     one or two, not all (contrast with feddb's full fan-out). The
-//     view's inverted attribute index makes candidate selection
-//     O(matching sites), not O(all sites). Bloom false positives cost an
-//     extra empty round trip, never a wrong answer.
+//     one or two, not all (contrast with feddb's full fan-out).
+//     Candidate selection goes through the per-peer Bloom filters
+//     (View.MayHold): the wire-level digest is the routing authority, so
+//     a Bloom false positive really costs an extra empty round trip —
+//     charged bytes and all — never a wrong answer. FalsePositives and
+//     RemoteContacts expose the measured misroute rate (E15's fp-rate
+//     column).
+//   - A site that crashed and came back notices its own recovery inside
+//     Tick (it was down last round, it is live now) and triggers the
+//     Rejoin snapshot itself — rejoin-by-snapshot is the default, not an
+//     operator action. Options.ManualRejoin restores the operator-driven
+//     behavior so snapshot-vs-replay comparisons (E16) stay expressible.
 //   - QueryAncestors chases lineage site to site, but each visited site
 //     resolves the whole locally-held sub-DAG in one round trip
 //     (server-side traversal), so a chain spanning k sites costs ~k round
@@ -73,6 +81,15 @@ type Model struct {
 	// ImmediateDigest pushes digest deltas on every publish instead of
 	// waiting for Tick.
 	immediate bool
+	// manualRejoin disables the proactive-rejoin pass in Tick.
+	manualRejoin bool
+	// wasDown marks sites observed down by a Tick round; a site marked
+	// here that is live again has RECOVERED, which is what triggers a
+	// proactive rejoin. Cleared by a successful Rejoin.
+	wasDown map[netsim.SiteID]bool
+	// nProactive counts rejoins Tick triggered on its own (zero under
+	// ManualRejoin — the ProactiveRejoin law's observable).
+	nProactive int64
 
 	rto *arch.RTO
 
@@ -84,6 +101,12 @@ type Model struct {
 
 	// lastContacted reports sites contacted by the most recent QueryAttr.
 	lastContacted int
+	// remoteContacts / fpContacts count, across all QueryAttrs, remote
+	// candidate round trips and the subset that were Bloom misroutes —
+	// contacted on a filter match, listed by no delivered delta, and
+	// empty-handed (the false positive's charged-but-useless round trip).
+	remoteContacts int64
+	fpContacts     int64
 	// replicaHits counts lookups served from a read replica.
 	replicaHits int64
 }
@@ -94,6 +117,13 @@ type Options struct {
 	// (freshness at the price of n-1 tiny messages per publish). When
 	// false, deltas batch until the next Tick.
 	ImmediateDigest bool
+	// ManualRejoin restores the pre-proactive behavior: a recovered site
+	// catches up only through senders' anti-entropy replay unless an
+	// operator calls Rejoin explicitly. By default a site detects its own
+	// recovery inside Tick and takes the snapshot path itself. The knob
+	// exists so E16's rejoin-vs-replay rows (and the FastRejoin law's
+	// replay leg) still have a replay-only model to measure.
+	ManualRejoin bool
 	// ReplicateOnRead caches fetched records at the querying site, the
 	// paper's Section V extension ("replication is desirable for
 	// reliability and for query performance; supporting replication
@@ -107,17 +137,19 @@ type Options struct {
 // New builds a distributed PASS over the given sites.
 func New(net *netsim.Network, sites []netsim.SiteID, opts Options) *Model {
 	m := &Model{
-		net:       net,
-		sites:     append([]netsim.SiteID(nil), sites...),
-		stores:    make(map[netsim.SiteID]*arch.SiteStore),
-		views:     make(map[netsim.SiteID]*siteview.View),
-		nextSeq:   make(map[netsim.SiteID]uint64),
-		pending:   make(map[netsim.SiteID][]arch.Pub),
-		outbox:    make(map[netsim.SiteID][]*outDelta),
-		immediate: opts.ImmediateDigest,
-		rto:       arch.NewRTO(0x9A55E7),
-		replicate: opts.ReplicateOnRead,
-		replicas:  make(map[netsim.SiteID]map[provenance.ID]*provenance.Record),
+		net:          net,
+		sites:        append([]netsim.SiteID(nil), sites...),
+		stores:       make(map[netsim.SiteID]*arch.SiteStore),
+		views:        make(map[netsim.SiteID]*siteview.View),
+		nextSeq:      make(map[netsim.SiteID]uint64),
+		pending:      make(map[netsim.SiteID][]arch.Pub),
+		outbox:       make(map[netsim.SiteID][]*outDelta),
+		immediate:    opts.ImmediateDigest,
+		manualRejoin: opts.ManualRejoin,
+		wasDown:      make(map[netsim.SiteID]bool),
+		rto:          arch.NewRTO(0x9A55E7),
+		replicate:    opts.ReplicateOnRead,
+		replicas:     make(map[netsim.SiteID]map[provenance.ID]*provenance.Record),
 	}
 	for _, s := range sites {
 		m.stores[s] = arch.NewSiteStore()
@@ -296,6 +328,7 @@ func (m *Model) Rejoin(s netsim.SiteID) (time.Duration, error) {
 	m.mu.Lock()
 	view.Merge(snap)
 	m.pruneOutboxFor(s)
+	delete(m.wasDown, s) // recovered and caught up; no proactive retry due
 	m.mu.Unlock()
 	return d, nil
 }
@@ -341,14 +374,69 @@ func (m *Model) pruneOutboxFor(s netsim.SiteID) {
 	}
 }
 
-// Tick gossips every site's pending digest delta.
+// Tick gossips every site's pending digest delta. Unless ManualRejoin is
+// set it first runs the proactive-rejoin pass: any site a previous round
+// observed down that is live again fetches its catch-up snapshot NOW,
+// before this round's gossip — so by the time the senders fan out, their
+// outboxes are already pruned of everything the snapshot covered. The
+// round ends by recording which sites are down, which is what the next
+// round's recovery detection compares against.
 func (m *Model) Tick() error {
+	if !m.manualRejoin {
+		if err := m.rejoinRecovered(); err != nil {
+			return err
+		}
+	}
 	for _, s := range m.sites {
 		if err := m.gossipFrom(s); err != nil {
 			return err
 		}
 	}
+	m.mu.Lock()
+	for _, s := range m.sites {
+		if m.net.IsDown(s) {
+			m.wasDown[s] = true
+		}
+	}
+	m.mu.Unlock()
 	return nil
+}
+
+// rejoinRecovered triggers the snapshot path for every site that was
+// down on a previous Tick and is live now. A rejoin that fails with an
+// injected fault (the site is cut off from every donor, say) leaves the
+// site's down-marker in place: the next round retries, and ordinary
+// anti-entropy keeps working underneath either way. Any other error is a
+// model bug and propagates, per the fault contract.
+func (m *Model) rejoinRecovered() error {
+	m.mu.Lock()
+	var recovered []netsim.SiteID
+	for _, s := range m.sites { // deterministic site order, not map order
+		if m.wasDown[s] && !m.net.IsDown(s) {
+			recovered = append(recovered, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range recovered {
+		switch _, err := m.Rejoin(s); {
+		case err == nil:
+			m.mu.Lock()
+			m.nProactive++
+			m.mu.Unlock()
+		case !arch.IsUnavailable(err):
+			return err
+		}
+	}
+	return nil
+}
+
+// ProactiveRejoins counts the snapshot transfers Tick triggered on its
+// own — the ProactiveRejoin law asserts recovery with this above zero
+// and zero operator Rejoin calls.
+func (m *Model) ProactiveRejoins() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nProactive
 }
 
 // locate resolves id through the querier's own view, falling back to the
@@ -424,9 +512,12 @@ func (m *Model) ReplicaCount(s netsim.SiteID) int {
 	return len(m.replicas[s])
 }
 
-// QueryAttr contacts only the sites the querier's OWN view lists for
-// (key, value) — the view's inverted index hands over the candidate set
-// in O(matching sites) — plus the querier's own store (always fresh).
+// QueryAttr contacts only the sites whose delivered Bloom filters may
+// hold (key, value) — View.CandidatesFor probes each known origin's
+// filter, so the wire-level digest, false positives included, is the
+// routing authority — plus the querier's own store (always fresh). A
+// false positive (the filter matches, no delivered delta listed the key)
+// costs a real, charged, empty round trip; FalsePositives counts them.
 // Unreachable candidate sites are skipped after retransmission; the
 // answer degrades to what the reachable sites hold. Under a partition the
 // same query asked from opposite sides returns different results, because
@@ -435,7 +526,9 @@ func (m *Model) ReplicaCount(s netsim.SiteID) int {
 func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value) ([]provenance.ID, time.Duration, error) {
 	mk := key + "\x00" + string(value.Canonical())
 	m.mu.Lock()
-	listed := m.views[from].SitesFor(mk)
+	view := m.views[from]
+	listed := view.CandidatesFor(mk)
+	exact := view.SitesFor(mk) // sorted; the FP-classification reference
 	candidates := make([]netsim.SiteID, 0, len(listed)+1)
 	ownListed := false
 	for _, s := range listed {
@@ -456,7 +549,7 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 	var slowest time.Duration
 	var out []provenance.ID
 	seen := make(map[provenance.ID]struct{})
-	contacted := 0
+	contacted, fps := 0, 0
 	for _, s := range candidates {
 		m.mu.Lock()
 		ids := append([]provenance.ID(nil), m.stores[s].LookupAttr(key, value)...)
@@ -477,6 +570,9 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 			}
 			return nil, slowest, err
 		}
+		if s != from && len(ids) == 0 && !containsSite(exact, s) {
+			fps++ // Bloom misroute: a charged round trip for nothing
+		}
 		slowest = arch.MaxDuration(slowest, d)
 		for _, id := range ids {
 			if _, dup := seen[id]; !dup {
@@ -487,8 +583,34 @@ func (m *Model) QueryAttr(from netsim.SiteID, key string, value provenance.Value
 	}
 	m.mu.Lock()
 	m.lastContacted = contacted
+	m.remoteContacts += int64(contacted)
+	m.fpContacts += int64(fps)
 	m.mu.Unlock()
 	return out, slowest, nil
+}
+
+// containsSite reports whether the ascending-sorted slice holds s.
+func containsSite(sorted []netsim.SiteID, s netsim.SiteID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= s })
+	return i < len(sorted) && sorted[i] == s
+}
+
+// RemoteContacts reports every remote candidate round trip QueryAttr has
+// attempted so far; FalsePositives reports the subset that were Bloom
+// misroutes (filter matched, no delivered delta carried the key, empty
+// answer). Their ratio is E15's fp-rate column.
+func (m *Model) RemoteContacts() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.remoteContacts
+}
+
+// FalsePositives reports QueryAttr round trips wasted on Bloom-filter
+// false positives.
+func (m *Model) FalsePositives() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fpContacts
 }
 
 // QueryAncestors chases lineage across sites with server-side traversal:

@@ -1,6 +1,7 @@
 package passnet
 
 import (
+	"fmt"
 	"testing"
 
 	"pass/internal/arch"
@@ -14,6 +15,9 @@ func TestConformanceImmediate(t *testing.T) {
 		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return New(net, sites, Options{ImmediateDigest: true})
 		},
+		MakeReplay: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{ImmediateDigest: true, ManualRejoin: true})
+		},
 	})
 }
 
@@ -21,6 +25,9 @@ func TestConformanceBatched(t *testing.T) {
 	archtest.Run(t, archtest.Config{
 		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return New(net, sites, Options{})
+		},
+		MakeReplay: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{ManualRejoin: true})
 		},
 		NeedsTick: true,
 	})
@@ -211,6 +218,9 @@ func TestConformanceWithReplication(t *testing.T) {
 	archtest.Run(t, archtest.Config{
 		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return New(net, sites, Options{ImmediateDigest: true, ReplicateOnRead: true})
+		},
+		MakeReplay: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{ImmediateDigest: true, ReplicateOnRead: true, ManualRejoin: true})
 		},
 	})
 }
@@ -458,6 +468,149 @@ func TestRejoinSnapshotPrunesOutbox(t *testing.T) {
 	}
 	if len(got) != want {
 		t.Fatalf("rejoined site sees %d/%d records", len(got), want)
+	}
+}
+
+// TestProactiveRejoinOnTick: a recovered site takes the snapshot path by
+// itself — the Tick after its heal detects the down→up transition,
+// fetches the snapshot, and prunes the senders' queues, with no operator
+// Rejoin call anywhere.
+func TestProactiveRejoinOnTick(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{})
+	victim := sites[3]
+
+	if _, err := m.Publish(archtest.PubAt(1, sites[0], provenance.Attr("domain", provenance.String("pro")))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	net.Fail(victim)
+	for i := byte(10); i < 13; i++ {
+		if _, err := m.Publish(archtest.PubAt(i, sites[int(i)%3], provenance.Attr("domain", provenance.String("pro")))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Tick(); err != nil { // observes the victim down, queues deltas
+		t.Fatal(err)
+	}
+	if m.PendingDigests() == 0 {
+		t.Fatal("no digests queued for the crashed site — the scenario is vacuous")
+	}
+
+	net.Heal(victim)
+	if err := m.Tick(); err != nil { // detects recovery, snapshots, prunes
+		t.Fatal(err)
+	}
+	if got := m.ProactiveRejoins(); got != 1 {
+		t.Fatalf("proactive rejoins = %d, want 1", got)
+	}
+	if n := m.PendingDigests(); n != 0 {
+		t.Fatalf("%d publications still queued after the proactive snapshot", n)
+	}
+	got, _, err := m.QueryAttr(victim, "domain", provenance.String("pro"))
+	if err != nil || len(got) != 4 {
+		t.Fatalf("recovered site sees %d/4 records, %v", len(got), err)
+	}
+}
+
+// TestManualRejoinKnob: with ManualRejoin set, Tick never snapshots — a
+// recovered site catches up only through the senders' outbox replay, the
+// pre-proactive behavior E16's replay rows measure.
+func TestManualRejoinKnob(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{ManualRejoin: true})
+	victim := sites[3]
+	if _, err := m.Publish(archtest.PubAt(1, sites[0], provenance.Attr("domain", provenance.String("man")))); err != nil {
+		t.Fatal(err)
+	}
+	net.Fail(victim)
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	net.Heal(victim)
+	for i := 0; i < 2; i++ { // replay rounds: anti-entropy drains the outbox
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.ProactiveRejoins(); got != 0 {
+		t.Fatalf("manual mode fired %d proactive rejoins", got)
+	}
+	if m.PendingDigests() != 0 {
+		t.Fatal("outbox replay did not drain after heal")
+	}
+	got, _, err := m.QueryAttr(victim, "domain", provenance.String("man"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("replay-recovered site sees %d/1 records, %v", len(got), err)
+	}
+}
+
+// TestBloomFalsePositiveChargedRoundTrip: candidate routing goes through
+// the wire-level Bloom filters, so a key that false-positives against a
+// peer's filter costs a real, charged, empty round trip — and the model
+// counts it.
+func TestBloomFalsePositiveChargedRoundTrip(t *testing.T) {
+	net, sites := archtest.NewNetwork()
+	m := New(net, sites, Options{ImmediateDigest: true})
+	// boston-0 publishes one attribute; every peer's view now holds a
+	// small Bloom filter of boston-0's keys.
+	if _, err := m.Publish(archtest.PubAt(1, sites[0], provenance.Attr("k", provenance.String("target")))); err != nil {
+		t.Fatal(err)
+	}
+	querier := sites[3]
+	view := m.SiteView(querier)
+
+	// Brute-force a value that the exact index does NOT list anywhere but
+	// that collides with boston-0's filter bits: a guaranteed false
+	// positive. Deterministic: the filter contents are fixed by the
+	// publish above.
+	fpVal := ""
+	for i := 0; i < 1<<20; i++ {
+		v := provenance.String(fmt.Sprintf("fp-%d", i))
+		mk := "k" + "\x00" + string(v.Canonical())
+		if len(view.SitesFor(mk)) == 0 && view.MayHold(sites[0], mk) {
+			fpVal = v.Str
+			break
+		}
+	}
+	if fpVal == "" {
+		t.Fatal("no Bloom collision found in 2^20 candidates — filter too large for the test")
+	}
+
+	before := net.Stats()
+	got, _, err := m.QueryAttr(querier, "k", provenance.String(fpVal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("false-positive query returned %d ids", len(got))
+	}
+	st := net.Stats()
+	// One remote Call (request + response) to the misrouted peer, plus
+	// the querier's free local consult: the wasted round trip's bytes and
+	// WAN crossing are really charged.
+	if st.Messages-before.Messages < 2 {
+		t.Fatalf("false positive cost %d messages, want the full round trip", st.Messages-before.Messages)
+	}
+	if st.WANBytes == before.WANBytes {
+		t.Fatal("false-positive round trip crossed no WAN — bytes were not charged")
+	}
+	if m.FalsePositives() != 1 {
+		t.Fatalf("false positives = %d, want 1", m.FalsePositives())
+	}
+	if m.RemoteContacts() == 0 {
+		t.Fatal("remote contact not counted")
+	}
+
+	// The real key still answers exactly, and is not miscounted as a FP.
+	got, _, err = m.QueryAttr(querier, "k", provenance.String("target"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("exact query = %d ids, %v", len(got), err)
+	}
+	if m.FalsePositives() != 1 {
+		t.Fatalf("exact query raised the FP count to %d", m.FalsePositives())
 	}
 }
 

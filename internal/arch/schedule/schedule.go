@@ -1,0 +1,516 @@
+// Package schedule generates and executes randomized membership
+// schedules: seeded interleavings of join / crash / heal / partition /
+// loss-burst events that drive any arch.Model through the full "sites
+// come and go" lifecycle the paper's Section IV comparison assumes.
+//
+// The scripted churn scenarios (E16, the KeyRehoming and FastRejoin
+// laws) pin one mechanism each; this package is the scenario-diversity
+// counterpart. Generate derives, from one seed, a deterministic event
+// list over a fixed site population — some sites are members from the
+// start, some are cold "joiners" admitted mid-run — and Run replays that
+// list against a model: publishes flow every round from live members,
+// events mutate the network and the membership, maintenance ticks run in
+// between, and a final quiescence phase (every fault lifted, stragglers
+// joined, unacknowledged publishes re-offered) measures how many rounds
+// the model needs to answer in full again.
+//
+// The oracle a conformance law or experiment applies on top is generic:
+//
+//   - eventual recall: after quiescence plus convergence rounds, lookups
+//     over every acknowledged publish succeed (recall ≥ 0.99 — the same
+//     bar the scripted churn laws use);
+//   - everything charged: all recovery traffic — join handoffs included —
+//     appears in the network's byte accounting;
+//   - determinism: the same seed replays to a byte-identical Outcome, so
+//     a failing schedule is a reproducible artifact, not an anecdote.
+//
+// Schedule.String prints the event list in replayable form; a law that
+// fails embeds it in the failure message so the exact interleaving can
+// be re-run and debugged.
+//
+// Membership convention: models implementing arch.Joiner admit joiners
+// through Join (charged handoff); for every other model a joiner is a
+// member that was down from round zero — netsim.Fail at start, Heal at
+// its join event — the "not yet joined" convention the conformance
+// suite's churn scenario already uses.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"pass/internal/arch"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+	"pass/internal/xrand"
+)
+
+// Op is one membership-schedule event kind.
+type Op int
+
+// The event kinds a schedule interleaves.
+const (
+	// OpCrash fails a member site mid-run.
+	OpCrash Op = iota
+	// OpHeal recovers a crashed member.
+	OpHeal
+	// OpJoin admits the next cold joiner (arch.Joiner models pay a key
+	// handoff; others heal the never-up site).
+	OpJoin
+	// OpPartition splits the population in two at Cut.
+	OpPartition
+	// OpHealPartition reconnects the cells.
+	OpHealPartition
+	// OpLossBurst sets a global packet-loss rate.
+	OpLossBurst
+	// OpLossEnd clears it.
+	OpLossEnd
+)
+
+// String names the op the way Schedule.String prints it.
+func (o Op) String() string {
+	switch o {
+	case OpCrash:
+		return "crash"
+	case OpHeal:
+		return "heal"
+	case OpJoin:
+		return "join"
+	case OpPartition:
+		return "partition"
+	case OpHealPartition:
+		return "heal-partition"
+	case OpLossBurst:
+		return "loss-burst"
+	case OpLossEnd:
+		return "loss-end"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Event is one schedule entry, applied at the start of its round.
+type Event struct {
+	// Round the event fires in, 0-based, ascending.
+	Round int
+	// Op is the event kind.
+	Op Op
+	// Site indexes the schedule's site slice (crash/heal/join).
+	Site int
+	// Cut is the partition split point: sites[:Cut] vs sites[Cut:].
+	Cut int
+	// Rate is the loss-burst drop probability.
+	Rate float64
+}
+
+// Config sizes a generated schedule.
+type Config struct {
+	// Sites is the total population, joiners included. Must be a
+	// multiple of SitesPerZone (the topology builder creates whole
+	// zones); Run validates.
+	Sites int
+	// SitesPerZone shapes the topology (netsim.RandomTopology).
+	SitesPerZone int
+	// Joiners is how many sites start cold and join mid-run.
+	Joiners int
+	// Rounds is how many event/publish/tick rounds the schedule spans.
+	Rounds int
+	// EventRate is the expected membership/fault events per round.
+	EventRate float64
+	// PubsPerRound is the publish workload per round.
+	PubsPerRound int
+}
+
+// Schedule is one generated event list, replayable from its seed.
+type Schedule struct {
+	Seed   uint64
+	Cfg    Config
+	Events []Event
+}
+
+// anchors is how many leading sites the generator never crashes: the
+// service anchors (central's warehouse, softstate's index nodes) whose
+// loss is total outage, not churn — the same convention E16 uses so
+// recall measures data reachability rather than index availability.
+const anchors = 2
+
+// Generate derives a deterministic schedule from the seed. Joins are
+// spread across the run (every joiner is admitted before the final
+// round); crash/heal/partition/loss events are drawn at EventRate with
+// bounded concurrency (at most a quarter of the members down at once,
+// one partition and one loss burst at a time, both always closed before
+// the schedule ends).
+func Generate(seed uint64, cfg Config) *Schedule {
+	rng := xrand.New(seed)
+	s := &Schedule{Seed: seed, Cfg: cfg}
+	members := cfg.Sites - cfg.Joiners
+
+	crashed := map[int]bool{}
+	partitioned := false
+	lossy := false
+	nextJoiner := 0
+
+	// Joiner j is admitted at a fixed stride through the run so every
+	// join lands before quiescence and the joins interleave with faults.
+	joinRound := func(j int) int {
+		return (j + 1) * (cfg.Rounds - 1) / (cfg.Joiners + 1)
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for nextJoiner < cfg.Joiners && joinRound(nextJoiner) == round {
+			s.Events = append(s.Events, Event{Round: round, Op: OpJoin, Site: members + nextJoiner})
+			nextJoiner++
+		}
+		// Loss bursts and partitions are closed two rounds before the end
+		// so the tail of the schedule exercises recovery, not fresh damage.
+		closing := round >= cfg.Rounds-2
+		n := 0
+		for rng.Float64() < cfg.EventRate && n < 3 {
+			n++
+			switch pick := rng.Intn(6); {
+			case pick == 0 && len(crashed) < members/4:
+				victim := anchors + rng.Intn(members-anchors)
+				if crashed[victim] {
+					continue
+				}
+				crashed[victim] = true
+				s.Events = append(s.Events, Event{Round: round, Op: OpCrash, Site: victim})
+			case pick == 1 && len(crashed) > 0:
+				// Deterministic pick: lowest crashed index.
+				victim := -1
+				for i := 0; i < members; i++ {
+					if crashed[i] {
+						victim = i
+						break
+					}
+				}
+				delete(crashed, victim)
+				s.Events = append(s.Events, Event{Round: round, Op: OpHeal, Site: victim})
+			case pick == 2 && !partitioned && !closing:
+				cut := cfg.Sites/4 + rng.Intn(cfg.Sites/2)
+				partitioned = true
+				s.Events = append(s.Events, Event{Round: round, Op: OpPartition, Cut: cut})
+			case pick == 3 && partitioned:
+				partitioned = false
+				s.Events = append(s.Events, Event{Round: round, Op: OpHealPartition})
+			case pick == 4 && !lossy && !closing:
+				lossy = true
+				rate := 0.05 + 0.2*rng.Float64()
+				s.Events = append(s.Events, Event{Round: round, Op: OpLossBurst, Rate: rate})
+			case pick == 5 && lossy:
+				lossy = false
+				s.Events = append(s.Events, Event{Round: round, Op: OpLossEnd})
+			}
+		}
+		if closing {
+			if partitioned {
+				partitioned = false
+				s.Events = append(s.Events, Event{Round: round, Op: OpHealPartition})
+			}
+			if lossy {
+				lossy = false
+				s.Events = append(s.Events, Event{Round: round, Op: OpLossEnd})
+			}
+		}
+	}
+	return s
+}
+
+// String renders the schedule as a replayable event list — what a
+// failing conformance run prints so the interleaving can be re-run.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d sites=%d joiners=%d rounds=%d events=%d\n",
+		s.Seed, s.Cfg.Sites, s.Cfg.Joiners, s.Cfg.Rounds, len(s.Events))
+	for _, e := range s.Events {
+		switch e.Op {
+		case OpCrash, OpHeal, OpJoin:
+			fmt.Fprintf(&b, "  round %2d: %-14s site %d\n", e.Round, e.Op, e.Site)
+		case OpPartition:
+			fmt.Fprintf(&b, "  round %2d: %-14s cut %d\n", e.Round, e.Op, e.Cut)
+		case OpLossBurst:
+			fmt.Fprintf(&b, "  round %2d: %-14s rate %.2f\n", e.Round, e.Op, e.Rate)
+		default:
+			fmt.Fprintf(&b, "  round %2d: %s\n", e.Round, e.Op)
+		}
+	}
+	return b.String()
+}
+
+// Outcome is one replay's measurable result. Two same-seed replays of
+// the same model must produce identical Outcomes — the determinism half
+// of the oracle.
+type Outcome struct {
+	// Offered / Acked count the publish workload and how much of it the
+	// model acknowledged (quiescence re-offers included).
+	Offered, Acked int
+	// Joins is how many joiners were actually admitted.
+	Joins int
+	// Recall is the final lookup recall over acknowledged publishes,
+	// averaged across the queriers.
+	Recall float64
+	// ConvRounds is how many post-quiescence maintenance rounds ran
+	// before recall reached 1 (capped; Recall tells whether it got there).
+	ConvRounds int
+	// HandoffBytes is the wire cost of join admissions (zero for models
+	// whose joiners enter by healing).
+	HandoffBytes int64
+	// Stats is the network's final accounting snapshot.
+	Stats netsim.Stats
+}
+
+// validate rejects configs the generator or runner would misexecute —
+// better an explicit error than a truncated topology whose join events
+// index past the site slice.
+func (c Config) validate() error {
+	switch {
+	case c.SitesPerZone < 1 || c.Sites < 1 || c.Sites%c.SitesPerZone != 0:
+		return fmt.Errorf("schedule: Sites (%d) must be a positive multiple of SitesPerZone (%d)", c.Sites, c.SitesPerZone)
+	case c.Joiners < 0 || c.Sites-c.Joiners <= anchors:
+		return fmt.Errorf("schedule: %d joiners leave no crashable members among %d sites (%d anchors)", c.Joiners, c.Sites, anchors)
+	case c.Rounds < 2:
+		return fmt.Errorf("schedule: %d rounds leave no room for joins before quiescence", c.Rounds)
+	case c.PubsPerRound < 1:
+		return fmt.Errorf("schedule: PubsPerRound must be positive, got %d", c.PubsPerRound)
+	}
+	return nil
+}
+
+// maxConvRounds bounds the quiescence convergence loop.
+const maxConvRounds = 12
+
+// offerRetries bounds per-publish re-offers mid-run; quiescence re-offers
+// get a slightly larger budget (the heal is supposed to stick).
+const (
+	offerRetries = 4
+	healRetries  = 6
+)
+
+// Run replays the schedule against one model instance built by build.
+// The topology is seeded from the schedule, so the whole replay is a
+// pure function of (schedule, build). Non-fault errors abort the replay:
+// by the arch.Model fault contract anything that is not an injected
+// unavailability is a model bug.
+func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arch.Model) (Outcome, error) {
+	cfg := s.Cfg
+	var out Outcome
+	if err := cfg.validate(); err != nil {
+		return out, err
+	}
+
+	// Capability probe on a scratch topology: Joiner models grow their
+	// membership; everyone else runs the fail-at-start convention.
+	probeNet, probeSites := netsim.RandomTopology(netsim.Config{}, 2, 2, s.Seed+2)
+	_, joiner := build(probeNet, probeSites).(arch.Joiner)
+
+	net, sites := netsim.RandomTopology(netsim.Config{Seed: s.Seed}, cfg.Sites/cfg.SitesPerZone, cfg.SitesPerZone, s.Seed+1)
+	members := sites[:cfg.Sites-cfg.Joiners]
+	var m arch.Model
+	if joiner {
+		m = build(net, members)
+	} else {
+		m = build(net, sites)
+		for _, j := range sites[len(members):] {
+			net.Fail(j) // not yet joined
+		}
+	}
+
+	acked := make(map[provenance.ID]bool)
+	var unacked []arch.Pub
+	seq := 0
+	offer := func(p arch.Pub, attempts int) (bool, error) {
+		for a := 0; a < attempts; a++ {
+			_, err := m.Publish(p)
+			if err == nil {
+				return true, nil
+			}
+			if !arch.IsUnavailable(err) {
+				return false, fmt.Errorf("%s publish: %w", m.Name(), err)
+			}
+		}
+		return false, nil
+	}
+
+	// pendingJoins holds join events that could not complete this round
+	// (the joiner or every possible contact was unreachable); they retry
+	// at each following round and at quiescence.
+	var pendingJoins []netsim.SiteID
+	admit := func(site netsim.SiteID) (bool, error) {
+		if !joiner {
+			net.Heal(site)
+			return true, nil
+		}
+		for _, via := range members {
+			if via == site || net.IsDown(via) || net.Partitioned(site, via) {
+				continue
+			}
+			b0 := net.Stats().Bytes
+			_, err := m.(arch.Joiner).Join(site, via)
+			if err == nil {
+				out.HandoffBytes += net.Stats().Bytes - b0
+				return true, nil
+			}
+			if !arch.IsUnavailable(err) {
+				return false, fmt.Errorf("%s join of %d: %w", m.Name(), site, err)
+			}
+			break // retry on a later round rather than hammering every contact
+		}
+		return false, nil
+	}
+	retryJoins := func() error {
+		live := pendingJoins[:0]
+		for _, site := range pendingJoins {
+			ok, err := admit(site)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out.Joins++
+			} else {
+				live = append(live, site)
+			}
+		}
+		pendingJoins = live
+		return nil
+	}
+
+	evIdx := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := retryJoins(); err != nil {
+			return out, err
+		}
+		for evIdx < len(s.Events) && s.Events[evIdx].Round == round {
+			e := s.Events[evIdx]
+			evIdx++
+			switch e.Op {
+			case OpCrash:
+				net.Fail(sites[e.Site])
+			case OpHeal:
+				net.Heal(sites[e.Site])
+			case OpJoin:
+				ok, err := admit(sites[e.Site])
+				if err != nil {
+					return out, err
+				}
+				if ok {
+					out.Joins++
+				} else {
+					pendingJoins = append(pendingJoins, sites[e.Site])
+				}
+			case OpPartition:
+				net.Partition(sites[:e.Cut], sites[e.Cut:])
+			case OpHealPartition:
+				net.HealPartition()
+			case OpLossBurst:
+				net.SetLossRate(e.Rate)
+			case OpLossEnd:
+				net.SetLossRate(0)
+			}
+		}
+
+		// The round's workload: live members publish.
+		for i := 0; i < cfg.PubsPerRound; i++ {
+			idx := (seq * 7) % len(members)
+			for net.IsDown(members[idx]) {
+				idx = (idx + 1) % len(members)
+			}
+			p, err := pubN(net, members[idx], seq)
+			if err != nil {
+				return out, err
+			}
+			seq++
+			out.Offered++
+			ok, err := offer(p, offerRetries)
+			if err != nil {
+				return out, err
+			}
+			if ok {
+				acked[p.ID] = true
+			} else {
+				unacked = append(unacked, p)
+			}
+		}
+		if err := m.Tick(); err != nil {
+			return out, fmt.Errorf("%s tick (round %d): %w", m.Name(), round, err)
+		}
+	}
+
+	// Quiescence: every fault lifted, stragglers admitted, unacknowledged
+	// work re-offered — then count maintenance rounds to full recall.
+	net.HealPartition()
+	net.SetLossRate(0)
+	for _, site := range sites {
+		net.Heal(site)
+	}
+	if err := retryJoins(); err != nil {
+		return out, err
+	}
+	for _, p := range unacked {
+		ok, err := offer(p, healRetries)
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			acked[p.ID] = true
+		}
+	}
+	out.Acked = len(acked)
+
+	queriers := []netsim.SiteID{members[0], members[len(members)/2]}
+	if cfg.Joiners > 0 {
+		queriers = append(queriers, sites[len(members)]) // a joined joiner
+	}
+	for ; out.ConvRounds < maxConvRounds; out.ConvRounds++ {
+		if err := m.Tick(); err != nil {
+			return out, fmt.Errorf("%s tick (quiescence): %w", m.Name(), err)
+		}
+		if out.Recall = recall(m, queriers, acked); out.Recall == 1 {
+			out.ConvRounds++
+			break
+		}
+	}
+	out.Stats = net.Stats()
+	return out, nil
+}
+
+// pubN builds the deterministic n-th workload record at origin, tagged
+// with the membership domain plus the origin's zone.
+func pubN(net *netsim.Network, origin netsim.SiteID, n int) (arch.Pub, error) {
+	site, err := net.Site(origin)
+	if err != nil {
+		return arch.Pub{}, err
+	}
+	var digest [32]byte
+	digest[0], digest[1], digest[2] = byte(n), byte(n>>8), 0xE7
+	rec, id, err := provenance.NewRaw(digest, 64).
+		Attrs(
+			provenance.Attr("n", provenance.Int64(int64(n))),
+			provenance.Attr(provenance.KeyDomain, provenance.String("membership")),
+			provenance.Attr(provenance.KeyZone, provenance.String(site.Zone)),
+		).
+		CreatedAt(int64(n) + 1).
+		Build()
+	if err != nil {
+		return arch.Pub{}, err
+	}
+	return arch.Pub{ID: id, Rec: rec, Origin: origin}, nil
+}
+
+// recall is the mean fraction of acknowledged publishes each querier can
+// resolve by Lookup — the probe that touches every record's home, which
+// is where membership change tears holes.
+func recall(m arch.Model, queriers []netsim.SiteID, acked map[provenance.ID]bool) float64 {
+	if len(acked) == 0 {
+		return 1
+	}
+	total := 0.0
+	for _, q := range queriers {
+		hit := 0
+		for id := range acked {
+			if _, _, err := m.Lookup(q, id); err == nil {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(acked))
+	}
+	return total / float64(len(queriers))
+}

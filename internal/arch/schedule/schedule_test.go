@@ -1,0 +1,187 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"pass/internal/arch"
+	"pass/internal/arch/central"
+	"pass/internal/arch/dht"
+	"pass/internal/netsim"
+)
+
+var testCfg = Config{
+	Sites:        16,
+	SitesPerZone: 4,
+	Joiners:      2,
+	Rounds:       8,
+	EventRate:    0.6,
+	PubsPerRound: 4,
+}
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	a, b := Generate(42, testCfg), Generate(42, testCfg)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed produced %d vs %d events", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d diverged across identical seeds: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	c := Generate(43, testCfg)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateWellFormed: the generator's structural invariants — every
+// joiner admitted exactly once before the final round, anchors and
+// joiners never crashed, heals only of crashed sites, partitions and
+// loss bursts opened at most singly and always closed by the end.
+func TestGenerateWellFormed(t *testing.T) {
+	members := testCfg.Sites - testCfg.Joiners
+	for seed := uint64(1); seed <= 50; seed++ {
+		s := Generate(seed, testCfg)
+		joined := map[int]int{}
+		crashed := map[int]bool{}
+		partitioned, lossy := false, false
+		lastRound := -1
+		for _, e := range s.Events {
+			if e.Round < lastRound || e.Round >= testCfg.Rounds {
+				t.Fatalf("seed %d: event rounds out of order or range: %+v", seed, e)
+			}
+			lastRound = e.Round
+			switch e.Op {
+			case OpJoin:
+				joined[e.Site]++
+				if e.Site < members {
+					t.Fatalf("seed %d: join of a founding member %d", seed, e.Site)
+				}
+				if e.Round >= testCfg.Rounds-1 {
+					t.Fatalf("seed %d: join in the final round leaves no time to converge", seed)
+				}
+			case OpCrash:
+				if e.Site < anchors || e.Site >= members {
+					t.Fatalf("seed %d: crash of anchor or joiner %d", seed, e.Site)
+				}
+				if crashed[e.Site] {
+					t.Fatalf("seed %d: double crash of %d", seed, e.Site)
+				}
+				crashed[e.Site] = true
+			case OpHeal:
+				if !crashed[e.Site] {
+					t.Fatalf("seed %d: heal of a live site %d", seed, e.Site)
+				}
+				delete(crashed, e.Site)
+			case OpPartition:
+				if partitioned {
+					t.Fatalf("seed %d: nested partition", seed)
+				}
+				if e.Cut < testCfg.Sites/4 || e.Cut >= testCfg.Sites {
+					t.Fatalf("seed %d: degenerate cut %d", seed, e.Cut)
+				}
+				partitioned = true
+			case OpHealPartition:
+				partitioned = false
+			case OpLossBurst:
+				if lossy {
+					t.Fatalf("seed %d: nested loss burst", seed)
+				}
+				if e.Rate <= 0 || e.Rate >= 0.3 {
+					t.Fatalf("seed %d: loss rate %v out of range", seed, e.Rate)
+				}
+				lossy = true
+			case OpLossEnd:
+				lossy = false
+			}
+		}
+		if partitioned || lossy {
+			t.Fatalf("seed %d: schedule ends with an open partition/loss burst", seed)
+		}
+		for j := 0; j < testCfg.Joiners; j++ {
+			if joined[members+j] != 1 {
+				t.Fatalf("seed %d: joiner %d admitted %d times", seed, members+j, joined[members+j])
+			}
+		}
+	}
+}
+
+// TestRunRejectsMalformedConfig: a population that does not fill whole
+// zones (or starves the generator of crashable members) is an explicit
+// error, not a truncated topology that panics at the first join event.
+func TestRunRejectsMalformedConfig(t *testing.T) {
+	build := func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+		return central.New(net, sites[0])
+	}
+	bad := []Config{
+		{Sites: 18, SitesPerZone: 4, Joiners: 2, Rounds: 8, EventRate: 0.5, PubsPerRound: 4},  // partial zone
+		{Sites: 16, SitesPerZone: 4, Joiners: 14, Rounds: 8, EventRate: 0.5, PubsPerRound: 4}, // no crashable members
+		{Sites: 16, SitesPerZone: 4, Joiners: 2, Rounds: 1, EventRate: 0.5, PubsPerRound: 4},  // no room for joins
+		{Sites: 16, SitesPerZone: 4, Joiners: 2, Rounds: 8, EventRate: 0.5, PubsPerRound: 0},  // no workload
+	}
+	for i, cfg := range bad {
+		s := &Schedule{Seed: 1, Cfg: cfg}
+		if _, err := Run(s, build); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestScheduleStringReplayable(t *testing.T) {
+	s := Generate(7, testCfg)
+	out := s.String()
+	for _, want := range []string{"seed=7", "join", "round"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("schedule listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunOracleAndDeterminism: the runner holds its oracle against both
+// membership conventions — dht grows its ring through Join (handoff
+// bytes charged), central runs the fail-at-start convention — and a
+// same-seed replay is byte-identical.
+func TestRunOracleAndDeterminism(t *testing.T) {
+	builds := map[string]func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
+		"dht": func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return dht.New(net, sites)
+		},
+		"central": func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return central.New(net, sites[0])
+		},
+	}
+	for _, name := range []string{"dht", "central"} {
+		build := builds[name]
+		s := Generate(99, testCfg)
+		o, err := Run(s, build)
+		if err != nil {
+			t.Fatalf("%s: %v\nreplay:\n%s", name, err, s)
+		}
+		if o.Recall < 0.99 {
+			t.Fatalf("%s: recall %.3f, want >= 0.99\nreplay:\n%s", name, o.Recall, s)
+		}
+		if o.Joins != testCfg.Joiners {
+			t.Fatalf("%s: %d/%d joiners admitted", name, o.Joins, testCfg.Joiners)
+		}
+		if o.Offered != testCfg.Rounds*testCfg.PubsPerRound {
+			t.Fatalf("%s: offered %d publishes, want %d", name, o.Offered, testCfg.Rounds*testCfg.PubsPerRound)
+		}
+		if o.Stats.Bytes == 0 || o.Stats.Messages == 0 {
+			t.Fatalf("%s: no traffic accounted", name)
+		}
+		if name == "dht" && o.HandoffBytes == 0 {
+			t.Fatal("dht joins charged no handoff bytes")
+		}
+		if name == "central" && o.HandoffBytes != 0 {
+			t.Fatal("heal-convention joiners charged handoff bytes")
+		}
+		o2, err := Run(s, build)
+		if err != nil {
+			t.Fatalf("%s replay: %v", name, err)
+		}
+		if o != o2 {
+			t.Fatalf("%s: same-seed replay diverged:\n%+v\nvs\n%+v", name, o, o2)
+		}
+	}
+}

@@ -35,17 +35,23 @@
 // Delta uses, so snapshot-vs-replay byte comparisons (the FastRejoin
 // conformance law, experiment E16) are fair.
 //
-// # Indexed lookups
+// # Indexed lookups and filter routing
 //
 // A View answers two query-routing questions: "which site is home to this
 // record?" (Locate, one map probe) and "which sites may hold postings for
-// this attribute?" (SitesFor). SitesFor is backed by an inverted index
-// from attribute key to the set of origins whose deltas carried it, so
-// per-query work is O(matching sites) rather than O(all sites) — the
-// difference between a 10,000-site sweep finishing and not. The per-peer
-// Bloom filters are the wire-level digest the index is built from: the
-// index never lists a site whose filter would not also match (MayHold),
-// and the filter sizes the delta's bytes on the simulated network.
+// this attribute?". For the latter the per-peer Bloom filters are the
+// routing AUTHORITY — CandidatesFor probes each known origin's
+// accumulated filter, so candidate selection behaves exactly like the
+// wire-level digest it models: a false positive really routes the query
+// to a site with nothing to say, costing a charged empty round trip,
+// never a wrong answer. The exact inverted index behind SitesFor (key →
+// origins whose deltas carried it) remains the ground truth the filters
+// are rebuilt from and the reference that makes false positives
+// measurable: CandidatesFor ⊇ SitesFor always, and the difference is the
+// misroute set. Per-query local work is one cheap filter probe per known
+// origin; the wire cost stays O(matching sites + false positives), and
+// record resolution (Locate) stays one map probe — which is what keeps
+// the 10,000-site sweep's per-lookup message budget intact.
 package siteview
 
 import (
@@ -363,6 +369,23 @@ func (v *View) SitesFor(attrKey string) []netsim.SiteID {
 func (v *View) MayHold(peer netsim.SiteID, attrKey string) bool {
 	f, ok := v.filters[peer]
 	return ok && f.MayContain(attrKey)
+}
+
+// CandidatesFor returns, in ascending order, every origin whose
+// accumulated Bloom filter may hold the attribute key — the wire-digest
+// routing set. It is a superset of SitesFor (filters have no false
+// negatives); the difference is exactly the false positives, each of
+// which costs the querier a charged empty round trip. Work is O(origins
+// with delivered filters): one filter probe per known peer, no network.
+func (v *View) CandidatesFor(attrKey string) []netsim.SiteID {
+	var out []netsim.SiteID
+	for s, f := range v.filters {
+		if f.MayContain(attrKey) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Seq returns the last delta sequence number applied from the origin.

@@ -68,8 +68,11 @@ func (r *Runner) E16Churn() (*Result, error) {
 		{"passnet", true, func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return passnet.New(net, sites, passnet.Options{})
 		}},
+		// The replay row must really replay: ManualRejoin switches off the
+		// proactive snapshot a recovered site would otherwise take inside
+		// Tick, leaving outbox anti-entropy as the only recovery path.
 		{"passnet-replay", false, func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
-			return passnet.New(net, sites, passnet.Options{})
+			return passnet.New(net, sites, passnet.Options{ManualRejoin: true})
 		}},
 	}
 

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+
+	"pass/internal/arch"
+	"pass/internal/arch/central"
+	"pass/internal/arch/dht"
+	"pass/internal/arch/passnet"
+	"pass/internal/arch/schedule"
+	"pass/internal/arch/softstate"
+	"pass/internal/metrics"
+	"pass/internal/netsim"
+)
+
+// E17Membership — the elastic-membership dimension of survivability.
+// E16 scripts one crash wave and one heal; E17 is what "sites come and
+// go" looks like when nobody scripts it: a seeded generator (package
+// schedule) interleaves join, crash, heal, partition, and loss-burst
+// events at a configurable rate, and every architecture runs the SAME
+// schedule per cell. The table reports, per model, site count, and
+// event rate:
+//
+//   - events / joins: how much membership motion the schedule injected
+//     and how many cold sites were admitted (dht pays a charged key
+//     handoff per admission, arch.Joiner; everyone else runs the
+//     heal-on-join convention — passnet's admitted site then takes the
+//     proactive snapshot path by itself);
+//   - acked: the publish workload acknowledged despite the churn
+//     (bounded re-offers, E14's client model);
+//   - recall / conv-rounds: once the schedule quiesces — faults lifted,
+//     stragglers joined, unacknowledged publishes re-offered — how many
+//     maintenance rounds until lookups answer in full, and where recall
+//     lands (the oracle's bar is ≥ 0.99, the same as the scripted laws);
+//   - handoff-bytes: the wire cost of join admissions, the arrival-side
+//     counterpart of E16's rec-bytes.
+//
+// Same-seed determinism of the whole sweep is pinned by the regression
+// test, exactly like E14/E16.
+func (r *Runner) E17Membership() (*Result, error) {
+	table := metrics.NewTable("E17: membership (randomized join/crash/partition schedules)",
+		"model", "sites", "rate", "events", "joins", "acked", "recall", "conv-rounds", "handoff-bytes")
+	findings := map[string]float64{}
+
+	type entrant struct {
+		label string
+		build func(net *netsim.Network, sites []netsim.SiteID) arch.Model
+	}
+	roster := []entrant{
+		{"central", func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return central.New(net, sites[0])
+		}},
+		{"softstate", func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return softstate.New(net, sites, sites[:2], 1)
+		}},
+		{"dht", func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return dht.New(net, sites)
+		}},
+		{"passnet", func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{})
+		}},
+	}
+
+	for _, nSites := range []int{16, 64} {
+		for ri, rate := range []float64{0.25, 0.75} {
+			rateLabel := []string{"lo", "hi"}[ri]
+			cfg := schedule.Config{
+				Sites:        nSites,
+				SitesPerZone: 4,
+				Joiners:      nSites / 8,
+				Rounds:       10,
+				EventRate:    rate,
+				PubsPerRound: r.scale.n(6),
+			}
+			// One schedule per cell, shared by every model: the comparison
+			// is architectures under identical membership motion.
+			seed := uint64(17000 + nSites*10 + ri)
+			sched := schedule.Generate(seed, cfg)
+			for _, ent := range roster {
+				o, err := schedule.Run(sched, ent.build)
+				if err != nil {
+					return nil, fmt.Errorf("%s (n=%d rate=%s): %w\nschedule:\n%s",
+						ent.label, nSites, rateLabel, err, sched)
+				}
+				table.AddRow(ent.label, nSites, rateLabel, len(sched.Events), o.Joins,
+					fmt.Sprintf("%d/%d", o.Acked, o.Offered),
+					fmt.Sprintf("%.3f", o.Recall), o.ConvRounds, o.HandoffBytes)
+				tag := fmt.Sprintf("%s_n%d_r%s", ent.label, nSites, rateLabel)
+				findings["recall_"+tag] = o.Recall
+				findings["acked_"+tag] = float64(o.Acked)
+				findings["joins_"+tag] = float64(o.Joins)
+				findings["rounds_"+tag] = float64(o.ConvRounds)
+				findings["handoff_"+tag] = float64(o.HandoffBytes)
+				findings["events_"+tag] = float64(len(sched.Events))
+			}
+		}
+	}
+	return &Result{
+		ID:       "E17",
+		Title:    "Membership: randomized join/crash/partition schedules — recall, handoff cost, convergence",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"every model in a cell replays the SAME generated schedule (seeded, replayable via schedule.String); the oracle is generic: recall >= 0.99 after quiescence, all joiners admitted, all bytes charged",
+			"joins: dht admits cold nodes through arch.Joiner — spliced into the ring with a charged key handoff (handoff-bytes) — while the other models run the heal-on-join convention; passnet's admitted sites then trigger their own rejoin snapshots inside Tick (proactive rejoin, zero operator calls)",
+			"conv-rounds counts post-quiescence maintenance rounds until every acknowledged publish resolves from every querier, one of them a freshly joined site",
+		},
+	}, nil
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// E17 shape checks: the membership story under randomized schedules.
+// Assertions pin WHO pays WHICH recovery cost, not absolute numbers —
+// the schedules themselves are pinned replayable by their seeds.
+
+func TestE17MembershipShape(t *testing.T) {
+	res, err := testRunner().E17Membership()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handoffTotal := 0.0
+	for _, n := range []string{"n16", "n64"} {
+		for _, r := range []string{"rlo", "rhi"} {
+			cell := "_" + n + "_" + r
+			for _, model := range []string{"central", "softstate", "dht", "passnet"} {
+				// The generic oracle: after quiescence plus convergence
+				// rounds, every architecture answers in full again.
+				if v := res.Finding("recall_" + model + cell); v < 0.99 {
+					t.Fatalf("%s%s: recall %v after quiescence, want >= 0.99", model, cell, v)
+				}
+				if v := res.Finding("acked_" + model + cell); v <= 0 {
+					t.Fatalf("%s%s: nothing acknowledged", model, cell)
+				}
+				// Every cold site must be admitted: joins equal the
+				// schedule's joiner count (sites/8).
+				wantJoins := 2.0
+				if n == "n64" {
+					wantJoins = 8
+				}
+				if v := res.Finding("joins_" + model + cell); v != wantJoins {
+					t.Fatalf("%s%s: %v joiners admitted, want %v", model, cell, v, wantJoins)
+				}
+				// Only the ring pays key handoffs; heal-convention models
+				// must charge none.
+				if model != "dht" {
+					if v := res.Finding("handoff_" + model + cell); v != 0 {
+						t.Fatalf("%s%s: heal-convention join charged %v handoff bytes", model, cell, v)
+					}
+				}
+			}
+			handoffTotal += res.Finding("handoff_dht" + cell)
+			if v := res.Finding("events_central" + cell); v <= 0 {
+				t.Fatalf("cell %s: schedule generated no events", cell)
+			}
+		}
+	}
+	if handoffTotal == 0 {
+		t.Fatal("dht charged no handoff bytes across the whole sweep — joins moved nothing")
+	}
+	for name, v := range res.Findings {
+		if strings.HasPrefix(name, "recall_") && (v < 0 || v > 1) {
+			t.Fatalf("%s = %v out of [0,1]", name, v)
+		}
+	}
+}
+
+// TestE17Deterministic: the whole membership sweep — generated
+// schedules, join handoffs, proactive rejoins, convergence accounting —
+// must be byte-for-byte reproducible run to run (the same law E14/E16
+// pin for their sweeps).
+func TestE17Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeat run in -short mode")
+	}
+	r1, err := NewRunner(0.1).E17Membership()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(0.1).E17Membership()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Findings) != len(r2.Findings) {
+		t.Fatalf("finding counts differ: %d vs %d", len(r1.Findings), len(r2.Findings))
+	}
+	for name, v := range r1.Findings {
+		if r2.Findings[name] != v {
+			t.Fatalf("%s diverged across identical runs: %v vs %v", name, v, r2.Findings[name])
+		}
+	}
+	if r1.Table.String() != r2.Table.String() {
+		t.Fatal("result tables diverged across identical runs")
+	}
+}

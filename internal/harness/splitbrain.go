@@ -29,7 +29,7 @@ import (
 // split-brain.
 func (r *Runner) E15SplitBrain() (*Result, error) {
 	table := metrics.NewTable("E15: split-brain (partition → divergent views → heal → convergence)",
-		"model", "phase", "querier", "sees-left", "sees-right", "views-converged")
+		"model", "phase", "querier", "sees-left", "sees-right", "views-converged", "fp-rate")
 	findings := map[string]float64{}
 
 	const sitesPerZone = 4
@@ -98,6 +98,16 @@ func (r *Runner) E15SplitBrain() (*Result, error) {
 		return 1
 	}
 
+	// fpRate is the Bloom misroute rate so far: query routing goes
+	// through the per-peer filters (View.MayHold), so a false positive is
+	// a real charged round trip — this column measures how often.
+	fpRate := func() float64 {
+		if m.RemoteContacts() == 0 {
+			return 0
+		}
+		return float64(m.FalsePositives()) / float64(m.RemoteContacts())
+	}
+
 	// Phase 1: partition, both sides publish, digests gossip per side.
 	net.Partition(left, right)
 	wantL, err := publishSide(left, 0, nPer)
@@ -124,7 +134,8 @@ func (r *Runner) E15SplitBrain() (*Result, error) {
 			return nil, err
 		}
 		conv := viewsConverged()
-		table.AddRow("passnet", phase, q.name, fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), conv)
+		table.AddRow("passnet", phase, q.name, fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), conv,
+			fmt.Sprintf("%.4f", fpRate()))
 		findings[fmt.Sprintf("%s_sees_left_%s", q.name, phase)] = rl
 		findings[fmt.Sprintf("%s_sees_right_%s", q.name, phase)] = rr
 	}
@@ -147,12 +158,16 @@ func (r *Runner) E15SplitBrain() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		table.AddRow("passnet", phase, q.name, fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), viewsConverged())
+		table.AddRow("passnet", phase, q.name, fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), viewsConverged(),
+			fmt.Sprintf("%.4f", fpRate()))
 		findings[fmt.Sprintf("%s_sees_left_%s", q.name, phase)] = rl
 		findings[fmt.Sprintf("%s_sees_right_%s", q.name, phase)] = rr
 	}
 	findings["views_converged_healed"] = viewsConverged()
 	findings["pending_healed"] = float64(m.PendingDigests())
+	findings["fp_rate"] = fpRate()
+	findings["fp_contacts"] = float64(m.FalsePositives())
+	findings["remote_contacts"] = float64(m.RemoteContacts())
 
 	// Contrast: the centralized warehouse under the same split. The side
 	// holding the warehouse keeps full service; the other side gets
@@ -169,6 +184,7 @@ func (r *Runner) E15SplitBrain() (*Result, error) {
 		Notes: []string{
 			"shape check: mid-partition each passnet side answers with exactly its own side's records (different answers to the SAME query) and views disagree; after heal + gossip every view fingerprint matches and both sides see everything",
 			"contrast: central's warehouse-less side cannot publish or query at all during the split — unavailability instead of divergence",
+			"fp-rate: Bloom misroutes per remote contact — candidate routing goes through the per-peer filters (View.MayHold), so a false positive is a charged empty round trip, never a wrong answer",
 		},
 	}, nil
 }
@@ -218,7 +234,7 @@ func (r *Runner) e15CentralContrast(table *metrics.Table, findings map[string]fl
 		} else if !arch.IsUnavailable(err) {
 			return err
 		}
-		table.AddRow("central", "partitioned", side, fmt.Sprintf("%.2f", seen), "-", "-")
+		table.AddRow("central", "partitioned", side, fmt.Sprintf("%.2f", seen), "-", "-", "-")
 		findings["central_"+side+"_acked"] = float64(acked[side])
 		findings["central_"+side+"_sees"] = seen
 	}
