@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	passbench [-run E5,E7] [-scale 1.0] [-json results.json]
+//	passbench [-run E5,E7] [-scale 1.0] [-parallel=true] [-json results.json]
 //
 // Each experiment maps to one claim of the paper (see the README experiment
 // map). The default scale (1.0) is the full configuration; smaller scales
@@ -40,10 +40,11 @@ type jsonReport struct {
 func main() {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	parallel := flag.Bool("parallel", true, "run sweep cells on all cores (tables are identical either way)")
 	jsonPath := flag.String("json", "", "also write findings as JSON to this file")
 	flag.Parse()
 
-	runner := harness.NewRunner(harness.Scale(*scale))
+	runner := harness.NewRunner(harness.Scale(*scale)).SetParallel(*parallel)
 
 	var selected []harness.Experiment
 	if *runList == "" {

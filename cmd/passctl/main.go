@@ -17,7 +17,7 @@
 //	gc -before <RFC3339|unixnano>          collect old payloads
 //	verify                                 consistency audit
 //	stats                                  store statistics
-//	experiment [-scale F] <ID...>          run paper experiments (E1–E17); no -store needed
+//	experiment [-scale F] [-parallel=true] <ID...>  run paper experiments (E1–E17); no -store needed
 package main
 
 import (
@@ -346,6 +346,7 @@ func cmdVerify(s *core.Store, stdout io.Writer) error {
 func cmdExperiment(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.25, "workload scale factor (1.0 = full configuration)")
+	parallel := fs.Bool("parallel", true, "run sweep cells on all cores (tables are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -354,9 +355,9 @@ func cmdExperiment(args []string, stdout io.Writer) error {
 		for _, e := range harness.All() {
 			ids = append(ids, e.ID)
 		}
-		return fmt.Errorf("usage: experiment [-scale F] <ID...>; available: %s", strings.Join(ids, " "))
+		return fmt.Errorf("usage: experiment [-scale F] [-parallel=true] <ID...>; available: %s", strings.Join(ids, " "))
 	}
-	runner := harness.NewRunner(harness.Scale(*scale))
+	runner := harness.NewRunner(harness.Scale(*scale)).SetParallel(*parallel)
 	for _, raw := range fs.Args() {
 		exp, ok := harness.Lookup(strings.ToUpper(strings.TrimSpace(raw)))
 		if !ok {

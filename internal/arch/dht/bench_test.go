@@ -1,0 +1,48 @@
+package dht
+
+import (
+	"testing"
+
+	"pass/internal/arch/archtest"
+	"pass/internal/geo"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// Lookup is the DHT's read path: a finger-routed multi-hop locate plus a
+// record fetch. E16's churnRecall probes issue one Lookup per
+// acknowledged record per querier, so this is the dominant cost of the
+// churn sweeps. Part of `make bench-quick`.
+
+func gridNet(n int) (*netsim.Network, []netsim.SiteID) {
+	net := netsim.New(netsim.Config{})
+	m := geo.GridLayout(n, 500, 50)
+	var sites []netsim.SiteID
+	for _, z := range m.Zones() {
+		sites = append(sites, net.AddSite("site-"+z.Name, z.Center, z.Name))
+	}
+	return net, sites
+}
+
+// BenchmarkDHTLookup measures finger-routed lookups across a 64-node
+// ring with a populated keyspace.
+func BenchmarkDHTLookup(b *testing.B) {
+	net, sites := gridNet(64)
+	m := New(net, sites)
+	var ids []provenance.ID
+	for i := 0; i < 128; i++ {
+		p := archtest.PubAt(byte(i%250+1), sites[i%len(sites)],
+			provenance.Attr("seq", provenance.Int64(int64(i))))
+		if _, err := m.Publish(p); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Lookup(sites[i%len(sites)], ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,6 +54,31 @@ func BenchmarkPublishDigestMode(b *testing.B) {
 	}
 }
 
+// BenchmarkPassnetTick measures one digest-gossip maintenance round: a
+// fresh batch of publishes is queued, then Tick flushes every origin's
+// outbox to every peer (the anti-entropy fan-out that dominates passnet's
+// wall-clock in the large sweeps). Part of `make bench-quick`.
+func BenchmarkPassnetTick(b *testing.B) {
+	net, sites := worldNet()
+	m := New(net, sites, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 8; j++ {
+			p := archtest.PubAt(byte((i*8+j)%250+1), sites[(i*8+j)%len(sites)],
+				provenance.Attr("seq", provenance.Int64(int64(i*8+j))))
+			if _, err := m.Publish(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := m.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkLookupReplication(b *testing.B) {
 	for _, replicate := range []bool{false, true} {
 		b.Run(fmt.Sprintf("replicate=%v", replicate), func(b *testing.B) {

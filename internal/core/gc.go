@@ -177,19 +177,17 @@ func (s *Store) VerifyConsistency() (ConsistencyReport, error) {
 				}
 			}
 		}
-		// Every attribute must be reachable through the inverted index.
+		// Every attribute must be reachable through the inverted index —
+		// probed as a point lookup on the composite (key, value, id)
+		// index entry. Collecting every ID under the value and searching
+		// it (the obvious way) makes the audit quadratic as soon as many
+		// records share a value, which is the common case (every weather
+		// record carries domain=weather).
 		for _, a := range rec.Attributes {
-			ids, err := s.ix.LookupAttr(a.Key, a.Value)
+			found, err := s.ix.HasAttr(a.Key, a.Value, id)
 			if err != nil {
 				scanErr = err
 				return false
-			}
-			found := false
-			for _, got := range ids {
-				if got == id {
-					found = true
-					break
-				}
 			}
 			if !found {
 				rep.BrokenIndex++

@@ -76,155 +76,184 @@ func (r *Runner) E16Churn() (*Result, error) {
 		}},
 	}
 
+	type cell struct {
+		nSites, ci, mi int
+		crashFrac      float64
+	}
+	var cells []cell
 	for _, nSites := range []int{16, 64} {
 		for ci, crashFrac := range []float64{0.125, 0.25} {
-			nVictims := int(float64(nSites) * crashFrac)
-			for mi, ent := range roster {
-				net, sites := netsim.RandomTopology(netsim.Config{
-					Seed: uint64(nSites*1000 + ci*100 + mi + 1),
-				}, nSites/sitesPerZone, sitesPerZone, uint64(16000+nSites))
-				m := ent.build(net, sites)
-
-				// Victims: an even stride over the roster, never the service
-				// anchors at sites[0] and sites[1] (central's warehouse,
-				// softstate's index nodes) — crashing a single point of
-				// failure is E15's contrast, not churn, and keeping the
-				// lookup service up is what lets recall-stab measure the
-				// LOCALITY effect rather than index outage.
-				victims := make([]netsim.SiteID, 0, nVictims)
-				isVictim := make(map[netsim.SiteID]bool, nVictims)
-				for i := 0; i < nVictims; i++ {
-					idx := (2 + i*(nSites/nVictims)) % nSites
-					for idx < 2 || isVictim[sites[idx]] {
-						idx = (idx + 1) % nSites
-					}
-					victims = append(victims, sites[idx])
-					isVictim[sites[idx]] = true
-				}
-
-				// Phase 1: steady state — everyone publishes, maintenance
-				// flushes, the federation is converged.
-				acked := make(map[provenance.ID]bool)
-				pubs, err := taggedPubs(net, sites, "churn", 0xE6, 0, prePubs, nil)
-				if err != nil {
-					return nil, err
-				}
-				var unacked []arch.Pub
-				for _, p := range pubs {
-					ok, err := churnOffer(m, p, 4)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						acked[p.ID] = true
-					} else {
-						unacked = append(unacked, p)
-					}
-				}
-				for i := 0; i < 2; i++ {
-					if err := m.Tick(); err != nil {
-						return nil, fmt.Errorf("%s tick: %w", ent.label, err)
-					}
-				}
-
-				// Phase 2: crash, then keep publishing from live sites.
-				for _, v := range victims {
-					net.Fail(v)
-				}
-				morePubs, err := taggedPubs(net, sites, "churn", 0xE6, prePubs, churnPubs, isVictim)
-				if err != nil {
-					return nil, err
-				}
-				for _, p := range morePubs {
-					ok, err := churnOffer(m, p, 4)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						acked[p.ID] = true
-					} else {
-						unacked = append(unacked, p)
-					}
-				}
-
-				queriers := liveQueriers(sites, isVictim)
-				recallDown := churnRecall(m, queriers, acked)
-
-				// Phase 3: maintenance with the victims still down — the
-				// stabilization window.
-				for i := 0; i < 3; i++ {
-					if err := m.Tick(); err != nil {
-						return nil, fmt.Errorf("%s tick: %w", ent.label, err)
-					}
-				}
-				recallStab := churnRecall(m, queriers, acked)
-
-				// Phase 4: heal; rejoiners take the snapshot path; failed
-				// publishes are re-offered (idempotent); rounds until the
-				// healed federation answers in full again.
-				for _, v := range victims {
-					net.Heal(v)
-				}
-				statsAtHeal := net.Stats()
-				if rej, ok := m.(arch.Rejoiner); ok && ent.rejoin {
-					for _, v := range victims {
-						if _, err := rej.Rejoin(v); err != nil {
-							return nil, fmt.Errorf("%s rejoin of %d: %w", ent.label, v, err)
-						}
-					}
-				}
-				for _, p := range unacked {
-					ok, err := churnOffer(m, p, 6)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						acked[p.ID] = true
-					}
-				}
-				healQueriers := append(append([]netsim.SiteID(nil), queriers...), victims[0])
-				// The recall probes are real (charged) lookups; their bytes
-				// are metered separately so rec-bytes reports only the
-				// recovery paths' own traffic — otherwise the slower path
-				// would be billed for more measurement sweeps.
-				probeBytes := int64(0)
-				probe := func() float64 {
-					b0 := net.Stats().Bytes
-					rec := churnRecall(m, healQueriers, acked)
-					probeBytes += net.Stats().Bytes - b0
-					return rec
-				}
-				rounds := 0
-				for ; rounds < healRounds; rounds++ {
-					if probe() == 1 {
-						break
-					}
-					if err := m.Tick(); err != nil {
-						return nil, fmt.Errorf("%s tick: %w", ent.label, err)
-					}
-				}
-				recBytes := net.Stats().Bytes - statsAtHeal.Bytes - probeBytes
-				recallHeal := churnRecall(m, healQueriers, acked)
-
-				rehomed := int64(0)
-				if d, ok := m.(*dht.Model); ok {
-					rehomed = d.Rehomed()
-				}
-				churnPct := int(crashFrac * 100)
-				table.AddRow(ent.label, nSites, fmt.Sprintf("%d%%", churnPct),
-					fmt.Sprintf("%d/%d", len(acked), prePubs+churnPubs),
-					fmt.Sprintf("%.3f", recallDown), fmt.Sprintf("%.3f", recallStab),
-					rounds, recBytes, rehomed)
-				tag := fmt.Sprintf("%s_n%d_c%d", ent.label, nSites, churnPct)
-				findings["acked_"+tag] = float64(len(acked))
-				findings["recall_down_"+tag] = recallDown
-				findings["recall_stab_"+tag] = recallStab
-				findings["recall_heal_"+tag] = recallHeal
-				findings["rounds_"+tag] = float64(rounds)
-				findings["recbytes_"+tag] = float64(recBytes)
-				findings["rehomed_"+tag] = float64(rehomed)
+			for mi := range roster {
+				cells = append(cells, cell{nSites, ci, mi, crashFrac})
 			}
 		}
+	}
+	type out struct {
+		acked                  int
+		recallDown, recallStab float64
+		recallHeal             float64
+		rounds                 int
+		recBytes, rehomed      int64
+	}
+	outs, err := runCells(r, cells, func(c cell) (out, error) {
+		nSites := c.nSites
+		nVictims := int(float64(nSites) * c.crashFrac)
+		ent := roster[c.mi]
+		net, sites := netsim.RandomTopology(netsim.Config{
+			Seed: uint64(nSites*1000 + c.ci*100 + c.mi + 1),
+		}, nSites/sitesPerZone, sitesPerZone, uint64(16000+nSites))
+		m := ent.build(net, sites)
+
+		// Victims: an even stride over the roster, never the service
+		// anchors at sites[0] and sites[1] (central's warehouse,
+		// softstate's index nodes) — crashing a single point of
+		// failure is E15's contrast, not churn, and keeping the
+		// lookup service up is what lets recall-stab measure the
+		// LOCALITY effect rather than index outage.
+		victims := make([]netsim.SiteID, 0, nVictims)
+		isVictim := make(map[netsim.SiteID]bool, nVictims)
+		for i := 0; i < nVictims; i++ {
+			idx := (2 + i*(nSites/nVictims)) % nSites
+			for idx < 2 || isVictim[sites[idx]] {
+				idx = (idx + 1) % nSites
+			}
+			victims = append(victims, sites[idx])
+			isVictim[sites[idx]] = true
+		}
+
+		// Phase 1: steady state — everyone publishes, maintenance
+		// flushes, the federation is converged.
+		acked := make(map[provenance.ID]bool)
+		pubs, err := taggedPubs(net, sites, "churn", 0xE6, 0, prePubs, nil)
+		if err != nil {
+			return out{}, err
+		}
+		var unacked []arch.Pub
+		for _, p := range pubs {
+			ok, err := churnOffer(m, p, 4)
+			if err != nil {
+				return out{}, err
+			}
+			if ok {
+				acked[p.ID] = true
+			} else {
+				unacked = append(unacked, p)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			if err := m.Tick(); err != nil {
+				return out{}, fmt.Errorf("%s tick: %w", ent.label, err)
+			}
+		}
+
+		// Phase 2: crash, then keep publishing from live sites.
+		for _, v := range victims {
+			net.Fail(v)
+		}
+		morePubs, err := taggedPubs(net, sites, "churn", 0xE6, prePubs, churnPubs, isVictim)
+		if err != nil {
+			return out{}, err
+		}
+		for _, p := range morePubs {
+			ok, err := churnOffer(m, p, 4)
+			if err != nil {
+				return out{}, err
+			}
+			if ok {
+				acked[p.ID] = true
+			} else {
+				unacked = append(unacked, p)
+			}
+		}
+
+		queriers := liveQueriers(sites, isVictim)
+		recallDown := churnRecall(m, queriers, acked)
+
+		// Phase 3: maintenance with the victims still down — the
+		// stabilization window.
+		for i := 0; i < 3; i++ {
+			if err := m.Tick(); err != nil {
+				return out{}, fmt.Errorf("%s tick: %w", ent.label, err)
+			}
+		}
+		recallStab := churnRecall(m, queriers, acked)
+
+		// Phase 4: heal; rejoiners take the snapshot path; failed
+		// publishes are re-offered (idempotent); rounds until the
+		// healed federation answers in full again.
+		for _, v := range victims {
+			net.Heal(v)
+		}
+		statsAtHeal := net.Stats()
+		if rej, ok := m.(arch.Rejoiner); ok && ent.rejoin {
+			for _, v := range victims {
+				if _, err := rej.Rejoin(v); err != nil {
+					return out{}, fmt.Errorf("%s rejoin of %d: %w", ent.label, v, err)
+				}
+			}
+		}
+		for _, p := range unacked {
+			ok, err := churnOffer(m, p, 6)
+			if err != nil {
+				return out{}, err
+			}
+			if ok {
+				acked[p.ID] = true
+			}
+		}
+		healQueriers := append(append([]netsim.SiteID(nil), queriers...), victims[0])
+		// The recall probes are real (charged) lookups; their bytes
+		// are metered separately so rec-bytes reports only the
+		// recovery paths' own traffic — otherwise the slower path
+		// would be billed for more measurement sweeps.
+		probeBytes := int64(0)
+		probe := func() float64 {
+			b0 := net.Stats().Bytes
+			rec := churnRecall(m, healQueriers, acked)
+			probeBytes += net.Stats().Bytes - b0
+			return rec
+		}
+		rounds := 0
+		for ; rounds < healRounds; rounds++ {
+			if probe() == 1 {
+				break
+			}
+			if err := m.Tick(); err != nil {
+				return out{}, fmt.Errorf("%s tick: %w", ent.label, err)
+			}
+		}
+		recBytes := net.Stats().Bytes - statsAtHeal.Bytes - probeBytes
+		recallHeal := churnRecall(m, healQueriers, acked)
+
+		rehomed := int64(0)
+		if d, ok := m.(*dht.Model); ok {
+			rehomed = d.Rehomed()
+		}
+		return out{
+			acked:      len(acked),
+			recallDown: recallDown, recallStab: recallStab, recallHeal: recallHeal,
+			rounds: rounds, recBytes: recBytes, rehomed: rehomed,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		o := outs[i]
+		churnPct := int(c.crashFrac * 100)
+		label := roster[c.mi].label
+		table.AddRow(label, c.nSites, fmt.Sprintf("%d%%", churnPct),
+			fmt.Sprintf("%d/%d", o.acked, prePubs+churnPubs),
+			fmt.Sprintf("%.3f", o.recallDown), fmt.Sprintf("%.3f", o.recallStab),
+			o.rounds, o.recBytes, o.rehomed)
+		tag := fmt.Sprintf("%s_n%d_c%d", label, c.nSites, churnPct)
+		findings["acked_"+tag] = float64(o.acked)
+		findings["recall_down_"+tag] = o.recallDown
+		findings["recall_stab_"+tag] = o.recallStab
+		findings["recall_heal_"+tag] = o.recallHeal
+		findings["rounds_"+tag] = float64(o.rounds)
+		findings["recbytes_"+tag] = float64(o.recBytes)
+		findings["rehomed_"+tag] = float64(o.rehomed)
 	}
 	return &Result{
 		ID:       "E16",

@@ -59,16 +59,31 @@ func (s Scale) n(base int) int {
 
 // Runner executes experiments into temp directories it cleans up.
 type Runner struct {
-	scale Scale
+	scale  Scale
+	serial bool
 }
 
 // NewRunner returns a runner at the given scale (0 = full scale 1.0).
+// Sweep experiments run their cells in parallel by default; SetParallel
+// switches the serial path on for debugging and for the
+// serial-vs-parallel equivalence tests.
 func NewRunner(scale Scale) *Runner {
 	if scale <= 0 {
 		scale = 1
 	}
 	return &Runner{scale: scale}
 }
+
+// SetParallel switches the parallel cell runner on or off and returns the
+// runner for chaining. Both modes produce byte-identical tables and
+// findings: every cell owns its network, model, clock, and RNG seeds.
+func (r *Runner) SetParallel(on bool) *Runner {
+	r.serial = !on
+	return r
+}
+
+// Parallel reports whether sweep cells run on the worker pool.
+func (r *Runner) Parallel() bool { return !r.serial }
 
 // tempDir makes a scratch directory; the caller removes it.
 func tempDir(pattern string) (string, func(), error) {

@@ -61,39 +61,70 @@ func (r *Runner) E17Membership() (*Result, error) {
 		}},
 	}
 
+	type cell struct {
+		nSites, ri, mi int
+		rate           float64
+	}
+	var cells []cell
 	for _, nSites := range []int{16, 64} {
 		for ri, rate := range []float64{0.25, 0.75} {
-			rateLabel := []string{"lo", "hi"}[ri]
-			cfg := schedule.Config{
-				Sites:        nSites,
-				SitesPerZone: 4,
-				Joiners:      nSites / 8,
-				Rounds:       10,
-				EventRate:    rate,
-				PubsPerRound: r.scale.n(6),
-			}
-			// One schedule per cell, shared by every model: the comparison
-			// is architectures under identical membership motion.
-			seed := uint64(17000 + nSites*10 + ri)
-			sched := schedule.Generate(seed, cfg)
-			for _, ent := range roster {
-				o, err := schedule.Run(sched, ent.build)
-				if err != nil {
-					return nil, fmt.Errorf("%s (n=%d rate=%s): %w\nschedule:\n%s",
-						ent.label, nSites, rateLabel, err, sched)
-				}
-				table.AddRow(ent.label, nSites, rateLabel, len(sched.Events), o.Joins,
-					fmt.Sprintf("%d/%d", o.Acked, o.Offered),
-					fmt.Sprintf("%.3f", o.Recall), o.ConvRounds, o.HandoffBytes)
-				tag := fmt.Sprintf("%s_n%d_r%s", ent.label, nSites, rateLabel)
-				findings["recall_"+tag] = o.Recall
-				findings["acked_"+tag] = float64(o.Acked)
-				findings["joins_"+tag] = float64(o.Joins)
-				findings["rounds_"+tag] = float64(o.ConvRounds)
-				findings["handoff_"+tag] = float64(o.HandoffBytes)
-				findings["events_"+tag] = float64(len(sched.Events))
+			for mi := range roster {
+				cells = append(cells, cell{nSites, ri, mi, rate})
 			}
 		}
+	}
+	type out struct {
+		events, joins  int
+		acked, offered int
+		recall         float64
+		convRounds     int
+		handoffBytes   int64
+	}
+	outs, err := runCells(r, cells, func(c cell) (out, error) {
+		rateLabel := []string{"lo", "hi"}[c.ri]
+		cfg := schedule.Config{
+			Sites:        c.nSites,
+			SitesPerZone: 4,
+			Joiners:      c.nSites / 8,
+			Rounds:       10,
+			EventRate:    c.rate,
+			PubsPerRound: r.scale.n(6),
+		}
+		// One schedule per (sites, rate) point, shared by every model in
+		// that column: the comparison is architectures under identical
+		// membership motion. Each cell regenerates it from the seed so
+		// parallel cells never share a Schedule value.
+		seed := uint64(17000 + c.nSites*10 + c.ri)
+		sched := schedule.Generate(seed, cfg)
+		ent := roster[c.mi]
+		o, err := schedule.Run(sched, ent.build)
+		if err != nil {
+			return out{}, fmt.Errorf("%s (n=%d rate=%s): %w\nschedule:\n%s",
+				ent.label, c.nSites, rateLabel, err, sched)
+		}
+		return out{
+			events: len(sched.Events), joins: o.Joins,
+			acked: o.Acked, offered: o.Offered,
+			recall: o.Recall, convRounds: o.ConvRounds, handoffBytes: o.HandoffBytes,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		o := outs[i]
+		rateLabel := []string{"lo", "hi"}[c.ri]
+		label := roster[c.mi].label
+		table.AddRow(label, c.nSites, rateLabel, o.events, o.joins,
+			fmt.Sprintf("%d/%d", o.acked, o.offered),
+			fmt.Sprintf("%.3f", o.recall), o.convRounds, o.handoffBytes)
+		tag := fmt.Sprintf("%s_n%d_r%s", label, c.nSites, rateLabel)
+		findings["recall_"+tag] = o.recall
+		findings["acked_"+tag] = float64(o.acked)
+		findings["joins_"+tag] = float64(o.joins)
+		findings["rounds_"+tag] = float64(o.convRounds)
+		findings["handoff_"+tag] = float64(o.handoffBytes)
+		findings["events_"+tag] = float64(o.events)
 	}
 	return &Result{
 		ID:       "E17",

@@ -19,7 +19,19 @@ import (
 	"pass/internal/workload"
 )
 
-// Experiments over the architecture models: E5–E9, E11, E13.
+// Experiments over the architecture models: E5–E9, E11, E13. The sweeps
+// run one cell per (model, size, ...) grid point through runCells: each
+// cell builds its own network, model, clock, and workload from the cell
+// descriptor alone, so the cells parallelize without changing a byte of
+// the output.
+
+// kv is one named finding produced by a sweep cell; cells return slices
+// of these so the findings map can be assembled in deterministic order
+// after the parallel section.
+type kv struct {
+	k string
+	v float64
+}
 
 // newGrid builds an n-site network on a grid, one locality zone per site.
 func newGrid(n int) (*netsim.Network, []netsim.SiteID) {
@@ -95,40 +107,66 @@ func (r *Runner) E5UpdateScalability() (*Result, error) {
 	findings := map[string]float64{}
 
 	perSite := r.scale.n(40)
+	roster := modelRoster()
+	type cell struct{ n, mi int }
+	var cells []cell
 	for _, n := range []int{4, 8, 16} {
+		for mi := range roster {
+			cells = append(cells, cell{n, mi})
+		}
+	}
+	type out struct {
+		name     string
+		pubs     int
+		wanBytes int64
+		msgs     int64
+		meanMs   float64
+	}
+	outs, err := runCells(r, cells, func(c cell) (out, error) {
 		clock := monotonicClock()
 		sets := workload.Generate(workload.Config{
 			Domain:  workload.DomainTraffic,
-			Zones:   zoneNames(n),
+			Zones:   zoneNames(c.n),
 			Windows: perSite, SensorsPerZone: 2, ReadingsPerSensor: 2,
-			WindowDur: time.Hour, Seed: uint64(500 + n),
+			WindowDur: time.Hour, Seed: uint64(500 + c.n),
 		})
-		for _, model := range modelsForFresh(n) {
-			net, sites, m := model.net, model.sites, model.m
-			pubs, err := genPubs(sets, clock, func(i int, g workload.GenSet) netsim.SiteID {
-				return sites[zoneIndex(g.Zone)%len(sites)]
-			})
-			if err != nil {
-				return nil, err
-			}
-			net.ResetStats()
-			var totalLat time.Duration
-			for _, p := range pubs {
-				d, err := m.Publish(p)
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", m.Name(), err)
-				}
-				totalLat += d
-			}
-			if err := m.Tick(); err != nil {
-				return nil, err
-			}
-			st := net.Stats()
-			meanMs := float64(totalLat.Microseconds()) / float64(len(pubs)) / 1000
-			table.AddRow(m.Name(), n, len(pubs), st.WANBytes, st.Messages, meanMs)
-			findings[fmt.Sprintf("wan_%s_%d", m.Name(), n)] = float64(st.WANBytes)
-			findings[fmt.Sprintf("publat_%s_%d", m.Name(), n)] = meanMs
+		net, sites := newGrid(c.n)
+		m := roster[c.mi](net, sites)
+		pubs, err := genPubs(sets, clock, func(i int, g workload.GenSet) netsim.SiteID {
+			return sites[zoneIndex(g.Zone)%len(sites)]
+		})
+		if err != nil {
+			return out{}, err
 		}
+		net.ResetStats()
+		var totalLat time.Duration
+		for _, p := range pubs {
+			d, err := m.Publish(p)
+			if err != nil {
+				return out{}, fmt.Errorf("%s: %w", m.Name(), err)
+			}
+			totalLat += d
+		}
+		if err := m.Tick(); err != nil {
+			return out{}, err
+		}
+		st := net.Stats()
+		return out{
+			name:     m.Name(),
+			pubs:     len(pubs),
+			wanBytes: st.WANBytes,
+			msgs:     st.Messages,
+			meanMs:   float64(totalLat.Microseconds()) / float64(len(pubs)) / 1000,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		o := outs[i]
+		table.AddRow(o.name, c.n, o.pubs, o.wanBytes, o.msgs, o.meanMs)
+		findings[fmt.Sprintf("wan_%s_%d", o.name, c.n)] = float64(o.wanBytes)
+		findings[fmt.Sprintf("publat_%s_%d", o.name, c.n)] = o.meanMs
 	}
 	return &Result{
 		ID:       "E5",
@@ -161,14 +199,6 @@ func zoneIndex(zone string) int {
 	return n
 }
 
-// freshModel bundles a model with its private network (so traffic
-// accounting never bleeds across models).
-type freshModel struct {
-	net   *netsim.Network
-	sites []netsim.SiteID
-	m     arch.Model
-}
-
 // modelRoster returns one builder per Section IV architecture, in the
 // standard comparison configuration (warehouse at sites[0], two distdb
 // replicas, two soft-state index nodes, zone-primary hierarchy, batched
@@ -199,15 +229,6 @@ func modelRoster() []func(net *netsim.Network, sites []netsim.SiteID) arch.Model
 	}
 }
 
-func modelsForFresh(n int) []freshModel {
-	var out []freshModel
-	for _, b := range modelRoster() {
-		net, sites := newGrid(n)
-		out = append(out, freshModel{net: net, sites: sites, m: b(net, sites)})
-	}
-	return out
-}
-
 // E6Locality — §III-D and the Pier observation: a Boston consumer querying
 // Boston data should not pay world-scale round trips.
 func (r *Runner) E6Locality() (*Result, error) {
@@ -217,8 +238,20 @@ func (r *Runner) E6Locality() (*Result, error) {
 
 	k := r.scale.n(60)
 	queries := r.scale.n(30)
-	for _, b := range worldModels() {
-		net, sites, m := b.net, b.sites, b.m
+	builders := worldBuilders()
+	cells := make([]int, len(builders))
+	for i := range cells {
+		cells[i] = i
+	}
+	type out struct {
+		name    string
+		meanMs  float64
+		wan     int64
+		wanMsgs int64
+	}
+	outs, err := runCells(r, cells, func(mi int) (out, error) {
+		net, sites := newWorld()
+		m := builders[mi](net, sites)
 		producer, consumer := sites[0], sites[1] // boston pair (see newWorld)
 		clock := monotonicClock()
 		sets := workload.Generate(workload.Config{
@@ -229,33 +262,43 @@ func (r *Runner) E6Locality() (*Result, error) {
 		})
 		pubs, err := genPubs(sets, clock, func(int, workload.GenSet) netsim.SiteID { return producer })
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
 		for _, p := range pubs {
 			if _, err := m.Publish(p); err != nil {
-				return nil, fmt.Errorf("%s: %w", m.Name(), err)
+				return out{}, fmt.Errorf("%s: %w", m.Name(), err)
 			}
 		}
 		if err := m.Tick(); err != nil {
-			return nil, err
+			return out{}, err
 		}
 		net.ResetStats()
 		var totalLat time.Duration
 		for i := 0; i < queries; i++ {
 			got, d, err := m.QueryAttr(consumer, provenance.KeyZone, provenance.String("boston"))
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", m.Name(), err)
+				return out{}, fmt.Errorf("%s: %w", m.Name(), err)
 			}
 			if len(got) != len(pubs) {
-				return nil, fmt.Errorf("%s: query returned %d/%d", m.Name(), len(got), len(pubs))
+				return out{}, fmt.Errorf("%s: query returned %d/%d", m.Name(), len(got), len(pubs))
 			}
 			totalLat += d
 		}
 		st := net.Stats()
-		meanMs := float64(totalLat.Microseconds()) / float64(queries) / 1000
-		table.AddRow(m.Name(), meanMs, st.WANBytes, st.WANMsgs)
-		findings["qms_"+m.Name()] = meanMs
-		findings["qwan_"+m.Name()] = float64(st.WANBytes)
+		return out{
+			name:    m.Name(),
+			meanMs:  float64(totalLat.Microseconds()) / float64(queries) / 1000,
+			wan:     st.WANBytes,
+			wanMsgs: st.WANMsgs,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		table.AddRow(o.name, o.meanMs, o.wan, o.wanMsgs)
+		findings["qms_"+o.name] = o.meanMs
+		findings["qwan_"+o.name] = float64(o.wan)
 	}
 	return &Result{
 		ID:       "E6",
@@ -268,12 +311,11 @@ func (r *Runner) E6Locality() (*Result, error) {
 	}, nil
 }
 
-// worldModels returns the roster over the world-city topology. The
+// worldBuilders returns the roster for the world-city topology. The
 // central warehouse is deliberately placed in tokyo (far from boston) and
 // passnet runs with immediate digests so results are fresh.
-func worldModels() []freshModel {
-	var out []freshModel
-	build := []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
+func worldBuilders() []func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+	return []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
 		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return central.New(net, sites[8]) // tokyo-producer hosts the warehouse
 		},
@@ -294,11 +336,6 @@ func worldModels() []freshModel {
 			return passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
 		},
 	}
-	for _, b := range build {
-		net, sites := newWorld()
-		out = append(out, freshModel{net: net, sites: sites, m: b(net, sites)})
-	}
-	return out
 }
 
 // E7SoftStateStaleness — §IV-B: recall vs refresh period.
@@ -308,32 +345,56 @@ func (r *Runner) E7SoftStateStaleness() (*Result, error) {
 	findings := map[string]float64{}
 
 	k := r.scale.n(64)
-	clockBase := monotonicClock()
-	sets := workload.Generate(workload.Config{
-		Domain:  workload.DomainWeather,
-		Zones:   []string{"zone-0"},
-		Windows: k, SensorsPerZone: 1, ReadingsPerSensor: 2,
-		WindowDur: time.Minute, Seed: 71,
-	})
+	genSets := func() []workload.GenSet {
+		return workload.Generate(workload.Config{
+			Domain:  workload.DomainWeather,
+			Zones:   []string{"zone-0"},
+			Windows: k, SensorsPerZone: 1, ReadingsPerSensor: 2,
+			WindowDur: time.Minute, Seed: 71,
+		})
+	}
 
-	for _, period := range []int{1, 2, 4, 8, 16} {
+	// Cell 0..4 sweep the softstate refresh period; the last cell is the
+	// passnet-immediate contrast, which never goes stale.
+	periods := []int{1, 2, 4, 8, 16}
+	cells := make([]int, len(periods)+1)
+	for i := range cells {
+		cells[i] = i
+	}
+	type out struct {
+		model     string
+		period    string
+		pubs      int
+		mean, min float64
+	}
+	outs, err := runCells(r, cells, func(ci int) (out, error) {
 		net, sites := newGrid(4)
-		m := softstate.New(net, sites, sites[:1], period)
-		pubs, err := genPubs(sets, clockBase, func(int, workload.GenSet) netsim.SiteID { return sites[0] })
+		var m arch.Model
+		label, periodLabel := "softstate", ""
+		if ci < len(periods) {
+			m = softstate.New(net, sites, sites[:1], periods[ci])
+			periodLabel = fmt.Sprint(periods[ci])
+		} else {
+			m = passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
+			label, periodLabel = "passnet-immediate", "-"
+		}
+		pubs, err := genPubs(genSets(), monotonicClock(), func(int, workload.GenSet) netsim.SiteID { return sites[0] })
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
 		sumRecall, minRecall := 0.0, 1.0
 		for i, p := range pubs {
 			if _, err := m.Publish(p); err != nil {
-				return nil, err
+				return out{}, err
 			}
-			if err := m.Tick(); err != nil {
-				return nil, err
+			if ci < len(periods) {
+				if err := m.Tick(); err != nil {
+					return out{}, err
+				}
 			}
 			got, _, err := m.QueryAttr(sites[2], provenance.KeyDomain, provenance.String("weather"))
 			if err != nil {
-				return nil, err
+				return out{}, err
 			}
 			recall := float64(len(got)) / float64(i+1)
 			sumRecall += recall
@@ -341,36 +402,20 @@ func (r *Runner) E7SoftStateStaleness() (*Result, error) {
 				minRecall = recall
 			}
 		}
-		mean := sumRecall / float64(len(pubs))
-		table.AddRow("softstate", period, len(pubs), mean, minRecall)
-		findings[fmt.Sprintf("recall_p%d", period)] = mean
-	}
-
-	// Contrast: passnet with immediate digests never goes stale.
-	net, sites := newGrid(4)
-	pm := passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
-	pubs, err := genPubs(sets, clockBase, func(int, workload.GenSet) netsim.SiteID { return sites[0] })
+		return out{model: label, period: periodLabel, pubs: len(pubs),
+			mean: sumRecall / float64(len(pubs)), min: minRecall}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	sumRecall, minRecall := 0.0, 1.0
-	for i, p := range pubs {
-		if _, err := pm.Publish(p); err != nil {
-			return nil, err
-		}
-		got, _, err := pm.QueryAttr(sites[2], provenance.KeyDomain, provenance.String("weather"))
-		if err != nil {
-			return nil, err
-		}
-		recall := float64(len(got)) / float64(i+1)
-		sumRecall += recall
-		if recall < minRecall {
-			minRecall = recall
+	for i, o := range outs {
+		table.AddRow(o.model, o.period, o.pubs, o.mean, o.min)
+		if i < len(periods) {
+			findings[fmt.Sprintf("recall_p%d", periods[i])] = o.mean
+		} else {
+			findings["recall_passnet"] = o.mean
 		}
 	}
-	table.AddRow("passnet-immediate", "-", len(pubs), sumRecall/float64(len(pubs)), minRecall)
-	findings["recall_passnet"] = sumRecall / float64(len(pubs))
-
 	return &Result{
 		ID:       "E7",
 		Title:    "Soft-state staleness vs refresh period",
@@ -447,59 +492,82 @@ func (r *Runner) E9DHTUpdates() (*Result, error) {
 		"nodes", "updaters", "attrs/record", "msgs/publish", "avg-hops", "republish-bytes/tick", "ancestry-msgs(depth 8)")
 	findings := map[string]float64{}
 
+	type cell struct{ n, attrs int }
+	var cells []cell
 	for _, n := range []int{8, 32} {
 		for _, attrs := range []int{2, 6} {
-			net, sites := newGrid(n)
-			m := dht.New(net, sites)
-			clock := monotonicClock()
-			updaters := r.scale.n(200)
-
-			var pubs []arch.Pub
-			for i := 0; i < updaters; i++ {
-				b := provenance.NewRaw(seedDigest(i), 64)
-				for a := 0; a < attrs; a++ {
-					b = b.Attr(fmt.Sprintf("attr-%d", a), provenance.String(fmt.Sprintf("v%d", i%7)))
-				}
-				rec, id, err := b.CreatedAt(clock()).Build()
-				if err != nil {
-					return nil, err
-				}
-				pubs = append(pubs, arch.Pub{ID: id, Rec: rec, Origin: sites[i%len(sites)]})
-			}
-			net.ResetStats()
-			for _, p := range pubs {
-				if _, err := m.Publish(p); err != nil {
-					return nil, err
-				}
-			}
-			pubMsgs := float64(net.Stats().Messages) / float64(len(pubs))
-
-			net.ResetStats()
-			if err := m.Tick(); err != nil { // republish round
-				return nil, err
-			}
-			tickBytes := net.Stats().Bytes
-
-			// Recursive query cost on a depth-8 chain.
-			chain, err := chainPubs(8, sites, clock)
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range chain {
-				if _, err := m.Publish(p); err != nil {
-					return nil, err
-				}
-			}
-			net.ResetStats()
-			if _, _, err := m.QueryAncestors(sites[0], chain[len(chain)-1].ID); err != nil {
-				return nil, err
-			}
-			ancMsgs := net.Stats().Messages
-
-			table.AddRow(n, updaters, attrs, pubMsgs, m.AvgHops(), tickBytes, ancMsgs)
-			findings[fmt.Sprintf("pubmsgs_n%d_a%d", n, attrs)] = pubMsgs
-			findings[fmt.Sprintf("hops_n%d_a%d", n, attrs)] = m.AvgHops()
+			cells = append(cells, cell{n, attrs})
 		}
+	}
+	type out struct {
+		updaters  int
+		pubMsgs   float64
+		avgHops   float64
+		tickBytes int64
+		ancMsgs   int64
+	}
+	outs, err := runCells(r, cells, func(c cell) (out, error) {
+		net, sites := newGrid(c.n)
+		m := dht.New(net, sites)
+		clock := monotonicClock()
+		updaters := r.scale.n(200)
+
+		var pubs []arch.Pub
+		for i := 0; i < updaters; i++ {
+			b := provenance.NewRaw(seedDigest(i), 64)
+			for a := 0; a < c.attrs; a++ {
+				b = b.Attr(fmt.Sprintf("attr-%d", a), provenance.String(fmt.Sprintf("v%d", i%7)))
+			}
+			rec, id, err := b.CreatedAt(clock()).Build()
+			if err != nil {
+				return out{}, err
+			}
+			pubs = append(pubs, arch.Pub{ID: id, Rec: rec, Origin: sites[i%len(sites)]})
+		}
+		net.ResetStats()
+		for _, p := range pubs {
+			if _, err := m.Publish(p); err != nil {
+				return out{}, err
+			}
+		}
+		pubMsgs := float64(net.Stats().Messages) / float64(len(pubs))
+
+		net.ResetStats()
+		if err := m.Tick(); err != nil { // republish round
+			return out{}, err
+		}
+		tickBytes := net.Stats().Bytes
+
+		// Recursive query cost on a depth-8 chain.
+		chain, err := chainPubs(8, sites, clock)
+		if err != nil {
+			return out{}, err
+		}
+		for _, p := range chain {
+			if _, err := m.Publish(p); err != nil {
+				return out{}, err
+			}
+		}
+		net.ResetStats()
+		if _, _, err := m.QueryAncestors(sites[0], chain[len(chain)-1].ID); err != nil {
+			return out{}, err
+		}
+		return out{
+			updaters:  updaters,
+			pubMsgs:   pubMsgs,
+			avgHops:   m.AvgHops(),
+			tickBytes: tickBytes,
+			ancMsgs:   net.Stats().Messages,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		o := outs[i]
+		table.AddRow(c.n, o.updaters, c.attrs, o.pubMsgs, o.avgHops, o.tickBytes, o.ancMsgs)
+		findings[fmt.Sprintf("pubmsgs_n%d_a%d", c.n, c.attrs)] = o.pubMsgs
+		findings[fmt.Sprintf("hops_n%d_a%d", c.n, c.attrs)] = o.avgHops
 	}
 	return &Result{
 		ID:       "E9",
@@ -532,35 +600,60 @@ func (r *Runner) E11DistributedClosure() (*Result, error) {
 	if depth < 8 {
 		depth = 8
 	}
+	builders := closureBuilders()
+	type cell struct {
+		span int
+		mi   int
+	}
+	var cells []cell
 	for _, span := range []int{1, 4, 8} {
-		for _, b := range closureModels() {
-			net, sites, m := b.net, b.sites, b.m
-			clock := monotonicClock()
-			origins := sites[:span]
-			pubs, err := chainPubs(depth, origins, clock)
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range pubs {
-				if _, err := m.Publish(p); err != nil {
-					return nil, fmt.Errorf("%s: %w", m.Name(), err)
-				}
-			}
-			if err := m.Tick(); err != nil {
-				return nil, err
-			}
-			net.ResetStats()
-			anc, d, err := m.QueryAncestors(sites[len(sites)-1], pubs[len(pubs)-1].ID)
-			if err != nil {
-				return nil, fmt.Errorf("%s span %d: %w", m.Name(), span, err)
-			}
-			if len(anc) != depth-1 {
-				return nil, fmt.Errorf("%s span %d: closure %d, want %d", m.Name(), span, len(anc), depth-1)
-			}
-			st := net.Stats()
-			table.AddRow(m.Name(), span, float64(d.Microseconds())/1000, st.Messages)
-			findings[fmt.Sprintf("msgs_%s_span%d", m.Name(), span)] = float64(st.Messages)
+		for mi := range builders {
+			cells = append(cells, cell{span, mi})
 		}
+	}
+	type out struct {
+		name string
+		ms   float64
+		msgs int64
+	}
+	outs, err := runCells(r, cells, func(c cell) (out, error) {
+		net, sites := newGrid(16)
+		m := builders[c.mi](net, sites)
+		clock := monotonicClock()
+		origins := sites[:c.span]
+		pubs, err := chainPubs(depth, origins, clock)
+		if err != nil {
+			return out{}, err
+		}
+		for _, p := range pubs {
+			if _, err := m.Publish(p); err != nil {
+				return out{}, fmt.Errorf("%s: %w", m.Name(), err)
+			}
+		}
+		if err := m.Tick(); err != nil {
+			return out{}, err
+		}
+		net.ResetStats()
+		anc, d, err := m.QueryAncestors(sites[len(sites)-1], pubs[len(pubs)-1].ID)
+		if err != nil {
+			return out{}, fmt.Errorf("%s span %d: %w", m.Name(), c.span, err)
+		}
+		if len(anc) != depth-1 {
+			return out{}, fmt.Errorf("%s span %d: closure %d, want %d", m.Name(), c.span, len(anc), depth-1)
+		}
+		return out{
+			name: m.Name(),
+			ms:   float64(d.Microseconds()) / 1000,
+			msgs: net.Stats().Messages,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		o := outs[i]
+		table.AddRow(o.name, c.span, o.ms, o.msgs)
+		findings[fmt.Sprintf("msgs_%s_span%d", o.name, c.span)] = float64(o.msgs)
 	}
 	return &Result{
 		ID:       "E11",
@@ -573,9 +666,8 @@ func (r *Runner) E11DistributedClosure() (*Result, error) {
 	}, nil
 }
 
-func closureModels() []freshModel {
-	var out []freshModel
-	build := []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
+func closureBuilders() []func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+	return []func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
 		func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return central.New(net, sites[0]) },
 		func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return softstate.New(net, sites, sites[:2], 1)
@@ -586,11 +678,6 @@ func closureModels() []freshModel {
 			return passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
 		},
 	}
-	for _, b := range build {
-		net, sites := newGrid(16)
-		out = append(out, freshModel{net: net, sites: sites, m: b(net, sites)})
-	}
-	return out
 }
 
 // E13ResourceCrossover — §IV Resource Consumption: "If distributed,
@@ -604,83 +691,94 @@ func (r *Runner) E13ResourceCrossover() (*Result, error) {
 
 	totalOps := r.scale.n(1500)
 	ratios := []float64{0.01, 0.1, 1, 10, 100}
+
+	// variant 0 = central, 1 = passnet-immediate, 2 = passnet-batched.
+	variants := []struct {
+		build   func(net *netsim.Network, sites []netsim.SiteID) arch.Model
+		batched bool
+	}{
+		{func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return central.New(net, sites[0]) }, false},
+		{func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
+		}, false},
+		{func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{})
+		}, true},
+	}
+	type cell struct {
+		ratio float64
+		vi    int
+	}
+	var cells []cell
 	for _, ratio := range ratios {
+		for vi := range variants {
+			cells = append(cells, cell{ratio, vi})
+		}
+	}
+	outs, err := runCells(r, cells, func(c cell) (int64, error) {
 		// ops split: queries = total * ratio/(1+ratio).
-		queries := int(float64(totalOps) * ratio / (1 + ratio))
+		queries := int(float64(totalOps) * c.ratio / (1 + c.ratio))
 		updates := totalOps - queries
 		if updates < 1 {
 			updates = 1
 		}
-
-		bytesFor := func(mk func(net *netsim.Network, sites []netsim.SiteID) arch.Model, batched bool) (int64, error) {
-			net, sites := newGrid(16)
-			m := mk(net, sites)
-			clock := monotonicClock()
-			rng := workload.NewRand(uint64(1000 * (1 + ratio)))
-			sets := workload.Generate(workload.Config{
-				Domain:  workload.DomainTraffic,
-				Zones:   zoneNames(16),
-				Windows: (updates+15)/16 + 1, SensorsPerZone: 2, ReadingsPerSensor: 2,
-				WindowDur: time.Hour, Seed: 131,
-			})
-			pubs, err := genPubs(sets, clock, func(i int, g workload.GenSet) netsim.SiteID {
-				return sites[zoneIndex(g.Zone)%len(sites)]
-			})
-			if err != nil {
+		net, sites := newGrid(16)
+		m := variants[c.vi].build(net, sites)
+		batched := variants[c.vi].batched
+		clock := monotonicClock()
+		rng := workload.NewRand(uint64(1000 * (1 + c.ratio)))
+		sets := workload.Generate(workload.Config{
+			Domain:  workload.DomainTraffic,
+			Zones:   zoneNames(16),
+			Windows: (updates+15)/16 + 1, SensorsPerZone: 2, ReadingsPerSensor: 2,
+			WindowDur: time.Hour, Seed: 131,
+		})
+		pubs, err := genPubs(sets, clock, func(i int, g workload.GenSet) netsim.SiteID {
+			return sites[zoneIndex(g.Zone)%len(sites)]
+		})
+		if err != nil {
+			return 0, err
+		}
+		if len(pubs) > updates {
+			pubs = pubs[:updates]
+		}
+		net.ResetStats()
+		// WAN byte totals are order-independent, so run the update
+		// phase then the query phase (batched mode ticks every 16
+		// publishes, modelling periodic gossip under sustained load).
+		for pi, p := range pubs {
+			if _, err := m.Publish(p); err != nil {
 				return 0, err
 			}
-			if len(pubs) > updates {
-				pubs = pubs[:updates]
-			}
-			net.ResetStats()
-			// WAN byte totals are order-independent, so run the update
-			// phase then the query phase (batched mode ticks every 16
-			// publishes, modelling periodic gossip under sustained load).
-			for pi, p := range pubs {
-				if _, err := m.Publish(p); err != nil {
-					return 0, err
-				}
-				if batched && (pi+1)%16 == 0 {
-					if err := m.Tick(); err != nil {
-						return 0, err
-					}
-				}
-			}
-			if err := m.Tick(); err != nil {
-				return 0, err
-			}
-			for q := 0; q < queries; q++ {
-				// 80% of queries target the querier's own zone (locality).
-				qSite := sites[rng.Intn(len(sites))]
-				zone := fmt.Sprintf("zone-%d", int(qSite))
-				if rng.Float64() >= 0.8 {
-					zone = fmt.Sprintf("zone-%d", rng.Intn(16))
-				}
-				if _, _, err := m.QueryAttr(qSite, provenance.KeyZone, provenance.String(zone)); err != nil {
+			if batched && (pi+1)%16 == 0 {
+				if err := m.Tick(); err != nil {
 					return 0, err
 				}
 			}
-			return net.Stats().WANBytes, nil
 		}
-
-		centralBytes, err := bytesFor(func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
-			return central.New(net, sites[0])
-		}, false)
-		if err != nil {
-			return nil, err
+		if err := m.Tick(); err != nil {
+			return 0, err
 		}
-		pnImmBytes, err := bytesFor(func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
-			return passnet.New(net, sites, passnet.Options{ImmediateDigest: true})
-		}, false)
-		if err != nil {
-			return nil, err
+		for q := 0; q < queries; q++ {
+			// 80% of queries target the querier's own zone (locality).
+			qSite := sites[rng.Intn(len(sites))]
+			zone := fmt.Sprintf("zone-%d", int(qSite))
+			if rng.Float64() >= 0.8 {
+				zone = fmt.Sprintf("zone-%d", rng.Intn(16))
+			}
+			if _, _, err := m.QueryAttr(qSite, provenance.KeyZone, provenance.String(zone)); err != nil {
+				return 0, err
+			}
 		}
-		pnBatchBytes, err := bytesFor(func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
-			return passnet.New(net, sites, passnet.Options{})
-		}, true)
-		if err != nil {
-			return nil, err
-		}
+		return net.Stats().WANBytes, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, ratio := range ratios {
+		centralBytes := outs[ri*len(variants)]
+		pnImmBytes := outs[ri*len(variants)+1]
+		pnBatchBytes := outs[ri*len(variants)+2]
 		winner := "central"
 		if pnBatchBytes < centralBytes || pnImmBytes < centralBytes {
 			winner = "passnet"

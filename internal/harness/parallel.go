@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The parallel cell runner. Every sweep experiment is a grid of
+// independent cells (model × sites × rate, ...): each cell builds its own
+// private netsim.Network, its own model, and its own seeded RNG/clock, so
+// cells share no mutable state and can run on all cores at once. runCells
+// is the one place that knows how — experiments declare their grid as a
+// slice of cell descriptors plus a cell function, and get the outputs
+// back in input order, which keeps the assembled tables and findings
+// byte-identical to a serial run (pinned by TestSerialParallelEquivalence).
+
+// runCells executes run over every cell and returns the outputs in input
+// order. With the runner's parallel mode on (the default), cells are
+// distributed over a GOMAXPROCS-wide worker pool; determinism is the
+// cell function's obligation: it must derive all randomness from the cell
+// descriptor, never from shared state. In serial mode — or for degenerate
+// single-cell grids — cells run in order on the calling goroutine.
+//
+// On failure the error of the lowest-indexed failing cell is returned, so
+// a broken sweep reports the same cell no matter how the pool scheduled
+// it. (Serial mode stops at the first failure; parallel mode finishes
+// in-flight cells first — acceptable, since any error aborts the whole
+// experiment anyway.)
+func runCells[C, O any](r *Runner, cells []C, run func(C) (O, error)) ([]O, error) {
+	outs := make([]O, len(cells))
+	if !r.Parallel() || len(cells) < 2 {
+		for i, c := range cells {
+			o, err := run(c)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = o
+		}
+		return outs, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	errs := make([]error, len(cells))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outs[i], errs[i] = run(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}

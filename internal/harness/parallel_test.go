@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The determinism contract of the parallel cell runner: with the same
+// seed, serial and parallel execution produce byte-identical tables and
+// identical findings. One representative experiment per fault family
+// (E14 loss, E15 partition, E16 churn, E17 randomized membership) pins
+// it; these are the sweeps where a scheduling-order leak would corrupt
+// published results silently.
+
+func TestSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-mode repeat runs in -short mode")
+	}
+	cases := []struct {
+		id  string
+		run func(r *Runner) (*Result, error)
+	}{
+		{"E14", (*Runner).E14Survivability},
+		{"E15", (*Runner).E15SplitBrain},
+		{"E16", (*Runner).E16Churn},
+		{"E17", (*Runner).E17Membership},
+	}
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			serial, err := tc.run(NewRunner(0.1).SetParallel(false))
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			parallel, err := tc.run(NewRunner(0.1).SetParallel(true))
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if s, p := serial.Table.String(), parallel.Table.String(); s != p {
+				t.Errorf("tables diverge between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+			if len(serial.Findings) != len(parallel.Findings) {
+				t.Fatalf("finding counts differ: serial %d, parallel %d",
+					len(serial.Findings), len(parallel.Findings))
+			}
+			for name, v := range serial.Findings {
+				pv, ok := parallel.Findings[name]
+				if !ok {
+					t.Fatalf("finding %s missing from parallel run", name)
+				}
+				if pv != v {
+					t.Fatalf("finding %s diverged: serial %v, parallel %v", name, v, pv)
+				}
+			}
+		})
+	}
+}
+
+func TestRunCellsOrderAndParallelism(t *testing.T) {
+	cells := make([]int, 64)
+	for i := range cells {
+		cells[i] = i * 3
+	}
+	for _, parallel := range []bool{false, true} {
+		r := NewRunner(0.1).SetParallel(parallel)
+		outs, err := runCells(r, cells, func(c int) (string, error) {
+			return fmt.Sprintf("cell-%d", c), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != len(cells) {
+			t.Fatalf("parallel=%v: got %d outputs, want %d", parallel, len(outs), len(cells))
+		}
+		for i, c := range cells {
+			if want := fmt.Sprintf("cell-%d", c); outs[i] != want {
+				t.Fatalf("parallel=%v: outs[%d] = %q, want %q (input order must be preserved)",
+					parallel, i, outs[i], want)
+			}
+		}
+	}
+}
+
+func TestRunCellsReturnsLowestIndexedError(t *testing.T) {
+	boom7 := errors.New("cell 7 broke")
+	boom21 := errors.New("cell 21 broke")
+	cells := make([]int, 40)
+	for i := range cells {
+		cells[i] = i
+	}
+	for _, parallel := range []bool{false, true} {
+		r := NewRunner(0.1).SetParallel(parallel)
+		_, err := runCells(r, cells, func(c int) (int, error) {
+			switch c {
+			case 7:
+				return 0, boom7
+			case 21:
+				return 0, boom21
+			}
+			return c, nil
+		})
+		if !errors.Is(err, boom7) {
+			t.Fatalf("parallel=%v: err = %v, want the lowest-indexed cell's error", parallel, err)
+		}
+	}
+}
+
+func TestRunCellsSerialStopsAtFirstError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	cells := []int{0, 1, 2, 3}
+	_, err := runCells(NewRunner(0.1).SetParallel(false), cells, func(c int) (int, error) {
+		ran.Add(1)
+		if c == 1 {
+			return 0, boom
+		}
+		return c, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("serial mode ran %d cells after a failure, want 2", got)
+	}
+}

@@ -12,6 +12,13 @@ import (
 	"pass/internal/provenance"
 )
 
+// e15Out is one E15 cell's contribution: ordered table rows plus named
+// findings, assembled after the parallel section.
+type e15Out struct {
+	rows [][]any
+	kvs  []kv
+}
+
 // E15SplitBrain — the consistency story Section IV only names in passing
 // ("Consistency: Is the metadata service consistent with the actual
 // data?") made observable. A wide-area federation WILL partition; the
@@ -27,10 +34,51 @@ import (
 // paper's strawman): the warehouse side keeps working, while the other
 // side can neither publish nor query — total outage rather than
 // split-brain.
+//
+// The two entrants are independent simulations on private networks, so
+// they run as two parallel cells.
 func (r *Runner) E15SplitBrain() (*Result, error) {
 	table := metrics.NewTable("E15: split-brain (partition → divergent views → heal → convergence)",
 		"model", "phase", "querier", "sees-left", "sees-right", "views-converged", "fp-rate")
 	findings := map[string]float64{}
+
+	nPer := r.scale.n(40)
+	cells := []int{0, 1}
+	outs, err := runCells(r, cells, func(ci int) (e15Out, error) {
+		if ci == 0 {
+			return r.e15Passnet(nPer)
+		}
+		return r.e15CentralContrast(nPer)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		for _, row := range o.rows {
+			table.AddRow(row...)
+		}
+		for _, f := range o.kvs {
+			findings[f.k] = f.v
+		}
+	}
+
+	return &Result{
+		ID:       "E15",
+		Title:    "Split-brain: divergent per-site views under partition, convergence after heal",
+		Table:    table,
+		Findings: findings,
+		Notes: []string{
+			"shape check: mid-partition each passnet side answers with exactly its own side's records (different answers to the SAME query) and views disagree; after heal + gossip every view fingerprint matches and both sides see everything",
+			"contrast: central's warehouse-less side cannot publish or query at all during the split — unavailability instead of divergence",
+			"fp-rate: Bloom misroutes per remote contact — candidate routing goes through the per-peer filters (View.MayHold), so a false positive is a charged empty round trip, never a wrong answer",
+		},
+	}, nil
+}
+
+// e15Passnet runs the split-brain narrative proper: partition, divergent
+// publishing on both sides, heal, convergence.
+func (r *Runner) e15Passnet(nPer int) (e15Out, error) {
+	var o e15Out
 
 	const sitesPerZone = 4
 	zones := 6 // 24 sites
@@ -38,7 +86,6 @@ func (r *Runner) E15SplitBrain() (*Result, error) {
 	m := passnet.New(net, sites, passnet.Options{})
 	ve := siteview.Exposer(m)
 
-	nPer := r.scale.n(40)
 	left, right := sites[:len(sites)/2], sites[len(sites)/2:]
 	domain := provenance.String("split")
 
@@ -112,15 +159,15 @@ func (r *Runner) E15SplitBrain() (*Result, error) {
 	net.Partition(left, right)
 	wantL, err := publishSide(left, 0, nPer)
 	if err != nil {
-		return nil, err
+		return o, err
 	}
 	wantR, err := publishSide(right, 1000, nPer)
 	if err != nil {
-		return nil, err
+		return o, err
 	}
 	for i := 0; i < 3; i++ {
 		if err := m.Tick(); err != nil {
-			return nil, err
+			return o, err
 		}
 	}
 
@@ -131,22 +178,24 @@ func (r *Runner) E15SplitBrain() (*Result, error) {
 	}{{"left", left[1]}, {"right", right[1]}} {
 		rl, rr, err := recallSides(q.site, wantL, wantR)
 		if err != nil {
-			return nil, err
+			return o, err
 		}
 		conv := viewsConverged()
-		table.AddRow("passnet", phase, q.name, fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), conv,
-			fmt.Sprintf("%.4f", fpRate()))
-		findings[fmt.Sprintf("%s_sees_left_%s", q.name, phase)] = rl
-		findings[fmt.Sprintf("%s_sees_right_%s", q.name, phase)] = rr
+		o.rows = append(o.rows, []any{"passnet", phase, q.name,
+			fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), conv, fmt.Sprintf("%.4f", fpRate())})
+		o.kvs = append(o.kvs,
+			kv{fmt.Sprintf("%s_sees_left_%s", q.name, phase), rl},
+			kv{fmt.Sprintf("%s_sees_right_%s", q.name, phase), rr})
 	}
-	findings["views_converged_partitioned"] = viewsConverged()
-	findings["pending_partitioned"] = float64(m.PendingDigests())
+	o.kvs = append(o.kvs,
+		kv{"views_converged_partitioned", viewsConverged()},
+		kv{"pending_partitioned", float64(m.PendingDigests())})
 
 	// Phase 2: heal; queued deltas drain on the next gossip rounds.
 	net.HealPartition()
 	for i := 0; i < 4; i++ {
 		if err := m.Tick(); err != nil {
-			return nil, err
+			return o, err
 		}
 	}
 	phase = "healed"
@@ -156,43 +205,28 @@ func (r *Runner) E15SplitBrain() (*Result, error) {
 	}{{"left", left[0]}, {"right", right[0]}} {
 		rl, rr, err := recallSides(q.site, wantL, wantR)
 		if err != nil {
-			return nil, err
+			return o, err
 		}
-		table.AddRow("passnet", phase, q.name, fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), viewsConverged(),
-			fmt.Sprintf("%.4f", fpRate()))
-		findings[fmt.Sprintf("%s_sees_left_%s", q.name, phase)] = rl
-		findings[fmt.Sprintf("%s_sees_right_%s", q.name, phase)] = rr
+		o.rows = append(o.rows, []any{"passnet", phase, q.name,
+			fmt.Sprintf("%.2f", rl), fmt.Sprintf("%.2f", rr), viewsConverged(), fmt.Sprintf("%.4f", fpRate())})
+		o.kvs = append(o.kvs,
+			kv{fmt.Sprintf("%s_sees_left_%s", q.name, phase), rl},
+			kv{fmt.Sprintf("%s_sees_right_%s", q.name, phase), rr})
 	}
-	findings["views_converged_healed"] = viewsConverged()
-	findings["pending_healed"] = float64(m.PendingDigests())
-	findings["fp_rate"] = fpRate()
-	findings["fp_contacts"] = float64(m.FalsePositives())
-	findings["remote_contacts"] = float64(m.RemoteContacts())
-
-	// Contrast: the centralized warehouse under the same split. The side
-	// holding the warehouse keeps full service; the other side gets
-	// nothing at all — outage, not split-brain.
-	if err := r.e15CentralContrast(table, findings, nPer); err != nil {
-		return nil, err
-	}
-
-	return &Result{
-		ID:       "E15",
-		Title:    "Split-brain: divergent per-site views under partition, convergence after heal",
-		Table:    table,
-		Findings: findings,
-		Notes: []string{
-			"shape check: mid-partition each passnet side answers with exactly its own side's records (different answers to the SAME query) and views disagree; after heal + gossip every view fingerprint matches and both sides see everything",
-			"contrast: central's warehouse-less side cannot publish or query at all during the split — unavailability instead of divergence",
-			"fp-rate: Bloom misroutes per remote contact — candidate routing goes through the per-peer filters (View.MayHold), so a false positive is a charged empty round trip, never a wrong answer",
-		},
-	}, nil
+	o.kvs = append(o.kvs,
+		kv{"views_converged_healed", viewsConverged()},
+		kv{"pending_healed", float64(m.PendingDigests())},
+		kv{"fp_rate", fpRate()},
+		kv{"fp_contacts", float64(m.FalsePositives())},
+		kv{"remote_contacts", float64(m.RemoteContacts())})
+	return o, nil
 }
 
 // e15CentralContrast runs the centralized strawman through the same
 // partition: publishes attempted from both sides, queries from both
 // sides, no divergence possible — one side simply goes dark.
-func (r *Runner) e15CentralContrast(table *metrics.Table, findings map[string]float64, nPer int) error {
+func (r *Runner) e15CentralContrast(nPer int) (e15Out, error) {
+	var o e15Out
 	net, sites := netsim.RandomTopology(netsim.Config{}, 6, 4, 15152)
 	m := central.New(net, sites[0]) // warehouse on the left side
 	left, right := sites[:len(sites)/2], sites[len(sites)/2:]
@@ -214,12 +248,12 @@ func (r *Runner) e15CentralContrast(table *metrics.Table, findings map[string]fl
 				CreatedAt(int64(i) + 1).
 				Build()
 			if err != nil {
-				return err
+				return o, err
 			}
 			if _, err := m.Publish(arch.Pub{ID: id, Rec: rec, Origin: origin}); err == nil {
 				acked[side]++
 			} else if !arch.IsUnavailable(err) {
-				return err
+				return o, err
 			}
 		}
 	}
@@ -232,11 +266,12 @@ func (r *Runner) e15CentralContrast(table *metrics.Table, findings map[string]fl
 		if got, _, err := m.QueryAttr(q, provenance.KeyDomain, provenance.String("split")); err == nil {
 			seen = float64(len(got)) / float64(acked["left"]+acked["right"])
 		} else if !arch.IsUnavailable(err) {
-			return err
+			return o, err
 		}
-		table.AddRow("central", "partitioned", side, fmt.Sprintf("%.2f", seen), "-", "-", "-")
-		findings["central_"+side+"_acked"] = float64(acked[side])
-		findings["central_"+side+"_sees"] = seen
+		o.rows = append(o.rows, []any{"central", "partitioned", side, fmt.Sprintf("%.2f", seen), "-", "-", "-"})
+		o.kvs = append(o.kvs,
+			kv{"central_" + side + "_acked", float64(acked[side])},
+			kv{"central_" + side + "_sees", seen})
 	}
-	return nil
+	return o, nil
 }

@@ -35,84 +35,113 @@ func (r *Runner) E14Survivability() (*Result, error) {
 	const sitesPerZone = 4
 	pubsPer := r.scale.n(120)
 	attempts := 4
+	roster := modelRoster()
+	type cell struct {
+		nSites, li, mi int
+		loss           float64
+	}
+	var cells []cell
 	for _, nSites := range []int{16, 64, 256} {
 		for li, loss := range []float64{0, 0.05, 0.20} {
-			for mi, build := range modelRoster() {
-				net, sites := netsim.RandomTopology(netsim.Config{
-					LossRate: loss,
-					Seed:     uint64(nSites*100 + li*10 + mi + 1),
-				}, nSites/sitesPerZone, sitesPerZone, uint64(9000+nSites))
-				m := build(net, sites)
-
-				pubs, err := taggedPubs(net, sites, "surv", 0xE1, 0, pubsPer, nil)
-				if err != nil {
-					return nil, err
-				}
-				acked := make(map[provenance.ID]bool, len(pubs))
-				var pubLat time.Duration
-				pubAttempts := 0
-				for _, p := range pubs {
-					for a := 0; a < attempts; a++ {
-						d, err := m.Publish(p)
-						pubLat += d
-						pubAttempts++
-						if err == nil {
-							acked[p.ID] = true
-							break
-						} else if !arch.IsUnavailable(err) {
-							return nil, fmt.Errorf("%s: %w", m.Name(), err)
-						}
-					}
-				}
-				for tick := 0; tick < 6; tick++ {
-					if err := m.Tick(); err != nil {
-						return nil, fmt.Errorf("%s tick: %w", m.Name(), err)
-					}
-				}
-
-				queriers := []netsim.SiteID{
-					sites[0], sites[len(sites)/3], sites[2*len(sites)/3], sites[len(sites)-1],
-				}
-				recall := 0.0
-				var qLat time.Duration
-				if len(acked) > 0 {
-					for _, q := range queriers {
-						got, d, err := m.QueryAttr(q, provenance.KeyDomain, provenance.String("surv"))
-						qLat += d
-						if err != nil {
-							if arch.IsUnavailable(err) {
-								continue // unreachable index scores 0 from this querier
-							}
-							return nil, fmt.Errorf("%s query: %w", m.Name(), err)
-						}
-						hit := 0
-						for _, id := range got {
-							if acked[id] {
-								hit++
-							}
-						}
-						recall += float64(hit) / float64(len(acked))
-					}
-					recall /= float64(len(queriers))
-				}
-
-				st := net.Stats()
-				lossPct := int(loss * 100)
-				pubMs := float64(pubLat.Microseconds()) / float64(pubAttempts) / 1000
-				qMs := float64(qLat.Microseconds()) / float64(len(queriers)) / 1000
-				table.AddRow(m.Name(), nSites, fmt.Sprintf("%d%%", lossPct),
-					fmt.Sprintf("%d/%d", len(acked), len(pubs)),
-					fmt.Sprintf("%.3f", recall),
-					fmt.Sprintf("%.2f", pubMs), fmt.Sprintf("%.2f", qMs),
-					st.WANBytes, st.DroppedMsgs)
-				tag := fmt.Sprintf("%s_n%d_l%d", m.Name(), nSites, lossPct)
-				findings["recall_"+tag] = recall
-				findings["wan_"+tag] = float64(st.WANBytes)
-				findings["acked_"+tag] = float64(len(acked))
-				findings["publat_"+tag] = pubMs
-				findings["qlat_"+tag] = qMs
+			for mi := range roster {
+				cells = append(cells, cell{nSites, li, mi, loss})
 			}
 		}
+	}
+	type out struct {
+		name          string
+		acked, pubs   int
+		recall        float64
+		pubMs, qMs    float64
+		wan, droppedM int64
+	}
+	outs, err := runCells(r, cells, func(c cell) (out, error) {
+		net, sites := netsim.RandomTopology(netsim.Config{
+			LossRate: c.loss,
+			Seed:     uint64(c.nSites*100 + c.li*10 + c.mi + 1),
+		}, c.nSites/sitesPerZone, sitesPerZone, uint64(9000+c.nSites))
+		m := roster[c.mi](net, sites)
+
+		pubs, err := taggedPubs(net, sites, "surv", 0xE1, 0, pubsPer, nil)
+		if err != nil {
+			return out{}, err
+		}
+		acked := make(map[provenance.ID]bool, len(pubs))
+		var pubLat time.Duration
+		pubAttempts := 0
+		for _, p := range pubs {
+			for a := 0; a < attempts; a++ {
+				d, err := m.Publish(p)
+				pubLat += d
+				pubAttempts++
+				if err == nil {
+					acked[p.ID] = true
+					break
+				} else if !arch.IsUnavailable(err) {
+					return out{}, fmt.Errorf("%s: %w", m.Name(), err)
+				}
+			}
+		}
+		for tick := 0; tick < 6; tick++ {
+			if err := m.Tick(); err != nil {
+				return out{}, fmt.Errorf("%s tick: %w", m.Name(), err)
+			}
+		}
+
+		queriers := []netsim.SiteID{
+			sites[0], sites[len(sites)/3], sites[2*len(sites)/3], sites[len(sites)-1],
+		}
+		recall := 0.0
+		var qLat time.Duration
+		if len(acked) > 0 {
+			for _, q := range queriers {
+				got, d, err := m.QueryAttr(q, provenance.KeyDomain, provenance.String("surv"))
+				qLat += d
+				if err != nil {
+					if arch.IsUnavailable(err) {
+						continue // unreachable index scores 0 from this querier
+					}
+					return out{}, fmt.Errorf("%s query: %w", m.Name(), err)
+				}
+				hit := 0
+				for _, id := range got {
+					if acked[id] {
+						hit++
+					}
+				}
+				recall += float64(hit) / float64(len(acked))
+			}
+			recall /= float64(len(queriers))
+		}
+
+		st := net.Stats()
+		return out{
+			name:   m.Name(),
+			acked:  len(acked),
+			pubs:   len(pubs),
+			recall: recall,
+			pubMs:  float64(pubLat.Microseconds()) / float64(pubAttempts) / 1000,
+			qMs:    float64(qLat.Microseconds()) / float64(len(queriers)) / 1000,
+			wan:    st.WANBytes, droppedM: st.DroppedMsgs,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		o := outs[i]
+		lossPct := int(c.loss * 100)
+		table.AddRow(o.name, c.nSites, fmt.Sprintf("%d%%", lossPct),
+			fmt.Sprintf("%d/%d", o.acked, o.pubs),
+			fmt.Sprintf("%.3f", o.recall),
+			fmt.Sprintf("%.2f", o.pubMs), fmt.Sprintf("%.2f", o.qMs),
+			o.wan, o.droppedM)
+		tag := fmt.Sprintf("%s_n%d_l%d", o.name, c.nSites, lossPct)
+		findings["recall_"+tag] = o.recall
+		findings["wan_"+tag] = float64(o.wan)
+		findings["acked_"+tag] = float64(o.acked)
+		findings["publat_"+tag] = o.pubMs
+		findings["qlat_"+tag] = o.qMs
 	}
 	return &Result{
 		ID:       "E14",

@@ -211,6 +211,17 @@ func (ix *Index) LookupAttr(key string, v provenance.Value) ([]provenance.ID, er
 	return out, err
 }
 
+// HasAttr reports whether the index holds an entry for exactly
+// (key, v, id) — a point probe on the composite index key. Consistency
+// audits use this instead of LookupAttr: fetching every ID under a
+// popular value just to find one membership turns an O(log n) check into
+// an O(n) scan, and the whole audit into O(n²).
+func (ix *Index) HasAttr(key string, v provenance.Value, id provenance.ID) (bool, error) {
+	k := attrPrefix(key, v)
+	k = append(k, id[:]...)
+	return ix.db.Has(k)
+}
+
 // CountAttr returns the number of records carrying exactly (key, v).
 func (ix *Index) CountAttr(key string, v provenance.Value) (int, error) {
 	n := 0

@@ -574,3 +574,30 @@ func TestRangeEqualsFilterProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestHasAttrPointProbe(t *testing.T) {
+	ix, db := testIndex(t)
+	id1 := addRaw(t, ix, db, 1, provenance.Attr("zone", provenance.String("boston")))
+	id2 := addRaw(t, ix, db, 2, provenance.Attr("zone", provenance.String("boston")))
+
+	for _, id := range []provenance.ID{id1, id2} {
+		ok, err := ix.HasAttr("zone", provenance.String("boston"), id)
+		if err != nil || !ok {
+			t.Fatalf("HasAttr(zone=boston, %x) = %v, %v; want true", id[:4], ok, err)
+		}
+	}
+	// Wrong value and wrong id must both miss.
+	if ok, _ := ix.HasAttr("zone", provenance.String("tokyo"), id1); ok {
+		t.Fatal("HasAttr matched a value never indexed")
+	}
+	var id3 provenance.ID
+	id3[0] = 99
+	if ok, _ := ix.HasAttr("zone", provenance.String("boston"), id3); ok {
+		t.Fatal("HasAttr matched an id never indexed")
+	}
+	// Agreement with the scan-based lookup on the shared value.
+	ids, err := ix.LookupAttr("zone", provenance.String("boston"))
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("LookupAttr = %d ids, %v; want 2", len(ids), err)
+	}
+}

@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"unsafe"
+)
+
+// TestStatShardPadding pins the false-sharing defence: adjacent shards
+// must not share a cache line, so the struct size must be a 64-byte
+// multiple.
+func TestStatShardPadding(t *testing.T) {
+	if s := unsafe.Sizeof(statShard{}); s%64 != 0 {
+		t.Fatalf("statShard is %d bytes, want a multiple of the 64-byte cache line", s)
+	}
+}
+
+// The Send hot path is the floor under every experiment's runtime: the
+// E14/E16/E17 sweeps push millions of messages, so Send must not allocate
+// and must not recompute geography per message. The allocation tests pin
+// the contract exactly (0 heap allocations on the zero-fault path AND on
+// every injected-fault path); the benchmarks feed `make bench-quick`.
+
+func benchNet(nSites int, cfg Config) (*Network, []SiteID) {
+	net, sites := RandomTopology(cfg, nSites/4, 4, 77)
+	return net, sites
+}
+
+func TestSendZeroAllocs(t *testing.T) {
+	net, sites := benchNet(64, Config{})
+	a, b := sites[0], sites[len(sites)-1]
+	if _, err := net.Send(a, b, 128); err != nil { // build the latency cache
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		to := sites[(i+1)%len(sites)]
+		i++
+		if to == a {
+			to = b
+		}
+		if _, err := net.Send(a, to, 128); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("zero-fault Send allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestFaultPathsZeroAllocs(t *testing.T) {
+	// Each injected-fault return must be a pre-built sentinel: the churn
+	// and membership sweeps hit these millions of times.
+	t.Run("site-down", func(t *testing.T) {
+		net, sites := benchNet(16, Config{})
+		net.Fail(sites[1])
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, err := net.Send(sites[0], sites[1], 64); !errors.Is(err, ErrSiteDown) {
+				t.Fatalf("err = %v", err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("ErrSiteDown path allocates %v times per call, want 0", allocs)
+		}
+	})
+	t.Run("partitioned", func(t *testing.T) {
+		net, sites := benchNet(16, Config{})
+		net.Partition(sites[:8], sites[8:])
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, err := net.Send(sites[0], sites[15], 64); !errors.Is(err, ErrPartitioned) {
+				t.Fatalf("err = %v", err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("ErrPartitioned path allocates %v times per call, want 0", allocs)
+		}
+	})
+	t.Run("msg-lost", func(t *testing.T) {
+		net, sites := benchNet(16, Config{LossRate: 1, Seed: 3})
+		if _, err := net.Send(sites[0], sites[1], 64); !errors.Is(err, ErrMsgLost) {
+			t.Fatal("expected full loss")
+		}
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, err := net.Send(sites[0], sites[1], 64); !errors.Is(err, ErrMsgLost) {
+				t.Fatalf("err = %v", err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("ErrMsgLost path allocates %v times per call, want 0", allocs)
+		}
+	})
+}
+
+// BenchmarkSend measures the zero-fault hot path over a 64-site random
+// topology with the latency cache warm — the steady state of every sweep.
+func BenchmarkSend(b *testing.B) {
+	net, sites := benchNet(64, Config{})
+	if _, err := net.Send(sites[0], sites[1], 128); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Send(sites[i%len(sites)], sites[(i+7)%len(sites)], 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSendUncached exercises the direct-computation fallback used by
+// topologies too large for the pair table (the 10k-site sweeps).
+func BenchmarkSendUncached(b *testing.B) {
+	net, sites := RandomTopology(Config{}, (maxCachedSites+4)/4+1, 4, 77)
+	if len(sites) <= maxCachedSites {
+		b.Fatalf("topology of %d sites unexpectedly cacheable", len(sites))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Send(sites[i%len(sites)], sites[(i+7)%len(sites)], 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSendLossy includes the RNG draw and the drop accounting.
+func BenchmarkSendLossy(b *testing.B) {
+	net, sites := benchNet(64, Config{LossRate: 0.2, Seed: 9})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := net.Send(sites[i%len(sites)], sites[(i+7)%len(sites)], 128)
+		if err != nil && !errors.Is(err, ErrMsgLost) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSendDown measures the fault fast path: the destination is
+// failed, so the send must bail with the pre-built sentinel.
+func BenchmarkSendDown(b *testing.B) {
+	net, sites := benchNet(64, Config{})
+	net.Fail(sites[1])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Send(sites[0], sites[1], 128); !errors.Is(err, ErrSiteDown) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcast covers the dense-ID fan-out (no per-call site-table
+// copy).
+func BenchmarkBroadcast(b *testing.B) {
+	net, sites := benchNet(256, Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.Broadcast(sites[i%len(sites)], 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStats pins the aggregation cost: O(shards), independent of the
+// site count (it is called between phases of every sweep cell).
+func BenchmarkStats(b *testing.B) {
+	net, sites := benchNet(256, Config{})
+	for i := 0; i < 4096; i++ {
+		if _, err := net.Send(sites[i%len(sites)], sites[(i+3)%len(sites)], 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := net.Stats()
+		if st.Messages == 0 {
+			b.Fatal("no traffic accounted")
+		}
+	}
+}

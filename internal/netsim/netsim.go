@@ -33,6 +33,47 @@
 // Unavailable distinguishes these injected faults from programming errors
 // (ErrNoSuchSite), so models can retry or degrade on the former and fail
 // fast on the latter.
+//
+// # Performance model
+//
+// Send is the hottest function in the repository: the E14/E16/E17 sweeps
+// push millions of messages through it, and the archtest conformance
+// suite runs 1,000- and 10,000-site topologies over it. The hot path is
+// therefore allocation-free and read-mostly:
+//
+//   - Topology and fault state (sites, down/cell slices, loss
+//     configuration, the latency table) live in one immutable snapshot
+//     behind an atomic pointer. Send pays a single pointer load — no
+//     lock — to see a consistent topology; mutators (AddSite, Fail,
+//     Partition, SetLinkLoss, ...) copy-on-write a new snapshot under
+//     the writer mutex. Mutations happen between experiment phases, not
+//     per message, so the copies are off the hot path by construction.
+//   - Per-pair base latency (per-message overhead + geographic
+//     propagation) is cached in a flat n×n table inside the snapshot,
+//     built lazily on first use for networks up to maxCachedSites sites,
+//     so Send stops recomputing geo distance per message. Larger
+//     networks (the 10k-site sweeps) fall back to direct computation.
+//   - down and cell are dense slices indexed by SiteID; the linkLoss
+//     overrides hide behind a hasLinkLoss flag and a packed uint64 key,
+//     so the zero-override case pays one branch, no map hash.
+//   - Fault returns are the pre-built exported sentinels — no fmt.Errorf
+//     per fault. errors.Is matches exactly as before; the caller already
+//     knows from/to if it wants to annotate.
+//   - Accounting is sharded: global Stats is an aggregation over a fixed
+//     set of padded shards picked by sender ID, each guarding its plain
+//     counters with its own narrow mutex, so concurrent senders do not
+//     contend on one stats lock and Stats() stays O(shards), not
+//     O(sites). A site's per-site counters are guarded by that site's
+//     shard (sender counters under shard(from), receiver counters under
+//     shard(to)), so they stay plain fields too.
+//   - The loss RNG has its own mutex and is only touched when an
+//     effective loss rate is positive, so pristine-network sends consume
+//     no randomness and take no extra lock.
+//
+// One deliberate non-guarantee: registering sites (AddSite) concurrently
+// with in-flight traffic is not supported — build the topology, then run
+// load. Fault injection (Fail/Heal/Partition/SetLinkLoss) is always safe
+// concurrently with traffic.
 package netsim
 
 import (
@@ -40,6 +81,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pass/internal/geo"
@@ -136,22 +178,90 @@ func Unavailable(err error) bool {
 	return errors.Is(err, ErrSiteDown) || errors.Is(err, ErrMsgLost) || errors.Is(err, ErrPartitioned)
 }
 
-// Network is the simulated network. Safe for concurrent use.
-type Network struct {
-	cfg Config
+// maxCachedSites bounds the per-pair latency table: n sites cost n²×8
+// bytes (1,024 sites → 8 MiB). The 1,000-site conformance sweeps fit;
+// the 10,000-site sweeps fall back to computing propagation per send.
+const maxCachedSites = 1024
 
-	mu       sync.Mutex
-	sites    []Site
-	byName   map[string]SiteID
-	down     map[SiteID]bool
-	stats    Stats
-	perSite  map[SiteID]*SiteStats
-	rng      *xrand.Rand
+// Stats sharding: counters are spread over a fixed power-of-two number
+// of padded shards picked by site ID, so concurrent senders touch
+// different locks and Stats() aggregates O(shards) values regardless of
+// topology size.
+const (
+	numStatShards = 32
+	statShardMask = numStatShards - 1
+)
+
+// statShard is one shard of the global accounting: a narrow mutex over
+// plain counters (one uncontended lock round trip beats a volley of
+// atomic adds on the hot path). The pad keeps neighbouring shards from
+// false-sharing.
+type statShard struct {
+	mu                                        sync.Mutex
+	msgs, bytes, wanBytes, wanMsgs            int64
+	localMsgs, delayNs, dropped, droppedBytes int64
+	_                                         [56]byte // 8B mutex + 64B counters + 56B = 128, two full lines
+}
+
+// siteCounters is one site's traffic accounting. The sender-side fields
+// are guarded by shard(site) when the site transmits; the receiver-side
+// fields by shard(site) when it receives — always the same shard, so all
+// four stay plain fields.
+type siteCounters struct {
+	msgsIn, msgsOut   int64
+	bytesIn, bytesOut int64
+	_                 [32]byte
+}
+
+// topo is the immutable topology snapshot Send reads with one atomic
+// pointer load. Mutators build a new topo (sharing what they did not
+// change) and swap the pointer under Network.writeMu.
+type topo struct {
+	sites []Site
+	down  []bool // dense, indexed by SiteID
+	// cell maps each site to its partition cell (dense); nil means no
+	// partition. Sites beyond its length read as cell 0.
+	cell     []int32
 	lossRate float64
-	linkLoss map[[2]SiteID]float64
-	// cell maps each site to its partition cell; nil means no partition.
-	// Sites absent from the map belong to cell 0.
-	cell map[SiteID]int
+	// linkLoss holds per-directed-link loss overrides under a packed
+	// from<<32|to key; hasLinkLoss spares the zero-override hot path the
+	// map probe entirely.
+	linkLoss    map[uint64]float64
+	hasLinkLoss bool
+	// latBase caches PerMessage+propagation per (from,to) pair; nil
+	// until built. tooBig permanently disables the cache for this
+	// topology size.
+	latBase []time.Duration
+	tooBig  bool
+	// counters holds the per-site accounting (mutable elements in an
+	// immutable header; see siteCounters for the locking discipline).
+	counters []siteCounters
+}
+
+func (t *topo) cellOf(id SiteID) int32 {
+	if int(id) < len(t.cell) {
+		return t.cell[id]
+	}
+	return 0
+}
+
+// Network is the simulated network. Safe for concurrent use (except
+// AddSite concurrent with traffic; see the package comment).
+type Network struct {
+	cfg  Config
+	topo atomic.Pointer[topo]
+
+	// writeMu serializes all topology mutation and owns byName (name
+	// lookup is not a hot path).
+	writeMu sync.Mutex
+	byName  map[string]SiteID
+
+	// rng drives packet loss; its own narrow lock keeps the pristine
+	// path lock-free and the draw order deterministic per caller.
+	rngMu sync.Mutex
+	rng   *xrand.Rand
+
+	shards [numStatShards]statShard
 }
 
 // SiteStats accounts per-site traffic.
@@ -162,15 +272,24 @@ type SiteStats struct {
 
 // New returns a network with the given configuration (zero value = defaults).
 func New(cfg Config) *Network {
-	return &Network{
-		cfg:      cfg.withDefaults(),
-		byName:   make(map[string]SiteID),
-		down:     make(map[SiteID]bool),
-		perSite:  make(map[SiteID]*SiteStats),
-		rng:      xrand.New(cfg.Seed),
-		lossRate: cfg.LossRate,
-		linkLoss: make(map[[2]SiteID]float64),
+	n := &Network{
+		cfg:    cfg.withDefaults(),
+		byName: make(map[string]SiteID),
+		rng:    xrand.New(cfg.Seed),
 	}
+	n.topo.Store(&topo{lossRate: cfg.LossRate})
+	return n
+}
+
+// mutate runs f over a shallow copy of the current snapshot under the
+// writer lock and publishes the result. f must replace (never write
+// through) any slice or map it changes.
+func (n *Network) mutate(f func(t *topo)) {
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
+	t := *n.topo.Load()
+	f(&t)
+	n.topo.Store(&t)
 }
 
 // FromMap builds a network over a geo.Map topology: sitesPerZone sites
@@ -197,18 +316,55 @@ func FromMap(cfg Config, m *geo.Map, sitesPerZone int) (*Network, []SiteID) {
 }
 
 // AddSite registers a site and returns its ID. Site names must be unique;
-// registering a duplicate name returns the existing ID.
+// registering a duplicate name returns the existing ID. Register sites
+// before running traffic; AddSite invalidates the latency cache.
 func (n *Network) AddSite(name string, loc geo.Point, zone string) SiteID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
 	if id, ok := n.byName[name]; ok {
 		return id
 	}
-	id := SiteID(len(n.sites))
-	n.sites = append(n.sites, Site{ID: id, Name: name, Loc: loc, Zone: zone})
+	t := *n.topo.Load()
+	id := SiteID(len(t.sites))
+	t.sites = append(t.sites, Site{ID: id, Name: name, Loc: loc, Zone: zone})
+	t.down = append(t.down, false)
+	t.counters = append(t.counters, siteCounters{})
+	if t.cell != nil {
+		t.cell = append(t.cell, 0)
+	}
+	// Any cached pair latencies are for the old site count.
+	t.latBase = nil
+	t.tooBig = len(t.sites) > maxCachedSites
 	n.byName[name] = id
-	n.perSite[id] = &SiteStats{}
+	n.topo.Store(&t)
 	return id
+}
+
+// withLatCache returns a snapshot whose latency table is built, building
+// it once per topology generation. Called off the measured path: the
+// first send after topology construction pays it.
+func (n *Network) withLatCache() *topo {
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
+	t := n.topo.Load()
+	if t.latBase != nil || t.tooBig || len(t.sites) == 0 {
+		return t
+	}
+	nt := *t
+	num := len(nt.sites)
+	tbl := make([]time.Duration, num*num)
+	for i := 0; i < num; i++ {
+		for j := 0; j < num; j++ {
+			if i == j {
+				continue // loopback takes the LocalDelay path, never the table
+			}
+			dist := nt.sites[i].Loc.Distance(nt.sites[j].Loc)
+			tbl[i*num+j] = n.cfg.PerMessage + time.Duration(dist*float64(n.cfg.PropagationPerKm))
+		}
+	}
+	nt.latBase = tbl
+	n.topo.Store(&nt)
+	return &nt
 }
 
 // RandomTopology builds a cfg-configured network over a seeded random
@@ -224,18 +380,17 @@ func RandomTopology(cfg Config, zones, sitesPerZone int, seed uint64) (*Network,
 
 // Site returns the site with the given ID.
 func (n *Network) Site(id SiteID) (Site, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if int(id) < 0 || int(id) >= len(n.sites) {
+	t := n.topo.Load()
+	if int(id) < 0 || int(id) >= len(t.sites) {
 		return Site{}, fmt.Errorf("%w: %d", ErrNoSuchSite, id)
 	}
-	return n.sites[id], nil
+	return t.sites[id], nil
 }
 
 // SiteByName returns the ID of the named site, or InvalidSite.
 func (n *Network) SiteByName(name string) SiteID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
 	if id, ok := n.byName[name]; ok {
 		return id
 	}
@@ -244,59 +399,76 @@ func (n *Network) SiteByName(name string) SiteID {
 
 // NumSites returns the number of registered sites.
 func (n *Network) NumSites() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.sites)
+	return len(n.topo.Load().sites)
 }
 
 // Sites returns a copy of all registered sites.
 func (n *Network) Sites() []Site {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]Site, len(n.sites))
-	copy(out, n.sites)
+	t := n.topo.Load()
+	out := make([]Site, len(t.sites))
+	copy(out, t.sites)
 	return out
 }
 
 // Fail marks a site as down; subsequent sends to it return ErrSiteDown.
 func (n *Network) Fail(id SiteID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.down[id] = true
+	n.mutate(func(t *topo) {
+		if int(id) < 0 || int(id) >= len(t.down) {
+			return
+		}
+		down := make([]bool, len(t.down))
+		copy(down, t.down)
+		down[id] = true
+		t.down = down
+	})
 }
 
 // Heal marks a site as up again.
 func (n *Network) Heal(id SiteID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.down, id)
+	n.mutate(func(t *topo) {
+		if int(id) < 0 || int(id) >= len(t.down) {
+			return
+		}
+		down := make([]bool, len(t.down))
+		copy(down, t.down)
+		down[id] = false
+		t.down = down
+	})
 }
 
 // IsDown reports whether the site is failed.
 func (n *Network) IsDown(id SiteID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.down[id]
+	t := n.topo.Load()
+	return int(id) >= 0 && int(id) < len(t.down) && t.down[id]
 }
 
 // SetLossRate changes the global inter-site packet-loss probability.
 func (n *Network) SetLossRate(rate float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.lossRate = rate
+	n.mutate(func(t *topo) { t.lossRate = rate })
 }
 
 // SetLinkLoss overrides the loss probability of the directed link
 // from→to (e.g. one congested transoceanic path). A negative rate clears
 // the override.
 func (n *Network) SetLinkLoss(from, to SiteID, rate float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if rate < 0 {
-		delete(n.linkLoss, [2]SiteID{from, to})
-		return
-	}
-	n.linkLoss[[2]SiteID{from, to}] = rate
+	n.mutate(func(t *topo) {
+		ll := make(map[uint64]float64, len(t.linkLoss)+1)
+		for k, v := range t.linkLoss {
+			ll[k] = v
+		}
+		if rate < 0 {
+			delete(ll, linkKey(from, to))
+		} else {
+			ll[linkKey(from, to)] = rate
+		}
+		t.linkLoss = ll
+		t.hasLinkLoss = len(ll) > 0
+	})
+}
+
+// linkKey packs a directed site pair into one map key.
+func linkKey(from, to SiteID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
 }
 
 // Partition splits the network into the given cells: sites in different
@@ -304,54 +476,64 @@ func (n *Network) SetLinkLoss(from, to SiteID, rate float64) {
 // any cell form one implicit cell of their own, so Partition(minority)
 // cuts the minority off from everyone else.
 func (n *Network) Partition(cells ...[]SiteID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.cell = make(map[SiteID]int)
-	// Explicit cells are numbered from 1; unlisted sites read as the
-	// implicit cell 0, so a single explicit cell still partitions.
-	for ci, c := range cells {
-		for _, s := range c {
-			n.cell[s] = ci + 1
+	n.mutate(func(t *topo) {
+		cell := make([]int32, len(t.sites))
+		// Explicit cells are numbered from 1; unlisted sites read as the
+		// implicit cell 0, so a single explicit cell still partitions.
+		for ci, c := range cells {
+			for _, s := range c {
+				if int(s) >= 0 && int(s) < len(cell) {
+					cell[s] = int32(ci + 1)
+				}
+			}
 		}
-	}
+		t.cell = cell
+	})
 }
 
 // HealPartition reconnects all partition cells.
 func (n *Network) HealPartition() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.cell = nil
+	n.mutate(func(t *topo) { t.cell = nil })
 }
 
 // Partitioned reports whether a partition currently separates a and b.
 func (n *Network) Partitioned(a, b SiteID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cell != nil && n.cell[a] != n.cell[b]
+	t := n.topo.Load()
+	return t.cell != nil && t.cellOf(a) != t.cellOf(b)
 }
 
 // Latency returns the one-way latency for a message of the given size
 // between two sites, without sending anything.
 func (n *Network) Latency(from, to SiteID, bytes int) (time.Duration, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.latencyLocked(from, to, bytes)
-}
-
-func (n *Network) latencyLocked(from, to SiteID, bytes int) (time.Duration, error) {
-	if int(from) < 0 || int(from) >= len(n.sites) {
+	t := n.topo.Load()
+	if t.latBase == nil && !t.tooBig && len(t.sites) > 0 {
+		t = n.withLatCache()
+	}
+	if int(from) < 0 || int(from) >= len(t.sites) {
 		return 0, fmt.Errorf("%w: from %d", ErrNoSuchSite, from)
 	}
-	if int(to) < 0 || int(to) >= len(n.sites) {
+	if int(to) < 0 || int(to) >= len(t.sites) {
 		return 0, fmt.Errorf("%w: to %d", ErrNoSuchSite, to)
 	}
 	if from == to {
 		return n.cfg.LocalDelay, nil
 	}
-	dist := n.sites[from].Loc.Distance(n.sites[to].Loc)
-	prop := time.Duration(dist * float64(n.cfg.PropagationPerKm))
-	xmit := time.Duration(float64(bytes) / float64(n.cfg.BytesPerSecond) * float64(time.Second))
-	return n.cfg.PerMessage + prop + xmit, nil
+	return n.baseLatency(t, from, to) + n.xmitTime(bytes), nil
+}
+
+// baseLatency returns PerMessage + propagation for a valid, non-loopback
+// pair, from the snapshot's cache when it is built.
+func (n *Network) baseLatency(t *topo, from, to SiteID) time.Duration {
+	if t.latBase != nil {
+		return t.latBase[int(from)*len(t.sites)+int(to)]
+	}
+	dist := t.sites[from].Loc.Distance(t.sites[to].Loc)
+	return n.cfg.PerMessage + time.Duration(dist*float64(n.cfg.PropagationPerKm))
+}
+
+// xmitTime is the transmission (serialization) time of a payload.
+func (n *Network) xmitTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes) / float64(n.cfg.BytesPerSecond) * float64(time.Second))
 }
 
 // Send delivers a one-way message of the given size and returns the
@@ -361,60 +543,83 @@ func (n *Network) latencyLocked(from, to SiteID, bytes int) (time.Duration, erro
 // was transmitted. A message dropped by packet loss IS accounted (its
 // bandwidth was spent) and returns ErrMsgLost together with the latency
 // the sender wasted before detecting the loss.
+//
+// The fault-free path performs no heap allocations, and fault returns
+// are the pre-built exported sentinels (also allocation-free).
 func (n *Network) Send(from, to SiteID, bytes int) (time.Duration, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if int(from) < 0 || int(from) >= len(n.sites) {
+	t := n.topo.Load()
+	if t.latBase == nil && !t.tooBig && len(t.sites) > 0 {
+		t = n.withLatCache()
+	}
+	if int(from) < 0 || int(from) >= len(t.sites) {
 		return 0, fmt.Errorf("%w: from %d", ErrNoSuchSite, from)
 	}
-	if int(to) < 0 || int(to) >= len(n.sites) {
+	if int(to) < 0 || int(to) >= len(t.sites) {
 		return 0, fmt.Errorf("%w: to %d", ErrNoSuchSite, to)
 	}
-	if n.down[to] {
-		return 0, fmt.Errorf("%w: %s", ErrSiteDown, n.sites[to].Name)
+	if t.down[to] || t.down[from] {
+		return 0, ErrSiteDown
 	}
-	if n.down[from] {
-		return 0, fmt.Errorf("%w: %s", ErrSiteDown, n.sites[from].Name)
+	if t.cell != nil && t.cellOf(from) != t.cellOf(to) {
+		return 0, ErrPartitioned
 	}
-	if n.cell != nil && n.cell[from] != n.cell[to] {
-		return 0, fmt.Errorf("%w: %s | %s", ErrPartitioned, n.sites[from].Name, n.sites[to].Name)
-	}
-	d, err := n.latencyLocked(from, to, bytes)
-	if err != nil {
-		return 0, err
-	}
+
+	var d time.Duration
 	lost := false
-	if from != to {
-		rate := n.lossRate
-		if r, ok := n.linkLoss[[2]SiteID{from, to}]; ok {
-			rate = r
+	if from == to {
+		d = n.cfg.LocalDelay
+	} else {
+		d = n.baseLatency(t, from, to) + n.xmitTime(bytes)
+		rate := t.lossRate
+		if t.hasLinkLoss {
+			if r, ok := t.linkLoss[linkKey(from, to)]; ok {
+				rate = r
+			}
 		}
 		// Draw only on lossy links so pristine runs consume no randomness
 		// (keeps the zero Config byte-for-byte identical to the pre-fault
 		// simulator).
-		if rate > 0 && n.rng.Float64() < rate {
-			lost = true
+		if rate > 0 {
+			n.rngMu.Lock()
+			lost = n.rng.Float64() < rate
+			n.rngMu.Unlock()
 		}
 	}
-	n.stats.Messages++
-	n.stats.Bytes += int64(bytes)
-	n.stats.TotalDelay += d
-	crossZone := n.sites[from].Zone != n.sites[to].Zone
+
+	crossZone := t.sites[from].Zone != t.sites[to].Zone
+	b := int64(bytes)
+
+	// Sender-side accounting: the global aggregates attribute to
+	// shard(from), which also guards site from's out-counters.
+	gs := &n.shards[int(from)&statShardMask]
+	gs.mu.Lock()
+	gs.msgs++
+	gs.bytes += b
+	gs.delayNs += int64(d)
 	if crossZone {
-		n.stats.WANBytes += int64(bytes)
-		n.stats.WANMsgs++
+		gs.wanBytes += b
+		gs.wanMsgs++
 	} else {
-		n.stats.LocalMsgs++
+		gs.localMsgs++
 	}
-	n.perSite[from].MsgsOut++
-	n.perSite[from].BytesOut += int64(bytes)
+	src := &t.counters[from]
+	src.msgsOut++
+	src.bytesOut += b
 	if lost {
-		n.stats.DroppedMsgs++
-		n.stats.DroppedBytes += int64(bytes)
-		return d, fmt.Errorf("%w: %s -> %s", ErrMsgLost, n.sites[from].Name, n.sites[to].Name)
+		gs.dropped++
+		gs.droppedBytes += b
+		gs.mu.Unlock()
+		return d, ErrMsgLost
 	}
-	n.perSite[to].MsgsIn++
-	n.perSite[to].BytesIn += int64(bytes)
+	gs.mu.Unlock()
+
+	// Receiver-side accounting under the receiver's shard.
+	rs := &n.shards[int(to)&statShardMask]
+	rs.mu.Lock()
+	dst := &t.counters[to]
+	dst.msgsIn++
+	dst.bytesIn += b
+	rs.mu.Unlock()
 	return d, nil
 }
 
@@ -434,15 +639,17 @@ func (n *Network) Call(from, to SiteID, reqBytes, respBytes int) (time.Duration,
 // Broadcast sends the same payload from one site to every other site and
 // returns the maximum one-way latency (the fan-out completes when the last
 // replica hears it). Failed, partitioned, and lossy destinations are
-// skipped and counted.
+// skipped and counted. Site IDs are dense, so the fan-out iterates them
+// directly instead of copying the whole site table per call.
 func (n *Network) Broadcast(from SiteID, bytes int) (time.Duration, int, error) {
+	num := SiteID(len(n.topo.Load().sites))
 	var maxD time.Duration
 	skipped := 0
-	for _, s := range n.Sites() {
-		if s.ID == from {
+	for to := SiteID(0); to < num; to++ {
+		if to == from {
 			continue
 		}
-		d, err := n.Send(from, s.ID, bytes)
+		d, err := n.Send(from, to, bytes)
 		if Unavailable(err) {
 			skipped++
 			continue
@@ -457,29 +664,60 @@ func (n *Network) Broadcast(from SiteID, bytes int) (time.Duration, int, error) 
 	return maxD, skipped, nil
 }
 
-// Stats returns a snapshot of global traffic accounting.
+// Stats returns a snapshot of global traffic accounting, aggregated over
+// the stat shards — O(shards), independent of the site count.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	var st Stats
+	for i := range n.shards {
+		g := &n.shards[i]
+		g.mu.Lock()
+		st.Messages += g.msgs
+		st.Bytes += g.bytes
+		st.WANBytes += g.wanBytes
+		st.WANMsgs += g.wanMsgs
+		st.LocalMsgs += g.localMsgs
+		st.TotalDelay += time.Duration(g.delayNs)
+		st.DroppedMsgs += g.dropped
+		st.DroppedBytes += g.droppedBytes
+		g.mu.Unlock()
+	}
+	return st
 }
 
 // SiteStats returns a snapshot of per-site accounting.
 func (n *Network) SiteStats(id SiteID) SiteStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if s, ok := n.perSite[id]; ok {
-		return *s
+	t := n.topo.Load()
+	if int(id) < 0 || int(id) >= len(t.counters) {
+		return SiteStats{}
 	}
-	return SiteStats{}
+	sh := &n.shards[int(id)&statShardMask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := &t.counters[id]
+	return SiteStats{
+		MsgsIn:   c.msgsIn,
+		MsgsOut:  c.msgsOut,
+		BytesIn:  c.bytesIn,
+		BytesOut: c.bytesOut,
+	}
 }
 
 // ResetStats zeroes all accounting without touching topology.
 func (n *Network) ResetStats() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats = Stats{}
-	for id := range n.perSite {
-		n.perSite[id] = &SiteStats{}
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
+	t := n.topo.Load()
+	for i := range n.shards {
+		g := &n.shards[i]
+		g.mu.Lock()
+		g.msgs, g.bytes, g.wanBytes, g.wanMsgs = 0, 0, 0, 0
+		g.localMsgs, g.delayNs, g.dropped, g.droppedBytes = 0, 0, 0, 0
+		g.mu.Unlock()
+	}
+	for i := range t.counters {
+		sh := &n.shards[i&statShardMask]
+		sh.mu.Lock()
+		t.counters[i] = siteCounters{}
+		sh.mu.Unlock()
 	}
 }
