@@ -58,8 +58,9 @@ func (p Pub) WireSize() int { return len(p.Rec.Encode()) }
 // Models with recovery mechanisms beyond this baseline declare them via
 // the optional capability interfaces Stabilizer (membership repair and
 // key re-homing), Rejoiner (snapshot state transfer for recovered
-// sites), and Joiner (a new node entering an existing membership with a
-// charged key handoff); the conformance suite and the churn/membership
+// sites), Joiner (a new node entering an existing membership with a
+// charged key handoff), and Leaver (voluntary departure with a pre-exit
+// key handoff); the conformance suite and the churn/membership
 // experiments type-assert for them.
 type Model interface {
 	// Name identifies the model in result tables.
@@ -130,6 +131,54 @@ type Rejoiner interface {
 	Rejoin(site netsim.SiteID) (time.Duration, error)
 }
 
+// Leaver is the optional capability interface for models whose members
+// can depart VOLUNTARILY (today: dht). Where Stabilizer handles crashes
+// after the fact — detect the silence, promote replicas, re-replicate —
+// a leaving member announces its departure and pushes its keys to its
+// successor before disconnecting, so the membership never routes through
+// a hole. The transfer ships only what the successor is missing (it
+// usually already replicates most of the leaver's primaries), which is
+// why a voluntary leave is strictly cheaper than the crash-then-stabilize
+// path the LeaveHandoff conformance law compares it against. The
+// membership schedule (E17's OpLeave verb) type-asserts for it; models
+// without membership state run the leave-as-crash convention instead.
+//
+// Leave returns the simulated critical-path latency of the announcement
+// and handoff. It fails with an unavailable error when the leaver or its
+// successor is unreachable; a failed leave changes no membership and is
+// retryable.
+type Leaver interface {
+	Leave(site netsim.SiteID) (time.Duration, error)
+}
+
+// GossipStats is the gossip-path accounting a digest-gossiping model
+// exposes through GossipMeter: the wire bytes its dissemination layer
+// charged, how many redundant re-offers its duplicate suppression
+// swallowed, and how many anti-entropy pull exchanges ran. E15/E17
+// surface these as columns; the DuplicateSuppression law asserts on them.
+type GossipStats struct {
+	// Bytes is every byte the gossip layer charged: digest pushes
+	// (delivered, lost in transit, or retried), anti-entropy pull
+	// exchanges, and catch-up state transfers.
+	Bytes int64
+	// DupSuppressed counts re-offers the sender suppressed instead of
+	// re-sending: duplicate publications dropped before a delta was cut,
+	// and per-peer re-pushes muted by the dupemap while a pull was armed.
+	DupSuppressed int64
+	// PullRounds counts anti-entropy pull exchanges (fingerprint/seq
+	// compare plus targeted diff transfer).
+	PullRounds int64
+}
+
+// GossipMeter is the optional capability interface for models that meter
+// their dissemination layer (today: passnet and softstate.Viewful's
+// index-tier anti-entropy). The harness and the
+// conformance suite type-assert for it; models without a gossip path
+// simply do not implement it.
+type GossipMeter interface {
+	GossipStats() GossipStats
+}
+
 // Request/response wire-size model, shared across architectures so byte
 // comparisons are apples-to-apples.
 const (
@@ -192,19 +241,29 @@ func NewRTO(seed uint64) *RTO { return &RTO{rng: xrand.New(seed)} }
 
 // Penalty returns the timeout charged before retransmission number
 // attempt+1 (attempt counts consecutive failures so far, starting at 0):
-// RTOBase doubled per failure, jittered ±25%, capped at RTOMax.
+// RTOBase doubled per failure, jittered ±25%, capped at RTOMax. The cap
+// applies AFTER jitter: a long-unreachable peer's timer settles at
+// exactly RTOMax instead of drifting up to 1.25× past it, so the ceiling
+// is a true ceiling (shift counts past the word size collapse to the cap
+// as well, closing the duration-overflow hole at high attempt numbers).
 func (r *RTO) Penalty(attempt int) time.Duration {
 	if r == nil {
 		return 0
 	}
-	timeout := RTOBase << uint(attempt)
-	if timeout > RTOMax || timeout <= 0 {
+	timeout := RTOBase
+	if attempt >= 63 {
+		timeout = RTOMax
+	} else if timeout <<= uint(attempt); timeout > RTOMax || timeout <= 0 {
 		timeout = RTOMax
 	}
 	r.mu.Lock()
 	jitter := 0.75 + 0.5*r.rng.Float64()
 	r.mu.Unlock()
-	return time.Duration(float64(timeout) * jitter)
+	p := time.Duration(float64(timeout) * jitter)
+	if p > RTOMax {
+		p = RTOMax
+	}
+	return p
 }
 
 // Retry runs op up to 1+retries times, stopping on success or on the

@@ -210,3 +210,59 @@ func TestMaxDuration(t *testing.T) {
 		t.Fatal("max wrong (reversed)")
 	}
 }
+
+// TestRTOPenaltyCappedWithJitter pins the backoff ceiling: the penalty
+// grows exponentially from RTOBase, every value stays within the jitter
+// band of its nominal timeout, and — the cap satellite — no attempt
+// count, however large, ever produces a penalty above RTOMax. Before the
+// fix, jitter was applied after the cap and could push the charged
+// timeout to 1.25×RTOMax.
+func TestRTOPenaltyCappedWithJitter(t *testing.T) {
+	rto := NewRTO(0xCA9)
+	for attempt := 0; attempt < 200; attempt++ {
+		nominal := RTOMax
+		if attempt < 63 {
+			if shifted := RTOBase << uint(attempt); shifted > 0 && shifted < RTOMax {
+				nominal = shifted
+			}
+		}
+		for rep := 0; rep < 50; rep++ {
+			p := rto.Penalty(attempt)
+			if p > RTOMax {
+				t.Fatalf("attempt %d: penalty %v exceeds RTOMax %v", attempt, p, RTOMax)
+			}
+			if min := time.Duration(float64(nominal) * 0.75); p < min {
+				t.Fatalf("attempt %d: penalty %v below jitter floor %v", attempt, p, min)
+			}
+			if nominal < RTOMax {
+				if max := time.Duration(float64(nominal) * 1.25); p > max {
+					t.Fatalf("attempt %d: penalty %v above jitter ceiling %v", attempt, p, max)
+				}
+			}
+		}
+	}
+	// Growth: early attempts must actually back off (mean over jitter).
+	lo, hi := time.Duration(0), time.Duration(0)
+	for rep := 0; rep < 64; rep++ {
+		lo += rto.Penalty(0)
+		hi += rto.Penalty(3)
+	}
+	if hi <= lo {
+		t.Fatalf("no exponential growth: attempt-3 total %v <= attempt-0 total %v", hi, lo)
+	}
+}
+
+// TestRTOPenaltyNilAndDeterministic: a nil clock charges nothing, and two
+// clocks with one seed draw identical jitter sequences.
+func TestRTOPenaltyNilAndDeterministic(t *testing.T) {
+	var nilRTO *RTO
+	if p := nilRTO.Penalty(5); p != 0 {
+		t.Fatalf("nil RTO charged %v", p)
+	}
+	a, b := NewRTO(7), NewRTO(7)
+	for i := 0; i < 100; i++ {
+		if pa, pb := a.Penalty(i%8), b.Penalty(i%8); pa != pb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, pa, pb)
+		}
+	}
+}

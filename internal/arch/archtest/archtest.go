@@ -27,6 +27,14 @@ type Config struct {
 	// replay leg. Models whose default already is replay-only leave it
 	// nil and Make is used.
 	MakeReplay func(net *netsim.Network, sites []netsim.SiteID) arch.Model
+	// MakeEfficient optionally builds the model with its byte-efficient
+	// gossip mode on (passnet's EfficientGossip), for the
+	// DuplicateSuppression law's baseline-vs-efficient comparison. The
+	// efficient build must expose per-site views (siteview.Exposer) and
+	// meter its gossip (arch.GossipMeter). Leave nil — skipping the law —
+	// when Make already is the efficient build or the model has no such
+	// mode.
+	MakeEfficient func(net *netsim.Network, sites []netsim.SiteID) arch.Model
 	// NeedsTick indicates queries only see state after a Tick (soft
 	// state, digest gossip).
 	NeedsTick bool
@@ -80,9 +88,12 @@ func MakeDerived(seed byte, tool string, parents ...provenance.ID) (provenance.I
 // models and FastRejoin for arch.Rejoiner models, the membership laws
 // (membership.go): JoinHandoff for arch.Joiner models, ProactiveRejoin
 // for self-recovering rejoiners, and the randomized-schedule oracle
-// (package schedule) for everyone, and a 10,000-site sweep that pins
-// indexed per-lookup cost. `go test -short` shrinks the scale sweep,
-// runs one schedule seed instead of three, and skips the 10k sweep.
+// (package schedule) for everyone, the gossip-efficiency laws
+// (gossip.go): DuplicateSuppression for models with a MakeEfficient
+// build and LeaveHandoff for arch.Leaver models, and a 10,000-site sweep
+// that pins indexed per-lookup cost. `go test -short` shrinks the scale
+// sweep, runs one schedule seed instead of three, and skips the 10k
+// sweep.
 func Run(t *testing.T, cfg Config) {
 	t.Helper()
 	t.Run("PublishLookup", func(t *testing.T) { testPublishLookup(t, cfg) })
@@ -101,6 +112,8 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("JoinHandoff", func(t *testing.T) { testJoinHandoff(t, cfg) })
 	t.Run("ProactiveRejoin", func(t *testing.T) { testProactiveRejoin(t, cfg) })
 	t.Run("MembershipSchedule", func(t *testing.T) { testMembershipSchedule(t, cfg) })
+	t.Run("DuplicateSuppression", func(t *testing.T) { testDuplicateSuppression(t, cfg) })
+	t.Run("LeaveHandoff", func(t *testing.T) { testLeaveHandoff(t, cfg) })
 	t.Run("Sweep10k", func(t *testing.T) { testSweep10k(t, cfg) })
 }
 

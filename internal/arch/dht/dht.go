@@ -45,6 +45,14 @@
 // the next Tick's republish refreshes every placement against the grown
 // ring. HandedOff() exposes the transfer count the way Rehomed() exposes
 // promotions.
+//
+// Departures have a voluntary counterpart too: Leave — implementing
+// arch.Leaver — hands the leaver's arc to its ring successor BEFORE the
+// exit, shipping only the records the successor's replica bucket is
+// missing (a diff, not a snapshot), so a planned departure is strictly
+// cheaper than crash-then-stabilize. The LeaveHandoff law pins that
+// comparison; Left(), LeaveHandedOff(), and LeaveBytes() expose the
+// observables.
 package dht
 
 import (
@@ -94,7 +102,13 @@ type Model struct {
 	// handoff column); handoffBytes is their wire cost.
 	handedOff    int64
 	handoffBytes int64
-	rto          *arch.RTO
+	// left counts voluntary departures (arch.Leaver); leaveHandedOff and
+	// leaveBytes are what those departures moved and what the moving cost
+	// — the E17 leave columns and the LeaveHandoff law's observables.
+	left           int64
+	leaveHandedOff int64
+	leaveBytes     int64
+	rto            *arch.RTO
 }
 
 // ring is one immutable membership snapshot: nodes sorted by ring
@@ -668,6 +682,135 @@ func (m *Model) Join(newSite, via netsim.SiteID) (time.Duration, error) {
 	return total, nil
 }
 
+// Leave implements arch.Leaver: a voluntary, coordinated departure — the
+// planned counterpart of a crash. Where a crashed node's keys come back
+// only after Stabilize detects the death, promotes replicas, and
+// re-replicates along the repaired links (all charged), a leaver hands
+// its arc over BEFORE it exits:
+//
+//  1. Announce: the leaver tells its immediate ring successor it is
+//     departing — one charged round trip, retransmitted on loss. The
+//     successor must be live and reachable; a leave without it fails
+//     unavailable, changes no membership, and can be retried.
+//  2. Transfer: the leaver ships, in one batched charged message, only
+//     the primary records the successor is actually missing. The
+//     successor already holds most of the arc in the replica bucket the
+//     leaver pushed to it at publish time, so the transfer is a diff,
+//     not a snapshot — the reason a leave is strictly cheaper than
+//     crash-then-stabilize (the LeaveHandoff law's comparison).
+//  3. Commit: the successor promotes the leaver's replica bucket into
+//     primary ownership (local, free), folds in the shipped diff, and
+//     the shrunken ring is published — the very next lookup routes the
+//     departed arc to the successor. Replica buckets the leaver held
+//     for its predecessors vanish with it; the next Stabilize round's
+//     re-replication pass rebuilds the invariant at the new chain
+//     positions.
+//
+// The departed site remains a live netsim client — it can still publish
+// and query through the ring — it just owns no arc. Leaving again, or
+// leaving a site that never joined, is an explicit error.
+func (m *Model) Leave(s netsim.SiteID) (time.Duration, error) {
+	if m.net.IsDown(s) {
+		return 0, fmt.Errorf("%w: leaving node %d", netsim.ErrSiteDown, s)
+	}
+	r := m.snapshot()
+	idx := -1
+	for i, n := range r.nodes {
+		if n.site == s {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("dht: site %d is not a ring member", s)
+	}
+	if len(r.nodes) < 2 {
+		return 0, fmt.Errorf("dht: last member %d cannot leave", s)
+	}
+	succIdx := (idx + 1) % len(r.nodes)
+	succSite := r.nodes[succIdx].site
+	if m.net.IsDown(succSite) || m.net.Partitioned(s, succSite) {
+		return 0, fmt.Errorf("%w: successor %d unreachable for leaving node %d", netsim.ErrSiteDown, succSite, s)
+	}
+
+	total, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Call(s, succSite, arch.ReqOverhead, arch.AckWire)
+	})
+	if err != nil {
+		return total, err
+	}
+
+	// The diff: primaries the successor holds neither as primary nor in
+	// the replica bucket this leaver filled at publish time.
+	m.mu.Lock()
+	bucket := r.replicaBucket(succIdx, r.nodes[idx].pos)
+	var ids []provenance.ID
+	var recs []*provenance.Record
+	bytes := 0
+	for _, id := range r.stores[idx].IDs() {
+		if _, have := bucket.Get(id); have {
+			continue
+		}
+		if _, have := r.stores[succIdx].Get(id); have {
+			continue
+		}
+		rec, ok := r.stores[idx].Get(id)
+		if !ok {
+			continue
+		}
+		ids = append(ids, id)
+		recs = append(recs, rec)
+		bytes += len(rec.Encode())
+	}
+	m.mu.Unlock()
+
+	dXfer, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
+		return m.net.Send(s, succSite, arch.ReqOverhead+bytes)
+	})
+	total += dXfer
+	if err != nil {
+		return total, err
+	}
+
+	// Commit: promote, fold the diff, publish the shrunken ring. A failed
+	// leave never reaches here, so membership is untouched on any error
+	// path above.
+	m.mu.Lock()
+	nr := &ring{
+		nodes:    make([]node, 0, len(r.nodes)-1),
+		stores:   make([]*arch.SiteStore, 0, len(r.nodes)-1),
+		replicas: make([]map[uint64]*arch.SiteStore, 0, len(r.nodes)-1),
+	}
+	for i := range r.nodes {
+		if i == idx {
+			continue
+		}
+		// Buckets sourced at the leaver are spent: their contents become
+		// primary at the successor now.
+		delete(r.replicas[i], r.nodes[idx].pos)
+		nr.nodes = append(nr.nodes, r.nodes[i])
+		nr.stores = append(nr.stores, r.stores[i])
+		nr.replicas = append(nr.replicas, r.replicas[i])
+	}
+	succNew := succIdx
+	if succIdx > idx {
+		succNew--
+	}
+	moved := mergeStores(nr.stores[succNew], bucket)
+	for i, id := range ids {
+		if _, have := nr.stores[succNew].Get(id); !have {
+			moved++
+		}
+		nr.stores[succNew].Add(id, recs[i])
+	}
+	m.left++
+	m.leaveHandedOff += moved
+	m.leaveBytes += int64(bytes)
+	m.ring = nr
+	m.mu.Unlock()
+	return total, nil
+}
+
 // placementMoved reports whether any of the record's placements — the
 // hashed id or any hashed queriable attribute — lands on the new node
 // under the grown ring. Callers hold m.mu.
@@ -802,8 +945,32 @@ func (m *Model) HandoffBytes() int64 {
 	return m.handoffBytes
 }
 
+// Left reports how many members departed voluntarily through Leave.
+func (m *Model) Left() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.left
+}
+
+// LeaveHandedOff reports how many records voluntary departures moved to
+// their successors (bucket promotions plus the shipped diff).
+func (m *Model) LeaveHandedOff() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.leaveHandedOff
+}
+
+// LeaveBytes reports the wire bytes the leave diffs cost (announce round
+// trips excluded — those are fixed overhead, this is the data moved).
+func (m *Model) LeaveBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.leaveBytes
+}
+
 // Members reports the current ring membership size (shrinks as Stabilize
-// removes crashed nodes, grows as Join admits new ones).
+// removes crashed nodes, grows as Join admits new ones, and shrinks as
+// Leave retires voluntary departures).
 func (m *Model) Members() int {
 	return len(m.snapshot().nodes)
 }

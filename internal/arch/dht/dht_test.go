@@ -360,3 +360,122 @@ func TestPartitionDoesNotEvictMembers(t *testing.T) {
 		t.Fatalf("partition evicted members: %d left", got)
 	}
 }
+
+// TestLeaveHandsArcToSuccessor: a voluntary departure moves the leaver's
+// records to its ring successor before exit — lookups keep resolving with
+// no Stabilize round anywhere — and the transfer is a charged diff, not a
+// free promotion.
+func TestLeaveHandsArcToSuccessor(t *testing.T) {
+	net, sites, m := bigRing(16)
+	var pubs []arch.Pub
+	for i := byte(1); i <= 60; i++ {
+		p := archtest.PubAt(i, sites[int(i)%len(sites)],
+			provenance.Attr("domain", provenance.String("leave")))
+		if _, err := m.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+		pubs = append(pubs, p)
+	}
+	leaver := sites[5]
+	before := net.Stats().Bytes
+	if _, err := m.Leave(leaver); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if got := net.Stats().Bytes - before; got == 0 {
+		t.Fatal("leave charged zero bytes — the announce and diff were free")
+	}
+	if m.Left() != 1 {
+		t.Fatalf("left = %d, want 1", m.Left())
+	}
+	if m.LeaveHandedOff() == 0 {
+		t.Fatal("leave moved nothing across 60 records on a 16-node ring")
+	}
+	if m.Members() != 15 {
+		t.Fatalf("membership = %d after the leave, want 15", m.Members())
+	}
+	// Every record still resolves — including the departed arc, now served
+	// by the successor — with zero Stabilize calls.
+	for _, p := range pubs {
+		rec, _, err := m.Lookup(sites[0], p.ID)
+		if err != nil {
+			t.Fatalf("lookup of %s after leave: %v", p.ID.Short(), err)
+		}
+		if rec.ComputeID() != p.ID {
+			t.Fatalf("lookup of %s returned a different record after leave", p.ID.Short())
+		}
+	}
+	// The departed site stays a live client: it queries through the ring.
+	if _, _, err := m.QueryAttr(leaver, "domain", provenance.String("leave")); err != nil {
+		t.Fatalf("departed site cannot query: %v", err)
+	}
+}
+
+// TestLeavePreconditions: leaves that cannot be coordinated fail cleanly
+// and change nothing — down leaver (unavailable, retryable), non-member
+// (explicit error), double leave (the site is a non-member by then).
+func TestLeavePreconditions(t *testing.T) {
+	net, sites, m := bigRing(8)
+	if _, err := m.Publish(archtest.PubAt(1, sites[0])); err != nil {
+		t.Fatal(err)
+	}
+	leaver := sites[3]
+	net.Fail(leaver)
+	if _, err := m.Leave(leaver); !arch.IsUnavailable(err) {
+		t.Fatalf("leave of a down site: err = %v, want unavailable", err)
+	}
+	if m.Members() != 8 {
+		t.Fatal("failed leave changed membership")
+	}
+	net.Heal(leaver)
+	if _, err := m.Leave(leaver); err != nil {
+		t.Fatalf("leave after heal: %v", err)
+	}
+	if _, err := m.Leave(leaver); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	if arch.IsUnavailable(func() error { _, err := m.Leave(leaver); return err }()) {
+		t.Fatal("double leave reported as transient unavailability, not a caller bug")
+	}
+	if m.Members() != 7 {
+		t.Fatalf("membership = %d, want 7", m.Members())
+	}
+}
+
+// TestLeaveCheaperThanCrash: the same departure twice — once voluntary,
+// once as crash-then-stabilize — on identical rings and workloads. The
+// coordinated exit must cost strictly fewer bytes, because the successor
+// already replicates most of the arc and promotion needs no repair
+// traffic afterwards.
+func TestLeaveCheaperThanCrash(t *testing.T) {
+	build := func() (*netsim.Network, []netsim.SiteID, *Model) {
+		net, sites, m := bigRing(16)
+		for i := byte(1); i <= 60; i++ {
+			if _, err := m.Publish(archtest.PubAt(i, sites[int(i)%len(sites)],
+				provenance.Attr("domain", provenance.String("cmp")))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return net, sites, m
+	}
+
+	netA, sitesA, mA := build()
+	beforeA := netA.Stats().Bytes
+	if _, err := mA.Leave(sitesA[5]); err != nil {
+		t.Fatal(err)
+	}
+	leaveBytes := netA.Stats().Bytes - beforeA
+
+	netB, sitesB, mB := build()
+	beforeB := netB.Stats().Bytes
+	netB.Fail(sitesB[5])
+	for i := 0; i < 3; i++ {
+		if _, err := mB.Stabilize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashBytes := netB.Stats().Bytes - beforeB
+
+	if leaveBytes >= crashBytes {
+		t.Fatalf("voluntary leave cost %d bytes, crash-then-stabilize %d — leave must be cheaper", leaveBytes, crashBytes)
+	}
+}

@@ -43,6 +43,7 @@
 package passnet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -83,6 +84,31 @@ type Model struct {
 	immediate bool
 	// manualRejoin disables the proactive-rejoin pass in Tick.
 	manualRejoin bool
+	// efficient enables the gossip-efficiency path: sender-side duplicate
+	// suppression (dupemap), per-peer delta coalescing, and the
+	// lazy-push/periodic-pull hybrid. Off by default so the byte-for-byte
+	// pinned baseline behavior is untouched.
+	efficient bool
+	// pullEvery is the anti-entropy pull cadence in ticks (efficient
+	// mode); deadRetention bounds, in rounds-dead, how long outboxes keep
+	// queueing for a peer that never heals (≤0 = unbounded).
+	pullEvery     int
+	deadRetention int
+	// tickCount drives the pull cadence; roundsDown counts consecutive
+	// Tick rounds each site has been observed down (retention clock).
+	tickCount  int
+	roundsDown map[netsim.SiteID]int
+	// suppressed is the dupemap: sender→peer pairs whose last push was
+	// LOST in transit. While armed, gossip rounds stop re-pushing the
+	// pair's queued deltas (each skipped re-offer counted) and the
+	// periodic anti-entropy pull carries the content instead; delivery or
+	// outbox pruning clears the entry — round-expiring by construction.
+	suppressed map[suppKey]bool
+	// Gossip-path accounting (arch.GossipMeter): bytes charged by the
+	// dissemination layer, re-offers suppressed, pull exchanges run.
+	gossipBytes  int64
+	nDupSuppress int64
+	nPullRounds  int64
 	// wasDown marks sites observed down by a Tick round; a site marked
 	// here that is live again has RECOVERED, which is what triggers a
 	// proactive rejoin. Cleared by a successful Rejoin.
@@ -132,24 +158,84 @@ type Options struct {
 	// popular data converges toward its consumers. Provenance records are
 	// immutable, so replicas can never go stale.
 	ReplicateOnRead bool
+	// EfficientGossip switches the dissemination layer onto the
+	// byte-efficient path: (1) dupemap duplicate suppression — a
+	// re-offered publication whose digest the origin's view already
+	// carries is dropped before a delta is cut, and a sender whose push
+	// to a peer was lost in transit stops re-pushing that pair until the
+	// anti-entropy pull resolves it; (2) per-peer coalescing — every
+	// delta a peer still owes is shipped as ONE envelope (one header, one
+	// filter, deduplicated entries) instead of one charged message per
+	// delta; (3) lazy-push + periodic-pull — lost pushes are not blindly
+	// retried at full price every round; a low-frequency pull exchange
+	// (fingerprint advert, seq-vector reply, targeted diff) catches what
+	// the push path dropped, and rejoin catch-up ships a seq-vector diff
+	// instead of the donor's whole snapshot. Convergence and determinism
+	// are unchanged — same final views, fewer bytes — pinned by the
+	// DuplicateSuppression conformance law.
+	EfficientGossip bool
+	// PullEvery sets the anti-entropy pull cadence in Ticks for
+	// EfficientGossip (0 = DefaultPullEvery). The pull is ARMED, not
+	// unconditional: it only contacts pairs the dupemap has muted, so a
+	// converged federation stays silent.
+	PullEvery int
+	// DeadRetention bounds how many consecutive rounds-dead a peer may
+	// accumulate before senders stop queueing deltas for it (the outbox
+	// leak fix): once exceeded, the peer is dropped from every queued
+	// delta's delivery set and will catch up through the rejoin path when
+	// it heals. 0 picks the default — 4×PullEvery rounds, or unbounded
+	// under ManualRejoin, where replay is the only recovery path and
+	// dropping would orphan the peer. Negative = explicitly unbounded.
+	DeadRetention int
+}
+
+// DefaultPullEvery is the anti-entropy pull cadence (in Ticks) when
+// Options.PullEvery is zero.
+const DefaultPullEvery = 2
+
+// deltaAdvertWire is the wire size of the anti-entropy pull's opening
+// advert: a header plus the sender's view fingerprint — enough for the
+// peer to decide the views differ and answer with its seq vector.
+const deltaAdvertWire = 40
+
+// suppKey identifies one sender→peer gossip pair in the dupemap.
+type suppKey struct {
+	from, to netsim.SiteID
 }
 
 // New builds a distributed PASS over the given sites.
 func New(net *netsim.Network, sites []netsim.SiteID, opts Options) *Model {
+	pullEvery := opts.PullEvery
+	if pullEvery <= 0 {
+		pullEvery = DefaultPullEvery
+	}
+	retention := opts.DeadRetention
+	if retention == 0 {
+		if opts.ManualRejoin {
+			retention = -1 // replay is the only recovery path; never drop
+		} else {
+			retention = 4 * pullEvery
+		}
+	}
 	m := &Model{
-		net:          net,
-		sites:        append([]netsim.SiteID(nil), sites...),
-		stores:       make(map[netsim.SiteID]*arch.SiteStore),
-		views:        make(map[netsim.SiteID]*siteview.View),
-		nextSeq:      make(map[netsim.SiteID]uint64),
-		pending:      make(map[netsim.SiteID][]arch.Pub),
-		outbox:       make(map[netsim.SiteID][]*outDelta),
-		immediate:    opts.ImmediateDigest,
-		manualRejoin: opts.ManualRejoin,
-		wasDown:      make(map[netsim.SiteID]bool),
-		rto:          arch.NewRTO(0x9A55E7),
-		replicate:    opts.ReplicateOnRead,
-		replicas:     make(map[netsim.SiteID]map[provenance.ID]*provenance.Record),
+		net:           net,
+		sites:         append([]netsim.SiteID(nil), sites...),
+		stores:        make(map[netsim.SiteID]*arch.SiteStore),
+		views:         make(map[netsim.SiteID]*siteview.View),
+		nextSeq:       make(map[netsim.SiteID]uint64),
+		pending:       make(map[netsim.SiteID][]arch.Pub),
+		outbox:        make(map[netsim.SiteID][]*outDelta),
+		immediate:     opts.ImmediateDigest,
+		manualRejoin:  opts.ManualRejoin,
+		efficient:     opts.EfficientGossip,
+		pullEvery:     pullEvery,
+		deadRetention: retention,
+		roundsDown:    make(map[netsim.SiteID]int),
+		suppressed:    make(map[suppKey]bool),
+		wasDown:       make(map[netsim.SiteID]bool),
+		rto:           arch.NewRTO(0x9A55E7),
+		replicate:     opts.ReplicateOnRead,
+		replicas:      make(map[netsim.SiteID]map[provenance.ID]*provenance.Record),
 	}
 	for _, s := range sites {
 		m.stores[s] = arch.NewSiteStore()
@@ -211,6 +297,33 @@ func (m *Model) cutDelta(site netsim.SiteID) {
 		return
 	}
 	delete(m.pending, site)
+	if m.efficient {
+		// Dupemap, publish side: a re-offered publication (E14's
+		// at-least-once client re-sends when an ack is lost) whose digest
+		// this origin's view already carries would gossip pure redundancy
+		// to every peer — drop it before the delta is cut. Records are
+		// immutable, so an ID the view locates here is bit-identical to
+		// the re-offer; earlier deltas still queued cover any peer that
+		// has not heard it yet.
+		kept := pubs[:0:0]
+		seen := make(map[provenance.ID]struct{}, len(pubs))
+		for _, p := range pubs {
+			if _, dup := seen[p.ID]; dup {
+				m.nDupSuppress++
+				continue
+			}
+			if home, known := m.views[site].Locate(p.ID); known && home == site {
+				m.nDupSuppress++
+				continue
+			}
+			seen[p.ID] = struct{}{}
+			kept = append(kept, p)
+		}
+		pubs = kept
+		if len(pubs) == 0 {
+			return // everything was a duplicate; nothing to gossip
+		}
+	}
 	ids := make([]provenance.ID, 0, len(pubs))
 	var attrKeys []string
 	for _, p := range pubs {
@@ -251,6 +364,12 @@ func (m *Model) gossipFrom(site netsim.SiteID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.cutDelta(site)
+	if len(m.outbox[site]) == 0 {
+		return nil
+	}
+	if m.efficient {
+		return m.gossipEfficient(site)
+	}
 	// blocked marks peers whose next-in-sequence delta failed this round;
 	// later deltas must not overtake it.
 	blocked := make(map[netsim.SiteID]bool)
@@ -262,16 +381,29 @@ func (m *Model) gossipFrom(site netsim.SiteID) error {
 			if _, need := od.remaining[peer]; !need {
 				continue
 			}
+			if m.expired(peer) {
+				// The outbox-leak fix: a peer dead past the retention
+				// window stops accumulating deliveries; rejoin catch-up
+				// covers it if it ever heals.
+				delete(od.remaining, peer)
+				continue
+			}
 			if blocked[peer] {
 				continue
 			}
 			_, err := m.net.Send(site, peer, od.size)
 			switch {
 			case err == nil:
+				m.gossipBytes += int64(od.size)
 				delete(od.remaining, peer)
 				m.views[peer].Apply(od.delta)
+			case errors.Is(err, netsim.ErrMsgLost):
+				// Charged by the network even though it never arrived —
+				// the waste the efficient path's dupemap avoids.
+				m.gossipBytes += int64(od.size)
+				blocked[peer] = true
 			case arch.IsUnavailable(err):
-				// Lost, partitioned, or peer down: keep the peer in
+				// Partitioned or peer down: free fail, keep the peer in
 				// remaining, hold back its later deltas, retry next round.
 				blocked[peer] = true
 			default:
@@ -284,6 +416,88 @@ func (m *Model) gossipFrom(site netsim.SiteID) error {
 	}
 	m.outbox[site] = live
 	return nil
+}
+
+// expired reports whether a peer has been dead longer than the outbox
+// retention window. Callers hold m.mu.
+func (m *Model) expired(peer netsim.SiteID) bool {
+	return m.deadRetention > 0 && m.roundsDown[peer] > m.deadRetention
+}
+
+// gossipEfficient is gossipFrom's efficient-mode send pass: per peer, the
+// queued deltas it still owes travel as ONE coalesced envelope (header,
+// filter, and re-listed entries paid once), a pair the dupemap has muted
+// is skipped entirely (the armed pull will carry it), and peers dead past
+// the retention window are dropped from the queue. Per-peer sequence
+// order is preserved trivially — a peer receives everything it is owed in
+// one in-order batch or nothing. Callers hold m.mu.
+func (m *Model) gossipEfficient(site netsim.SiteID) error {
+	for _, peer := range m.sites {
+		if peer == site {
+			continue
+		}
+		if m.expired(peer) {
+			for _, od := range m.outbox[site] {
+				delete(od.remaining, peer)
+			}
+			continue
+		}
+		var need []*outDelta
+		for _, od := range m.outbox[site] {
+			if _, ok := od.remaining[peer]; ok {
+				need = append(need, od)
+			}
+		}
+		if len(need) == 0 {
+			continue
+		}
+		if m.suppressed[suppKey{site, peer}] {
+			// Dupemap, transit side: the last push to this peer was lost;
+			// re-pushing every round would burn the envelope's bytes again
+			// each time. Count the muted re-offers and let the periodic
+			// pull exchange resolve the pair instead.
+			m.nDupSuppress += int64(len(need))
+			continue
+		}
+		size := m.coalescedSize(need)
+		_, err := m.net.Send(site, peer, size)
+		switch {
+		case err == nil:
+			m.gossipBytes += int64(size)
+			for _, od := range need {
+				delete(od.remaining, peer)
+				m.views[peer].Apply(od.delta)
+			}
+		case errors.Is(err, netsim.ErrMsgLost):
+			m.gossipBytes += int64(size)
+			m.suppressed[suppKey{site, peer}] = true
+		case arch.IsUnavailable(err):
+			// Partitioned or down: free fail, retry next round.
+		default:
+			return err
+		}
+	}
+	live := m.outbox[site][:0]
+	for _, od := range m.outbox[site] {
+		if len(od.remaining) > 0 {
+			live = append(live, od)
+		}
+	}
+	m.outbox[site] = live
+	return nil
+}
+
+// coalescedSize prices the single envelope carrying the given queued
+// deltas (ascending seq, one origin). Callers hold m.mu.
+func (m *Model) coalescedSize(need []*outDelta) int {
+	if len(need) == 1 {
+		return need[0].size
+	}
+	deltas := make([]*siteview.Delta, len(need))
+	for i, od := range need {
+		deltas[i] = od.delta
+	}
+	return siteview.CoalescedWireSize(deltas)
 }
 
 // Rejoin implements arch.Rejoiner: an explicit state transfer for a site
@@ -316,16 +530,29 @@ func (m *Model) Rejoin(s netsim.SiteID) (time.Duration, error) {
 		return 0, fmt.Errorf("%w: no live donor for site %d", netsim.ErrSiteDown, s)
 	}
 	snap := m.views[donor]
-	size := snap.WireSize()
+	// Efficient mode replaces the full-snapshot transfer with the pull
+	// protocol's targeted diff: the rejoiner sends its seq vector, the
+	// donor answers with only the content the vector proves missing. A
+	// site that missed a handful of deltas pays for those deltas, not for
+	// the donor's whole accumulated view.
+	reqSize, respSize := arch.ReqOverhead, arch.RespOverhead+snap.WireSize()
+	if m.efficient {
+		reqSize = view.SeqVectorWireSize()
+		respSize = arch.RespOverhead + siteview.DiffWireSize(snap, view)
+	}
 	m.mu.Unlock()
 
 	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
-		return m.net.Call(s, donor, arch.ReqOverhead, arch.RespOverhead+size)
+		return m.net.Call(s, donor, reqSize, respSize)
 	})
 	if err != nil {
 		return d, err
 	}
 	m.mu.Lock()
+	m.gossipBytes += int64(reqSize + respSize)
+	if m.efficient {
+		m.nPullRounds++
+	}
 	view.Merge(snap)
 	m.pruneOutboxFor(s)
 	delete(m.wasDown, s) // recovered and caught up; no proactive retry due
@@ -393,12 +620,116 @@ func (m *Model) Tick() error {
 		}
 	}
 	m.mu.Lock()
+	m.tickCount++
+	pullDue := m.efficient && m.tickCount%m.pullEvery == 0
+	m.mu.Unlock()
+	if pullDue {
+		if err := m.antiEntropyPull(); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
 	for _, s := range m.sites {
 		if m.net.IsDown(s) {
 			m.wasDown[s] = true
+			m.roundsDown[s]++
+		} else {
+			delete(m.roundsDown, s)
 		}
 	}
 	m.mu.Unlock()
+	return nil
+}
+
+// antiEntropyPull is the periodic leg of the lazy-push/pull hybrid. It is
+// ARMED rather than unconditional: only sender→peer pairs the dupemap has
+// muted (a push was lost in transit) are exchanged, so a converged or
+// merely partitioned federation sends nothing here. Per armed pair the
+// exchange is (1) a fingerprint advert answered by a fixed-size
+// fingerprint ack — the sender's outbox ledger already names the deltas
+// this peer is owed, so the peer only confirms it is alive and diverged —
+// and (2) one coalesced envelope carrying precisely those deltas. A leg
+// lost in transit keeps the pair armed for the next pull round; delivery
+// clears the dupemap entry.
+func (m *Model) antiEntropyPull() error {
+	m.mu.Lock()
+	var pairs []suppKey
+	for _, s := range m.sites { // deterministic order, never map order
+		for _, p := range m.sites {
+			if s != p && m.suppressed[suppKey{s, p}] {
+				pairs = append(pairs, suppKey{s, p})
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, pair := range pairs {
+		m.mu.Lock()
+		var need []*outDelta
+		for _, od := range m.outbox[pair.from] {
+			if _, ok := od.remaining[pair.to]; ok {
+				need = append(need, od)
+			}
+		}
+		if len(need) == 0 {
+			// A rejoin snapshot or retention pruned the pair's queue out
+			// from under the dupemap entry; nothing left to pull.
+			delete(m.suppressed, pair)
+			m.mu.Unlock()
+			continue
+		}
+		bodySize := m.coalescedSize(need)
+		m.mu.Unlock()
+
+		// Leg 1: fingerprint advert out, fingerprint ack back. The ack is
+		// fixed-size on purpose: the sender's own outbox ledger (each
+		// delta's remaining set) already names exactly which deltas this
+		// peer is owed, so the peer only has to confirm it is alive and
+		// diverged — shipping its whole per-origin seq vector here would
+		// cost more than the lost pushes the pull exists to avoid.
+		_, err := m.net.Call(pair.from, pair.to, deltaAdvertWire, arch.AckWire)
+		switch {
+		case err == nil || errors.Is(err, netsim.ErrMsgLost):
+			m.mu.Lock()
+			m.gossipBytes += int64(deltaAdvertWire + arch.AckWire)
+			m.mu.Unlock()
+			if err != nil {
+				continue // lost: stay armed for the next pull round
+			}
+		case arch.IsUnavailable(err):
+			continue // down or partitioned: free fail, stay armed
+		default:
+			return err
+		}
+		// Leg 2: the targeted coalesced body.
+		_, err = m.net.Send(pair.from, pair.to, bodySize)
+		switch {
+		case err == nil:
+			m.mu.Lock()
+			m.gossipBytes += int64(bodySize)
+			for _, od := range need {
+				delete(od.remaining, pair.to)
+				m.views[pair.to].Apply(od.delta)
+			}
+			delete(m.suppressed, pair)
+			m.nPullRounds++
+			live := m.outbox[pair.from][:0]
+			for _, od := range m.outbox[pair.from] {
+				if len(od.remaining) > 0 {
+					live = append(live, od)
+				}
+			}
+			m.outbox[pair.from] = live
+			m.mu.Unlock()
+		case errors.Is(err, netsim.ErrMsgLost):
+			m.mu.Lock()
+			m.gossipBytes += int64(bodySize)
+			m.mu.Unlock()
+		case arch.IsUnavailable(err):
+			// stay armed
+		default:
+			return err
+		}
+	}
 	return nil
 }
 
@@ -428,6 +759,19 @@ func (m *Model) rejoinRecovered() error {
 		}
 	}
 	return nil
+}
+
+// GossipStats implements arch.GossipMeter: the dissemination layer's
+// byte and suppression accounting, identical in meaning across the
+// baseline and efficient modes so experiment columns compare directly.
+func (m *Model) GossipStats() arch.GossipStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return arch.GossipStats{
+		Bytes:         m.gossipBytes,
+		DupSuppressed: m.nDupSuppress,
+		PullRounds:    m.nPullRounds,
+	}
 }
 
 // ProactiveRejoins counts the snapshot transfers Tick triggered on its

@@ -29,6 +29,31 @@ func TestConformanceBatched(t *testing.T) {
 		MakeReplay: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return New(net, sites, Options{ManualRejoin: true})
 		},
+		// PullEvery 1 keeps the DuplicateSuppression law's round
+		// comparison tight: an armed pair re-syncs on the very next tick,
+		// so suppression can never cost the efficient leg a round.
+		MakeEfficient: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{EfficientGossip: true, PullEvery: 1})
+		},
+		NeedsTick: true,
+	})
+}
+
+// TestConformanceEfficient runs the FULL conformance suite with the
+// efficient dissemination path as the primary build: duplicate
+// suppression, per-peer coalescing, and armed anti-entropy pulls must
+// satisfy every law the naive path does — loss, churn, partitions,
+// rejoins, and the randomized membership schedules. MakeEfficient stays
+// nil here (the baseline-vs-efficient comparison lives in
+// TestConformanceBatched, where Make IS the baseline).
+func TestConformanceEfficient(t *testing.T) {
+	archtest.Run(t, archtest.Config{
+		Make: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{EfficientGossip: true, PullEvery: 1})
+		},
+		MakeReplay: func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return New(net, sites, Options{EfficientGossip: true, PullEvery: 1, ManualRejoin: true})
+		},
 		NeedsTick: true,
 	})
 }
@@ -612,6 +637,76 @@ func TestBloomFalsePositiveChargedRoundTrip(t *testing.T) {
 	if m.FalsePositives() != 1 {
 		t.Fatalf("exact query raised the FP count to %d", m.FalsePositives())
 	}
+}
+
+// TestOutboxRetentionBoundsLeak: the outbox-leak regression. A peer that
+// dies and never comes back must stop accumulating queued deliveries once
+// it passes the retention window — before the fix, every delta ever cut
+// stayed queued for the dead peer forever, growing without bound. A
+// thousand rounds of continuous publishing against a permanently-dead
+// peer must leave the pending count bounded in both gossip modes, and the
+// drop must be safe: if the peer ever does heal, the snapshot path still
+// hands it everything it missed.
+func TestOutboxRetentionBoundsLeak(t *testing.T) {
+	const rounds = 1000
+	domain := provenance.String("leak")
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"batched", Options{}},
+		{"efficient", Options{EfficientGossip: true, PullEvery: 1}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			net, sites := archtest.NewNetwork()
+			m := New(net, sites, mode.opts)
+			dead := sites[3]
+			net.Fail(dead)
+			for i := 0; i < rounds; i++ {
+				if _, err := m.Publish(archtest.PubN(i, sites[i%3], provenance.Attr("domain", domain))); err != nil {
+					t.Fatalf("publish %d: %v", i, err)
+				}
+				if err := m.Tick(); err != nil {
+					t.Fatalf("tick %d: %v", i, err)
+				}
+			}
+			if got := m.PendingDigests(); got > 4*DefaultPullEvery+1 {
+				t.Fatalf("%d publications still queued against a peer dead for %d rounds — the outbox leaks", got, rounds)
+			}
+			net.Heal(dead)
+			if err := m.Tick(); err != nil { // proactive snapshot covers the dropped deltas
+				t.Fatal(err)
+			}
+			got, _, err := m.QueryAttr(dead, "domain", domain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != rounds {
+				t.Fatalf("healed peer sees %d/%d records — retention dropped content, not just deliveries", len(got), rounds)
+			}
+		})
+	}
+
+	// The knob still opens the window on request: explicitly unbounded
+	// retention keeps every delivery queued — the pre-proactive replay
+	// behavior E16's replay rows measure.
+	t.Run("unbounded", func(t *testing.T) {
+		net, sites := archtest.NewNetwork()
+		m := New(net, sites, Options{DeadRetention: -1})
+		net.Fail(sites[3])
+		const kept = 50
+		for i := 0; i < kept; i++ {
+			if _, err := m.Publish(archtest.PubN(i, sites[i%3], provenance.Attr("domain", domain))); err != nil {
+				t.Fatalf("publish %d: %v", i, err)
+			}
+			if err := m.Tick(); err != nil {
+				t.Fatalf("tick %d: %v", i, err)
+			}
+		}
+		if got := m.PendingDigests(); got != kept {
+			t.Fatalf("unbounded retention queued %d/%d publications", got, kept)
+		}
+	})
 }
 
 // TestRejoinFailsCleanlyWhileDown: a rejoin attempted before the site is

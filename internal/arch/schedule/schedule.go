@@ -1,7 +1,8 @@
 // Package schedule generates and executes randomized membership
-// schedules: seeded interleavings of join / crash / heal / partition /
-// loss-burst events that drive any arch.Model through the full "sites
-// come and go" lifecycle the paper's Section IV comparison assumes.
+// schedules: seeded interleavings of join / leave / crash / heal /
+// partition / loss-burst events that drive any arch.Model through the
+// full "sites come and go" lifecycle the paper's Section IV comparison
+// assumes.
 //
 // The scripted churn scenarios (E16, the KeyRehoming and FastRejoin
 // laws) pin one mechanism each; this package is the scenario-diversity
@@ -32,7 +33,11 @@
 // through Join (charged handoff); for every other model a joiner is a
 // member that was down from round zero — netsim.Fail at start, Heal at
 // its join event — the "not yet joined" convention the conformance
-// suite's churn scenario already uses.
+// suite's churn scenario already uses. Departures mirror it: models
+// implementing arch.Leaver retire OpLeave targets through Leave (charged
+// pre-exit key handoff to the successor); for everyone else the site
+// goes dark at the leave event and heals at quiescence, so the oracle's
+// recall bar still applies.
 package schedule
 
 import (
@@ -65,6 +70,12 @@ const (
 	OpLossBurst
 	// OpLossEnd clears it.
 	OpLossEnd
+	// OpLeave retires a founding member voluntarily (arch.Leaver models
+	// hand the member's keys to a successor pre-exit; for everyone else
+	// the site simply goes dark until quiescence heals it — the departure
+	// analogue of OpJoin's two conventions). A left member never crashes,
+	// heals, or publishes again.
+	OpLeave
 )
 
 // String names the op the way Schedule.String prints it.
@@ -84,6 +95,8 @@ func (o Op) String() string {
 		return "loss-burst"
 	case OpLossEnd:
 		return "loss-end"
+	case OpLeave:
+		return "leave"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -118,6 +131,14 @@ type Config struct {
 	EventRate float64
 	// PubsPerRound is the publish workload per round.
 	PubsPerRound int
+	// Reoffer is how many EXTRA times each acknowledged publish is
+	// re-offered in its round — an at-least-once ingest pipeline that
+	// keeps re-sending what the service already took. Zero (the default)
+	// offers once. Re-offers are not counted in Offered and never change
+	// recall; they exist to load the dissemination layer with the
+	// duplicate traffic real pipelines produce (the E17 gossip-efficiency
+	// columns).
+	Reoffer int
 }
 
 // Schedule is one generated event list, replayable from its seed.
@@ -135,16 +156,20 @@ const anchors = 2
 
 // Generate derives a deterministic schedule from the seed. Joins are
 // spread across the run (every joiner is admitted before the final
-// round); crash/heal/partition/loss events are drawn at EventRate with
-// bounded concurrency (at most a quarter of the members down at once,
-// one partition and one loss burst at a time, both always closed before
-// the schedule ends).
+// round); crash/heal/leave/partition/loss events are drawn at EventRate
+// with bounded concurrency (at most a quarter of the members down at
+// once, at most an eighth departed voluntarily, one partition and one
+// loss burst at a time, both always closed before the schedule ends).
+// Leaves target founding members only — never anchors, joiners, or sites
+// currently crashed or already departed — and a departed site is never
+// crashed or healed afterwards.
 func Generate(seed uint64, cfg Config) *Schedule {
 	rng := xrand.New(seed)
 	s := &Schedule{Seed: seed, Cfg: cfg}
 	members := cfg.Sites - cfg.Joiners
 
 	crashed := map[int]bool{}
+	left := map[int]bool{}
 	partitioned := false
 	lossy := false
 	nextJoiner := 0
@@ -166,10 +191,10 @@ func Generate(seed uint64, cfg Config) *Schedule {
 		n := 0
 		for rng.Float64() < cfg.EventRate && n < 3 {
 			n++
-			switch pick := rng.Intn(6); {
+			switch pick := rng.Intn(7); {
 			case pick == 0 && len(crashed) < members/4:
 				victim := anchors + rng.Intn(members-anchors)
-				if crashed[victim] {
+				if crashed[victim] || left[victim] {
 					continue
 				}
 				crashed[victim] = true
@@ -185,6 +210,13 @@ func Generate(seed uint64, cfg Config) *Schedule {
 				}
 				delete(crashed, victim)
 				s.Events = append(s.Events, Event{Round: round, Op: OpHeal, Site: victim})
+			case pick == 6 && len(left) < members/8 && !closing:
+				leaver := anchors + rng.Intn(members-anchors)
+				if crashed[leaver] || left[leaver] {
+					continue
+				}
+				left[leaver] = true
+				s.Events = append(s.Events, Event{Round: round, Op: OpLeave, Site: leaver})
 			case pick == 2 && !partitioned && !closing:
 				cut := cfg.Sites/4 + rng.Intn(cfg.Sites/2)
 				partitioned = true
@@ -223,7 +255,7 @@ func (s *Schedule) String() string {
 		s.Seed, s.Cfg.Sites, s.Cfg.Joiners, s.Cfg.Rounds, len(s.Events))
 	for _, e := range s.Events {
 		switch e.Op {
-		case OpCrash, OpHeal, OpJoin:
+		case OpCrash, OpHeal, OpJoin, OpLeave:
 			fmt.Fprintf(&b, "  round %2d: %-14s site %d\n", e.Round, e.Op, e.Site)
 		case OpPartition:
 			fmt.Fprintf(&b, "  round %2d: %-14s cut %d\n", e.Round, e.Op, e.Cut)
@@ -254,6 +286,18 @@ type Outcome struct {
 	// HandoffBytes is the wire cost of join admissions (zero for models
 	// whose joiners enter by healing).
 	HandoffBytes int64
+	// Leaves is how many voluntary departures completed; LeaveBytes is
+	// what arch.Leaver models' pre-exit key handoffs cost on the wire
+	// (zero for models whose leavers simply go dark).
+	Leaves     int
+	LeaveBytes int64
+	// GossipBytes / DupSuppressed / PullRounds mirror the model's
+	// arch.GossipMeter accounting at the end of the replay (all zero for
+	// models without a metered dissemination layer) — the E17 gossip
+	// efficiency columns.
+	GossipBytes   int64
+	DupSuppressed int64
+	PullRounds    int64
 	// Stats is the network's final accounting snapshot.
 	Stats netsim.Stats
 }
@@ -271,6 +315,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("schedule: %d rounds leave no room for joins before quiescence", c.Rounds)
 	case c.PubsPerRound < 1:
 		return fmt.Errorf("schedule: PubsPerRound must be positive, got %d", c.PubsPerRound)
+	case c.Reoffer < 0:
+		return fmt.Errorf("schedule: Reoffer must be non-negative, got %d", c.Reoffer)
 	}
 	return nil
 }
@@ -298,9 +344,12 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 	}
 
 	// Capability probe on a scratch topology: Joiner models grow their
-	// membership; everyone else runs the fail-at-start convention.
+	// membership (and Leaver models shrink it); everyone else runs the
+	// fail-at-start / dark-until-quiescence conventions.
 	probeNet, probeSites := netsim.RandomTopology(netsim.Config{}, 2, 2, s.Seed+2)
-	_, joiner := build(probeNet, probeSites).(arch.Joiner)
+	probeModel := build(probeNet, probeSites)
+	_, joiner := probeModel.(arch.Joiner)
+	_, leaver := probeModel.(arch.Leaver)
 
 	net, sites := netsim.RandomTopology(netsim.Config{Seed: s.Seed}, cfg.Sites/cfg.SitesPerZone, cfg.SitesPerZone, s.Seed+1)
 	members := sites[:cfg.Sites-cfg.Joiners]
@@ -373,9 +422,51 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 		return nil
 	}
 
+	// leftIdx marks member indices retired by OpLeave: excluded from the
+	// publish workload from their leave round on. pendingLeaves holds
+	// departures an arch.Leaver model could not coordinate this round
+	// (successor unreachable); they retry each round and at quiescence.
+	leftIdx := map[int]bool{}
+	var pendingLeaves []int
+	depart := func(idx int) (bool, error) {
+		if !leaver {
+			net.Fail(sites[idx]) // dark until quiescence heals it
+			return true, nil
+		}
+		b0 := net.Stats().Bytes
+		_, err := m.(arch.Leaver).Leave(sites[idx])
+		if err == nil {
+			out.LeaveBytes += net.Stats().Bytes - b0
+			return true, nil
+		}
+		if !arch.IsUnavailable(err) {
+			return false, fmt.Errorf("%s leave of %d: %w", m.Name(), sites[idx], err)
+		}
+		return false, nil
+	}
+	retryLeaves := func() error {
+		live := pendingLeaves[:0]
+		for _, idx := range pendingLeaves {
+			ok, err := depart(idx)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out.Leaves++
+			} else {
+				live = append(live, idx)
+			}
+		}
+		pendingLeaves = live
+		return nil
+	}
+
 	evIdx := 0
 	for round := 0; round < cfg.Rounds; round++ {
 		if err := retryJoins(); err != nil {
+			return out, err
+		}
+		if err := retryLeaves(); err != nil {
 			return out, err
 		}
 		for evIdx < len(s.Events) && s.Events[evIdx].Round == round {
@@ -404,13 +495,24 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 				net.SetLossRate(e.Rate)
 			case OpLossEnd:
 				net.SetLossRate(0)
+			case OpLeave:
+				leftIdx[e.Site] = true
+				ok, err := depart(e.Site)
+				if err != nil {
+					return out, err
+				}
+				if ok {
+					out.Leaves++
+				} else {
+					pendingLeaves = append(pendingLeaves, e.Site)
+				}
 			}
 		}
 
-		// The round's workload: live members publish.
+		// The round's workload: live, still-member sites publish.
 		for i := 0; i < cfg.PubsPerRound; i++ {
 			idx := (seq * 7) % len(members)
-			for net.IsDown(members[idx]) {
+			for net.IsDown(members[idx]) || leftIdx[idx] {
 				idx = (idx + 1) % len(members)
 			}
 			p, err := pubN(net, members[idx], seq)
@@ -425,6 +527,13 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 			}
 			if ok {
 				acked[p.ID] = true
+				// The at-least-once pipeline re-sends what was just taken;
+				// a re-offer that finds the site unavailable is dropped.
+				for k := 0; k < cfg.Reoffer; k++ {
+					if _, err := offer(p, 1); err != nil {
+						return out, err
+					}
+				}
 			} else {
 				unacked = append(unacked, p)
 			}
@@ -442,6 +551,9 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 		net.Heal(site)
 	}
 	if err := retryJoins(); err != nil {
+		return out, err
+	}
+	if err := retryLeaves(); err != nil {
 		return out, err
 	}
 	for _, p := range unacked {
@@ -467,6 +579,10 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 			out.ConvRounds++
 			break
 		}
+	}
+	if gm, ok := m.(arch.GossipMeter); ok {
+		gs := gm.GossipStats()
+		out.GossipBytes, out.DupSuppressed, out.PullRounds = gs.Bytes, gs.DupSuppressed, gs.PullRounds
 	}
 	out.Stats = net.Stats()
 	return out, nil

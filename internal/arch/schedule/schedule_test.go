@@ -38,13 +38,17 @@ func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
 // TestGenerateWellFormed: the generator's structural invariants — every
 // joiner admitted exactly once before the final round, anchors and
 // joiners never crashed, heals only of crashed sites, partitions and
-// loss bursts opened at most singly and always closed by the end.
+// loss bursts opened at most singly and always closed by the end, and
+// leaves only of live founding members that never departed before — with
+// a departed site never crashed, healed, or left again afterwards.
 func TestGenerateWellFormed(t *testing.T) {
 	members := testCfg.Sites - testCfg.Joiners
+	sawLeave := false
 	for seed := uint64(1); seed <= 50; seed++ {
 		s := Generate(seed, testCfg)
 		joined := map[int]int{}
 		crashed := map[int]bool{}
+		left := map[int]bool{}
 		partitioned, lossy := false, false
 		lastRound := -1
 		for _, e := range s.Events {
@@ -68,12 +72,27 @@ func TestGenerateWellFormed(t *testing.T) {
 				if crashed[e.Site] {
 					t.Fatalf("seed %d: double crash of %d", seed, e.Site)
 				}
+				if left[e.Site] {
+					t.Fatalf("seed %d: crash of departed member %d", seed, e.Site)
+				}
 				crashed[e.Site] = true
 			case OpHeal:
 				if !crashed[e.Site] {
 					t.Fatalf("seed %d: heal of a live site %d", seed, e.Site)
 				}
 				delete(crashed, e.Site)
+			case OpLeave:
+				sawLeave = true
+				if e.Site < anchors || e.Site >= members {
+					t.Fatalf("seed %d: leave of anchor or joiner %d — only founding members depart", seed, e.Site)
+				}
+				if crashed[e.Site] {
+					t.Fatalf("seed %d: leave of crashed member %d", seed, e.Site)
+				}
+				if left[e.Site] {
+					t.Fatalf("seed %d: double leave of %d", seed, e.Site)
+				}
+				left[e.Site] = true
 			case OpPartition:
 				if partitioned {
 					t.Fatalf("seed %d: nested partition", seed)
@@ -103,6 +122,72 @@ func TestGenerateWellFormed(t *testing.T) {
 			if joined[members+j] != 1 {
 				t.Fatalf("seed %d: joiner %d admitted %d times", seed, members+j, joined[members+j])
 			}
+		}
+		if len(left) > (members)/8 {
+			t.Fatalf("seed %d: %d departures exceed the members/8 budget", seed, len(left))
+		}
+	}
+	if !sawLeave {
+		t.Fatal("no seed in 1..50 generated a leave — the verb is unreachable")
+	}
+}
+
+// TestRunLeaveConventions: a schedule with a leave runs under both
+// departure conventions — dht retires the member through Leave (charged
+// pre-exit handoff, membership shrinks for good), central sends it dark
+// until quiescence — and both still meet the oracle, byte-identically on
+// replay.
+func TestRunLeaveConventions(t *testing.T) {
+	var s *Schedule
+	for seed := uint64(1); seed <= 50; seed++ {
+		c := Generate(seed, testCfg)
+		for _, e := range c.Events {
+			if e.Op == OpLeave {
+				s = c
+				break
+			}
+		}
+		if s != nil {
+			break
+		}
+	}
+	if s == nil {
+		t.Fatal("no schedule with a leave in seeds 1..50")
+	}
+	nLeaves := 0
+	for _, e := range s.Events {
+		if e.Op == OpLeave {
+			nLeaves++
+		}
+	}
+
+	builds := map[string]func(net *netsim.Network, sites []netsim.SiteID) arch.Model{
+		"dht":     func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return dht.New(net, sites) },
+		"central": func(net *netsim.Network, sites []netsim.SiteID) arch.Model { return central.New(net, sites[0]) },
+	}
+	for _, name := range []string{"dht", "central"} {
+		o, err := Run(s, builds[name])
+		if err != nil {
+			t.Fatalf("%s: %v\nreplay:\n%s", name, err, s)
+		}
+		if o.Leaves != nLeaves {
+			t.Fatalf("%s: %d/%d departures completed\nreplay:\n%s", name, o.Leaves, nLeaves, s)
+		}
+		if o.Recall < 0.99 {
+			t.Fatalf("%s: recall %.3f after leaves, want >= 0.99\nreplay:\n%s", name, o.Recall, s)
+		}
+		if name == "dht" && o.LeaveBytes == 0 {
+			t.Fatal("dht leaves charged no bytes — the pre-exit handoff was free")
+		}
+		if name == "central" && o.LeaveBytes != 0 {
+			t.Fatal("dark-convention leavers charged leave bytes")
+		}
+		o2, err := Run(s, builds[name])
+		if err != nil {
+			t.Fatalf("%s replay: %v", name, err)
+		}
+		if o != o2 {
+			t.Fatalf("%s: same-seed replay with leaves diverged:\n%+v\nvs\n%+v", name, o, o2)
 		}
 	}
 }

@@ -56,6 +56,7 @@ package siteview
 
 import (
 	"encoding/binary"
+	"math/bits"
 	"sort"
 
 	"pass/internal/netsim"
@@ -127,6 +128,40 @@ func (f *Filter) MayContain(key string) bool {
 
 // SizeBytes is the filter's wire size.
 func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// FillRatio is the fraction of set bits — the measured (not estimated
+// from key counts) saturation of the filter. The false-positive rate of
+// a Bloom filter is fill^hashes, so a filter whose fill drifts toward 1
+// answers MayContain("anything") = true and routes queries everywhere;
+// views rebuild an origin's filter when its measured fill crosses
+// MaxFillRatio.
+func (f *Filter) FillRatio() float64 {
+	if len(f.bits) == 0 {
+		return 0
+	}
+	set := 0
+	for _, w := range f.bits {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(len(f.bits)*64)
+}
+
+// MaxFillRatio is the measured-fill threshold past which a view rebuilds
+// an origin's accumulated filter at doubled capacity. Sized-to-count
+// filters settle near 1-e^(-hashes/bitsPerKey) ≈ 0.28; crossing 0.5
+// means the filter has outgrown its allocation (≈6% false-positive rate
+// and climbing), so the rebuild restores headroom well before the filter
+// degenerates into match-everything.
+const MaxFillRatio = 0.5
+
+// filterWireBytes is the wire size of a filter sized for n keys, without
+// allocating one.
+func filterWireBytes(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return (n*FilterBitsPerKey + 63) / 64 * 8
+}
 
 // Delta is one gossiped digest unit: the soft metadata a producing site
 // spreads about its own recent publications. Seq is assigned by the
@@ -235,42 +270,75 @@ func (v *View) Apply(d *Delta) bool {
 	for _, id := range d.IDs {
 		v.loc[id] = d.Origin
 	}
+	// Only keys this origin has never delivered reach the filter: a key
+	// re-delivered by a later delta is already represented, and counting
+	// it again would inflate filterKeys past the distinct-key truth —
+	// which is what used to trigger premature rebuilds into oversized
+	// filters (and bloated snapshot wire sizes to match).
+	fresh := d.AttrKeys[:0:0]
 	for _, k := range d.AttrKeys {
 		set, ok := v.attrSites[k]
 		if !ok {
 			set = make(map[netsim.SiteID]struct{})
 			v.attrSites[k] = set
 		}
-		set[d.Origin] = struct{}{}
+		if _, has := set[d.Origin]; !has {
+			set[d.Origin] = struct{}{}
+			fresh = append(fresh, k)
+		}
 	}
-	v.addFilterKeys(d.Origin, d.AttrKeys)
+	v.addFilterKeys(d.Origin, fresh)
 	v.applied++
 	return true
 }
 
-// addFilterKeys folds an origin's newly delivered attribute keys into
-// its accumulated filter, rebuilding at double capacity (from the exact
-// inverted index, so nothing is lost) once the key count would overload
-// the current bit array.
+// addFilterKeys folds an origin's newly delivered DISTINCT attribute
+// keys into its accumulated filter (callers pass only keys the origin
+// has not delivered before, so filterKeys tracks the exact distinct
+// count). When the filter's measured fill ratio crosses MaxFillRatio —
+// saturation observed on the actual bit array, not estimated from
+// counts — the filter is rebuilt at double the distinct-key capacity
+// from the exact inverted index, so nothing is lost and the
+// false-positive rate recovers.
 func (v *View) addFilterKeys(origin netsim.SiteID, keys []string) {
+	if len(keys) == 0 {
+		return
+	}
 	v.filterKeys[origin] += len(keys)
 	f, ok := v.filters[origin]
 	if !ok {
 		f = NewFilter(v.filterKeys[origin])
 		v.filters[origin] = f
-	} else if v.filterKeys[origin]*FilterBitsPerKey > len(f.bits)*64 {
-		f = NewFilter(2 * v.filterKeys[origin])
-		v.filters[origin] = f
-		for k, sites := range v.attrSites {
-			if _, has := sites[origin]; has {
-				f.Add(k)
-			}
-		}
-		return // the rebuild re-added keys (attrSites already holds them)
 	}
 	for _, k := range keys {
 		f.Add(k)
 	}
+	if f.FillRatio() > MaxFillRatio {
+		v.rebuildFilter(origin)
+	}
+}
+
+// rebuildFilter resizes origin's filter to double its distinct-key count
+// and repopulates it from the inverted index (the exact ground truth),
+// restoring the no-false-negatives guarantee at a healthy fill ratio.
+func (v *View) rebuildFilter(origin netsim.SiteID) {
+	f := NewFilter(2 * v.filterKeys[origin])
+	v.filters[origin] = f
+	for k, sites := range v.attrSites {
+		if _, has := sites[origin]; has {
+			f.Add(k)
+		}
+	}
+}
+
+// FilterFill reports the measured fill ratio of origin's accumulated
+// filter (0 when no delta from origin has been delivered).
+func (v *View) FilterFill(origin netsim.SiteID) float64 {
+	f, ok := v.filters[origin]
+	if !ok {
+		return 0
+	}
+	return f.FillRatio()
 }
 
 // WireSize approximates the view's size as a state-transfer snapshot on
@@ -453,8 +521,84 @@ func lessID(a, b provenance.ID) bool {
 	return false
 }
 
+// seqEntryWire is the wire size of one (origin, seq) vector entry in an
+// anti-entropy pull request.
+const seqEntryWire = 12
+
+// CoalescedWireSize prices ONE envelope carrying several deltas from the
+// same origin to the same peer: one header, each distinct location entry
+// once (a record re-listed by a later delta ships once), one filter
+// sized for the distinct attribute keys of the whole batch, plus 8 bytes
+// of per-constituent sequence framing so the receiver can fast-forward
+// its per-origin counter delta by delta. For a single delta this is
+// exactly Delta.WireSize — coalescing only ever removes redundancy.
+func CoalescedWireSize(deltas []*Delta) int {
+	if len(deltas) == 0 {
+		return 0
+	}
+	if len(deltas) == 1 {
+		return deltas[0].WireSize()
+	}
+	ids := make(map[provenance.ID]struct{})
+	keys := make(map[string]struct{})
+	for _, d := range deltas {
+		for _, id := range d.IDs {
+			ids[id] = struct{}{}
+		}
+		for _, k := range d.AttrKeys {
+			keys[k] = struct{}{}
+		}
+	}
+	return deltaHeaderWire + len(ids)*locEntryWire + filterWireBytes(len(keys)) + (len(deltas)-1)*8
+}
+
+// SeqVectorWireSize prices the pull-request body a site sends to
+// advertise how much of each origin's delta stream it has applied: one
+// (origin, seq) entry per known origin plus the usual header. The donor
+// answers with exactly the content the vector proves missing, priced by
+// DiffWireSize — together they are the lazy-push/periodic-pull hybrid's
+// catch-up exchange.
+func (v *View) SeqVectorWireSize() int {
+	return deltaHeaderWire + len(v.seq)*seqEntryWire
+}
+
+// DiffWireSize prices the targeted catch-up transfer that brings have up
+// to donor: only the location entries have is missing (or has stale
+// homes for) and, per origin, a filter sized for just the attribute keys
+// have has not seen from that origin. This is what an efficient rejoin
+// or anti-entropy pull ships instead of the donor's whole snapshot
+// (View.WireSize) — for a site that missed a few deltas the diff is a
+// small fraction of the full view. The merge that follows is the
+// ordinary Merge; DiffWireSize only prices its wire form.
+func DiffWireSize(donor, have *View) int {
+	size := deltaHeaderWire
+	for id, home := range donor.loc {
+		if h, ok := have.loc[id]; !ok || h != home {
+			size += locEntryWire
+		}
+	}
+	newKeys := make(map[netsim.SiteID]int)
+	for k, origins := range donor.attrSites {
+		haveSet := have.attrSites[k]
+		for origin := range origins {
+			if haveSet != nil {
+				if _, has := haveSet[origin]; has {
+					continue
+				}
+			}
+			newKeys[origin]++
+		}
+	}
+	for _, n := range newKeys {
+		size += 16 + filterWireBytes(n) // origin tag + seqno + key filter
+	}
+	return size
+}
+
 // Exposer is implemented by architecture models that maintain a real
-// per-site view (today: passnet). The conformance suite uses it to assert
+// per-site view (today: passnet and softstate.Viewful, whose plain sites
+// answer with their designated index node's view). The conformance suite
+// and E15 use it to assert
 // the convergence law and to observe split-brain divergence directly at
 // the view level rather than only through query results.
 type Exposer interface {

@@ -227,3 +227,119 @@ func TestSnapshotWireSizeTracksContent(t *testing.T) {
 		t.Fatalf("snapshot %dB not below the %dB of the 12 deltas it replaces", v.WireSize(), deltaBytes)
 	}
 }
+
+// TestFilterSaturationRecoversAfterRebuild is the Bloom-saturation
+// satellite: a filter fed far past its allocation saturates (measured
+// fill → 1, false-positive rate → 1), and the view-level rebuild —
+// triggered by measured fill, sized from the exact distinct-key count —
+// brings the false-positive rate back down while keeping every delivered
+// key (no false negatives, ever).
+func TestFilterSaturationRecoversAfterRebuild(t *testing.T) {
+	// A raw filter sized for 4 keys, force-fed 400: saturated.
+	f := NewFilter(4)
+	for i := 0; i < 400; i++ {
+		f.Add(fmt.Sprintf("sat\x00key-%d", i))
+	}
+	if fill := f.FillRatio(); fill < 0.9 {
+		t.Fatalf("force-fed filter fill = %v, expected near-saturation", fill)
+	}
+	fp := 0
+	for i := 0; i < 2000; i++ {
+		if f.MayContain(fmt.Sprintf("absent\x00probe-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 2000; rate < 0.5 {
+		t.Fatalf("saturated filter fp-rate = %v, expected it useless", rate)
+	}
+
+	// The same key stream through a View: the fill-triggered rebuild
+	// must keep measured fill bounded the whole way and land the
+	// false-positive rate back near the sized-filter design point.
+	v := NewView(0)
+	var delivered []string
+	for seq := uint64(1); seq <= 400; seq++ {
+		k := fmt.Sprintf("sat\x00key-%d", seq)
+		delivered = append(delivered, k)
+		if !v.Apply(NewDelta(1, seq, nil, []string{k})) {
+			t.Fatalf("delta %d rejected", seq)
+		}
+		if fill := v.FilterFill(1); fill > MaxFillRatio+0.05 {
+			t.Fatalf("after delta %d: fill %v never rebuilt (threshold %v)", seq, fill, MaxFillRatio)
+		}
+	}
+	for _, k := range delivered {
+		if !v.MayHold(1, k) {
+			t.Fatalf("false negative for %q after rebuilds", k)
+		}
+	}
+	fp = 0
+	for i := 0; i < 2000; i++ {
+		if v.MayHold(1, fmt.Sprintf("absent\x00probe-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 2000; rate > 0.1 {
+		t.Fatalf("post-rebuild fp-rate = %v, want < 0.1", rate)
+	}
+}
+
+// TestFilterKeysCountDistinct pins the exact-accounting fix: an origin
+// re-delivering the same attribute keys across many deltas must not
+// inflate the filter capacity (the old per-delivery count doubled the
+// filter size for every re-delivery wave, bloating snapshot bytes).
+func TestFilterKeysCountDistinct(t *testing.T) {
+	shared := []string{"domain\x00d", "zone\x00z", "type\x00t"}
+	exact, noisy := NewView(0), NewView(1)
+	for seq := uint64(1); seq <= 50; seq++ {
+		// noisy re-delivers the shared keys every delta; exact sees them once.
+		keys := []string{fmt.Sprintf("n\x00%d", seq)}
+		if !exact.Apply(NewDelta(1, seq, nil, keys)) {
+			t.Fatalf("exact delta %d rejected", seq)
+		}
+		if !noisy.Apply(NewDelta(1, seq, nil, append(append([]string(nil), shared...), keys...))) {
+			t.Fatalf("noisy delta %d rejected", seq)
+		}
+	}
+	if got, want := noisy.filterKeys[1], 50+len(shared); got != want {
+		t.Fatalf("distinct key count = %d, want %d (re-deliveries counted)", got, want)
+	}
+	// Re-delivery cost three distinct keys, so the two filters may differ
+	// by at most one growth step, not by a runaway factor.
+	ne, nn := exact.filters[1].SizeBytes(), noisy.filters[1].SizeBytes()
+	if nn > ne*4 {
+		t.Fatalf("re-delivered keys bloated the filter: %dB vs %dB", nn, ne)
+	}
+}
+
+// TestDiffWireSizeTracksMissingContent: the pull path's targeted diff
+// must price only what the recipient is missing — empty when views
+// match, a small fraction of the snapshot when only a few deltas were
+// missed, and never more than the full snapshot.
+func TestDiffWireSizeTracksMissingContent(t *testing.T) {
+	donor, have := NewView(0), NewView(1)
+	for seq := uint64(1); seq <= 20; seq++ {
+		d := NewDelta(2, seq, []provenance.ID{idN(int(seq))}, []string{fmt.Sprintf("k\x00%d", seq)})
+		donor.Apply(d)
+		if seq <= 15 {
+			have.Apply(d)
+		}
+	}
+	full := donor.WireSize()
+	diff := DiffWireSize(donor, have)
+	if diff >= full {
+		t.Fatalf("diff %dB not below full snapshot %dB", diff, full)
+	}
+	// 5 of 20 deltas missing: the diff must price roughly that fraction
+	// of the location entries, not the whole map.
+	if want := deltaHeaderWire + 5*locEntryWire; diff < want {
+		t.Fatalf("diff %dB cannot carry the 5 missing entries (min %d)", diff, want)
+	}
+	caughtUp := DiffWireSize(donor, donor)
+	if caughtUp != deltaHeaderWire {
+		t.Fatalf("diff between identical views = %dB, want bare header %d", caughtUp, deltaHeaderWire)
+	}
+	if v := have.SeqVectorWireSize(); v != deltaHeaderWire+seqEntryWire {
+		t.Fatalf("seq vector for one known origin = %dB", v)
+	}
+}

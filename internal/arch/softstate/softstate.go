@@ -52,6 +52,12 @@ type Model struct {
 	tickCount    int
 	refreshes    int64
 	rto          *arch.RTO
+
+	// onLanded, when set (Viewful), observes every refresh batch that
+	// successfully landed at an index node: the node, the producing site,
+	// and the batch's location ids and canonical attribute keys. Called
+	// without m.mu held.
+	onLanded func(node, site netsim.SiteID, ids []provenance.ID, attrKeys []string)
 }
 
 // New builds a soft-state service. indexNodes are the sites that host the
@@ -213,6 +219,13 @@ func (m *Model) RefreshNow() error {
 				m.softAttr[node][ap.mk] = append(m.softAttr[node][ap.mk], ap.id)
 			}
 			m.mu.Unlock()
+			if m.onLanded != nil {
+				mks := make([]string, 0, len(u.attrs))
+				for _, ap := range u.attrs {
+					mks = append(mks, ap.mk)
+				}
+				m.onLanded(node, site, u.locs, mks)
+			}
 		}
 		if failed {
 			m.mu.Lock()

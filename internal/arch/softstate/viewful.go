@@ -1,0 +1,156 @@
+package softstate
+
+// Viewful wraps the soft-state service with per-index-node federation
+// views, making the index tier a second view-bearing architecture next
+// to passnet (experiment E15). The plain Model's semantics are untouched
+// — records still live at their producers, queries still consult the
+// hash-owning shard, refreshes still run on the same cadence — but every
+// index node now folds the refresh batches that land on it into a
+// siteview.View, and the nodes run a charged anti-entropy exchange among
+// themselves each Tick so their views converge to one federation
+// picture. Under a partition the exchange is blocked and the two sides'
+// index views diverge exactly like passnet's per-site views do; after
+// the heal the next exchanges re-converge them.
+//
+// Viewful implements siteview.Exposer. A plain site has no view of its
+// own — its federation picture is whatever its designated index node
+// (the nearest by site id, admission order) currently holds, which is
+// precisely the soft-state trust relationship the paper's RLS/SRB
+// clients live with.
+//
+// Viewful deliberately does NOT run the archtest conformance suite: the
+// sharded index means a mid-partition querier cannot see even its own
+// side's records when they hash to an index node across the cut, which
+// is an honest soft-state failure mode, not a view-model bug. E15 shows
+// it side by side with passnet instead.
+
+import (
+	"errors"
+
+	"pass/internal/arch"
+	"pass/internal/arch/siteview"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// Viewful is the view-bearing soft-state service.
+type Viewful struct {
+	*Model
+	views map[netsim.SiteID]*siteview.View
+	// serve maps every plain site to its designated index node.
+	serve map[netsim.SiteID]netsim.SiteID
+	// emptyDiff is the size of a diff that carries nothing — the floor
+	// below which an exchange is skipped entirely.
+	emptyDiff   int
+	gossipBytes int64
+}
+
+// NewViewful builds a soft-state service whose index nodes carry views.
+// Arguments are New's.
+func NewViewful(net *netsim.Network, sites, indexNodes []netsim.SiteID, refreshEvery int) *Viewful {
+	m := New(net, sites, indexNodes, refreshEvery)
+	v := &Viewful{
+		Model:     m,
+		views:     make(map[netsim.SiteID]*siteview.View, len(m.indexNodes)),
+		serve:     make(map[netsim.SiteID]netsim.SiteID, len(sites)),
+		emptyDiff: siteview.DiffWireSize(siteview.NewView(0), siteview.NewView(0)),
+	}
+	for _, n := range m.indexNodes {
+		v.views[n] = siteview.NewView(n)
+	}
+	for _, s := range sites {
+		best := m.indexNodes[0]
+		for _, n := range m.indexNodes[1:] {
+			if dist(s, n) < dist(s, best) {
+				best = n
+			}
+		}
+		v.serve[s] = best
+	}
+	m.onLanded = v.fold
+	return v
+}
+
+func dist(a, b netsim.SiteID) netsim.SiteID {
+	if a < b {
+		return b - a
+	}
+	return a - b
+}
+
+// Name implements arch.Model.
+func (v *Viewful) Name() string { return "softstate+views" }
+
+// fold records a refresh batch that landed at an index node: the node's
+// view learns the batch's locations and attribute keys, attributed to
+// the producing site. Batches are shard subsets of a site's output, so
+// they fold through a scratch view and Merge — content union — rather
+// than the contiguous per-origin delta stream passnet's gossip delivers.
+func (v *Viewful) fold(node, site netsim.SiteID, ids []provenance.ID, attrKeys []string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	scratch := siteview.NewView(node)
+	scratch.Apply(siteview.NewDelta(site, 1, ids, attrKeys))
+	v.views[node].Merge(scratch)
+}
+
+// SiteView implements siteview.Exposer: an index node answers with its
+// own view, a plain site with its designated index node's.
+func (v *Viewful) SiteView(s netsim.SiteID) *siteview.View {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if view, ok := v.views[s]; ok {
+		return view
+	}
+	return v.views[v.serve[s]]
+}
+
+// Tick runs the embedded model's refresh round, then the index tier's
+// anti-entropy: every node offers every other node a diff of what the
+// receiver is missing, priced by siteview.DiffWireSize and charged on
+// the wire. A lost diff is charged and retried next Tick (the views
+// still differ); a node behind a partition is a free skip until the
+// heal.
+func (v *Viewful) Tick() error {
+	if err := v.Model.Tick(); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, a := range v.indexNodes { // deterministic order, never map order
+		for _, b := range v.indexNodes {
+			if a == b {
+				continue
+			}
+			diff := siteview.DiffWireSize(v.views[a], v.views[b])
+			if diff <= v.emptyDiff {
+				continue
+			}
+			_, err := v.net.Send(a, b, diff)
+			switch {
+			case err == nil:
+				v.gossipBytes += int64(diff)
+				v.views[b].Merge(v.views[a])
+			case errors.Is(err, netsim.ErrMsgLost):
+				v.gossipBytes += int64(diff)
+			case arch.IsUnavailable(err):
+				// down or partitioned: free fail, retry next round
+			default:
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GossipStats implements arch.GossipMeter for the index tier's
+// anti-entropy traffic. The soft-state service has no duplicate
+// suppression and no pull protocol — those fields stay zero.
+func (v *Viewful) GossipStats() arch.GossipStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return arch.GossipStats{Bytes: v.gossipBytes}
+}
+
+var _ siteview.Exposer = (*Viewful)(nil)
+var _ arch.GossipMeter = (*Viewful)(nil)

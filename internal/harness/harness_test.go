@@ -408,6 +408,52 @@ func TestE15SplitBrainDivergesThenConverges(t *testing.T) {
 		t.Fatalf("central's warehouse-less side acked %v publishes through a partition",
 			res.Finding("central_right_acked"))
 	}
+	// The efficient cell replays the identical narrative: same split, same
+	// heal, same converged answers.
+	for _, f := range []string{"eff_left_sees_left_partitioned", "eff_right_sees_right_partitioned",
+		"eff_views_converged_healed", "eff_left_sees_right_healed", "eff_right_sees_left_healed"} {
+		if res.Finding(f) != 1 {
+			t.Fatalf("%s = %v, want 1", f, res.Finding(f))
+		}
+	}
+	if res.Finding("eff_views_converged_partitioned") != 0 {
+		t.Fatal("efficient cell's views reported converged mid-partition")
+	}
+	// Gossip efficiency: >= 30% fewer dissemination bytes across the full
+	// narrative at full final recall and no worse convergence, with the
+	// dupemap and the armed pull both doing real work.
+	if v := res.Finding("gossip_reduction"); v < 0.30 {
+		t.Fatalf("gossip_reduction = %.3f, want >= 0.30 (base %v bytes, eff %v)",
+			v, res.Finding("gossip_bytes_base"), res.Finding("gossip_bytes_eff"))
+	}
+	if res.Finding("recall_final_base") != 1 || res.Finding("recall_final_eff") != 1 {
+		t.Fatalf("final recall base %v / eff %v, want 1.0 for both",
+			res.Finding("recall_final_base"), res.Finding("recall_final_eff"))
+	}
+	if res.Finding("conv_rounds_eff") > res.Finding("conv_rounds_base") {
+		t.Fatalf("efficient cell converged in %v rounds, baseline %v — savings bought with latency",
+			res.Finding("conv_rounds_eff"), res.Finding("conv_rounds_base"))
+	}
+	if res.Finding("dup_suppressed_eff") == 0 {
+		t.Fatal("no duplicates suppressed across the re-offer waves")
+	}
+	if res.Finding("pull_rounds_eff") == 0 {
+		t.Fatal("no anti-entropy pulls across the lossy burst")
+	}
+	// The view-bearing soft-state cell: index-tier split-brain diverges
+	// then re-converges, charged on the wire.
+	if res.Finding("soft_views_converged_partitioned") != 0 {
+		t.Fatal("softstate index views reported converged mid-partition")
+	}
+	if res.Finding("soft_views_converged_healed") != 1 {
+		t.Fatal("softstate index views did not re-converge after heal")
+	}
+	if res.Finding("soft_index_gossip_bytes") == 0 {
+		t.Fatal("softstate index anti-entropy charged zero bytes")
+	}
+	if res.Finding("soft_recall_healed") != 1 {
+		t.Fatalf("softstate post-heal recall %v, want 1.0", res.Finding("soft_recall_healed"))
+	}
 }
 
 // itoa2 renders the "_n<sites>" finding-tag fragment.

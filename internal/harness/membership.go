@@ -33,31 +33,49 @@ import (
 //     maintenance rounds until lookups answer in full, and where recall
 //     lands (the oracle's bar is ≥ 0.99, the same as the scripted laws);
 //   - handoff-bytes: the wire cost of join admissions, the arrival-side
-//     counterpart of E16's rec-bytes.
+//     counterpart of E16's rec-bytes;
+//   - leaves / leave-bytes: voluntary departures the schedule drew and
+//     what the pre-exit key handoff cost (dht's arch.Leaver pushes its
+//     keys to the successor before disconnecting; models without the
+//     capability just go dark until quiescence);
+//   - gossip-bytes / dup-supp / pull-rounds: the dissemination layer's
+//     own meter (arch.GossipMeter, "-" for unmetered models). The
+//     passnet vs passnet-eff rows are the efficiency comparison under
+//     unscripted churn: same schedule, same recall bar, strictly fewer
+//     gossip bytes.
 //
 // Same-seed determinism of the whole sweep is pinned by the regression
 // test, exactly like E14/E16.
 func (r *Runner) E17Membership() (*Result, error) {
 	table := metrics.NewTable("E17: membership (randomized join/crash/partition schedules)",
-		"model", "sites", "rate", "events", "joins", "acked", "recall", "conv-rounds", "handoff-bytes")
+		"model", "sites", "rate", "events", "joins", "acked", "recall", "conv-rounds", "handoff-bytes",
+		"leaves", "leave-bytes", "gossip-bytes", "dup-supp", "pull-rounds")
 	findings := map[string]float64{}
 
 	type entrant struct {
 		label string
-		build func(net *netsim.Network, sites []netsim.SiteID) arch.Model
+		// metered marks models implementing arch.GossipMeter, whose rows
+		// carry live gossip columns instead of "-".
+		metered bool
+		build   func(net *netsim.Network, sites []netsim.SiteID) arch.Model
 	}
 	roster := []entrant{
-		{"central", func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+		{"central", false, func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return central.New(net, sites[0])
 		}},
-		{"softstate", func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+		{"softstate", false, func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return softstate.New(net, sites, sites[:2], 1)
 		}},
-		{"dht", func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+		{"dht", false, func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return dht.New(net, sites)
 		}},
-		{"passnet", func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+		{"passnet", true, func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return passnet.New(net, sites, passnet.Options{})
+		}},
+		// Same schedule as the row above, efficient dissemination: dupemap
+		// suppression, coalesced envelopes, armed anti-entropy pulls.
+		{"passnet-eff", true, func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			return passnet.New(net, sites, passnet.Options{EfficientGossip: true, PullEvery: 1})
 		}},
 	}
 
@@ -79,6 +97,10 @@ func (r *Runner) E17Membership() (*Result, error) {
 		recall         float64
 		convRounds     int
 		handoffBytes   int64
+		leaves         int
+		leaveBytes     int64
+		gossip         arch.GossipStats
+		metered        bool
 	}
 	outs, err := runCells(r, cells, func(c cell) (out, error) {
 		rateLabel := []string{"lo", "hi"}[c.ri]
@@ -89,6 +111,10 @@ func (r *Runner) E17Membership() (*Result, error) {
 			Rounds:       10,
 			EventRate:    c.rate,
 			PubsPerRound: r.scale.n(6),
+			// Every acknowledged publish is re-offered twice more — the
+			// at-least-once pipeline whose redundancy the efficient gossip
+			// path (passnet-eff) is built to suppress.
+			Reoffer: 2,
 		}
 		// One schedule per (sites, rate) point, shared by every model in
 		// that column: the comparison is architectures under identical
@@ -106,6 +132,9 @@ func (r *Runner) E17Membership() (*Result, error) {
 			events: len(sched.Events), joins: o.Joins,
 			acked: o.Acked, offered: o.Offered,
 			recall: o.Recall, convRounds: o.ConvRounds, handoffBytes: o.HandoffBytes,
+			leaves: o.Leaves, leaveBytes: o.LeaveBytes,
+			gossip:  arch.GossipStats{Bytes: o.GossipBytes, DupSuppressed: o.DupSuppressed, PullRounds: o.PullRounds},
+			metered: ent.metered,
 		}, nil
 	})
 	if err != nil {
@@ -115,9 +144,14 @@ func (r *Runner) E17Membership() (*Result, error) {
 		o := outs[i]
 		rateLabel := []string{"lo", "hi"}[c.ri]
 		label := roster[c.mi].label
+		gb, ds, pr := any("-"), any("-"), any("-")
+		if o.metered {
+			gb, ds, pr = o.gossip.Bytes, o.gossip.DupSuppressed, o.gossip.PullRounds
+		}
 		table.AddRow(label, c.nSites, rateLabel, o.events, o.joins,
 			fmt.Sprintf("%d/%d", o.acked, o.offered),
-			fmt.Sprintf("%.3f", o.recall), o.convRounds, o.handoffBytes)
+			fmt.Sprintf("%.3f", o.recall), o.convRounds, o.handoffBytes,
+			o.leaves, o.leaveBytes, gb, ds, pr)
 		tag := fmt.Sprintf("%s_n%d_r%s", label, c.nSites, rateLabel)
 		findings["recall_"+tag] = o.recall
 		findings["acked_"+tag] = float64(o.acked)
@@ -125,6 +159,13 @@ func (r *Runner) E17Membership() (*Result, error) {
 		findings["rounds_"+tag] = float64(o.convRounds)
 		findings["handoff_"+tag] = float64(o.handoffBytes)
 		findings["events_"+tag] = float64(o.events)
+		findings["leaves_"+tag] = float64(o.leaves)
+		findings["leavebytes_"+tag] = float64(o.leaveBytes)
+		if o.metered {
+			findings["gossip_"+tag] = float64(o.gossip.Bytes)
+			findings["dupsupp_"+tag] = float64(o.gossip.DupSuppressed)
+			findings["pulls_"+tag] = float64(o.gossip.PullRounds)
+		}
 	}
 	return &Result{
 		ID:       "E17",
@@ -135,6 +176,8 @@ func (r *Runner) E17Membership() (*Result, error) {
 			"every model in a cell replays the SAME generated schedule (seeded, replayable via schedule.String); the oracle is generic: recall >= 0.99 after quiescence, all joiners admitted, all bytes charged",
 			"joins: dht admits cold nodes through arch.Joiner — spliced into the ring with a charged key handoff (handoff-bytes) — while the other models run the heal-on-join convention; passnet's admitted sites then trigger their own rejoin snapshots inside Tick (proactive rejoin, zero operator calls)",
 			"conv-rounds counts post-quiescence maintenance rounds until every acknowledged publish resolves from every querier, one of them a freshly joined site",
+			"leaves: voluntary departures drawn by the schedule; dht coordinates each one through arch.Leaver (keys pushed to the successor before disconnect, leave-bytes charged) while models without the capability let the leaver go dark until quiescence",
+			"gossip-bytes/dup-supp/pull-rounds: arch.GossipMeter accounting, '-' for unmetered models; passnet vs passnet-eff under the SAME schedule is the efficiency comparison — equal recall, fewer bytes",
 		},
 	}, nil
 }

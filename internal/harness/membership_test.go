@@ -18,7 +18,7 @@ func TestE17MembershipShape(t *testing.T) {
 	for _, n := range []string{"n16", "n64"} {
 		for _, r := range []string{"rlo", "rhi"} {
 			cell := "_" + n + "_" + r
-			for _, model := range []string{"central", "softstate", "dht", "passnet"} {
+			for _, model := range []string{"central", "softstate", "dht", "passnet", "passnet-eff"} {
 				// The generic oracle: after quiescence plus convergence
 				// rounds, every architecture answers in full again.
 				if v := res.Finding("recall_" + model + cell); v < 0.99 {
@@ -47,6 +47,33 @@ func TestE17MembershipShape(t *testing.T) {
 			handoffTotal += res.Finding("handoff_dht" + cell)
 			if v := res.Finding("events_central" + cell); v <= 0 {
 				t.Fatalf("cell %s: schedule generated no events", cell)
+			}
+			// Voluntary departures: only the ring coordinates a charged
+			// pre-exit handoff; everyone else's leavers go dark for free.
+			if res.Finding("leaves_dht"+cell) > 0 && res.Finding("leavebytes_dht"+cell) == 0 {
+				t.Fatalf("cell %s: dht completed leaves but charged no handoff bytes", cell)
+			}
+			for _, model := range []string{"central", "softstate", "passnet", "passnet-eff"} {
+				if v := res.Finding("leavebytes_" + model + cell); v != 0 {
+					t.Fatalf("%s%s: dark-leave convention charged %v bytes", model, cell, v)
+				}
+			}
+			// The gossip-efficiency comparison: the SAME schedule, recall
+			// already pinned equal (>= 0.99 above), convergence no worse,
+			// and the efficient dissemination layer >= 30% cheaper.
+			base := res.Finding("gossip_passnet" + cell)
+			eff := res.Finding("gossip_passnet-eff" + cell)
+			if base <= 0 || eff <= 0 {
+				t.Fatalf("cell %s: gossip meter read zero (base %v, eff %v)", cell, base, eff)
+			}
+			if eff > 0.7*base {
+				t.Fatalf("cell %s: efficient gossip charged %v bytes vs baseline %v — less than the 30%% floor saved", cell, eff, base)
+			}
+			if res.Finding("rounds_passnet-eff"+cell) > res.Finding("rounds_passnet"+cell) {
+				t.Fatalf("cell %s: efficient gossip needed more convergence rounds than baseline", cell)
+			}
+			if res.Finding("dupsupp_passnet-eff"+cell) == 0 {
+				t.Fatalf("cell %s: re-offered workload but no duplicates suppressed", cell)
 			}
 		}
 	}
