@@ -8,7 +8,10 @@
 #                        conformance sweeps and skips the 10k-site ones.
 #   make bench         — regenerate the experiment tables (E1–E17) and
 #                        write BENCH.json for comparison against the
-#                        committed BENCH_3.json baseline.
+#                        committed BENCH_3.json baseline. BENCH.json is
+#                        scratch output (gitignored); the committed
+#                        baselines are BENCH_3.json (perf gate) and
+#                        BENCH_2.json (pre-fast-path, for bench-speedup).
 #   make bench-quick   — the hot-path microbenchmarks (netsim Send,
 #                        passnet Tick, siteview Apply, dht Lookup) at
 #                        -benchtime=100x: fast enough for every check run,
@@ -53,10 +56,13 @@ vet:
 # sweeps under the race detector's ~10x slowdown would dominate the gate
 # without widening its coverage. netsim joins the net with its sharded
 # atomic accounting, and the harness run covers the parallel cell runner:
-# the serial-vs-parallel equivalence tests execute both paths.
+# the serial-vs-parallel equivalence tests execute both paths. The ops
+# surface is concurrent by design — the metrics registry and trace ring
+# are scraped while soaks write to them — so metrics, trace, and obs run
+# under -race too (obs at -short: its soaks replay full fault schedules).
 race:
-	$(GO) test -race -count=1 ./internal/core ./internal/kvstore ./internal/netsim
-	$(GO) test -race -short -count=1 ./internal/arch/... ./internal/harness
+	$(GO) test -race -count=1 ./internal/core ./internal/kvstore ./internal/netsim ./internal/metrics ./internal/trace
+	$(GO) test -race -short -count=1 ./internal/arch/... ./internal/harness ./internal/obs
 	$(GO) test -race -count=1 -run 'TestSerialParallelEquivalence|TestRunCells' ./internal/harness
 
 check: vet test race bench-quick bench-check docs-check

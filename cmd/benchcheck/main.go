@@ -8,6 +8,11 @@
 //
 // Checks, in order of severity:
 //
+//   - Baseline integrity: the baseline itself must contain a row for
+//     every experiment registered in the harness. A baseline missing
+//     registered rows is stale or was recorded from a partially failed
+//     run, and comparing against it would silently shrink the gate —
+//     benchcheck refuses and tells you to regenerate with `make bench`.
 //   - Coverage: every experiment in the baseline must appear in the
 //     current report — a silently dropped experiment is the worst kind of
 //     regression. New experiments in the current report are fine (they
@@ -36,6 +41,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"pass/internal/harness"
 )
 
 type jsonResult struct {
@@ -83,6 +90,26 @@ func main() {
 	if base.Scale != cur.Scale {
 		fmt.Fprintf(os.Stderr, "benchcheck: scale mismatch: baseline %.2f vs current %.2f — not comparable\n",
 			base.Scale, cur.Scale)
+		os.Exit(1)
+	}
+
+	// Baseline integrity: a row for every registered experiment. Without
+	// this, a baseline recorded from a failed or older run would quietly
+	// exempt the missing experiments from the runtime gate forever.
+	baseByID := make(map[string]bool, len(base.Results))
+	for _, b := range base.Results {
+		baseByID[b.ID] = true
+	}
+	var missing []string
+	for _, exp := range harness.All() {
+		if !baseByID[exp.ID] {
+			missing = append(missing, exp.ID)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr,
+			"benchcheck: baseline %s has no row for registered experiment(s) %s — the baseline is stale or was recorded from a failed run; regenerate it with `make bench` and commit the result\n",
+			*baselinePath, strings.Join(missing, ", "))
 		os.Exit(1)
 	}
 

@@ -1,9 +1,10 @@
 // Command docscheck is the documentation gate (make docs-check, part of
 // make check). It enforces two invariants that otherwise rot silently:
 //
-//   - Every package under internal/ carries a package comment, so
-//     `go doc pass/internal/<pkg>` always explains what the package is
-//     for and which part of the paper it models.
+//   - Every package under internal/ and cmd/ carries a package comment,
+//     so `go doc pass/internal/<pkg>` always explains what the package is
+//     for and which part of the paper it models, and every binary's doc
+//     comment states its usage and flags.
 //   - README.md's experiment table lists exactly the experiments the
 //     harness registry exposes — every registered ID appears as a table
 //     row, and no table row names an unregistered ID. The registry is
@@ -47,39 +48,41 @@ func main() {
 	fmt.Println("docscheck: package comments present, README experiment table matches the registry")
 }
 
-// checkPackageComments walks internal/ and requires each directory that
-// holds non-test Go files to have a package comment on at least one of
-// them.
+// checkPackageComments walks internal/ and cmd/ and requires each
+// directory that holds non-test Go files to have a package comment on at
+// least one of them.
 func checkPackageComments(root string) []string {
 	var failures []string
 	seen := map[string]bool{} // dir -> has any non-test .go file
 	documented := map[string]bool{}
 
-	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+	for _, tree := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, tree), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			seen[dir] = true
+			if documented[dir] {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", path, err))
+				return nil
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented[dir] = true
+			}
+			return nil
+		})
 		if err != nil {
-			return err
+			failures = append(failures, err.Error())
 		}
-		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		dir := filepath.Dir(path)
-		seen[dir] = true
-		if documented[dir] {
-			return nil
-		}
-		fset := token.NewFileSet()
-		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
-		if err != nil {
-			failures = append(failures, fmt.Sprintf("%s: %v", path, err))
-			return nil
-		}
-		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-			documented[dir] = true
-		}
-		return nil
-	})
-	if err != nil {
-		return append(failures, err.Error())
 	}
 	for dir := range seen {
 		if !documented[dir] {

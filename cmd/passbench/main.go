@@ -18,23 +18,27 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"pass/internal/harness"
 )
 
 // jsonResult is the machine-readable form of one experiment's outcome.
+// Millis and PeakGoroutines come from harness.Instrument: wall-clock for
+// the perf gate, sampled peak goroutines as an ops observation (the
+// parallel cell runner should bound fan-out near GOMAXPROCS).
 type jsonResult struct {
-	ID       string             `json:"id"`
-	Title    string             `json:"title"`
-	Millis   int64              `json:"millis"`
-	Findings map[string]float64 `json:"findings"`
+	ID             string             `json:"id"`
+	Title          string             `json:"title"`
+	Millis         int64              `json:"millis"`
+	PeakGoroutines int                `json:"peak_goroutines"`
+	Findings       map[string]float64 `json:"findings"`
 }
 
 // jsonReport is the envelope written by -json.
 type jsonReport struct {
-	Scale   float64      `json:"scale"`
-	Results []jsonResult `json:"results"`
+	Scale       float64      `json:"scale"`
+	TotalMillis int64        `json:"total_millis"`
+	Results     []jsonResult `json:"results"`
 }
 
 func main() {
@@ -72,21 +76,26 @@ func main() {
 	report := jsonReport{Scale: *scale}
 	failed := false
 	for _, exp := range selected {
-		start := time.Now()
-		res, err := exp.Run(runner)
+		var res *harness.Result
+		wallMs, peak, err := harness.Instrument(func() error {
+			var runErr error
+			res, runErr = exp.Run(runner)
+			return runErr
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", exp.ID, err)
 			failed = true
 			continue
 		}
-		elapsed := time.Since(start)
 		fmt.Println(res.String())
-		fmt.Printf("(%s completed in %v)\n\n", exp.ID, elapsed.Round(time.Millisecond))
+		fmt.Printf("(%s completed in %dms, peak %d goroutines)\n\n", exp.ID, wallMs, peak)
+		report.TotalMillis += wallMs
 		report.Results = append(report.Results, jsonResult{
-			ID:       res.ID,
-			Title:    res.Title,
-			Millis:   elapsed.Milliseconds(),
-			Findings: res.Findings,
+			ID:             res.ID,
+			Title:          res.Title,
+			Millis:         wallMs,
+			PeakGoroutines: peak,
+			Findings:       res.Findings,
 		})
 	}
 	if failed {

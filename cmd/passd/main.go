@@ -1,0 +1,192 @@
+// Command passd is the PASS ops daemon: it drives architecture models
+// through seeded chaos-soak fault streams (package obs over package
+// schedule) while serving the live metrics surface over HTTP — Prometheus
+// text-format exposition on /metrics and a JSON soak/gate summary on
+// /healthz — and optionally streaming the JSONL round trace to a file.
+//
+// Usage:
+//
+//	passd daemon [flags]
+//
+// Flags:
+//
+//	-addr       listen address (default 127.0.0.1:9464; port 0 picks one)
+//	-models     comma-separated roster models to soak concurrently
+//	            (default passnet-eff; roster: central, softstate, dht,
+//	            passnet, passnet-eff)
+//	-seed       base schedule seed (iteration i of each model uses seed+i)
+//	-sites      topology size per model (default 16)
+//	-rounds     simulated rounds per soak iteration (default 24)
+//	-interval   wall-clock pacing per simulated round (default 250ms)
+//	-duration   total soak budget; 0 runs exactly one iteration per model
+//	-threshold  recall bar of the windowed gate (default 0.95)
+//	-window     max consecutive below-threshold rounds (default downtime+3)
+//	-trace      JSONL trace sink file ("" = in-memory ring only)
+//
+// The process exits 0 when every model's windowed soak gate held
+// ("recall never below the threshold for more than K consecutive
+// rounds") and 1 on a breach or model error — so a CI smoke job can
+// assert the gate by exit code while scraping /metrics live.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pass/internal/metrics"
+	"pass/internal/obs"
+	"pass/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, nil))
+}
+
+// run is the testable entry point: ready (may be nil) receives the bound
+// listen address once the HTTP surface is up. Returns the process exit
+// code.
+func run(args []string, stdout io.Writer, ready func(addr string)) int {
+	if len(args) == 0 || args[0] != "daemon" {
+		fmt.Fprintln(stdout, "usage: passd daemon [flags]   (see -h for flags)")
+		return 2
+	}
+	fs := flag.NewFlagSet("passd daemon", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9464", "HTTP listen address for /metrics and /healthz")
+	models := fs.String("models", "passnet-eff", "comma-separated roster models to soak")
+	seed := fs.Uint64("seed", 1, "base schedule seed")
+	sites := fs.Int("sites", 16, "sites per model topology")
+	rounds := fs.Int("rounds", 24, "rounds per soak iteration")
+	pubs := fs.Int("pubs", 4, "publishes per round")
+	interval := fs.Duration("interval", 250*time.Millisecond, "wall-clock pacing per simulated round")
+	duration := fs.Duration("duration", 0, "total soak budget (0 = one iteration per model)")
+	threshold := fs.Float64("threshold", 0.95, "windowed gate recall threshold")
+	window := fs.Int("window", 0, "max consecutive below-threshold rounds (0 = downtime+3)")
+	tracePath := fs.String("trace", "", "JSONL round-trace sink file")
+	traceCap := fs.Int("trace-cap", trace.DefaultCap, "in-memory trace ring capacity (lines)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+
+	reg := metrics.NewRegistry()
+	tr := trace.New(*traceCap)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stdout, "passd:", err)
+			return 1
+		}
+		defer f.Close()
+		tr.SetSink(f)
+	}
+
+	var soaks []*obs.Soak
+	for _, name := range strings.Split(*models, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := obs.NewSoak(obs.SoakConfig{
+			Model: name, Seed: *seed, Sites: *sites,
+			Rounds: *rounds, PubsPerRound: *pubs,
+			Threshold: *threshold, MaxStreak: *window,
+			Interval: *interval, Duration: *duration,
+		}, reg, tr)
+		if err != nil {
+			fmt.Fprintln(stdout, "passd:", err)
+			return 1
+		}
+		soaks = append(soaks, s)
+	}
+	if len(soaks) == 0 {
+		fmt.Fprintln(stdout, "passd: no models to soak")
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stdout, "passd:", err)
+		return 1
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		statuses := make([]obs.SoakStatus, len(soaks))
+		healthy := true
+		for i, s := range soaks {
+			statuses[i] = s.Status()
+			if !statuses[i].GateOK {
+				healthy = false
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"healthy": healthy,
+			"soaks":   statuses,
+			"trace": map[string]any{
+				"buffered": tr.Len(),
+				"dropped":  tr.Dropped(),
+			},
+		})
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "passd: serving /metrics and /healthz on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for _, s := range soaks {
+		wg.Add(1)
+		go func(s *obs.Soak) {
+			defer wg.Done()
+			s.Run(ctx)
+		}(s)
+	}
+	wg.Wait()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+
+	exit := 0
+	for _, s := range soaks {
+		st := s.Status()
+		verdict := "gate OK"
+		if !st.GateOK {
+			verdict = "GATE BREACHED"
+			exit = 1
+		}
+		fmt.Fprintf(stdout, "passd: %-12s %s — iterations=%d rounds=%d min_recall=%.3f worst_streak=%d breaches=%d\n",
+			st.Model, verdict, st.Iterations, st.Rounds, st.MinRecall, st.WorstStreak, st.Breaches)
+		if st.Err != "" {
+			fmt.Fprintf(stdout, "passd: %-12s error: %s\n", st.Model, st.Err)
+			exit = 1
+		}
+	}
+	if err := tr.SinkErr(); err != nil {
+		fmt.Fprintln(stdout, "passd: trace sink:", err)
+		exit = 1
+	}
+	return exit
+}

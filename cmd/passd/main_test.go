@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pass/internal/trace"
+)
+
+// TestDaemonServesMetricsDuringSoak boots the daemon on an ephemeral
+// port with two models and a fast clock, scrapes /metrics and /healthz
+// WHILE the fault stream runs, and checks the exit code, the summary,
+// and the JSONL trace file.
+func TestDaemonServesMetricsDuringSoak(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "soak-trace.jsonl")
+	addrCh := make(chan string, 1)
+	exitCh := make(chan int, 1)
+	var out strings.Builder
+
+	go func() {
+		exitCh <- run([]string{
+			"daemon",
+			"-addr", "127.0.0.1:0",
+			"-models", "passnet-eff,dht",
+			"-sites", "16", "-rounds", "12", "-pubs", "3",
+			"-interval", "20ms",
+			"-trace", tracePath,
+		}, &out, func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never came up\n%s", out.String())
+	}
+
+	// Scrape while the soak is live: with 12 rounds at 20ms pacing the
+	// stream is still running on the first scrapes.
+	deadline := time.Now().Add(10 * time.Second)
+	var expo string
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never showed live series\n%s", expo)
+		}
+		expo = httpGet(t, "http://"+addr+"/metrics")
+		if strings.Contains(expo, `pass_recall{model="passnet-eff"}`) &&
+			strings.Contains(expo, `pass_sites_up{model="dht"}`) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, series := range []string{
+		"# TYPE pass_net_bytes_total counter",
+		`pass_gossip_bytes_total{model="passnet-eff"}`,
+		`pass_outbox_depth{model="passnet-eff"}`,
+		`pass_members{model="dht"}`,
+		`pass_recall_probe_count{model="dht"}`,
+	} {
+		if !strings.Contains(expo, series) {
+			t.Errorf("live exposition missing %q", series)
+		}
+	}
+
+	var health struct {
+		Healthy bool `json:"healthy"`
+		Soaks   []struct {
+			Model  string `json:"model"`
+			GateOK bool   `json:"gate_ok"`
+		} `json:"soaks"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+addr+"/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Healthy || len(health.Soaks) != 2 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("daemon exited %d\n%s", code, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon never finished\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "gate OK") {
+		t.Fatalf("no gate verdict in summary:\n%s", out.String())
+	}
+
+	// The write-through trace file is non-empty, line-parseable JSONL.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 24 {
+		t.Fatalf("trace file has only %d lines", len(lines))
+	}
+	models := map[string]bool{}
+	for _, line := range lines {
+		var e trace.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("corrupt trace line %q: %v", line, err)
+		}
+		models[e.Model] = true
+	}
+	if !models["passnet-eff"] || !models["dht"] {
+		t.Fatalf("trace lines missing a model: %v", models)
+	}
+}
+
+func TestDaemonUsageAndBadModel(t *testing.T) {
+	var out strings.Builder
+	if code := run(nil, &out, nil); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"daemon", "-models", "bogus"}, &out, nil); code != 1 {
+		t.Fatalf("bad model exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "bogus") {
+		t.Fatalf("bad-model error not surfaced: %s", out.String())
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s\n%s", url, resp.Status, b)
+	}
+	return string(b)
+}

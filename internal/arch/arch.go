@@ -170,6 +170,18 @@ type GossipStats struct {
 	PullRounds int64
 }
 
+// OpsSampler is the optional capability interface for models that export
+// operational gauges to the live metrics surface (the obs collector and
+// the passd daemon). SampleOps calls set once per reading with a
+// stable snake_case metric name (e.g. "outbox_depth", "members") and the
+// current value; it must be cheap — a handful of counter loads, no wire
+// traffic — because the collector invokes it once per sampled round.
+// Today passnet (outbox depth, rejoins, routing-filter accounting) and
+// dht (ring size, re-homing and handoff totals) implement it.
+type OpsSampler interface {
+	SampleOps(set func(metric string, value int64))
+}
+
 // GossipMeter is the optional capability interface for models that meter
 // their dissemination layer (today: passnet and softstate.Viewful's
 // index-tier anti-entropy). The harness and the

@@ -112,6 +112,7 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("JoinHandoff", func(t *testing.T) { testJoinHandoff(t, cfg) })
 	t.Run("ProactiveRejoin", func(t *testing.T) { testProactiveRejoin(t, cfg) })
 	t.Run("MembershipSchedule", func(t *testing.T) { testMembershipSchedule(t, cfg) })
+	t.Run("RecallSoak", func(t *testing.T) { testRecallSoak(t, cfg) })
 	t.Run("DuplicateSuppression", func(t *testing.T) { testDuplicateSuppression(t, cfg) })
 	t.Run("LeaveHandoff", func(t *testing.T) { testLeaveHandoff(t, cfg) })
 	t.Run("Sweep10k", func(t *testing.T) { testSweep10k(t, cfg) })

@@ -41,7 +41,9 @@
 package schedule
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"strings"
 
 	"pass/internal/arch"
@@ -247,6 +249,99 @@ func Generate(seed uint64, cfg Config) *Schedule {
 	return s
 }
 
+// SoakOptions shapes GenerateSoak's fault stream. The zero value selects
+// the defaults noted per field.
+type SoakOptions struct {
+	// CrashEvery starts a crash wave every this many rounds (default 6).
+	CrashEvery int
+	// DownFor is how many rounds each victim stays down before its
+	// scheduled heal (default 3). The soak gate's consecutive-round
+	// streak budget derives from this bound.
+	DownFor int
+	// Victims is how many members each wave takes down (default 1).
+	Victims int
+	// LossEvery opens a packet-loss burst every this many rounds; 0 (the
+	// default) disables bursts.
+	LossEvery int
+	// LossFor is how many rounds a burst lasts (default 2).
+	LossFor int
+	// LossRate is the burst drop probability (default 0.1, capped at 0.2
+	// so retry chains still converge).
+	LossRate float64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.CrashEvery <= 0 {
+		o.CrashEvery = 6
+	}
+	if o.DownFor <= 0 {
+		o.DownFor = 3
+	}
+	if o.Victims <= 0 {
+		o.Victims = 1
+	}
+	if o.LossFor <= 0 {
+		o.LossFor = 2
+	}
+	if o.LossRate <= 0 {
+		o.LossRate = 0.1
+	}
+	if o.LossRate > 0.2 {
+		o.LossRate = 0.2
+	}
+	return o
+}
+
+// GenerateSoak derives a deterministic soak schedule: periodic crash
+// waves whose victims ALWAYS heal exactly DownFor rounds later, plus
+// optional bounded loss bursts — damage with a known repair deadline,
+// unlike Generate's open-ended churn. That bound is what makes a
+// time-windowed gate meaningful: a healthy model's recall dip after a
+// wave cannot outlive DownFor plus its own recovery lag, so "recall below
+// threshold for more than K consecutive rounds" is a correctness signal,
+// not noise. Victims are never anchors, never already-down sites; waves
+// that would straddle the schedule's tail are skipped so the run ends
+// healed. Soak schedules draw no joins, leaves, or partitions; use
+// Generate for full-lifecycle churn.
+func GenerateSoak(seed uint64, cfg Config, opt SoakOptions) *Schedule {
+	opt = opt.withDefaults()
+	rng := xrand.New(seed)
+	s := &Schedule{Seed: seed, Cfg: cfg}
+	members := cfg.Sites - cfg.Joiners
+
+	healAt := map[int]int{} // victim index -> round its scheduled heal fires
+	lossyUntil := -1
+	for round := 0; round < cfg.Rounds; round++ {
+		for v, h := range healAt {
+			if h <= round {
+				delete(healAt, v)
+			}
+		}
+		if round%opt.CrashEvery == 0 && round+opt.DownFor <= cfg.Rounds-2 {
+			for v := 0; v < opt.Victims; v++ {
+				victim := anchors + rng.Intn(members-anchors)
+				if _, dup := healAt[victim]; dup {
+					continue
+				}
+				healAt[victim] = round + opt.DownFor
+				s.Events = append(s.Events,
+					Event{Round: round, Op: OpCrash, Site: victim},
+					Event{Round: round + opt.DownFor, Op: OpHeal, Site: victim})
+			}
+		}
+		if opt.LossEvery > 0 && round >= lossyUntil && round%opt.LossEvery == opt.LossEvery-1 &&
+			round+opt.LossFor <= cfg.Rounds-2 {
+			lossyUntil = round + opt.LossFor
+			s.Events = append(s.Events,
+				Event{Round: round, Op: OpLossBurst, Rate: opt.LossRate},
+				Event{Round: lossyUntil, Op: OpLossEnd})
+		}
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].Round < s.Events[j].Round })
+	return s
+}
+
 // String renders the schedule as a replayable event list — what a
 // failing conformance run prints so the interleaving can be re-run.
 func (s *Schedule) String() string {
@@ -321,6 +416,35 @@ func (c Config) validate() error {
 	return nil
 }
 
+// RoundStats is the per-round reading RunObserved hands its Observer
+// after the round's events, workload, and maintenance tick: cumulative
+// workload and network accounting plus a live recall probe.
+type RoundStats struct {
+	// Round is 0-based; quiescence convergence rounds continue the
+	// numbering past Cfg.Rounds.
+	Round int
+	// Offered / Acked are cumulative workload counts so far.
+	Offered, Acked int
+	// Live is how many sites are currently up (netsim.UpCount).
+	Live int
+	// Bytes / Msgs are the network's cumulative accounting totals.
+	Bytes, Msgs int64
+	// Recall is a live probe: the mean fraction of acknowledged
+	// publishes resolvable right now from two live member queriers.
+	// Probe lookups travel the simulated network, so observed runs
+	// charge slightly more bytes than unobserved ones — deterministically.
+	Recall float64
+}
+
+// Observer receives the runner's per-round telemetry. OnEvent fires for
+// every schedule event as it is applied; OnRound fires at the end of each
+// round (and each quiescence convergence round). Implementations must not
+// mutate the network or the model.
+type Observer interface {
+	OnEvent(round int, e Event)
+	OnRound(st RoundStats)
+}
+
 // maxConvRounds bounds the quiescence convergence loop.
 const maxConvRounds = 12
 
@@ -337,6 +461,19 @@ const (
 // by the arch.Model fault contract anything that is not an injected
 // unavailability is a model bug.
 func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arch.Model) (Outcome, error) {
+	return RunObserved(s, build, nil)
+}
+
+// RunObserved is Run with a live telemetry tap: obs (may be nil) receives
+// every applied event and an end-of-round RoundStats including a recall
+// probe. A nil obs replays exactly like Run; a non-nil obs adds
+// deterministic probe lookups (charged to the network like any traffic),
+// so observed and unobserved replays of the same schedule agree on every
+// Outcome field except byte/message accounting. Two observed replays of
+// the same (schedule, build) are byte-identical to each other — the
+// determinism oracle the soak law applies per round rather than at the
+// endpoint.
+func RunObserved(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arch.Model, obs Observer) (Outcome, error) {
 	cfg := s.Cfg
 	var out Outcome
 	if err := cfg.validate(); err != nil {
@@ -507,6 +644,9 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 					pendingLeaves = append(pendingLeaves, e.Site)
 				}
 			}
+			if obs != nil {
+				obs.OnEvent(round, e)
+			}
 		}
 
 		// The round's workload: live, still-member sites publish.
@@ -540,6 +680,9 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 		}
 		if err := m.Tick(); err != nil {
 			return out, fmt.Errorf("%s tick (round %d): %w", m.Name(), round, err)
+		}
+		if obs != nil {
+			obs.OnRound(roundStats(round, net, members, leftIdx, &out, acked, m))
 		}
 	}
 
@@ -575,7 +718,15 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 		if err := m.Tick(); err != nil {
 			return out, fmt.Errorf("%s tick (quiescence): %w", m.Name(), err)
 		}
-		if out.Recall = recall(m, queriers, acked); out.Recall == 1 {
+		out.Recall = recall(m, queriers, acked)
+		if obs != nil {
+			st := net.Stats()
+			obs.OnRound(RoundStats{
+				Round: cfg.Rounds + out.ConvRounds, Offered: out.Offered, Acked: len(acked),
+				Live: net.UpCount(), Bytes: st.Bytes, Msgs: st.Messages, Recall: out.Recall,
+			})
+		}
+		if out.Recall == 1 {
 			out.ConvRounds++
 			break
 		}
@@ -586,6 +737,29 @@ func Run(s *Schedule, build func(net *netsim.Network, sites []netsim.SiteID) arc
 	}
 	out.Stats = net.Stats()
 	return out, nil
+}
+
+// roundStats probes the live state for an Observer: network totals, up
+// count, and a two-querier recall probe over everything acknowledged so
+// far. Queriers are the first two live, non-departed members (anchors in
+// practice — the generator never crashes them).
+func roundStats(round int, net *netsim.Network, members []netsim.SiteID, leftIdx map[int]bool, out *Outcome, acked map[provenance.ID]bool, m arch.Model) RoundStats {
+	queriers := make([]netsim.SiteID, 0, 2)
+	for i := 0; i < len(members) && len(queriers) < 2; i++ {
+		if !net.IsDown(members[i]) && !leftIdx[i] {
+			queriers = append(queriers, members[i])
+		}
+	}
+	st := net.Stats()
+	rs := RoundStats{
+		Round: round, Offered: out.Offered, Acked: len(acked),
+		Live: net.UpCount(), Bytes: st.Bytes, Msgs: st.Messages,
+		Recall: 1,
+	}
+	if len(queriers) > 0 {
+		rs.Recall = recall(m, queriers, acked)
+	}
+	return rs
 }
 
 // pubN builds the deterministic n-th workload record at origin, tagged
@@ -613,20 +787,29 @@ func pubN(net *netsim.Network, origin netsim.SiteID, n int) (arch.Pub, error) {
 
 // recall is the mean fraction of acknowledged publishes each querier can
 // resolve by Lookup — the probe that touches every record's home, which
-// is where membership change tears holes.
+// is where membership change tears holes. Probes run in sorted ID order:
+// under an active loss burst the network's drop draws are consumed per
+// send, so map-order iteration would make the byte accounting (and
+// marginally the recall itself) depend on Go's map seed instead of the
+// schedule seed.
 func recall(m arch.Model, queriers []netsim.SiteID, acked map[provenance.ID]bool) float64 {
 	if len(acked) == 0 {
 		return 1
 	}
+	ids := make([]provenance.ID, 0, len(acked))
+	for id := range acked {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return bytes.Compare(ids[i][:], ids[j][:]) < 0 })
 	total := 0.0
 	for _, q := range queriers {
 		hit := 0
-		for id := range acked {
+		for _, id := range ids {
 			if _, _, err := m.Lookup(q, id); err == nil {
 				hit++
 			}
 		}
-		total += float64(hit) / float64(len(acked))
+		total += float64(hit) / float64(len(ids))
 	}
 	return total / float64(len(queriers))
 }

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Instrument runs fn and reports its wall-clock milliseconds together
+// with the peak goroutine count observed while it ran. The peak is
+// sampled (runtime.NumGoroutine every millisecond, plus one sample
+// before and one after fn), so a very short-lived spike can slip
+// between samples — it is an ops-surface observation for passbench
+// -json, not an exact accounting. The sampler's own goroutine is
+// excluded from the reported peak.
+func Instrument(fn func() error) (wallMs int64, peakGoroutines int, err error) {
+	var peak atomic.Int64
+	maxPeak := func(n int64) {
+		for {
+			cur := peak.Load()
+			if n <= cur || peak.CompareAndSwap(cur, n) {
+				return
+			}
+		}
+	}
+	maxPeak(int64(runtime.NumGoroutine()))
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				// -1: don't count the sampler itself.
+				maxPeak(int64(runtime.NumGoroutine() - 1))
+			}
+		}
+	}()
+
+	start := time.Now()
+	err = fn()
+	wallMs = time.Since(start).Milliseconds()
+
+	maxPeak(int64(runtime.NumGoroutine() - 1))
+	close(done)
+	wg.Wait()
+	return wallMs, int(peak.Load()), err
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestInstrument pins the contract passbench -json relies on: wall-clock
+// covers the whole call, the sampled peak sees goroutines fn spawns, and
+// fn's error passes through.
+func TestInstrument(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const spawned = 8
+
+	wallMs, peak, err := Instrument(func() error {
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for i := 0; i < spawned; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-stop
+			}()
+		}
+		// Hold the spike across several sampler ticks so it cannot slip
+		// between samples.
+		time.Sleep(20 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wallMs < 20 {
+		t.Errorf("wallMs = %d, want >= 20 (fn slept 20ms)", wallMs)
+	}
+	if peak < baseline+spawned-1 {
+		t.Errorf("peak = %d, want >= baseline %d + %d spawned", peak, baseline, spawned)
+	}
+
+	sentinel := errors.New("boom")
+	if _, _, err := Instrument(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("error not passed through: %v", err)
+	}
+}

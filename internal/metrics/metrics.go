@@ -38,6 +38,11 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// Set forces the counter to v. Monotonic sources should use Add/Inc; Set
+// exists for samplers that mirror an upstream cumulative total (netsim
+// shard stats, gossip meters) into the registry once per round.
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
 // Gauge is a settable instantaneous value.
 type Gauge struct {
 	v atomic.Int64
@@ -51,6 +56,18 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value returns the current gauge value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FGauge is a settable instantaneous float64 value — recall probes,
+// rates, fractions. The zero value is usable and reads 0.
+type FGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *FGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram records observations and reports count, mean, min, max, and
 // percentiles. Observations are kept exactly (sorted lazily) up to maxKeep
@@ -189,6 +206,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Snapshot is a point-in-time summary of a histogram.
 type Snapshot struct {
 	Count          int64
+	Sum            float64
 	Mean, Min, Max float64
 	P50, P90, P99  float64
 }
@@ -197,6 +215,7 @@ type Snapshot struct {
 func (h *Histogram) Snapshot() Snapshot {
 	return Snapshot{
 		Count: h.Count(),
+		Sum:   h.Sum(),
 		Mean:  h.Mean(),
 		Min:   h.Min(),
 		Max:   h.Max(),
@@ -218,67 +237,200 @@ func (h *Histogram) Reset() {
 	h.sorted = false
 }
 
-// Registry is a named collection of counters, gauges, and histograms. The
-// zero value is not usable; use NewRegistry.
+// Merge folds o's observations into h: exact count/sum/min/max combine,
+// and o's retained samples join h's sample pool (downsampled uniformly if
+// the union exceeds h's retention cap). o is read under its own lock and
+// released before h locks, so concurrent a.Merge(b) / b.Merge(a) cannot
+// deadlock. Merging a histogram into itself, or a nil/empty o, is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	o.mu.Lock()
+	count, sum, min, max := o.count, o.sum, o.min, o.max
+	samples := append([]float64(nil), o.samples...)
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count += count
+	h.sum += sum
+	if min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.sorted = false
+	h.samples = append(h.samples, samples...)
+	// Keep percentile estimation bounded: shuffle-truncate to a uniform
+	// subset when the merged pool overflows the retention cap.
+	if len(h.samples) > h.maxKeep {
+		for i := len(h.samples) - 1; i > 0; i-- {
+			h.rngState ^= h.rngState << 13
+			h.rngState ^= h.rngState >> 7
+			h.rngState ^= h.rngState << 17
+			j := int(h.rngState % uint64(i+1))
+			h.samples[i], h.samples[j] = h.samples[j], h.samples[i]
+		}
+		h.samples = h.samples[:h.maxKeep]
+	}
+}
+
+// Label is one dimension of a labeled metric, e.g. {model=passnet-eff} or
+// {site=3}. A metric's identity in a Registry is its name plus the set of
+// its labels; label order does not matter (the registry canonicalizes by
+// sorting on key).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// canonLabels returns a sorted copy of labels (stable across call sites).
+func canonLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := append([]Label(nil), labels...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// seriesKey renders name+labels canonically for map identity. The
+// separators are control bytes no sane metric name or label contains.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0x00)
+		b.WriteString(l.Key)
+		b.WriteByte(0x01)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+type counterEntry struct {
+	name   string
+	labels []Label
+	c      *Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels []Label
+	g      *Gauge
+}
+
+type fgaugeEntry struct {
+	name   string
+	labels []Label
+	g      *FGauge
+}
+
+type histEntry struct {
+	name   string
+	labels []Label
+	h      *Histogram
+}
+
+// Registry is a named collection of counters, gauges, and histograms,
+// optionally labeled (e.g. {model, site}). Metrics with the same name and
+// the same canonical label set share one underlying instance. The zero
+// value is not usable; use NewRegistry.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*counterEntry
+	gauges     map[string]*gaugeEntry
+	fgauges    map[string]*fgaugeEntry
+	histograms map[string]*histEntry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:   make(map[string]*counterEntry),
+		gauges:     make(map[string]*gaugeEntry),
+		fgauges:    make(map[string]*fgaugeEntry),
+		histograms: make(map[string]*histEntry),
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	ls := canonLabels(labels)
+	key := seriesKey(name, ls)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	e, ok := r.counters[key]
 	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+		e = &counterEntry{name: name, labels: ls, c: &Counter{}}
+		r.counters[key] = e
 	}
-	return c
+	return e.c
 }
 
-// Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	ls := canonLabels(labels)
+	key := seriesKey(name, ls)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	e, ok := r.gauges[key]
 	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+		e = &gaugeEntry{name: name, labels: ls, g: &Gauge{}}
+		r.gauges[key] = e
 	}
-	return g
+	return e.g
 }
 
-// Histogram returns the named histogram, creating it on first use.
-func (r *Registry) Histogram(name string) *Histogram {
+// FGauge returns the float gauge for name+labels, creating it on first use.
+func (r *Registry) FGauge(name string, labels ...Label) *FGauge {
+	ls := canonLabels(labels)
+	key := seriesKey(name, ls)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
+	e, ok := r.fgauges[key]
 	if !ok {
-		h = NewHistogram(0)
-		r.histograms[name] = h
+		e = &fgaugeEntry{name: name, labels: ls, g: &FGauge{}}
+		r.fgauges[key] = e
 	}
-	return h
+	return e.g
 }
 
-// CounterNames returns the sorted names of all registered counters.
+// Histogram returns the histogram for name+labels, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	ls := canonLabels(labels)
+	key := seriesKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.histograms[key]
+	if !ok {
+		e = &histEntry{name: name, labels: ls, h: NewHistogram(0)}
+		r.histograms[key] = e
+	}
+	return e.h
+}
+
+// CounterNames returns the sorted distinct names of all registered
+// counters (label sets of the same name collapse to one entry).
 func (r *Registry) CounterNames() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(r.counters))
 	names := make([]string, 0, len(r.counters))
-	for n := range r.counters {
-		names = append(names, n)
+	for _, e := range r.counters {
+		if !seen[e.name] {
+			seen[e.name] = true
+			names = append(names, e.name)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -288,14 +440,17 @@ func (r *Registry) CounterNames() []string {
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, c := range r.counters {
-		c.Reset()
+	for _, e := range r.counters {
+		e.c.Reset()
 	}
-	for _, g := range r.gauges {
-		g.Set(0)
+	for _, e := range r.gauges {
+		e.g.Set(0)
 	}
-	for _, h := range r.histograms {
-		h.Reset()
+	for _, e := range r.fgauges {
+		e.g.Set(0)
+	}
+	for _, e := range r.histograms {
+		e.h.Reset()
 	}
 }
 

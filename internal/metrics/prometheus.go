@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the metric families a Registry snapshot can carry.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindFGauge
+	KindHistogram
+)
+
+// String names the kind as it appears in Prometheus TYPE lines.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge, KindFGauge:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	default:
+		return "untyped"
+	}
+}
+
+// Sample is one series in a Registry snapshot: a metric name, its
+// canonical (key-sorted) label set, and the value read at snapshot time.
+// Histograms carry their full Snapshot instead of a scalar.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	Value  float64  // counters, gauges, fgauges
+	Hist   Snapshot // histograms only
+}
+
+// Samples returns a deterministic point-in-time snapshot of every series
+// in the registry, sorted by (name, label set, kind). Each call reads the
+// live metrics; two calls with no writes in between return equal slices.
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	type src struct {
+		name   string
+		labels []Label
+		kind   Kind
+		c      *Counter
+		g      *Gauge
+		f      *FGauge
+		h      *Histogram
+	}
+	srcs := make([]src, 0, len(r.counters)+len(r.gauges)+len(r.fgauges)+len(r.histograms))
+	for _, e := range r.counters {
+		srcs = append(srcs, src{name: e.name, labels: e.labels, kind: KindCounter, c: e.c})
+	}
+	for _, e := range r.gauges {
+		srcs = append(srcs, src{name: e.name, labels: e.labels, kind: KindGauge, g: e.g})
+	}
+	for _, e := range r.fgauges {
+		srcs = append(srcs, src{name: e.name, labels: e.labels, kind: KindFGauge, f: e.g})
+	}
+	for _, e := range r.histograms {
+		srcs = append(srcs, src{name: e.name, labels: e.labels, kind: KindHistogram, h: e.h})
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(srcs))
+	for _, s := range srcs {
+		sm := Sample{Name: s.name, Labels: s.labels, Kind: s.kind}
+		switch s.kind {
+		case KindCounter:
+			sm.Value = float64(s.c.Value())
+		case KindGauge:
+			sm.Value = float64(s.g.Value())
+		case KindFGauge:
+			sm.Value = s.f.Value()
+		case KindHistogram:
+			sm.Hist = s.h.Snapshot()
+		}
+		out = append(out, sm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		li, lj := labelString(out[i].Labels), labelString(out[j].Labels)
+		if li != lj {
+			return li < lj
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// labelString renders a canonical label set as {k="v",...} with Prometheus
+// escaping, or "" when unlabeled.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote, and newline become \\, \",
+// and \n respectively.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// withQuantile appends a quantile label to a rendered label set.
+func withQuantile(labels []Label, q string) string {
+	base := labelString(labels)
+	if base == "" {
+		return `{quantile="` + q + `"}`
+	}
+	return base[:len(base)-1] + `,quantile="` + q + `"}`
+}
+
+// fmtValue renders a sample value the way Prometheus expects: integral
+// values without an exponent, everything else in shortest-round-trip form.
+func fmtValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes every series in the registry in the Prometheus
+// text exposition format (version 0.0.4). Counters and gauges emit one
+// line per label set under a shared TYPE header; histograms are exposed as
+// summaries (quantile series plus _sum and _count). Output is
+// deterministic: families sort by name, series by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Samples()
+	// Group into families: consecutive runs of the same (name, kind).
+	lastFamily := ""
+	for _, s := range samples {
+		family := s.Name + "\x00" + s.Kind.String()
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge, KindFGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelString(s.Labels), fmtValue(s.Value)); err != nil {
+				return err
+			}
+		case KindHistogram:
+			for _, q := range [...]struct {
+				label string
+				v     float64
+			}{{"0.5", s.Hist.P50}, {"0.9", s.Hist.P90}, {"0.99", s.Hist.P99}} {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, withQuantile(s.Labels, q.label), fmtValue(q.v)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelString(s.Labels), fmtValue(s.Hist.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

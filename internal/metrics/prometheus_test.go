@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", L("model", "dht"), L("site", "3"))
+	// Same name + same label set in a different order must be the same series.
+	b := r.Counter("hits", L("site", "3"), L("model", "dht"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	// Different label value is a different series; unlabeled is different again.
+	if r.Counter("hits", L("model", "dht"), L("site", "4")) == a {
+		t.Fatal("distinct label value collided")
+	}
+	if r.Counter("hits") == a {
+		t.Fatal("unlabeled series collided with labeled")
+	}
+	a.Add(5)
+	if got := b.Value(); got != 5 {
+		t.Fatalf("shared series value = %d, want 5", got)
+	}
+	// CounterNames collapses label sets of the same name.
+	names := r.CounterNames()
+	if len(names) != 1 || names[0] != "hits" {
+		t.Fatalf("CounterNames = %v, want [hits]", names)
+	}
+}
+
+func TestSamplesDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("model", "b")).Add(2)
+	r.Counter("c", L("model", "a")).Add(1)
+	r.Gauge("g").Set(7)
+	r.FGauge("f", L("model", "a")).Set(0.25)
+	r.Histogram("h", L("model", "a")).Observe(3)
+
+	s1 := r.Samples()
+	s2 := r.Samples()
+	if len(s1) != 5 {
+		t.Fatalf("got %d samples, want 5", len(s1))
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name || labelString(s1[i].Labels) != labelString(s2[i].Labels) ||
+			s1[i].Value != s2[i].Value || s1[i].Kind != s2[i].Kind {
+			t.Fatalf("snapshot not deterministic at %d: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+	// Sorted by name, then label set: c{model=a}, c{model=b}, f, g, h.
+	if s1[0].Value != 1 || s1[1].Value != 2 {
+		t.Fatalf("label-set ordering wrong: %+v", s1[:2])
+	}
+	if s1[2].Value != 0.25 || s1[3].Value != 7 {
+		t.Fatalf("name ordering wrong: %+v", s1)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"all\\three\"\n", `all\\three\"\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pass_net_bytes_total", L("model", `we"ird\name`)).Add(42)
+	r.Gauge("pass_sites_up", L("model", "dht")).Set(16)
+	r.FGauge("pass_recall", L("model", "dht")).Set(0.9375)
+	h := r.Histogram("pass_round_ms", L("model", "dht"))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pass_net_bytes_total counter\n",
+		`pass_net_bytes_total{model="we\"ird\\name"} 42` + "\n",
+		"# TYPE pass_sites_up gauge\n",
+		`pass_sites_up{model="dht"} 16` + "\n",
+		`pass_recall{model="dht"} 0.9375` + "\n",
+		"# TYPE pass_round_ms summary\n",
+		`pass_round_ms{model="dht",quantile="0.5"} `,
+		`pass_round_ms_sum{model="dht"} 5050` + "\n",
+		`pass_round_ms_count{model="dht"} 100` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name{labels} value" with no raw
+	// newline inside a label value (the escaping contract).
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") != 1 {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0)
+	b := NewHistogram(0)
+	for i := 1; i <= 50; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 100 {
+		t.Fatalf("merged min/max = %v/%v, want 1/100", a.Min(), a.Max())
+	}
+	if got := a.Sum(); got != 5050 {
+		t.Fatalf("merged sum = %v, want 5050", got)
+	}
+	if p50 := a.Quantile(0.5); math.Abs(p50-50.5) > 1 {
+		t.Fatalf("merged p50 = %v, want ~50.5", p50)
+	}
+	// Self-merge and empty-merge are no-ops.
+	a.Merge(a)
+	a.Merge(NewHistogram(0))
+	a.Merge(nil)
+	if a.Count() != 100 {
+		t.Fatalf("self/empty merge changed count: %d", a.Count())
+	}
+}
+
+func TestHistogramMergeBounded(t *testing.T) {
+	a := NewHistogram(64)
+	b := NewHistogram(64)
+	for i := 0; i < 1000; i++ {
+		a.Observe(float64(i))
+		b.Observe(float64(i + 1000))
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("count = %d, want 2000", a.Count())
+	}
+	a.mu.Lock()
+	kept := len(a.samples)
+	a.mu.Unlock()
+	if kept > 64 {
+		t.Fatalf("retained %d samples, cap is 64", kept)
+	}
+	// Percentiles should still span both halves roughly uniformly.
+	if p50 := a.Quantile(0.5); p50 < 500 || p50 > 1500 {
+		t.Fatalf("p50 = %v after downsample, want within [500,1500]", p50)
+	}
+}
+
+// TestHistogramConcurrentMerge exercises merge + percentile estimation
+// under concurrent writers; run under -race this pins the snapshot-copy
+// locking discipline (no nested locks, no deadlock on cross-merges).
+func TestHistogramConcurrentMerge(t *testing.T) {
+	a := NewHistogram(256)
+	b := NewHistogram(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a.Observe(float64(w*500 + i))
+				b.Observe(float64(w*500 + i))
+				if i%100 == 0 {
+					a.Merge(b)
+					b.Merge(a)
+				}
+				_ = a.Quantile(0.99)
+				_ = b.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.Count() == 0 || b.Count() == 0 {
+		t.Fatal("lost all observations")
+	}
+	if q := a.Quantile(0.5); q < 0 || q > 2000 {
+		t.Fatalf("p50 = %v out of plausible range", q)
+	}
+}
+
+func TestCounterSetAndFGauge(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Set(3)
+	if c.Value() != 3 {
+		t.Fatalf("Set: got %d, want 3", c.Value())
+	}
+	var g FGauge
+	if g.Value() != 0 {
+		t.Fatalf("zero FGauge reads %v", g.Value())
+	}
+	g.Set(0.95)
+	if g.Value() != 0.95 {
+		t.Fatalf("FGauge = %v, want 0.95", g.Value())
+	}
+}

@@ -442,6 +442,20 @@ func (n *Network) IsDown(id SiteID) bool {
 	return int(id) >= 0 && int(id) < len(t.down) && t.down[id]
 }
 
+// UpCount reports how many registered sites are currently up — the
+// "sites up" gauge of the ops surface. One O(sites) scan over the
+// immutable snapshot, called once per sampling round, never per send.
+func (n *Network) UpCount() int {
+	t := n.topo.Load()
+	up := 0
+	for _, d := range t.down {
+		if !d {
+			up++
+		}
+	}
+	return up
+}
+
 // SetLossRate changes the global inter-site packet-loss probability.
 func (n *Network) SetLossRate(rate float64) {
 	n.mutate(func(t *topo) { t.lossRate = rate })

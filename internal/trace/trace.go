@@ -1,0 +1,150 @@
+// Package trace is the round-trace event log of the ops surface: a
+// bounded, concurrency-safe ring of structured JSONL events (fault
+// injections, per-round stats, recall probes) emitted by the schedule
+// runner's observer hooks. When a conformance law or soak gate fails, the
+// buffered tail is dumped so the failure can be replayed AND read; the
+// passd daemon additionally streams every line through a write-through
+// sink file.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Event is one trace line. Kind discriminates the payload:
+//
+//	"fault" — a schedule event was applied (Op, Site carry the verb);
+//	"round" — end-of-round stats (Offered/Acked/Bytes/Live/Recall);
+//	"probe" — a recall probe reading outside the normal round cadence;
+//	"soak"  — soak-engine lifecycle (iteration start/end, gate verdicts).
+//
+// Recall is only meaningful on "round"/"probe" lines; Bytes/Msgs are
+// cumulative network totals at the time of the line.
+type Event struct {
+	Round   int     `json:"round"`
+	Kind    string  `json:"kind"`
+	Model   string  `json:"model,omitempty"`
+	Op      string  `json:"op,omitempty"`
+	Site    int     `json:"site,omitempty"`
+	Iter    int     `json:"iter,omitempty"`
+	Offered int     `json:"offered,omitempty"`
+	Acked   int     `json:"acked,omitempty"`
+	Live    int     `json:"live,omitempty"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	Msgs    int64   `json:"msgs,omitempty"`
+	Recall  float64 `json:"recall"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// Log is a bounded ring buffer of encoded JSONL lines. Appends past the
+// capacity drop the oldest line and count the drop; the log never blocks
+// and never grows without bound. The zero value is not usable; use New.
+type Log struct {
+	mu      sync.Mutex
+	cap     int
+	lines   []string
+	start   int
+	n       int
+	dropped int64
+	sink    io.Writer
+	sinkErr error
+}
+
+// DefaultCap is the line capacity used when New is given cap <= 0 —
+// enough for several soak iterations of per-round lines.
+const DefaultCap = 4096
+
+// New returns a log retaining at most capacity lines (DefaultCap if <= 0).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Log{cap: capacity, lines: make([]string, capacity)}
+}
+
+// SetSink installs a write-through sink: every subsequent Append also
+// writes the encoded line to w. Sink errors are sticky and retrievable
+// via SinkErr; they never fail the Append.
+func (l *Log) SetSink(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = w
+}
+
+// SinkErr returns the first write-through error, if any.
+func (l *Log) SinkErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinkErr
+}
+
+// Append encodes e as one JSON line and appends it, dropping the oldest
+// buffered line if the ring is full.
+func (l *Log) Append(e Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Event is a flat struct of encodable fields; Marshal cannot fail.
+		// Keep the trace honest anyway.
+		b = []byte(fmt.Sprintf(`{"kind":"encode-error","note":%q}`, err.Error()))
+	}
+	line := string(b)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == l.cap {
+		l.start = (l.start + 1) % l.cap
+		l.n--
+		l.dropped++
+	}
+	l.lines[(l.start+l.n)%l.cap] = line
+	l.n++
+	if l.sink != nil && l.sinkErr == nil {
+		if _, err := io.WriteString(l.sink, line+"\n"); err != nil {
+			l.sinkErr = err
+		}
+	}
+}
+
+// Len returns the number of buffered lines.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Dropped returns how many lines have been evicted by the ring bound.
+func (l *Log) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// WriteTo writes the buffered lines, oldest first, one JSON object per
+// line, and reports the bytes written.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	l.mu.Lock()
+	lines := make([]string, l.n)
+	for i := 0; i < l.n; i++ {
+		lines[i] = l.lines[(l.start+i)%l.cap]
+	}
+	l.mu.Unlock()
+	var total int64
+	for _, line := range lines {
+		n, err := io.WriteString(w, line+"\n")
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the buffered tail as JSONL, for failure dumps.
+func (l *Log) String() string {
+	var b strings.Builder
+	_, _ = l.WriteTo(&b)
+	return b.String()
+}

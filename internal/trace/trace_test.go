@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAppendAndWriteTo(t *testing.T) {
+	l := New(8)
+	l.Append(Event{Round: 1, Kind: "fault", Op: "crash", Site: 3, Model: "dht"})
+	l.Append(Event{Round: 1, Kind: "round", Recall: 0.9375, Live: 15, Acked: 12})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	out := l.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if e.Op != "crash" || e.Site != 3 || e.Model != "dht" {
+		t.Fatalf("round-tripped event = %+v", e)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Recall != 0.9375 {
+		t.Fatalf("recall did not survive encoding: %+v", e)
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Round: i, Kind: "round"})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", l.Dropped())
+	}
+	// Oldest-first order, holding the most recent 4 rounds.
+	lines := strings.Split(strings.TrimRight(l.String(), "\n"), "\n")
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Round != 6+i {
+			t.Fatalf("line %d has round %d, want %d", i, e.Round, 6+i)
+		}
+	}
+}
+
+func TestSinkWriteThrough(t *testing.T) {
+	l := New(2)
+	var sink strings.Builder
+	l.SetSink(&sink)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{Round: i, Kind: "round"})
+	}
+	// The sink sees every line even though the ring only holds 2.
+	if got := strings.Count(sink.String(), "\n"); got != 5 {
+		t.Fatalf("sink got %d lines, want 5", got)
+	}
+	if l.SinkErr() != nil {
+		t.Fatal(l.SinkErr())
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(Event{Round: i, Kind: "round", Site: w})
+				_ = l.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 64 {
+		t.Fatalf("Len = %d, want full ring 64", l.Len())
+	}
+	if l.Dropped() != 8*100-64 {
+		t.Fatalf("Dropped = %d, want %d", l.Dropped(), 8*100-64)
+	}
+	for _, line := range strings.Split(strings.TrimRight(l.String(), "\n"), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("corrupt line %q: %v", line, err)
+		}
+	}
+}
