@@ -60,10 +60,17 @@ vet:
 # surface is concurrent by design — the metrics registry and trace ring
 # are scraped while soaks write to them — so metrics, trace, and obs run
 # under -race too (obs at -short: its soaks replay full fault schedules).
+# The real-socket layer joins the net: wire endpoints multiplex inflight
+# requests across goroutines and node handlers run concurrently, so wire
+# and node race in full; the multi-process cluster harness races at
+# -short (clean cross-check only — the lossy and churn schedules run in
+# the CI integration job and the plain test target).
 race:
 	$(GO) test -race -count=1 ./internal/core ./internal/kvstore ./internal/netsim ./internal/metrics ./internal/trace
 	$(GO) test -race -short -count=1 ./internal/arch/... ./internal/harness ./internal/obs
 	$(GO) test -race -count=1 -run 'TestSerialParallelEquivalence|TestRunCells' ./internal/harness
+	$(GO) test -race -count=1 ./internal/wire ./internal/node
+	$(GO) test -race -short -count=1 ./internal/harness/cluster
 
 check: vet test race bench-quick bench-check docs-check
 

@@ -1,14 +1,24 @@
-// Command passd is the PASS ops daemon: it drives architecture models
-// through seeded chaos-soak fault streams (package obs over package
-// schedule) while serving the live metrics surface over HTTP — Prometheus
-// text-format exposition on /metrics and a JSON soak/gate summary on
-// /healthz — and optionally streaming the JSONL round trace to a file.
+// Command passd is the PASS daemon, in two modes.
+//
+// `passd daemon` drives architecture models through seeded chaos-soak
+// fault streams (package obs over package schedule) while serving the
+// live metrics surface over HTTP — Prometheus text-format exposition on
+// /metrics and a JSON soak/gate summary on /healthz — and optionally
+// streaming the JSONL round trace to a file.
+//
+// `passd node` runs one REAL node (package node): a UDP wire endpoint
+// serving put/get/query verbs plus the control plane the multi-process
+// cluster harness drives (peer roster, ticks, drop rules, stats), with
+// the same /metrics and /healthz HTTP surface. The node prints its
+// bound addresses on stdout ("passd: node N listening on ADDR http
+// ADDR") so a parent process can collect ephemeral ports.
 //
 // Usage:
 //
 //	passd daemon [flags]
+//	passd node [flags]
 //
-// Flags:
+// Daemon flags:
 //
 //	-addr       listen address (default 127.0.0.1:9464; port 0 picks one)
 //	-models     comma-separated roster models to soak concurrently
@@ -23,10 +33,21 @@
 //	-window     max consecutive below-threshold rounds (default downtime+3)
 //	-trace      JSONL trace sink file ("" = in-memory ring only)
 //
-// The process exits 0 when every model's windowed soak gate held
-// ("recall never below the threshold for more than K consecutive
-// rounds") and 1 on a breach or model error — so a CI smoke job can
-// assert the gate by exit code while scraping /metrics live.
+// Node flags:
+//
+//	-id      node ID (dense from 0; doubles as wire From and ring seat)
+//	-mode    "passnet" or "dht" (default passnet)
+//	-listen  UDP listen address (default 127.0.0.1:0)
+//	-http    HTTP listen address for /metrics + /healthz ("" disables)
+//	-seed    seed for seeded node behaviours
+//
+// Both modes shut down gracefully on SIGTERM/SIGINT: the daemon drains
+// its soaks and flushes the -trace sink before exiting; the node closes
+// its sockets. The daemon exits 0 when every model's windowed soak gate
+// held ("recall never below the threshold for more than K consecutive
+// rounds") and 1 on a breach, model error, or trace-sink failure — so a
+// CI smoke job can assert the gate by exit code while scraping /metrics
+// live.
 package main
 
 import (
@@ -45,6 +66,7 @@ import (
 	"time"
 
 	"pass/internal/metrics"
+	"pass/internal/node"
 	"pass/internal/obs"
 	"pass/internal/trace"
 )
@@ -54,13 +76,25 @@ func main() {
 }
 
 // run is the testable entry point: ready (may be nil) receives the bound
-// listen address once the HTTP surface is up. Returns the process exit
-// code.
+// HTTP listen address once the serving surface is up. Returns the
+// process exit code.
 func run(args []string, stdout io.Writer, ready func(addr string)) int {
-	if len(args) == 0 || args[0] != "daemon" {
-		fmt.Fprintln(stdout, "usage: passd daemon [flags]   (see -h for flags)")
+	if len(args) == 0 {
+		fmt.Fprintln(stdout, "usage: passd daemon|node [flags]   (see -h for flags)")
 		return 2
 	}
+	switch args[0] {
+	case "daemon":
+		return runDaemon(args[1:], stdout, ready)
+	case "node":
+		return runNode(args[1:], stdout, ready)
+	default:
+		fmt.Fprintln(stdout, "usage: passd daemon|node [flags]   (see -h for flags)")
+		return 2
+	}
+}
+
+func runDaemon(args []string, stdout io.Writer, ready func(addr string)) int {
 	fs := flag.NewFlagSet("passd daemon", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:9464", "HTTP listen address for /metrics and /healthz")
 	models := fs.String("models", "passnet-eff", "comma-separated roster models to soak")
@@ -74,12 +108,13 @@ func run(args []string, stdout io.Writer, ready func(addr string)) int {
 	window := fs.Int("window", 0, "max consecutive below-threshold rounds (0 = downtime+3)")
 	tracePath := fs.String("trace", "", "JSONL round-trace sink file")
 	traceCap := fs.Int("trace-cap", trace.DefaultCap, "in-memory trace ring capacity (lines)")
-	if err := fs.Parse(args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	reg := metrics.NewRegistry()
 	tr := trace.New(*traceCap)
+	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -87,6 +122,7 @@ func run(args []string, stdout io.Writer, ready func(addr string)) int {
 			return 1
 		}
 		defer f.Close()
+		traceFile = f
 		tr.SetSink(f)
 	}
 
@@ -165,6 +201,18 @@ func run(args []string, stdout io.Writer, ready func(addr string)) int {
 	}
 	wg.Wait()
 
+	// Graceful shutdown: soaks have drained (a SIGTERM/SIGINT cancels
+	// ctx and each Run returns at its next round boundary, never
+	// mid-write); now flush the trace sink to disk before the summary,
+	// so a signalled daemon leaves a complete JSONL file behind.
+	if traceFile != nil {
+		if err := traceFile.Sync(); err != nil {
+			fmt.Fprintln(stdout, "passd: trace sync:", err)
+		} else {
+			fmt.Fprintln(stdout, "passd: trace sink flushed")
+		}
+	}
+
 	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutCtx)
@@ -189,4 +237,71 @@ func run(args []string, stdout io.Writer, ready func(addr string)) int {
 		exit = 1
 	}
 	return exit
+}
+
+// runNode boots one real node and serves it until SIGTERM/SIGINT. The
+// stdout line carrying the bound UDP and HTTP addresses is the boot
+// protocol: the cluster harness scans for it to collect ephemeral ports
+// before distributing the peer roster via TPeers.
+func runNode(args []string, stdout io.Writer, ready func(addr string)) int {
+	fs := flag.NewFlagSet("passd node", flag.ContinueOnError)
+	id := fs.Int("id", 0, "node ID (dense from 0)")
+	mode := fs.String("mode", "passnet", `node mode: "passnet" or "dht"`)
+	listen := fs.String("listen", "127.0.0.1:0", "UDP listen address")
+	httpAddr := fs.String("http", "127.0.0.1:0", "HTTP listen address for /metrics and /healthz (\"\" disables)")
+	seed := fs.Uint64("seed", 1, "seed for seeded node behaviours")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	nd, err := node.New(node.Config{
+		ID: int32(*id), Mode: *mode, Listen: *listen, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stdout, "passd:", err)
+		return 1
+	}
+	defer nd.Close()
+
+	httpShown := "-"
+	var srv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(stdout, "passd:", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			nd.SyncMetrics()
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = nd.Registry().WritePrometheus(w)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"healthy": true, "id": *id, "mode": *mode,
+				"udp": nd.Addr().String(),
+			})
+		})
+		srv = &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		httpShown = ln.Addr().String()
+	}
+	fmt.Fprintf(stdout, "passd: node %d listening on %s http %s\n", *id, nd.Addr(), httpShown)
+	if ready != nil {
+		ready(nd.Addr().String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+
+	if srv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}
+	fmt.Fprintf(stdout, "passd: node %d shut down\n", *id)
+	return 0
 }

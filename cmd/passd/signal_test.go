@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"pass/internal/node"
+	"pass/internal/provenance"
+	"pass/internal/trace"
+)
+
+// syncBuf is a goroutine-safe strings.Builder: the daemon goroutine
+// writes while the test polls.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonGracefulSignalRoundTrip is the signal-and-scrape round
+// trip: boot the daemon on a soak long enough to outlive the test,
+// scrape /metrics while it runs, deliver a real SIGTERM, and require a
+// clean exit with the trace sink flushed to parseable JSONL — not a
+// death mid-write.
+func TestDaemonGracefulSignalRoundTrip(t *testing.T) {
+	tracePath := t.TempDir() + "/sigterm-trace.jsonl"
+	addrCh := make(chan string, 1)
+	exitCh := make(chan int, 1)
+	var out syncBuf
+
+	go func() {
+		exitCh <- run([]string{
+			"daemon",
+			"-addr", "127.0.0.1:0",
+			"-models", "passnet-eff",
+			"-sites", "16", "-rounds", "12", "-pubs", "3",
+			"-interval", "25ms",
+			"-duration", "2m", // would run forever; the signal ends it
+			"-trace", tracePath,
+		}, &out, func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never came up\n%s", out.String())
+	}
+
+	// Scrape while live, and give the soak time to write trace lines.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("metrics never showed live series")
+		}
+		if strings.Contains(httpGet(t, "http://"+addr+"/metrics"),
+			`pass_recall{model="passnet-eff"}`) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Real signal, own process: NotifyContext intercepts it.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("daemon exited %d after SIGTERM\n%s", code, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never shut down after SIGTERM\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "trace sink flushed") {
+		t.Fatalf("no flush confirmation in output:\n%s", out.String())
+	}
+
+	// The flushed file must be complete JSONL — every line parses; a
+	// mid-write kill would leave a torn final line.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("trace file empty after graceful shutdown")
+	}
+	for _, line := range lines {
+		var e trace.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("torn trace line %q: %v", line, err)
+		}
+	}
+}
+
+var nodeBootLine = regexp.MustCompile(`passd: node (\d+) listening on (\S+) http (\S+)`)
+
+func resolveUDP(t *testing.T, addr string) *net.UDPAddr {
+	t.Helper()
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestNodeModeServesVerbsAndShutsDownOnSignal boots `passd node`
+// in-process, drives a put/query through its UDP verbs, scrapes its
+// /metrics surface, then sends SIGTERM and requires a clean exit.
+func TestNodeModeServesVerbsAndShutsDownOnSignal(t *testing.T) {
+	exitCh := make(chan int, 1)
+	var out syncBuf
+	go func() {
+		exitCh <- run([]string{
+			"node", "-id", "7", "-mode", "passnet",
+			"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0",
+		}, &out, nil)
+	}()
+
+	var udpAddr, httpAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := nodeBootLine.FindStringSubmatch(out.String()); m != nil {
+			udpAddr, httpAddr = m[2], m[3]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never printed its boot line\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c, err := node.NewClient(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr := resolveUDP(t, udpAddr)
+	if err := c.SetPeers(addr, []node.Peer{{ID: 7, Addr: udpAddr}}); err != nil {
+		t.Fatalf("roster: %v", err)
+	}
+	rec, _, err := provenance.NewRaw([32]byte{1}, 64).
+		Attrs(provenance.Attr(provenance.KeyDomain, provenance.String("sig"))).
+		CreatedAt(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Put(addr, rec)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := c.QueryAttr(addr, provenance.KeyDomain, provenance.String("sig"))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("query returned %v, want [%x]", got, id[:4])
+	}
+
+	expo := httpGet(t, "http://"+httpAddr+"/metrics")
+	if !strings.Contains(expo, "pass_node_msgs_in") || !strings.Contains(expo, "pass_node_records 1") {
+		t.Fatalf("node metrics missing series:\n%s", expo)
+	}
+	health := httpGet(t, "http://"+httpAddr+"/healthz")
+	if !strings.Contains(health, `"healthy":true`) {
+		t.Fatalf("healthz: %s", health)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("node exited %d after SIGTERM\n%s", code, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("node never shut down\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "node 7 shut down") {
+		t.Fatalf("no shutdown confirmation:\n%s", out.String())
+	}
+}

@@ -35,6 +35,47 @@ type Pub struct {
 // WireSize returns the record's metadata size on the wire.
 func (p Pub) WireSize() int { return len(p.Rec.Encode()) }
 
+// Network is the send/deliver surface every architecture model runs
+// over: the subset of the simulator's API a model actually touches on
+// its message paths. Two backends implement it today —
+//
+//   - *netsim.Network, the deterministic in-process simulator every
+//     experiment and conformance law drives; and
+//   - wire.Transport, the real-socket backend, where Send marshals a
+//     versioned envelope onto a UDP socket and the returned latency is
+//     measured wall-clock rather than simulated.
+//
+// Model constructors take this interface, so the SAME build function
+// (e.g. func(net arch.Network, sites []netsim.SiteID) arch.Model) runs
+// unchanged against either backend; the wire package's conformance
+// bridge and the multi-process cluster harness rely on exactly that.
+//
+// Contract notes carried over from netsim: Send/Call return the
+// injected-fault sentinels netsim exports (ErrSiteDown, ErrMsgLost,
+// ErrPartitioned — IsUnavailable matches all three) so model retry
+// logic is backend-independent; Send returns the one-way delivery
+// latency (simulated or measured); Latency estimates without sending.
+type Network interface {
+	// Send delivers a one-way message of the given size and returns its
+	// delivery latency.
+	Send(from, to netsim.SiteID, bytes int) (time.Duration, error)
+	// Call performs a request/response exchange and returns the summed
+	// round-trip latency; on failure the duration preserves time already
+	// spent.
+	Call(from, to netsim.SiteID, reqBytes, respBytes int) (time.Duration, error)
+	// Latency estimates the one-way latency for a message of the given
+	// size without transmitting anything.
+	Latency(from, to netsim.SiteID, bytes int) (time.Duration, error)
+	// Site returns the site with the given ID.
+	Site(id netsim.SiteID) (netsim.Site, error)
+	// NumSites returns the number of registered sites.
+	NumSites() int
+	// IsDown reports whether the site is failed.
+	IsDown(id netsim.SiteID) bool
+	// Partitioned reports whether a partition separates a and b.
+	Partitioned(a, b netsim.SiteID) bool
+}
+
 // Model is the contract every Section IV architecture implements.
 //
 // Fault contract: every implementation must survive send errors from the

@@ -34,7 +34,7 @@ var ErrDanglingLink = errors.New("central: index entry dangles (loose coupling)"
 // Model is the centralized warehouse.
 type Model struct {
 	mu        sync.Mutex
-	net       *netsim.Network
+	net       arch.Network
 	warehouse netsim.SiteID
 	store     *arch.SiteStore
 	dangling  map[provenance.ID]bool
@@ -43,7 +43,7 @@ type Model struct {
 }
 
 // New builds a centralized model with its index at warehouse.
-func New(net *netsim.Network, warehouse netsim.SiteID) *Model {
+func New(net arch.Network, warehouse netsim.SiteID) *Model {
 	return &Model{
 		net:       net,
 		warehouse: warehouse,

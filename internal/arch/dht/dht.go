@@ -85,7 +85,7 @@ const ReplicaFanout = 2
 // Model is the Chord-style DHT.
 type Model struct {
 	mu  sync.Mutex
-	net *netsim.Network
+	net arch.Network
 	// ring is the current membership snapshot. Stabilize replaces it
 	// wholesale (never mutates nodes in place), so an operation that
 	// grabbed the pointer keeps a consistent view for its whole run.
@@ -129,7 +129,7 @@ type node struct {
 }
 
 // New builds a DHT whose participants are the given sites.
-func New(net *netsim.Network, sites []netsim.SiteID) *Model {
+func New(net arch.Network, sites []netsim.SiteID) *Model {
 	m := &Model{net: net, rto: arch.NewRTO(0xD47A91)}
 	r := &ring{}
 	for _, s := range sites {

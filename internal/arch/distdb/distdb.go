@@ -26,7 +26,7 @@ import (
 // Model is the hash-partitioned distributed database.
 type Model struct {
 	mu       sync.Mutex
-	net      *netsim.Network
+	net      arch.Network
 	sites    []netsim.SiteID
 	stores   map[netsim.SiteID]*arch.SiteStore
 	replicas int // synchronous replicas per partition (>=1: owner only)
@@ -35,7 +35,7 @@ type Model struct {
 
 // New builds a distributed database over the given participant sites.
 // replicas is the number of synchronous copies per record (minimum 1).
-func New(net *netsim.Network, sites []netsim.SiteID, replicas int) *Model {
+func New(net arch.Network, sites []netsim.SiteID, replicas int) *Model {
 	if replicas < 1 {
 		replicas = 1
 	}

@@ -30,7 +30,7 @@ const DefaultTranslation = 2 * time.Millisecond
 // Model is the federated database.
 type Model struct {
 	mu          sync.Mutex
-	net         *netsim.Network
+	net         arch.Network
 	sites       []netsim.SiteID
 	stores      map[netsim.SiteID]*arch.SiteStore
 	origin      map[provenance.ID]netsim.SiteID // which component holds each record
@@ -40,7 +40,7 @@ type Model struct {
 
 // New builds a federation over the given autonomous sites. translation
 // <= 0 selects DefaultTranslation.
-func New(net *netsim.Network, sites []netsim.SiteID, translation time.Duration) *Model {
+func New(net arch.Network, sites []netsim.SiteID, translation time.Duration) *Model {
 	if translation <= 0 {
 		translation = DefaultTranslation
 	}

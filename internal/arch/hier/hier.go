@@ -25,7 +25,7 @@ import (
 // Model is the hierarchical-namespace architecture.
 type Model struct {
 	mu      sync.Mutex
-	net     *netsim.Network
+	net     arch.Network
 	servers []netsim.SiteID
 	// order is the significance ordering; order[0] partitions the tree.
 	order  []string
@@ -48,7 +48,7 @@ type Model struct {
 
 // New builds a hierarchy over servers with the given attribute
 // significance ordering (must be non-empty).
-func New(net *netsim.Network, servers []netsim.SiteID, order []string) (*Model, error) {
+func New(net arch.Network, servers []netsim.SiteID, order []string) (*Model, error) {
 	if len(order) == 0 {
 		return nil, fmt.Errorf("hier: significance ordering must name at least one attribute")
 	}

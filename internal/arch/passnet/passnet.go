@@ -58,7 +58,7 @@ import (
 // Model is the distributed PASS.
 type Model struct {
 	mu    sync.Mutex
-	net   *netsim.Network
+	net   arch.Network
 	sites []netsim.SiteID
 
 	stores map[netsim.SiteID]*arch.SiteStore
@@ -204,7 +204,7 @@ type suppKey struct {
 }
 
 // New builds a distributed PASS over the given sites.
-func New(net *netsim.Network, sites []netsim.SiteID, opts Options) *Model {
+func New(net arch.Network, sites []netsim.SiteID, opts Options) *Model {
 	pullEvery := opts.PullEvery
 	if pullEvery <= 0 {
 		pullEvery = DefaultPullEvery

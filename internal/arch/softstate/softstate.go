@@ -31,7 +31,7 @@ import (
 // Model is the soft-state metadata service.
 type Model struct {
 	mu    sync.Mutex
-	net   *netsim.Network
+	net   arch.Network
 	sites []netsim.SiteID
 	// index nodes hold the soft state; records hash to one index node.
 	indexNodes []netsim.SiteID
@@ -64,7 +64,7 @@ type Model struct {
 // distributed lookup service (RLS's "metadata lookup service is
 // distributed"); refreshEvery is the number of Ticks between soft-state
 // pushes (1 = refresh every tick).
-func New(net *netsim.Network, sites, indexNodes []netsim.SiteID, refreshEvery int) *Model {
+func New(net arch.Network, sites, indexNodes []netsim.SiteID, refreshEvery int) *Model {
 	if refreshEvery < 1 {
 		refreshEvery = 1
 	}

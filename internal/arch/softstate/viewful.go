@@ -47,7 +47,7 @@ type Viewful struct {
 
 // NewViewful builds a soft-state service whose index nodes carry views.
 // Arguments are New's.
-func NewViewful(net *netsim.Network, sites, indexNodes []netsim.SiteID, refreshEvery int) *Viewful {
+func NewViewful(net arch.Network, sites, indexNodes []netsim.SiteID, refreshEvery int) *Viewful {
 	m := New(net, sites, indexNodes, refreshEvery)
 	v := &Viewful{
 		Model:     m,

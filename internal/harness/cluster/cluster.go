@@ -1,0 +1,364 @@
+// Package cluster is the multi-process integration harness: it builds
+// the passd binary once, boots N real `passd node` processes on
+// ephemeral loopback ports, distributes the peer roster, and then
+// drives publishes, queries, maintenance ticks, kill signals and
+// partitions through real sockets — the dusk-blockchain
+// harness/engine/network.go shape applied to PASS.
+//
+// The headline use is the netsim cross-check (crosscheck.go): the same
+// seeded schedule runs once against the in-process simulator and once
+// against live processes, and the recall findings must agree within a
+// stated tolerance — a conformance bridge between the paper's
+// simulated results (experiments E14/E16) and a real deployment.
+//
+// Fault injection maps one-to-one onto deployment reality:
+//
+//   - Kill(i) delivers a real SIGKILL — no goodbye, no flush; the
+//     process is simply gone, like a crashed site in netsim.Fail.
+//   - Partition installs rate-1.0 ingress drop rules (wire.TDrop) on
+//     both sides of the cut — datagrams cross the wire and are
+//     discarded, like netsim.Partition.
+//   - SetLoss seeds sub-1.0 drop rules on every node pair — the E14
+//     loss dimension over real sockets.
+//
+// Node stdout/stderr stream to per-node log files (CI uploads them on
+// failure).
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pass/internal/node"
+)
+
+// buildOnce builds passd a single time per test binary.
+var (
+	buildOnce sync.Once
+	buildPath string
+	buildErr  error
+)
+
+// BuildPassd compiles cmd/passd into a temp dir (once) and returns the
+// binary path. Honors PASSD_BIN to reuse a prebuilt binary (CI builds
+// it as its own step).
+func BuildPassd() (string, error) {
+	if p := os.Getenv("PASSD_BIN"); p != "" {
+		return p, nil
+	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "passd-build")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "passd")
+		cmd := exec.Command("go", "build", "-o", bin, "pass/cmd/passd")
+		// Run from the repo root: this file sits at
+		// internal/harness/cluster, so the module root is three up from
+		// the test working directory.
+		root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+		if err == nil {
+			if _, statErr := os.Stat(filepath.Join(root, "go.mod")); statErr == nil {
+				cmd.Dir = root
+			}
+		}
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("build passd: %v\n%s", err, out)
+			return
+		}
+		buildPath = bin
+	})
+	return buildPath, buildErr
+}
+
+// Config parameterises a cluster boot.
+type Config struct {
+	N      int    // node count
+	Mode   string // "passnet" or "dht"
+	Seed   uint64
+	LogDir string // per-node log directory; "" uses a temp dir
+}
+
+// proc is one managed node process.
+type proc struct {
+	id   int32
+	cmd  *exec.Cmd
+	udp  *net.UDPAddr
+	http string
+	log  *os.File
+	dead bool
+}
+
+// Cluster is a set of live passd node processes plus the client
+// endpoint that drives them.
+type Cluster struct {
+	cfg    Config
+	procs  []*proc
+	client *node.Client
+	roster []node.Peer
+}
+
+var bootLine = regexp.MustCompile(`passd: node (\d+) listening on (\S+) http (\S+)`)
+
+// Start builds passd (once), boots cfg.N node processes, waits for
+// their boot lines, and distributes the roster. The returned cluster
+// owns the processes; always call Shutdown.
+func Start(cfg Config) (*Cluster, error) {
+	bin, err := BuildPassd()
+	if err != nil {
+		return nil, err
+	}
+	logDir := cfg.LogDir
+	if logDir == "" {
+		if logDir, err = os.MkdirTemp("", "pass-cluster-logs"); err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{cfg: cfg}
+	fail := func(err error) (*Cluster, error) {
+		c.Shutdown()
+		return nil, err
+	}
+	for i := 0; i < cfg.N; i++ {
+		logFile, err := os.Create(filepath.Join(logDir, fmt.Sprintf("node-%d.log", i)))
+		if err != nil {
+			return fail(err)
+		}
+		cmd := exec.Command(bin, "node",
+			"-id", fmt.Sprint(i),
+			"-mode", cfg.Mode,
+			"-listen", "127.0.0.1:0",
+			"-http", "127.0.0.1:0",
+			"-seed", fmt.Sprint(cfg.Seed+uint64(i)),
+		)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			logFile.Close()
+			return fail(err)
+		}
+		cmd.Stderr = logFile
+		if err := cmd.Start(); err != nil {
+			logFile.Close()
+			return fail(fmt.Errorf("start node %d: %w", i, err))
+		}
+		p := &proc{id: int32(i), cmd: cmd, log: logFile}
+		c.procs = append(c.procs, p)
+
+		// Tee stdout to the log file while scanning for the boot line.
+		lineCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				fmt.Fprintln(logFile, line)
+				if bootLine.MatchString(line) {
+					select {
+					case lineCh <- line:
+					default:
+					}
+				}
+			}
+		}()
+		select {
+		case line := <-lineCh:
+			m := bootLine.FindStringSubmatch(line)
+			addr, err := net.ResolveUDPAddr("udp", m[2])
+			if err != nil {
+				return fail(err)
+			}
+			p.udp, p.http = addr, m[3]
+		case <-time.After(15 * time.Second):
+			return fail(fmt.Errorf("node %d never printed its boot line (log: %s)", i, logFile.Name()))
+		}
+	}
+
+	// Client ID sits past the node range so node-to-node drop rules
+	// never catch control traffic.
+	client, err := node.NewClient(int32(cfg.N) + 1000)
+	if err != nil {
+		return fail(err)
+	}
+	c.client = client
+	for _, p := range c.procs {
+		c.roster = append(c.roster, node.Peer{ID: p.id, Addr: p.udp.String()})
+	}
+	for _, p := range c.procs {
+		if err := client.SetPeers(p.udp, c.roster); err != nil {
+			return fail(fmt.Errorf("roster to node %d: %w", p.id, err))
+		}
+	}
+	return c, nil
+}
+
+// Client returns the cluster's driving client.
+func (c *Cluster) Client() *node.Client { return c.client }
+
+// Addr returns node i's UDP address.
+func (c *Cluster) Addr(i int) *net.UDPAddr { return c.procs[i].udp }
+
+// HTTPAddr returns node i's metrics/health address.
+func (c *Cluster) HTTPAddr(i int) string { return c.procs[i].http }
+
+// N returns the configured node count (killed nodes included).
+func (c *Cluster) N() int { return len(c.procs) }
+
+// Alive reports whether node i has not been killed or stopped.
+func (c *Cluster) Alive(i int) bool { return !c.procs[i].dead }
+
+// LiveAddrs returns the UDP addresses of all not-killed nodes.
+func (c *Cluster) LiveAddrs() []*net.UDPAddr {
+	var out []*net.UDPAddr
+	for _, p := range c.procs {
+		if !p.dead {
+			out = append(out, p.udp)
+		}
+	}
+	return out
+}
+
+// TickAll runs one maintenance round on every live node in ID order —
+// the cluster's analogue of the harness's per-round model Tick.
+func (c *Cluster) TickAll() error {
+	for _, p := range c.procs {
+		if p.dead {
+			continue
+		}
+		if err := c.client.Tick(p.udp); err != nil {
+			return fmt.Errorf("tick node %d: %w", p.id, err)
+		}
+	}
+	return nil
+}
+
+// SetLoss installs seeded ingress drop rules at the given rate on every
+// node for every peer — the E14 loss dimension. Rate 0 clears.
+func (c *Cluster) SetLoss(rate float64, seed uint64) error {
+	for _, p := range c.procs {
+		if p.dead {
+			continue
+		}
+		var rules []node.DropRule
+		for _, q := range c.procs {
+			if q.id == p.id {
+				continue
+			}
+			rules = append(rules, node.DropRule{
+				From: q.id, Rate: rate,
+				Seed: seed ^ (uint64(p.id)<<32 | uint64(uint32(q.id))),
+			})
+		}
+		if err := c.client.SetDrops(p.udp, rules); err != nil {
+			return fmt.Errorf("drops to node %d: %w", p.id, err)
+		}
+	}
+	return nil
+}
+
+// Partition cuts the cluster into the two groups (node indices) with
+// rate-1.0 drop rules on both sides of every cross-group pair.
+func (c *Cluster) Partition(a, b []int) error {
+	return c.setCut(a, b, 1.0)
+}
+
+// HealPartition removes the cut between the two groups.
+func (c *Cluster) HealPartition(a, b []int) error {
+	return c.setCut(a, b, 0)
+}
+
+func (c *Cluster) setCut(a, b []int, rate float64) error {
+	install := func(on, from []int) error {
+		for _, i := range on {
+			if c.procs[i].dead {
+				continue
+			}
+			var rules []node.DropRule
+			for _, j := range from {
+				rules = append(rules, node.DropRule{From: c.procs[j].id, Rate: rate, Seed: uint64(i*31 + j)})
+			}
+			if err := c.client.SetDrops(c.procs[i].udp, rules); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := install(a, b); err != nil {
+		return err
+	}
+	return install(b, a)
+}
+
+// Kill delivers a real SIGKILL to node i: no shutdown path runs, the
+// kernel reaps the sockets — netsim.Fail with an exit code.
+func (c *Cluster) Kill(i int) error {
+	p := c.procs[i]
+	if p.dead {
+		return nil
+	}
+	p.dead = true
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_ = p.cmd.Wait()
+	return nil
+}
+
+// Stop delivers SIGTERM and waits for a graceful exit (bounded).
+func (c *Cluster) Stop(i int) error {
+	p := c.procs[i]
+	if p.dead {
+		return nil
+	}
+	p.dead = true
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(5 * time.Second):
+		_ = p.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("node %d ignored SIGTERM", i)
+	}
+}
+
+// Shutdown stops every process (SIGTERM, then SIGKILL on a deadline)
+// and closes the client and log files.
+func (c *Cluster) Shutdown() {
+	for i := range c.procs {
+		_ = c.Stop(i)
+	}
+	if c.client != nil {
+		c.client.Close()
+	}
+	for _, p := range c.procs {
+		p.log.Close()
+	}
+}
+
+// DumpLogs copies every node log to w (test-failure diagnostics).
+func (c *Cluster) DumpLogs(w io.Writer) {
+	for _, p := range c.procs {
+		fmt.Fprintf(w, "---- node %d (%s) ----\n", p.id, p.log.Name())
+		data, err := os.ReadFile(p.log.Name())
+		if err != nil {
+			fmt.Fprintf(w, "  <unreadable: %v>\n", err)
+			continue
+		}
+		fmt.Fprintln(w, strings.TrimRight(string(data), "\n"))
+	}
+}

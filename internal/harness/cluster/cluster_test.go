@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"pass/internal/provenance"
+)
+
+// logDir honors CLUSTER_LOG_DIR (the CI integration job points it at
+// an artifact directory and uploads it when the job fails).
+func logDir(t *testing.T) string {
+	if d := os.Getenv("CLUSTER_LOG_DIR"); d != "" {
+		return d
+	}
+	return t.TempDir()
+}
+
+func startCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.LogDir == "" {
+		cfg.LogDir = logDir(t)
+	}
+	c, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			var sb strings.Builder
+			c.DumpLogs(&sb)
+			t.Logf("node logs:\n%s", sb.String())
+		}
+		c.Shutdown()
+	})
+	return c
+}
+
+// TestCrosscheckCleanSchedules: with no faults injected, the simulator
+// and the live cluster must agree EXACTLY — recall 1.0 on both backends
+// for both socket-capable models, on two seeded schedules each.
+func TestCrosscheckCleanSchedules(t *testing.T) {
+	for _, mode := range []string{"passnet", "dht"} {
+		for _, seed := range []uint64{21, 22} {
+			t.Run(mode, func(t *testing.T) {
+				c := startCluster(t, Config{N: 4, Mode: mode, Seed: seed})
+				sc := Schedule{Seed: seed, Nodes: 4, Loss: 0, Pubs: 12, Ticks: 3, KillNode: -1}
+				sim, real, err := CompareRecall(c, mode, sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sim != 1.0 || real != 1.0 {
+					t.Fatalf("clean schedule seed %d: sim %.3f real %.3f, want 1.0/1.0", seed, sim, real)
+				}
+			})
+			if testing.Short() {
+				break // one seed per mode is enough for -short
+			}
+		}
+	}
+}
+
+// TestCrosscheckLossySchedules is the E14 bridge: 20% packet loss on
+// both backends (seeded independently — the claim is the finding, not
+// the byte stream), recall within Tolerance on two seeds per model.
+func TestCrosscheckLossySchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process lossy cross-check skipped in -short")
+	}
+	for _, mode := range []string{"passnet", "dht"} {
+		for _, seed := range []uint64{31, 32} {
+			t.Run(mode, func(t *testing.T) {
+				c := startCluster(t, Config{N: 4, Mode: mode, Seed: seed})
+				sc := Schedule{Seed: seed, Nodes: 4, Loss: 0.20, Pubs: 16, Ticks: 6, KillNode: -1}
+				sim, real, err := CompareRecall(c, mode, sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("%s seed %d under 20%% loss: netsim %.3f, cluster %.3f", mode, seed, sim, real)
+				if sim < 0.5 || real < 0.5 {
+					t.Fatalf("recall collapsed: sim %.3f real %.3f", sim, real)
+				}
+			})
+		}
+	}
+}
+
+// TestChurnKillOneNode is the E16 bridge and the CI integration target:
+// a 5-node dht cluster takes the full publish load, one node dies by
+// real SIGKILL, liveness probes notice, and the survivors must recover
+// recall from replicas — within Tolerance of the netsim row where the
+// same node crashes via netsim.Fail.
+func TestChurnKillOneNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process churn cross-check skipped in -short")
+	}
+	c := startCluster(t, Config{N: 5, Mode: "dht", Seed: 41})
+	sc := Schedule{Seed: 41, Nodes: 5, Loss: 0, Pubs: 20, Ticks: 3, KillNode: 2}
+	sim, real, err := CompareRecall(c, "dht", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("churn: netsim %.3f, cluster %.3f (node 2 SIGKILLed)", sim, real)
+	if real < 0.9 {
+		t.Fatalf("survivors recovered only %.3f recall after SIGKILL, want >= 0.9", real)
+	}
+	if !c.Alive(0) || c.Alive(2) {
+		t.Fatal("liveness bookkeeping wrong after kill")
+	}
+}
+
+// TestPartitionIsRealAndHeals drives the partition primitive through
+// live processes: cut a passnet cluster 2|2, show the minority side
+// cannot see majority publishes, heal, gossip, and require convergence.
+func TestPartitionIsRealAndHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process partition test skipped in -short")
+	}
+	c := startCluster(t, Config{N: 4, Mode: "passnet", Seed: 51})
+	if err := c.Partition([]int{0, 1}, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	acked := make(map[provenance.ID]bool)
+	for i := 0; i < 8; i++ {
+		var digest [32]byte
+		digest[0] = byte(i)
+		rec, _, err := provenance.NewRaw(digest, 64).
+			Attrs(provenance.Attr(provenance.KeyDomain, provenance.String("part"))).
+			CreatedAt(int64(i) + 1).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := c.Client().Put(c.Addr(i%2), rec) // majority side only
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		acked[id] = true
+	}
+	if err := c.TickAll(); err != nil {
+		t.Fatal(err)
+	}
+	count := func(nodeIdx int) int {
+		got, err := c.Client().QueryAttr(c.Addr(nodeIdx), provenance.KeyDomain, provenance.String("part"))
+		if err != nil {
+			t.Fatalf("query node %d: %v", nodeIdx, err)
+		}
+		hit := 0
+		for _, id := range got {
+			if acked[id] {
+				hit++
+			}
+		}
+		return hit
+	}
+	if got := count(2); got != 0 {
+		t.Fatalf("minority node saw %d records across a partition", got)
+	}
+	if got := count(0); got != len(acked) {
+		t.Fatalf("majority node saw %d/%d of its own records", got, len(acked))
+	}
+	if err := c.HealPartition([]int{0, 1}, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TickAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(2); got != len(acked) {
+		t.Fatalf("after heal, minority node saw %d/%d records", got, len(acked))
+	}
+}
+
+// TestStopIsGraceful pins the SIGTERM path end to end: a stopped node
+// exits 0 via its signal handler (Stop errors if SIGKILL was needed).
+func TestStopIsGraceful(t *testing.T) {
+	c := startCluster(t, Config{N: 2, Mode: "passnet", Seed: 61})
+	if err := c.Stop(1); err != nil {
+		t.Fatalf("SIGTERM path: %v", err)
+	}
+	if c.Alive(1) {
+		t.Fatal("stopped node still marked alive")
+	}
+	// The survivor still answers.
+	if err := c.Client().Ping(c.Addr(0)); err != nil {
+		t.Fatalf("survivor unreachable: %v", err)
+	}
+}

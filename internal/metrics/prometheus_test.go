@@ -118,6 +118,69 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusConcurrentMutation scrapes the registry while other
+// goroutines register new series and bump existing ones — the exact
+// shape of a passd /metrics scrape racing the soak loop. Under -race
+// this pins the Samples snapshot discipline; functionally it requires
+// every scrape to stay a well-formed exposition.
+func TestWritePrometheusConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pass_base_total").Add(1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Churn both dimensions: new label sets (registry map
+				// growth) and hot writes to existing series.
+				r.Counter("pass_churn_total", L("w", string(rune('a'+w))), L("i", string(rune('a'+i%13)))).Add(1)
+				r.Gauge("pass_hot", L("w", string(rune('a'+w)))).Set(int64(i))
+				r.Histogram("pass_lat", L("w", string(rune('a'+w)))).Observe(float64(i % 100))
+			}
+		}(w)
+	}
+
+	for scrape := 0; scrape < 50; scrape++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("scrape %d: %v", scrape, err)
+		}
+		for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			if strings.Count(line, " ") != 1 {
+				t.Fatalf("scrape %d produced malformed line %q", scrape, line)
+			}
+		}
+		if !strings.Contains(b.String(), "pass_base_total 1\n") {
+			t.Fatalf("scrape %d lost the stable series", scrape)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// A final quiet scrape must be deterministic again.
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("quiescent scrapes differ")
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	a := NewHistogram(0)
 	b := NewHistogram(0)

@@ -1,0 +1,115 @@
+package node
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"pass/internal/provenance"
+	"pass/internal/wire"
+)
+
+// Client drives nodes over the wire: the same verbs whether the nodes
+// live in this process (unit tests) or in their own (the cluster
+// harness). Its wire ID should sit past the node ID range so drop rules
+// aimed at nodes never hit the control plane.
+type Client struct {
+	ep *wire.Endpoint
+}
+
+// NewClient binds a client endpoint with the given wire ID.
+func NewClient(id int32) (*Client, error) {
+	ep, err := wire.NewEndpoint(id, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	// Control verbs (TTick especially) fan out to every peer with
+	// retries; give them room.
+	ep.Timeout = 5 * time.Second
+	return &Client{ep: ep}, nil
+}
+
+// Close releases the client's socket.
+func (c *Client) Close() { c.ep.Close() }
+
+// SetPeers distributes the roster to one node.
+func (c *Client) SetPeers(node *net.UDPAddr, roster []Peer) error {
+	b, err := json.Marshal(roster)
+	if err != nil {
+		return err
+	}
+	_, err = c.ep.RequestRetry(node, wire.TPeers, b, 2)
+	return err
+}
+
+// SetDrops installs ingress drop rules on one node.
+func (c *Client) SetDrops(node *net.UDPAddr, rules []DropRule) error {
+	b, err := json.Marshal(rules)
+	if err != nil {
+		return err
+	}
+	_, err = c.ep.RequestRetry(node, wire.TDrop, b, 2)
+	return err
+}
+
+// Put publishes one record through the given node and returns the
+// acknowledged record ID.
+func (c *Client) Put(node *net.UDPAddr, rec *provenance.Record) (provenance.ID, error) {
+	resp, err := c.ep.Request(node, wire.TPut, rec.Encode())
+	if err != nil {
+		return provenance.ID{}, err
+	}
+	if len(resp.Payload) != 32 {
+		return provenance.ID{}, fmt.Errorf("put: bad ack payload (%d bytes)", len(resp.Payload))
+	}
+	var id provenance.ID
+	copy(id[:], resp.Payload)
+	return id, nil
+}
+
+// Get fetches one record by ID through the given node.
+func (c *Client) Get(node *net.UDPAddr, id provenance.ID) (*provenance.Record, error) {
+	resp, err := c.ep.Request(node, wire.TGet, id[:])
+	if err != nil {
+		return nil, err
+	}
+	return provenance.Decode(resp.Payload)
+}
+
+// QueryAttr asks the given node for all record IDs carrying the
+// attribute, using the composite key convention shared by passnet, dht
+// and the views (key \x00 canonical value).
+func (c *Client) QueryAttr(node *net.UDPAddr, key string, value provenance.Value) ([]provenance.ID, error) {
+	mk := key + "\x00" + string(value.Canonical())
+	resp, err := c.ep.Request(node, wire.TQuery, []byte(mk))
+	if err != nil {
+		return nil, err
+	}
+	return ParseIDs(resp.Payload), nil
+}
+
+// Tick runs one maintenance round on one node (passnet: drain gossip
+// outboxes; dht: probe liveness). A round that gossips a deep outbox
+// through loss retries its way along, so the deadline is generous.
+func (c *Client) Tick(node *net.UDPAddr) error {
+	_, err := c.ep.RequestTimeout(node, wire.TTick, nil, 60*time.Second)
+	return err
+}
+
+// Stat fetches one node's status.
+func (c *Client) Stat(node *net.UDPAddr) (Status, error) {
+	resp, err := c.ep.Request(node, wire.TStat, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	err = json.Unmarshal(resp.Payload, &st)
+	return st, err
+}
+
+// Ping round-trips one TPing (liveness probe with a short deadline).
+func (c *Client) Ping(node *net.UDPAddr) error {
+	_, err := c.ep.RequestTimeout(node, wire.TPing, nil, 500*time.Millisecond)
+	return err
+}

@@ -1,0 +1,306 @@
+package node
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+
+	"pass/internal/arch"
+	"pass/internal/provenance"
+	"pass/internal/wire"
+)
+
+// The dht mode places records and attribute postings on a static ring
+// of node IDs using the SAME position formula as the in-process dht
+// model, so a seeded schedule lands keys on the same logical seats on
+// either backend. Placement is primary + two replicas along the live
+// successor list; liveness is learned by TPing probes during TTick
+// (and only there — see the comment above storeMsg). Queries walk
+// the same successor list, so a killed primary's keys stay answerable
+// from whichever replica holder the walk reaches first — the
+// real-process counterpart of the model's Stabilize recovery in E16.
+
+// replicaFanout is how many successors past the primary hold copies
+// (the dht model's ReplicaFanout).
+const replicaFanout = 2
+
+// ringSeat is one node's position on the placement ring.
+type ringSeat struct {
+	id  int32
+	pos uint64
+}
+
+// ringPosOfNode must match dht.ringPosOfSite exactly: the conformance
+// cross-check relies on both backends placing keys identically.
+func ringPosOfNode(id int32) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(id)+0x5851F42D4C957F2D)
+	return ringPosBytes(buf[:])
+}
+
+// ringPosBytes must match dht.ringPos: sha256, first 8 bytes LE.
+func ringPosBytes(b []byte) uint64 {
+	sum := sha256.Sum256(b)
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// rebuildRing recomputes the full ring (self + peers). Caller holds n.mu.
+func (n *Node) rebuildRing() {
+	n.ring = n.ring[:0]
+	n.ring = append(n.ring, ringSeat{n.cfg.ID, ringPosOfNode(n.cfg.ID)})
+	for _, pid := range n.order {
+		n.ring = append(n.ring, ringSeat{pid, ringPosOfNode(pid)})
+		if _, ok := n.alive[pid]; !ok {
+			n.alive[pid] = true
+		}
+	}
+	sort.Slice(n.ring, func(i, j int) bool { return n.ring[i].pos < n.ring[j].pos })
+}
+
+// liveSuccessors returns up to k live node IDs clockwise from hash
+// (self counts as live). Caller holds n.mu.
+func (n *Node) liveSuccessors(hash uint64, k int) []int32 {
+	if len(n.ring) == 0 {
+		return nil
+	}
+	start := sort.Search(len(n.ring), func(i int) bool { return n.ring[i].pos >= hash })
+	out := make([]int32, 0, k)
+	for i := 0; i < len(n.ring) && len(out) < k; i++ {
+		seat := n.ring[(start+i)%len(n.ring)]
+		if seat.id != n.cfg.ID && !n.alive[seat.id] {
+			continue
+		}
+		out = append(out, seat.id)
+	}
+	return out
+}
+
+// Liveness is learned ONLY from tick-time TPing probes (dhtTick), never
+// inferred from placement or query timeouts: under packet loss a
+// retry-exhausted request to a live peer is common enough that treating
+// it as death routes later keys around healthy seats and diverges from
+// the netsim rows (the model, likewise, only learns death from
+// Stabilize probes). A request that fails against a seat simply falls
+// through to the next seat in the walk.
+
+// storeMsg is the TStore payload: a record or an attribute posting,
+// placed as primary or replica. Src keys the replica bucket (the
+// primary seat the copy shadows), matching the model's per-source
+// replica buckets.
+type storeMsg struct {
+	Kind    string        `json:"kind"` // "rec" or "attr"
+	Replica bool          `json:"replica"`
+	Src     int32         `json:"src"`
+	Rec     []byte        `json:"rec,omitempty"`
+	MK      []byte        `json:"mk,omitempty"`
+	ID      provenance.ID `json:"id,omitempty"`
+}
+
+// handleStore accepts one placement.
+func (n *Node) handleStore(payload []byte, reply func(wire.Type, []byte)) {
+	if n.cfg.Mode != "dht" {
+		reply(wire.TErr, []byte("store: not a dht node"))
+		return
+	}
+	var msg storeMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		reply(wire.TErr, []byte(err.Error()))
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch msg.Kind {
+	case "rec":
+		rec, err := provenance.Decode(msg.Rec)
+		if err != nil {
+			reply(wire.TErr, []byte(err.Error()))
+			return
+		}
+		id := rec.ComputeID()
+		if msg.Replica {
+			n.replicaStoreFor(msg.Src).Add(id, rec)
+		} else {
+			n.store.Add(id, rec)
+		}
+	case "attr":
+		mk := string(msg.MK)
+		if msg.Replica {
+			bucket := n.replAttrs[msg.Src]
+			if bucket == nil {
+				bucket = make(map[string][]provenance.ID)
+				n.replAttrs[msg.Src] = bucket
+			}
+			bucket[mk] = append(bucket[mk], msg.ID)
+		} else {
+			n.attrs[mk] = append(n.attrs[mk], msg.ID)
+		}
+	default:
+		reply(wire.TErr, []byte(fmt.Sprintf("store: unknown kind %q", msg.Kind)))
+		return
+	}
+	reply(wire.TStoreOK, nil)
+}
+
+// replicaStoreFor returns (creating if needed) the replica record
+// bucket shadowing the given primary seat. Caller holds n.mu.
+func (n *Node) replicaStoreFor(src int32) *arch.SiteStore {
+	rs, ok := n.replRecs[src]
+	if !ok {
+		rs = arch.NewSiteStore()
+		n.replRecs[src] = rs
+	}
+	return rs
+}
+
+// place ships one storeMsg to a seat (or applies it locally when the
+// seat is this node). Returns false on timeout.
+func (n *Node) place(seat int32, msg storeMsg) bool {
+	if seat == n.cfg.ID {
+		b, _ := json.Marshal(msg)
+		ok := true
+		n.handleStore(b, func(t wire.Type, _ []byte) { ok = t == wire.TStoreOK })
+		return ok
+	}
+	n.mu.Lock()
+	addr := n.peers[seat]
+	n.mu.Unlock()
+	if addr == nil {
+		return false
+	}
+	b, _ := json.Marshal(msg)
+	if _, err := n.ep.RequestRetry(addr, wire.TStore, b, sendRetries); err != nil {
+		return false
+	}
+	return true
+}
+
+// dhtPut places the record and each of its queriable attribute postings
+// at the first live successor of their hashes, with replicaFanout
+// copies on the following seats. The put acks once the record's primary
+// placement lands; replicas and postings are best-effort (the model's
+// charged-but-async replication).
+func (n *Node) dhtPut(id provenance.ID, rec *provenance.Record, raw []byte, reply func(wire.Type, []byte)) {
+	n.mu.Lock()
+	recSeats := n.liveSuccessors(ringPosBytes(id[:]), 1+replicaFanout)
+	n.mu.Unlock()
+	if len(recSeats) == 0 {
+		reply(wire.TErr, []byte("put: empty ring"))
+		return
+	}
+	primary := recSeats[0]
+	if !n.place(primary, storeMsg{Kind: "rec", Src: primary, Rec: raw}) {
+		// Primary unreachable: retry placement down the (now shorter)
+		// live list rather than failing the publish.
+		n.mu.Lock()
+		recSeats = n.liveSuccessors(ringPosBytes(id[:]), 1+replicaFanout)
+		n.mu.Unlock()
+		if len(recSeats) == 0 || !n.place(recSeats[0], storeMsg{Kind: "rec", Src: recSeats[0], Rec: raw}) {
+			reply(wire.TErr, []byte("put: home unreachable"))
+			return
+		}
+		primary = recSeats[0]
+	}
+	for _, seat := range recSeats[1:] {
+		n.place(seat, storeMsg{Kind: "rec", Replica: true, Src: primary, Rec: raw})
+	}
+	for _, a := range arch.QueriableAttrs(rec) {
+		mk := []byte(mkOf(a))
+		n.mu.Lock()
+		attrSeats := n.liveSuccessors(ringPosBytes(mk), 1+replicaFanout)
+		n.mu.Unlock()
+		for i, seat := range attrSeats {
+			n.place(seat, storeMsg{
+				Kind: "attr", Replica: i > 0, Src: attrSeats[0], MK: mk, ID: id,
+			})
+		}
+	}
+	reply(wire.TPutOK, id[:])
+}
+
+// dhtQuery walks the successor list of the key's hash and returns the
+// first reachable seat's answer (primary plus replica postings — see
+// handleAttrQ), so a dead primary falls through to a replica holder.
+func (n *Node) dhtQuery(mk string, reply func(wire.Type, []byte)) {
+	n.mu.Lock()
+	seats := n.liveSuccessors(ringPosBytes([]byte(mk)), 1+replicaFanout)
+	n.mu.Unlock()
+	for _, seat := range seats {
+		if seat == n.cfg.ID {
+			var out []byte
+			n.handleAttrQ([]byte(mk), func(_ wire.Type, p []byte) { out = p })
+			reply(wire.TQueryOK, out)
+			return
+		}
+		n.mu.Lock()
+		addr := n.peers[seat]
+		n.mu.Unlock()
+		if addr == nil {
+			continue
+		}
+		resp, err := n.ep.RequestRetry(addr, wire.TAttrQ, []byte(mk), sendRetries)
+		if err != nil {
+			continue
+		}
+		reply(wire.TQueryOK, resp.Payload)
+		return
+	}
+	reply(wire.TErr, []byte("query: no reachable seat"))
+}
+
+// dhtGet fetches the record from the successor list of its ID hash.
+func (n *Node) dhtGet(id provenance.ID, reply func(wire.Type, []byte)) {
+	n.mu.Lock()
+	seats := n.liveSuccessors(ringPosBytes(id[:]), 1+replicaFanout)
+	n.mu.Unlock()
+	for _, seat := range seats {
+		if seat == n.cfg.ID {
+			n.handleFetch(id[:], func(t wire.Type, p []byte) {
+				if t == wire.TFetchOK {
+					reply(wire.TGetOK, p)
+				} else {
+					reply(t, p)
+				}
+			})
+			return
+		}
+		n.mu.Lock()
+		addr := n.peers[seat]
+		n.mu.Unlock()
+		if addr == nil {
+			continue
+		}
+		resp, err := n.ep.RequestRetry(addr, wire.TFetch, id[:], sendRetries)
+		if err != nil {
+			continue
+		}
+		reply(wire.TGetOK, resp.Payload)
+		return
+	}
+	reply(wire.TErr, []byte("get: no reachable seat"))
+}
+
+// dhtTick probes every peer with TPing and refreshes the liveness map —
+// the maintenance round that lets routing skip killed nodes, standing
+// in for the model's Stabilize.
+func (n *Node) dhtTick(reply func(wire.Type, []byte)) {
+	n.mu.Lock()
+	type probe struct {
+		id   int32
+		addr *net.UDPAddr
+	}
+	probes := make([]probe, 0, len(n.peers))
+	for _, pid := range n.order {
+		probes = append(probes, probe{pid, n.peers[pid]})
+	}
+	n.mu.Unlock()
+	for _, p := range probes {
+		_, err := n.ep.RequestRetry(p.addr, wire.TPing, nil, sendRetries)
+		n.mu.Lock()
+		n.alive[p.id] = err == nil
+		n.mu.Unlock()
+	}
+	reply(wire.TTickOK, nil)
+}

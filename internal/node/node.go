@@ -1,0 +1,556 @@
+// Package node is a real PASS node: the state and verb handlers behind
+// `passd node`. One process holds one Node; the cluster harness (or any
+// wire client) drives it over UDP with the envelope types in
+// internal/wire — TPut/TGet/TQuery for data, TTick/TDrop/TStat/TPeers
+// for control — while nodes talk to each other with the inter-node
+// verbs (TDelta for passnet gossip, TStore/TAttrQ/TFetch/TPing for DHT
+// placement, probing and fetch).
+//
+// Two modes mirror the two socket-capable architectures:
+//
+//   - "passnet": the node keeps a local store plus its own
+//     siteview.View; publishes cut per-publish deltas that gossip to
+//     every peer in strict per-origin sequence (the passnet model's
+//     outbox discipline), and queries union the local postings with
+//     TAttrQ calls to the view's candidate peers.
+//   - "dht": node IDs hash onto the same ring as the dht model
+//     (identical position formula), records and attribute postings are
+//     placed at the first three live successors of their hash (one
+//     primary + two replicas, the model's SuccessorListLen/
+//     ReplicaFanout shape), and queries fall along the successor list —
+//     so a SIGKILLed node's keys stay answerable from replicas, the
+//     real-process analogue of experiment E16.
+//
+// Peer rosters arrive AFTER boot via TPeers: every node binds an
+// ephemeral port, prints it, and the harness distributes the collected
+// roster — no port preallocation races.
+package node
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/arch/siteview"
+	"pass/internal/metrics"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+	"pass/internal/wire"
+)
+
+// sendRetries is the retransmission budget for inter-node requests,
+// matching the models' arch.SendRetries convention: one send plus up to
+// three retransmissions. The cross-check depends on this parity — with
+// a thinner budget the real side misdeclares lossy peers dead and
+// diverges from the netsim rows.
+const sendRetries = 3
+
+// Config parameterises one node.
+type Config struct {
+	ID     int32  // dense node ID; doubles as the wire From and the ring seat
+	Mode   string // "passnet" or "dht"
+	Listen string // UDP listen address ("127.0.0.1:0" for ephemeral)
+	Seed   uint64 // reserved for seeded behaviours (drop rules arrive seeded via TDrop)
+}
+
+// Peer is one roster entry, as distributed via TPeers.
+type Peer struct {
+	ID   int32  `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// DropRule is one TDrop entry: ingress datagrams from peer From are
+// dropped with probability Rate (seeded). Rate 1 is a partition edge.
+type DropRule struct {
+	From int32   `json:"from"`
+	Rate float64 `json:"rate"`
+	Seed uint64  `json:"seed"`
+}
+
+// Status is the TStat response.
+type Status struct {
+	ID      int32  `json:"id"`
+	Mode    string `json:"mode"`
+	Records int    `json:"records"`
+	Peers   int    `json:"peers"`
+	Alive   int    `json:"alive"` // dht: peers believed live (incl. self)
+	Seq     uint64 `json:"seq"`   // passnet: own delta sequence
+	MsgsIn  int64  `json:"msgs_in"`
+	MsgsOut int64  `json:"msgs_out"`
+	Dropped int64  `json:"dropped"`
+}
+
+// wireDelta is the JSON form of a siteview delta on the wire.
+type wireDelta struct {
+	Origin int32    `json:"origin"`
+	Seq    uint64   `json:"seq"`
+	IDs    [][]byte `json:"ids"`
+	Attrs  []string `json:"attrs"`
+}
+
+// Node is one running PASS node.
+type Node struct {
+	cfg Config
+	ep  *wire.Endpoint
+	reg *metrics.Registry
+
+	mu    sync.Mutex
+	peers map[int32]*net.UDPAddr
+	order []int32 // sorted peer IDs
+
+	// passnet state.
+	store  *arch.SiteStore
+	posts  map[string][]provenance.ID // composite attr key -> local postings
+	view   *siteview.View
+	seq    uint64
+	outbox map[int32][]*siteview.Delta
+
+	// dht state (see dht.go).
+	ring      []ringSeat
+	alive     map[int32]bool
+	attrs     map[string][]provenance.ID
+	replAttrs map[int32]map[string][]provenance.ID
+	replRecs  map[int32]*arch.SiteStore
+}
+
+// New binds the node's UDP endpoint and installs its verb handlers.
+func New(cfg Config) (*Node, error) {
+	if cfg.Mode != "passnet" && cfg.Mode != "dht" {
+		return nil, fmt.Errorf("node: unknown mode %q", cfg.Mode)
+	}
+	ep, err := wire.NewEndpoint(cfg.ID, cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	// Inter-node requests ride loopback or LAN; a tight per-attempt
+	// deadline keeps ticks against dead or lossy peers from crawling.
+	ep.Timeout = 120 * time.Millisecond
+	n := &Node{
+		cfg:       cfg,
+		ep:        ep,
+		reg:       metrics.NewRegistry(),
+		peers:     make(map[int32]*net.UDPAddr),
+		store:     arch.NewSiteStore(),
+		posts:     make(map[string][]provenance.ID),
+		view:      siteview.NewView(netsim.SiteID(cfg.ID)),
+		outbox:    make(map[int32][]*siteview.Delta),
+		alive:     make(map[int32]bool),
+		attrs:     make(map[string][]provenance.ID),
+		replAttrs: make(map[int32]map[string][]provenance.ID),
+		replRecs:  make(map[int32]*arch.SiteStore),
+	}
+	ep.Handle(n.handle)
+	return n, nil
+}
+
+// Addr returns the node's bound UDP address.
+func (n *Node) Addr() *net.UDPAddr { return n.ep.Addr() }
+
+// Registry exposes the node's metrics registry (passd serves it).
+func (n *Node) Registry() *metrics.Registry { return n.reg }
+
+// Close shuts the node's socket down.
+func (n *Node) Close() { n.ep.Close() }
+
+// SyncMetrics refreshes the registry gauges from live node state; the
+// HTTP /metrics handler calls it before exposition.
+func (n *Node) SyncMetrics() {
+	in, out, bin, bout := n.ep.Stats()
+	n.reg.Gauge("pass_node_msgs_in").Set(in)
+	n.reg.Gauge("pass_node_msgs_out").Set(out)
+	n.reg.Gauge("pass_node_bytes_in").Set(bin)
+	n.reg.Gauge("pass_node_bytes_out").Set(bout)
+	n.reg.Gauge("pass_node_dropped").Set(n.ep.Dropped())
+	n.mu.Lock()
+	n.reg.Gauge("pass_node_records").Set(int64(n.store.Len()))
+	n.reg.Gauge("pass_node_peers").Set(int64(len(n.peers)))
+	n.mu.Unlock()
+}
+
+// handle dispatches one inbound verb. It runs on a fresh goroutine per
+// message (the endpoint guarantees that), so slow verbs — a TTick that
+// gossips to every peer — never stall ingestion.
+func (n *Node) handle(env wire.Envelope, from *net.UDPAddr, reply func(wire.Type, []byte)) {
+	switch env.Type {
+	case wire.TPeers:
+		n.handlePeers(env.Payload, reply)
+	case wire.TDrop:
+		n.handleDrop(env.Payload, reply)
+	case wire.TStat:
+		n.handleStat(reply)
+	case wire.TPing:
+		reply(wire.TPong, nil)
+	case wire.TPut:
+		n.handlePut(env.Payload, reply)
+	case wire.TGet:
+		n.handleGet(env.Payload, reply)
+	case wire.TQuery:
+		n.handleQuery(env.Payload, reply)
+	case wire.TFetch:
+		n.handleFetch(env.Payload, reply)
+	case wire.TAttrQ:
+		n.handleAttrQ(env.Payload, reply)
+	case wire.TTick:
+		n.handleTick(reply)
+	case wire.TDelta:
+		n.handleDelta(env.Payload, reply)
+	case wire.TStore:
+		n.handleStore(env.Payload, reply)
+	default:
+		reply(wire.TErr, []byte(fmt.Sprintf("unknown verb %d", env.Type)))
+	}
+}
+
+// ---- control plane ----
+
+func (n *Node) handlePeers(payload []byte, reply func(wire.Type, []byte)) {
+	var roster []Peer
+	if err := json.Unmarshal(payload, &roster); err != nil {
+		reply(wire.TErr, []byte(err.Error()))
+		return
+	}
+	n.mu.Lock()
+	n.peers = make(map[int32]*net.UDPAddr, len(roster))
+	n.order = n.order[:0]
+	for _, p := range roster {
+		if p.ID == n.cfg.ID {
+			continue
+		}
+		addr, err := net.ResolveUDPAddr("udp", p.Addr)
+		if err != nil {
+			n.mu.Unlock()
+			reply(wire.TErr, []byte(err.Error()))
+			return
+		}
+		n.peers[p.ID] = addr
+		n.order = append(n.order, p.ID)
+	}
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	if n.cfg.Mode == "dht" {
+		n.rebuildRing()
+	}
+	n.mu.Unlock()
+	reply(wire.TPeersOK, nil)
+}
+
+func (n *Node) handleDrop(payload []byte, reply func(wire.Type, []byte)) {
+	var rules []DropRule
+	if err := json.Unmarshal(payload, &rules); err != nil {
+		reply(wire.TErr, []byte(err.Error()))
+		return
+	}
+	for _, r := range rules {
+		n.ep.SetDrop(r.From, r.Rate, r.Seed)
+	}
+	reply(wire.TDropOK, nil)
+}
+
+func (n *Node) handleStat(reply func(wire.Type, []byte)) {
+	in, out, _, _ := n.ep.Stats()
+	n.mu.Lock()
+	st := Status{
+		ID: n.cfg.ID, Mode: n.cfg.Mode,
+		Records: n.store.Len(), Peers: len(n.peers),
+		Seq: n.seq, MsgsIn: in, MsgsOut: out, Dropped: n.ep.Dropped(),
+	}
+	if n.cfg.Mode == "dht" {
+		st.Alive = 1 // self
+		for _, up := range n.alive {
+			if up {
+				st.Alive++
+			}
+		}
+	}
+	n.mu.Unlock()
+	b, _ := json.Marshal(st)
+	reply(wire.TStatOK, b)
+}
+
+// ---- shared data-plane helpers ----
+
+// mkOf builds the composite attribute-index key passnet and dht use
+// everywhere: key \x00 canonical value.
+func mkOf(a provenance.Attribute) string {
+	return a.Key + "\x00" + string(a.Value.Canonical())
+}
+
+// idsPayload flattens record IDs for a TQueryOK/TAttrQOK payload.
+func idsPayload(ids []provenance.ID) []byte {
+	out := make([]byte, 0, len(ids)*32)
+	for _, id := range ids {
+		out = append(out, id[:]...)
+	}
+	return out
+}
+
+// ParseIDs decodes a TQueryOK/TAttrQOK payload back into record IDs.
+func ParseIDs(payload []byte) []provenance.ID {
+	ids := make([]provenance.ID, 0, len(payload)/32)
+	for i := 0; i+32 <= len(payload); i += 32 {
+		var id provenance.ID
+		copy(id[:], payload[i:i+32])
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// dedupe removes duplicate IDs preserving first-seen order.
+func dedupe(ids []provenance.ID) []provenance.ID {
+	seen := make(map[provenance.ID]struct{}, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// ---- data plane: verb entry points dispatch by mode ----
+
+func (n *Node) handlePut(payload []byte, reply func(wire.Type, []byte)) {
+	rec, err := provenance.Decode(payload)
+	if err != nil {
+		reply(wire.TErr, []byte(err.Error()))
+		return
+	}
+	id := rec.ComputeID()
+	if n.cfg.Mode == "dht" {
+		n.dhtPut(id, rec, payload, reply)
+		return
+	}
+	n.passnetPut(id, rec, reply)
+}
+
+func (n *Node) handleGet(payload []byte, reply func(wire.Type, []byte)) {
+	if len(payload) != 32 {
+		reply(wire.TErr, []byte("get: want 32-byte ID"))
+		return
+	}
+	var id provenance.ID
+	copy(id[:], payload)
+	if n.cfg.Mode == "dht" {
+		n.dhtGet(id, reply)
+		return
+	}
+	n.passnetGet(id, reply)
+}
+
+func (n *Node) handleQuery(payload []byte, reply func(wire.Type, []byte)) {
+	mk := string(payload)
+	if n.cfg.Mode == "dht" {
+		n.dhtQuery(mk, reply)
+		return
+	}
+	n.passnetQuery(mk, reply)
+}
+
+func (n *Node) handleTick(reply func(wire.Type, []byte)) {
+	if n.cfg.Mode == "dht" {
+		n.dhtTick(reply)
+		return
+	}
+	n.passnetTick(reply)
+}
+
+// handleFetch serves a record from the local store (and, for dht, the
+// replica buckets) — the inter-node half of Get.
+func (n *Node) handleFetch(payload []byte, reply func(wire.Type, []byte)) {
+	if len(payload) != 32 {
+		reply(wire.TErr, []byte("fetch: want 32-byte ID"))
+		return
+	}
+	var id provenance.ID
+	copy(id[:], payload)
+	n.mu.Lock()
+	rec, ok := n.store.Get(id)
+	if !ok && n.cfg.Mode == "dht" {
+		for _, rs := range n.replRecs {
+			if rec, ok = rs.Get(id); ok {
+				break
+			}
+		}
+	}
+	n.mu.Unlock()
+	if !ok {
+		reply(wire.TErr, []byte("fetch: not found"))
+		return
+	}
+	reply(wire.TFetchOK, rec.Encode())
+}
+
+// handleAttrQ answers an attribute query from local state only: the
+// node's own postings (passnet) or its primary+replica postings (dht).
+func (n *Node) handleAttrQ(payload []byte, reply func(wire.Type, []byte)) {
+	mk := string(payload)
+	n.mu.Lock()
+	var ids []provenance.ID
+	ids = append(ids, n.posts[mk]...)
+	if n.cfg.Mode == "dht" {
+		ids = append(ids, n.attrs[mk]...)
+		for _, bucket := range n.replAttrs {
+			ids = append(ids, bucket[mk]...)
+		}
+	}
+	n.mu.Unlock()
+	reply(wire.TAttrQOK, idsPayload(dedupe(ids)))
+}
+
+// ---- passnet mode ----
+
+// passnetPut commits locally, advances the node's own delta sequence,
+// and enqueues the delta for every peer — the model's publish path with
+// the gossip deferred to the next TTick.
+func (n *Node) passnetPut(id provenance.ID, rec *provenance.Record, reply func(wire.Type, []byte)) {
+	n.mu.Lock()
+	n.store.Add(id, rec)
+	var keys []string
+	for _, a := range arch.QueriableAttrs(rec) {
+		mk := mkOf(a)
+		keys = append(keys, mk)
+		n.posts[mk] = append(n.posts[mk], id)
+	}
+	n.seq++
+	d := siteview.NewDelta(netsim.SiteID(n.cfg.ID), n.seq, []provenance.ID{id}, keys)
+	n.view.Apply(d)
+	for _, pid := range n.order {
+		n.outbox[pid] = append(n.outbox[pid], d)
+	}
+	n.mu.Unlock()
+	reply(wire.TPutOK, id[:])
+}
+
+// passnetTick drains each peer's outbox in strict sequence: deltas are
+// sent oldest-first with retries, and the first undelivered delta
+// blocks the rest for that peer (siteview.Apply refuses gaps, so
+// in-order delivery is correctness, not politeness).
+func (n *Node) passnetTick(reply func(wire.Type, []byte)) {
+	n.mu.Lock()
+	order := append([]int32(nil), n.order...)
+	n.mu.Unlock()
+	for _, pid := range order {
+		for {
+			n.mu.Lock()
+			pending := n.outbox[pid]
+			if len(pending) == 0 {
+				n.mu.Unlock()
+				break
+			}
+			d := pending[0]
+			addr := n.peers[pid]
+			n.mu.Unlock()
+			b, _ := json.Marshal(wireDelta{
+				Origin: int32(d.Origin), Seq: d.Seq,
+				IDs: idsBytes(d.IDs), Attrs: d.AttrKeys,
+			})
+			if _, err := n.ep.RequestRetry(addr, wire.TDelta, b, sendRetries); err != nil {
+				break // peer unreachable this round; keep the outbox
+			}
+			n.mu.Lock()
+			if len(n.outbox[pid]) > 0 && n.outbox[pid][0] == d {
+				n.outbox[pid] = n.outbox[pid][1:]
+			}
+			n.mu.Unlock()
+		}
+	}
+	reply(wire.TTickOK, nil)
+}
+
+func idsBytes(ids []provenance.ID) [][]byte {
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		out[i] = append([]byte(nil), id[:]...)
+	}
+	return out
+}
+
+// handleDelta applies one gossiped delta to the node's view. A replayed
+// delta (sequence already seen — the peer's ack was lost) is
+// re-acknowledged so the sender can advance; a gap is an error.
+func (n *Node) handleDelta(payload []byte, reply func(wire.Type, []byte)) {
+	var wd wireDelta
+	if err := json.Unmarshal(payload, &wd); err != nil {
+		reply(wire.TErr, []byte(err.Error()))
+		return
+	}
+	ids := make([]provenance.ID, len(wd.IDs))
+	for i, b := range wd.IDs {
+		copy(ids[i][:], b)
+	}
+	d := siteview.NewDelta(netsim.SiteID(wd.Origin), wd.Seq, ids, wd.Attrs)
+	n.mu.Lock()
+	applied := n.view.Apply(d)
+	seen := n.view.Seq(d.Origin)
+	n.mu.Unlock()
+	if applied || wd.Seq <= seen {
+		reply(wire.TDeltaAck, nil)
+		return
+	}
+	reply(wire.TErr, []byte(fmt.Sprintf("delta gap: got seq %d, have %d", wd.Seq, seen)))
+}
+
+// passnetGet serves locally, else locates the record's home through the
+// view and fetches it over the wire.
+func (n *Node) passnetGet(id provenance.ID, reply func(wire.Type, []byte)) {
+	n.mu.Lock()
+	rec, ok := n.store.Get(id)
+	var home netsim.SiteID
+	var homeKnown bool
+	if !ok {
+		home, homeKnown = n.view.Locate(id)
+	}
+	addr := n.peers[int32(home)]
+	n.mu.Unlock()
+	if ok {
+		reply(wire.TGetOK, rec.Encode())
+		return
+	}
+	if !homeKnown || addr == nil {
+		reply(wire.TErr, []byte("get: unknown record"))
+		return
+	}
+	resp, err := n.ep.RequestRetry(addr, wire.TFetch, id[:], sendRetries)
+	if err != nil {
+		reply(wire.TErr, []byte("get: home unreachable"))
+		return
+	}
+	reply(wire.TGetOK, resp.Payload)
+}
+
+// passnetQuery unions the node's own postings with TAttrQ answers from
+// every candidate peer the view names for the key — the model's
+// QueryAttr over real sockets. Unreachable candidates contribute
+// nothing, exactly like a crashed site in the simulation.
+func (n *Node) passnetQuery(mk string, reply func(wire.Type, []byte)) {
+	n.mu.Lock()
+	ids := append([]provenance.ID(nil), n.posts[mk]...)
+	cands := n.view.CandidatesFor(mk)
+	type target struct {
+		id   int32
+		addr *net.UDPAddr
+	}
+	var targets []target
+	for _, c := range cands {
+		if int32(c) == n.cfg.ID {
+			continue
+		}
+		if addr, ok := n.peers[int32(c)]; ok {
+			targets = append(targets, target{int32(c), addr})
+		}
+	}
+	n.mu.Unlock()
+	for _, tg := range targets {
+		resp, err := n.ep.RequestRetry(tg.addr, wire.TAttrQ, []byte(mk), sendRetries)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, ParseIDs(resp.Payload)...)
+	}
+	reply(wire.TQueryOK, idsPayload(dedupe(ids)))
+}

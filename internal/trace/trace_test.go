@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -71,6 +72,99 @@ func TestSinkWriteThrough(t *testing.T) {
 	}
 	if l.SinkErr() != nil {
 		t.Fatal(l.SinkErr())
+	}
+}
+
+// failAfter is a sink that errors on write n+1 and every write after,
+// recording how many writes it ever saw.
+type failAfter struct {
+	n      int
+	writes int
+	err    error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.n {
+		return 0, f.err
+	}
+	return len(p), nil
+}
+
+// TestSinkErrorIsSticky pins the SetSink contract: the FIRST write error
+// is retained, Append keeps buffering without failing, and — because the
+// error is sticky — the broken sink is never written to again.
+func TestSinkErrorIsSticky(t *testing.T) {
+	l := New(8)
+	sinkErr := errors.New("disk full")
+	sink := &failAfter{n: 2, err: sinkErr}
+	l.SetSink(sink)
+
+	l.Append(Event{Round: 0, Kind: "round"})
+	l.Append(Event{Round: 1, Kind: "round"})
+	if l.SinkErr() != nil {
+		t.Fatalf("premature sink error: %v", l.SinkErr())
+	}
+	l.Append(Event{Round: 2, Kind: "round"}) // sink write 3 fails
+	if got := l.SinkErr(); got != sinkErr {
+		t.Fatalf("SinkErr = %v, want the sink's error", got)
+	}
+	for i := 3; i < 6; i++ {
+		l.Append(Event{Round: i, Kind: "round"})
+	}
+	// The failed write (3) was the last one attempted; appends 4-6 must
+	// not touch the sink again.
+	if sink.writes != 3 {
+		t.Fatalf("sink saw %d writes after its error, want exactly 3", sink.writes)
+	}
+	// The ring itself is unaffected: all six events buffered, none lost.
+	if l.Len() != 6 || l.Dropped() != 0 {
+		t.Fatalf("ring damaged by sink error: Len %d Dropped %d", l.Len(), l.Dropped())
+	}
+	if got := l.SinkErr(); got != sinkErr {
+		t.Fatalf("SinkErr not sticky: %v", got)
+	}
+}
+
+// TestRingWraparoundAtExactCapacity pins the boundary the eviction logic
+// turns on: exactly cap appends fill the ring with zero drops, and the
+// very next append evicts exactly the oldest line.
+func TestRingWraparoundAtExactCapacity(t *testing.T) {
+	const capacity = 5
+	l := New(capacity)
+	for i := 0; i < capacity; i++ {
+		l.Append(Event{Round: i, Kind: "round"})
+	}
+	if l.Len() != capacity || l.Dropped() != 0 {
+		t.Fatalf("at exactly capacity: Len %d Dropped %d, want %d and 0",
+			l.Len(), l.Dropped(), capacity)
+	}
+	rounds := func() []int {
+		var out []int
+		for _, line := range strings.Split(strings.TrimRight(l.String(), "\n"), "\n") {
+			var e Event
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				t.Fatalf("corrupt line %q: %v", line, err)
+			}
+			out = append(out, e.Round)
+		}
+		return out
+	}
+	for i, r := range rounds() {
+		if r != i {
+			t.Fatalf("pre-wrap order wrong: %v", rounds())
+		}
+	}
+	// Append number cap+1: the ring wraps, dropping only round 0.
+	l.Append(Event{Round: capacity, Kind: "round"})
+	if l.Len() != capacity || l.Dropped() != 1 {
+		t.Fatalf("after wrap: Len %d Dropped %d, want %d and 1",
+			l.Len(), l.Dropped(), capacity)
+	}
+	for i, r := range rounds() {
+		if r != i+1 {
+			t.Fatalf("post-wrap order wrong: %v", rounds())
+		}
 	}
 }
 

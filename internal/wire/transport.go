@@ -1,0 +1,387 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/geo"
+	"pass/internal/netsim"
+	"pass/internal/xrand"
+)
+
+// Config parameterises a Transport.
+type Config struct {
+	// LossRate is the sender-side probability that a data frame is
+	// poisoned with FlagLost (the bytes cross the socket but the receiver
+	// discards them unacknowledged). Zero means a clean network.
+	LossRate float64
+	// Seed drives the loss stream deterministically.
+	Seed uint64
+	// AckTimeout is how long a Send waits for the receiver's TAck before
+	// reporting the message lost. Defaults to DefaultRequestTimeout.
+	AckTimeout time.Duration
+}
+
+// Transport implements arch.Network over real UDP sockets: one Endpoint
+// per site, all on loopback, with every Send marshalling an envelope
+// onto the wire and waiting for the receiver's acknowledgement. It is
+// netsim's socket twin — same method surface, same fault sentinels
+// (netsim.ErrSiteDown, ErrMsgLost, ErrPartitioned, ErrNoSuchSite), same
+// Fail/Heal/Partition controls — so any arch.Model build function runs
+// against it unchanged, which is exactly what the conformance bridge
+// tests assert.
+//
+// Faults are layered the way a real deployment would see them:
+//
+//   - down sites and partitions are POLICY, checked before anything is
+//     transmitted (a crashed process cannot be reached; a partition is
+//     enforced at both cut edges), returning netsim's sentinels;
+//   - packet loss is PHYSICS: the datagram really crosses the socket
+//     carrying FlagLost, the receiver discards it, and the sender
+//     discovers the loss by ack timeout — or, for seeded deterministic
+//     loss, the sender poisons the frame itself and reports ErrMsgLost
+//     with the transmit time already spent.
+//
+// Latencies returned are measured wall-clock, not simulated: loopback
+// microseconds rather than geographic milliseconds. Models only compare
+// and accumulate these, so the contract holds; experiments that need
+// geographic time stay on netsim.
+type Transport struct {
+	cfg Config
+
+	mu        sync.Mutex
+	sites     []netsim.Site
+	endpoints []*Endpoint
+	down      map[netsim.SiteID]bool
+	cuts      map[[2]netsim.SiteID]bool // normalised a<b partition edges
+	linkLoss  map[[2]netsim.SiteID]float64
+	loss      *xrand.Rand
+
+	stats      netsim.Stats
+	perSite    map[netsim.SiteID]*netsim.Stats
+	statsMu    sync.Mutex
+	ackTimeout time.Duration
+}
+
+var _ arch.Network = (*Transport)(nil)
+
+// NewTransport creates an empty socket transport; add sites with
+// AddSite or mirror a simulated topology with AddSites.
+func NewTransport(cfg Config) *Transport {
+	to := cfg.AckTimeout
+	if to <= 0 {
+		to = DefaultRequestTimeout
+	}
+	return &Transport{
+		cfg:        cfg,
+		down:       make(map[netsim.SiteID]bool),
+		cuts:       make(map[[2]netsim.SiteID]bool),
+		linkLoss:   make(map[[2]netsim.SiteID]float64),
+		loss:       xrand.New(cfg.Seed ^ 0x9E3779B97F4A7C15),
+		perSite:    make(map[netsim.SiteID]*netsim.Stats),
+		ackTimeout: to,
+	}
+}
+
+// AddSite binds a loopback UDP endpoint for a new site and returns its
+// ID. IDs are dense from zero, matching netsim's allocation, so seeded
+// schedules address the same logical sites on either backend.
+func (t *Transport) AddSite(name string, loc geo.Point, zone string) netsim.SiteID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := netsim.SiteID(len(t.sites))
+	ep, err := NewEndpoint(int32(id), "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("wire: bind site %q: %v", name, err))
+	}
+	ep.Timeout = t.ackTimeout
+	// Data-plane handler: acknowledge every TData frame. FlagLost frames
+	// never reach here — the endpoint's read loop discards them.
+	ep.Handle(func(env Envelope, _ *net.UDPAddr, reply func(Type, []byte)) {
+		if env.Type == TData {
+			reply(TAck, nil)
+		}
+	})
+	t.sites = append(t.sites, netsim.Site{ID: id, Name: name, Loc: loc, Zone: zone})
+	t.endpoints = append(t.endpoints, ep)
+	return id
+}
+
+// AddSites mirrors an existing site list (typically lifted from a
+// netsim topology) onto sockets, preserving IDs.
+func (t *Transport) AddSites(sites []netsim.Site) []netsim.SiteID {
+	ids := make([]netsim.SiteID, 0, len(sites))
+	for _, s := range sites {
+		ids = append(ids, t.AddSite(s.Name, s.Loc, s.Zone))
+	}
+	return ids
+}
+
+// Close shuts every endpoint down.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	eps := append([]*Endpoint(nil), t.endpoints...)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// ---- arch.Network ----
+
+// Send transmits one data frame from one site's socket to another's and
+// waits for the acknowledgement; the returned duration is measured
+// wall-clock. Policy faults (unknown/down sites, partitions) return
+// netsim's sentinels before anything is transmitted. Seeded loss poisons
+// the frame with FlagLost — the bytes are spent, the receiver discards,
+// and ErrMsgLost is returned with the transmit time elapsed.
+func (t *Transport) Send(from, to netsim.SiteID, bytes int) (time.Duration, error) {
+	t.mu.Lock()
+	fromEp, toEp, err := t.route(from, to)
+	lost := false
+	if err == nil {
+		rate := t.cfg.LossRate
+		if lr, ok := t.linkLoss[edge(from, to)]; ok {
+			rate = lr
+		}
+		lost = rate > 0 && t.loss.Float64() < rate
+	}
+	t.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+
+	start := time.Now()
+	payload := padding(bytes)
+	if lost {
+		_, _ = fromEp.Send(toEp.Addr(), TData, FlagLost, uint32(bytes), payload)
+		el := time.Since(start)
+		t.account(from, to, bytes, true)
+		return el, netsim.ErrMsgLost
+	}
+	_, reqErr := fromEp.RequestTimeout(toEp.Addr(), TData, payload, t.ackTimeout)
+	el := time.Since(start)
+	if reqErr != nil {
+		t.account(from, to, bytes, true)
+		return el, netsim.ErrMsgLost
+	}
+	t.account(from, to, bytes, false)
+	return el, nil
+}
+
+// Call performs a request/response exchange as two Sends, mirroring
+// netsim's accounting: the response only travels if the request did.
+func (t *Transport) Call(from, to netsim.SiteID, reqBytes, respBytes int) (time.Duration, error) {
+	d1, err := t.Send(from, to, reqBytes)
+	if err != nil {
+		return d1, err
+	}
+	d2, err := t.Send(to, from, respBytes)
+	return d1 + d2, err
+}
+
+// Latency estimates without transmitting. Real networks do this with
+// historical RTT samples; over loopback a constant is as honest as any
+// estimator, and models only use Latency for relative ordering.
+func (t *Transport) Latency(from, to netsim.SiteID, bytes int) (time.Duration, error) {
+	t.mu.Lock()
+	_, _, err := t.route(from, to)
+	t.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return 50 * time.Microsecond, nil
+}
+
+// Site returns the site with the given ID.
+func (t *Transport) Site(id netsim.SiteID) (netsim.Site, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(t.sites) {
+		return netsim.Site{}, netsim.ErrNoSuchSite
+	}
+	return t.sites[id], nil
+}
+
+// Sites returns all site IDs in order.
+func (t *Transport) Sites() []netsim.SiteID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]netsim.SiteID, len(t.sites))
+	for i := range t.sites {
+		ids[i] = netsim.SiteID(i)
+	}
+	return ids
+}
+
+// NumSites returns the number of registered sites.
+func (t *Transport) NumSites() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sites)
+}
+
+// IsDown reports whether the site is marked failed.
+func (t *Transport) IsDown(id netsim.SiteID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down[id]
+}
+
+// Partitioned reports whether a partition cut separates a and b.
+func (t *Transport) Partitioned(a, b netsim.SiteID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cuts[edge(a, b)]
+}
+
+// ---- fault controls (netsim-compatible) ----
+
+// Fail marks a site down; sends to or from it return ErrSiteDown.
+func (t *Transport) Fail(id netsim.SiteID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[id] = true
+}
+
+// Heal clears a site's failure.
+func (t *Transport) Heal(id netsim.SiteID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, id)
+}
+
+// UpCount returns the number of live sites.
+func (t *Transport) UpCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sites) - len(t.down)
+}
+
+// Partition cuts the link between a and b in both directions.
+func (t *Transport) Partition(a, b netsim.SiteID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cuts[edge(a, b)] = true
+}
+
+// HealPartition removes the cut between a and b.
+func (t *Transport) HealPartition(a, b netsim.SiteID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.cuts, edge(a, b))
+}
+
+// SetLossRate changes the global seeded loss probability.
+func (t *Transport) SetLossRate(rate float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.LossRate = rate
+}
+
+// SetLinkLoss overrides the loss probability for one directed pair
+// (applied symmetrically, like netsim's per-link override).
+func (t *Transport) SetLinkLoss(a, b netsim.SiteID, rate float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rate < 0 {
+		delete(t.linkLoss, edge(a, b))
+		return
+	}
+	t.linkLoss[edge(a, b)] = rate
+}
+
+// ---- stats ----
+
+// Stats returns cumulative transport-wide traffic accounting.
+func (t *Transport) Stats() netsim.Stats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats
+}
+
+// SiteStats returns one site's cumulative send accounting.
+func (t *Transport) SiteStats(id netsim.SiteID) netsim.Stats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if s, ok := t.perSite[id]; ok {
+		return *s
+	}
+	return netsim.Stats{}
+}
+
+// ResetStats zeroes all accounting.
+func (t *Transport) ResetStats() {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	t.stats = netsim.Stats{}
+	t.perSite = make(map[netsim.SiteID]*netsim.Stats)
+}
+
+// ---- internals ----
+
+// route validates a send under the fault policy. Caller holds t.mu.
+func (t *Transport) route(from, to netsim.SiteID) (*Endpoint, *Endpoint, error) {
+	if int(from) < 0 || int(from) >= len(t.sites) || int(to) < 0 || int(to) >= len(t.sites) {
+		return nil, nil, netsim.ErrNoSuchSite
+	}
+	if t.down[from] || t.down[to] {
+		return nil, nil, netsim.ErrSiteDown
+	}
+	if t.cuts[edge(from, to)] {
+		return nil, nil, netsim.ErrPartitioned
+	}
+	return t.endpoints[from], t.endpoints[to], nil
+}
+
+func (t *Transport) account(from, to netsim.SiteID, bytes int, lost bool) {
+	t.mu.Lock()
+	wan := t.sites[from].Zone != t.sites[to].Zone
+	t.mu.Unlock()
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	bump := func(s *netsim.Stats) {
+		s.Messages++
+		s.Bytes += int64(bytes)
+		if wan {
+			s.WANMsgs++
+			s.WANBytes += int64(bytes)
+		} else {
+			s.LocalMsgs++
+		}
+		if lost {
+			s.DroppedMsgs++
+			s.DroppedBytes += int64(bytes)
+		}
+	}
+	bump(&t.stats)
+	ps, ok := t.perSite[from]
+	if !ok {
+		ps = &netsim.Stats{}
+		t.perSite[from] = ps
+	}
+	bump(ps)
+}
+
+func edge(a, b netsim.SiteID) [2]netsim.SiteID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]netsim.SiteID{a, b}
+}
+
+// padding returns min(bytes, MaxPayload) filler bytes so the datagram
+// physically carries (a bounded version of) the declared size.
+func padding(bytes int) []byte {
+	n := bytes
+	if n > MaxPayload {
+		n = MaxPayload
+	}
+	if n < 0 {
+		n = 0
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,317 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pass/internal/arch"
+	"pass/internal/arch/dht"
+	"pass/internal/arch/passnet"
+	"pass/internal/geo"
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func newTestTransport(t *testing.T, cfg Config, n int) (*Transport, []netsim.SiteID) {
+	t.Helper()
+	if cfg.AckTimeout == 0 {
+		cfg.AckTimeout = 100 * time.Millisecond
+	}
+	tr := NewTransport(cfg)
+	t.Cleanup(tr.Close)
+	ids := make([]netsim.SiteID, 0, n)
+	for i := 0; i < n; i++ {
+		zone := fmt.Sprintf("z%d", i/4)
+		ids = append(ids, tr.AddSite(fmt.Sprintf("s%d", i), pointFor(i), zone))
+	}
+	return tr, ids
+}
+
+func TestTransportSendDelivers(t *testing.T) {
+	tr, ids := newTestTransport(t, Config{}, 2)
+	d, err := tr.Send(ids[0], ids[1], 512)
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if d <= 0 {
+		t.Fatalf("measured latency %v, want > 0", d)
+	}
+	st := tr.Stats()
+	if st.Messages != 1 || st.Bytes != 512 {
+		t.Fatalf("stats = %+v, want 1 msg / 512 bytes", st)
+	}
+}
+
+func TestTransportPolicySentinels(t *testing.T) {
+	tr, ids := newTestTransport(t, Config{}, 3)
+
+	if _, err := tr.Send(ids[0], 99, 10); !errors.Is(err, netsim.ErrNoSuchSite) {
+		t.Fatalf("unknown dest: got %v", err)
+	}
+	tr.Fail(ids[1])
+	if _, err := tr.Send(ids[0], ids[1], 10); !errors.Is(err, netsim.ErrSiteDown) {
+		t.Fatalf("down dest: got %v", err)
+	}
+	if !tr.IsDown(ids[1]) {
+		t.Fatal("IsDown false after Fail")
+	}
+	if got := tr.UpCount(); got != 2 {
+		t.Fatalf("UpCount = %d, want 2", got)
+	}
+	tr.Heal(ids[1])
+	if _, err := tr.Send(ids[0], ids[1], 10); err != nil {
+		t.Fatalf("after Heal: %v", err)
+	}
+
+	tr.Partition(ids[0], ids[2])
+	if _, err := tr.Send(ids[2], ids[0], 10); !errors.Is(err, netsim.ErrPartitioned) {
+		t.Fatalf("across cut: got %v", err)
+	}
+	if !tr.Partitioned(ids[0], ids[2]) {
+		t.Fatal("Partitioned false after Partition")
+	}
+	tr.HealPartition(ids[0], ids[2])
+	if _, err := tr.Send(ids[2], ids[0], 10); err != nil {
+		t.Fatalf("after HealPartition: %v", err)
+	}
+
+	// All sentinels above must look like unavailability to model code.
+	for _, err := range []error{netsim.ErrSiteDown, netsim.ErrMsgLost, netsim.ErrPartitioned} {
+		if !arch.IsUnavailable(err) {
+			t.Fatalf("%v not matched by arch.IsUnavailable", err)
+		}
+	}
+}
+
+func TestTransportSeededLoss(t *testing.T) {
+	tr, ids := newTestTransport(t, Config{LossRate: 1.0, Seed: 7}, 2)
+	d, err := tr.Send(ids[0], ids[1], 100)
+	if !errors.Is(err, netsim.ErrMsgLost) {
+		t.Fatalf("rate-1 loss: got %v, want ErrMsgLost", err)
+	}
+	if d < 0 {
+		t.Fatalf("negative elapsed %v", d)
+	}
+	st := tr.Stats()
+	if st.DroppedMsgs != 1 || st.Bytes != 100 {
+		t.Fatalf("stats = %+v: lost bytes must still be accounted", st)
+	}
+	tr.SetLossRate(0)
+	if _, err := tr.Send(ids[0], ids[1], 100); err != nil {
+		t.Fatalf("after SetLossRate(0): %v", err)
+	}
+	tr.SetLinkLoss(ids[0], ids[1], 1.0)
+	if _, err := tr.Send(ids[0], ids[1], 100); !errors.Is(err, netsim.ErrMsgLost) {
+		t.Fatalf("link-loss override: got %v, want ErrMsgLost", err)
+	}
+}
+
+func TestTransportCallIsTwoLeggedAndOversizePayloadTruncates(t *testing.T) {
+	tr, ids := newTestTransport(t, Config{}, 2)
+	if _, err := tr.Call(ids[0], ids[1], 300, 200); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	st := tr.Stats()
+	if st.Messages != 2 || st.Bytes != 500 {
+		t.Fatalf("stats after Call = %+v, want 2 msgs / 500 bytes", st)
+	}
+	// A declared size beyond one datagram still transmits (padding is
+	// truncated, declared size preserved in accounting).
+	if _, err := tr.Send(ids[0], ids[1], MaxPayload*3); err != nil {
+		t.Fatalf("oversize Send: %v", err)
+	}
+	if st = tr.Stats(); st.Bytes != 500+int64(MaxPayload*3) {
+		t.Fatalf("declared-size accounting lost: %+v", st)
+	}
+}
+
+// ---- the conformance bridge: same build function, either backend ----
+
+// bridgeBuilders is the point of the whole package: ONE build function
+// per model, closed over nothing backend-specific, handed both a
+// *netsim.Network and a *wire.Transport through arch.Network.
+var bridgeBuilders = map[string]func(net arch.Network, sites []netsim.SiteID) arch.Model{
+	"passnet": func(net arch.Network, sites []netsim.SiteID) arch.Model {
+		return passnet.New(net, sites, passnet.Options{})
+	},
+	"dht": func(net arch.Network, sites []netsim.SiteID) arch.Model {
+		return dht.New(net, sites)
+	},
+}
+
+func pointFor(i int) geo.Point {
+	return geo.Point{X: float64(i%4) * 10, Y: float64(i/4) * 10}
+}
+
+// bridgePubs builds a deterministic publish schedule (the harness's
+// taggedPubs convention) addressed by dense site IDs, so the identical
+// schedule runs on both backends.
+func bridgePubs(sites []netsim.SiteID, zoneOf func(netsim.SiteID) string, domain string, n int) ([]arch.Pub, error) {
+	pubs := make([]arch.Pub, 0, n)
+	for i := 0; i < n; i++ {
+		origin := sites[(i*7)%len(sites)]
+		var digest [32]byte
+		digest[0], digest[1], digest[2] = byte(i), byte(i>>8), 0xB7
+		rec, id, err := provenance.NewRaw(digest, 64).
+			Attrs(
+				provenance.Attr("n", provenance.Int64(int64(i))),
+				provenance.Attr(provenance.KeyDomain, provenance.String(domain)),
+				provenance.Attr(provenance.KeyZone, provenance.String(zoneOf(origin))),
+			).
+			CreatedAt(int64(i) + 1).
+			Build()
+		if err != nil {
+			return nil, err
+		}
+		pubs = append(pubs, arch.Pub{ID: id, Rec: rec, Origin: origin})
+	}
+	return pubs, nil
+}
+
+// driveModel runs the E14 convention against any backend: publish with
+// up to 4 attempts, 6 maintenance ticks, query from 4 spread sites, and
+// report recall over the acked set.
+func driveModel(m arch.Model, sites []netsim.SiteID, pubs []arch.Pub, domain string) (float64, error) {
+	acked := make(map[provenance.ID]bool, len(pubs))
+	for _, p := range pubs {
+		for a := 0; a < 4; a++ {
+			if _, err := m.Publish(p); err == nil {
+				acked[p.ID] = true
+				break
+			} else if !arch.IsUnavailable(err) {
+				return 0, fmt.Errorf("publish: %w", err)
+			}
+		}
+	}
+	for tick := 0; tick < 6; tick++ {
+		if err := m.Tick(); err != nil {
+			return 0, fmt.Errorf("tick: %w", err)
+		}
+	}
+	if len(acked) == 0 {
+		return 0, errors.New("nothing acked")
+	}
+	queriers := []netsim.SiteID{
+		sites[0], sites[len(sites)/3], sites[2*len(sites)/3], sites[len(sites)-1],
+	}
+	recall := 0.0
+	for _, q := range queriers {
+		got, _, err := m.QueryAttr(q, provenance.KeyDomain, provenance.String(domain))
+		if err != nil {
+			if arch.IsUnavailable(err) {
+				continue
+			}
+			return 0, fmt.Errorf("query: %w", err)
+		}
+		hit := 0
+		for _, id := range got {
+			if acked[id] {
+				hit++
+			}
+		}
+		recall += float64(hit) / float64(len(acked))
+	}
+	return recall / float64(len(queriers)), nil
+}
+
+// TestBridgeCleanNetworkAgrees runs the same build function over netsim
+// and over real sockets on a mirrored topology with no faults: both
+// backends must reach recall 1.0 on the identical schedule.
+func TestBridgeCleanNetworkAgrees(t *testing.T) {
+	const nSites, nPubs = 8, 24
+	for name, build := range bridgeBuilders {
+		t.Run(name, func(t *testing.T) {
+			// netsim side.
+			sim, simSites := netsim.RandomTopology(netsim.Config{Seed: 11}, 2, nSites/2, 77)
+			simZone := func(id netsim.SiteID) string { s, _ := sim.Site(id); return s.Zone }
+			simPubs, err := bridgePubs(simSites, simZone, "bridge", nPubs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRecall, err := driveModel(build(sim, simSites), simSites, simPubs, "bridge")
+			if err != nil {
+				t.Fatalf("netsim run: %v", err)
+			}
+
+			// socket side: mirror the simulated topology (names, zones,
+			// coordinates, IDs) onto real UDP endpoints.
+			var simTopo []netsim.Site
+			for _, id := range simSites {
+				s, _ := sim.Site(id)
+				simTopo = append(simTopo, s)
+			}
+			tr := NewTransport(Config{AckTimeout: 200 * time.Millisecond})
+			defer tr.Close()
+			realSites := tr.AddSites(simTopo)
+			realZone := func(id netsim.SiteID) string { s, _ := tr.Site(id); return s.Zone }
+			realPubs, err := bridgePubs(realSites, realZone, "bridge", nPubs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			realRecall, err := driveModel(build(tr, realSites), realSites, realPubs, "bridge")
+			if err != nil {
+				t.Fatalf("socket run: %v", err)
+			}
+
+			if simRecall != 1.0 {
+				t.Errorf("netsim recall = %.3f, want 1.0", simRecall)
+			}
+			if realRecall != 1.0 {
+				t.Errorf("socket recall = %.3f, want 1.0", realRecall)
+			}
+		})
+	}
+}
+
+// TestBridgeLossyNetworkWithinTolerance repeats the bridge under 20%
+// seeded loss on both backends. Loss realisations differ (different RNG
+// streams), so the assertion is a tolerance band, not equality: the
+// backends must agree within 0.25 recall, and neither may collapse.
+func TestBridgeLossyNetworkWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lossy bridge run skipped in -short")
+	}
+	const nSites, nPubs, tolerance = 8, 24, 0.25
+	for name, build := range bridgeBuilders {
+		t.Run(name, func(t *testing.T) {
+			sim, simSites := netsim.RandomTopology(netsim.Config{Seed: 13, LossRate: 0.20}, 2, nSites/2, 78)
+			simZone := func(id netsim.SiteID) string { s, _ := sim.Site(id); return s.Zone }
+			simPubs, err := bridgePubs(simSites, simZone, "lossy", nPubs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRecall, err := driveModel(build(sim, simSites), simSites, simPubs, "lossy")
+			if err != nil {
+				t.Fatalf("netsim run: %v", err)
+			}
+
+			var simTopo []netsim.Site
+			for _, id := range simSites {
+				s, _ := sim.Site(id)
+				simTopo = append(simTopo, s)
+			}
+			tr := NewTransport(Config{LossRate: 0.20, Seed: 13, AckTimeout: 100 * time.Millisecond})
+			defer tr.Close()
+			realSites := tr.AddSites(simTopo)
+			realZone := func(id netsim.SiteID) string { s, _ := tr.Site(id); return s.Zone }
+			realPubs, err := bridgePubs(realSites, realZone, "lossy", nPubs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			realRecall, err := driveModel(build(tr, realSites), realSites, realPubs, "lossy")
+			if err != nil {
+				t.Fatalf("socket run: %v", err)
+			}
+
+			if diff := simRecall - realRecall; diff > tolerance || diff < -tolerance {
+				t.Errorf("recall diverged: netsim %.3f vs sockets %.3f (tolerance %.2f)",
+					simRecall, realRecall, tolerance)
+			}
+			if simRecall < 0.5 || realRecall < 0.5 {
+				t.Errorf("recall collapsed: netsim %.3f, sockets %.3f", simRecall, realRecall)
+			}
+		})
+	}
+}
