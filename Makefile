@@ -6,7 +6,7 @@
 #                        Run before sending a PR.
 #   make short         — quick edit loop: -short shrinks the 1,000-site
 #                        conformance sweeps and skips the 10k-site ones.
-#   make bench         — regenerate the experiment tables (E1–E17) and
+#   make bench         — regenerate the experiment tables (E1–E18) and
 #                        write BENCH.json for comparison against the
 #                        committed BENCH_3.json baseline. BENCH.json is
 #                        scratch output (gitignored); the committed
@@ -59,14 +59,16 @@ vet:
 # the serial-vs-parallel equivalence tests execute both paths. The ops
 # surface is concurrent by design — the metrics registry and trace ring
 # are scraped while soaks write to them — so metrics, trace, and obs run
-# under -race too (obs at -short: its soaks replay full fault schedules).
+# under -race too (obs at -short: its soaks replay full fault schedules),
+# and ratelimit joins them: admission controllers take concurrent Offer
+# calls by contract.
 # The real-socket layer joins the net: wire endpoints multiplex inflight
 # requests across goroutines and node handlers run concurrently, so wire
 # and node race in full; the multi-process cluster harness races at
 # -short (clean cross-check only — the lossy and churn schedules run in
 # the CI integration job and the plain test target).
 race:
-	$(GO) test -race -count=1 ./internal/core ./internal/kvstore ./internal/netsim ./internal/metrics ./internal/trace
+	$(GO) test -race -count=1 ./internal/core ./internal/kvstore ./internal/netsim ./internal/metrics ./internal/trace ./internal/ratelimit
 	$(GO) test -race -short -count=1 ./internal/arch/... ./internal/harness ./internal/obs
 	$(GO) test -race -count=1 -run 'TestSerialParallelEquivalence|TestRunCells' ./internal/harness
 	$(GO) test -race -count=1 ./internal/wire ./internal/node
@@ -91,6 +93,8 @@ bench-quick:
 	$(GO) test -run '^$$' -bench 'BenchmarkPassnetTick' -benchtime=100x ./internal/arch/passnet
 	$(GO) test -run '^$$' -bench 'BenchmarkSiteviewApply' -benchtime=100x ./internal/arch/siteview
 	$(GO) test -run '^$$' -bench 'BenchmarkDHTLookup' -benchtime=100x ./internal/arch/dht
+	$(GO) test -run '^$$' -bench 'BenchmarkOpenLoopGen' -benchtime=100x ./internal/workload
+	$(GO) test -run '^$$' -bench 'BenchmarkTokenBucket' -benchtime=100x ./internal/ratelimit
 
 # The perf trajectory gate (ROADMAP): regenerate the suite at the
 # baseline's scale, then compare wall-clock per experiment (generous

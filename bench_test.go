@@ -1,5 +1,5 @@
 // Package pass_test hosts the top-level benchmark harness: one testing.B
-// benchmark per experiment (E1–E17), each regenerating the corresponding
+// benchmark per experiment (E1–E18), each regenerating the corresponding
 // result table at a bench-friendly scale and reporting the experiment's
 // headline findings as custom benchmark metrics.
 //
@@ -153,4 +153,12 @@ func BenchmarkE16Churn(b *testing.B) {
 func BenchmarkE17Membership(b *testing.B) {
 	runExperiment(b, "E17",
 		"recall_dht_n64_rhi", "handoff_dht_n64_rhi", "rounds_passnet_n64_rhi")
+}
+
+// BenchmarkE18Overload regenerates the overload table (§IV Performance):
+// open-loop bursty load at 1x-100x nominal, admission-controlled shedding
+// vs backlog collapse, with publish-latency tail percentiles.
+func BenchmarkE18Overload(b *testing.B) {
+	runExperiment(b, "E18",
+		"recall_passnet_m100", "p999_central-adm_m100", "backlog_central_m100")
 }

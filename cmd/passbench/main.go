@@ -1,4 +1,4 @@
-// Command passbench runs the reproduction's experiment suite (E1–E17) and
+// Command passbench runs the reproduction's experiment suite (E1–E18) and
 // prints the result tables.
 //
 // Usage:

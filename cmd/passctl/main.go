@@ -17,7 +17,7 @@
 //	gc -before <RFC3339|unixnano>          collect old payloads
 //	verify                                 consistency audit
 //	stats                                  store statistics
-//	experiment [-scale F] [-parallel=true] <ID...>  run paper experiments (E1–E17); no -store needed
+//	experiment [-scale F] [-parallel=true] <ID...>  run paper experiments (E1–E18); no -store needed
 package main
 
 import (

@@ -181,6 +181,21 @@ func TestExperimentCommandE17(t *testing.T) {
 	}
 }
 
+func TestExperimentCommandE18(t *testing.T) {
+	// The overload experiment through the operator entry point: open-loop
+	// load, admission shedding, latency-tail columns.
+	var out bytes.Buffer
+	err := run([]string{"experiment", "-scale", "0.05", "e18"}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E18", "overload", "shed", "p999-ms", "central-adm", "passnet"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestExperimentCommandUnknownID(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"experiment", "E99"}, strings.NewReader(""), &out); err == nil {

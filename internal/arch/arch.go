@@ -19,6 +19,7 @@ import (
 
 	"pass/internal/netsim"
 	"pass/internal/provenance"
+	"pass/internal/ratelimit"
 	"pass/internal/xrand"
 )
 
@@ -221,6 +222,45 @@ type GossipStats struct {
 // dht (ring size, re-homing and handoff totals) implement it.
 type OpsSampler interface {
 	SampleOps(set func(metric string, value int64))
+}
+
+// Admitter is the optional capability interface for models whose serving
+// side can run under admission control (today: central, dht, passnet).
+// SetAdmission installs a ratelimit.Admission controller — nil removes it
+// — and the model consults it inside Publish: work the controller sheds
+// returns a ratelimit error (test with ratelimit.Shed) WITHOUT touching
+// the network, so a shed is cheap by construction; admitted work has the
+// controller's queueing delay added to its reported critical-path
+// latency, modeling time spent behind the backlog. The model's Tick
+// drives the controller's Tick (budget drain + bucket refill). E18 and
+// the obs collector type-assert for it; models without an ingest
+// bottleneck to protect simply do not implement it.
+type Admitter interface {
+	SetAdmission(a *ratelimit.Admission)
+	Admission() *ratelimit.Admission
+}
+
+// AdmissionSlot is the embeddable Admitter implementation the capable
+// models share: a mutex-guarded slot holding the installed controller.
+// Its zero value (no controller) is ready to use.
+type AdmissionSlot struct {
+	admMu sync.Mutex
+	adm   *ratelimit.Admission
+}
+
+// SetAdmission implements Admitter.
+func (s *AdmissionSlot) SetAdmission(a *ratelimit.Admission) {
+	s.admMu.Lock()
+	s.adm = a
+	s.admMu.Unlock()
+}
+
+// Admission implements Admitter; it returns nil when no controller is
+// installed.
+func (s *AdmissionSlot) Admission() *ratelimit.Admission {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	return s.adm
 }
 
 // GossipMeter is the optional capability interface for models that meter

@@ -31,8 +31,11 @@ import (
 // broken (loose coupling).
 var ErrDanglingLink = errors.New("central: index entry dangles (loose coupling)")
 
-// Model is the centralized warehouse.
+// Model is the centralized warehouse. It implements arch.Admitter: the
+// warehouse is the architecture's one ingest bottleneck, so it is where
+// admission control earns its keep under overload (E18).
 type Model struct {
+	arch.AdmissionSlot
 	mu        sync.Mutex
 	net       arch.Network
 	warehouse netsim.SiteID
@@ -62,8 +65,24 @@ func (m *Model) Name() string { return "central" }
 // ack arrives), so under packet loss publishes cost extra bandwidth and
 // latency but still land; only a down or partitioned warehouse makes the
 // publish fail outright.
+//
+// With an admission controller installed the warehouse first offers the
+// publish to it, charging the estimated service cost (the two legs of the
+// exchange): shed publishes return a ratelimit error without touching the
+// network, and admitted ones add the controller's queueing delay to the
+// reported latency.
 func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
-	return arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
+	var wait time.Duration
+	if adm := m.Admission(); adm != nil {
+		est, _ := m.net.Latency(p.Origin, m.warehouse, p.WireSize())
+		ack, _ := m.net.Latency(m.warehouse, p.Origin, arch.AckWire)
+		w, err := adm.Offer(int64(p.Origin), est+ack)
+		if err != nil {
+			return 0, err
+		}
+		wait = w
+	}
+	d, err := arch.Retry(m.rto, arch.SendRetries, func() (time.Duration, error) {
 		d1, err := m.net.Send(p.Origin, m.warehouse, p.WireSize())
 		if err != nil {
 			return d1, err
@@ -79,6 +98,7 @@ func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 		}
 		return d1 + d2, nil
 	})
+	return wait + d, err
 }
 
 // Lookup fetches a record from the warehouse.
@@ -139,8 +159,15 @@ func (m *Model) QueryAncestors(from netsim.SiteID, id provenance.ID) ([]provenan
 	return found, d, nil
 }
 
-// Tick implements arch.Model; the warehouse has no periodic work.
-func (m *Model) Tick() error { return nil }
+// Tick implements arch.Model; the warehouse's only periodic work is
+// advancing its admission controller (budget drain + bucket refill) when
+// one is installed.
+func (m *Model) Tick() error {
+	if adm := m.Admission(); adm != nil {
+		adm.Tick()
+	}
+	return nil
+}
 
 // CorruptLinks breaks the data back-link of the given fraction of indexed
 // records (loose-coupling failure injection) and returns how many broke.

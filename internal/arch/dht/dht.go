@@ -84,6 +84,7 @@ const ReplicaFanout = 2
 
 // Model is the Chord-style DHT.
 type Model struct {
+	arch.AdmissionSlot
 	mu  sync.Mutex
 	net arch.Network
 	// ring is the current membership snapshot. Stabilize replaces it
@@ -281,7 +282,25 @@ func (r *ring) replicaBucket(idx int, sourcePos uint64) *arch.SiteStore {
 // returns an error — re-offering the same Pub completes it
 // (idempotence).
 func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
+	var wait time.Duration
+	if adm := m.Admission(); adm != nil {
+		// Admission at the record's home node: charge the estimated
+		// direct exchange (placement + ack) as the service cost; shed
+		// publishes never touch the network.
+		r := m.snapshot()
+		if len(r.nodes) > 0 {
+			home := r.nodes[r.successorIdx(ringPos(p.ID[:]))].site
+			est, _ := m.net.Latency(p.Origin, home, p.WireSize())
+			ack, _ := m.net.Latency(home, p.Origin, arch.AckWire)
+			w, err := adm.Offer(int64(p.Origin), est+ack)
+			if err != nil {
+				return 0, err
+			}
+			wait = w
+		}
+	}
 	d, err := m.publishOnce(p)
+	d += wait
 	if err != nil {
 		return d, err
 	}
@@ -895,6 +914,9 @@ func missingFrom(primary, replica *arch.SiteStore) ([]provenance.ID, []*provenan
 // retries them — so one crashed node cannot stall everyone else's
 // refresh.
 func (m *Model) Tick() error {
+	if adm := m.Admission(); adm != nil {
+		adm.Tick()
+	}
 	if _, err := m.Stabilize(); err != nil {
 		return err
 	}

@@ -57,6 +57,7 @@ import (
 
 // Model is the distributed PASS.
 type Model struct {
+	arch.AdmissionSlot
 	mu    sync.Mutex
 	net   arch.Network
 	sites []netsim.SiteID
@@ -262,7 +263,21 @@ func (m *Model) Publish(p arch.Pub) (time.Duration, error) {
 	if !ok {
 		return 0, fmt.Errorf("passnet: unknown site %d", p.Origin)
 	}
+	var wait time.Duration
+	if adm := m.Admission(); adm != nil {
+		// Publishes land locally, so the service cost is near zero and
+		// the queue bound rarely bites; admission here is per-producer
+		// fairness (the token buckets), protecting the gossip fan-out
+		// from one hot producer.
+		est, _ := m.net.Latency(p.Origin, p.Origin, p.WireSize())
+		w, err := adm.Offer(int64(p.Origin), est)
+		if err != nil {
+			return 0, err
+		}
+		wait = w
+	}
 	d, err := m.net.Send(p.Origin, p.Origin, p.WireSize())
+	d += wait
 	if err != nil {
 		return 0, err
 	}
@@ -609,6 +624,9 @@ func (m *Model) pruneOutboxFor(s netsim.SiteID) {
 // round ends by recording which sites are down, which is what the next
 // round's recovery detection compares against.
 func (m *Model) Tick() error {
+	if adm := m.Admission(); adm != nil {
+		adm.Tick()
+	}
 	if !m.manualRejoin {
 		if err := m.rejoinRecovered(); err != nil {
 			return err

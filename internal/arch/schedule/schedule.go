@@ -45,10 +45,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"pass/internal/arch"
 	"pass/internal/netsim"
 	"pass/internal/provenance"
+	"pass/internal/ratelimit"
 	"pass/internal/xrand"
 )
 
@@ -386,6 +388,10 @@ type Outcome struct {
 	// (zero for models whose leavers simply go dark).
 	Leaves     int
 	LeaveBytes int64
+	// Shed counts publishes the model's admission controller refused
+	// (ratelimit errors); zero for models without one installed. Shed
+	// publishes are not acknowledged and leave the recall denominator.
+	Shed int
 	// GossipBytes / DupSuppressed / PullRounds mirror the model's
 	// arch.GossipMeter accounting at the end of the replay (all zero for
 	// models without a metered dissemination layer) — the E17 gossip
@@ -434,6 +440,14 @@ type RoundStats struct {
 	// Probe lookups travel the simulated network, so observed runs
 	// charge slightly more bytes than unobserved ones — deterministically.
 	Recall float64
+	// Shed is the cumulative admission-refusal count (Outcome.Shed so
+	// far).
+	Shed int
+	// PubLatencies holds this round's acknowledged-publish latencies
+	// (admission queueing included), in offer order — the feed for the
+	// observer's pass_latency_publish series. The slice is handed to the
+	// observer; it is not reused across rounds.
+	PubLatencies []time.Duration
 }
 
 // Observer receives the runner's per-round telemetry. OnEvent fires for
@@ -503,11 +517,21 @@ func RunObserved(s *Schedule, build func(net *netsim.Network, sites []netsim.Sit
 	acked := make(map[provenance.ID]bool)
 	var unacked []arch.Pub
 	seq := 0
+	var roundLat []time.Duration
 	offer := func(p arch.Pub, attempts int) (bool, error) {
 		for a := 0; a < attempts; a++ {
-			_, err := m.Publish(p)
+			d, err := m.Publish(p)
 			if err == nil {
+				roundLat = append(roundLat, d)
 				return true, nil
+			}
+			if ratelimit.Shed(err) {
+				// An admission refusal is load shedding, not a fault:
+				// retrying within the round cannot help (buckets refill
+				// and queues drain on Tick), so the publish stays
+				// unacknowledged.
+				out.Shed++
+				return false, nil
 			}
 			if !arch.IsUnavailable(err) {
 				return false, fmt.Errorf("%s publish: %w", m.Name(), err)
@@ -682,7 +706,8 @@ func RunObserved(s *Schedule, build func(net *netsim.Network, sites []netsim.Sit
 			return out, fmt.Errorf("%s tick (round %d): %w", m.Name(), round, err)
 		}
 		if obs != nil {
-			obs.OnRound(roundStats(round, net, members, leftIdx, &out, acked, m))
+			obs.OnRound(roundStats(round, net, members, leftIdx, &out, acked, m, roundLat))
+			roundLat = nil
 		}
 	}
 
@@ -724,7 +749,9 @@ func RunObserved(s *Schedule, build func(net *netsim.Network, sites []netsim.Sit
 			obs.OnRound(RoundStats{
 				Round: cfg.Rounds + out.ConvRounds, Offered: out.Offered, Acked: len(acked),
 				Live: net.UpCount(), Bytes: st.Bytes, Msgs: st.Messages, Recall: out.Recall,
+				Shed: out.Shed, PubLatencies: roundLat,
 			})
+			roundLat = nil
 		}
 		if out.Recall == 1 {
 			out.ConvRounds++
@@ -743,7 +770,7 @@ func RunObserved(s *Schedule, build func(net *netsim.Network, sites []netsim.Sit
 // count, and a two-querier recall probe over everything acknowledged so
 // far. Queriers are the first two live, non-departed members (anchors in
 // practice — the generator never crashes them).
-func roundStats(round int, net *netsim.Network, members []netsim.SiteID, leftIdx map[int]bool, out *Outcome, acked map[provenance.ID]bool, m arch.Model) RoundStats {
+func roundStats(round int, net *netsim.Network, members []netsim.SiteID, leftIdx map[int]bool, out *Outcome, acked map[provenance.ID]bool, m arch.Model, lats []time.Duration) RoundStats {
 	queriers := make([]netsim.SiteID, 0, 2)
 	for i := 0; i < len(members) && len(queriers) < 2; i++ {
 		if !net.IsDown(members[i]) && !leftIdx[i] {
@@ -754,7 +781,7 @@ func roundStats(round int, net *netsim.Network, members []netsim.SiteID, leftIdx
 	rs := RoundStats{
 		Round: round, Offered: out.Offered, Acked: len(acked),
 		Live: net.UpCount(), Bytes: st.Bytes, Msgs: st.Messages,
-		Recall: 1,
+		Recall: 1, Shed: out.Shed, PubLatencies: lats,
 	}
 	if len(queriers) > 0 {
 		rs.Recall = recall(m, queriers, acked)

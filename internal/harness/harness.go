@@ -1,4 +1,4 @@
-// Package harness runs the reproduction's experiment suite, E1–E17. The
+// Package harness runs the reproduction's experiment suite, E1–E18. The
 // paper (a position paper) contains no numbered tables or figures; each
 // experiment instead makes one of its quantitative or comparative claims
 // measurable — see the README experiment map for the claim-to-experiment
@@ -20,7 +20,7 @@ import (
 
 // Result is one experiment's output.
 type Result struct {
-	// ID is the experiment identifier ("E1" … "E17").
+	// ID is the experiment identifier ("E1" … "E18").
 	ID string
 	// Title summarizes the claim under test.
 	Title string
@@ -121,6 +121,7 @@ func All() []Experiment {
 		{"E15", "Split-brain: divergent per-site views under partition, convergence after heal (§IV Consistency)", (*Runner).E15SplitBrain},
 		{"E16", "Churn: crash, stabilize, rejoin — recall and recovery cost vs crash rate (§IV Reliability)", (*Runner).E16Churn},
 		{"E17", "Membership: randomized join/crash/partition schedules — recall, handoff cost, convergence (§IV Reliability)", (*Runner).E17Membership},
+		{"E18", "Overload: open-loop bursty load at 1x-100x nominal — graceful shedding vs collapse (§IV Performance)", (*Runner).E18Overload},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// E1 < E2 < ... < E13 numerically.

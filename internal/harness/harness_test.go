@@ -14,8 +14,8 @@ func testRunner() *Runner { return NewRunner(0.15) }
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(exps))
 	}
 	for i, e := range exps {
 		if e.ID != "E"+itoa(i+1) {
@@ -489,7 +489,7 @@ func TestRunAllProducesAllResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 17 {
+	if len(results) != 18 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

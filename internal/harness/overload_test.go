@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// E18 shape checks: who collapses under open-loop overload, who sheds
+// gracefully, and who absorbs. Assertions are relational (model A vs
+// model B at the same multiplier, one multiplier vs the next) so they pin
+// the story rather than absolute latencies.
+
+func TestE18OverloadShape(t *testing.T) {
+	res, err := testRunner().E18Overload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Finding
+
+	// Every model in a multiplier column faces the same arrival schedule.
+	for _, m := range []string{"m1", "m10", "m100"} {
+		want := f("offered_central_" + m)
+		if want <= 0 {
+			t.Fatalf("%s: no offered load", m)
+		}
+		for _, model := range []string{"central-adm", "distdb", "feddb", "softstate", "hier", "dht", "dht-adm", "passnet", "passnet-adm"} {
+			if v := f("offered_" + model + "_" + m); v != want {
+				t.Fatalf("offered_%s_%s = %v, want %v (shared schedule)", model, m, v, want)
+			}
+		}
+	}
+
+	// At nominal load the cheap-ingest models and the healthy expensive
+	// ones all index everything; at 100x the local-append architectures
+	// still do. That is the paper's decentralization argument under load.
+	for _, model := range []string{"central", "feddb", "softstate", "hier", "passnet", "passnet-adm"} {
+		if v := f("recall_" + model + "_m1"); v != 1 {
+			t.Errorf("recall_%s_m1 = %v, want 1.0", model, v)
+		}
+	}
+	for _, model := range []string{"feddb", "softstate", "passnet", "passnet-adm"} {
+		if v := f("recall_" + model + "_m100"); v != 1 {
+			t.Errorf("recall_%s_m100 = %v, want 1.0 (local append absorbs)", model, v)
+		}
+	}
+
+	// Collapse: at 100x the WAN-bottlenecked models leave most of the
+	// offered load in the backlog, never indexed.
+	for _, model := range []string{"central", "distdb", "hier", "dht"} {
+		off := f("offered_" + model + "_m100")
+		if bl := f("backlog_" + model + "_m100"); bl < off/2 {
+			t.Errorf("backlog_%s_m100 = %v of %v offered, want a collapse (>= half)", model, bl, off)
+		}
+		if v := f("recall_" + model + "_m100"); v >= 0.1 {
+			t.Errorf("recall_%s_m100 = %v, want < 0.1 under collapse", model, v)
+		}
+	}
+
+	// Graceful shedding: central-adm refuses overload work instead of
+	// queueing it forever, so its tail stays bounded by the admission
+	// queue cap while plain central's tail grows with the backlog.
+	if v := f("shedrate_central-adm_m100") + f("shedqueue_central-adm_m100"); v <= 0 {
+		t.Error("central-adm sheds nothing at 100x")
+	}
+	if a, c := f("p99_central-adm_m100"), f("p99_central_m100"); a >= c {
+		t.Errorf("p99 central-adm %v >= central %v at 100x: shedding did not bound the tail", a, c)
+	}
+	if a, c := f("p999_central-adm_m100"), f("p999_central_m100"); a >= c {
+		t.Errorf("p999 central-adm %v >= central %v at 100x", a, c)
+	}
+	if v := f("backlog_central-adm_m100"); v != 0 {
+		t.Errorf("backlog_central-adm_m100 = %v, want 0 (bounded queue drains)", v)
+	}
+	// The bound itself: admitted work waits at most the queue cap (plus
+	// one service time), far under plain central's multi-round convoy.
+	bound := float64((overloadQueueCap + 1) * overloadRound.Milliseconds())
+	if v := f("p999_central-adm_m100"); v > bound {
+		t.Errorf("p999_central-adm_m100 = %v ms, want <= queue-cap bound %v ms", v, bound)
+	}
+
+	// Shedding also beats collapsing on recall: refusing the hot tail
+	// keeps the queue serving instead of convoying behind it.
+	if a, c := f("recall_central-adm_m100"), f("recall_central_m100"); a <= c {
+		t.Errorf("recall central-adm %v <= central %v at 100x", a, c)
+	}
+
+	// Capacity-matched admission is free: passnet-adm absorbs 100x with
+	// zero shed and a tail far below the expensive models'.
+	if v := f("shedrate_passnet-adm_m100") + f("shedqueue_passnet-adm_m100"); v != 0 {
+		t.Errorf("passnet-adm shed %v at 100x despite ample capacity", v)
+	}
+	if a, c := f("p99_passnet-adm_m100"), f("p99_central-adm_m100"); a >= c {
+		t.Errorf("p99 passnet-adm %v >= central-adm %v at 100x", a, c)
+	}
+
+	// Load actually grows across columns, and collapse deepens with it.
+	if o1, o100 := f("offered_central_m1"), f("offered_central_m100"); o100 < 50*o1 {
+		t.Errorf("offered grew only %vx from 1x to 100x column", o100/o1)
+	}
+	if r10, r100 := f("recall_central_m10"), f("recall_central_m100"); r100 > r10 {
+		t.Errorf("central recall rose from %v at 10x to %v at 100x", r10, r100)
+	}
+
+	// Query latency is a local/index property, not an ingest property:
+	// the hot-key query tail must not melt with ingest overload.
+	for _, model := range []string{"central", "passnet", "feddb"} {
+		q1, q100 := f("qp99_"+model+"_m1"), f("qp99_"+model+"_m100")
+		if q100 > 3*q1+1 {
+			t.Errorf("qp99_%s grew %v -> %v under ingest overload", model, q1, q100)
+		}
+	}
+}
+
+// TestE18Deterministic pins the whole experiment — schedules, admission,
+// reservoir quantiles — as replayable: two runs, identical findings and
+// rendered table.
+func TestE18Deterministic(t *testing.T) {
+	a, err := testRunner().E18Overload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testRunner().E18Overload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Findings, b.Findings) {
+		t.Fatal("E18 findings differ between identical runs")
+	}
+	if a.Table.String() != b.Table.String() {
+		t.Fatal("E18 tables differ between identical runs")
+	}
+}

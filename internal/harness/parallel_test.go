@@ -10,7 +10,8 @@ import (
 // The determinism contract of the parallel cell runner: with the same
 // seed, serial and parallel execution produce byte-identical tables and
 // identical findings. One representative experiment per fault family
-// (E14 loss, E15 partition, E16 churn, E17 randomized membership) pins
+// (E14 loss, E15 partition, E16 churn, E17 randomized membership, E18
+// overload) pins
 // it; these are the sweeps where a scheduling-order leak would corrupt
 // published results silently.
 
@@ -26,6 +27,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		{"E15", (*Runner).E15SplitBrain},
 		{"E16", (*Runner).E16Churn},
 		{"E17", (*Runner).E17Membership},
+		{"E18", (*Runner).E18Overload},
 	}
 	for _, tc := range cases {
 		t.Run(tc.id, func(t *testing.T) {

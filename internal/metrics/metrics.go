@@ -85,6 +85,10 @@ type Histogram struct {
 	sorted   bool
 }
 
+// reservoirSeed is the fixed xorshift seed every histogram starts from, so
+// that same-seed runs make identical reservoir decisions. Reset restores it.
+const reservoirSeed uint64 = 0x9e3779b97f4a7c15
+
 // NewHistogram returns a histogram that retains at most maxKeep samples for
 // percentile estimation. maxKeep <= 0 selects a default of 16384.
 func NewHistogram(maxKeep int) *Histogram {
@@ -95,8 +99,16 @@ func NewHistogram(maxKeep int) *Histogram {
 		maxKeep:  maxKeep,
 		min:      math.Inf(1),
 		max:      math.Inf(-1),
-		rngState: 0x9e3779b97f4a7c15,
+		rngState: reservoirSeed,
 	}
+}
+
+// nextRandLocked advances the xorshift state; callers hold h.mu.
+func (h *Histogram) nextRandLocked() uint64 {
+	h.rngState ^= h.rngState << 13
+	h.rngState ^= h.rngState >> 7
+	h.rngState ^= h.rngState << 17
+	return h.rngState
 }
 
 // Observe records one observation.
@@ -117,10 +129,7 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	// Reservoir sampling: replace a random slot with probability keep/count.
-	h.rngState ^= h.rngState << 13
-	h.rngState ^= h.rngState >> 7
-	h.rngState ^= h.rngState << 17
-	idx := h.rngState % uint64(h.count)
+	idx := h.nextRandLocked() % uint64(h.count)
 	if idx < uint64(len(h.samples)) {
 		h.samples[idx] = v
 	}
@@ -180,6 +189,12 @@ func (h *Histogram) Max() float64 {
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked computes the q-quantile; callers hold h.mu. Sorting is
+// lazy and shared across consecutive quantile reads.
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -209,23 +224,32 @@ type Snapshot struct {
 	Sum            float64
 	Mean, Min, Max float64
 	P50, P90, P99  float64
+	P999           float64
 }
 
-// Snapshot returns a consistent summary.
+// Snapshot returns a consistent summary: every field is read under one
+// lock acquisition, so Mean is exactly Sum/Count and the quantiles come
+// from the same sample pool even while other goroutines Observe.
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Sum:   h.Sum(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{Count: h.count, Sum: h.sum}
+	if h.count == 0 {
+		return s
 	}
+	s.Mean = h.sum / float64(h.count)
+	s.Min = h.min
+	s.Max = h.max
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P99 = h.quantileLocked(0.99)
+	s.P999 = h.quantileLocked(0.999)
+	return s
 }
 
-// Reset clears all recorded observations.
+// Reset clears all recorded observations and re-seeds the reservoir RNG,
+// so a reset histogram makes the same retention decisions as a fresh one
+// (the suite's same-seed determinism convention).
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -235,13 +259,18 @@ func (h *Histogram) Reset() {
 	h.min = math.Inf(1)
 	h.max = math.Inf(-1)
 	h.sorted = false
+	h.rngState = reservoirSeed
 }
 
 // Merge folds o's observations into h: exact count/sum/min/max combine,
-// and o's retained samples join h's sample pool (downsampled uniformly if
-// the union exceeds h's retention cap). o is read under its own lock and
-// released before h locks, so concurrent a.Merge(b) / b.Merge(a) cannot
-// deadlock. Merging a histogram into itself, or a nil/empty o, is a no-op.
+// and o's retained samples join h's sample pool. When the union exceeds
+// h's retention cap, each side's retention quota is proportional to its
+// true observation count — not its pool size — so a 100-observation
+// histogram merged into a 1M-observation one contributes ~0.01% of the
+// merged pool instead of swamping the tail quantiles. o is read under its
+// own lock and released before h locks, so concurrent a.Merge(b) /
+// b.Merge(a) cannot deadlock. Merging a histogram into itself, or a
+// nil/empty o, is a no-op.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o == h {
 		return
@@ -255,6 +284,7 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	hCount := h.count
 	h.count += count
 	h.sum += sum
 	if min < h.min {
@@ -264,19 +294,46 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.max = max
 	}
 	h.sorted = false
-	h.samples = append(h.samples, samples...)
-	// Keep percentile estimation bounded: shuffle-truncate to a uniform
-	// subset when the merged pool overflows the retention cap.
-	if len(h.samples) > h.maxKeep {
-		for i := len(h.samples) - 1; i > 0; i-- {
-			h.rngState ^= h.rngState << 13
-			h.rngState ^= h.rngState >> 7
-			h.rngState ^= h.rngState << 17
-			j := int(h.rngState % uint64(i+1))
-			h.samples[i], h.samples[j] = h.samples[j], h.samples[i]
-		}
-		h.samples = h.samples[:h.maxKeep]
+	if len(h.samples)+len(samples) <= h.maxKeep {
+		// Union fits: keep every sample. Each side's pool already carries
+		// its own count-derived weight only when neither overflowed; for
+		// small histograms this is the exact union.
+		h.samples = append(h.samples, samples...)
+		return
 	}
+	// Overflow: split the cap between the two pools in proportion to the
+	// true observation counts, then uniformly subsample each side to its
+	// quota. This preserves each side's weight in the merged quantiles.
+	n := h.maxKeep
+	kO := int(math.Round(float64(n) * float64(count) / float64(hCount+count)))
+	if kO > len(samples) {
+		kO = len(samples)
+	}
+	kH := n - kO
+	if kH > len(h.samples) {
+		kH = len(h.samples)
+		if extra := n - kH; extra < len(samples) {
+			kO = extra
+		} else {
+			kO = len(samples)
+		}
+	}
+	h.samples = h.pickLocked(h.samples, kH)
+	h.samples = append(h.samples, h.pickLocked(samples, kO)...)
+}
+
+// pickLocked uniformly selects k elements of pool without replacement via
+// a partial Fisher–Yates shuffle, mutating pool in place and returning its
+// first k elements. Callers hold h.mu (the selection consumes h's RNG).
+func (h *Histogram) pickLocked(pool []float64, k int) []float64 {
+	if k >= len(pool) {
+		return pool
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(h.nextRandLocked()%uint64(len(pool)-i))
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k]
 }
 
 // Label is one dimension of a labeled metric, e.g. {model=passnet-eff} or

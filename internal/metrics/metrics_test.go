@@ -146,6 +146,216 @@ func TestHistogramQuantileMonotone(t *testing.T) {
 	}
 }
 
+// testRand is a minimal xorshift* generator for deterministic test draws.
+type testRand struct{ s uint64 }
+
+func (r *testRand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *testRand) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// TestHistogramMergeWeightedRetention is the regression test for the merge
+// downsample bias: a small histogram merged into a much larger one must
+// keep pool shares proportional to true observation counts. Under the old
+// uniform shuffle-truncate, the 200 foreign samples kept ~200/4296 of the
+// merged pool (~4.6%, versus a true share of 0.1%), dragging the merged
+// p99 into the foreign band; weighted retention keeps it in the dominant
+// side's band.
+func TestHistogramMergeWeightedRetention(t *testing.T) {
+	dominant := NewHistogram(4096)
+	for i := 0; i < 200000; i++ {
+		dominant.Observe(10 + 10*float64(i%1000)/1000) // band [10, 20)
+	}
+	foreign := NewHistogram(4096)
+	for i := 0; i < 200; i++ {
+		foreign.Observe(1e6 + float64(i)) // band [1e6, 1e6+200)
+	}
+	dominant.Merge(foreign)
+	if got := dominant.Count(); got != 200200 {
+		t.Fatalf("merged count = %d, want 200200", got)
+	}
+	if got := dominant.Max(); got < 1e6 {
+		t.Fatalf("merged max = %v, want >= 1e6 (exact max survives)", got)
+	}
+	// True foreign share is 200/200200 ≈ 0.1%, so the true p99 sits well
+	// inside the dominant band.
+	if p99 := dominant.Quantile(0.99); p99 < 10 || p99 >= 100 {
+		t.Fatalf("merged p99 = %v, want in dominant band [10, 100)", p99)
+	}
+	// The foreign side must still be represented where it truly lives: at
+	// the extreme tail. q=1 is the retained max-most sample.
+	if q1 := dominant.Quantile(1); q1 < 20 {
+		t.Fatalf("merged q1 = %v: foreign tail entirely lost", q1)
+	}
+}
+
+// TestHistogramMergeSmallUnion pins the exact-union path: when both pools
+// fit under the cap no sample is dropped.
+func TestHistogramMergeSmallUnion(t *testing.T) {
+	a := NewHistogram(100)
+	b := NewHistogram(100)
+	for _, v := range []float64{1, 2, 3} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{4, 5, 6} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if got := a.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := a.Quantile(0.5); got != 3.5 {
+		t.Fatalf("p50 = %v, want 3.5 (exact union)", got)
+	}
+}
+
+// TestHistogramSnapshotAtomic pins the single-lock Snapshot: under
+// concurrent Observe traffic every snapshot must be internally consistent
+// (Mean is exactly Sum/Count, quantiles bracketed by Min/Max). Run under
+// -race this also exercises the lock discipline.
+func TestHistogramSnapshotAtomic(t *testing.T) {
+	h := NewHistogram(1024)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := testRand{s: seed}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(1 + 99*r.float64()) // values in [1, 100)
+				}
+			}
+		}(uint64(w + 1))
+	}
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if want := s.Sum / float64(s.Count); s.Mean != want {
+			t.Errorf("snapshot %d: Mean = %v, Sum/Count = %v (torn snapshot)", i, s.Mean, want)
+			break
+		}
+		if s.Min > s.P50 || s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+			t.Errorf("snapshot %d: quantiles out of order: %+v", i, s)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHistogramResetReseedsReservoir pins same-seed determinism across
+// Reset: a reset-then-refilled histogram must make exactly the reservoir
+// decisions of a fresh one. The old Reset left rngState mid-stream, so the
+// second fill diverged.
+func TestHistogramResetReseedsReservoir(t *testing.T) {
+	feed := func(h *Histogram) {
+		r := testRand{s: 7}
+		for i := 0; i < 64*10; i++ {
+			h.Observe(r.float64() * 1000)
+		}
+	}
+	quantiles := func(h *Histogram) []float64 {
+		out := make([]float64, 0, 11)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			out = append(out, h.Quantile(q))
+		}
+		return out
+	}
+	reused := NewHistogram(64)
+	feed(reused)
+	reused.Reset()
+	feed(reused)
+	fresh := NewHistogram(64)
+	feed(fresh)
+	got, want := quantiles(reused), quantiles(fresh)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("quantile[%d] after reset+refill = %v, fresh = %v: reservoir not re-seeded", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHistogramReservoirAccuracy feeds 10x the retention cap from known
+// distributions and checks the estimated quantiles against the true ones.
+func TestHistogramReservoirAccuracy(t *testing.T) {
+	const keep = 1024
+	const n = 10 * keep
+
+	uniform := NewHistogram(keep)
+	r := testRand{s: 42}
+	for i := 0; i < n; i++ {
+		uniform.Observe(r.float64() * 1000)
+	}
+	if p50 := uniform.Quantile(0.5); p50 < 420 || p50 > 580 {
+		t.Fatalf("uniform p50 = %v, want near 500", p50)
+	}
+	if p99 := uniform.Quantile(0.99); p99 < 955 || p99 > 1000 {
+		t.Fatalf("uniform p99 = %v, want near 990", p99)
+	}
+
+	// Pareto(alpha=1.5): x = (1/(1-u))^(1/1.5); median = 2^(2/3) ~ 1.587,
+	// p99 = 100^(2/3) ~ 21.5.
+	pareto := NewHistogram(keep)
+	r = testRand{s: 99}
+	for i := 0; i < n; i++ {
+		u := r.float64()
+		pareto.Observe(math.Pow(1/(1-u), 1/1.5))
+	}
+	if p50 := pareto.Quantile(0.5); p50 < 1.3 || p50 > 1.9 {
+		t.Fatalf("pareto p50 = %v, want near 1.587", p50)
+	}
+	if p99 := pareto.Quantile(0.99); p99 < 14 || p99 > 32 {
+		t.Fatalf("pareto p99 = %v, want near 21.5", p99)
+	}
+}
+
+// TestHistogramObserveAtCapBoundary pins behavior at the exact moment the
+// pool reaches maxKeep: the pool is still exact there, and the next
+// observation switches to reservoir replacement without growing the pool.
+func TestHistogramObserveAtCapBoundary(t *testing.T) {
+	const keep = 256
+	h := NewHistogram(keep)
+	for i := 0; i < keep; i++ {
+		h.Observe(float64(i))
+	}
+	// Exactly at the cap: all samples retained, quantiles exact.
+	if got := h.Count(); got != keep {
+		t.Fatalf("count = %d, want %d", got, keep)
+	}
+	if got := h.Quantile(0.5); got != 127.5 {
+		t.Fatalf("p50 at cap = %v, want exact 127.5", got)
+	}
+	if got, want := h.Quantile(0), float64(0); got != want {
+		t.Fatalf("q0 at cap = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(1), float64(keep-1); got != want {
+		t.Fatalf("q1 at cap = %v, want %v", got, want)
+	}
+	// One past the cap: exact stats keep counting, pool stays bounded and
+	// quantiles stay within the observed range.
+	h.Observe(float64(keep))
+	if got := h.Count(); got != keep+1 {
+		t.Fatalf("count past cap = %d, want %d", got, keep+1)
+	}
+	if got := h.Max(); got != float64(keep) {
+		t.Fatalf("max past cap = %v, want %d", got, keep)
+	}
+	if q1 := h.Quantile(1); q1 < float64(keep-2) || q1 > float64(keep) {
+		t.Fatalf("q1 past cap = %v, out of observed range", q1)
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	h := NewHistogram(16)
 	h.Observe(42)

@@ -188,7 +188,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for _, q := range [...]struct {
 				label string
 				v     float64
-			}{{"0.5", s.Hist.P50}, {"0.9", s.Hist.P90}, {"0.99", s.Hist.P99}} {
+			}{{"0.5", s.Hist.P50}, {"0.9", s.Hist.P90}, {"0.99", s.Hist.P99}, {"0.999", s.Hist.P999}} {
 				if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, withQuantile(s.Labels, q.label), fmtValue(q.v)); err != nil {
 					return err
 				}

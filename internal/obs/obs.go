@@ -1,6 +1,8 @@
 // Package obs is the live observability layer of the reproduction: it
 // adapts the simulation's existing accounting — netsim's sharded stats,
-// arch.GossipMeter, arch.OpsSampler — into the labeled metrics registry,
+// arch.GossipMeter, arch.OpsSampler, arch.Admitter admission counters,
+// and the schedule runner's publish latencies — into the labeled
+// metrics registry,
 // emits the bounded JSONL round trace, and evaluates the time-windowed
 // soak gate ("recall never below the threshold for more than K
 // consecutive rounds") that the passd daemon and the RecallSoak
@@ -15,6 +17,7 @@ import (
 	"pass/internal/arch/schedule"
 	"pass/internal/metrics"
 	"pass/internal/netsim"
+	"pass/internal/ratelimit"
 	"pass/internal/trace"
 )
 
@@ -40,8 +43,9 @@ type Collector struct {
 
 	// Per-replay offsets so shared counters see only deltas.
 	prevBytes, prevMsgs, prevDropped, prevWAN int64
-	prevOffered, prevAcked                    int
+	prevOffered, prevAcked, prevShed          int
 	prevGossip                                arch.GossipStats
+	prevAdm                                   ratelimit.Stats
 }
 
 // NewCollector returns a collector for one replay, labeled modelLabel in
@@ -103,6 +107,25 @@ func (c *Collector) OnRound(st schedule.RoundStats) {
 	reg.FGauge("pass_recall", mL).Set(st.Recall)
 	reg.Histogram("pass_recall_probe", mL).Observe(st.Recall)
 
+	for _, d := range st.PubLatencies {
+		reg.Histogram("pass_latency_publish_ms", mL).Observe(float64(d.Microseconds()) / 1000)
+	}
+	reg.Counter("pass_pubs_shed_total", mL).Add(int64(st.Shed - c.prevShed))
+	c.prevShed = st.Shed
+
+	if ad, ok := c.m.(arch.Admitter); ok {
+		if adm := ad.Admission(); adm != nil {
+			as := adm.Stats()
+			reg.Counter("pass_admission_offered_total", mL).Add(as.Offered - c.prevAdm.Offered)
+			reg.Counter("pass_admission_admitted_total", mL).Add(as.Admitted - c.prevAdm.Admitted)
+			reg.Counter("pass_admission_shed_rate_total", mL).Add(as.ShedRate - c.prevAdm.ShedRate)
+			reg.Counter("pass_admission_shed_queue_total", mL).Add(as.ShedQueue - c.prevAdm.ShedQueue)
+			reg.Counter("pass_admission_served_total", mL).Add(as.Served - c.prevAdm.Served)
+			reg.Gauge("pass_admission_queue_items", mL).Set(int64(as.QueueItems))
+			reg.Gauge("pass_admission_queue_delay_ms", mL).Set(as.QueueDelay.Milliseconds())
+			c.prevAdm = as
+		}
+	}
 	if gm, ok := c.m.(arch.GossipMeter); ok {
 		gs := gm.GossipStats()
 		reg.Counter("pass_gossip_bytes_total", mL).Add(gs.Bytes - c.prevGossip.Bytes)

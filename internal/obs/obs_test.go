@@ -75,6 +75,12 @@ func TestSoakCollectsMetrics(t *testing.T) {
 		`pass_soak_gate_ok{model="passnet"}`,
 		`pass_site_bytes_out{model="dht",site="0"}`,
 		`pass_soak_iterations_total{model="central"}`,
+		`pass_latency_publish_ms_count{model="central"}`,
+		`pass_latency_publish_ms{model="passnet",quantile="0.999"}`,
+		`pass_admission_offered_total{model="central-adm"}`,
+		`pass_admission_served_total{model="central-adm"}`,
+		`pass_admission_queue_items{model="central-adm"}`,
+		`pass_pubs_shed_total{model="central-adm"}`,
 	} {
 		if !strings.Contains(out, series) {
 			t.Errorf("exposition missing series %s", series)

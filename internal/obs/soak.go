@@ -14,17 +14,35 @@ import (
 	"pass/internal/arch/softstate"
 	"pass/internal/metrics"
 	"pass/internal/netsim"
+	"pass/internal/ratelimit"
 	"pass/internal/trace"
 )
 
 // Builder returns the constructor for a named roster model. The roster
 // mirrors the schedule-capable entrants of E16/E17: central, softstate,
-// dht, passnet, and passnet-eff (efficient gossip).
+// dht, passnet, and passnet-eff (efficient gossip), plus central-adm —
+// central under a generously provisioned admission controller, which
+// keeps the pass_admission_* and queue-delay series live in the daemon.
 func Builder(name string) (func(net *netsim.Network, sites []netsim.SiteID) arch.Model, bool) {
 	switch name {
 	case "central":
 		return func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
 			return central.New(net, sites[0])
+		}, true
+	case "central-adm":
+		return func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
+			m := central.New(net, sites[0])
+			// Provisioned for the soak's nominal load: the buckets and
+			// queue bound only bite if a workload change floods the
+			// warehouse, which is exactly what the shed counters are
+			// there to catch.
+			m.SetAdmission(ratelimit.NewAdmission(ratelimit.Config{
+				PerClientRate:  8,
+				PerClientBurst: 24,
+				Budget:         20 * time.Millisecond,
+				MaxBacklog:     200 * time.Millisecond,
+			}))
+			return m
 		}, true
 	case "softstate":
 		return func(net *netsim.Network, sites []netsim.SiteID) arch.Model {
@@ -48,7 +66,7 @@ func Builder(name string) (func(net *netsim.Network, sites []netsim.SiteID) arch
 
 // ModelNames lists the roster in presentation order.
 func ModelNames() []string {
-	return []string{"central", "softstate", "dht", "passnet", "passnet-eff"}
+	return []string{"central", "central-adm", "softstate", "dht", "passnet", "passnet-eff"}
 }
 
 // SoakConfig sizes one model's soak stream. Zero fields select the

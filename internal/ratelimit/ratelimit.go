@@ -1,0 +1,201 @@
+// Package ratelimit provides the overload-protection primitives the
+// serving-side models use under E18's open-loop load: a deterministic
+// token bucket for per-peer rate limiting, and an Admission controller
+// that models a bounded serving queue in simulated-time units — admitted
+// work is charged the queueing delay of everything ahead of it, and work
+// beyond the per-client rate or the backlog bound is shed with a typed
+// error instead of queueing forever.
+//
+// Everything here is round-driven and deterministic: Tick advances one
+// round (refill buckets, drain one round's serving budget), and no wall
+// clock or global RNG is consulted, so seeded experiment runs reproduce
+// bit-for-bit. All types are safe for concurrent use.
+package ratelimit
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrRateLimited reports a publish shed by the client's token bucket: the
+// client exceeded its per-round rate allowance.
+var ErrRateLimited = errors.New("ratelimit: per-client rate exceeded")
+
+// ErrOverload reports a publish shed by the serving queue: accepting it
+// would push the queueing delay past the configured bound.
+var ErrOverload = errors.New("ratelimit: serving queue full")
+
+// Shed reports whether err is an admission-control shed (either kind).
+// Callers use it to distinguish graceful load shedding from real faults.
+func Shed(err error) bool {
+	return errors.Is(err, ErrRateLimited) || errors.Is(err, ErrOverload)
+}
+
+// Bucket is a deterministic token bucket: capacity burst, refilled with
+// rate tokens per Tick. The zero value is unusable; use NewBucket.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+}
+
+// NewBucket returns a bucket holding burst tokens, refilled with rate
+// tokens per Tick. burst < rate is raised to rate so a full refill is
+// never wasted.
+func NewBucket(rate, burst float64) *Bucket {
+	if burst < rate {
+		burst = rate
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Allow consumes one token if available.
+func (b *Bucket) Allow() bool { return b.AllowN(1) }
+
+// AllowN consumes n tokens if available.
+func (b *Bucket) AllowN(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Tick refills one round's worth of tokens, capped at the burst size.
+func (b *Bucket) Tick() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Tokens returns the current token balance.
+func (b *Bucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Config parameterizes an Admission controller.
+type Config struct {
+	// PerClientRate is each client's token-bucket refill per round; <= 0
+	// disables per-client limiting entirely.
+	PerClientRate float64
+	// PerClientBurst caps each client's bucket; <= 0 defaults to
+	// 2 x PerClientRate.
+	PerClientBurst float64
+	// Budget is the serving capacity drained from the queue each Tick,
+	// expressed in simulated service time (the latencies models report).
+	Budget time.Duration
+	// MaxBacklog bounds the queueing delay: an offer whose cost would push
+	// the queued service time past this bound is shed with ErrOverload.
+	// <= 0 means the queue is unbounded (admission still rate-limits).
+	MaxBacklog time.Duration
+}
+
+// Stats is a point-in-time admission summary. Counters are cumulative
+// since construction; QueueItems/QueueDelay describe the current backlog.
+type Stats struct {
+	Offered    int64
+	Admitted   int64
+	ShedRate   int64 // shed by a per-client token bucket
+	ShedQueue  int64 // shed by the backlog bound
+	Served     int64 // drained out of the queue by Tick
+	QueueItems int
+	QueueDelay time.Duration
+}
+
+// Admission is the serving-side controller: per-client token buckets in
+// front of one bounded virtual queue. Offer either admits work (returning
+// the queueing delay it will experience behind the current backlog) or
+// sheds it. Tick drains one round's serving budget and refills buckets.
+type Admission struct {
+	mu      sync.Mutex
+	cfg     Config
+	buckets map[int64]*Bucket
+	queue   []time.Duration // per-item service cost, FIFO
+	backlog time.Duration   // sum(queue)
+	stats   Stats
+}
+
+// NewAdmission returns an admission controller with cfg's policy.
+func NewAdmission(cfg Config) *Admission {
+	if cfg.PerClientBurst <= 0 {
+		cfg.PerClientBurst = 2 * cfg.PerClientRate
+	}
+	return &Admission{cfg: cfg, buckets: make(map[int64]*Bucket)}
+}
+
+// Offer asks to admit one unit of work from client whose service will
+// cost the given simulated time. On admission it returns the queueing
+// delay the work waits behind the existing backlog; on shed it returns
+// ErrRateLimited or ErrOverload (test with Shed).
+func (a *Admission) Offer(client int64, cost time.Duration) (time.Duration, error) {
+	if cost < 0 {
+		cost = 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Offered++
+	if a.cfg.PerClientRate > 0 {
+		b, ok := a.buckets[client]
+		if !ok {
+			b = NewBucket(a.cfg.PerClientRate, a.cfg.PerClientBurst)
+			a.buckets[client] = b
+		}
+		if !b.Allow() {
+			a.stats.ShedRate++
+			return 0, ErrRateLimited
+		}
+	}
+	if a.cfg.MaxBacklog > 0 && a.backlog+cost > a.cfg.MaxBacklog {
+		a.stats.ShedQueue++
+		return 0, ErrOverload
+	}
+	wait := a.backlog
+	a.queue = append(a.queue, cost)
+	a.backlog += cost
+	a.stats.Admitted++
+	return wait, nil
+}
+
+// Tick advances one round: the serving budget drains queued work in FIFO
+// order and every client bucket refills.
+func (a *Admission) Tick() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	budget := a.cfg.Budget
+	for len(a.queue) > 0 && budget >= a.queue[0] {
+		budget -= a.queue[0]
+		a.backlog -= a.queue[0]
+		a.queue = a.queue[1:]
+		a.stats.Served++
+	}
+	// Partial progress on the head item: the budget is spent, not banked.
+	if len(a.queue) > 0 && budget > 0 {
+		a.queue[0] -= budget
+		a.backlog -= budget
+	}
+	if a.backlog < 0 {
+		a.backlog = 0
+	}
+	for _, b := range a.buckets {
+		b.Tick()
+	}
+}
+
+// Stats returns the cumulative counters and current queue state.
+func (a *Admission) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.stats
+	s.QueueItems = len(a.queue)
+	s.QueueDelay = a.backlog
+	return s
+}

@@ -1,0 +1,233 @@
+package ratelimit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketLifecycle(t *testing.T) {
+	b := NewBucket(2, 4)
+	// Starts full at burst.
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("initial tokens = %v, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !b.Allow() {
+			t.Fatalf("allow %d refused with tokens available", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("allow succeeded on empty bucket")
+	}
+	b.Tick()
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens after refill = %v, want 2", got)
+	}
+	// Refill is capped at burst.
+	b.Tick()
+	b.Tick()
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("tokens after over-refill = %v, want burst cap 4", got)
+	}
+	if !b.AllowN(3) {
+		t.Fatal("AllowN(3) refused with 4 tokens")
+	}
+	if b.AllowN(2) {
+		t.Fatal("AllowN(2) succeeded with 1 token")
+	}
+}
+
+func TestBucketBurstFloor(t *testing.T) {
+	b := NewBucket(5, 1) // burst below rate is raised to rate
+	if got := b.Tokens(); got != 5 {
+		t.Fatalf("tokens = %v, want 5 (burst floored to rate)", got)
+	}
+}
+
+func TestAdmissionQueueDelayAndShed(t *testing.T) {
+	a := NewAdmission(Config{
+		Budget:     100 * time.Millisecond,
+		MaxBacklog: 250 * time.Millisecond,
+	})
+	// First offer waits behind nothing.
+	w, err := a.Offer(1, 100*time.Millisecond)
+	if err != nil || w != 0 {
+		t.Fatalf("offer 1 = (%v, %v), want (0, nil)", w, err)
+	}
+	// Second waits behind the first.
+	w, err = a.Offer(2, 100*time.Millisecond)
+	if err != nil || w != 100*time.Millisecond {
+		t.Fatalf("offer 2 = (%v, %v), want (100ms, nil)", w, err)
+	}
+	// Third fills the backlog bound exactly (250ms >= 200+50).
+	if _, err = a.Offer(3, 50*time.Millisecond); err != nil {
+		t.Fatalf("offer 3 shed: %v", err)
+	}
+	// Fourth would exceed the bound: shed with ErrOverload.
+	if _, err = a.Offer(4, time.Millisecond); err != ErrOverload {
+		t.Fatalf("offer 4 err = %v, want ErrOverload", err)
+	}
+	if !Shed(ErrOverload) || !Shed(ErrRateLimited) || Shed(nil) {
+		t.Fatal("Shed misclassifies")
+	}
+	st := a.Stats()
+	if st.Offered != 4 || st.Admitted != 3 || st.ShedQueue != 1 || st.ShedRate != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.QueueItems != 3 || st.QueueDelay != 250*time.Millisecond {
+		t.Fatalf("queue state = %d items / %v", st.QueueItems, st.QueueDelay)
+	}
+	// One tick drains one budget's worth (the 100ms head item).
+	a.Tick()
+	st = a.Stats()
+	if st.Served != 1 || st.QueueItems != 2 || st.QueueDelay != 150*time.Millisecond {
+		t.Fatalf("after tick: %+v", st)
+	}
+	// Two more ticks drain the rest.
+	a.Tick()
+	a.Tick()
+	st = a.Stats()
+	if st.Served != 3 || st.QueueItems != 0 || st.QueueDelay != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+}
+
+func TestAdmissionPartialHeadDrain(t *testing.T) {
+	a := NewAdmission(Config{Budget: 30 * time.Millisecond})
+	if _, err := a.Offer(1, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// An item costing more than one budget drains across ticks.
+	a.Tick()
+	if st := a.Stats(); st.Served != 0 || st.QueueDelay != 70*time.Millisecond {
+		t.Fatalf("after tick 1: %+v", st)
+	}
+	a.Tick()
+	a.Tick()
+	a.Tick()
+	if st := a.Stats(); st.Served != 1 || st.QueueItems != 0 {
+		t.Fatalf("after tick 4: %+v", st)
+	}
+}
+
+func TestAdmissionPerClientRate(t *testing.T) {
+	a := NewAdmission(Config{PerClientRate: 2}) // burst defaults to 4
+	okA, okB, shed := 0, 0, 0
+	for i := 0; i < 10; i++ {
+		if _, err := a.Offer(7, 0); err == nil {
+			okA++
+		} else if err == ErrRateLimited {
+			shed++
+		} else {
+			t.Fatalf("unexpected err %v", err)
+		}
+	}
+	// A different client has its own bucket.
+	if _, err := a.Offer(8, 0); err != nil {
+		t.Fatalf("fresh client shed: %v", err)
+	}
+	okB++
+	if okA != 4 || shed != 6 {
+		t.Fatalf("client 7: ok=%d shed=%d, want 4/6 (burst then empty)", okA, shed)
+	}
+	st := a.Stats()
+	if st.ShedRate != 6 || st.Admitted != int64(okA+okB) {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Refill restores rate tokens per tick.
+	a.Tick()
+	if _, err := a.Offer(7, 0); err != nil {
+		t.Fatalf("post-refill offer shed: %v", err)
+	}
+	if _, err := a.Offer(7, 0); err != nil {
+		t.Fatalf("post-refill offer 2 shed: %v", err)
+	}
+	if _, err := a.Offer(7, 0); err != ErrRateLimited {
+		t.Fatalf("third post-refill offer err = %v, want ErrRateLimited", err)
+	}
+}
+
+func TestAdmissionDeterminism(t *testing.T) {
+	run := func() Stats {
+		a := NewAdmission(Config{
+			PerClientRate: 3,
+			Budget:        50 * time.Millisecond,
+			MaxBacklog:    120 * time.Millisecond,
+		})
+		for round := 0; round < 20; round++ {
+			for c := int64(0); c < 5; c++ {
+				for k := 0; k <= int(c); k++ {
+					a.Offer(c, time.Duration(5+int(c))*time.Millisecond)
+				}
+			}
+			a.Tick()
+		}
+		return a.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same schedule diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(Config{
+		PerClientRate: 1000,
+		Budget:        time.Second,
+		MaxBacklog:    time.Minute,
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(c int64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a.Offer(c, time.Microsecond)
+				if i%100 == 0 {
+					a.Stats()
+				}
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			a.Tick()
+		}
+	}()
+	wg.Wait()
+	<-done
+	st := a.Stats()
+	if st.Offered != 4000 {
+		t.Fatalf("offered = %d, want 4000", st.Offered)
+	}
+	if st.Admitted+st.ShedRate+st.ShedQueue != st.Offered {
+		t.Fatalf("counters leak: %+v", st)
+	}
+}
+
+func BenchmarkTokenBucket(b *testing.B) {
+	bk := NewBucket(1, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !bk.Allow() {
+			bk.Tick()
+		}
+	}
+}
+
+func BenchmarkAdmissionOffer(b *testing.B) {
+	a := NewAdmission(Config{
+		PerClientRate: 1 << 30,
+		Budget:        time.Second,
+		MaxBacklog:    time.Hour,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Offer(int64(i%64), time.Microsecond)
+		if i%1024 == 0 {
+			a.Tick()
+		}
+	}
+}
