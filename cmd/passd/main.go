@@ -40,6 +40,10 @@
 //	-listen  UDP listen address (default 127.0.0.1:0)
 //	-http    HTTP listen address for /metrics + /healthz ("" disables)
 //	-seed    seed for seeded node behaviours
+//	-data    data directory for WAL + snapshot durability ("" = in-memory
+//	         only); a restarted node recovers its state from here
+//	-fsync   fsync the WAL on every append (machine-crash durability)
+//	-compact-every  WAL records between snapshot compactions (0 = default)
 //
 // Both modes shut down gracefully on SIGTERM/SIGINT: the daemon drains
 // its soaks and flushes the -trace sink before exiting; the node closes
@@ -250,12 +254,16 @@ func runNode(args []string, stdout io.Writer, ready func(addr string)) int {
 	listen := fs.String("listen", "127.0.0.1:0", "UDP listen address")
 	httpAddr := fs.String("http", "127.0.0.1:0", "HTTP listen address for /metrics and /healthz (\"\" disables)")
 	seed := fs.Uint64("seed", 1, "seed for seeded node behaviours")
+	dataDir := fs.String("data", "", "data directory for WAL + snapshot durability (\"\" = in-memory only)")
+	fsync := fs.Bool("fsync", false, "fsync the WAL on every append (machine-crash durability)")
+	compactEvery := fs.Int64("compact-every", 0, "WAL records between snapshot compactions (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	nd, err := node.New(node.Config{
 		ID: int32(*id), Mode: *mode, Listen: *listen, Seed: *seed,
+		DataDir: *dataDir, Fsync: *fsync, CompactEvery: *compactEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(stdout, "passd:", err)
@@ -281,7 +289,7 @@ func runNode(args []string, stdout io.Writer, ready func(addr string)) int {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(map[string]any{
 				"healthy": true, "id": *id, "mode": *mode,
-				"udp": nd.Addr().String(),
+				"udp": nd.Addr().String(), "recovered": nd.Recovered(),
 			})
 		})
 		srv = &http.Server{Handler: mux}

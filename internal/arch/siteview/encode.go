@@ -1,0 +1,130 @@
+package siteview
+
+// Wire/disk encoding for whole Views. Two consumers need a View to leave
+// its process: the real-node snapshot file (a durable passd node compacts
+// its WAL into an encoded View so restart cost is bounded by the delta
+// since the last snapshot) and the TSnap catch-up verb (a cold-booting
+// node pulls one peer's View over the wire and Merges it). The encoding
+// carries exactly the view's CONTENT — owner, per-origin sequence
+// numbers, location entries, and the inverted attribute index. Per-origin
+// Bloom filters are NOT serialized: the inverted index is the exact
+// ground truth they are rebuilt from (the same rebuildFilter discipline a
+// saturated filter already uses), which keeps the format free of
+// filter-sizing drift and guarantees DecodeView(v.Encode()) has
+// v's Fingerprint.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+// wireLoc is one id→home location entry.
+type wireLoc struct {
+	ID   []byte `json:"id"`
+	Home int64  `json:"home"`
+}
+
+// wireAttr is one inverted-index posting: attribute key → origins.
+type wireAttr struct {
+	Key   string  `json:"key"`
+	Sites []int64 `json:"sites"`
+}
+
+// wireView is the serialized form of a View.
+type wireView struct {
+	Owner int64             `json:"owner"`
+	Seqs  map[string]uint64 `json:"seqs"`
+	Locs  []wireLoc         `json:"locs"`
+	Attrs []wireAttr        `json:"attrs"`
+}
+
+// Encode serializes the view's content (owner, sequence vector, location
+// entries, inverted attribute index). Output is deterministic: entries
+// are sorted, so two views with equal Fingerprints encode identically.
+func (v *View) Encode() ([]byte, error) {
+	w := wireView{
+		Owner: int64(v.owner),
+		Seqs:  make(map[string]uint64, len(v.seq)),
+	}
+	for origin, seq := range v.seq {
+		w.Seqs[fmt.Sprint(int64(origin))] = seq
+	}
+	ids := make([]provenance.ID, 0, len(v.loc))
+	for id := range v.loc {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return lessID(ids[i], ids[j]) })
+	w.Locs = make([]wireLoc, 0, len(ids))
+	for _, id := range ids {
+		idCopy := append([]byte(nil), id[:]...)
+		w.Locs = append(w.Locs, wireLoc{ID: idCopy, Home: int64(v.loc[id])})
+	}
+	keys := make([]string, 0, len(v.attrSites))
+	for k := range v.attrSites {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Attrs = make([]wireAttr, 0, len(keys))
+	for _, k := range keys {
+		sites := make([]int64, 0, len(v.attrSites[k]))
+		for s := range v.attrSites[k] {
+			sites = append(sites, int64(s))
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		w.Attrs = append(w.Attrs, wireAttr{Key: k, Sites: sites})
+	}
+	return json.Marshal(w)
+}
+
+// DecodeView reconstructs a View from Encode output. Per-origin filters
+// are rebuilt from the inverted index exactly as rebuildFilter would, so
+// the no-false-negatives guarantee holds and the decoded view's
+// Fingerprint equals the encoded view's. The applied/ignored bookkeeping
+// counters are not part of the content and restart at zero.
+func DecodeView(data []byte) (*View, error) {
+	var w wireView
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("siteview: decode view: %w", err)
+	}
+	v := NewView(netsim.SiteID(w.Owner))
+	for originStr, seq := range w.Seqs {
+		var origin int64
+		if _, err := fmt.Sscan(originStr, &origin); err != nil {
+			return nil, fmt.Errorf("siteview: decode view origin %q: %w", originStr, err)
+		}
+		v.seq[netsim.SiteID(origin)] = seq
+	}
+	for _, le := range w.Locs {
+		if len(le.ID) != len(provenance.ID{}) {
+			return nil, fmt.Errorf("siteview: decode view: location id of %d bytes", len(le.ID))
+		}
+		var id provenance.ID
+		copy(id[:], le.ID)
+		v.loc[id] = netsim.SiteID(le.Home)
+	}
+	perOrigin := make(map[netsim.SiteID][]string)
+	for _, ae := range w.Attrs {
+		set := make(map[netsim.SiteID]struct{}, len(ae.Sites))
+		for _, s := range ae.Sites {
+			origin := netsim.SiteID(s)
+			set[origin] = struct{}{}
+			perOrigin[origin] = append(perOrigin[origin], ae.Key)
+		}
+		v.attrSites[ae.Key] = set
+	}
+	origins := make([]netsim.SiteID, 0, len(perOrigin))
+	for origin := range perOrigin {
+		origins = append(origins, origin)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, origin := range origins {
+		keys := perOrigin[origin]
+		sort.Strings(keys)
+		v.addFilterKeys(origin, keys)
+	}
+	return v, nil
+}

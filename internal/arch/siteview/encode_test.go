@@ -1,0 +1,122 @@
+package siteview
+
+import (
+	"testing"
+
+	"pass/internal/netsim"
+	"pass/internal/provenance"
+)
+
+func mkID(b byte) provenance.ID {
+	var id provenance.ID
+	id[0] = b
+	id[31] = ^b
+	return id
+}
+
+// buildTestView applies a few origins' delta streams, including enough
+// distinct attribute keys to force at least one filter rebuild.
+func buildTestView(t *testing.T) *View {
+	t.Helper()
+	v := NewView(7)
+	for origin := netsim.SiteID(1); origin <= 3; origin++ {
+		for seq := uint64(1); seq <= 4; seq++ {
+			keys := []string{
+				"domain\x00sensors",
+				"n\x00" + string(rune('a'+byte(origin))) + string(rune('a'+byte(seq))),
+			}
+			d := NewDelta(origin, seq, []provenance.ID{mkID(byte(origin)*16 + byte(seq))}, keys)
+			if !v.Apply(d) {
+				t.Fatalf("apply origin %d seq %d refused", origin, seq)
+			}
+		}
+	}
+	return v
+}
+
+func TestEncodeDecodeRoundTripPreservesContent(t *testing.T) {
+	v := buildTestView(t)
+	data, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner() != v.Owner() {
+		t.Fatalf("owner %d != %d", got.Owner(), v.Owner())
+	}
+	if got.Fingerprint() != v.Fingerprint() {
+		t.Fatalf("fingerprint changed across encode/decode: %x != %x", got.Fingerprint(), v.Fingerprint())
+	}
+	for origin := netsim.SiteID(1); origin <= 3; origin++ {
+		if got.Seq(origin) != v.Seq(origin) {
+			t.Fatalf("origin %d seq %d != %d", origin, got.Seq(origin), v.Seq(origin))
+		}
+	}
+	if got.Locations() != v.Locations() {
+		t.Fatalf("locations %d != %d", got.Locations(), v.Locations())
+	}
+	// The rebuilt filters keep the no-false-negatives guarantee: every
+	// exact-index site must remain a candidate.
+	for _, key := range []string{"domain\x00sensors"} {
+		exact := v.SitesFor(key)
+		cands := map[netsim.SiteID]bool{}
+		for _, s := range got.CandidatesFor(key) {
+			cands[s] = true
+		}
+		for _, s := range exact {
+			if !cands[s] {
+				t.Fatalf("decoded view lost site %d for key %q", s, key)
+			}
+		}
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	v := buildTestView(t)
+	a, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two Encode calls on the same view differ")
+	}
+}
+
+// TestDecodedViewKeepsApplying pins the recovery contract: a view
+// restored from a snapshot must keep accepting the next in-sequence
+// delta from every origin, and keep refusing replays.
+func TestDecodedViewKeepsApplying(t *testing.T) {
+	v := buildTestView(t)
+	data, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := NewDelta(1, 4, []provenance.ID{mkID(0x14)}, []string{"domain\x00sensors"})
+	if got.Apply(replay) {
+		t.Fatal("decoded view accepted an already-applied sequence number")
+	}
+	next := NewDelta(1, 5, []provenance.ID{mkID(0x15)}, []string{"domain\x00sensors"})
+	if !got.Apply(next) {
+		t.Fatal("decoded view refused the next in-sequence delta")
+	}
+}
+
+func TestDecodeViewRejectsGarbage(t *testing.T) {
+	if _, err := DecodeView([]byte("{not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := DecodeView([]byte(`{"owner":1,"locs":[{"id":"AAE=","home":2}]}`)); err == nil {
+		t.Fatal("short location id accepted")
+	}
+}

@@ -89,22 +89,33 @@ type Config struct {
 	Mode   string // "passnet" or "dht"
 	Seed   uint64
 	LogDir string // per-node log directory; "" uses a temp dir
+	// DataRoot, when set, makes every node durable: node i gets
+	// DataRoot/node-i as its -data directory, and KillAndRestart can
+	// bring a SIGKILLed node back at the same identity (same ID, same
+	// port, same data dir) to recover from its WAL and snapshot.
+	DataRoot string
+	// CompactEvery passes -compact-every to every node (0 = node default).
+	CompactEvery int64
 }
 
 // proc is one managed node process.
 type proc struct {
-	id   int32
-	cmd  *exec.Cmd
-	udp  *net.UDPAddr
-	http string
-	log  *os.File
-	dead bool
+	id      int32
+	cmd     *exec.Cmd
+	udp     *net.UDPAddr
+	http    string
+	log     *os.File
+	dead    bool
+	listen  string // pinned after first boot: restarts rebind this port
+	dataDir string // "" when the cluster is not durable
 }
 
 // Cluster is a set of live passd node processes plus the client
 // endpoint that drives them.
 type Cluster struct {
 	cfg    Config
+	bin    string
+	logDir string
 	procs  []*proc
 	client *node.Client
 	roster []node.Peer
@@ -126,62 +137,22 @@ func Start(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, bin: bin, logDir: logDir}
 	fail := func(err error) (*Cluster, error) {
 		c.Shutdown()
 		return nil, err
 	}
 	for i := 0; i < cfg.N; i++ {
-		logFile, err := os.Create(filepath.Join(logDir, fmt.Sprintf("node-%d.log", i)))
-		if err != nil {
-			return fail(err)
+		p := &proc{id: int32(i), listen: "127.0.0.1:0", dead: true}
+		if cfg.DataRoot != "" {
+			p.dataDir = filepath.Join(cfg.DataRoot, fmt.Sprintf("node-%d", i))
 		}
-		cmd := exec.Command(bin, "node",
-			"-id", fmt.Sprint(i),
-			"-mode", cfg.Mode,
-			"-listen", "127.0.0.1:0",
-			"-http", "127.0.0.1:0",
-			"-seed", fmt.Sprint(cfg.Seed+uint64(i)),
-		)
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			logFile.Close()
-			return fail(err)
-		}
-		cmd.Stderr = logFile
-		if err := cmd.Start(); err != nil {
-			logFile.Close()
-			return fail(fmt.Errorf("start node %d: %w", i, err))
-		}
-		p := &proc{id: int32(i), cmd: cmd, log: logFile}
 		c.procs = append(c.procs, p)
-
-		// Tee stdout to the log file while scanning for the boot line.
-		lineCh := make(chan string, 1)
-		go func() {
-			sc := bufio.NewScanner(stdout)
-			for sc.Scan() {
-				line := sc.Text()
-				fmt.Fprintln(logFile, line)
-				if bootLine.MatchString(line) {
-					select {
-					case lineCh <- line:
-					default:
-					}
-				}
-			}
-		}()
-		select {
-		case line := <-lineCh:
-			m := bootLine.FindStringSubmatch(line)
-			addr, err := net.ResolveUDPAddr("udp", m[2])
-			if err != nil {
-				return fail(err)
-			}
-			p.udp, p.http = addr, m[3]
-		case <-time.After(15 * time.Second):
-			return fail(fmt.Errorf("node %d never printed its boot line (log: %s)", i, logFile.Name()))
+		if err := c.startProc(p); err != nil {
+			return fail(err)
 		}
+		// Pin the bound port: a restart reclaims the same identity.
+		p.listen = p.udp.String()
 	}
 
 	// Client ID sits past the node range so node-to-node drop rules
@@ -200,6 +171,74 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// startProc boots (or re-boots) one node process and waits for its boot
+// line. Logs append to the node's log file across restarts, so one file
+// tells the node's whole story. Caller sets p.listen and p.dataDir.
+func (c *Cluster) startProc(p *proc) error {
+	logFile, err := os.OpenFile(
+		filepath.Join(c.logDir, fmt.Sprintf("node-%d.log", p.id)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	args := []string{"node",
+		"-id", fmt.Sprint(p.id),
+		"-mode", c.cfg.Mode,
+		"-listen", p.listen,
+		"-http", "127.0.0.1:0",
+		"-seed", fmt.Sprint(c.cfg.Seed + uint64(uint32(p.id))),
+	}
+	if p.dataDir != "" {
+		args = append(args, "-data", p.dataDir)
+		if c.cfg.CompactEvery > 0 {
+			args = append(args, "-compact-every", fmt.Sprint(c.cfg.CompactEvery))
+		}
+	}
+	cmd := exec.Command(c.bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		logFile.Close()
+		return err
+	}
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return fmt.Errorf("start node %d: %w", p.id, err)
+	}
+	if p.log != nil {
+		p.log.Close()
+	}
+	p.cmd, p.log, p.dead = cmd, logFile, false
+
+	// Tee stdout to the log file while scanning for the boot line.
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logFile, line)
+			if bootLine.MatchString(line) {
+				select {
+				case lineCh <- line:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case line := <-lineCh:
+		m := bootLine.FindStringSubmatch(line)
+		addr, err := net.ResolveUDPAddr("udp", m[2])
+		if err != nil {
+			return err
+		}
+		p.udp, p.http = addr, m[3]
+		return nil
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("node %d never printed its boot line (log: %s)", p.id, logFile.Name())
+	}
 }
 
 // Client returns the cluster's driving client.
@@ -303,7 +342,7 @@ func (c *Cluster) setCut(a, b []int, rate float64) error {
 // kernel reaps the sockets — netsim.Fail with an exit code.
 func (c *Cluster) Kill(i int) error {
 	p := c.procs[i]
-	if p.dead {
+	if p.dead || p.cmd == nil {
 		return nil
 	}
 	p.dead = true
@@ -314,10 +353,64 @@ func (c *Cluster) Kill(i int) error {
 	return nil
 }
 
+// KillAndRestart SIGKILLs node i, optionally wipes its data directory,
+// and boots a fresh process with the same identity: same ID, same UDP
+// port, same data dir. With wipe=false a durable node replays snapshot
+// + WAL before its boot line prints; with wipe=true (or no DataRoot)
+// the node comes back empty and must catch up over the wire. Either
+// way the roster is re-sent to the restarted process — a no-op for the
+// durable path (it recovered the roster from its WAL) and the join
+// trigger for the wiped path.
+func (c *Cluster) KillAndRestart(i int, wipe bool) error {
+	p := c.procs[i]
+	if err := c.Kill(i); err != nil {
+		return err
+	}
+	if wipe && p.dataDir != "" {
+		if err := os.RemoveAll(p.dataDir); err != nil {
+			return err
+		}
+	}
+	if err := c.startProc(p); err != nil {
+		return fmt.Errorf("restart node %d: %w", i, err)
+	}
+	if err := c.client.SetPeers(p.udp, c.roster); err != nil {
+		return fmt.Errorf("roster to restarted node %d: %w", i, err)
+	}
+	return nil
+}
+
+// AddNode boots one extra node under the next free ID and pushes the
+// extended roster to every live node — a real join mid-run, the
+// process-level analogue of netsim's E17 churn arrivals. Returns the
+// new node's index.
+func (c *Cluster) AddNode() (int, error) {
+	i := len(c.procs)
+	p := &proc{id: int32(i), listen: "127.0.0.1:0", dead: true}
+	if c.cfg.DataRoot != "" {
+		p.dataDir = filepath.Join(c.cfg.DataRoot, fmt.Sprintf("node-%d", i))
+	}
+	c.procs = append(c.procs, p)
+	if err := c.startProc(p); err != nil {
+		return -1, fmt.Errorf("add node %d: %w", i, err)
+	}
+	p.listen = p.udp.String()
+	c.roster = append(c.roster, node.Peer{ID: p.id, Addr: p.udp.String()})
+	for _, q := range c.procs {
+		if q.dead {
+			continue
+		}
+		if err := c.client.SetPeers(q.udp, c.roster); err != nil {
+			return -1, fmt.Errorf("roster to node %d: %w", q.id, err)
+		}
+	}
+	return i, nil
+}
+
 // Stop delivers SIGTERM and waits for a graceful exit (bounded).
 func (c *Cluster) Stop(i int) error {
 	p := c.procs[i]
-	if p.dead {
+	if p.dead || p.cmd == nil {
 		return nil
 	}
 	p.dead = true
@@ -346,13 +439,18 @@ func (c *Cluster) Shutdown() {
 		c.client.Close()
 	}
 	for _, p := range c.procs {
-		p.log.Close()
+		if p.log != nil {
+			p.log.Close()
+		}
 	}
 }
 
 // DumpLogs copies every node log to w (test-failure diagnostics).
 func (c *Cluster) DumpLogs(w io.Writer) {
 	for _, p := range c.procs {
+		if p.log == nil {
+			continue
+		}
 		fmt.Fprintf(w, "---- node %d (%s) ----\n", p.id, p.log.Name())
 		data, err := os.ReadFile(p.log.Name())
 		if err != nil {

@@ -99,7 +99,8 @@ type storeMsg struct {
 	ID      provenance.ID `json:"id,omitempty"`
 }
 
-// handleStore accepts one placement.
+// handleStore accepts one placement: apply, WAL-log, then acknowledge —
+// a placement a peer saw acknowledged survives this node's crash.
 func (n *Node) handleStore(payload []byte, reply func(wire.Type, []byte)) {
 	if n.cfg.Mode != "dht" {
 		reply(wire.TErr, []byte("store: not a dht node"))
@@ -111,13 +112,27 @@ func (n *Node) handleStore(payload []byte, reply func(wire.Type, []byte)) {
 		return
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	err := n.applyStoreLocked(msg)
+	if err == nil {
+		n.walAppend('s', payload)
+	}
+	n.mu.Unlock()
+	if err != nil {
+		reply(wire.TErr, []byte(err.Error()))
+		return
+	}
+	reply(wire.TStoreOK, nil)
+}
+
+// applyStoreLocked is the placement mutation proper — shared by the live
+// TStore verb, WAL replay, and the catch-up pull. Caller holds n.mu (or
+// is in single-threaded recovery).
+func (n *Node) applyStoreLocked(msg storeMsg) error {
 	switch msg.Kind {
 	case "rec":
 		rec, err := provenance.Decode(msg.Rec)
 		if err != nil {
-			reply(wire.TErr, []byte(err.Error()))
-			return
+			return err
 		}
 		id := rec.ComputeID()
 		if msg.Replica {
@@ -138,10 +153,9 @@ func (n *Node) handleStore(payload []byte, reply func(wire.Type, []byte)) {
 			n.attrs[mk] = append(n.attrs[mk], msg.ID)
 		}
 	default:
-		reply(wire.TErr, []byte(fmt.Sprintf("store: unknown kind %q", msg.Kind)))
-		return
+		return fmt.Errorf("store: unknown kind %q", msg.Kind)
 	}
-	reply(wire.TStoreOK, nil)
+	return nil
 }
 
 // replicaStoreFor returns (creating if needed) the replica record

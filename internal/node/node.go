@@ -27,6 +27,7 @@
 package node
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -39,6 +40,7 @@ import (
 	"pass/internal/metrics"
 	"pass/internal/netsim"
 	"pass/internal/provenance"
+	"pass/internal/wal"
 	"pass/internal/wire"
 )
 
@@ -55,6 +57,17 @@ type Config struct {
 	Mode   string // "passnet" or "dht"
 	Listen string // UDP listen address ("127.0.0.1:0" for ephemeral)
 	Seed   uint64 // reserved for seeded behaviours (drop rules arrive seeded via TDrop)
+
+	// DataDir, when set, makes the node durable: every applied mutation
+	// is WAL-appended before acknowledgment and compacted into a
+	// snapshot, and a restart recovers from both (see durable.go).
+	DataDir string
+	// Fsync syncs the WAL on every append — durability against machine
+	// crash, not just process death, at a large latency cost.
+	Fsync bool
+	// CompactEvery is the WAL record count that triggers compaction
+	// (defaultCompactEvery when zero).
+	CompactEvery int64
 }
 
 // Peer is one roster entry, as distributed via TPeers.
@@ -81,7 +94,15 @@ type Status struct {
 	Seq     uint64 `json:"seq"`   // passnet: own delta sequence
 	MsgsIn  int64  `json:"msgs_in"`
 	MsgsOut int64  `json:"msgs_out"`
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
 	Dropped int64  `json:"dropped"`
+
+	// Durability (zero-valued without a data dir).
+	Recovered  bool  `json:"recovered,omitempty"`   // boot restored state from disk
+	CatchingUp bool  `json:"catching_up,omitempty"` // declared degraded mode until first pull
+	WalRecords int64 `json:"wal_records,omitempty"`
+	WalBytes   int64 `json:"wal_bytes,omitempty"`
 }
 
 // wireDelta is the JSON form of a siteview delta on the wire.
@@ -108,6 +129,13 @@ type Node struct {
 	view   *siteview.View
 	seq    uint64
 	outbox map[int32][]*siteview.Delta
+
+	// durability state (durable.go); log is nil without a data dir.
+	log       *wal.Log
+	acked     map[int32]uint64           // per-peer highest own seq acknowledged
+	own       map[uint64]*siteview.Delta // retained own deltas (outbox rebuild window)
+	recovered bool                       // state came back from disk at boot
+	catchup   bool                       // cold boot: pull state at first tick
 
 	// dht state (see dht.go).
 	ring      []ringSeat
@@ -138,13 +166,30 @@ func New(cfg Config) (*Node, error) {
 		posts:     make(map[string][]provenance.ID),
 		view:      siteview.NewView(netsim.SiteID(cfg.ID)),
 		outbox:    make(map[int32][]*siteview.Delta),
+		acked:     make(map[int32]uint64),
+		own:       make(map[uint64]*siteview.Delta),
 		alive:     make(map[int32]bool),
 		attrs:     make(map[string][]provenance.ID),
 		replAttrs: make(map[int32]map[string][]provenance.ID),
 		replRecs:  make(map[int32]*arch.SiteStore),
 	}
+	// Recovery runs BEFORE the handler is installed: the node state the
+	// first verb sees is already the replayed one.
+	if cfg.DataDir != "" {
+		if err := n.recoverData(); err != nil {
+			ep.Close()
+			return nil, err
+		}
+	}
 	ep.Handle(n.handle)
 	return n, nil
+}
+
+// Recovered reports whether boot restored state from the data dir.
+func (n *Node) Recovered() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.recovered
 }
 
 // Addr returns the node's bound UDP address.
@@ -153,8 +198,15 @@ func (n *Node) Addr() *net.UDPAddr { return n.ep.Addr() }
 // Registry exposes the node's metrics registry (passd serves it).
 func (n *Node) Registry() *metrics.Registry { return n.reg }
 
-// Close shuts the node's socket down.
-func (n *Node) Close() { n.ep.Close() }
+// Close shuts the node's socket down and syncs and closes its WAL.
+func (n *Node) Close() {
+	n.ep.Close()
+	n.mu.Lock()
+	if n.log != nil {
+		n.log.Close()
+	}
+	n.mu.Unlock()
+}
 
 // SyncMetrics refreshes the registry gauges from live node state; the
 // HTTP /metrics handler calls it before exposition.
@@ -168,6 +220,15 @@ func (n *Node) SyncMetrics() {
 	n.mu.Lock()
 	n.reg.Gauge("pass_node_records").Set(int64(n.store.Len()))
 	n.reg.Gauge("pass_node_peers").Set(int64(len(n.peers)))
+	if n.catchup {
+		n.reg.Gauge("pass_node_catching_up").Set(1)
+	} else {
+		n.reg.Gauge("pass_node_catching_up").Set(0)
+	}
+	if n.log != nil {
+		n.reg.Gauge("pass_wal_live_records").Set(n.log.Count())
+		n.reg.Gauge("pass_wal_live_bytes").Set(n.log.Size())
+	}
 	n.mu.Unlock()
 }
 
@@ -200,6 +261,10 @@ func (n *Node) handle(env wire.Envelope, from *net.UDPAddr, reply func(wire.Type
 		n.handleDelta(env.Payload, reply)
 	case wire.TStore:
 		n.handleStore(env.Payload, reply)
+	case wire.TSnap:
+		n.handleSnap(reply)
+	case wire.TRecover:
+		n.handleRecover(env.Payload, reply)
 	default:
 		reply(wire.TErr, []byte(fmt.Sprintf("unknown verb %d", env.Type)))
 	}
@@ -214,6 +279,20 @@ func (n *Node) handlePeers(payload []byte, reply func(wire.Type, []byte)) {
 		return
 	}
 	n.mu.Lock()
+	if err := n.setRosterLocked(roster); err != nil {
+		n.mu.Unlock()
+		reply(wire.TErr, []byte(err.Error()))
+		return
+	}
+	n.walAppend('r', payload)
+	n.mu.Unlock()
+	reply(wire.TPeersOK, nil)
+}
+
+// setRosterLocked installs a peer roster — the shared body of the TPeers
+// verb and the durable recovery paths ('r' WAL records, snapshots).
+// Caller holds n.mu (or is in single-threaded recovery).
+func (n *Node) setRosterLocked(roster []Peer) error {
 	n.peers = make(map[int32]*net.UDPAddr, len(roster))
 	n.order = n.order[:0]
 	for _, p := range roster {
@@ -222,9 +301,7 @@ func (n *Node) handlePeers(payload []byte, reply func(wire.Type, []byte)) {
 		}
 		addr, err := net.ResolveUDPAddr("udp", p.Addr)
 		if err != nil {
-			n.mu.Unlock()
-			reply(wire.TErr, []byte(err.Error()))
-			return
+			return err
 		}
 		n.peers[p.ID] = addr
 		n.order = append(n.order, p.ID)
@@ -233,8 +310,7 @@ func (n *Node) handlePeers(payload []byte, reply func(wire.Type, []byte)) {
 	if n.cfg.Mode == "dht" {
 		n.rebuildRing()
 	}
-	n.mu.Unlock()
-	reply(wire.TPeersOK, nil)
+	return nil
 }
 
 func (n *Node) handleDrop(payload []byte, reply func(wire.Type, []byte)) {
@@ -250,12 +326,18 @@ func (n *Node) handleDrop(payload []byte, reply func(wire.Type, []byte)) {
 }
 
 func (n *Node) handleStat(reply func(wire.Type, []byte)) {
-	in, out, _, _ := n.ep.Stats()
+	in, out, bin, bout := n.ep.Stats()
 	n.mu.Lock()
 	st := Status{
 		ID: n.cfg.ID, Mode: n.cfg.Mode,
 		Records: n.store.Len(), Peers: len(n.peers),
-		Seq: n.seq, MsgsIn: in, MsgsOut: out, Dropped: n.ep.Dropped(),
+		Seq: n.seq, MsgsIn: in, MsgsOut: out,
+		BytesIn: bin, BytesOut: bout, Dropped: n.ep.Dropped(),
+		Recovered: n.recovered, CatchingUp: n.catchup,
+	}
+	if n.log != nil {
+		st.WalRecords = n.log.Count()
+		st.WalBytes = n.log.Size()
 	}
 	if n.cfg.Mode == "dht" {
 		st.Alive = 1 // self
@@ -352,6 +434,8 @@ func (n *Node) handleQuery(payload []byte, reply func(wire.Type, []byte)) {
 }
 
 func (n *Node) handleTick(reply func(wire.Type, []byte)) {
+	// A cold-booted durable node pulls its state before doing round work.
+	n.catchUpIfDue()
 	if n.cfg.Mode == "dht" {
 		n.dhtTick(reply)
 		return
@@ -409,19 +493,18 @@ func (n *Node) handleAttrQ(payload []byte, reply func(wire.Type, []byte)) {
 // the gossip deferred to the next TTick.
 func (n *Node) passnetPut(id provenance.ID, rec *provenance.Record, reply func(wire.Type, []byte)) {
 	n.mu.Lock()
-	n.store.Add(id, rec)
-	var keys []string
-	for _, a := range arch.QueriableAttrs(rec) {
-		mk := mkOf(a)
-		keys = append(keys, mk)
-		n.posts[mk] = append(n.posts[mk], id)
-	}
 	n.seq++
-	d := siteview.NewDelta(netsim.SiteID(n.cfg.ID), n.seq, []provenance.ID{id}, keys)
-	n.view.Apply(d)
+	d := n.applyOwnPublishLocked(n.seq, id, rec)
 	for _, pid := range n.order {
 		n.outbox[pid] = append(n.outbox[pid], d)
 	}
+	// Log before the ack: the durability contract is that an acknowledged
+	// publish survives a crash at any later instant.
+	enc := rec.Encode()
+	body := make([]byte, 8+len(enc))
+	binary.LittleEndian.PutUint64(body[:8], n.seq)
+	copy(body[8:], enc)
+	n.walAppend('p', body)
 	n.mu.Unlock()
 	reply(wire.TPutOK, id[:])
 }
@@ -455,6 +538,13 @@ func (n *Node) passnetTick(reply func(wire.Type, []byte)) {
 			n.mu.Lock()
 			if len(n.outbox[pid]) > 0 && n.outbox[pid][0] == d {
 				n.outbox[pid] = n.outbox[pid][1:]
+				// The peer acknowledged through d.Seq; log the advance so
+				// a restart does not re-gossip already-delivered deltas.
+				n.advanceAckedLocked(pid, d.Seq)
+				var body [12]byte
+				binary.LittleEndian.PutUint32(body[:4], uint32(pid))
+				binary.LittleEndian.PutUint64(body[4:12], d.Seq)
+				n.walAppend('a', body[:])
 			}
 			n.mu.Unlock()
 		}
@@ -487,6 +577,15 @@ func (n *Node) handleDelta(payload []byte, reply func(wire.Type, []byte)) {
 	n.mu.Lock()
 	applied := n.view.Apply(d)
 	seen := n.view.Seq(d.Origin)
+	if applied {
+		n.walAppend('d', payload)
+	} else if wd.Seq > seen && n.log != nil {
+		// A gap on a durable node means its view regressed past what this
+		// peer still retains (a wiped restart whose catch-up pull missed
+		// this origin). Re-arm the pull: the next tick merges snapshots
+		// again, fast-forwarding past the gap.
+		n.catchup = true
+	}
 	n.mu.Unlock()
 	if applied || wd.Seq <= seen {
 		reply(wire.TDeltaAck, nil)

@@ -188,6 +188,30 @@ func (l *Log) Append(payload []byte) error {
 	return nil
 }
 
+// Reset truncates the log back to an empty (header-only) state and
+// syncs. Callers invoke it immediately after checkpointing the log's
+// contents into a snapshot (temp-file + rename), so a crash between the
+// rename and the Reset leaves snapshot + full log — replaying the log on
+// top of the snapshot must therefore be idempotent, which is the
+// recovery contract durable nodes implement.
+func (l *Log) Reset() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(headerSize); err != nil {
+		return fmt.Errorf("wal: reset truncate: %w", err)
+	}
+	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset seek: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: reset sync: %w", err)
+	}
+	l.size = headerSize
+	l.count = 0
+	return nil
+}
+
 // Sync flushes appended records to stable storage.
 func (l *Log) Sync() error {
 	if l.closed {

@@ -390,3 +390,45 @@ func TestOpenEmptyFileIsNotWAL(t *testing.T) {
 		t.Fatalf("replay err = %v, want ErrNotWAL", err)
 	}
 }
+
+func TestResetEmptiesLogAndKeepsAppending(t *testing.T) {
+	l, path := openTemp(t)
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Count() != 0 || l.Size() != headerSize {
+		t.Fatalf("after reset: count=%d size=%d", l.Count(), l.Size())
+	}
+	if err := l.Append([]byte("post-reset")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	n, err := Replay(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || string(got[0]) != "post-reset" {
+		t.Fatalf("replayed %d records %q, want just post-reset", n, got)
+	}
+}
+
+func TestResetAfterCloseRejected(t *testing.T) {
+	l, _ := openTemp(t)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != ErrClosed {
+		t.Fatalf("reset after close = %v, want ErrClosed", err)
+	}
+}

@@ -43,6 +43,7 @@ type dropRule struct {
 type Endpoint struct {
 	id   int32
 	conn *net.UDPConn
+	ln   net.Listener // stream (TCP) listener on the same port; may be nil
 
 	handler atomic.Pointer[Handler]
 
@@ -57,6 +58,14 @@ type Endpoint struct {
 	// when zero). Set before issuing requests.
 	Timeout time.Duration
 
+	// RetryBase/RetryMax shape RequestRetry's capped exponential backoff
+	// (zero values derive from Timeout: base = Timeout/2, max = 4×Timeout).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	retryMu  sync.Mutex
+	retryRng *xrand.Rand
+
 	// Counters (atomic; exposed for node metrics and harness asserts).
 	msgsIn, msgsOut   atomic.Int64
 	bytesIn, bytesOut atomic.Int64
@@ -64,7 +73,10 @@ type Endpoint struct {
 }
 
 // NewEndpoint binds a UDP endpoint on addr ("127.0.0.1:0" picks an
-// ephemeral port) and starts its read loop.
+// ephemeral port) and starts its read loop. The endpoint also listens on
+// TCP at the SAME port for stream-framed oversize payloads; if that port
+// is taken on TCP (rare — another process), the endpoint still works but
+// oversize requests to it fail like a dead peer.
 func NewEndpoint(id int32, addr string) (*Endpoint, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -79,9 +91,23 @@ func NewEndpoint(id int32, addr string) (*Endpoint, error) {
 		conn:     conn,
 		inflight: make(map[uint64]chan Envelope),
 		drops:    make(map[int32]*dropRule),
+		retryRng: xrand.New(uint64(uint32(id))*0x9E3779B97F4A7C15 + 1),
+	}
+	bound := conn.LocalAddr().(*net.UDPAddr)
+	if ln, err := net.Listen("tcp", net.JoinHostPort(bound.IP.String(), fmt.Sprint(bound.Port))); err == nil {
+		ep.ln = ln
+		go ep.serveStream(ln)
 	}
 	go ep.readLoop()
 	return ep, nil
+}
+
+// SeedRetry reseeds the deterministic jitter stream RequestRetry's
+// backoff draws from (the constructor seeds it from the endpoint ID).
+func (ep *Endpoint) SeedRetry(seed uint64) {
+	ep.retryMu.Lock()
+	ep.retryRng = xrand.New(seed)
+	ep.retryMu.Unlock()
 }
 
 // ID returns the endpoint's wire ID.
@@ -132,6 +158,9 @@ func (ep *Endpoint) Close() error {
 		delete(ep.inflight, id)
 	}
 	ep.mu.Unlock()
+	if ep.ln != nil {
+		_ = ep.ln.Close()
+	}
 	return ep.conn.Close()
 }
 
@@ -230,8 +259,13 @@ func (ep *Endpoint) Request(to *net.UDPAddr, t Type, payload []byte) (Envelope, 
 	return ep.RequestTimeout(to, t, payload, ep.timeout())
 }
 
-// RequestTimeout is Request with an explicit per-attempt deadline.
+// RequestTimeout is Request with an explicit per-attempt deadline. A
+// request whose payload exceeds the datagram ceiling automatically rides
+// the stream framing instead (same request API, same timeout semantics).
 func (ep *Endpoint) RequestTimeout(to *net.UDPAddr, t Type, payload []byte, d time.Duration) (Envelope, error) {
+	if HeaderSize+len(payload) > MaxDatagram {
+		return ep.requestStream(to, t, payload, d)
+	}
 	id := ep.nextMsgID.Add(1)
 	ch := make(chan Envelope, 1)
 	ep.mu.Lock()
@@ -267,7 +301,12 @@ func (ep *Endpoint) RequestTimeout(to *net.UDPAddr, t Type, payload []byte, d ti
 // RequestRetry retransmits a request up to 1+retries times. Waiting is
 // how a real sender discovers loss, so each failed attempt costs a full
 // per-attempt deadline before the next transmission — the wall-clock
-// counterpart of arch.Retry's RTO accounting.
+// counterpart of arch.Retry's RTO accounting. Between attempts the
+// sender additionally backs off with the same shape as arch.RTO: a base
+// delay doubled per consecutive failure, ±25% jitter drawn from the
+// endpoint's seeded xrand stream, capped — so a cluster of endpoints
+// retrying against one restarting node desynchronizes instead of
+// re-converging into a retry storm at the shared timeout boundary.
 func (ep *Endpoint) RequestRetry(to *net.UDPAddr, t Type, payload []byte, retries int) (Envelope, error) {
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
@@ -276,8 +315,39 @@ func (ep *Endpoint) RequestRetry(to *net.UDPAddr, t Type, payload []byte, retrie
 			return resp, err
 		}
 		lastErr = err
+		if attempt < retries {
+			time.Sleep(ep.retryBackoff(attempt))
+		}
 	}
 	return Envelope{}, lastErr
+}
+
+// retryBackoff returns the pre-retransmission delay after consecutive
+// failure number attempt (0-based): base<<attempt with ±25% jitter,
+// capped after jitter so the ceiling is a true ceiling (arch.RTO.Penalty
+// semantics on real sockets).
+func (ep *Endpoint) retryBackoff(attempt int) time.Duration {
+	base, max := ep.RetryBase, ep.RetryMax
+	if base <= 0 {
+		base = ep.timeout() / 2
+	}
+	if max <= 0 {
+		max = 4 * ep.timeout()
+	}
+	d := base
+	if attempt >= 63 {
+		d = max
+	} else if d <<= uint(attempt); d > max || d <= 0 {
+		d = max
+	}
+	ep.retryMu.Lock()
+	jitter := 0.75 + 0.5*ep.retryRng.Float64()
+	ep.retryMu.Unlock()
+	p := time.Duration(float64(d) * jitter)
+	if p > max {
+		p = max
+	}
+	return p
 }
 
 // abandon removes a waiter that timed out or failed to send.

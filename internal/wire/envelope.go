@@ -49,6 +49,12 @@ const MaxDatagram = 60000
 // to the logical message while the datagram stays sendable.
 const MaxPayload = MaxDatagram - HeaderSize
 
+// MaxStreamPayload bounds one stream-framed (TCP) request or response
+// payload — the fallback for verbs whose payloads exceed the datagram
+// ceiling (view snapshots, recovery bucket transfers). Bounded so a
+// corrupt length prefix cannot ask the receiver to allocate the moon.
+const MaxStreamPayload = 64 << 20
+
 // Type discriminates envelope meaning. Requests and responses are
 // distinct types; a response additionally carries FlagResponse and the
 // request's MsgID so the sender's inflight-waiter map can match it.
@@ -81,6 +87,13 @@ const (
 	TStoreOK  Type = 23
 	TPing     Type = 24
 	TPong     Type = 25
+
+	// Recovery verbs (restart catch-up; responses routinely exceed the
+	// UDP ceiling and ride the stream framing automatically).
+	TSnap      Type = 26 // payload: none; response: encoded siteview.View
+	TSnapOK    Type = 27
+	TRecover   Type = 28 // payload: 4-byte seat ID; response: JSON placements
+	TRecoverOK Type = 29
 
 	// Control plane (the cluster harness drives these).
 	TTick    Type = 30 // run one maintenance round (gossip / ping+replicate)
